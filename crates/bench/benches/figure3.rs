@@ -1,0 +1,32 @@
+//! Criterion bench for the Figure 3 pipeline: a reduced-budget parameter
+//! search (DRI vs conventional pairs) on one benchmark per class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dri_experiments::search::{search_benchmark, SearchSpace};
+use dri_experiments::RunConfig;
+use std::hint::black_box;
+use synth_workload::suite::Benchmark;
+
+fn quick_cfg(b: Benchmark) -> RunConfig {
+    let mut cfg = RunConfig::quick(b);
+    cfg.instruction_budget = Some(250_000);
+    cfg
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+    for bench in [Benchmark::Compress, Benchmark::Perl, Benchmark::Ijpeg] {
+        group.bench_function(format!("search/{}", bench.name()), |b| {
+            b.iter(|| {
+                let r = search_benchmark(black_box(&quick_cfg(bench)), &SearchSpace::quick());
+                assert!(r.constrained.relative_energy_delay.is_finite());
+                r.constrained.relative_energy_delay
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3);
+criterion_main!(benches);

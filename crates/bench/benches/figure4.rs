@@ -1,0 +1,29 @@
+//! Criterion bench for the Figure 4 pipeline: the miss-bound sweep
+//! (0.5x / 1x / 2x) around a fixed operating point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dri_experiments::sweeps::miss_bound_sweep;
+use dri_experiments::RunConfig;
+use std::hint::black_box;
+use synth_workload::suite::Benchmark;
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut cfg = RunConfig::quick(Benchmark::Compress);
+    cfg.instruction_budget = Some(250_000);
+    cfg.dri.size_bound_bytes = 4 * 1024;
+    cfg.dri.miss_bound = 100;
+
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(10);
+    group.bench_function("miss_bound_sweep/compress", |b| {
+        b.iter(|| {
+            let s = miss_bound_sweep(black_box(&cfg));
+            assert!(s.base.relative_energy_delay.is_finite());
+            s.base.relative_energy_delay
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the Figure 5 pipeline: the size-bound sweep
+//! (2x / 1x / 0.5x) around a fixed operating point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dri_experiments::sweeps::size_bound_sweep;
+use dri_experiments::RunConfig;
+use std::hint::black_box;
+use synth_workload::suite::Benchmark;
+
+fn bench_figure5(c: &mut Criterion) {
+    let mut cfg = RunConfig::quick(Benchmark::Li);
+    cfg.instruction_budget = Some(250_000);
+    cfg.dri.size_bound_bytes = 8 * 1024;
+    cfg.dri.miss_bound = 100;
+
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    group.bench_function("size_bound_sweep/li", |b| {
+        b.iter(|| {
+            let s = size_bound_sweep(black_box(&cfg));
+            assert!(s.base.relative_energy_delay.is_finite());
+            s.base.relative_energy_delay
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure5);
+criterion_main!(benches);

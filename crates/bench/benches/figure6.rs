@@ -1,0 +1,30 @@
+//! Criterion bench for the Figure 6 pipeline: the geometry sweep (64K
+//! 4-way, 64K DM, 128K DM), each with its own conventional baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dri_experiments::sweeps::geometry_sweep;
+use dri_experiments::RunConfig;
+use std::hint::black_box;
+use synth_workload::suite::Benchmark;
+
+fn bench_figure6(c: &mut Criterion) {
+    let mut cfg = RunConfig::quick(Benchmark::Mgrid);
+    cfg.instruction_budget = Some(200_000);
+    cfg.dri.size_bound_bytes = 2 * 1024;
+    cfg.dri.miss_bound = 100;
+
+    let mut group = c.benchmark_group("figure6");
+    group.sample_size(10);
+    group.bench_function("geometry_sweep/mgrid", |b| {
+        b.iter(|| {
+            let s = geometry_sweep(black_box(&cfg));
+            assert!(s.dm_64k.relative_energy_delay.is_finite());
+            assert!(s.assoc_4way.relative_energy_delay.is_finite());
+            s.dm_128k.relative_energy_delay
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure6);
+criterion_main!(benches);

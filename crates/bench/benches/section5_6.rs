@@ -1,0 +1,28 @@
+//! Criterion bench for the §5.6 pipeline: sense-interval and divisibility
+//! sweeps around a fixed operating point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dri_experiments::sweeps::{divisibility_sweep, interval_sweep};
+use dri_experiments::RunConfig;
+use std::hint::black_box;
+use synth_workload::suite::Benchmark;
+
+fn bench_section5_6(c: &mut Criterion) {
+    let mut cfg = RunConfig::quick(Benchmark::Applu);
+    cfg.instruction_budget = Some(200_000);
+    cfg.dri.size_bound_bytes = 4 * 1024;
+    cfg.dri.miss_bound = 100;
+
+    let mut group = c.benchmark_group("section5_6");
+    group.sample_size(10);
+    group.bench_function("interval_sweep/applu", |b| {
+        b.iter(|| interval_sweep(black_box(&cfg), &[10_000, 20_000, 40_000]))
+    });
+    group.bench_function("divisibility_sweep/applu", |b| {
+        b.iter(|| divisibility_sweep(black_box(&cfg), &[2, 4, 8]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_section5_6);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Microbenchmarks of the simulation substrates themselves: cache access
+//! throughput, DRI access + resizing, interpreter speed, branch predictor
+//! throughput, full-core simulation rate, and the stacking-effect solver.
+
+use cache_sim::cache::{AccessKind, Cache};
+use cache_sim::config::CacheConfig;
+use cache_sim::icache::{ConventionalICache, InstCache};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dri_core::{DriConfig, DriICache};
+use ooo_cpu::bpred::{HybridPredictor, PredictorConfig};
+use ooo_cpu::config::CpuConfig;
+use ooo_cpu::core::Core;
+use sram_circuit::cell::SramCell;
+use sram_circuit::gating::GatedVddConfig;
+use sram_circuit::process::Process;
+use sram_circuit::units::{Celsius, Volts};
+use std::hint::black_box;
+use synth_workload::machine::Machine;
+use synth_workload::suite::Benchmark;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/cache");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("l1i_access_streaming", |b| {
+        let mut cache = Cache::new(CacheConfig::hpca01_l1i());
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                addr = addr.wrapping_add(32) & 0xF_FFFF;
+                black_box(cache.access(addr, AccessKind::Read));
+            }
+        })
+    });
+    group.bench_function("dri_access_streaming", |b| {
+        let mut cache = DriICache::new(DriConfig::hpca01_64k_dm());
+        let mut addr = 0u64;
+        let mut cycle = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                addr = addr.wrapping_add(32) & 0xF_FFFF;
+                cycle += 1;
+                black_box(cache.access(addr, cycle));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_machine_and_core(c: &mut Criterion) {
+    let generated = Benchmark::Compress.build();
+    let mut group = c.benchmark_group("substrates/sim");
+    group.throughput(Throughput::Elements(100_000));
+    group.sample_size(20);
+    group.bench_function("interpreter_100k_insts", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&generated.program);
+            black_box(m.run(100_000))
+        })
+    });
+    group.bench_function("core_100k_insts", |b| {
+        b.iter(|| {
+            let mut core = Core::new(
+                &generated.program,
+                CpuConfig::hpca01(),
+                ConventionalICache::hpca01(),
+            );
+            black_box(core.run(100_000))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/bpred");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("hybrid_conditional", |b| {
+        let mut bp = HybridPredictor::new(PredictorConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                i = i.wrapping_add(1);
+                let pc = 0x1000 + (i % 64) * 4;
+                black_box(bp.conditional(pc, i % 3 != 0, pc + 64));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_circuit(c: &mut Criterion) {
+    let process = Process::tsmc180();
+    let cell = SramCell::standard(&process, Volts::new(0.2));
+    let gated = GatedVddConfig::hpca01(&process);
+    c.bench_function("substrates/stack_equilibrium", |b| {
+        b.iter(|| {
+            black_box(gated.standby_equilibrium(
+                black_box(&cell),
+                black_box(&process),
+                Celsius::new(110.0),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_machine_and_core,
+    bench_bpred,
+    bench_circuit
+);
+criterion_main!(benches);

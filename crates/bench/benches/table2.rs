@@ -1,0 +1,31 @@
+//! Criterion bench for the Table 2 pipeline: regenerates the circuit-level
+//! trade-off table (device models + stacking-effect equilibria) and checks
+//! the headline values, benchmarking the full computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sram_circuit::process::Process;
+use sram_circuit::table2::{generate, generate_extended, OperatingPoint};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let process = Process::tsmc180();
+    let op = OperatingPoint::default();
+
+    c.bench_function("table2/generate", |b| {
+        b.iter(|| {
+            let rows = generate(black_box(&process), black_box(op));
+            assert_eq!(rows.len(), 3);
+            // Headline sanity: ~97% savings on the gated column.
+            let savings = rows[2].energy_savings_pct.expect("gated row");
+            assert!((savings - 97.0).abs() < 2.0);
+            rows
+        })
+    });
+
+    c.bench_function("table2/generate_extended", |b| {
+        b.iter(|| generate_extended(black_box(&process), black_box(op)))
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,363 @@
+//! The core set-associative cache model.
+//!
+//! Lines store the full *block address* rather than a truncated tag: for a
+//! fixed-geometry cache the two are equivalent (the index bits are implied
+//! by the set the line lives in), and it lets the DRI i-cache — which keeps
+//! "resizing tag bits" so tags stay meaningful across size changes (paper
+//! §2.1) — reuse this model unchanged. Tag *widths* only matter for energy
+//! accounting, which the `energy-model` crate handles separately.
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Whether an access reads or writes the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load / instruction fetch.
+    Read,
+    /// Store (marks the line dirty; write-allocate).
+    Write,
+}
+
+/// A line chosen for eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Block address of the victim.
+    pub block_addr: u64,
+    /// Whether the victim was dirty (must be written back).
+    pub dirty: bool,
+}
+
+/// Outcome of [`Cache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Whether the block was present.
+    pub hit: bool,
+    /// Victim displaced by the fill on a miss (write-back responsibility
+    /// transfers to the caller).
+    pub evicted: Option<Eviction>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    block_addr: u64,
+    last_used: u64,
+    filled_at: u64,
+}
+
+/// A set-associative cache with configurable replacement.
+///
+/// The model is *functional + counting*: it tracks presence, recency, and
+/// dirtiness, and leaves timing to the caller (latencies live in
+/// [`CacheConfig`] and the hierarchy glue).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    clock: u64,
+    rng: SmallRng,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let total_lines = (cfg.num_sets() * u64::from(cfg.associativity)) as usize;
+        Cache {
+            cfg,
+            lines: vec![Line::default(); total_lines],
+            stats: CacheStats::default(),
+            clock: 0,
+            rng: SmallRng::seed_from_u64(0xD121_CACE),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_range(&self, set: u64) -> std::ops::Range<usize> {
+        let ways = self.cfg.associativity as usize;
+        let start = set as usize * ways;
+        start..start + ways
+    }
+
+    /// Checks for the block containing `addr` without changing any state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let block = self.cfg.block_addr(addr);
+        let set = self.cfg.set_index(addr);
+        self.lines[self.set_range(set)]
+            .iter()
+            .any(|l| l.valid && l.block_addr == block)
+    }
+
+    /// Accesses the block containing `addr`, allocating on miss
+    /// (fetch-on-miss, write-allocate). Returns the hit/miss outcome and
+    /// any eviction the fill caused.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> Access {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        let block = self.cfg.block_addr(addr);
+        let set = self.cfg.set_index(addr);
+        let range = self.set_range(set);
+
+        // Hit path.
+        if let Some(line) = self.lines[range.clone()]
+            .iter_mut()
+            .find(|l| l.valid && l.block_addr == block)
+        {
+            line.last_used = self.clock;
+            if kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            self.stats.hits += 1;
+            return Access {
+                hit: true,
+                evicted: None,
+            };
+        }
+
+        // Miss path: allocate.
+        self.stats.misses += 1;
+        let evicted = self.fill_block(block, kind == AccessKind::Write);
+        Access {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Installs `block` (a block address, not a byte address), evicting if
+    /// necessary. Exposed for fill-path modelling where the access and the
+    /// fill are decoupled.
+    pub fn fill_block(&mut self, block: u64, dirty: bool) -> Option<Eviction> {
+        let set = (block & (self.cfg.num_sets() - 1)) as u64;
+        let range = self.set_range(set);
+        let lines = &mut self.lines[range];
+
+        // Prefer an invalid way.
+        if let Some(line) = lines.iter_mut().find(|l| !l.valid) {
+            *line = Line {
+                valid: true,
+                dirty,
+                block_addr: block,
+                last_used: self.clock,
+                filled_at: self.clock,
+            };
+            return None;
+        }
+
+        let last_used: Vec<u64> = lines.iter().map(|l| l.last_used).collect();
+        let filled_at: Vec<u64> = lines.iter().map(|l| l.filled_at).collect();
+        let victim_way = self
+            .cfg
+            .replacement
+            .pick_victim(&last_used, &filled_at, &mut self.rng);
+        let victim = &mut lines[victim_way];
+        let evicted = Eviction {
+            block_addr: victim.block_addr,
+            dirty: victim.dirty,
+        };
+        self.stats.evictions += 1;
+        if evicted.dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            valid: true,
+            dirty,
+            block_addr: block,
+            last_used: self.clock,
+            filled_at: self.clock,
+        };
+        Some(evicted)
+    }
+
+    /// Invalidates the block containing `addr` if present; returns whether
+    /// it was present (dirtiness is dropped — callers modelling coherence
+    /// must write back first via [`Cache::probe`]).
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let block = self.cfg.block_addr(addr);
+        let set = self.cfg.set_index(addr);
+        let range = self.set_range(set);
+        for line in &mut self.lines[range] {
+            if line.valid && line.block_addr == block {
+                line.valid = false;
+                self.stats.invalidations += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates every line.
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            if line.valid {
+                line.valid = false;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Iterates over resident block addresses (for tests and debugging).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines.iter().filter(|l| l.valid).map(|l| l.block_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::ReplacementPolicy;
+
+    fn small_cache(assoc: u32) -> Cache {
+        // 1 KiB, 32-byte blocks -> 32 blocks.
+        Cache::new(CacheConfig::new(
+            1024,
+            32,
+            assoc,
+            1,
+            ReplacementPolicy::Lru,
+        ))
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small_cache(1);
+        assert!(!c.access(0x100, AccessKind::Read).hit);
+        assert!(c.access(0x100, AccessKind::Read).hit);
+        assert!(c.access(0x11f, AccessKind::Read).hit, "same block");
+        assert!(!c.access(0x120, AccessKind::Read).hit, "next block");
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = small_cache(1);
+        // 32 sets of 32 bytes: addresses 0 and 1024 conflict.
+        c.access(0, AccessKind::Read);
+        let out = c.access(1024, AccessKind::Read);
+        assert!(!out.hit);
+        assert_eq!(
+            out.evicted,
+            Some(Eviction {
+                block_addr: 0,
+                dirty: false
+            })
+        );
+        assert!(!c.probe(0));
+        assert!(c.probe(1024));
+    }
+
+    #[test]
+    fn two_way_absorbs_one_conflict() {
+        let mut c = small_cache(2);
+        c.access(0, AccessKind::Read);
+        c.access(1024, AccessKind::Read);
+        assert!(c.probe(0) && c.probe(1024));
+        // A third conflicting block evicts the LRU (block 0).
+        c.access(2048, AccessKind::Read);
+        assert!(!c.probe(0));
+        assert!(c.probe(1024) && c.probe(2048));
+    }
+
+    #[test]
+    fn lru_respects_recency() {
+        let mut c = small_cache(2);
+        c.access(0, AccessKind::Read);
+        c.access(1024, AccessKind::Read);
+        c.access(0, AccessKind::Read); // touch 0: now 1024 is LRU
+        c.access(2048, AccessKind::Read);
+        assert!(c.probe(0));
+        assert!(!c.probe(1024));
+    }
+
+    #[test]
+    fn writes_mark_dirty_and_eviction_reports_writeback() {
+        let mut c = small_cache(1);
+        c.access(0, AccessKind::Write);
+        let out = c.access(1024, AccessKind::Read);
+        assert_eq!(
+            out.evicted,
+            Some(Eviction {
+                block_addr: 0,
+                dirty: true
+            })
+        );
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = small_cache(2);
+        c.access(0, AccessKind::Read);
+        c.access(32, AccessKind::Read);
+        assert!(c.invalidate(0));
+        assert!(!c.invalidate(0), "already gone");
+        assert!(!c.probe(0));
+        assert_eq!(c.occupancy(), 1);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_tracks_fills() {
+        let mut c = small_cache(1);
+        for i in 0..8 {
+            c.access(i * 32, AccessKind::Read);
+        }
+        assert_eq!(c.occupancy(), 8);
+        assert_eq!(c.resident_blocks().count(), 8);
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = Cache::new(CacheConfig::new(
+            1024,
+            32,
+            2,
+            1,
+            ReplacementPolicy::Fifo,
+        ));
+        c.access(0, AccessKind::Read);
+        c.access(1024, AccessKind::Read);
+        c.access(0, AccessKind::Read); // touching 0 does not save it under FIFO
+        c.access(2048, AccessKind::Read);
+        assert!(!c.probe(0));
+        assert!(c.probe(1024));
+    }
+
+    #[test]
+    fn stats_reset_preserves_contents() {
+        let mut c = small_cache(1);
+        c.access(0, AccessKind::Read);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.probe(0));
+    }
+}

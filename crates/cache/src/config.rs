@@ -1,0 +1,192 @@
+//! Cache geometry and timing configuration.
+
+use crate::replacement::ReplacementPolicy;
+
+/// Geometry and timing of one cache level.
+///
+/// All of size, block size, and associativity must be powers of two, and
+/// the derived set count must be at least one; [`CacheConfig::validate`]
+/// enforces this and every constructor calls it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Block (line) size in bytes.
+    pub block_bytes: u64,
+    /// Ways per set (1 = direct-mapped).
+    pub associativity: u32,
+    /// Access latency in cycles (hit time).
+    pub latency: u64,
+    /// Replacement policy for associative sets.
+    pub replacement: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Creates and validates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is inconsistent (see [`CacheConfig::validate`]).
+    pub fn new(
+        size_bytes: u64,
+        block_bytes: u64,
+        associativity: u32,
+        latency: u64,
+        replacement: ReplacementPolicy,
+    ) -> Self {
+        let cfg = CacheConfig {
+            size_bytes,
+            block_bytes,
+            associativity,
+            latency,
+            replacement,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Table 1's L1 i-cache: 64K direct-mapped, 1-cycle latency, 32-byte
+    /// blocks (SimpleScalar's default L1 block size).
+    pub fn hpca01_l1i() -> Self {
+        Self::new(64 * 1024, 32, 1, 1, ReplacementPolicy::Lru)
+    }
+
+    /// Table 1's L1 d-cache: 64K two-way LRU, 1-cycle latency.
+    pub fn hpca01_l1d() -> Self {
+        Self::new(64 * 1024, 32, 2, 1, ReplacementPolicy::Lru)
+    }
+
+    /// Table 1's unified L2: 1M four-way, 12-cycle latency, 64-byte blocks.
+    pub fn hpca01_l2() -> Self {
+        Self::new(1024 * 1024, 64, 4, 12, ReplacementPolicy::Lru)
+    }
+
+    /// Checks all invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not powers of two, the block does not divide the
+    /// size, associativity is zero or exceeds the number of blocks, or the
+    /// set count is not a power of two.
+    pub fn validate(&self) {
+        assert!(
+            self.size_bytes.is_power_of_two(),
+            "cache size must be a power of two, got {}",
+            self.size_bytes
+        );
+        assert!(
+            self.block_bytes.is_power_of_two(),
+            "block size must be a power of two, got {}",
+            self.block_bytes
+        );
+        assert!(
+            self.block_bytes <= self.size_bytes,
+            "block ({}) larger than cache ({})",
+            self.block_bytes,
+            self.size_bytes
+        );
+        assert!(self.associativity > 0, "associativity must be positive");
+        let blocks = self.size_bytes / self.block_bytes;
+        assert!(
+            u64::from(self.associativity) <= blocks,
+            "associativity {} exceeds {} blocks",
+            self.associativity,
+            blocks
+        );
+        assert!(
+            blocks % u64::from(self.associativity) == 0
+                && (blocks / u64::from(self.associativity)).is_power_of_two(),
+            "set count must be a power of two (blocks={blocks}, ways={})",
+            self.associativity
+        );
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / self.block_bytes / u64::from(self.associativity)
+    }
+
+    /// Bits of the address consumed by the block offset.
+    pub fn offset_bits(&self) -> u32 {
+        self.block_bytes.trailing_zeros()
+    }
+
+    /// Bits of the address consumed by the set index.
+    pub fn index_bits(&self) -> u32 {
+        self.num_sets().trailing_zeros()
+    }
+
+    /// Tag width for `addr_bits`-bit physical addresses.
+    pub fn tag_bits(&self, addr_bits: u32) -> u32 {
+        addr_bits - self.offset_bits() - self.index_bits()
+    }
+
+    /// Block address (address with the offset stripped).
+    pub fn block_addr(&self, addr: u64) -> u64 {
+        addr >> self.offset_bits()
+    }
+
+    /// Set index for an address.
+    pub fn set_index(&self, addr: u64) -> u64 {
+        self.block_addr(addr) & (self.num_sets() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpca01_l1i_geometry() {
+        let c = CacheConfig::hpca01_l1i();
+        assert_eq!(c.num_sets(), 2048);
+        assert_eq!(c.offset_bits(), 5);
+        assert_eq!(c.index_bits(), 11);
+        assert_eq!(c.tag_bits(32), 16);
+    }
+
+    #[test]
+    fn hpca01_l1d_geometry() {
+        let c = CacheConfig::hpca01_l1d();
+        assert_eq!(c.num_sets(), 1024);
+        assert_eq!(c.associativity, 2);
+    }
+
+    #[test]
+    fn hpca01_l2_geometry() {
+        let c = CacheConfig::hpca01_l2();
+        assert_eq!(c.num_sets(), 4096);
+        assert_eq!(c.latency, 12);
+        assert_eq!(c.block_bytes, 64);
+    }
+
+    #[test]
+    fn set_index_and_block_addr() {
+        let c = CacheConfig::hpca01_l1i();
+        // 32-byte blocks: addresses 0..31 share a block.
+        assert_eq!(c.block_addr(0x0), c.block_addr(0x1f));
+        assert_ne!(c.block_addr(0x1f), c.block_addr(0x20));
+        // Index wraps at 2048 sets.
+        assert_eq!(c.set_index(0x0), c.set_index(2048 * 32));
+        assert_eq!(c.set_index(32), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_size() {
+        let _ = CacheConfig::new(3000, 32, 1, 1, ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn rejects_zero_associativity() {
+        let _ = CacheConfig::new(1024, 32, 0, 1, ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn fully_associative_is_allowed() {
+        let c = CacheConfig::new(1024, 32, 32, 1, ReplacementPolicy::Lru);
+        assert_eq!(c.num_sets(), 1);
+        assert_eq!(c.index_bits(), 0);
+    }
+}

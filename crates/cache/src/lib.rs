@@ -1,0 +1,43 @@
+//! # cache-sim — the cache and memory-hierarchy substrate
+//!
+//! Functional + counting cache models for the HPCA 2001 DRI i-cache
+//! reproduction:
+//!
+//! * [`config`] — geometry/timing descriptions with the paper's Table 1
+//!   presets;
+//! * [`cache`] — the set-associative cache model (LRU/FIFO/Random);
+//! * [`icache`] — the [`icache::InstCache`] trait the CPU fetches
+//!   through, plus the conventional baseline i-cache;
+//! * [`hierarchy`] — L1d + unified L2 + memory timing, with split
+//!   accounting of instruction- vs data-originated L2 traffic;
+//! * [`memory`] — the "80 cycles + 4 per 8 bytes" main-memory model;
+//! * [`stats`], [`replacement`] — shared counters and policies.
+//!
+//! ## Example
+//!
+//! ```
+//! use cache_sim::cache::{AccessKind, Cache};
+//! use cache_sim::config::CacheConfig;
+//!
+//! let mut l1i = Cache::new(CacheConfig::hpca01_l1i());
+//! assert!(!l1i.access(0x4000, AccessKind::Read).hit); // cold miss
+//! assert!(l1i.access(0x4000, AccessKind::Read).hit);  // warm hit
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod icache;
+pub mod memory;
+pub mod replacement;
+pub mod stats;
+
+pub use cache::{Access, AccessKind, Cache, Eviction};
+pub use config::CacheConfig;
+pub use hierarchy::{Hierarchy, HierarchyConfig};
+pub use icache::{ConventionalICache, InstCache};
+pub use memory::MemoryTiming;
+pub use replacement::ReplacementPolicy;
+pub use stats::CacheStats;

@@ -1,0 +1,50 @@
+//! Main-memory timing (Table 1: "80 cycles + 4 cycles per 8 bytes").
+
+/// Latency model for off-chip memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryTiming {
+    /// Fixed access latency in cycles.
+    pub base_latency: u64,
+    /// Additional cycles per 8 bytes transferred.
+    pub per_8_bytes: u64,
+}
+
+impl Default for MemoryTiming {
+    fn default() -> Self {
+        Self::hpca01()
+    }
+}
+
+impl MemoryTiming {
+    /// Table 1's memory: 80 cycles + 4 cycles per 8 bytes.
+    pub const fn hpca01() -> Self {
+        MemoryTiming {
+            base_latency: 80,
+            per_8_bytes: 4,
+        }
+    }
+
+    /// Cycles to transfer a block of `bytes` (rounded up to 8-byte beats).
+    pub fn fill_latency(&self, bytes: u64) -> u64 {
+        self.base_latency + self.per_8_bytes * bytes.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_block_fill_is_112_cycles() {
+        // 64-byte L2 block: 80 + 4 * 8 = 112.
+        assert_eq!(MemoryTiming::hpca01().fill_latency(64), 112);
+    }
+
+    #[test]
+    fn partial_beat_rounds_up() {
+        let m = MemoryTiming::hpca01();
+        assert_eq!(m.fill_latency(1), 84);
+        assert_eq!(m.fill_latency(8), 84);
+        assert_eq!(m.fill_latency(9), 88);
+    }
+}

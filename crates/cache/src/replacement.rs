@@ -1,0 +1,92 @@
+//! Replacement policies for associative sets.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Victim-selection policy within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way (Table 1's policy).
+    #[default]
+    Lru,
+    /// Evict the oldest-filled way regardless of use.
+    Fifo,
+    /// Evict a uniformly random way.
+    Random,
+}
+
+impl ReplacementPolicy {
+    /// Picks a victim way among `ways` candidates.
+    ///
+    /// `last_used` and `filled_at` are per-way timestamps maintained by the
+    /// cache; `rng` supplies randomness for [`ReplacementPolicy::Random`].
+    /// Invalid ways are preferred unconditionally and handled by the caller,
+    /// so this is only consulted when every way is valid.
+    pub fn pick_victim(
+        self,
+        last_used: &[u64],
+        filled_at: &[u64],
+        rng: &mut SmallRng,
+    ) -> usize {
+        debug_assert_eq!(last_used.len(), filled_at.len());
+        debug_assert!(!last_used.is_empty());
+        match self {
+            ReplacementPolicy::Lru => index_of_min(last_used),
+            ReplacementPolicy::Fifo => index_of_min(filled_at),
+            ReplacementPolicy::Random => rng.gen_range(0..last_used.len()),
+        }
+    }
+}
+
+fn index_of_min(values: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate() {
+        if *v < values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lru_picks_least_recently_used() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let victim =
+            ReplacementPolicy::Lru.pick_victim(&[5, 2, 9, 4], &[0, 1, 2, 3], &mut rng);
+        assert_eq!(victim, 1);
+    }
+
+    #[test]
+    fn fifo_picks_oldest_fill() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let victim =
+            ReplacementPolicy::Fifo.pick_victim(&[5, 2, 9, 4], &[7, 3, 1, 9], &mut rng);
+        assert_eq!(victim, 2);
+    }
+
+    #[test]
+    fn random_is_in_range_and_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..32 {
+            let va = ReplacementPolicy::Random.pick_victim(&[0; 4], &[0; 4], &mut a);
+            let vb = ReplacementPolicy::Random.pick_victim(&[0; 4], &[0; 4], &mut b);
+            assert_eq!(va, vb);
+            assert!(va < 4);
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_index() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(
+            ReplacementPolicy::Lru.pick_victim(&[3, 3, 3], &[0, 0, 0], &mut rng),
+            0
+        );
+    }
+}

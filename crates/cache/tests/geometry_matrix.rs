@@ -1,0 +1,95 @@
+//! Exhaustive geometry matrix: every (size, block, associativity)
+//! combination the experiments use must index consistently and bound its
+//! occupancy.
+
+use cache_sim::cache::{AccessKind, Cache};
+use cache_sim::config::CacheConfig;
+use cache_sim::replacement::ReplacementPolicy;
+
+fn geometries() -> Vec<CacheConfig> {
+    let mut out = Vec::new();
+    for size_kb in [1u64, 4, 16, 64, 128, 1024] {
+        for block in [32u64, 64] {
+            for assoc in [1u32, 2, 4] {
+                let blocks = size_kb * 1024 / block;
+                if u64::from(assoc) <= blocks {
+                    out.push(CacheConfig::new(
+                        size_kb * 1024,
+                        block,
+                        assoc,
+                        1,
+                        ReplacementPolicy::Lru,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn geometry_identities_hold_everywhere() {
+    for cfg in geometries() {
+        assert_eq!(
+            cfg.num_sets() * u64::from(cfg.associativity) * cfg.block_bytes,
+            cfg.size_bytes,
+            "{cfg:?}"
+        );
+        assert_eq!(
+            cfg.offset_bits() + cfg.index_bits() + cfg.tag_bits(32),
+            32,
+            "{cfg:?}"
+        );
+    }
+}
+
+#[test]
+fn sequential_fill_reaches_exactly_capacity() {
+    for cfg in geometries() {
+        let mut cache = Cache::new(cfg);
+        let blocks = cfg.size_bytes / cfg.block_bytes;
+        for i in 0..blocks {
+            let out = cache.access(i * cfg.block_bytes, AccessKind::Read);
+            assert!(!out.hit, "{cfg:?}: sequential fill cannot hit");
+            assert!(out.evicted.is_none(), "{cfg:?}: fill within capacity");
+        }
+        assert_eq!(cache.occupancy() as u64, blocks, "{cfg:?}");
+        // Second pass: all hits.
+        for i in 0..blocks {
+            assert!(
+                cache.access(i * cfg.block_bytes, AccessKind::Read).hit,
+                "{cfg:?}: refill pass must hit"
+            );
+        }
+        assert_eq!(cache.stats().misses, blocks);
+        assert_eq!(cache.stats().hits, blocks);
+    }
+}
+
+#[test]
+fn one_block_past_capacity_evicts_exactly_once() {
+    for cfg in geometries() {
+        let mut cache = Cache::new(cfg);
+        let blocks = cfg.size_bytes / cfg.block_bytes;
+        for i in 0..=blocks {
+            let _ = cache.access(i * cfg.block_bytes, AccessKind::Read);
+        }
+        assert_eq!(cache.stats().evictions, 1, "{cfg:?}");
+        assert_eq!(cache.occupancy() as u64, blocks, "{cfg:?}");
+    }
+}
+
+#[test]
+fn same_set_different_tag_streams_stay_disjoint() {
+    for cfg in geometries().into_iter().filter(|c| c.associativity >= 2) {
+        let mut cache = Cache::new(cfg);
+        let stride = cfg.num_sets() * cfg.block_bytes; // same set, new tag
+        // Fill exactly `ways` tags of set 0 and keep them all hot.
+        for round in 0..3 {
+            for w in 0..u64::from(cfg.associativity) {
+                let hit = cache.access(w * stride, AccessKind::Read).hit;
+                assert_eq!(hit, round > 0, "{cfg:?} round {round} way {w}");
+            }
+        }
+    }
+}

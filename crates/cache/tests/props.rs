@@ -1,0 +1,89 @@
+//! Property tests for the cache model: LRU semantics, inclusion of the
+//! most recent working set, and hierarchy latency composition.
+
+use cache_sim::cache::{AccessKind, Cache};
+use cache_sim::config::CacheConfig;
+use cache_sim::hierarchy::{Hierarchy, HierarchyConfig};
+use cache_sim::replacement::ReplacementPolicy;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lru_keeps_the_most_recent_w_blocks_of_a_set(
+        ways_pow in 0u32..3,
+        stream in prop::collection::vec(0u64..64, 16..100),
+    ) {
+        // Touch only blocks that map to set 0; after any prefix, the last
+        // `ways` *distinct* blocks accessed must all be resident.
+        let ways = 1u32 << ways_pow;
+        let cfg = CacheConfig::new(
+            u64::from(ways) * 32 * 16, // 16 sets
+            32,
+            ways,
+            1,
+            ReplacementPolicy::Lru,
+        );
+        let mut cache = Cache::new(cfg);
+        let mut history: Vec<u64> = Vec::new();
+        for &i in &stream {
+            let addr = i * 16 * 32; // all map to set 0
+            let _ = cache.access(addr, AccessKind::Read);
+            history.retain(|&h| h != addr);
+            history.push(addr);
+            let recent: Vec<u64> = history.iter().rev().take(ways as usize).copied().collect();
+            for &r in &recent {
+                prop_assert!(cache.probe(r), "recently-used block {r:#x} evicted");
+            }
+        }
+    }
+
+    #[test]
+    fn random_policy_is_still_correct_just_not_lru(
+        stream in prop::collection::vec(0u64..1 << 16, 1..200),
+    ) {
+        let cfg = CacheConfig::new(2048, 32, 4, 1, ReplacementPolicy::Random);
+        let mut cache = Cache::new(cfg);
+        for &a in &stream {
+            let out = cache.access(a, AccessKind::Read);
+            prop_assert!(cache.probe(a));
+            if out.hit {
+                prop_assert!(out.evicted.is_none());
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses, stream.len() as u64);
+    }
+
+    #[test]
+    fn hierarchy_latency_is_always_one_of_the_three_levels(
+        addrs in prop::collection::vec(0u64..1 << 24, 1..200),
+        writes in prop::collection::vec(any::<bool>(), 200),
+    ) {
+        let mut h = Hierarchy::new(HierarchyConfig::hpca01());
+        for (&a, &w) in addrs.iter().zip(&writes) {
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            let lat = h.data_access(a, kind);
+            // 1 (L1 hit), 13 (L2 hit), or 125 (memory).
+            prop_assert!(
+                lat == 1 || lat == 13 || lat == 125,
+                "unexpected latency {lat}"
+            );
+        }
+        // L2 traffic accounting must not exceed total misses plus
+        // writebacks.
+        let l1 = h.l1d_stats();
+        prop_assert!(h.l2_data_accesses() <= l1.misses + l1.writebacks);
+    }
+
+    #[test]
+    fn inst_fills_are_l2_or_memory_latency(
+        addrs in prop::collection::vec(0u64..1 << 22, 1..100),
+    ) {
+        let mut h = Hierarchy::new(HierarchyConfig::hpca01());
+        for &a in &addrs {
+            let lat = h.inst_fill(a);
+            prop_assert!(lat == 12 || lat == 124, "unexpected latency {lat}");
+        }
+        prop_assert_eq!(h.l2_inst_accesses(), addrs.len() as u64);
+    }
+}

@@ -1,0 +1,72 @@
+//! Area model for SRAM arrays and the gated-Vdd overhead (paper §4, §5.1).
+//!
+//! The paper lays the gated-Vdd transistor out as "rows of parallel
+//! transistors placed along the length of the SRAM cells where each row is
+//! as long as the height of the cells", so only the array *width* grows.
+//! The reported overhead for the wide NMOS footer is ≈5% of the data array.
+
+use crate::gating::GatedVddConfig;
+use crate::process::Process;
+use crate::units::SquareMicrons;
+
+/// Layout inefficiency multiplier for the gating transistor: source/drain
+/// diffusion, contacts, and the gate-control routing make the realized area
+/// larger than the bare `W × L` channel.
+pub const GATE_LAYOUT_FACTOR: f64 = 1.25;
+
+/// Area of an SRAM array of `cells` bits (cell area × count; peripheral
+/// decoders/sense amps are excluded, matching the paper's "data array"
+/// accounting).
+pub fn array_area(process: &Process, cells: usize) -> SquareMicrons {
+    SquareMicrons::new(process.cell_area().value() * cells as f64)
+}
+
+/// Fractional area increase from adding the gated-Vdd transistor to each
+/// group of [`GatedVddConfig::cells_per_gate`] cells (Table 2's "Area
+/// Increase" row, as a 0–1 fraction).
+pub fn gating_area_overhead(config: &GatedVddConfig, process: &Process) -> f64 {
+    let gate_area =
+        config.gate_width().value() * process.drawn_length().value() * GATE_LAYOUT_FACTOR;
+    let cells_area = process.cell_area().value() * config.cells_per_gate() as f64;
+    gate_area / cells_area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpca01_area_overhead_is_about_5_percent() {
+        let p = Process::tsmc180();
+        let cfg = GatedVddConfig::hpca01(&p);
+        let overhead = gating_area_overhead(&cfg, &p);
+        assert!(
+            (overhead - 0.05).abs() < 0.01,
+            "area overhead {overhead}, expected ~0.05"
+        );
+    }
+
+    #[test]
+    fn array_area_scales_with_cells() {
+        let p = Process::tsmc180();
+        let one = array_area(&p, 1);
+        let many = array_area(&p, 512);
+        assert!((many.value() / one.value() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmos_header_is_smaller() {
+        let p = Process::tsmc180();
+        let footer = gating_area_overhead(&GatedVddConfig::hpca01(&p), &p);
+        let header = gating_area_overhead(&GatedVddConfig::pmos_header(&p), &p);
+        assert!(header < footer);
+    }
+
+    #[test]
+    fn wider_gate_costs_more_area() {
+        let p = Process::tsmc180();
+        let base = GatedVddConfig::hpca01(&p);
+        let wide = base.clone().with_gate_width(base.gate_width() * 2.0);
+        assert!(gating_area_overhead(&wide, &p) > gating_area_overhead(&base, &p));
+    }
+}

@@ -1,0 +1,274 @@
+//! The 6-T SRAM cell and its leakage paths (paper Figure 2a).
+//!
+//! An idle cell holding a bit has exactly three subthreshold leakage paths
+//! (with the wordline low and bitlines precharged high):
+//!
+//! * the **off pull-down NMOS** of the inverter whose output is high
+//!   (`Vdd → Gnd` through the on pull-up),
+//! * the **off pull-up PMOS** of the inverter whose output is low
+//!   (`Vdd → Gnd` through the on pull-down),
+//! * the **off access NMOS** on the low-node side (precharged bitline →
+//!   internal low node → on pull-down → `Gnd`).
+//!
+//! Table 2's "active leakage energy" is the sum of these three paths over a
+//! 1 ns cycle. The cell is symmetric, so the stored value does not matter.
+
+use crate::process::Process;
+use crate::transistor::Transistor;
+use crate::units::{Amps, Celsius, Microns, NanoJoules, NanoSeconds, Volts};
+
+/// Transistor-level description of a 6-T SRAM cell.
+///
+/// All six transistors share one threshold voltage (the paper's dual-Vt
+/// option applies a *different* Vt only to the gated-Vdd transistor, not to
+/// cell devices — see [`crate::gating`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramCell {
+    pull_down: Transistor,
+    pull_up: Transistor,
+    access: Transistor,
+}
+
+/// Per-path breakdown of an idle cell's leakage ([`SramCell::leakage_paths`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakagePaths {
+    /// Off pull-down NMOS current.
+    pub pull_down: Amps,
+    /// Off pull-up PMOS current.
+    pub pull_up: Amps,
+    /// Off access NMOS current (bitline into the low node).
+    pub access: Amps,
+}
+
+impl LeakagePaths {
+    /// Total cell leakage current.
+    pub fn total(&self) -> Amps {
+        self.pull_down + self.pull_up + self.access
+    }
+}
+
+impl SramCell {
+    /// A cell with typical 0.18 µm ratios: pull-down 0.54 µm, pull-up and
+    /// access 0.36 µm, at the given threshold voltage.
+    pub fn standard(process: &Process, vt: Volts) -> Self {
+        SramCell {
+            pull_down: Transistor::nmos(process, Microns::new(0.54), vt),
+            pull_up: Transistor::pmos(process, Microns::new(0.36), vt),
+            access: Transistor::nmos(process, Microns::new(0.36), vt),
+        }
+    }
+
+    /// The pull-down NMOS device.
+    pub fn pull_down(&self) -> Transistor {
+        self.pull_down
+    }
+
+    /// The pull-up PMOS device.
+    pub fn pull_up(&self) -> Transistor {
+        self.pull_up
+    }
+
+    /// The access NMOS device.
+    pub fn access(&self) -> Transistor {
+        self.access
+    }
+
+    /// Cell threshold voltage (all cell devices share it).
+    pub fn vt(&self) -> Volts {
+        self.pull_down.vt()
+    }
+
+    /// Leakage of each path with the cell's ground rail at `virtual_gnd`
+    /// (0 V for an ungated cell; raised by the stacking effect when an NMOS
+    /// gated-Vdd footer is off) and its supply rail at `virtual_vdd`
+    /// (`Vdd` for an ungated cell; lowered when a PMOS header is off).
+    ///
+    /// The internal "low" node sits at the virtual ground (it is connected
+    /// to it through the on pull-down); the internal "high" node sits at the
+    /// virtual supply.
+    pub fn leakage_paths_with_rails(
+        &self,
+        process: &Process,
+        temp: Celsius,
+        virtual_gnd: Volts,
+        virtual_vdd: Volts,
+    ) -> LeakagePaths {
+        let vdd = process.vdd();
+        let vm = virtual_gnd;
+        let vh = virtual_vdd;
+        // Off pull-down NMOS: gate at the low node (= vm), source at the
+        // virtual ground (= vm): Vgs = 0 relative to its source, but the
+        // source is body-biased by vm and the drain sits at the high node.
+        //
+        // With the footer off the gate is actually at the *low node* which
+        // equals vm, and the source also at vm, so Vgs = 0, Vsb = vm,
+        // Vds = vh - vm.
+        let pull_down = self.pull_down.subthreshold_current(
+            process,
+            Volts::new(0.0),
+            vh - vm,
+            vm,
+            temp,
+        );
+        // Off pull-up PMOS: source at true Vdd? No — the pull-up's source is
+        // the virtual supply vh. Gate at the high node = vh, so Vgs = 0,
+        // drain at the low node: Vds = vh - vm. Body at Vdd: Vsb = Vdd - vh.
+        let pull_up = self.pull_up.subthreshold_current(
+            process,
+            Volts::new(0.0),
+            vh - vm,
+            vdd - vh,
+            temp,
+        );
+        // Off access NMOS on the low side: gate at Gnd (wordline low),
+        // source at the low node (= vm), drain at the precharged bitline
+        // (= Vdd): Vgs = -vm, Vds = Vdd - vm, Vsb = vm.
+        let access = self.access.subthreshold_current(
+            process,
+            -vm,
+            vdd - vm,
+            vm,
+            temp,
+        );
+        LeakagePaths {
+            pull_down,
+            pull_up,
+            access,
+        }
+    }
+
+    /// Leakage of each path for an ungated idle cell (rails at `Gnd`/`Vdd`).
+    pub fn leakage_paths(&self, process: &Process, temp: Celsius) -> LeakagePaths {
+        self.leakage_paths_with_rails(process, temp, Volts::new(0.0), process.vdd())
+    }
+
+    /// Total leakage current of an ungated idle cell.
+    pub fn leakage_current(&self, process: &Process, temp: Celsius) -> Amps {
+        self.leakage_paths(process, temp).total()
+    }
+
+    /// Leakage energy dissipated per clock cycle (Table 2 rows use a 1 ns
+    /// cycle at 1 GHz).
+    pub fn leakage_energy_per_cycle(
+        &self,
+        process: &Process,
+        temp: Celsius,
+        cycle: NanoSeconds,
+    ) -> NanoJoules {
+        (self.leakage_current(process, temp) * process.vdd()).over(cycle)
+    }
+
+    /// Read current sunk from the bitline: the access and pull-down devices
+    /// in series, modelled as a single alpha-power-law device of the series
+    /// width `1/(1/Wa + 1/Wn)` at full gate drive.
+    pub fn read_current(&self, process: &Process) -> Amps {
+        let wa = self.access.width().value();
+        let wn = self.pull_down.width().value();
+        let series_width = 1.0 / (1.0 / wa + 1.0 / wn);
+        let squares = series_width / self.pull_down.length().value();
+        let vov = process.vdd() - self.vt();
+        Amps::new(process.on_current(squares, vov))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Process {
+        Process::tsmc180()
+    }
+
+    fn t110() -> Celsius {
+        Celsius::new(110.0)
+    }
+
+    #[test]
+    fn low_vt_cell_matches_table2_active_leakage() {
+        // Table 2: 1740e-9 nJ per 1 ns cycle at Vt = 0.2 V.
+        let process = p();
+        let cell = SramCell::standard(&process, Volts::new(0.2));
+        let e = cell.leakage_energy_per_cycle(&process, t110(), NanoSeconds::new(1.0));
+        let target = 1740e-9;
+        assert!(
+            (e.value() - target).abs() / target < 0.02,
+            "low-Vt cell leaks {} nJ/cycle, expected ~{target}",
+            e.value()
+        );
+    }
+
+    #[test]
+    fn high_vt_cell_matches_table2_active_leakage() {
+        // Table 2: 50e-9 nJ per 1 ns cycle at Vt = 0.4 V.
+        let process = p();
+        let cell = SramCell::standard(&process, Volts::new(0.4));
+        let e = cell.leakage_energy_per_cycle(&process, t110(), NanoSeconds::new(1.0));
+        let target = 50e-9;
+        assert!(
+            (e.value() - target).abs() / target < 0.02,
+            "high-Vt cell leaks {} nJ/cycle, expected ~{target}",
+            e.value()
+        );
+    }
+
+    #[test]
+    fn leakage_paths_sum_to_total() {
+        let process = p();
+        let cell = SramCell::standard(&process, Volts::new(0.2));
+        let paths = cell.leakage_paths(&process, t110());
+        let total = cell.leakage_current(&process, t110());
+        assert!((paths.total().value() - total.value()).abs() < 1e-18);
+        assert!(paths.pull_down.value() > 0.0);
+        assert!(paths.pull_up.value() > 0.0);
+        assert!(paths.access.value() > 0.0);
+    }
+
+    #[test]
+    fn pull_down_is_the_dominant_path() {
+        // The pull-down is the widest NMOS, so it leaks the most.
+        let process = p();
+        let cell = SramCell::standard(&process, Volts::new(0.2));
+        let paths = cell.leakage_paths(&process, t110());
+        assert!(paths.pull_down.value() > paths.pull_up.value());
+        assert!(paths.pull_down.value() > paths.access.value());
+    }
+
+    #[test]
+    fn raising_virtual_gnd_collapses_nmos_leakage() {
+        let process = p();
+        let cell = SramCell::standard(&process, Volts::new(0.2));
+        let flat = cell.leakage_paths(&process, t110());
+        let raised = cell.leakage_paths_with_rails(
+            &process,
+            t110(),
+            Volts::new(0.2),
+            process.vdd(),
+        );
+        // The access path sees full reverse gate bias (wordline is at true
+        // ground): strong suppression. The pull-down's gate tracks its
+        // source, so only the body effect and DIBL act on it.
+        assert!(raised.access.value() < flat.access.value() / 10.0);
+        assert!(raised.pull_down.value() < flat.pull_down.value() / 2.0);
+    }
+
+    #[test]
+    fn read_current_ratio_tracks_table2_read_times() {
+        // Table 2 relative read times: 2.22 (high Vt) vs 1.00 (low Vt).
+        // Read time is inversely proportional to read current.
+        let process = p();
+        let low = SramCell::standard(&process, Volts::new(0.2)).read_current(&process);
+        let high = SramCell::standard(&process, Volts::new(0.4)).read_current(&process);
+        let ratio = low / high;
+        assert!((ratio - 2.22).abs() < 0.05, "read-current ratio {ratio}");
+    }
+
+    #[test]
+    fn cell_accessors() {
+        let process = p();
+        let cell = SramCell::standard(&process, Volts::new(0.3));
+        assert_eq!(cell.vt(), Volts::new(0.3));
+        assert_eq!(cell.pull_down().width(), Microns::new(0.54));
+        assert_eq!(cell.pull_up().width(), Microns::new(0.36));
+        assert_eq!(cell.access().width(), Microns::new(0.36));
+    }
+}

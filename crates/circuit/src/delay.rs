@@ -1,0 +1,141 @@
+//! Read-time model: bitline discharge through the cell's read stack.
+//!
+//! The paper defines read time as "the time to lower the bitline to 75% of
+//! Vdd after the wordline is asserted" (§4). We model the bitline as a
+//! lumped capacitance (junction + wire contribution per attached row)
+//! discharged at the cell's read current, optionally degraded by the
+//! gated-Vdd footer's series drop ([`GatedVddConfig::read_time_penalty`]).
+//!
+//! Only *relative* read times are reported in Table 2; the absolute scale
+//! here is calibrated to land near 1 ns for the low-Vt reference so the
+//! numbers are also plausible for a 1 GHz cache.
+
+use crate::cell::SramCell;
+use crate::gating::GatedVddConfig;
+use crate::process::Process;
+use crate::units::NanoSeconds;
+
+/// Bitline/array parameters for the read-timing calculation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadTimingModel {
+    /// Number of cells attached to each bitline (array rows per subbank).
+    rows: usize,
+    /// Fraction of Vdd the bitline must fall for the sense amplifier to
+    /// fire; the paper's criterion (discharge to 75% of Vdd) gives 0.25.
+    swing_fraction: f64,
+}
+
+impl Default for ReadTimingModel {
+    fn default() -> Self {
+        Self::new(128, 0.25)
+    }
+}
+
+impl ReadTimingModel {
+    /// Creates a timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `swing_fraction` is outside `(0, 1)`.
+    pub fn new(rows: usize, swing_fraction: f64) -> Self {
+        assert!(rows > 0, "a bitline needs at least one row");
+        assert!(
+            swing_fraction > 0.0 && swing_fraction < 1.0,
+            "swing fraction must be in (0,1), got {swing_fraction}"
+        );
+        ReadTimingModel {
+            rows,
+            swing_fraction,
+        }
+    }
+
+    /// Rows per bitline.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Required bitline swing as a fraction of Vdd.
+    pub fn swing_fraction(&self) -> f64 {
+        self.swing_fraction
+    }
+
+    /// Absolute read time for `cell`, optionally behind a gated-Vdd device.
+    pub fn read_time(
+        &self,
+        cell: &SramCell,
+        process: &Process,
+        gating: Option<&GatedVddConfig>,
+    ) -> NanoSeconds {
+        let cap_farads = process.bitline_cap_per_cell().value() * self.rows as f64 * 1e-15;
+        let swing_volts = process.vdd().value() * self.swing_fraction;
+        let current = cell.read_current(process).value();
+        let base_seconds = cap_farads * swing_volts / current;
+        let penalty = gating.map_or(1.0, |g| g.read_time_penalty(cell, process));
+        NanoSeconds::new(base_seconds * 1e9 * penalty)
+    }
+
+    /// Read time of `cell` (with optional gating) relative to an ungated
+    /// `reference` cell — the unit of Table 2's "Relative Read Time" row.
+    pub fn relative_read_time(
+        &self,
+        cell: &SramCell,
+        gating: Option<&GatedVddConfig>,
+        reference: &SramCell,
+        process: &Process,
+    ) -> f64 {
+        self.read_time(cell, process, gating)
+            / self.read_time(reference, process, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Volts;
+
+    fn setup() -> (Process, SramCell, SramCell) {
+        let p = Process::tsmc180();
+        let low = SramCell::standard(&p, Volts::new(0.2));
+        let high = SramCell::standard(&p, Volts::new(0.4));
+        (p, low, high)
+    }
+
+    #[test]
+    fn low_vt_read_time_is_about_a_nanosecond() {
+        let (p, low, _) = setup();
+        let t = ReadTimingModel::default().read_time(&low, &p, None);
+        assert!(
+            t.value() > 0.5 && t.value() < 2.0,
+            "read time {t} should be near 1 ns at 1 GHz"
+        );
+    }
+
+    #[test]
+    fn high_vt_relative_read_time_matches_table2() {
+        let (p, low, high) = setup();
+        let rel = ReadTimingModel::default().relative_read_time(&high, None, &low, &p);
+        assert!((rel - 2.22).abs() < 0.05, "relative read time {rel}");
+    }
+
+    #[test]
+    fn gated_relative_read_time_matches_table2() {
+        let (p, low, _) = setup();
+        let cfg = GatedVddConfig::hpca01(&p);
+        let rel = ReadTimingModel::default().relative_read_time(&low, Some(&cfg), &low, &p);
+        assert!((rel - 1.08).abs() < 0.03, "relative read time {rel}");
+    }
+
+    #[test]
+    fn more_rows_mean_slower_reads() {
+        let (p, low, _) = setup();
+        let short = ReadTimingModel::new(64, 0.25).read_time(&low, &p, None);
+        let long = ReadTimingModel::new(256, 0.25).read_time(&low, &p, None);
+        assert!(long.value() > short.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "swing fraction")]
+    fn rejects_bad_swing() {
+        let _ = ReadTimingModel::new(128, 1.5);
+    }
+}

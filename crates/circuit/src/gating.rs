@@ -1,0 +1,387 @@
+//! Gated-Vdd: supply-voltage gating for SRAM sections (paper §3, Figure 2b).
+//!
+//! A gated-Vdd design inserts one wide transistor between a group of SRAM
+//! cells and one of the rails. Turned on, the cells operate normally
+//! ("active mode"); turned off, the shared *virtual rail* floats and the
+//! stacking effect ([`crate::stack`]) collapses leakage ("standby mode").
+//!
+//! The paper's preferred configuration — evaluated in its Table 2 — is a
+//! **wide NMOS footer with dual-Vt and a charge pump**: the footer uses a
+//! high threshold (0.4 V) for low off-state leakage while the cells keep the
+//! fast low threshold (0.2 V), and the footer's gate is boosted above Vdd in
+//! active mode so its series resistance barely affects read time. A PMOS
+//! header variant is also modelled; it stays out of the read path but leaves
+//! the access-transistor leakage path ungated, so it saves much less — the
+//! reason the paper's authors preferred the NMOS footer.
+
+use crate::cell::SramCell;
+use crate::process::{DeviceKind, Process};
+use crate::stack::{solve_rail, StackEquilibrium};
+use crate::transistor::Transistor;
+use crate::units::{Amps, Celsius, Microns, NanoJoules, NanoSeconds, Volts};
+
+/// Where the gating transistor sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GatingTechnique {
+    /// NMOS between the cells' source rail and true ground (Figure 2b).
+    NmosFooter,
+    /// PMOS between true Vdd and the cells' supply rail.
+    PmosHeader,
+}
+
+/// A concrete gated-Vdd implementation choice.
+///
+/// Use the presets ([`GatedVddConfig::hpca01`], [`GatedVddConfig::pmos_header`],
+/// [`GatedVddConfig::nmos_same_vt`]) or the builder-style setters to explore
+/// the trade-off space (paper §3: "a trade-off among area overhead, leakage
+/// reduction, and impact on performance").
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatedVddConfig {
+    technique: GatingTechnique,
+    gate_vt: Volts,
+    gate_width: Microns,
+    cells_per_gate: usize,
+    charge_pump: Option<Volts>,
+}
+
+impl GatedVddConfig {
+    /// The paper's chosen configuration: a wide NMOS footer (3200 squares
+    /// shared by one 512-bit cache line), dual-Vt (footer at 0.4 V), with a
+    /// charge pump boosting the active gate voltage to 1.4 V.
+    ///
+    /// Reproduces the third column of Table 2: ≈97% standby energy savings,
+    /// ≈1.08 relative read time, ≈5% area increase.
+    pub fn hpca01(process: &Process) -> Self {
+        GatedVddConfig {
+            technique: GatingTechnique::NmosFooter,
+            gate_vt: Volts::new(0.4),
+            gate_width: process.drawn_length() * 3200.0,
+            cells_per_gate: 512,
+            charge_pump: Some(Volts::new(1.4)),
+        }
+    }
+
+    /// NMOS footer built in the *same* (low) threshold as the cells — the
+    /// ablation showing why dual-Vt matters: the low-Vt footer itself leaks,
+    /// limiting the standby savings.
+    pub fn nmos_same_vt(process: &Process) -> Self {
+        GatedVddConfig {
+            gate_vt: Volts::new(0.2),
+            ..Self::hpca01(process)
+        }
+    }
+
+    /// NMOS footer without the charge pump: the gate only reaches Vdd in
+    /// active mode, so the series resistance penalty on read time grows.
+    pub fn nmos_no_charge_pump(process: &Process) -> Self {
+        GatedVddConfig {
+            charge_pump: None,
+            ..Self::hpca01(process)
+        }
+    }
+
+    /// PMOS header variant: out of the read path (no read-time penalty,
+    /// smaller device) but the bitline-to-ground leakage path through the
+    /// access transistors remains ungated, so savings are much smaller.
+    pub fn pmos_header(process: &Process) -> Self {
+        GatedVddConfig {
+            technique: GatingTechnique::PmosHeader,
+            gate_vt: Volts::new(0.4),
+            gate_width: process.drawn_length() * 1400.0,
+            cells_per_gate: 512,
+            charge_pump: None,
+        }
+    }
+
+    /// Overrides the gating transistor's threshold voltage.
+    pub fn with_gate_vt(mut self, vt: Volts) -> Self {
+        self.gate_vt = vt;
+        self
+    }
+
+    /// Overrides the gating transistor's total width.
+    pub fn with_gate_width(mut self, width: Microns) -> Self {
+        assert!(width.value() > 0.0, "gate width must be positive");
+        self.gate_width = width;
+        self
+    }
+
+    /// Overrides the number of cells sharing one gating transistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero.
+    pub fn with_cells_per_gate(mut self, cells: usize) -> Self {
+        assert!(cells > 0, "at least one cell must share the gate");
+        self.cells_per_gate = cells;
+        self
+    }
+
+    /// Enables/disables the charge pump (boosted active gate voltage).
+    pub fn with_charge_pump(mut self, pump: Option<Volts>) -> Self {
+        self.charge_pump = pump;
+        self
+    }
+
+    /// Where the gating transistor sits.
+    pub fn technique(&self) -> GatingTechnique {
+        self.technique
+    }
+
+    /// Gating transistor threshold voltage.
+    pub fn gate_vt(&self) -> Volts {
+        self.gate_vt
+    }
+
+    /// Gating transistor total width.
+    pub fn gate_width(&self) -> Microns {
+        self.gate_width
+    }
+
+    /// Number of cells sharing one gating transistor.
+    pub fn cells_per_gate(&self) -> usize {
+        self.cells_per_gate
+    }
+
+    /// Active-mode gate voltage (charge-pumped if configured).
+    pub fn active_gate_voltage(&self, process: &Process) -> Volts {
+        self.charge_pump.unwrap_or_else(|| process.vdd())
+    }
+
+    /// The gating transistor as a device model.
+    pub fn gate_transistor(&self, process: &Process) -> Transistor {
+        let kind = match self.technique {
+            GatingTechnique::NmosFooter => DeviceKind::Nmos,
+            GatingTechnique::PmosHeader => DeviceKind::Pmos,
+        };
+        Transistor::new(kind, self.gate_width, process.drawn_length(), self.gate_vt)
+    }
+
+    /// Solves the standby-mode virtual-rail equilibrium for a group of
+    /// `cells_per_gate` cells behind one off gating transistor.
+    pub fn standby_equilibrium(
+        &self,
+        cell: &SramCell,
+        process: &Process,
+        temp: Celsius,
+    ) -> StackEquilibrium {
+        let n = self.cells_per_gate as f64;
+        let gate = self.gate_transistor(process);
+        let vdd = process.vdd();
+        match self.technique {
+            GatingTechnique::NmosFooter => solve_rail(
+                vdd,
+                |vm| {
+                    let paths = cell.leakage_paths_with_rails(process, temp, vm, vdd);
+                    Amps::new(paths.total().value() * n)
+                },
+                |vm| gate.subthreshold_current(process, Volts::new(0.0), vm, Volts::new(0.0), temp),
+            ),
+            GatingTechnique::PmosHeader => solve_rail(
+                vdd,
+                |drop| {
+                    // Only the pull-down and pull-up paths drain the virtual
+                    // supply node; the access path bypasses the header.
+                    let paths =
+                        cell.leakage_paths_with_rails(process, temp, Volts::new(0.0), vdd - drop);
+                    Amps::new((paths.pull_down + paths.pull_up).value() * n)
+                },
+                |drop| {
+                    gate.subthreshold_current(process, Volts::new(0.0), drop, Volts::new(0.0), temp)
+                },
+            ),
+        }
+    }
+
+    /// Standby leakage power *per cell* (the published Table 2 unit is the
+    /// per-cell energy over a 1 ns cycle).
+    pub fn standby_leakage_per_cell(
+        &self,
+        cell: &SramCell,
+        process: &Process,
+        temp: Celsius,
+    ) -> Amps {
+        let eq = self.standby_equilibrium(cell, process, temp);
+        let mut per_cell = eq.current.value() / self.cells_per_gate as f64;
+        if self.technique == GatingTechnique::PmosHeader {
+            // The ungated access-transistor path keeps leaking at full
+            // strength from the precharged bitline to ground.
+            let access = cell
+                .leakage_paths_with_rails(process, temp, Volts::new(0.0), process.vdd())
+                .access;
+            per_cell += access.value();
+        }
+        Amps::new(per_cell)
+    }
+
+    /// Standby leakage energy per cell per cycle.
+    pub fn standby_energy_per_cycle(
+        &self,
+        cell: &SramCell,
+        process: &Process,
+        temp: Celsius,
+        cycle: NanoSeconds,
+    ) -> NanoJoules {
+        (self.standby_leakage_per_cell(cell, process, temp) * process.vdd()).over(cycle)
+    }
+
+    /// Fractional standby energy savings relative to the ungated cell
+    /// (Table 2's "Energy Savings (%)" row, as a 0–1 fraction).
+    pub fn energy_savings(&self, cell: &SramCell, process: &Process, temp: Celsius) -> f64 {
+        let active = cell.leakage_current(process, temp).value();
+        let standby = self.standby_leakage_per_cell(cell, process, temp).value();
+        1.0 - standby / active
+    }
+
+    /// Multiplicative read-time penalty of the gating transistor in active
+    /// mode (≥ 1.0).
+    ///
+    /// An NMOS footer carries the read current of every cell in the gated
+    /// row; its linear-region voltage drop reduces the read stack's gate
+    /// overdrive, stretching the bitline discharge by the alpha-power law.
+    /// A PMOS header is not in the read discharge path, so its penalty is
+    /// 1.0.
+    pub fn read_time_penalty(&self, cell: &SramCell, process: &Process) -> f64 {
+        match self.technique {
+            GatingTechnique::PmosHeader => 1.0,
+            GatingTechnique::NmosFooter => {
+                let gate = self.gate_transistor(process);
+                let g = gate.linear_conductance(process, self.active_gate_voltage(process));
+                if g <= 0.0 {
+                    return f64::INFINITY;
+                }
+                let read_current =
+                    cell.read_current(process).value() * self.cells_per_gate as f64;
+                let drop = read_current / g;
+                let vov = (process.vdd() - cell.vt()).value();
+                if drop >= vov {
+                    return f64::INFINITY;
+                }
+                (vov / (vov - drop)).powf(process.alpha())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Process, SramCell, Celsius) {
+        let p = Process::tsmc180();
+        let cell = SramCell::standard(&p, Volts::new(0.2));
+        (p, cell, Celsius::new(110.0))
+    }
+
+    #[test]
+    fn hpca01_standby_matches_table2() {
+        // Table 2: standby leakage 53e-9 nJ/cycle, i.e. 97% savings.
+        let (p, cell, t) = setup();
+        let cfg = GatedVddConfig::hpca01(&p);
+        let e = cfg.standby_energy_per_cycle(&cell, &p, t, NanoSeconds::new(1.0));
+        let target = 53e-9;
+        assert!(
+            (e.value() - target).abs() / target < 0.25,
+            "standby {} nJ/cycle, expected ~{target}",
+            e.value()
+        );
+        let savings = cfg.energy_savings(&cell, &p, t);
+        assert!(
+            (savings - 0.97).abs() < 0.01,
+            "savings {savings}, expected ~0.97"
+        );
+    }
+
+    #[test]
+    fn hpca01_read_penalty_matches_table2() {
+        // Table 2: relative read time 1.08 for gated vs 1.00 base low-Vt.
+        let (p, cell, _) = setup();
+        let cfg = GatedVddConfig::hpca01(&p);
+        let penalty = cfg.read_time_penalty(&cell, &p);
+        assert!(
+            (penalty - 1.08).abs() < 0.03,
+            "read penalty {penalty}, expected ~1.08"
+        );
+    }
+
+    #[test]
+    fn stacking_effect_raises_virtual_ground_high() {
+        // The virtual ground floats nearly to Vdd: the residual leakage is
+        // set by the high-Vt footer, "confining the leakage to high-Vt
+        // levels while maintaining low-Vt speeds".
+        let (p, cell, t) = setup();
+        let cfg = GatedVddConfig::hpca01(&p);
+        let eq = cfg.standby_equilibrium(&cell, &p, t);
+        assert!(
+            eq.virtual_rail.value() > 0.9,
+            "virtual rail {} should float close to Vdd",
+            eq.virtual_rail
+        );
+    }
+
+    #[test]
+    fn same_vt_footer_saves_less_than_dual_vt() {
+        let (p, cell, t) = setup();
+        let dual = GatedVddConfig::hpca01(&p).energy_savings(&cell, &p, t);
+        let same = GatedVddConfig::nmos_same_vt(&p).energy_savings(&cell, &p, t);
+        assert!(
+            same < dual,
+            "same-Vt footer ({same}) should save less than dual-Vt ({dual})"
+        );
+        assert!(same > 0.0, "but it should still save something: {same}");
+    }
+
+    #[test]
+    fn no_charge_pump_increases_read_penalty() {
+        let (p, cell, _) = setup();
+        let pumped = GatedVddConfig::hpca01(&p).read_time_penalty(&cell, &p);
+        let plain = GatedVddConfig::nmos_no_charge_pump(&p).read_time_penalty(&cell, &p);
+        assert!(plain > pumped, "no pump {plain} vs pumped {pumped}");
+    }
+
+    #[test]
+    fn pmos_header_has_no_read_penalty_but_saves_less() {
+        let (p, cell, t) = setup();
+        let header = GatedVddConfig::pmos_header(&p);
+        assert_eq!(header.read_time_penalty(&cell, &p), 1.0);
+        let header_savings = header.energy_savings(&cell, &p, t);
+        let footer_savings = GatedVddConfig::hpca01(&p).energy_savings(&cell, &p, t);
+        assert!(
+            header_savings < footer_savings,
+            "header {header_savings} vs footer {footer_savings}"
+        );
+        // The ungated access path dominates: well below 90% savings.
+        assert!(header_savings < 0.9);
+        assert!(header_savings > 0.2);
+    }
+
+    #[test]
+    fn wider_footer_leaks_more_in_standby() {
+        let (p, cell, t) = setup();
+        let base = GatedVddConfig::hpca01(&p);
+        let wide = base
+            .clone()
+            .with_gate_width(base.gate_width() * 4.0);
+        let e_base = base.standby_leakage_per_cell(&cell, &p, t);
+        let e_wide = wide.standby_leakage_per_cell(&cell, &p, t);
+        assert!(e_wide.value() > e_base.value());
+        // ...but its read penalty shrinks.
+        assert!(wide.read_time_penalty(&cell, &p) < base.read_time_penalty(&cell, &p));
+    }
+
+    #[test]
+    fn active_gate_voltage_defaults_to_vdd() {
+        let (p, _, _) = setup();
+        let cfg = GatedVddConfig::nmos_no_charge_pump(&p);
+        assert_eq!(cfg.active_gate_voltage(&p), p.vdd());
+        let pumped = GatedVddConfig::hpca01(&p);
+        assert_eq!(pumped.active_gate_voltage(&p), Volts::new(1.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn rejects_zero_cells_per_gate() {
+        let (p, _, _) = setup();
+        let _ = GatedVddConfig::hpca01(&p).with_cells_per_gate(0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # sram-circuit — transistor-level leakage, delay, and area models
+//!
+//! Circuit-level substrate for the HPCA 2001 DRI i-cache reproduction
+//! (paper §3–§5.1). The paper used Hspice over CACTI-derived 0.18 µm SRAM
+//! layouts; this crate replaces that flow with calibrated analytical device
+//! models:
+//!
+//! * [`process`] — technology parameters (0.18 µm, Vdd = 1.0 V), with every
+//!   fitted constant documented;
+//! * [`transistor`] — BSIM-flavoured subthreshold leakage (exponential in
+//!   `-Vt`, body effect, DIBL) and alpha-power-law on-current;
+//! * [`cell`] — the 6-T SRAM cell and its three idle leakage paths;
+//! * [`stack`] — the stacking-effect equilibrium solver (series off
+//!   devices self-reverse-bias, collapsing leakage);
+//! * [`gating`] — gated-Vdd configurations: the paper's wide dual-Vt NMOS
+//!   footer with charge pump, plus PMOS-header and same-Vt ablations;
+//! * [`delay`] — bitline-discharge read-time model (to 75% of Vdd);
+//! * [`area`] — array area and the ≈5% gated-Vdd overhead;
+//! * [`table2`] — regeneration of the paper's Table 2 next to the
+//!   published values.
+//!
+//! ## Example
+//!
+//! ```
+//! use sram_circuit::cell::SramCell;
+//! use sram_circuit::gating::GatedVddConfig;
+//! use sram_circuit::process::Process;
+//! use sram_circuit::units::{Celsius, Volts};
+//!
+//! let process = Process::tsmc180();
+//! let cell = SramCell::standard(&process, Volts::new(0.2));
+//! let gated = GatedVddConfig::hpca01(&process);
+//! let savings = gated.energy_savings(&cell, &process, Celsius::new(110.0));
+//! assert!(savings > 0.95); // Table 2: 97% standby savings
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod cell;
+pub mod delay;
+pub mod gating;
+pub mod process;
+pub mod stack;
+pub mod table2;
+pub mod transistor;
+pub mod units;
+
+pub use cell::SramCell;
+pub use gating::{GatedVddConfig, GatingTechnique};
+pub use process::{DeviceKind, Process};
+pub use stack::StackEquilibrium;
+pub use transistor::Transistor;

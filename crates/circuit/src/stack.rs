@@ -1,0 +1,142 @@
+//! The stacking effect: equilibrium of series off-transistors (paper §3).
+//!
+//! When a gated-Vdd transistor in series with an SRAM cell turns off, the
+//! shared *virtual rail* between them floats until the current the cells
+//! push into the rail equals the current the gating transistor lets out.
+//! Because both currents are exponential in the rail voltage (with opposite
+//! signs), the equilibrium suppresses leakage by orders of magnitude — the
+//! self reverse-biasing the paper credits for gated-Vdd's effectiveness.
+//!
+//! This module provides a robust bisection solver for that equilibrium.
+//! [`crate::gating`] builds the concrete cell-plus-footer (or header)
+//! current balances on top of it.
+
+use crate::units::{Amps, Volts};
+
+/// Result of a virtual-rail equilibrium solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackEquilibrium {
+    /// Voltage of the virtual rail (virtual ground for an NMOS footer,
+    /// measured from true ground; virtual supply *drop* for a PMOS header).
+    pub virtual_rail: Volts,
+    /// Current flowing through the stack at equilibrium.
+    pub current: Amps,
+}
+
+/// Solves `source_side(v) = drain_side(v)` for `v ∈ [0, limit]` by bisection.
+///
+/// `source_side` must be non-increasing in `v` (the cells' push shrinks as
+/// the rail floats toward them) and `drain_side` non-decreasing (the gating
+/// transistor passes more as the voltage across it grows). The equilibrium
+/// current reported is `drain_side` at the root.
+///
+/// If the balance does not bracket a root (e.g. the gating transistor leaks
+/// more than the cells even at `v = 0`), the appropriate endpoint is
+/// returned instead — physically, the rail pins to that end.
+///
+/// # Panics
+///
+/// Panics if `limit` is not positive and finite.
+pub fn solve_rail(
+    limit: Volts,
+    source_side: impl Fn(Volts) -> Amps,
+    drain_side: impl Fn(Volts) -> Amps,
+) -> StackEquilibrium {
+    assert!(
+        limit.value() > 0.0 && limit.is_finite(),
+        "rail limit must be positive and finite, got {limit}"
+    );
+    let f = |v: Volts| source_side(v).value() - drain_side(v).value();
+
+    let mut lo = 0.0_f64;
+    let mut hi = limit.value();
+    if f(Volts::new(lo)) <= 0.0 {
+        // Gating device out-leaks the cells with the rail at the bottom:
+        // the rail stays pinned low.
+        return StackEquilibrium {
+            virtual_rail: Volts::new(lo),
+            current: drain_side(Volts::new(lo)),
+        };
+    }
+    if f(Volts::new(hi)) >= 0.0 {
+        // The rail floats all the way to the limit.
+        return StackEquilibrium {
+            virtual_rail: Volts::new(hi),
+            current: drain_side(Volts::new(hi)),
+        };
+    }
+    // 80 bisection steps give ~1e-24 V resolution on a 1 V interval — far
+    // beyond physical meaning, but cheap and unconditionally convergent.
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if f(Volts::new(mid)) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let v = Volts::new(0.5 * (lo + hi));
+    StackEquilibrium {
+        virtual_rail: v,
+        current: drain_side(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_crossing_of_exponentials() {
+        // source: e^{-10v}, drain: 1 - e^{-10v} (scaled): crossing where
+        // e^{-10v} = 0.5 -> v = ln(2)/10.
+        let eq = solve_rail(
+            Volts::new(1.0),
+            |v| Amps::new((-10.0 * v.value()).exp()),
+            |v| Amps::new(1.0 - (-10.0 * v.value()).exp()),
+        );
+        assert!((eq.virtual_rail.value() - 0.0693147).abs() < 1e-6);
+        assert!((eq.current.value() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pins_low_when_drain_dominates() {
+        let eq = solve_rail(
+            Volts::new(1.0),
+            |_| Amps::new(1e-9),
+            |_| Amps::new(1e-3),
+        );
+        assert_eq!(eq.virtual_rail.value(), 0.0);
+        assert_eq!(eq.current.value(), 1e-3);
+    }
+
+    #[test]
+    fn floats_high_when_source_dominates() {
+        let eq = solve_rail(
+            Volts::new(0.7),
+            |_| Amps::new(1e-3),
+            |_| Amps::new(1e-9),
+        );
+        assert_eq!(eq.virtual_rail.value(), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "rail limit")]
+    fn rejects_nonpositive_limit() {
+        let _ = solve_rail(Volts::new(0.0), |_| Amps::new(0.0), |_| Amps::new(0.0));
+    }
+
+    #[test]
+    fn equilibrium_current_is_between_extremes() {
+        // A shrinking source against a growing drain: the equilibrium
+        // current must be below the unstacked source current.
+        let unstacked = 1.0e-3;
+        let eq = solve_rail(
+            Volts::new(1.0),
+            move |v| Amps::new(unstacked * (-20.0 * v.value()).exp()),
+            |v| Amps::new(1e-5 * (1.0 - (-30.0 * v.value()).exp())),
+        );
+        assert!(eq.current.value() < unstacked);
+        assert!(eq.current.value() > 0.0);
+    }
+}

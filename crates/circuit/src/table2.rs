@@ -1,0 +1,257 @@
+//! Regeneration of the paper's **Table 2**: "Energy, speed, and area
+//! trade-off of varying threshold voltage and gated-Vdd".
+//!
+//! Three implementation techniques are compared at 110 °C, Vdd = 1.0 V,
+//! 1 ns cycle:
+//!
+//! | | base high-Vt | base low-Vt | NMOS gated-Vdd |
+//! |---|---|---|---|
+//! | Gated-Vdd Vt (V)            | —    | —    | 0.40 |
+//! | SRAM Vt (V)                 | 0.40 | 0.20 | 0.20 |
+//! | Relative read time          | 2.22 | 1.00 | 1.08 |
+//! | Active leakage (×10⁻⁹ nJ)   | 50   | 1740 | 1740 |
+//! | Standby leakage (×10⁻⁹ nJ)  | —    | —    | 53   |
+//! | Energy savings (%)          | —    | —    | 97   |
+//! | Area increase (%)           | —    | —    | 5    |
+//!
+//! [`generate`] recomputes every row from the transistor models;
+//! [`published`] holds the paper's numbers for comparison. The
+//! `dri-experiments` crate's `table2` binary prints both side by side.
+
+use crate::area::gating_area_overhead;
+use crate::cell::SramCell;
+use crate::delay::ReadTimingModel;
+use crate::gating::GatedVddConfig;
+use crate::process::Process;
+use crate::units::{Celsius, NanoJoules, NanoSeconds, Volts};
+use std::fmt;
+
+/// One column of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Implementation technique label.
+    pub technique: String,
+    /// Gated-Vdd transistor threshold, if gating is used.
+    pub gate_vt: Option<Volts>,
+    /// SRAM cell threshold.
+    pub sram_vt: Volts,
+    /// Read time relative to the base low-Vt cell.
+    pub relative_read_time: f64,
+    /// Leakage energy per cycle in active mode (per cell).
+    pub active_leakage: NanoJoules,
+    /// Leakage energy per cycle in standby mode (per cell), if gating is
+    /// available.
+    pub standby_leakage: Option<NanoJoules>,
+    /// Standby energy savings relative to active mode, percent.
+    pub energy_savings_pct: Option<f64>,
+    /// Array area increase, percent.
+    pub area_increase_pct: Option<f64>,
+}
+
+impl fmt::Display for Table2Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} gateVt={:<5} sramVt={:.2} rel.read={:.2} active={:.1}e-9nJ standby={} savings={} area={}",
+            self.technique,
+            self.gate_vt
+                .map_or("N/A".to_owned(), |v| format!("{:.2}", v.value())),
+            self.sram_vt.value(),
+            self.relative_read_time,
+            self.active_leakage.value() * 1e9,
+            self.standby_leakage
+                .map_or("N/A".to_owned(), |e| format!("{:.1}e-9nJ", e.value() * 1e9)),
+            self.energy_savings_pct
+                .map_or("N/A".to_owned(), |p| format!("{p:.0}%")),
+            self.area_increase_pct
+                .map_or("N/A".to_owned(), |p| format!("{p:.1}%")),
+        )
+    }
+}
+
+/// The operating point of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Junction temperature (paper: 110 °C).
+    pub temperature: Celsius,
+    /// Clock cycle (paper: 1 ns at 1 GHz).
+    pub cycle: NanoSeconds,
+}
+
+impl Default for OperatingPoint {
+    fn default() -> Self {
+        OperatingPoint {
+            temperature: Celsius::new(110.0),
+            cycle: NanoSeconds::new(1.0),
+        }
+    }
+}
+
+fn row(
+    label: &str,
+    process: &Process,
+    op: OperatingPoint,
+    sram_vt: Volts,
+    gating: Option<&GatedVddConfig>,
+    timing: &ReadTimingModel,
+    reference: &SramCell,
+) -> Table2Row {
+    let cell = SramCell::standard(process, sram_vt);
+    let active = cell.leakage_energy_per_cycle(process, op.temperature, op.cycle);
+    let standby =
+        gating.map(|g| g.standby_energy_per_cycle(&cell, process, op.temperature, op.cycle));
+    Table2Row {
+        technique: label.to_owned(),
+        gate_vt: gating.map(GatedVddConfig::gate_vt),
+        sram_vt,
+        relative_read_time: timing.relative_read_time(&cell, gating, reference, process),
+        active_leakage: active,
+        standby_leakage: standby,
+        energy_savings_pct: standby.map(|s| (1.0 - s.value() / active.value()) * 100.0),
+        area_increase_pct: gating.map(|g| gating_area_overhead(g, process) * 100.0),
+    }
+}
+
+/// Recomputes the three columns of Table 2 from the device models.
+pub fn generate(process: &Process, op: OperatingPoint) -> Vec<Table2Row> {
+    let timing = ReadTimingModel::default();
+    let reference = SramCell::standard(process, Volts::new(0.2));
+    let gated = GatedVddConfig::hpca01(process);
+    vec![
+        row(
+            "base high-Vt",
+            process,
+            op,
+            Volts::new(0.4),
+            None,
+            &timing,
+            &reference,
+        ),
+        row(
+            "base low-Vt",
+            process,
+            op,
+            Volts::new(0.2),
+            None,
+            &timing,
+            &reference,
+        ),
+        row(
+            "NMOS gated-Vdd",
+            process,
+            op,
+            Volts::new(0.2),
+            Some(&gated),
+            &timing,
+            &reference,
+        ),
+    ]
+}
+
+/// Extended trade-off table (beyond the paper's three columns): the
+/// ablations §3 alludes to — same-Vt footer, footer without charge pump,
+/// and the PMOS header.
+pub fn generate_extended(process: &Process, op: OperatingPoint) -> Vec<Table2Row> {
+    let timing = ReadTimingModel::default();
+    let reference = SramCell::standard(process, Volts::new(0.2));
+    let mut rows = generate(process, op);
+    for (label, cfg) in [
+        ("NMOS gated-Vdd same-Vt", GatedVddConfig::nmos_same_vt(process)),
+        (
+            "NMOS gated-Vdd no pump",
+            GatedVddConfig::nmos_no_charge_pump(process),
+        ),
+        ("PMOS gated-Vdd header", GatedVddConfig::pmos_header(process)),
+    ] {
+        rows.push(row(
+            label,
+            process,
+            op,
+            Volts::new(0.2),
+            Some(&cfg),
+            &timing,
+            &reference,
+        ));
+    }
+    rows
+}
+
+/// The numbers printed in the paper, for side-by-side comparison.
+pub mod published {
+    /// (technique, relative read time, active nJ/cycle, standby nJ/cycle,
+    /// savings %, area %) as printed in Table 2.
+    pub const TABLE2: [(&str, f64, f64, Option<f64>, Option<f64>, Option<f64>); 3] = [
+        ("base high-Vt", 2.22, 50e-9, None, None, None),
+        ("base low-Vt", 1.00, 1740e-9, None, None, None),
+        (
+            "NMOS gated-Vdd",
+            1.08,
+            1740e-9,
+            Some(53e-9),
+            Some(97.0),
+            Some(5.0),
+        ),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_table_matches_published_within_tolerance() {
+        let rows = generate(&Process::tsmc180(), OperatingPoint::default());
+        assert_eq!(rows.len(), 3);
+        for (row, (label, read, active, standby, savings, area)) in
+            rows.iter().zip(published::TABLE2)
+        {
+            assert_eq!(row.technique, label);
+            assert!(
+                (row.relative_read_time - read).abs() / read < 0.03,
+                "{label}: read time {} vs {read}",
+                row.relative_read_time
+            );
+            assert!(
+                (row.active_leakage.value() - active).abs() / active < 0.02,
+                "{label}: active {} vs {active}",
+                row.active_leakage.value()
+            );
+            if let Some(expect) = standby {
+                let got = row.standby_leakage.expect("gated row has standby").value();
+                assert!(
+                    (got - expect).abs() / expect < 0.25,
+                    "{label}: standby {got} vs {expect}"
+                );
+            }
+            if let Some(expect) = savings {
+                let got = row.energy_savings_pct.expect("gated row has savings");
+                assert!((got - expect).abs() < 1.0, "{label}: savings {got} vs {expect}");
+            }
+            if let Some(expect) = area {
+                let got = row.area_increase_pct.expect("gated row has area");
+                assert!((got - expect).abs() < 1.0, "{label}: area {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn extended_table_orders_techniques_sensibly() {
+        let rows = generate_extended(&Process::tsmc180(), OperatingPoint::default());
+        assert_eq!(rows.len(), 6);
+        let savings: Vec<f64> = rows[2..]
+            .iter()
+            .map(|r| r.energy_savings_pct.unwrap())
+            .collect();
+        // Dual-Vt footer > same-Vt footer, dual-Vt footer > PMOS header.
+        assert!(savings[0] > savings[1], "dual-Vt should beat same-Vt");
+        assert!(savings[0] > savings[3], "footer should beat header");
+    }
+
+    #[test]
+    fn rows_render_without_panicking() {
+        for r in generate_extended(&Process::tsmc180(), OperatingPoint::default()) {
+            let s = format!("{r}");
+            assert!(!s.is_empty());
+        }
+    }
+}

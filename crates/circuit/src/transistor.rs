@@ -1,0 +1,228 @@
+//! Single-transistor current models.
+//!
+//! The leakage results of the paper hinge on one physical fact: subthreshold
+//! current is exponential in `-Vt` (so threshold scaling explodes leakage)
+//! and exponential in `-Vsb` via the body effect (so *stacked* off devices
+//! leak orders of magnitude less — the stacking effect of §3). This module
+//! implements that device equation; [`crate::stack`] composes devices in
+//! series.
+
+use crate::process::{DeviceKind, Process};
+use crate::units::{Amps, Celsius, Microns, Volts};
+
+/// A MOSFET with explicit geometry and threshold voltage.
+///
+/// Widths and lengths are drawn dimensions; the current models use the
+/// aspect ratio `W/L` ("squares").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transistor {
+    kind: DeviceKind,
+    width: Microns,
+    length: Microns,
+    vt: Volts,
+}
+
+impl Transistor {
+    /// Creates a transistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or length are non-positive, or `vt` is negative
+    /// (depletion devices are out of scope).
+    pub fn new(kind: DeviceKind, width: Microns, length: Microns, vt: Volts) -> Self {
+        assert!(width.value() > 0.0, "width must be positive, got {width}");
+        assert!(length.value() > 0.0, "length must be positive, got {length}");
+        assert!(vt.value() >= 0.0, "vt must be non-negative, got {vt}");
+        Transistor {
+            kind,
+            width,
+            length,
+            vt,
+        }
+    }
+
+    /// Convenience constructor: an NMOS of the process's drawn length.
+    pub fn nmos(process: &Process, width: Microns, vt: Volts) -> Self {
+        Self::new(DeviceKind::Nmos, width, process.drawn_length(), vt)
+    }
+
+    /// Convenience constructor: a PMOS of the process's drawn length.
+    pub fn pmos(process: &Process, width: Microns, vt: Volts) -> Self {
+        Self::new(DeviceKind::Pmos, width, process.drawn_length(), vt)
+    }
+
+    /// Device polarity.
+    pub fn kind(self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Drawn width.
+    pub fn width(self) -> Microns {
+        self.width
+    }
+
+    /// Drawn length.
+    pub fn length(self) -> Microns {
+        self.length
+    }
+
+    /// Threshold voltage magnitude.
+    pub fn vt(self) -> Volts {
+        self.vt
+    }
+
+    /// Aspect ratio `W/L`.
+    pub fn squares(self) -> f64 {
+        self.width.value() / self.length.value()
+    }
+
+    /// Subthreshold (leakage) current for the given terminal voltages.
+    ///
+    /// All voltages are magnitudes relative to the source terminal of the
+    /// conducting direction, so the same expression serves NMOS and PMOS:
+    ///
+    /// ```text
+    /// I = I0(W/L, T) · exp((Vgs − Vt_eff) / (n·vT)) · (1 − exp(−Vds/vT))
+    /// Vt_eff = Vt + γ·Vsb − dibl·Vds
+    /// ```
+    ///
+    /// `vgs` below zero (a reverse-biased gate, as happens to the upper
+    /// device of an off stack) suppresses the current exponentially — that
+    /// is the stacking effect.
+    pub fn subthreshold_current(
+        self,
+        process: &Process,
+        vgs: Volts,
+        vds: Volts,
+        vsb: Volts,
+        temp: Celsius,
+    ) -> Amps {
+        if vds.value() <= 0.0 {
+            return Amps::new(0.0);
+        }
+        let vt_eff = self.vt.value()
+            + process.vt_shift(temp).value()
+            + process.body_gamma() * vsb.value().max(0.0)
+            - process.dibl() * vds.value();
+        let slope = process.subthreshold_slope(temp).value();
+        let i0 = process.leak_prefactor(self.squares(), self.kind, temp);
+        let gate_term = ((vgs.value() - vt_eff) / slope).exp();
+        let drain_term = 1.0 - (-vds.value() / temp.thermal_voltage().value()).exp();
+        Amps::new(i0 * gate_term * drain_term)
+    }
+
+    /// Off-state leakage with gate at source potential (`Vgs = 0`) and the
+    /// full supply across the channel — the common case for an idle SRAM
+    /// cell transistor.
+    pub fn off_current(self, process: &Process, temp: Celsius) -> Amps {
+        self.subthreshold_current(process, Volts::new(0.0), process.vdd(), Volts::new(0.0), temp)
+    }
+
+    /// Saturation on-current at gate voltage `vgs` (alpha-power law).
+    pub fn on_current(self, process: &Process, vgs: Volts) -> Amps {
+        let vov = vgs - self.vt;
+        Amps::new(process.on_current(self.squares(), vov))
+    }
+
+    /// Linear-region conductance at gate voltage `vgs`, in siemens.
+    pub fn linear_conductance(self, process: &Process, vgs: Volts) -> f64 {
+        process.linear_conductance(self.squares(), vgs - self.vt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Process {
+        Process::tsmc180()
+    }
+
+    fn t110() -> Celsius {
+        Celsius::new(110.0)
+    }
+
+    #[test]
+    fn leakage_exponential_in_vt() {
+        let process = p();
+        let lo = Transistor::nmos(&process, Microns::new(0.54), Volts::new(0.2));
+        let hi = Transistor::nmos(&process, Microns::new(0.54), Volts::new(0.4));
+        let ratio = lo.off_current(&process, t110()) / hi.off_current(&process, t110());
+        // 200 mV of Vt at ~130 mV/decade is ~34.8x.
+        assert!((ratio - 34.8).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn leakage_scales_linearly_with_width() {
+        let process = p();
+        let narrow = Transistor::nmos(&process, Microns::new(0.36), Volts::new(0.2));
+        let wide = Transistor::nmos(&process, Microns::new(0.72), Volts::new(0.2));
+        let ratio = wide.off_current(&process, t110()) / narrow.off_current(&process, t110());
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_gate_bias_suppresses_leakage() {
+        let process = p();
+        let t = Transistor::nmos(&process, Microns::new(0.54), Volts::new(0.2));
+        let normal = t.subthreshold_current(
+            &process,
+            Volts::new(0.0),
+            Volts::new(1.0),
+            Volts::new(0.0),
+            t110(),
+        );
+        let reverse = t.subthreshold_current(
+            &process,
+            Volts::new(-0.1),
+            Volts::new(1.0),
+            Volts::new(0.1),
+            t110(),
+        );
+        // -100 mV Vgs plus 100 mV body bias: each decade is ~130 mV, so
+        // expect roughly one decade of suppression.
+        assert!(reverse.value() < normal.value() / 5.0);
+    }
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        let process = p();
+        let t = Transistor::nmos(&process, Microns::new(0.54), Volts::new(0.2));
+        let i = t.subthreshold_current(
+            &process,
+            Volts::new(0.0),
+            Volts::new(0.0),
+            Volts::new(0.0),
+            t110(),
+        );
+        assert_eq!(i.value(), 0.0);
+    }
+
+    #[test]
+    fn on_current_increases_with_overdrive() {
+        let process = p();
+        let t = Transistor::nmos(&process, Microns::new(0.54), Volts::new(0.2));
+        let lo = t.on_current(&process, Volts::new(0.8));
+        let hi = t.on_current(&process, Volts::new(1.0));
+        assert!(hi.value() > lo.value());
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let process = p();
+        let t = Transistor::nmos(&process, Microns::new(0.54), Volts::new(0.2));
+        let cold = t.off_current(&process, Celsius::new(25.0));
+        let hot = t.off_current(&process, Celsius::new(110.0));
+        assert!(
+            hot.value() > cold.value() * 5.0,
+            "hot {hot} vs cold {cold}: leakage should grow steeply with T"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rejects_zero_width() {
+        let process = p();
+        let _ = Transistor::nmos(&process, Microns::new(0.0), Volts::new(0.2));
+    }
+}

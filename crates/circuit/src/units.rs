@@ -1,0 +1,291 @@
+//! Scalar quantities with explicit physical units.
+//!
+//! The circuit models in this crate traffic in a handful of physical
+//! quantities. Mixing them up (volts as amps, nanojoules as joules) is the
+//! classic failure mode of hand-rolled Spice-alike code, so each quantity is
+//! a newtype over `f64` ([C-NEWTYPE]). Arithmetic is only provided where it
+//! is physically meaningful (e.g. `Volts - Volts`, `Amps * Volts -> Watts`).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw `f64` value expressed in this unit.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in this unit.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two quantities of the same unit is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// Energy in nanojoules — the unit the paper reports (Table 2 lists
+    /// leakage energy per 1 ns cycle in units of 10⁻⁹ nJ).
+    NanoJoules,
+    "nJ"
+);
+unit!(
+    /// Time in nanoseconds (the simulated clock is 1 GHz, so 1 cycle = 1 ns).
+    NanoSeconds,
+    "ns"
+);
+unit!(
+    /// Length in micrometres (transistor widths/lengths, cell pitch).
+    Microns,
+    "um"
+);
+unit!(
+    /// Area in square micrometres.
+    SquareMicrons,
+    "um^2"
+);
+unit!(
+    /// Capacitance in femtofarads (bitline and gate capacitances).
+    FemtoFarads,
+    "fF"
+);
+
+/// Temperature in degrees Celsius.
+///
+/// Table 2 is measured at 110 °C, the worst-case junction temperature the
+/// paper assumes; leakage is strongly temperature dependent, so temperature
+/// is threaded explicitly through every leakage computation.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Wraps a temperature in degrees Celsius.
+    pub const fn new(deg: f64) -> Self {
+        Self(deg)
+    }
+
+    /// Raw value in degrees Celsius.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute temperature in kelvin.
+    pub fn kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+
+    /// Thermal voltage `kT/q` at this temperature.
+    ///
+    /// At the paper's 110 °C operating point this is ≈ 33 mV.
+    pub fn thermal_voltage(self) -> Volts {
+        /// Boltzmann constant over elementary charge, in volts per kelvin.
+        const K_OVER_Q: f64 = 8.617_333e-5;
+        Volts::new(K_OVER_Q * self.kelvin())
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} C", self.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl Watts {
+    /// Energy dissipated over a time interval, in nanojoules.
+    ///
+    /// `1 W × 1 ns = 1 nJ`, so the conversion is numerically direct.
+    pub fn over(self, t: NanoSeconds) -> NanoJoules {
+        NanoJoules::new(self.value() * t.value())
+    }
+}
+
+impl Microns {
+    /// Area of a rectangle `self × other`.
+    pub fn by(self, other: Microns) -> SquareMicrons {
+        SquareMicrons::new(self.value() * other.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_110c_is_about_33mv() {
+        let vt = Celsius::new(110.0).thermal_voltage();
+        assert!((vt.value() - 0.033).abs() < 0.001, "got {vt}");
+    }
+
+    #[test]
+    fn power_law_identities() {
+        let p = Amps::new(2e-6) * Volts::new(1.0);
+        assert_eq!(p, Watts::new(2e-6));
+        let e = p.over(NanoSeconds::new(1.0));
+        assert!((e.value() - 2e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn unit_arithmetic() {
+        let a = Volts::new(1.0) - Volts::new(0.4);
+        assert!((a.value() - 0.6).abs() < 1e-12);
+        assert_eq!(Volts::new(0.5) * 2.0, Volts::new(1.0));
+        assert_eq!(2.0 * Volts::new(0.5), Volts::new(1.0));
+        assert!((Volts::new(1.0) / Volts::new(0.5) - 2.0).abs() < 1e-12);
+        assert_eq!(-Volts::new(0.2), Volts::new(-0.2));
+        assert_eq!(Volts::new(0.2).abs(), Volts::new(0.2));
+        assert_eq!((-Volts::new(0.2)).abs(), Volts::new(0.2));
+        assert_eq!(Volts::new(0.1).max(Volts::new(0.2)), Volts::new(0.2));
+        assert_eq!(Volts::new(0.1).min(Volts::new(0.2)), Volts::new(0.1));
+    }
+
+    #[test]
+    fn sum_collects() {
+        let total: Amps = (0..4).map(|_| Amps::new(1e-6)).sum();
+        assert!((total.value() - 4e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_includes_unit_suffix() {
+        assert_eq!(format!("{}", Volts::new(1.0)), "1 V");
+        assert_eq!(format!("{}", Celsius::new(110.0)), "110 C");
+        assert_eq!(format!("{}", NanoJoules::new(0.91)), "0.91 nJ");
+    }
+
+    #[test]
+    fn kelvin_conversion() {
+        assert!((Celsius::new(0.0).kelvin() - 273.15).abs() < 1e-9);
+        assert!((Celsius::new(110.0).kelvin() - 383.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_of_rectangle() {
+        let a = Microns::new(2.0).by(Microns::new(0.18));
+        assert!((a.value() - 0.36).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the circuit models: physical monotonicities the
+//! device equations must respect regardless of parameter choice.
+
+use proptest::prelude::*;
+use sram_circuit::cell::SramCell;
+use sram_circuit::gating::GatedVddConfig;
+use sram_circuit::process::{DeviceKind, Process};
+use sram_circuit::stack::solve_rail;
+use sram_circuit::transistor::Transistor;
+use sram_circuit::units::{Amps, Celsius, Microns, Volts};
+
+proptest! {
+    #[test]
+    fn leakage_monotone_decreasing_in_vt(
+        vt_mv in 100u32..500,
+        step_mv in 1u32..100,
+        temp_c in 25.0f64..125.0,
+    ) {
+        let p = Process::tsmc180();
+        let t = Celsius::new(temp_c);
+        let lo = Transistor::nmos(&p, Microns::new(0.54), Volts::new(f64::from(vt_mv) / 1000.0));
+        let hi = Transistor::nmos(
+            &p,
+            Microns::new(0.54),
+            Volts::new(f64::from(vt_mv + step_mv) / 1000.0),
+        );
+        prop_assert!(lo.off_current(&p, t).value() > hi.off_current(&p, t).value());
+    }
+
+    #[test]
+    fn leakage_monotone_increasing_in_temperature(
+        t1 in 0.0f64..100.0,
+        dt in 1.0f64..50.0,
+    ) {
+        let p = Process::tsmc180();
+        let cell = SramCell::standard(&p, Volts::new(0.2));
+        let cold = cell.leakage_current(&p, Celsius::new(t1));
+        let hot = cell.leakage_current(&p, Celsius::new(t1 + dt));
+        prop_assert!(hot.value() > cold.value());
+    }
+
+    #[test]
+    fn stacking_never_increases_leakage(
+        vt_mv in 150u32..450,
+    ) {
+        // A gated cell in standby must leak no more than the bare cell.
+        let p = Process::tsmc180();
+        let t = Celsius::new(110.0);
+        let cell = SramCell::standard(&p, Volts::new(f64::from(vt_mv) / 1000.0));
+        let gated = GatedVddConfig::hpca01(&p);
+        let bare = cell.leakage_current(&p, t).value();
+        let standby = gated.standby_leakage_per_cell(&cell, &p, t).value();
+        prop_assert!(standby <= bare * 1.001, "standby {standby} vs bare {bare}");
+    }
+
+    #[test]
+    fn rail_solver_finds_a_balanced_point(
+        scale in 1e-9f64..1e-3,
+        steep in 5.0f64..50.0,
+    ) {
+        let eq = solve_rail(
+            Volts::new(1.0),
+            move |v| Amps::new(scale * (-steep * v.value()).exp()),
+            move |v| Amps::new(scale * 0.01 * (1.0 - (-steep * v.value()).exp())),
+        );
+        prop_assert!(eq.virtual_rail.value() >= 0.0);
+        prop_assert!(eq.virtual_rail.value() <= 1.0);
+        prop_assert!(eq.current.value() >= 0.0);
+        // The equilibrium current cannot exceed the source side's maximum.
+        prop_assert!(eq.current.value() <= scale);
+    }
+
+    #[test]
+    fn on_current_monotone_in_overdrive(
+        vt_mv in 100u32..400,
+        vgs_mv in 500u32..1400,
+    ) {
+        let p = Process::tsmc180();
+        let t = Transistor::nmos(&p, Microns::new(0.54), Volts::new(f64::from(vt_mv) / 1000.0));
+        let lo = t.on_current(&p, Volts::new(f64::from(vgs_mv) / 1000.0));
+        let hi = t.on_current(&p, Volts::new(f64::from(vgs_mv + 100) / 1000.0));
+        prop_assert!(hi.value() >= lo.value());
+    }
+
+    #[test]
+    fn pmos_leaks_less_than_nmos_of_equal_geometry(
+        vt_mv in 150u32..450,
+        width_um in 0.2f64..2.0,
+    ) {
+        let p = Process::tsmc180();
+        let t = Celsius::new(110.0);
+        let vt = Volts::new(f64::from(vt_mv) / 1000.0);
+        let n = Transistor::new(DeviceKind::Nmos, Microns::new(width_um), p.drawn_length(), vt);
+        let pm = Transistor::new(DeviceKind::Pmos, Microns::new(width_um), p.drawn_length(), vt);
+        prop_assert!(pm.off_current(&p, t).value() < n.off_current(&p, t).value());
+    }
+}

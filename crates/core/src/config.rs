@@ -1,0 +1,265 @@
+//! Configuration of the DRI i-cache (paper §2.1 and Figure 1).
+//!
+//! Five parameters govern resizing:
+//!
+//! * **miss-bound** — the per-interval miss count the adaptive loop steers
+//!   toward: more misses than the bound → upsize, fewer → downsize
+//!   ("fine-grain" control);
+//! * **size-bound** — the minimum size the cache may assume, preventing
+//!   thrashing ("coarse-grain" control); it also fixes the number of
+//!   *resizing tag bits* the tag array must carry;
+//! * **sense-interval** — the monitoring window in dynamic instructions;
+//! * **divisibility** — the factor by which each resize changes the size;
+//! * **throttle** — a small saturating counter that detects repeated
+//!   resizing between two adjacent sizes and locks out downsizing for a
+//!   fixed number of intervals.
+
+use cache_sim::replacement::ReplacementPolicy;
+
+/// Throttling mechanism parameters (paper §2.1, §5.3: a 3-bit saturating
+/// counter triggering a 10-interval downsize lockout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThrottleConfig {
+    /// Width of the saturating reversal counter in bits.
+    pub counter_bits: u32,
+    /// Number of successive intervals downsizing stays disabled once the
+    /// counter saturates.
+    pub lockout_intervals: u32,
+    /// Master enable (the ablation benches switch this off).
+    pub enabled: bool,
+}
+
+impl Default for ThrottleConfig {
+    fn default() -> Self {
+        ThrottleConfig {
+            counter_bits: 3,
+            lockout_intervals: 10,
+            enabled: true,
+        }
+    }
+}
+
+impl ThrottleConfig {
+    /// Saturation value of the counter (`2^bits − 1`).
+    pub fn saturation(&self) -> u32 {
+        (1u32 << self.counter_bits) - 1
+    }
+}
+
+/// Full configuration of a DRI i-cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriConfig {
+    /// Maximum (base) capacity in bytes — the size a conventional i-cache
+    /// of the same design would have.
+    pub max_size_bytes: u64,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// Ways per set (resizing changes the number of *sets*, never ways).
+    pub associativity: u32,
+    /// Hit latency in cycles (the size-mask gate level is assumed folded
+    /// into the decode tree, paper §2.2).
+    pub latency: u64,
+    /// Minimum capacity in bytes (the size-bound).
+    pub size_bound_bytes: u64,
+    /// Miss count per sense interval steered toward.
+    pub miss_bound: u64,
+    /// Sense-interval length in dynamic (committed) instructions.
+    pub sense_interval: u64,
+    /// Resizing factor (paper default 2; §5.6 evaluates 4 and 8).
+    pub divisibility: u32,
+    /// Throttle parameters.
+    pub throttle: ThrottleConfig,
+    /// Replacement policy within a set.
+    pub replacement: ReplacementPolicy,
+}
+
+impl DriConfig {
+    /// The paper's base DRI i-cache: 64K direct-mapped, 32-byte blocks,
+    /// 1-cycle latency, 1K size-bound, divisibility 2. The miss-bound and
+    /// sense-interval default to 100 misses per 100K instructions — a
+    /// scaled-down version of the paper's "ten thousand misses per one
+    /// million instructions" example, matching the shorter synthetic runs
+    /// (see EXPERIMENTS.md); experiments override both per benchmark.
+    pub fn hpca01_64k_dm() -> Self {
+        DriConfig {
+            max_size_bytes: 64 * 1024,
+            block_bytes: 32,
+            associativity: 1,
+            latency: 1,
+            size_bound_bytes: 1024,
+            miss_bound: 100,
+            sense_interval: 100_000,
+            divisibility: 2,
+            throttle: ThrottleConfig::default(),
+            replacement: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Figure 6's 64K four-way variant.
+    pub fn hpca01_64k_4way() -> Self {
+        DriConfig {
+            associativity: 4,
+            ..Self::hpca01_64k_dm()
+        }
+    }
+
+    /// Figure 6's 128K direct-mapped variant (one more resizing tag bit so
+    /// the size-bound stays 1K, paper §5.5).
+    pub fn hpca01_128k_dm() -> Self {
+        DriConfig {
+            max_size_bytes: 128 * 1024,
+            ..Self::hpca01_64k_dm()
+        }
+    }
+
+    /// Checks all invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not powers of two, the size-bound exceeds the
+    /// maximum size or leaves fewer than one set, divisibility is < 2, or
+    /// the sense interval is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.max_size_bytes.is_power_of_two(),
+            "max size must be a power of two, got {}",
+            self.max_size_bytes
+        );
+        assert!(
+            self.size_bound_bytes.is_power_of_two(),
+            "size-bound must be a power of two, got {}",
+            self.size_bound_bytes
+        );
+        assert!(
+            self.size_bound_bytes <= self.max_size_bytes,
+            "size-bound {} exceeds max size {}",
+            self.size_bound_bytes,
+            self.max_size_bytes
+        );
+        assert!(
+            self.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(self.associativity > 0, "associativity must be positive");
+        let row_bytes = self.block_bytes * u64::from(self.associativity);
+        assert!(
+            self.size_bound_bytes >= row_bytes,
+            "size-bound {} smaller than one row ({} bytes)",
+            self.size_bound_bytes,
+            row_bytes
+        );
+        assert!(
+            self.divisibility >= 2 && self.divisibility.is_power_of_two(),
+            "divisibility must be a power of two >= 2, got {}",
+            self.divisibility
+        );
+        assert!(self.sense_interval > 0, "sense interval must be positive");
+        assert!(self.max_sets().is_power_of_two());
+        assert!(self.bound_sets().is_power_of_two());
+    }
+
+    /// Sets at full size.
+    pub fn max_sets(&self) -> u64 {
+        self.max_size_bytes / self.block_bytes / u64::from(self.associativity)
+    }
+
+    /// Sets at the size-bound.
+    pub fn bound_sets(&self) -> u64 {
+        self.size_bound_bytes / self.block_bytes / u64::from(self.associativity)
+    }
+
+    /// Address bits consumed by the block offset.
+    pub fn offset_bits(&self) -> u32 {
+        self.block_bytes.trailing_zeros()
+    }
+
+    /// Number of resizing tag bits: the extra tag bits (beyond a
+    /// conventional cache of the maximum size) required so tags stay
+    /// meaningful down to the size-bound. Paper §2.1: a 64K cache with a 1K
+    /// size-bound carries 16 + 6 tag bits.
+    pub fn resizing_tag_bits(&self) -> u32 {
+        (self.max_size_bytes / self.size_bound_bytes).trailing_zeros()
+    }
+
+    /// Block address for `addr`.
+    pub fn block_addr(&self, addr: u64) -> u64 {
+        addr >> self.offset_bits()
+    }
+
+    /// Set index of `addr` when `active_sets` sets are powered — the size
+    /// mask of Figure 1.
+    pub fn set_index(&self, addr: u64, active_sets: u64) -> u64 {
+        debug_assert!(active_sets.is_power_of_two());
+        self.block_addr(addr) & (active_sets - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_config_validates() {
+        let c = DriConfig::hpca01_64k_dm();
+        c.validate();
+        assert_eq!(c.max_sets(), 2048);
+        assert_eq!(c.bound_sets(), 32);
+    }
+
+    #[test]
+    fn resizing_tag_bits_matches_papers_example() {
+        // 64K with 1K size-bound -> 6 resizing bits (tags go 16 -> 22).
+        let c = DriConfig::hpca01_64k_dm();
+        assert_eq!(c.resizing_tag_bits(), 6);
+        // 128K with the same 1K bound -> one more bit (paper §5.5).
+        let big = DriConfig::hpca01_128k_dm();
+        assert_eq!(big.resizing_tag_bits(), 7);
+    }
+
+    #[test]
+    fn four_way_variant_has_fewer_sets() {
+        let c = DriConfig::hpca01_64k_4way();
+        c.validate();
+        assert_eq!(c.max_sets(), 512);
+        assert_eq!(c.bound_sets(), 8);
+        assert_eq!(c.resizing_tag_bits(), 6);
+    }
+
+    #[test]
+    fn set_index_masks_by_active_size() {
+        let c = DriConfig::hpca01_64k_dm();
+        let addr = 0x12345 << c.offset_bits();
+        assert_eq!(c.set_index(addr, 2048), 0x12345 & 0x7ff);
+        assert_eq!(c.set_index(addr, 32), 0x12345 & 0x1f);
+    }
+
+    #[test]
+    fn throttle_saturation() {
+        assert_eq!(ThrottleConfig::default().saturation(), 7);
+        let wide = ThrottleConfig {
+            counter_bits: 4,
+            ..Default::default()
+        };
+        assert_eq!(wide.saturation(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "size-bound")]
+    fn rejects_bound_above_max() {
+        let c = DriConfig {
+            size_bound_bytes: 128 * 1024,
+            ..DriConfig::hpca01_64k_dm()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "divisibility")]
+    fn rejects_divisibility_one() {
+        let c = DriConfig {
+            divisibility: 1,
+            ..DriConfig::hpca01_64k_dm()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,458 @@
+//! A dynamically resizable *data* cache: the extension the paper scoped
+//! out ("because of complications involving dirty cache blocks, studying
+//! d-cache designs is beyond the scope of this paper", §2).
+//!
+//! Two complications distinguish the d-cache from the i-cache, and this
+//! module implements both:
+//!
+//! 1. **Downsizing gates dirty lines.** Before a set is powered off, its
+//!    dirty lines must be written back; [`ResizableDCache::resize_writebacks`]
+//!    counts them so the harness can charge L2 energy/latency.
+//! 2. **Upsizing cannot tolerate aliases.** For a read-only i-cache,
+//!    multiple stale copies are harmless; for a write-back d-cache a write
+//!    to one alias would orphan the others. On every fill, this design
+//!    probes the block's position under each intermediate size (at most
+//!    `log2(max/bound)` extra probes, sequential in hardware and off the
+//!    hit path) and invalidates any alias found — writing it back first if
+//!    dirty, since the alias may hold the freshest data.
+//!
+//! The adaptive feedback loop (miss counter, sense interval, miss-bound,
+//! size-bound, divisibility, throttle) is identical to the i-cache's.
+
+use crate::config::DriConfig;
+use cache_sim::cache::AccessKind;
+use cache_sim::stats::CacheStats;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    block_addr: u64,
+    last_used: u64,
+    filled_at: u64,
+}
+
+/// Outcome of one d-cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DAccess {
+    /// Whether the block was present (and not just as a stale alias).
+    pub hit: bool,
+    /// Dirty lines written back by this access (evictions plus dirty
+    /// aliases removed on fill).
+    pub writebacks: u64,
+}
+
+/// The resizable write-back data cache.
+#[derive(Debug, Clone)]
+pub struct ResizableDCache {
+    cfg: DriConfig,
+    lines: Vec<Line>,
+    active_sets: u64,
+    stats: CacheStats,
+    clock: u64,
+    rng: SmallRng,
+    interval_misses: u64,
+    insts_into_interval: u64,
+    intervals_elapsed: u64,
+    resizes: u64,
+    resize_writebacks: u64,
+    lockout_remaining: u32,
+    throttle_counter: u32,
+    last_resize_pair: Option<(u64, u64)>,
+    last_mark_cycle: u64,
+    weighted_set_cycles: f64,
+    finished_at: Option<u64>,
+}
+
+impl ResizableDCache {
+    /// Builds the cache at full size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`DriConfig::validate`]).
+    pub fn new(cfg: DriConfig) -> Self {
+        cfg.validate();
+        let total = (cfg.max_sets() * u64::from(cfg.associativity)) as usize;
+        ResizableDCache {
+            cfg,
+            lines: vec![Line::default(); total],
+            active_sets: cfg.max_sets(),
+            stats: CacheStats::default(),
+            clock: 0,
+            rng: SmallRng::seed_from_u64(0xDCAC_4E51),
+            interval_misses: 0,
+            insts_into_interval: 0,
+            intervals_elapsed: 0,
+            resizes: 0,
+            resize_writebacks: 0,
+            lockout_remaining: 0,
+            throttle_counter: 0,
+            last_resize_pair: None,
+            last_mark_cycle: 0,
+            weighted_set_cycles: 0.0,
+            finished_at: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DriConfig {
+        &self.cfg
+    }
+
+    /// Currently powered sets.
+    pub fn active_sets(&self) -> u64 {
+        self.active_sets
+    }
+
+    /// Currently powered capacity in bytes.
+    pub fn active_size_bytes(&self) -> u64 {
+        self.active_sets * self.cfg.block_bytes * u64::from(self.cfg.associativity)
+    }
+
+    /// Common cache statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resizes performed.
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    /// Dirty lines written back *because of downsizing* (as opposed to
+    /// ordinary evictions) — the cost unique to resizable d-caches.
+    pub fn resize_writebacks(&self) -> u64 {
+        self.resize_writebacks
+    }
+
+    /// Average powered fraction over cycles.
+    pub fn avg_active_fraction(&self) -> f64 {
+        let end = self.finished_at.unwrap_or(self.last_mark_cycle);
+        if end == 0 {
+            return 1.0;
+        }
+        (self.weighted_set_cycles / end as f64) / self.cfg.max_sets() as f64
+    }
+
+    fn row(&self, set: u64) -> std::ops::Range<usize> {
+        let ways = self.cfg.associativity as usize;
+        let start = set as usize * ways;
+        start..start + ways
+    }
+
+    /// Looks up the block under the *current* mask without side effects.
+    pub fn probe(&self, addr: u64) -> bool {
+        let block = self.cfg.block_addr(addr);
+        let set = self.cfg.set_index(addr, self.active_sets);
+        self.lines[self.row(set)]
+            .iter()
+            .any(|l| l.valid && l.block_addr == block)
+    }
+
+    /// Removes aliases of `block` at every size's position except the
+    /// current one; returns how many dirty aliases had to be written back.
+    fn scrub_aliases(&mut self, block: u64) -> u64 {
+        let current_set = block & (self.active_sets - 1);
+        let mut writebacks = 0;
+        let mut sets_checked = self.cfg.bound_sets();
+        while sets_checked <= self.cfg.max_sets() {
+            let set = block & (sets_checked - 1);
+            if set != current_set {
+                let row = self.row(set);
+                for line in &mut self.lines[row] {
+                    if line.valid && line.block_addr == block {
+                        if line.dirty {
+                            writebacks += 1;
+                            self.stats.writebacks += 1;
+                        }
+                        line.valid = false;
+                        self.stats.invalidations += 1;
+                    }
+                }
+            }
+            sets_checked *= 2;
+        }
+        writebacks
+    }
+
+    /// Performs a load (`AccessKind::Read`) or store (`AccessKind::Write`).
+    pub fn access(&mut self, addr: u64, kind: AccessKind, _cycle: u64) -> DAccess {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        let block = self.cfg.block_addr(addr);
+        let set = self.cfg.set_index(addr, self.active_sets);
+        let row = self.row(set);
+
+        if let Some(line) = self.lines[row.clone()]
+            .iter_mut()
+            .find(|l| l.valid && l.block_addr == block)
+        {
+            line.last_used = self.clock;
+            if kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            self.stats.hits += 1;
+            return DAccess {
+                hit: true,
+                writebacks: 0,
+            };
+        }
+
+        self.stats.misses += 1;
+        self.interval_misses += 1;
+        // A stale alias elsewhere may hold the freshest copy: scrub before
+        // refetching (the fill conceptually reads the written-back data).
+        let mut writebacks = self.scrub_aliases(block);
+
+        let clock = self.clock;
+        let dirty = kind == AccessKind::Write;
+        let lines = &mut self.lines[row];
+        if let Some(line) = lines.iter_mut().find(|l| !l.valid) {
+            *line = Line {
+                valid: true,
+                dirty,
+                block_addr: block,
+                last_used: clock,
+                filled_at: clock,
+            };
+            return DAccess {
+                hit: false,
+                writebacks,
+            };
+        }
+        let last_used: Vec<u64> = lines.iter().map(|l| l.last_used).collect();
+        let filled_at: Vec<u64> = lines.iter().map(|l| l.filled_at).collect();
+        let victim = self
+            .cfg
+            .replacement
+            .pick_victim(&last_used, &filled_at, &mut self.rng);
+        if lines[victim].dirty {
+            writebacks += 1;
+            self.stats.writebacks += 1;
+        }
+        self.stats.evictions += 1;
+        lines[victim] = Line {
+            valid: true,
+            dirty,
+            block_addr: block,
+            last_used: clock,
+            filled_at: clock,
+        };
+        DAccess {
+            hit: false,
+            writebacks,
+        }
+    }
+
+    fn advance_integration(&mut self, cycle: u64) {
+        let cycle = cycle.max(self.last_mark_cycle);
+        let span = (cycle - self.last_mark_cycle) as f64;
+        self.weighted_set_cycles += span * self.active_sets as f64;
+        self.last_mark_cycle = cycle;
+    }
+
+    fn apply_size(&mut self, new_sets: u64, cycle: u64) {
+        if new_sets == self.active_sets {
+            return;
+        }
+        self.advance_integration(cycle);
+        if new_sets < self.active_sets {
+            // Write back dirty lines in the sets being gated, then drop
+            // everything in them.
+            let ways = self.cfg.associativity as usize;
+            let start = new_sets as usize * ways;
+            let end = self.active_sets as usize * ways;
+            for line in &mut self.lines[start..end] {
+                if line.valid {
+                    if line.dirty {
+                        self.resize_writebacks += 1;
+                        self.stats.writebacks += 1;
+                    }
+                    line.valid = false;
+                    self.stats.invalidations += 1;
+                }
+            }
+        }
+        self.active_sets = new_sets;
+        self.resizes += 1;
+    }
+
+    fn end_interval(&mut self, cycle: u64) {
+        self.intervals_elapsed += 1;
+        if self.lockout_remaining > 0 {
+            self.lockout_remaining -= 1;
+        }
+        let misses = self.interval_misses;
+        self.interval_misses = 0;
+        let from = self.active_sets;
+        if misses > self.cfg.miss_bound {
+            let to = (from * u64::from(self.cfg.divisibility)).min(self.cfg.max_sets());
+            if to != from {
+                self.apply_size(to, cycle);
+                self.note_throttle(from, to);
+            }
+        } else if misses < self.cfg.miss_bound && self.lockout_remaining == 0 {
+            let to = (from / u64::from(self.cfg.divisibility)).max(self.cfg.bound_sets());
+            if to != from {
+                self.apply_size(to, cycle);
+                self.note_throttle(from, to);
+            }
+        }
+    }
+
+    fn note_throttle(&mut self, from: u64, to: u64) {
+        if !self.cfg.throttle.enabled {
+            return;
+        }
+        if self.last_resize_pair == Some((to, from)) {
+            self.throttle_counter = (self.throttle_counter + 1).min(self.cfg.throttle.saturation());
+            if self.throttle_counter == self.cfg.throttle.saturation() {
+                self.lockout_remaining = self.cfg.throttle.lockout_intervals;
+                self.throttle_counter = 0;
+            }
+        } else {
+            self.throttle_counter = 0;
+        }
+        self.last_resize_pair = Some((from, to));
+    }
+
+    /// Instruction-count feed for the sense-interval machinery.
+    pub fn retire_instructions(&mut self, n: u64, cycle: u64) {
+        self.insts_into_interval += n;
+        while self.insts_into_interval >= self.cfg.sense_interval {
+            self.insts_into_interval -= self.cfg.sense_interval;
+            self.end_interval(cycle);
+        }
+    }
+
+    /// Closes the active-fraction integration.
+    pub fn finish(&mut self, cycle: u64) {
+        self.advance_integration(cycle);
+        self.finished_at = Some(cycle.max(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThrottleConfig;
+    use cache_sim::replacement::ReplacementPolicy;
+
+    fn cfg() -> DriConfig {
+        DriConfig {
+            max_size_bytes: 4096,
+            block_bytes: 32,
+            associativity: 1,
+            latency: 1,
+            size_bound_bytes: 512,
+            miss_bound: 10,
+            sense_interval: 1000,
+            divisibility: 2,
+            throttle: ThrottleConfig::default(),
+            replacement: ReplacementPolicy::Lru,
+        }
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut c = ResizableDCache::new(cfg());
+        let a = c.access(0x100, AccessKind::Write, 0);
+        assert!(!a.hit);
+        assert!(c.access(0x100, AccessKind::Read, 1).hit);
+    }
+
+    #[test]
+    fn downsizing_writes_back_dirty_lines_only() {
+        let mut c = ResizableDCache::new(cfg());
+        // Set 100 (gated by the first downsize): one dirty, one clean in
+        // nearby gated sets.
+        let dirty_addr = 100 * 32;
+        let clean_addr = 101 * 32;
+        let _ = c.access(dirty_addr, AccessKind::Write, 0);
+        let _ = c.access(clean_addr, AccessKind::Read, 0);
+        assert_eq!(c.resize_writebacks(), 0);
+        c.retire_instructions(1000, 1000); // quiet interval: 128 -> 64 sets
+        assert_eq!(c.active_sets(), 64);
+        assert_eq!(c.resize_writebacks(), 1, "only the dirty line writes back");
+        assert!(!c.probe(dirty_addr));
+        assert!(!c.probe(clean_addr));
+    }
+
+    #[test]
+    fn surviving_dirty_lines_keep_their_data() {
+        let mut c = ResizableDCache::new(cfg());
+        let low = 3 * 32; // set 3 survives any downsize above the bound
+        let _ = c.access(low, AccessKind::Write, 0);
+        c.retire_instructions(1000, 1000);
+        assert!(c.probe(low));
+        assert!(c.access(low, AccessKind::Read, 2000).hit);
+        assert_eq!(c.resize_writebacks(), 0);
+    }
+
+    #[test]
+    fn upsizing_never_leaves_a_dirty_alias_behind() {
+        let mut c = ResizableDCache::new(cfg());
+        // Shrink to 64 sets, dirty a block whose 128-set index differs.
+        c.retire_instructions(1000, 1000);
+        assert_eq!(c.active_sets(), 64);
+        let block = 100u64; // at 64 sets -> set 36; at 128 sets -> set 100
+        let addr = block * 32;
+        let _ = c.access(addr, AccessKind::Write, 1500);
+        // Grow back to 128 sets.
+        for i in 0..20u64 {
+            let _ = c.access(i * 32 * 1024 + 7 * 32, AccessKind::Read, 1500);
+        }
+        c.retire_instructions(1000, 2000);
+        assert_eq!(c.active_sets(), 128);
+        // Access under the new mask: the stale dirty alias at set 36 must
+        // be scrubbed (written back) as part of the refill.
+        let out = c.access(addr, AccessKind::Read, 2500);
+        assert!(!out.hit);
+        assert_eq!(out.writebacks, 1, "dirty alias written back");
+        // The block is now resident exactly once (at the current mask);
+        // re-scrubbing finds nothing more to write back.
+        assert!(c.probe(addr));
+        let again = c.access(addr, AccessKind::Read, 2600);
+        assert!(again.hit);
+        assert_eq!(again.writebacks, 0);
+    }
+
+    #[test]
+    fn eviction_of_dirty_victim_counts_a_writeback() {
+        let mut c = ResizableDCache::new(cfg());
+        let _ = c.access(0, AccessKind::Write, 0);
+        let out = c.access(4096, AccessKind::Read, 1); // conflicts in 128-set DM
+        assert!(!out.hit);
+        assert_eq!(out.writebacks, 1);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn adaptive_loop_matches_icache_behaviour() {
+        let mut c = ResizableDCache::new(cfg());
+        let mut cycle = 0;
+        for expected in [64, 32, 16, 16] {
+            cycle += 1000;
+            c.retire_instructions(1000, cycle);
+            assert_eq!(c.active_sets(), expected);
+        }
+        c.finish(cycle);
+        assert!(c.avg_active_fraction() < 1.0);
+        assert!(c.resizes() >= 3);
+    }
+
+    #[test]
+    fn writes_to_hit_lines_do_not_writeback() {
+        let mut c = ResizableDCache::new(cfg());
+        let _ = c.access(0x40, AccessKind::Write, 0);
+        let _ = c.access(0x40, AccessKind::Write, 1);
+        let _ = c.access(0x40, AccessKind::Write, 2);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+}

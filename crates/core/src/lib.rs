@@ -1,0 +1,60 @@
+//! # dri-core — the Dynamically ResIzable instruction cache
+//!
+//! The primary contribution of *"An Integrated Circuit/Architecture Approach
+//! to Reducing Leakage in Deep-Submicron High-Performance I-Caches"*
+//! (HPCA 2001): an L1 i-cache that monitors its own miss count over *sense
+//! intervals* and resizes itself between a *size-bound* and its full size,
+//! gating the supply voltage of the disabled sets so their leakage
+//! collapses (see the `sram-circuit` crate for the gated-Vdd circuit side).
+//!
+//! * [`config::DriConfig`] — the resizing parameters (miss-bound,
+//!   size-bound, sense interval, divisibility, throttle) with the paper's
+//!   presets;
+//! * [`cache::DriICache`] — the cache itself, implementing
+//!   [`cache_sim::icache::InstCache`] so it can drop into the `ooo-cpu`
+//!   fetch path wherever a conventional i-cache fits.
+//!
+//! Three extensions let the repository *measure* design arguments the
+//! paper makes in prose:
+//!
+//! * [`way_resize::WayResizableICache`] — the Albonesi-style selective-ways
+//!   alternative §2 argues against (coarse granularity, DM-incompatible);
+//! * [`decay::DecayICache`] — per-line cache decay, the successor policy
+//!   this line of work led to, for head-to-head comparison;
+//! * [`dcache::ResizableDCache`] — the write-back d-cache variant the
+//!   paper scoped out, with dirty-line writeback on downsizing and strict
+//!   alias scrubbing on refill.
+//!
+//! ## Example
+//!
+//! ```
+//! use cache_sim::icache::InstCache;
+//! use dri_core::{DriConfig, DriICache};
+//!
+//! let mut cache = DriICache::new(DriConfig::hpca01_64k_dm());
+//! assert_eq!(cache.active_size_bytes(), 64 * 1024);
+//!
+//! // A tight loop touching almost nothing...
+//! for pc in (0..4096u64).step_by(4).cycle().take(200_000) {
+//!     let cycle = pc; // one access per cycle is fine for the example
+//!     let _hit = cache.access(pc, cycle);
+//! }
+//! // ...lets the cache downsize at each sense-interval boundary.
+//! cache.retire_instructions(200_000, 200_000);
+//! cache.finish(200_000);
+//! assert!(cache.active_size_bytes() < 64 * 1024);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod dcache;
+pub mod decay;
+pub mod way_resize;
+
+pub use cache::{DriICache, ResizeDirection, ResizeEvent};
+pub use config::{DriConfig, ThrottleConfig};
+pub use dcache::{DAccess, ResizableDCache};
+pub use decay::{DecayConfig, DecayICache, DecayStats};
+pub use way_resize::{WayConfig, WayResizableICache};

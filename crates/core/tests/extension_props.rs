@@ -1,0 +1,161 @@
+//! Property tests for the extension caches (decay, way-resizing, and the
+//! resizable d-cache): accounting identities and policy invariants under
+//! arbitrary access streams.
+
+use cache_sim::cache::AccessKind;
+use cache_sim::icache::InstCache;
+use cache_sim::replacement::ReplacementPolicy;
+use dri_core::{
+    DecayConfig, DecayICache, DriConfig, ResizableDCache, ThrottleConfig, WayConfig,
+    WayResizableICache,
+};
+use proptest::prelude::*;
+
+fn dcfg() -> DriConfig {
+    DriConfig {
+        max_size_bytes: 8192,
+        block_bytes: 32,
+        associativity: 1,
+        latency: 1,
+        size_bound_bytes: 1024,
+        miss_bound: 8,
+        sense_interval: 500,
+        divisibility: 2,
+        throttle: ThrottleConfig::default(),
+        replacement: ReplacementPolicy::Lru,
+    }
+}
+
+proptest! {
+    #[test]
+    fn decay_cache_counters_are_consistent(
+        stream in prop::collection::vec((0u64..1 << 14, 1u64..2000), 10..200),
+    ) {
+        let mut c = DecayICache::new(DecayConfig {
+            size_bytes: 4096,
+            block_bytes: 32,
+            associativity: 2,
+            latency: 1,
+            decay_interval_cycles: 2000,
+            replacement: ReplacementPolicy::Lru,
+        });
+        let mut cycle = 0u64;
+        for &(a, dt) in &stream {
+            cycle += dt;
+            let _ = c.access(a * 32, cycle);
+        }
+        c.finish(cycle);
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(c.decay_stats().decay_induced_misses <= s.misses);
+        let f = c.avg_active_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {}", f);
+    }
+
+    #[test]
+    fn decay_interval_infinity_behaves_like_a_plain_cache(
+        stream in prop::collection::vec(0u64..1 << 12, 10..200),
+    ) {
+        // With an enormous decay interval nothing ever decays: behaviour
+        // must match a conventional cache of the same geometry.
+        let geometry = cache_sim::config::CacheConfig::new(
+            4096, 32, 2, 1, ReplacementPolicy::Lru,
+        );
+        let mut plain = cache_sim::cache::Cache::new(geometry);
+        let mut decay = DecayICache::new(DecayConfig {
+            size_bytes: 4096,
+            block_bytes: 32,
+            associativity: 2,
+            latency: 1,
+            decay_interval_cycles: u64::MAX / 2,
+            replacement: ReplacementPolicy::Lru,
+        });
+        for (i, &a) in stream.iter().enumerate() {
+            let h1 = plain.access(a * 32, AccessKind::Read).hit;
+            let h2 = decay.access(a * 32, i as u64);
+            prop_assert_eq!(h1, h2, "divergence at access {}", i);
+        }
+        prop_assert_eq!(decay.decay_stats().decay_induced_misses, 0);
+    }
+
+    #[test]
+    fn way_cache_active_ways_stay_in_range(
+        ops in prop::collection::vec((0u64..1 << 16, any::<bool>()), 10..150),
+    ) {
+        let mut c = WayResizableICache::new(WayConfig {
+            size_bytes: 8192,
+            block_bytes: 32,
+            associativity: 4,
+            latency: 1,
+            min_ways: 1,
+            miss_bound: 6,
+            sense_interval: 300,
+            throttle: ThrottleConfig::default(),
+            replacement: ReplacementPolicy::Lru,
+        });
+        let mut cycle = 0u64;
+        for &(a, quiet) in &ops {
+            let _ = c.access(a * 32, cycle);
+            let step = if quiet { 300 } else { 5 };
+            cycle += step;
+            c.retire_instructions(step, cycle);
+            prop_assert!((1..=4).contains(&c.active_ways()));
+        }
+        c.finish(cycle.max(1));
+        let f = c.avg_active_fraction();
+        prop_assert!((0.25 - 1e-9..=1.0).contains(&f), "fraction {}", f);
+    }
+
+    #[test]
+    fn dcache_writeback_accounting_is_complete(
+        ops in prop::collection::vec(
+            (0u64..1 << 12, any::<bool>(), any::<bool>()),
+            10..200,
+        ),
+    ) {
+        // Every write-back recorded per access or per resize must appear
+        // in the aggregate stats counter, and vice versa.
+        let mut c = ResizableDCache::new(dcfg());
+        let mut cycle = 0u64;
+        let mut access_wbs = 0u64;
+        for &(a, is_write, quiet) in &ops {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let out = c.access(a * 32, kind, cycle);
+            access_wbs += out.writebacks;
+            let step = if quiet { 500 } else { 3 };
+            cycle += step;
+            c.retire_instructions(step, cycle);
+        }
+        prop_assert_eq!(
+            c.stats().writebacks,
+            access_wbs + c.resize_writebacks(),
+            "aggregate writebacks must equal per-access plus resize-driven"
+        );
+    }
+
+    #[test]
+    fn dcache_never_hits_two_aliases(
+        quiet_then_touch in prop::collection::vec((0u64..256, 0u64..3), 5..60),
+    ) {
+        // After any resize history, an address hits at most once per
+        // access and a scrub leaves exactly one resident copy.
+        let mut c = ResizableDCache::new(dcfg());
+        let mut cycle = 0u64;
+        for &(block, quiet) in &quiet_then_touch {
+            let addr = block * 32;
+            let _ = c.access(addr, AccessKind::Write, cycle);
+            for _ in 0..quiet {
+                cycle += 500;
+                c.retire_instructions(500, cycle);
+            }
+            // The block must be findable under the current mask — unless a
+            // resize gated it away, in which case one re-access restores it.
+            let mut present = c.probe(addr);
+            if !present {
+                let _ = c.access(addr, AccessKind::Read, cycle);
+                present = c.probe(addr);
+            }
+            prop_assert!(present);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for DRI resizing semantics: the index-mapping theorem
+//! behind flush-free downsizing, accounting consistency, and monotone
+//! behaviour of the adaptive loop.
+
+use cache_sim::icache::InstCache;
+use cache_sim::replacement::ReplacementPolicy;
+use dri_core::{DriConfig, DriICache, ThrottleConfig};
+use proptest::prelude::*;
+
+fn cfg(max_kb: u64, bound_kb: u64, assoc: u32) -> DriConfig {
+    DriConfig {
+        max_size_bytes: max_kb * 1024,
+        block_bytes: 32,
+        associativity: assoc,
+        latency: 1,
+        size_bound_bytes: bound_kb * 1024,
+        miss_bound: 8,
+        sense_interval: 512,
+        divisibility: 2,
+        throttle: ThrottleConfig::default(),
+        replacement: ReplacementPolicy::Lru,
+    }
+}
+
+proptest! {
+    #[test]
+    fn downsize_mapping_theorem(
+        block in 0u64..1 << 20,
+        s1_pow in 3u32..11,
+        s2_pow in 1u32..10,
+    ) {
+        // The §2.2 invariant in arithmetic form: if a block's set index at
+        // s1 sets is below s2 (s2 | s1), its index at s2 is identical.
+        prop_assume!(s2_pow < s1_pow);
+        let s1 = 1u64 << s1_pow;
+        let s2 = 1u64 << s2_pow;
+        let idx1 = block & (s1 - 1);
+        if idx1 < s2 {
+            prop_assert_eq!(block & (s2 - 1), idx1);
+        }
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses_through_arbitrary_resizing(
+        ops in prop::collection::vec((0u64..1 << 16, any::<bool>()), 10..300),
+    ) {
+        let mut dri = DriICache::new(cfg(16, 1, 1));
+        let mut cycle = 0u64;
+        for &(addr, quiet) in &ops {
+            let _ = dri.access(addr * 32, cycle);
+            cycle += if quiet { 512 } else { 3 };
+            dri.retire_instructions(if quiet { 512 } else { 3 }, cycle);
+        }
+        let s = dri.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.accesses, ops.len() as u64);
+    }
+
+    #[test]
+    fn probe_agrees_with_access_hit(
+        addrs in prop::collection::vec(0u64..1 << 14, 2..150),
+    ) {
+        let mut dri = DriICache::new(cfg(8, 1, 2));
+        let mut cycle = 0u64;
+        for &a in &addrs {
+            let addr = a * 32;
+            let present = dri.probe(addr);
+            let hit = dri.access(addr, cycle);
+            prop_assert_eq!(present, hit, "probe/access disagree at {:#x}", addr);
+            cycle += 1;
+        }
+    }
+
+    #[test]
+    fn average_size_never_exceeds_max_or_undershoots_bound(
+        quiet_intervals in 1u64..30,
+    ) {
+        let c = cfg(16, 2, 1);
+        let mut dri = DriICache::new(c);
+        let mut cycle = 0u64;
+        for _ in 0..quiet_intervals {
+            cycle += 512;
+            dri.retire_instructions(512, cycle);
+        }
+        dri.finish(cycle.max(1));
+        let avg = dri.avg_size_bytes();
+        prop_assert!(avg <= c.max_size_bytes as f64 + 1e-9);
+        // The time-average can exceed the bound (starts at max) but never
+        // undershoots it.
+        prop_assert!(avg >= c.size_bound_bytes as f64 - 1e-9);
+        prop_assert!(dri.active_size_bytes() >= c.size_bound_bytes);
+    }
+
+    #[test]
+    fn resizing_tag_bits_match_geometry(
+        max_pow in 1u64..8,
+        bound_pow in 0u64..8,
+    ) {
+        prop_assume!(bound_pow <= max_pow);
+        let c = cfg(1 << max_pow, 1 << bound_pow, 1);
+        prop_assert_eq!(
+            c.resizing_tag_bits(),
+            (max_pow - bound_pow) as u32
+        );
+    }
+
+    #[test]
+    fn divisibility_steps_are_exact_powers(
+        div_pow in 1u32..3,
+        quiet in 1u64..6,
+    ) {
+        let mut c = cfg(16, 1, 1);
+        c.divisibility = 1 << div_pow;
+        let mut dri = DriICache::new(c);
+        let start = dri.active_sets();
+        let mut cycle = 0;
+        for _ in 0..quiet {
+            cycle += 512;
+            dri.retire_instructions(512, cycle);
+        }
+        let shrink = start / dri.active_sets();
+        prop_assert!(shrink.is_power_of_two());
+        // Each quiet interval divides by exactly the divisibility until
+        // the bound.
+        let expected = (u64::from(c.divisibility)).pow(quiet as u32);
+        let floor = start / c.bound_sets();
+        prop_assert_eq!(shrink, expected.min(floor));
+    }
+}

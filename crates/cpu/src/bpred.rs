@@ -1,0 +1,365 @@
+//! The two-level hybrid branch predictor of Table 1.
+//!
+//! A McFarling-style combination: a bimodal table and a gshare table, with
+//! a meta chooser selecting between them per branch; a branch target buffer
+//! for fetch redirection and a return-address stack for `Ret`. Conditional
+//! direction, target, and return prediction are modelled; the timing core
+//! charges a full redirect on mispredictions and a one-cycle bubble on
+//! taken branches that miss the BTB.
+
+/// Saturating 2-bit counter helpers.
+fn bump(counter: &mut u8, taken: bool) {
+    if taken {
+        *counter = (*counter + 1).min(3);
+    } else {
+        *counter = counter.saturating_sub(1);
+    }
+}
+
+fn predicts_taken(counter: u8) -> bool {
+    counter >= 2
+}
+
+/// Configuration of the hybrid predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PredictorConfig {
+    /// Entries in the bimodal table (power of two).
+    pub bimodal_entries: usize,
+    /// Entries in the gshare table (power of two).
+    pub gshare_entries: usize,
+    /// Entries in the meta chooser (power of two).
+    pub meta_entries: usize,
+    /// Global-history bits used by gshare.
+    pub history_bits: u32,
+    /// BTB sets (power of two; 4-way).
+    pub btb_sets: usize,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            bimodal_entries: 4096,
+            gshare_entries: 4096,
+            meta_entries: 4096,
+            history_bits: 12,
+            btb_sets: 128,
+            ras_depth: 8,
+        }
+    }
+}
+
+/// Prediction statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredictorStats {
+    /// Conditional branches predicted.
+    pub conditional: u64,
+    /// Conditional direction mispredictions.
+    pub direction_mispredicts: u64,
+    /// Taken control transfers that missed the BTB (fetch bubble).
+    pub btb_misses: u64,
+    /// Returns predicted.
+    pub returns: u64,
+    /// Return-target mispredictions.
+    pub return_mispredicts: u64,
+}
+
+impl PredictorStats {
+    /// Direction accuracy over conditional branches.
+    pub fn accuracy(&self) -> f64 {
+        if self.conditional == 0 {
+            1.0
+        } else {
+            1.0 - self.direction_mispredicts as f64 / self.conditional as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+    lru: u64,
+}
+
+/// The predictor state.
+#[derive(Debug, Clone)]
+pub struct HybridPredictor {
+    cfg: PredictorConfig,
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    meta: Vec<u8>,
+    history: u64,
+    btb: Vec<[BtbEntry; 4]>,
+    btb_clock: u64,
+    ras: Vec<u64>,
+    stats: PredictorStats,
+}
+
+/// Outcome of predicting one conditional branch (already updated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CondOutcome {
+    /// Whether the predictor got the direction right.
+    pub correct: bool,
+    /// Whether the (actually taken) branch hit the BTB.
+    pub btb_hit: bool,
+}
+
+impl HybridPredictor {
+    /// Builds a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is not a power of two.
+    pub fn new(cfg: PredictorConfig) -> Self {
+        for (n, v) in [
+            ("bimodal", cfg.bimodal_entries),
+            ("gshare", cfg.gshare_entries),
+            ("meta", cfg.meta_entries),
+            ("btb", cfg.btb_sets),
+        ] {
+            assert!(v.is_power_of_two(), "{n} size must be a power of two");
+        }
+        HybridPredictor {
+            cfg,
+            bimodal: vec![1; cfg.bimodal_entries], // weakly not-taken
+            gshare: vec![1; cfg.gshare_entries],
+            meta: vec![2; cfg.meta_entries], // weakly prefer gshare
+            history: 0,
+            btb: vec![[BtbEntry::default(); 4]; cfg.btb_sets],
+            btb_clock: 0,
+            ras: Vec::new(),
+            stats: PredictorStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+
+    fn btb_lookup(&mut self, pc: u64) -> Option<u64> {
+        let set = (pc >> 2) as usize & (self.cfg.btb_sets - 1);
+        let tag = pc >> 2;
+        self.btb_clock += 1;
+        for way in &mut self.btb[set] {
+            if way.valid && way.tag == tag {
+                way.lru = self.btb_clock;
+                return Some(way.target);
+            }
+        }
+        None
+    }
+
+    fn btb_insert(&mut self, pc: u64, target: u64) {
+        let set = (pc >> 2) as usize & (self.cfg.btb_sets - 1);
+        let tag = pc >> 2;
+        self.btb_clock += 1;
+        let ways = &mut self.btb[set];
+        // Update in place if present, else take invalid, else LRU.
+        let mut victim = 0;
+        for (i, way) in ways.iter().enumerate() {
+            if way.valid && way.tag == tag {
+                victim = i;
+                break;
+            }
+            if !way.valid {
+                victim = i;
+            } else if ways[victim].valid && way.lru < ways[victim].lru {
+                victim = i;
+            }
+        }
+        ways[victim] = BtbEntry {
+            valid: true,
+            tag,
+            target,
+            lru: self.btb_clock,
+        };
+    }
+
+    /// Predicts and trains on a conditional branch at `pc` with actual
+    /// outcome `taken` (target `target` if taken).
+    pub fn conditional(&mut self, pc: u64, taken: bool, target: u64) -> CondOutcome {
+        self.stats.conditional += 1;
+        let bi = (pc >> 2) as usize & (self.cfg.bimodal_entries - 1);
+        let hist_mask = (1u64 << self.cfg.history_bits) - 1;
+        let gi = (((pc >> 2) ^ (self.history & hist_mask)) as usize)
+            & (self.cfg.gshare_entries - 1);
+        let mi = (pc >> 2) as usize & (self.cfg.meta_entries - 1);
+
+        let bi_pred = predicts_taken(self.bimodal[bi]);
+        let gs_pred = predicts_taken(self.gshare[gi]);
+        let use_gshare = predicts_taken(self.meta[mi]);
+        let pred = if use_gshare { gs_pred } else { bi_pred };
+
+        // Train: component tables always, chooser only on disagreement.
+        bump(&mut self.bimodal[bi], taken);
+        bump(&mut self.gshare[gi], taken);
+        if bi_pred != gs_pred {
+            bump(&mut self.meta[mi], gs_pred == taken);
+        }
+        self.history = (self.history << 1) | u64::from(taken);
+
+        let correct = pred == taken;
+        if !correct {
+            self.stats.direction_mispredicts += 1;
+        }
+        let btb_hit = if taken {
+            let hit = self.btb_lookup(pc) == Some(target);
+            if !hit {
+                self.stats.btb_misses += 1;
+                self.btb_insert(pc, target);
+            }
+            hit
+        } else {
+            true
+        };
+        CondOutcome { correct, btb_hit }
+    }
+
+    /// Handles an unconditional direct transfer (jump) at `pc`; returns
+    /// whether fetch could redirect without a bubble (BTB hit).
+    pub fn unconditional(&mut self, pc: u64, target: u64) -> bool {
+        let hit = self.btb_lookup(pc) == Some(target);
+        if !hit {
+            self.stats.btb_misses += 1;
+            self.btb_insert(pc, target);
+        }
+        hit
+    }
+
+    /// Handles a call at `pc` (pushes the return address); returns whether
+    /// the target redirect was bubble-free.
+    pub fn call(&mut self, pc: u64, target: u64) -> bool {
+        if self.ras.len() == self.cfg.ras_depth {
+            self.ras.remove(0);
+        }
+        self.ras.push(pc + 4);
+        self.unconditional(pc, target)
+    }
+
+    /// Handles a return with actual target `target`; returns whether the
+    /// RAS predicted it.
+    pub fn ret(&mut self, target: u64) -> bool {
+        self.stats.returns += 1;
+        let predicted = self.ras.pop();
+        let hit = predicted == Some(target);
+        if !hit {
+            self.stats.return_mispredicts += 1;
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> HybridPredictor {
+        HybridPredictor::new(PredictorConfig::default())
+    }
+
+    #[test]
+    fn learns_always_taken_branch() {
+        let mut bp = p();
+        let mut wrong = 0;
+        for _ in 0..100 {
+            if !bp.conditional(0x1000, true, 0x2000).correct {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 3, "{wrong} mispredicts on an always-taken branch");
+    }
+
+    #[test]
+    fn learns_short_pattern_via_gshare() {
+        // Pattern T T N repeated: bimodal alone cannot capture it, gshare
+        // with global history can.
+        let mut bp = p();
+        let pattern = [true, true, false];
+        let mut wrong_late = 0;
+        for i in 0..300 {
+            let taken = pattern[i % 3];
+            let out = bp.conditional(0x4000, taken, 0x5000);
+            if i >= 100 && !out.correct {
+                wrong_late += 1;
+            }
+        }
+        assert!(
+            wrong_late <= 10,
+            "{wrong_late} late mispredicts on a learnable pattern"
+        );
+    }
+
+    #[test]
+    fn random_branches_hover_near_chance() {
+        let mut bp = p();
+        // A deterministic LCG supplies "random" outcomes.
+        let mut state: u64 = 12345;
+        let mut wrong = 0;
+        let n = 2000;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let taken = (state >> 33) & 1 == 1;
+            if !bp.conditional(0x8000, taken, 0x9000).correct {
+                wrong += 1;
+            }
+        }
+        let rate = wrong as f64 / n as f64;
+        assert!(rate > 0.3, "mispredict rate {rate} suspiciously low");
+    }
+
+    #[test]
+    fn btb_provides_targets_after_first_encounter() {
+        let mut bp = p();
+        let first = bp.conditional(0x1000, true, 0x7777_0000);
+        assert!(!first.btb_hit);
+        let second = bp.conditional(0x1000, true, 0x7777_0000);
+        assert!(second.btb_hit);
+    }
+
+    #[test]
+    fn ras_predicts_matching_calls_and_returns() {
+        let mut bp = p();
+        bp.call(0x1000, 0x8000);
+        bp.call(0x2000, 0x9000);
+        assert!(bp.ret(0x2004), "inner return predicted");
+        assert!(bp.ret(0x1004), "outer return predicted");
+        assert!(!bp.ret(0xDEAD), "empty RAS mispredicts");
+        assert_eq!(bp.stats().return_mispredicts, 1);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut bp = p();
+        for i in 0..10u64 {
+            bp.call(0x1000 + i * 4, 0x8000);
+        }
+        // Depth 8: the two oldest return addresses are gone.
+        for i in (2..10u64).rev() {
+            assert!(bp.ret(0x1000 + i * 4 + 4));
+        }
+        assert!(!bp.ret(0x1000 + 4));
+    }
+
+    #[test]
+    fn accuracy_metric() {
+        let mut bp = p();
+        for _ in 0..100 {
+            bp.conditional(0x1000, true, 0x2000);
+        }
+        assert!(bp.stats().accuracy() > 0.9);
+        assert_eq!(PredictorStats::default().accuracy(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_tables() {
+        let _ = HybridPredictor::new(PredictorConfig {
+            bimodal_entries: 1000,
+            ..PredictorConfig::default()
+        });
+    }
+}

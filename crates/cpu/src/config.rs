@@ -1,0 +1,175 @@
+//! CPU configuration (paper Table 1).
+
+use synth_workload::isa::OpClass;
+
+/// Functional-unit pool sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuPools {
+    /// Single-cycle integer ALUs.
+    pub int_alu: u32,
+    /// Integer multiply/divide units.
+    pub int_mul: u32,
+    /// Floating-point adders.
+    pub fp_alu: u32,
+    /// Floating-point multiply/divide units.
+    pub fp_mul: u32,
+    /// Cache ports for loads and stores.
+    pub mem_ports: u32,
+}
+
+/// Out-of-order core parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpuConfig {
+    /// Instructions fetched per cycle (stops at block boundaries and taken
+    /// branches).
+    pub fetch_width: u32,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Load/store-queue entries.
+    pub lsq_entries: u32,
+    /// Functional-unit pools.
+    pub fu: FuPools,
+    /// Front-end depth in cycles (fetch→rename before an instruction can
+    /// issue).
+    pub frontend_latency: u64,
+    /// Extra cycles to redirect fetch after a mispredicted branch resolves.
+    pub mispredict_redirect: u64,
+}
+
+impl CpuConfig {
+    /// Table 1's configuration: 8-wide issue/decode, 128-entry reorder
+    /// buffer, 128-entry LSQ, at 1 GHz.
+    pub fn hpca01() -> Self {
+        CpuConfig {
+            fetch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            rob_entries: 128,
+            lsq_entries: 128,
+            fu: FuPools {
+                int_alu: 8,
+                int_mul: 2,
+                fp_alu: 4,
+                fp_mul: 2,
+                mem_ports: 2,
+            },
+            frontend_latency: 3,
+            mispredict_redirect: 2,
+        }
+    }
+
+    /// Checks the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or structure size is zero.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0, "fetch width must be positive");
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(self.commit_width > 0, "commit width must be positive");
+        assert!(self.rob_entries > 0, "ROB must have entries");
+        assert!(self.lsq_entries > 0, "LSQ must have entries");
+        assert!(
+            self.fu.int_alu > 0 && self.fu.mem_ports > 0,
+            "need at least one ALU and one memory port"
+        );
+    }
+
+    /// Execution latency (cycles) per functional-unit class. Loads take
+    /// their latency from the memory hierarchy instead.
+    pub fn latency(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::IntAlu => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 12,
+            OpClass::FpAlu => 2,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            OpClass::Load => 1, // placeholder; hierarchy supplies the real value
+            OpClass::Store => 1,
+            OpClass::Control => 1,
+            OpClass::Other => 1,
+        }
+    }
+
+    /// Number of units able to execute `class`.
+    pub fn pool_size(&self, class: OpClass) -> u32 {
+        match class {
+            OpClass::IntAlu | OpClass::Control | OpClass::Other => self.fu.int_alu,
+            OpClass::IntMul | OpClass::IntDiv => self.fu.int_mul,
+            OpClass::FpAlu => self.fu.fp_alu,
+            OpClass::FpMul | OpClass::FpDiv => self.fu.fp_mul,
+            OpClass::Load | OpClass::Store => self.fu.mem_ports,
+        }
+    }
+
+    /// Index of the pool used by `class` (for per-pool accounting).
+    pub fn pool_index(&self, class: OpClass) -> usize {
+        match class {
+            OpClass::IntAlu | OpClass::Control | OpClass::Other => 0,
+            OpClass::IntMul | OpClass::IntDiv => 1,
+            OpClass::FpAlu => 2,
+            OpClass::FpMul | OpClass::FpDiv => 3,
+            OpClass::Load | OpClass::Store => 4,
+        }
+    }
+
+    /// Number of distinct pools.
+    pub const NUM_POOLS: usize = 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpca01_matches_table1() {
+        let c = CpuConfig::hpca01();
+        c.validate();
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.lsq_entries, 128);
+    }
+
+    #[test]
+    fn latencies_are_ordered_sensibly() {
+        let c = CpuConfig::hpca01();
+        assert!(c.latency(OpClass::IntAlu) < c.latency(OpClass::IntMul));
+        assert!(c.latency(OpClass::IntMul) < c.latency(OpClass::IntDiv));
+        assert!(c.latency(OpClass::FpAlu) < c.latency(OpClass::FpDiv));
+    }
+
+    #[test]
+    fn pools_cover_all_classes() {
+        let c = CpuConfig::hpca01();
+        for class in [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::IntDiv,
+            OpClass::FpAlu,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Control,
+            OpClass::Other,
+        ] {
+            assert!(c.pool_size(class) > 0);
+            assert!(c.pool_index(class) < CpuConfig::NUM_POOLS);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fetch width")]
+    fn rejects_zero_fetch_width() {
+        let c = CpuConfig {
+            fetch_width: 0,
+            ..CpuConfig::hpca01()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,479 @@
+//! The out-of-order timing model.
+//!
+//! A *dataflow-scheduling* simulator in the spirit of trace-driven
+//! out-of-order models: the committed instruction stream comes from the
+//! functional [`Machine`] (execution-driven), and each instruction's fetch,
+//! issue, completion, and commit cycles are computed analytically under the
+//! machine's structural constraints:
+//!
+//! * **fetch**: `fetch_width` per cycle from the L1 i-cache, one block per
+//!   group; groups end at block boundaries and taken branches; i-cache
+//!   misses stall fetch for the L2/memory fill; mispredicted branches
+//!   redirect fetch after the branch resolves (plus a fixed penalty);
+//!   taken branches that miss the BTB cost a one-cycle bubble;
+//! * **dispatch**: bounded by ROB occupancy (an instruction cannot fetch
+//!   until the entry it reuses has committed);
+//! * **issue**: at most `issue_width` per cycle, gated by register
+//!   dependences (renaming assumed perfect — only RAW matters), functional
+//!   unit pools, and LSQ occupancy for memory operations;
+//! * **complete**: issue + latency, with loads taking their latency from
+//!   the data-side hierarchy (L1d/L2/memory);
+//! * **commit**: in order, `commit_width` per cycle.
+//!
+//! Wrong-path fetch is not modelled (mispredicted work neither pollutes the
+//! i-cache nor consumes L2 bandwidth); the paper's own energy equations
+//! approximate L1 accesses ≈ cycles, so this simplification is consistent
+//! with its accounting.
+
+use crate::bpred::{HybridPredictor, PredictorConfig};
+use crate::config::CpuConfig;
+use crate::stats::CpuStats;
+use cache_sim::cache::AccessKind;
+use cache_sim::hierarchy::{Hierarchy, HierarchyConfig};
+use cache_sim::icache::InstCache;
+use synth_workload::isa::{Op, OpClass};
+use synth_workload::machine::Machine;
+use synth_workload::program::Program;
+
+/// Size of the booking rings (cycles of look-ahead for issue slots). The
+/// maximum useful skew is bounded by ROB size × worst-case latency, well
+/// under this.
+const RING: usize = 1 << 16;
+
+/// Per-cycle resource booking with a fixed-size ring.
+#[derive(Debug, Clone)]
+struct SlotRing {
+    cycle: Vec<u64>,
+    count: Vec<u32>,
+}
+
+impl SlotRing {
+    fn new() -> Self {
+        SlotRing {
+            cycle: vec![u64::MAX; RING],
+            count: vec![0; RING],
+        }
+    }
+
+    fn count_at(&self, cycle: u64) -> u32 {
+        let i = cycle as usize & (RING - 1);
+        if self.cycle[i] == cycle {
+            self.count[i]
+        } else {
+            0
+        }
+    }
+
+    fn book(&mut self, cycle: u64) {
+        let i = cycle as usize & (RING - 1);
+        if self.cycle[i] == cycle {
+            self.count[i] += 1;
+        } else {
+            self.cycle[i] = cycle;
+            self.count[i] = 1;
+        }
+    }
+}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Timing counters.
+    pub stats: CpuStats,
+    /// Branch predictor accuracy over conditional branches.
+    pub bpred_accuracy: f64,
+}
+
+/// The core: machine + i-cache (the experimental variable) + hierarchy +
+/// predictor + scheduling state.
+#[derive(Debug)]
+pub struct Core<'p, IC: InstCache> {
+    cfg: CpuConfig,
+    machine: Machine<'p>,
+    icache: IC,
+    hierarchy: Hierarchy,
+    predictor: HybridPredictor,
+    // Fetch state.
+    cur_cycle: u64,
+    group_count: u32,
+    cur_block: u64,
+    force_new_group: bool,
+    next_fetch_floor: u64,
+    // Scheduling state.
+    reg_ready: [u64; 64],
+    rob_ring: Vec<u64>,
+    lsq_ring: Vec<u64>,
+    commit_ring: Vec<u64>,
+    last_commit: u64,
+    issue_slots: SlotRing,
+    fu_slots: Vec<SlotRing>,
+    mem_ops: u64,
+    inst_index: u64,
+    stats: CpuStats,
+}
+
+impl<'p, IC: InstCache> Core<'p, IC> {
+    /// Builds a core around a program, an i-cache implementation, and the
+    /// standard Table 1 hierarchy/predictor.
+    pub fn new(program: &'p Program, cfg: CpuConfig, icache: IC) -> Self {
+        Self::with_hierarchy(program, cfg, icache, HierarchyConfig::hpca01())
+    }
+
+    /// Builds a core with an explicit hierarchy configuration.
+    pub fn with_hierarchy(
+        program: &'p Program,
+        cfg: CpuConfig,
+        icache: IC,
+        hierarchy: HierarchyConfig,
+    ) -> Self {
+        cfg.validate();
+        Core {
+            machine: Machine::new(program),
+            icache,
+            hierarchy: Hierarchy::new(hierarchy),
+            predictor: HybridPredictor::new(PredictorConfig::default()),
+            cur_cycle: 0,
+            group_count: cfg.fetch_width, // force a fresh group immediately
+            cur_block: u64::MAX,
+            force_new_group: true,
+            next_fetch_floor: 0,
+            reg_ready: [0; 64],
+            rob_ring: vec![0; cfg.rob_entries as usize],
+            lsq_ring: vec![0; cfg.lsq_entries as usize],
+            commit_ring: vec![0; cfg.commit_width as usize],
+            last_commit: 0,
+            issue_slots: SlotRing::new(),
+            fu_slots: (0..CpuConfig::NUM_POOLS).map(|_| SlotRing::new()).collect(),
+            mem_ops: 0,
+            inst_index: 0,
+            cfg,
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// The i-cache under test.
+    pub fn icache(&self) -> &IC {
+        &self.icache
+    }
+
+    /// The data-side hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The branch predictor.
+    pub fn predictor(&self) -> &HybridPredictor {
+        &self.predictor
+    }
+
+    /// Timing counters accumulated so far.
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// Maps the two source registers to scoreboard indices (integer regs
+    /// occupy 0..32, FP regs 32..64). `FStore` mixes the files: an integer
+    /// address base and an FP data source.
+    fn src_indices(inst: &synth_workload::isa::Inst) -> (usize, usize) {
+        match inst.op {
+            Op::FAdd | Op::FMul | Op::FDiv => {
+                (32 + inst.rs1 as usize, 32 + inst.rs2 as usize)
+            }
+            Op::FStore => (inst.rs1 as usize, 32 + inst.rs2 as usize),
+            _ => (inst.rs1 as usize, inst.rs2 as usize),
+        }
+    }
+
+    /// Maps the destination register to a scoreboard index, if any.
+    fn dst_index(inst: &synth_workload::isa::Inst) -> Option<usize> {
+        match inst.op {
+            Op::FAdd | Op::FMul | Op::FDiv | Op::FLoad => Some(32 + inst.rd as usize),
+            Op::Add
+            | Op::Sub
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Slt
+            | Op::Addi
+            | Op::Mul
+            | Op::Div
+            | Op::Load => {
+                if inst.rd == 0 {
+                    None // r0 is hardwired
+                } else {
+                    Some(inst.rd as usize)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Simulates one committed instruction; returns `false` once the
+    /// program halts.
+    pub fn step(&mut self) -> bool {
+        let Some(e) = self.machine.step() else {
+            return false;
+        };
+        let i = self.inst_index;
+        let rob_len = self.rob_ring.len() as u64;
+        let block_bits = self.icache.block_bytes().trailing_zeros();
+
+        // --- Fetch -----------------------------------------------------
+        let block = e.pc >> block_bits;
+        if self.force_new_group
+            || self.group_count >= self.cfg.fetch_width
+            || block != self.cur_block
+        {
+            // ROB backpressure: the entry instruction i reuses frees when
+            // instruction i - rob_entries commits.
+            let rob_free = self.rob_ring[(i % rob_len) as usize];
+            let mut c = (self.cur_cycle + 1).max(self.next_fetch_floor).max(rob_free);
+            let hit = self.icache.access(e.pc, c);
+            if !hit {
+                let fill = self.hierarchy.inst_fill(e.pc);
+                self.stats.icache_stall_cycles += fill;
+                c += fill;
+            }
+            self.cur_cycle = c;
+            self.group_count = 0;
+            self.cur_block = block;
+            self.force_new_group = false;
+            self.stats.fetch_groups += 1;
+        }
+        self.group_count += 1;
+        let fetch_cycle = self.cur_cycle;
+        let dispatch_ready = fetch_cycle + self.icache.hit_latency() + self.cfg.frontend_latency;
+
+        // --- Schedule ---------------------------------------------------
+        let class = e.inst.op.class();
+        let (src1, src2) = Self::src_indices(&e.inst);
+        let mut ready = dispatch_ready
+            .max(self.reg_ready[src1])
+            .max(self.reg_ready[src2]);
+        let is_mem = matches!(class, OpClass::Load | OpClass::Store);
+        if is_mem {
+            let lsq_len = self.lsq_ring.len() as u64;
+            ready = ready.max(self.lsq_ring[(self.mem_ops % lsq_len) as usize]);
+        }
+        let pool = self.cfg.pool_index(class);
+        let pool_cap = self.cfg.pool_size(class);
+        let mut issue = ready;
+        loop {
+            if self.issue_slots.count_at(issue) < self.cfg.issue_width
+                && self.fu_slots[pool].count_at(issue) < pool_cap
+            {
+                break;
+            }
+            issue += 1;
+        }
+        self.issue_slots.book(issue);
+        self.fu_slots[pool].book(issue);
+
+        let latency = match class {
+            OpClass::Load => {
+                self.stats.loads += 1;
+                self.hierarchy
+                    .data_access(e.mem_addr.expect("load has address"), AccessKind::Read)
+            }
+            OpClass::Store => {
+                self.stats.stores += 1;
+                let _ = self
+                    .hierarchy
+                    .data_access(e.mem_addr.expect("store has address"), AccessKind::Write);
+                1 // stores complete at issue; write happens at commit
+            }
+            other => self.cfg.latency(other),
+        };
+        let complete = issue + latency;
+        if let Some(dst) = Self::dst_index(&e.inst) {
+            self.reg_ready[dst] = complete;
+        }
+
+        // --- Control ----------------------------------------------------
+        if e.inst.op.is_control() {
+            self.stats.branches += 1;
+            let (correct, bubble_free) = match e.inst.op {
+                Op::Beq | Op::Bne | Op::Blt | Op::Bge => {
+                    let o = self.predictor.conditional(e.pc, e.taken, e.next_pc);
+                    (o.correct, o.btb_hit)
+                }
+                Op::Jump => (true, self.predictor.unconditional(e.pc, e.next_pc)),
+                Op::Call => (true, self.predictor.call(e.pc, e.next_pc)),
+                Op::Ret => (self.predictor.ret(e.next_pc), true),
+                _ => unreachable!("control op"),
+            };
+            if !correct {
+                self.stats.mispredict_redirects += 1;
+                self.next_fetch_floor = complete + self.cfg.mispredict_redirect;
+                self.force_new_group = true;
+            } else if e.taken {
+                self.force_new_group = true;
+                if !bubble_free {
+                    // Target unknown at fetch: one bubble before the next
+                    // group (on top of the natural group turnover).
+                    self.next_fetch_floor = fetch_cycle + 2;
+                }
+            }
+        }
+
+        // --- Commit -----------------------------------------------------
+        let cw = self.commit_ring.len() as u64;
+        let commit = (complete + 1)
+            .max(self.last_commit)
+            .max(self.commit_ring[(i % cw) as usize] + 1);
+        self.last_commit = commit;
+        self.commit_ring[(i % cw) as usize] = commit;
+        self.rob_ring[(i % rob_len) as usize] = commit;
+        if is_mem {
+            let lsq_len = self.lsq_ring.len() as u64;
+            self.lsq_ring[(self.mem_ops % lsq_len) as usize] = commit;
+            self.mem_ops += 1;
+        }
+        self.icache.retire_instructions(1, commit);
+        self.stats.instructions += 1;
+        self.inst_index += 1;
+        true
+    }
+
+    /// Runs until `budget` instructions commit (or the program halts) and
+    /// closes out the run. Returns the result; the core can be inspected
+    /// afterwards for cache/predictor detail.
+    pub fn run(&mut self, budget: u64) -> RunResult {
+        let target = self.stats.instructions + budget;
+        while self.stats.instructions < target {
+            if !self.step() {
+                break;
+            }
+        }
+        self.stats.cycles = self.last_commit;
+        self.icache.finish(self.last_commit);
+        RunResult {
+            stats: self.stats,
+            bpred_accuracy: self.predictor.stats().accuracy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::icache::ConventionalICache;
+    use synth_workload::generator::{generate, GeneratorSpec};
+    use synth_workload::suite::Benchmark;
+
+    fn run_bench(spec: &GeneratorSpec, budget: u64) -> (RunResult, CpuStats) {
+        let g = generate(spec);
+        let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        let r = core.run(budget);
+        (r, *core.stats())
+    }
+
+    #[test]
+    fn ipc_is_plausible_for_an_8_wide_core() {
+        let spec = GeneratorSpec::basic("t", 4 * 1024, 100_000);
+        let (r, _) = run_bench(&spec, 200_000);
+        let ipc = r.stats.ipc();
+        assert!(
+            ipc > 0.5 && ipc <= 8.0,
+            "IPC {ipc} outside plausible range"
+        );
+    }
+
+    #[test]
+    fn cycles_grow_monotonically_with_instructions() {
+        let spec = GeneratorSpec::basic("t", 4 * 1024, 100_000);
+        let g = generate(&spec);
+        let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        let a = core.run(50_000).stats.cycles;
+        let b = core.run(50_000).stats.cycles;
+        assert!(b > a);
+    }
+
+    #[test]
+    fn small_kernel_has_tiny_icache_miss_rate() {
+        let spec = GeneratorSpec::basic("t", 2 * 1024, 100_000);
+        let g = generate(&spec);
+        let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        core.run(500_000);
+        let st = core.icache().stats();
+        assert!(
+            st.miss_rate() < 0.01,
+            "2K kernel in 64K cache: miss rate {}",
+            st.miss_rate()
+        );
+    }
+
+    #[test]
+    fn narrower_machine_is_slower() {
+        let spec = GeneratorSpec::basic("t", 4 * 1024, 100_000);
+        let g = generate(&spec);
+        let mut wide = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        let narrow_cfg = CpuConfig {
+            fetch_width: 2,
+            issue_width: 2,
+            commit_width: 2,
+            ..CpuConfig::hpca01()
+        };
+        let mut narrow = Core::new(&g.program, narrow_cfg, ConventionalICache::hpca01());
+        let w = wide.run(100_000).stats;
+        let n = narrow.run(100_000).stats;
+        assert!(
+            n.cycles > w.cycles,
+            "2-wide ({}) should be slower than 8-wide ({})",
+            n.cycles,
+            w.cycles
+        );
+    }
+
+    #[test]
+    fn random_branches_cost_performance() {
+        let mut predictable = GeneratorSpec::basic("p", 4 * 1024, 100_000);
+        predictable.seed = 7;
+        let mut random = predictable.clone();
+        random.random_branch_fraction = 0.8;
+        random.name = "r".into();
+        let (rp, _) = run_bench(&predictable, 150_000);
+        let (rr, _) = run_bench(&random, 150_000);
+        assert!(
+            rr.bpred_accuracy < rp.bpred_accuracy,
+            "random {} vs predictable {}",
+            rr.bpred_accuracy,
+            rp.bpred_accuracy
+        );
+        assert!(rr.stats.cycles > rp.stats.cycles);
+    }
+
+    #[test]
+    fn bpred_accuracy_is_high_on_patterned_code() {
+        let spec = GeneratorSpec::basic("t", 4 * 1024, 100_000);
+        let (r, _) = run_bench(&spec, 200_000);
+        assert!(
+            r.bpred_accuracy > 0.9,
+            "accuracy {} on learnable patterns",
+            r.bpred_accuracy
+        );
+    }
+
+    #[test]
+    fn benchmarks_drive_the_full_hierarchy() {
+        let g = Benchmark::Gcc.build();
+        let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        core.run(300_000);
+        assert!(core.hierarchy().l1d_stats().accesses > 10_000);
+        assert!(core.stats().loads > 0);
+        assert!(core.stats().stores > 0);
+        assert!(core.stats().branches > 0);
+    }
+
+    #[test]
+    fn giant_footprint_stresses_icache() {
+        // fpppp's 60K footprint in the 64K cache: misses happen on phase
+        // wrap but stay modest.
+        let g = Benchmark::Fpppp.build();
+        let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        core.run(300_000);
+        let st = core.icache().stats();
+        assert!(st.accesses > 0);
+        assert!(st.misses > 100, "cold misses at least");
+    }
+}

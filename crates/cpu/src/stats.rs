@@ -1,0 +1,73 @@
+//! Run-level CPU statistics.
+
+/// Counters produced by one timing simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuStats {
+    /// Total execution time in cycles (cycle of the last commit).
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Fetch groups issued (≈ i-cache accesses).
+    pub fetch_groups: u64,
+    /// Cycles spent waiting on i-cache fills.
+    pub icache_stall_cycles: u64,
+    /// Control-transfer instructions committed.
+    pub branches: u64,
+    /// Fetch redirects caused by branch mispredictions.
+    pub mispredict_redirects: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+}
+
+impl CpuStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of committed instructions that touch memory.
+    pub fn mem_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero() {
+        assert_eq!(CpuStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_divides() {
+        let s = CpuStats {
+            cycles: 100,
+            instructions: 250,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_fraction() {
+        let s = CpuStats {
+            instructions: 100,
+            loads: 20,
+            stores: 5,
+            ..Default::default()
+        };
+        assert!((s.mem_fraction() - 0.25).abs() < 1e-12);
+    }
+}

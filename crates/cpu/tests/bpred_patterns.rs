@@ -1,0 +1,117 @@
+//! Behavioural tests for the hybrid predictor on the branch patterns the
+//! synthetic workloads actually emit.
+
+use ooo_cpu::bpred::{HybridPredictor, PredictorConfig};
+
+fn predictor() -> HybridPredictor {
+    HybridPredictor::new(PredictorConfig::default())
+}
+
+/// Trains `bp` on `pattern` repeated `reps` times at `pc`; returns the
+/// mispredict count over the last half of the stream (post-warmup).
+fn late_mispredicts(bp: &mut HybridPredictor, pc: u64, pattern: &[bool], reps: usize) -> u64 {
+    let total = pattern.len() * reps;
+    let mut wrong = 0;
+    for i in 0..total {
+        let taken = pattern[i % pattern.len()];
+        let out = bp.conditional(pc, taken, pc + 0x100);
+        if i >= total / 2 && !out.correct {
+            wrong += 1;
+        }
+    }
+    wrong
+}
+
+#[test]
+fn alternating_branch_is_learnable() {
+    // T N T N: bimodal alone oscillates; gshare captures it via history.
+    let mut bp = predictor();
+    let wrong = late_mispredicts(&mut bp, 0x1000, &[true, false], 200);
+    assert!(wrong <= 8, "{wrong} late mispredicts on an alternating branch");
+}
+
+#[test]
+fn period_four_patterns_are_learnable() {
+    // The generator's pattern branches fire when (call_count & 3) == k:
+    // period-4 sequences with one or three taken slots.
+    let mut bp = predictor();
+    let wrong = late_mispredicts(&mut bp, 0x2000, &[true, false, false, false], 200);
+    assert!(wrong <= 10, "{wrong} late mispredicts on a 1-in-4 pattern");
+    let mut bp = predictor();
+    let wrong = late_mispredicts(&mut bp, 0x2004, &[true, true, true, false], 200);
+    assert!(wrong <= 10, "{wrong} late mispredicts on a 3-in-4 pattern");
+}
+
+#[test]
+fn loop_exit_branches_cost_about_one_miss_per_trip() {
+    // An 8-iteration loop: taken 7 times then not taken, repeated. A good
+    // predictor converges to ~one mispredict per loop exit or better.
+    let mut bp = predictor();
+    let mut pattern = vec![true; 7];
+    pattern.push(false);
+    let wrong = late_mispredicts(&mut bp, 0x3000, &pattern, 100);
+    // 50 late trips: allow up to one mispredict per trip.
+    assert!(wrong <= 55, "{wrong} late mispredicts over 50 loop trips");
+}
+
+#[test]
+fn independent_branches_do_not_destroy_each_other() {
+    // Two branches with opposite biases at different PCs: the bimodal
+    // table must keep them apart (no aliasing at these indices).
+    let mut bp = predictor();
+    let mut wrong = 0;
+    for i in 0..400 {
+        if !bp.conditional(0x4000, true, 0x4100).correct && i >= 100 {
+            wrong += 1;
+        }
+        if !bp.conditional(0x8004, false, 0x8100).correct && i >= 100 {
+            wrong += 1;
+        }
+    }
+    assert!(wrong <= 6, "{wrong} mispredicts on two biased branches");
+}
+
+#[test]
+fn btb_evicts_under_capacity_pressure() {
+    // More taken branches than BTB capacity (128 sets x 4 ways): revisiting
+    // the first one must miss the BTB again.
+    let mut bp = predictor();
+    let n = 4096u64;
+    for i in 0..n {
+        let pc = 0x1_0000 + i * 4;
+        let _ = bp.conditional(pc, true, pc + 0x40);
+    }
+    let before = bp.stats().btb_misses;
+    let _ = bp.conditional(0x1_0000, true, 0x1_0040);
+    assert_eq!(
+        bp.stats().btb_misses,
+        before + 1,
+        "evicted entry should miss the BTB"
+    );
+}
+
+#[test]
+fn returns_track_nested_call_depth() {
+    let mut bp = predictor();
+    // Depth-3 nesting, repeated: every return should be RAS-predicted.
+    for _ in 0..50 {
+        bp.call(0x100, 0x1000);
+        bp.call(0x1100, 0x2000);
+        bp.call(0x2100, 0x3000);
+        assert!(bp.ret(0x2104));
+        assert!(bp.ret(0x1104));
+        assert!(bp.ret(0x104));
+    }
+    assert_eq!(bp.stats().return_mispredicts, 0);
+}
+
+#[test]
+fn accuracy_definition_matches_counters() {
+    let mut bp = predictor();
+    for _ in 0..100 {
+        let _ = bp.conditional(0x9000, true, 0x9100);
+    }
+    let s = *bp.stats();
+    let expect = 1.0 - s.direction_mispredicts as f64 / s.conditional as f64;
+    assert!((s.accuracy() - expect).abs() < 1e-12);
+}

@@ -1,0 +1,128 @@
+//! Integration tests for the timing model: structural constraints must
+//! actually constrain, and the model must respond to each Table 1
+//! parameter in the physically sensible direction.
+
+use cache_sim::icache::ConventionalICache;
+use ooo_cpu::config::{CpuConfig, FuPools};
+use ooo_cpu::core::Core;
+use synth_workload::generator::{generate, GeneratorSpec};
+
+fn run_cycles(cfg: CpuConfig, spec: &GeneratorSpec, budget: u64) -> u64 {
+    let g = generate(spec);
+    let mut core = Core::new(&g.program, cfg, ConventionalICache::hpca01());
+    core.run(budget).stats.cycles
+}
+
+fn base_spec() -> GeneratorSpec {
+    let mut s = GeneratorSpec::basic("timing", 4 * 1024, 100_000);
+    s.seed = 33;
+    s
+}
+
+#[test]
+fn smaller_rob_cannot_be_faster() {
+    let spec = base_spec();
+    let wide = run_cycles(CpuConfig::hpca01(), &spec, 150_000);
+    let tiny_rob = CpuConfig {
+        rob_entries: 16,
+        ..CpuConfig::hpca01()
+    };
+    let small = run_cycles(tiny_rob, &spec, 150_000);
+    assert!(
+        small >= wide,
+        "16-entry ROB ({small}) beat the 128-entry ROB ({wide})"
+    );
+}
+
+#[test]
+fn fewer_memory_ports_hurt_memory_heavy_code() {
+    let mut spec = base_spec();
+    spec.mem_every = 2; // every other slot is a load/store
+    let two_ports = run_cycles(CpuConfig::hpca01(), &spec, 150_000);
+    let one_port = CpuConfig {
+        fu: FuPools {
+            mem_ports: 1,
+            ..CpuConfig::hpca01().fu
+        },
+        ..CpuConfig::hpca01()
+    };
+    let constrained = run_cycles(one_port, &spec, 150_000);
+    assert!(
+        constrained > two_ports,
+        "1 port ({constrained}) should be slower than 2 ({two_ports})"
+    );
+}
+
+#[test]
+fn tiny_lsq_throttles_memory_parallelism() {
+    let mut spec = base_spec();
+    spec.mem_every = 2;
+    let big = run_cycles(CpuConfig::hpca01(), &spec, 150_000);
+    let tiny = CpuConfig {
+        lsq_entries: 4,
+        ..CpuConfig::hpca01()
+    };
+    let small = run_cycles(tiny, &spec, 150_000);
+    assert!(small >= big, "4-entry LSQ ({small}) beat 128 ({big})");
+}
+
+#[test]
+fn longer_frontend_costs_cycles_on_branchy_code() {
+    let mut spec = base_spec();
+    spec.random_branch_fraction = 0.5;
+    spec.branch_every = 6;
+    let short = run_cycles(CpuConfig::hpca01(), &spec, 150_000);
+    let deep = CpuConfig {
+        frontend_latency: 12,
+        mispredict_redirect: 8,
+        ..CpuConfig::hpca01()
+    };
+    let long = run_cycles(deep, &spec, 150_000);
+    assert!(
+        long > short,
+        "deep frontend ({long}) should pay more for mispredictions ({short})"
+    );
+}
+
+#[test]
+fn icache_stalls_are_charged_for_giant_footprints() {
+    // A 96K footprint cannot fit the 64K i-cache: fetch must stall.
+    let mut spec = base_spec();
+    spec.phases[0].footprint_bytes = 96 * 1024;
+    let g = generate(&spec);
+    let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+    core.run(300_000);
+    assert!(
+        core.stats().icache_stall_cycles > 1_000,
+        "stall cycles {}",
+        core.stats().icache_stall_cycles
+    );
+}
+
+#[test]
+fn commit_width_bounds_ipc() {
+    let spec = base_spec();
+    let narrow_commit = CpuConfig {
+        commit_width: 1,
+        ..CpuConfig::hpca01()
+    };
+    let g = generate(&spec);
+    let mut core = Core::new(&g.program, narrow_commit, ConventionalICache::hpca01());
+    let r = core.run(100_000);
+    assert!(
+        r.stats.ipc() <= 1.0 + 1e-9,
+        "IPC {} exceeds the 1-wide commit bound",
+        r.stats.ipc()
+    );
+}
+
+#[test]
+fn branch_stats_accumulate() {
+    let spec = base_spec();
+    let g = generate(&spec);
+    let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+    let r = core.run(100_000);
+    assert!(core.stats().branches > 1_000);
+    assert!(core.predictor().stats().conditional > 500);
+    assert!(r.bpred_accuracy > 0.5 && r.bpred_accuracy <= 1.0);
+}

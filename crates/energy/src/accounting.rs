@@ -1,0 +1,230 @@
+//! The effective-leakage-energy equations of paper §5.2.
+//!
+//! ```text
+//! energy savings = conventional leakage − effective DRI leakage
+//! effective DRI leakage = L1 leakage + extra L1 dynamic + extra L2 dynamic
+//! L1 leakage            = active fraction × full-cache leakage × cycles
+//!                         (+ standby term, ≈0 with gated-Vdd)
+//! extra L1 dynamic      = resizing bits × bitline energy × L1 accesses
+//! extra L2 dynamic      = L2 access energy × extra L2 accesses
+//! ```
+//!
+//! The figures report the **relative energy-delay product**: effective DRI
+//! energy × DRI execution time over conventional leakage energy ×
+//! conventional execution time.
+
+use crate::params::EnergyParams;
+use sram_circuit::units::NanoJoules;
+
+/// Measured counters from one simulation run, as consumed by the equations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunCounts {
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Average fraction of the cache kept in active (ungated) mode,
+    /// integrated over cycles. 1.0 for a conventional cache.
+    pub avg_active_fraction: f64,
+    /// Number of L1 i-cache accesses.
+    pub l1_accesses: u64,
+    /// Number of resizing tag bits (0 for a conventional cache).
+    pub resizing_bits: u32,
+    /// L2 accesses beyond what the conventional baseline made
+    /// (instruction-side; clamped at zero if the DRI run made fewer).
+    pub extra_l2_accesses: u64,
+}
+
+impl RunCounts {
+    /// Counters for a conventional (baseline) run: full cache active, no
+    /// resizing bits, no extra L2 traffic.
+    pub fn conventional(cycles: u64, l1_accesses: u64) -> Self {
+        RunCounts {
+            cycles,
+            avg_active_fraction: 1.0,
+            l1_accesses,
+            resizing_bits: 0,
+            extra_l2_accesses: 0,
+        }
+    }
+}
+
+/// Energy components of one run (all in nanojoules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Leakage in the active portion (plus residual standby leakage).
+    pub l1_leakage: NanoJoules,
+    /// Extra dynamic energy of the resizing tag bitlines.
+    pub extra_l1_dynamic: NanoJoules,
+    /// Extra dynamic energy of additional L2 accesses.
+    pub extra_l2_dynamic: NanoJoules,
+}
+
+impl EnergyBreakdown {
+    /// The paper's "effective L1 DRI i-cache leakage energy".
+    pub fn effective(&self) -> NanoJoules {
+        self.l1_leakage + self.extra_l1_dynamic + self.extra_l2_dynamic
+    }
+
+    /// Fraction of the effective energy that is dynamic overhead (the
+    /// stacked dark segment of Figures 3–6).
+    pub fn dynamic_fraction(&self) -> f64 {
+        let total = self.effective().value();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.extra_l1_dynamic + self.extra_l2_dynamic).value() / total
+        }
+    }
+}
+
+/// Evaluates the §5.2 equations for one run.
+pub fn breakdown(params: &EnergyParams, counts: &RunCounts) -> EnergyBreakdown {
+    let cycles = counts.cycles as f64;
+    let active = counts.avg_active_fraction.clamp(0.0, 1.0);
+    let leak_active = params.l1_leak_per_cycle * (active * cycles);
+    let leak_standby =
+        params.l1_leak_per_cycle * ((1.0 - active) * params.standby_leak_fraction * cycles);
+    let extra_l1 = params.resizing_bitline_energy
+        * (f64::from(counts.resizing_bits) * counts.l1_accesses as f64);
+    let extra_l2 = params.l2_access_energy * counts.extra_l2_accesses as f64;
+    EnergyBreakdown {
+        l1_leakage: leak_active + leak_standby,
+        extra_l1_dynamic: extra_l1,
+        extra_l2_dynamic: extra_l2,
+    }
+}
+
+/// Leakage energy of the conventional baseline over a run.
+pub fn conventional_leakage(params: &EnergyParams, cycles: u64) -> NanoJoules {
+    params.l1_leak_per_cycle * cycles as f64
+}
+
+/// Energy-delay product (nJ · cycles).
+pub fn energy_delay(energy: NanoJoules, cycles: u64) -> f64 {
+    energy.value() * cycles as f64
+}
+
+/// The normalized energy-delay the figures plot: DRI effective energy ×
+/// DRI time over conventional leakage × conventional time.
+pub fn relative_energy_delay(
+    params: &EnergyParams,
+    dri: &RunCounts,
+    conventional_cycles: u64,
+) -> f64 {
+    let dri_ed = energy_delay(breakdown(params, dri).effective(), dri.cycles);
+    let conv_ed = energy_delay(
+        conventional_leakage(params, conventional_cycles),
+        conventional_cycles,
+    );
+    dri_ed / conv_ed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EnergyParams {
+        EnergyParams::hpca01_published()
+    }
+
+    #[test]
+    fn conventional_run_has_unit_relative_energy_delay() {
+        let p = params();
+        let counts = RunCounts::conventional(1_000_000, 900_000);
+        let rel = relative_energy_delay(&p, &counts, 1_000_000);
+        assert!((rel - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halving_active_fraction_halves_leakage() {
+        let p = params();
+        let mut counts = RunCounts::conventional(1_000_000, 900_000);
+        counts.avg_active_fraction = 0.5;
+        let b = breakdown(&p, &counts);
+        assert!((b.l1_leakage.value() - 0.5 * 0.91 * 1e6).abs() < 1.0);
+        assert_eq!(b.extra_l1_dynamic.value(), 0.0);
+        assert_eq!(b.extra_l2_dynamic.value(), 0.0);
+    }
+
+    #[test]
+    fn resizing_bits_cost_matches_paper_example() {
+        // §5.2.1: 5 resizing bits, active fraction 0.5, one L1 access per
+        // cycle -> extra L1 dynamic / L1 leakage ≈ 0.024.
+        let p = params();
+        let counts = RunCounts {
+            cycles: 1_000_000,
+            avg_active_fraction: 0.5,
+            l1_accesses: 1_000_000,
+            resizing_bits: 5,
+            extra_l2_accesses: 0,
+        };
+        let b = breakdown(&p, &counts);
+        let ratio = b.extra_l1_dynamic.value() / b.l1_leakage.value();
+        assert!((ratio - 0.024).abs() < 0.001, "ratio {ratio}");
+    }
+
+    #[test]
+    fn extra_l2_cost_matches_paper_example() {
+        // §5.2.1: active fraction 0.5, extra miss rate 1% -> ratio ≈ 0.08.
+        let p = params();
+        let counts = RunCounts {
+            cycles: 1_000_000,
+            avg_active_fraction: 0.5,
+            l1_accesses: 1_000_000,
+            resizing_bits: 0,
+            extra_l2_accesses: 10_000,
+        };
+        let b = breakdown(&p, &counts);
+        let ratio = b.extra_l2_dynamic.value() / b.l1_leakage.value();
+        assert!((ratio - 0.079).abs() < 0.002, "ratio {ratio}");
+    }
+
+    #[test]
+    fn standby_term_adds_residual_leakage() {
+        let mut p = params();
+        p.standby_leak_fraction = 0.03;
+        let mut counts = RunCounts::conventional(1_000_000, 1_000_000);
+        counts.avg_active_fraction = 0.25;
+        let b = breakdown(&p, &counts);
+        let expected = 0.91 * 1e6 * (0.25 + 0.75 * 0.03);
+        assert!((b.l1_leakage.value() - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn dynamic_fraction_is_well_defined() {
+        let p = params();
+        let counts = RunCounts {
+            cycles: 1_000_000,
+            avg_active_fraction: 0.2,
+            l1_accesses: 1_000_000,
+            resizing_bits: 6,
+            extra_l2_accesses: 500,
+        };
+        let b = breakdown(&p, &counts);
+        assert!(b.dynamic_fraction() > 0.0 && b.dynamic_fraction() < 1.0);
+        let zero = EnergyBreakdown {
+            l1_leakage: NanoJoules::new(0.0),
+            extra_l1_dynamic: NanoJoules::new(0.0),
+            extra_l2_dynamic: NanoJoules::new(0.0),
+        };
+        assert_eq!(zero.dynamic_fraction(), 0.0);
+    }
+
+    #[test]
+    fn slowdown_hurts_energy_delay() {
+        let p = params();
+        let fast = RunCounts {
+            cycles: 1_000_000,
+            avg_active_fraction: 0.5,
+            l1_accesses: 900_000,
+            resizing_bits: 3,
+            extra_l2_accesses: 100,
+        };
+        let slow = RunCounts {
+            cycles: 1_200_000,
+            ..fast
+        };
+        let rel_fast = relative_energy_delay(&p, &fast, 1_000_000);
+        let rel_slow = relative_energy_delay(&p, &slow, 1_000_000);
+        assert!(rel_slow > rel_fast);
+    }
+}

@@ -1,0 +1,47 @@
+//! # energy-model — energy accounting for the DRI i-cache (paper §5.2)
+//!
+//! This crate turns run counters into joules:
+//!
+//! * [`cacti_lite`] — an analytical per-access dynamic-energy model in the
+//!   spirit of CACTI / Kamble-Ghose, calibrated to the paper's two dynamic
+//!   constants (0.0022 nJ per resizing bitline, 3.6 nJ per L2 access);
+//! * [`params`] — the §5.2 constants, either exactly as published or
+//!   derived end-to-end from the `sram-circuit` transistor models;
+//! * [`accounting`] — the effective-leakage-energy equations and the
+//!   relative energy-delay metric plotted in Figures 3–6;
+//! * [`tradeoff`] — the §5.2.1 analytical bounds showing dynamic overheads
+//!   cannot swamp the leakage savings.
+//!
+//! ## Example
+//!
+//! ```
+//! use energy_model::accounting::{breakdown, relative_energy_delay, RunCounts};
+//! use energy_model::params::EnergyParams;
+//!
+//! let params = EnergyParams::hpca01_published();
+//! let dri = RunCounts {
+//!     cycles: 1_000_000,
+//!     avg_active_fraction: 0.25,     // cache spent most time downsized
+//!     l1_accesses: 950_000,
+//!     resizing_bits: 6,              // 64K -> 1K size-bound
+//!     extra_l2_accesses: 1_200,
+//! };
+//! let rel = relative_energy_delay(&params, &dri, 990_000);
+//! assert!(rel < 0.5); // large energy-delay reduction
+//! let b = breakdown(&params, &dri);
+//! assert!(b.dynamic_fraction() < 0.2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod cacti_lite;
+pub mod params;
+pub mod tradeoff;
+
+pub use accounting::{
+    breakdown, conventional_leakage, energy_delay, relative_energy_delay, EnergyBreakdown,
+    RunCounts,
+};
+pub use cacti_lite::{ArrayOrg, CactiLite};
+pub use params::EnergyParams;

@@ -1,0 +1,123 @@
+//! The energy constants of paper §5.2, either as published or derived from
+//! the circuit and CACTI-lite models.
+
+use crate::cacti_lite::{ArrayOrg, CactiLite};
+use sram_circuit::cell::SramCell;
+use sram_circuit::gating::GatedVddConfig;
+use sram_circuit::process::Process;
+use sram_circuit::units::{Celsius, NanoJoules, NanoSeconds, Volts};
+
+/// The four constants the §5.2 energy equations consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Leakage energy of the full conventional L1 i-cache per cycle
+    /// (paper: 0.91 nJ for the 64K cache at low Vt).
+    pub l1_leak_per_cycle: NanoJoules,
+    /// Dynamic energy of one resizing tag bitline per L1 access
+    /// (paper: 0.0022 nJ).
+    pub resizing_bitline_energy: NanoJoules,
+    /// Dynamic energy per L2 access (paper: 3.6 nJ).
+    pub l2_access_energy: NanoJoules,
+    /// Standby (gated) leakage as a fraction of active leakage.
+    /// The paper approximates this as zero; the circuit model gives ≈3%.
+    pub standby_leak_fraction: f64,
+}
+
+impl EnergyParams {
+    /// Exactly the constants printed in the paper, for a 64K L1
+    /// (0.91 nJ/cycle, 0.0022 nJ/bitline, 3.6 nJ/L2 access, standby ≈ 0).
+    pub fn hpca01_published() -> Self {
+        EnergyParams {
+            l1_leak_per_cycle: NanoJoules::new(0.91),
+            resizing_bitline_energy: NanoJoules::new(0.0022),
+            l2_access_energy: NanoJoules::new(3.6),
+            standby_leak_fraction: 0.0,
+        }
+    }
+
+    /// Derives the constants from the transistor models for an arbitrary
+    /// L1 size: data-array bits × per-cell leakage for the leak term,
+    /// CACTI-lite for the dynamic terms, and the gated-Vdd equilibrium for
+    /// the standby fraction.
+    pub fn derived(
+        process: &Process,
+        l1_size_bytes: u64,
+        l1_org: &ArrayOrg,
+        l2_org: &ArrayOrg,
+        temp: Celsius,
+    ) -> Self {
+        let cell = SramCell::standard(process, Volts::new(0.2));
+        let per_cell = cell.leakage_energy_per_cycle(process, temp, NanoSeconds::new(1.0));
+        let bits = l1_size_bytes * 8;
+        let gated = GatedVddConfig::hpca01(process);
+        let standby = gated.standby_energy_per_cycle(&cell, process, temp, NanoSeconds::new(1.0));
+        let cacti = CactiLite::default();
+        EnergyParams {
+            l1_leak_per_cycle: per_cell * bits as f64,
+            resizing_bitline_energy: cacti.resizing_bitline_energy(l1_org),
+            l2_access_energy: cacti.access_energy(l2_org),
+            standby_leak_fraction: standby.value() / per_cell.value(),
+        }
+    }
+
+    /// The derived constants for the paper's base configuration (64K L1,
+    /// 1M L2, 110 °C).
+    pub fn hpca01_derived() -> Self {
+        Self::derived(
+            &Process::tsmc180(),
+            64 * 1024,
+            &ArrayOrg::hpca01_l1i(),
+            &ArrayOrg::hpca01_l2(),
+            Celsius::new(110.0),
+        )
+    }
+
+    /// Rescales the L1 leakage term for a different cache size (leakage is
+    /// proportional to bit count), e.g. for Figure 6's 128K experiments.
+    pub fn scaled_l1(&self, from_bytes: u64, to_bytes: u64) -> Self {
+        EnergyParams {
+            l1_leak_per_cycle: self.l1_leak_per_cycle * (to_bytes as f64 / from_bytes as f64),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_l1_leak_matches_published_0_91() {
+        let d = EnergyParams::hpca01_derived();
+        assert!(
+            (d.l1_leak_per_cycle.value() - 0.91).abs() / 0.91 < 0.03,
+            "derived leak {} nJ/cycle",
+            d.l1_leak_per_cycle.value()
+        );
+    }
+
+    #[test]
+    fn derived_dynamic_constants_match_published() {
+        let d = EnergyParams::hpca01_derived();
+        assert!((d.resizing_bitline_energy.value() - 0.0022).abs() / 0.0022 < 0.05);
+        assert!((d.l2_access_energy.value() - 3.6).abs() / 3.6 < 0.05);
+    }
+
+    #[test]
+    fn derived_standby_fraction_is_small_but_nonzero() {
+        let d = EnergyParams::hpca01_derived();
+        assert!(d.standby_leak_fraction > 0.0);
+        assert!(
+            d.standby_leak_fraction < 0.05,
+            "standby fraction {} should be ~3%",
+            d.standby_leak_fraction
+        );
+    }
+
+    #[test]
+    fn scaled_l1_doubles_leakage_for_128k() {
+        let p = EnergyParams::hpca01_published().scaled_l1(64 * 1024, 128 * 1024);
+        assert!((p.l1_leak_per_cycle.value() - 1.82).abs() < 1e-9);
+        assert_eq!(p.l2_access_energy, NanoJoules::new(3.6));
+    }
+}

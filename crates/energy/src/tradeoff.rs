@@ -1,0 +1,87 @@
+//! The leakage/dynamic trade-off bounds of paper §5.2.1.
+//!
+//! Before presenting simulation results, the paper argues analytically that
+//! the DRI i-cache's dynamic-energy overheads cannot swamp its leakage
+//! savings, by bounding two ratios under the approximation "one L1 access
+//! per cycle":
+//!
+//! ```text
+//! extra L1 dynamic / L1 leakage ≈ (resizing bits × 0.0022) / (active × 0.91)
+//!                               ≈ 0.024   at 5 bits, active = 0.5
+//! extra L2 dynamic / L1 leakage ≈ (3.95 / active) × extra miss rate
+//!                               ≈ 0.08    at active = 0.5, +1% miss rate
+//! ```
+
+use crate::params::EnergyParams;
+
+/// Ratio of resizing-tag-bit dynamic energy to L1 leakage energy, assuming
+/// one L1 access per cycle (paper §5.2.1, first bound).
+pub fn extra_l1_over_leakage(
+    params: &EnergyParams,
+    resizing_bits: u32,
+    active_fraction: f64,
+) -> f64 {
+    assert!(
+        active_fraction > 0.0,
+        "active fraction must be positive, got {active_fraction}"
+    );
+    f64::from(resizing_bits) * params.resizing_bitline_energy.value()
+        / (active_fraction * params.l1_leak_per_cycle.value())
+}
+
+/// Ratio of extra-L2 dynamic energy to L1 leakage energy, as a function of
+/// the *absolute* increase in L1 miss rate (extra L1 misses over L1
+/// accesses), assuming one L1 access per cycle (paper §5.2.1, second bound).
+pub fn extra_l2_over_leakage(
+    params: &EnergyParams,
+    active_fraction: f64,
+    extra_miss_rate: f64,
+) -> f64 {
+    assert!(
+        active_fraction > 0.0,
+        "active fraction must be positive, got {active_fraction}"
+    );
+    params.l2_access_energy.value() / params.l1_leak_per_cycle.value() / active_fraction
+        * extra_miss_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_l1_ratio() {
+        let p = EnergyParams::hpca01_published();
+        let r = extra_l1_over_leakage(&p, 5, 0.5);
+        assert!((r - 0.024).abs() < 0.001, "ratio {r}");
+    }
+
+    #[test]
+    fn paper_example_l2_ratio() {
+        let p = EnergyParams::hpca01_published();
+        let r = extra_l2_over_leakage(&p, 0.5, 0.01);
+        assert!((r - 0.079).abs() < 0.002, "ratio {r} (paper rounds to 0.08)");
+    }
+
+    #[test]
+    fn l2_coefficient_is_3_95() {
+        // The paper folds 3.6/0.91 into the constant 3.95.
+        let p = EnergyParams::hpca01_published();
+        let coeff = p.l2_access_energy.value() / p.l1_leak_per_cycle.value();
+        assert!((coeff - 3.95).abs() < 0.01, "coefficient {coeff}");
+    }
+
+    #[test]
+    fn ratios_shrink_with_larger_active_fraction() {
+        let p = EnergyParams::hpca01_published();
+        assert!(extra_l1_over_leakage(&p, 5, 1.0) < extra_l1_over_leakage(&p, 5, 0.25));
+        assert!(extra_l2_over_leakage(&p, 1.0, 0.01) < extra_l2_over_leakage(&p, 0.25, 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "active fraction")]
+    fn rejects_zero_active_fraction() {
+        let p = EnergyParams::hpca01_published();
+        let _ = extra_l1_over_leakage(&p, 5, 0.0);
+    }
+}

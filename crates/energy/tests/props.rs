@@ -1,0 +1,84 @@
+//! Property tests for the energy accounting: the §5.2 equations must be
+//! monotone in every counter and internally consistent.
+
+use energy_model::accounting::{breakdown, relative_energy_delay, RunCounts};
+use energy_model::cacti_lite::{ArrayOrg, CactiLite};
+use energy_model::params::EnergyParams;
+use proptest::prelude::*;
+
+fn arb_counts() -> impl Strategy<Value = RunCounts> {
+    (
+        100_000u64..10_000_000,
+        0.0f64..=1.0,
+        10_000u64..2_000_000,
+        0u32..8,
+        0u64..100_000,
+    )
+        .prop_map(
+            |(cycles, frac, l1, bits, l2)| RunCounts {
+                cycles,
+                avg_active_fraction: frac,
+                l1_accesses: l1,
+                resizing_bits: bits,
+                extra_l2_accesses: l2,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn effective_energy_is_sum_of_components(counts in arb_counts()) {
+        let p = EnergyParams::hpca01_published();
+        let b = breakdown(&p, &counts);
+        let sum = b.l1_leakage.value() + b.extra_l1_dynamic.value() + b.extra_l2_dynamic.value();
+        prop_assert!((b.effective().value() - sum).abs() < 1e-6);
+        prop_assert!(b.effective().value() >= 0.0);
+    }
+
+    #[test]
+    fn energy_monotone_in_every_counter(counts in arb_counts()) {
+        let p = EnergyParams::hpca01_published();
+        let base = breakdown(&p, &counts).effective().value();
+        let mut more_active = counts;
+        more_active.avg_active_fraction = (counts.avg_active_fraction + 0.1).min(1.0);
+        prop_assert!(breakdown(&p, &more_active).effective().value() >= base - 1e-9);
+        let mut more_l2 = counts;
+        more_l2.extra_l2_accesses += 1000;
+        prop_assert!(breakdown(&p, &more_l2).effective().value() > base);
+        let mut more_bits = counts;
+        more_bits.resizing_bits += 1;
+        prop_assert!(breakdown(&p, &more_bits).effective().value() >= base);
+    }
+
+    #[test]
+    fn relative_ed_of_identical_conventional_runs_is_one(
+        cycles in 100_000u64..10_000_000,
+        l1 in 10_000u64..1_000_000,
+    ) {
+        let p = EnergyParams::hpca01_published();
+        let counts = RunCounts::conventional(cycles, l1);
+        let rel = relative_energy_delay(&p, &counts, cycles);
+        prop_assert!((rel - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cacti_energy_monotone_in_geometry(
+        sets_pow in 8u32..13,
+        block_pow in 4u64..7,
+        assoc in 1u32..8,
+        tag in 10u32..30,
+    ) {
+        let m = CactiLite::default();
+        let org = ArrayOrg {
+            sets: 1 << sets_pow,
+            block_bytes: 1 << block_pow,
+            associativity: assoc,
+            tag_bits: tag,
+        };
+        let bigger_rows = ArrayOrg { sets: org.sets * 2, ..org };
+        let wider_block = ArrayOrg { block_bytes: org.block_bytes * 2, ..org };
+        prop_assert!(m.access_energy(&bigger_rows).value() > m.access_energy(&org).value());
+        prop_assert!(m.access_energy(&wider_block).value() > m.access_energy(&org).value());
+        prop_assert!(m.resizing_bitline_energy(&org).value() > 0.0);
+    }
+}

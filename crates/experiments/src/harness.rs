@@ -1,0 +1,99 @@
+//! Shared plumbing for the experiment binaries.
+
+use crate::runner::RunConfig;
+use crate::search::SearchSpace;
+use synth_workload::suite::Benchmark;
+
+/// Whether quick mode is enabled (`DRI_QUICK=1`): smaller search grids and
+/// shorter runs, for smoke-testing the harness.
+pub fn quick_mode() -> bool {
+    std::env::var_os("DRI_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Worker threads to use for benchmark-level parallelism.
+pub fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The base run configuration for a benchmark, honouring quick mode.
+pub fn base_config(benchmark: Benchmark) -> RunConfig {
+    if quick_mode() {
+        let mut cfg = RunConfig::quick(benchmark);
+        cfg.instruction_budget = Some(600_000);
+        cfg
+    } else {
+        RunConfig::hpca01(benchmark)
+    }
+}
+
+/// The search space, honouring quick mode.
+pub fn space() -> SearchSpace {
+    if quick_mode() {
+        SearchSpace::quick()
+    } else {
+        SearchSpace::standard()
+    }
+}
+
+/// Runs one closure per benchmark across [`threads`] workers, preserving
+/// the canonical benchmark order in the output.
+pub fn for_each_benchmark<T: Send>(
+    f: impl Fn(Benchmark) -> T + Sync,
+) -> Vec<(Benchmark, T)> {
+    let benchmarks = Benchmark::all();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads() {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= benchmarks.len() {
+                    break;
+                }
+                let out = f(benchmarks[i]);
+                results.lock().unwrap().push((benchmarks[i], out));
+            });
+        }
+    });
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|(b, _)| benchmarks.iter().position(|x| x == b).expect("known"));
+    out
+}
+
+/// Standard banner for every experiment binary. A `paper_ref` beginning
+/// with `~` is printed verbatim (for artifacts that have no direct
+/// counterpart in the paper).
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{title}");
+    match paper_ref.strip_prefix('~') {
+        Some(verbatim) => println!("({verbatim})"),
+        None => println!("(reproduces {paper_ref} of Yang et al., HPCA 2001)"),
+    }
+    if quick_mode() {
+        println!("[quick mode: reduced grids and budgets — shapes only]");
+    }
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_benchmark_preserves_order() {
+        let rows = for_each_benchmark(|b| b.name().len());
+        assert_eq!(rows.len(), 15);
+        for ((b, len), expect) in rows.iter().zip(Benchmark::all()) {
+            assert_eq!(*b, expect);
+            assert_eq!(*len, expect.name().len());
+        }
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dri-experiments — the figure/table regeneration harness
+//!
+//! One module (and one binary) per published artifact of the HPCA 2001 DRI
+//! i-cache paper:
+//!
+//! | Artifact | Module / binary |
+//! |---|---|
+//! | Table 1 (system configuration) | `table1` binary |
+//! | Table 2 (gated-Vdd circuit trade-offs) | `table2` binary (over `sram_circuit::table2`) |
+//! | Figure 3 (base energy-delay + average size) | [`search`] + `figure3` binary |
+//! | Figure 4 (miss-bound sensitivity) | [`sweeps::miss_bound_sweep`] + `figure4` binary |
+//! | Figure 5 (size-bound sensitivity) | [`sweeps::size_bound_sweep`] + `figure5` binary |
+//! | Figure 6 (size/associativity) | [`sweeps::geometry_sweep`] + `figure6` binary |
+//! | §5.6 (interval & divisibility) | [`sweeps::interval_sweep`] / [`sweeps::divisibility_sweep`] + `section5_6` binary |
+//! | §5.2.1 (analytic bounds) | `tradeoff` binary (over `energy_model::tradeoff`) |
+//!
+//! Set `DRI_QUICK=1` to run any binary with reduced grids/budgets.
+//!
+//! ## Example
+//!
+//! ```
+//! use dri_experiments::{compare, RunConfig};
+//! use synth_workload::suite::Benchmark;
+//!
+//! let mut cfg = RunConfig::quick(Benchmark::Li);
+//! cfg.dri.size_bound_bytes = 4 * 1024;
+//! let c = compare(&cfg);
+//! assert!(c.relative_energy_delay < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod published;
+pub mod report;
+pub mod runner;
+pub mod search;
+pub mod sweeps;
+
+pub use runner::{compare, run_conventional, run_dri, Comparison, DriRun, RunConfig};
+pub use search::{search_all, search_benchmark, SearchResult, SearchSpace, SLOWDOWN_CONSTRAINT};

@@ -1,0 +1,209 @@
+//! Parameter and geometry sweeps: Figures 4–6 and §5.6.
+
+use crate::runner::{
+    compare_with_baseline, run_conventional, run_dri, Comparison, RunConfig,
+};
+use dri_core::DriConfig;
+
+/// Runs one DRI-vs-baseline comparison for a fully specified config.
+fn one(cfg: &RunConfig) -> Comparison {
+    let baseline = run_conventional(cfg);
+    let dri = run_dri(cfg);
+    compare_with_baseline(cfg, &baseline, &dri)
+}
+
+/// Figure 4: the miss-bound varied to 0.5×, 1×, and 2× of the base
+/// (performance-constrained) value, size-bound held.
+#[derive(Debug, Clone, Copy)]
+pub struct MissBoundSweep {
+    /// 0.5× the base miss-bound.
+    pub half: Comparison,
+    /// The base setting.
+    pub base: Comparison,
+    /// 2× the base miss-bound.
+    pub double: Comparison,
+}
+
+/// Runs the Figure 4 sweep around `base` (whose `dri.miss_bound` is the
+/// benchmark's constrained-best value). The baseline run is shared.
+pub fn miss_bound_sweep(base: &RunConfig) -> MissBoundSweep {
+    let baseline = run_conventional(base);
+    let with = |mb: u64| {
+        let mut cfg = base.clone();
+        cfg.dri.miss_bound = mb.max(1);
+        let dri = run_dri(&cfg);
+        compare_with_baseline(&cfg, &baseline, &dri)
+    };
+    MissBoundSweep {
+        half: with(base.dri.miss_bound / 2),
+        base: with(base.dri.miss_bound),
+        double: with(base.dri.miss_bound * 2),
+    }
+}
+
+/// Figure 5: the size-bound varied to 2×, 1×, and 0.5× of the base value
+/// (the paper's ordering), miss-bound held. `double` is `None` when the
+/// base bound is already the full cache (fpppp's "NOT APPLICABLE" column).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeBoundSweep {
+    /// 2× the base size-bound (None when it would exceed the cache).
+    pub double: Option<Comparison>,
+    /// The base setting.
+    pub base: Comparison,
+    /// 0.5× the base size-bound (None when it would drop below one row).
+    pub half: Option<Comparison>,
+}
+
+/// Runs the Figure 5 sweep around `base`.
+pub fn size_bound_sweep(base: &RunConfig) -> SizeBoundSweep {
+    let baseline = run_conventional(base);
+    let with = |sb: u64| {
+        let mut cfg = base.clone();
+        cfg.dri.size_bound_bytes = sb;
+        let dri = run_dri(&cfg);
+        compare_with_baseline(&cfg, &baseline, &dri)
+    };
+    let row_bytes = base.dri.block_bytes * u64::from(base.dri.associativity);
+    let double = if base.dri.size_bound_bytes * 2 <= base.dri.max_size_bytes {
+        Some(with(base.dri.size_bound_bytes * 2))
+    } else {
+        None
+    };
+    let half = if base.dri.size_bound_bytes / 2 >= row_bytes {
+        Some(with(base.dri.size_bound_bytes / 2))
+    } else {
+        None
+    };
+    SizeBoundSweep {
+        double,
+        base: with(base.dri.size_bound_bytes),
+        half,
+    }
+}
+
+/// Figure 6: conventional cache parameters varied — 64K 4-way, 64K
+/// direct-mapped, and 128K direct-mapped — each compared against a
+/// conventional i-cache of *equivalent* geometry, all using the base 64K
+/// direct-mapped miss-/size-bounds (paper §5.5).
+#[derive(Debug, Clone, Copy)]
+pub struct GeometrySweep {
+    /// 64K four-way associative.
+    pub assoc_4way: Comparison,
+    /// 64K direct-mapped (the base design point).
+    pub dm_64k: Comparison,
+    /// 128K direct-mapped (one extra resizing tag bit).
+    pub dm_128k: Comparison,
+}
+
+/// Runs the Figure 6 sweep. `base` carries the benchmark's constrained
+/// 64K-DM parameters.
+pub fn geometry_sweep(base: &RunConfig) -> GeometrySweep {
+    let with_geometry = |dri: DriConfig| {
+        let mut cfg = base.clone();
+        cfg.dri = DriConfig {
+            miss_bound: base.dri.miss_bound,
+            size_bound_bytes: base.dri.size_bound_bytes.min(dri.max_size_bytes),
+            sense_interval: base.dri.sense_interval,
+            divisibility: base.dri.divisibility,
+            throttle: base.dri.throttle,
+            ..dri
+        };
+        one(&cfg)
+    };
+    GeometrySweep {
+        assoc_4way: with_geometry(DriConfig::hpca01_64k_4way()),
+        dm_64k: with_geometry(DriConfig::hpca01_64k_dm()),
+        dm_128k: with_geometry(DriConfig::hpca01_128k_dm()),
+    }
+}
+
+/// §5.6: sense-interval robustness. Returns `(interval, comparison)` per
+/// swept length.
+pub fn interval_sweep(base: &RunConfig, intervals: &[u64]) -> Vec<(u64, Comparison)> {
+    let baseline = run_conventional(base);
+    intervals
+        .iter()
+        .map(|&si| {
+            let mut cfg = base.clone();
+            cfg.dri.sense_interval = si;
+            let dri = run_dri(&cfg);
+            (si, compare_with_baseline(&cfg, &baseline, &dri))
+        })
+        .collect()
+}
+
+/// §5.6: divisibility. Returns `(divisibility, comparison)` per factor.
+pub fn divisibility_sweep(base: &RunConfig, divs: &[u32]) -> Vec<(u32, Comparison)> {
+    let baseline = run_conventional(base);
+    divs.iter()
+        .map(|&d| {
+            let mut cfg = base.clone();
+            cfg.dri.divisibility = d;
+            let dri = run_dri(&cfg);
+            (d, compare_with_baseline(&cfg, &baseline, &dri))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth_workload::suite::Benchmark;
+
+    fn quick_base() -> RunConfig {
+        let mut cfg = RunConfig::quick(Benchmark::Compress);
+        cfg.instruction_budget = Some(250_000);
+        cfg.dri.size_bound_bytes = 4 * 1024;
+        cfg.dri.miss_bound = 100;
+        cfg
+    }
+
+    #[test]
+    fn miss_bound_sweep_produces_three_points() {
+        let s = miss_bound_sweep(&quick_base());
+        assert_eq!(s.half.miss_bound, 50);
+        assert_eq!(s.base.miss_bound, 100);
+        assert_eq!(s.double.miss_bound, 200);
+    }
+
+    #[test]
+    fn size_bound_sweep_handles_full_cache_bound() {
+        let mut cfg = quick_base();
+        cfg.dri.size_bound_bytes = cfg.dri.max_size_bytes;
+        let s = size_bound_sweep(&cfg);
+        assert!(s.double.is_none(), "fpppp-style: no 2x column");
+        assert!(s.half.is_some());
+    }
+
+    #[test]
+    fn geometry_sweep_covers_three_designs() {
+        let s = geometry_sweep(&quick_base());
+        assert_eq!(s.dm_64k.size_bound_bytes, 4 * 1024);
+        // The 128K cache keeps the same absolute size-bound (one more
+        // resizing bit), per §5.5.
+        assert_eq!(s.dm_128k.size_bound_bytes, 4 * 1024);
+        assert!(s.assoc_4way.relative_energy_delay.is_finite());
+    }
+
+    #[test]
+    fn interval_sweep_is_robust_for_class1() {
+        // Paper: energy-delay varies by <1% (go <5%) across 250K..4M.
+        // Our quick check uses a narrower claim: same order of magnitude.
+        let base = quick_base();
+        let rows = interval_sweep(&base, &[10_000, 20_000, 40_000]);
+        let eds: Vec<f64> = rows.iter().map(|(_, c)| c.relative_energy_delay).collect();
+        let spread = (eds.iter().cloned().fold(f64::MIN, f64::max)
+            - eds.iter().cloned().fold(f64::MAX, f64::min))
+        .abs();
+        assert!(spread < 0.3, "interval spread {spread} too wide: {eds:?}");
+    }
+
+    #[test]
+    fn divisibility_sweep_runs() {
+        let rows = divisibility_sweep(&quick_base(), &[2, 4, 8]);
+        assert_eq!(rows.len(), 3);
+        for (d, c) in rows {
+            assert!(c.relative_energy_delay.is_finite(), "div {d}");
+        }
+    }
+}

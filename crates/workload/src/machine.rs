@@ -1,0 +1,404 @@
+//! The architectural (functional) machine: executes programs and yields
+//! the committed instruction stream.
+//!
+//! The CPU timing model consumes this stream — an *execution-driven*
+//! arrangement: instruction addresses, branch outcomes, and memory
+//! addresses all come from actually running the generated code, not from a
+//! statistical trace. Everything is deterministic given the program (data
+//! memory is initialised from the program's seed).
+
+use crate::isa::{Inst, Op, NUM_FP_REGS, NUM_INT_REGS};
+use crate::program::Program;
+
+/// Maximum call depth before the machine declares a generator bug.
+const MAX_CALL_DEPTH: usize = 4096;
+
+/// One committed instruction, as observed by a timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Retired {
+    /// Address of the instruction.
+    pub pc: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Address of the next committed instruction.
+    pub next_pc: u64,
+    /// For control instructions: whether the transfer was taken
+    /// (conditional branches may fall through; jumps/calls/returns are
+    /// always taken).
+    pub taken: bool,
+    /// For loads/stores: the effective address.
+    pub mem_addr: Option<u64>,
+}
+
+/// Result of [`Machine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Instructions retired by this call.
+    pub retired: u64,
+    /// Whether the program halted (vs exhausting the budget).
+    pub halted: bool,
+}
+
+/// Architectural state + interpreter.
+#[derive(Debug, Clone)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    pc: u64,
+    int_regs: [i64; NUM_INT_REGS],
+    fp_regs: [f64; NUM_FP_REGS],
+    data: Vec<i64>,
+    call_stack: Vec<u64>,
+    retired: u64,
+    halted: bool,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<'p> Machine<'p> {
+    /// Boots a machine at the program entry with seeded data memory.
+    pub fn new(program: &'p Program) -> Self {
+        let words = (program.data_bytes() / 8) as usize;
+        let mut seed = program.data_seed();
+        let data = (0..words)
+            .map(|_| (splitmix64(&mut seed) & 0xFFFF) as i64)
+            .collect();
+        Machine {
+            program,
+            pc: program.entry(),
+            int_regs: [0; NUM_INT_REGS],
+            fp_regs: [0.0; NUM_FP_REGS],
+            data,
+            call_stack: Vec::new(),
+            retired: 0,
+            halted: false,
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Whether the program has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total instructions retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads an integer register (tests/debugging).
+    pub fn int_reg(&self, r: u8) -> i64 {
+        self.int_regs[r as usize]
+    }
+
+    fn write_int(&mut self, r: u8, v: i64) {
+        self.int_regs[r as usize] = v;
+        self.int_regs[0] = 0; // r0 is hardwired to zero
+    }
+
+    fn mem_index(&self, addr: u64) -> usize {
+        let base = self.program.data_base();
+        assert!(
+            addr >= base && addr + 8 <= base + self.program.data_bytes(),
+            "memory access {addr:#x} outside data segment [{base:#x}, {:#x})",
+            base + self.program.data_bytes()
+        );
+        assert!(addr % 8 == 0, "unaligned memory access {addr:#x}");
+        ((addr - base) / 8) as usize
+    }
+
+    /// Executes one instruction; returns `None` once halted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed programs (wild jumps, out-of-segment memory
+    /// accesses, runaway recursion) — generator bugs, not workload events.
+    pub fn step(&mut self) -> Option<Retired> {
+        if self.halted {
+            return None;
+        }
+        let pc = self.pc;
+        let inst = self.program.inst_at(pc);
+        let mut next_pc = pc + 4;
+        let mut taken = false;
+        let mut mem_addr = None;
+
+        let rs1 = self.int_regs[inst.rs1 as usize];
+        let rs2 = self.int_regs[inst.rs2 as usize];
+        let fs1 = self.fp_regs[inst.rs1 as usize];
+        let fs2 = self.fp_regs[inst.rs2 as usize];
+
+        match inst.op {
+            Op::Add => self.write_int(inst.rd, rs1.wrapping_add(rs2)),
+            Op::Sub => self.write_int(inst.rd, rs1.wrapping_sub(rs2)),
+            Op::And => self.write_int(inst.rd, rs1 & rs2),
+            Op::Or => self.write_int(inst.rd, rs1 | rs2),
+            Op::Xor => self.write_int(inst.rd, rs1 ^ rs2),
+            Op::Slt => self.write_int(inst.rd, i64::from(rs1 < rs2)),
+            Op::Addi => self.write_int(inst.rd, rs1.wrapping_add(inst.imm)),
+            Op::Mul => self.write_int(inst.rd, rs1.wrapping_mul(rs2)),
+            Op::Div => self.write_int(inst.rd, if rs2 == 0 { 0 } else { rs1.wrapping_div(rs2) }),
+            Op::FAdd => self.fp_regs[inst.rd as usize] = fs1 + fs2,
+            Op::FMul => self.fp_regs[inst.rd as usize] = fs1 * fs2,
+            Op::FDiv => {
+                self.fp_regs[inst.rd as usize] = if fs2 == 0.0 { 0.0 } else { fs1 / fs2 }
+            }
+            Op::Load => {
+                let addr = (rs1 + inst.imm) as u64;
+                let idx = self.mem_index(addr);
+                mem_addr = Some(addr);
+                let v = self.data[idx];
+                self.write_int(inst.rd, v);
+            }
+            Op::Store => {
+                let addr = (rs1 + inst.imm) as u64;
+                let idx = self.mem_index(addr);
+                mem_addr = Some(addr);
+                self.data[idx] = rs2;
+            }
+            Op::FLoad => {
+                let addr = (rs1 + inst.imm) as u64;
+                let idx = self.mem_index(addr);
+                mem_addr = Some(addr);
+                self.fp_regs[inst.rd as usize] = f64::from_bits(self.data[idx] as u64);
+            }
+            Op::FStore => {
+                let addr = (rs1 + inst.imm) as u64;
+                let idx = self.mem_index(addr);
+                mem_addr = Some(addr);
+                self.data[idx] = fs2.to_bits() as i64;
+            }
+            Op::Beq => {
+                if rs1 == rs2 {
+                    next_pc = inst.imm as u64;
+                    taken = true;
+                }
+            }
+            Op::Bne => {
+                if rs1 != rs2 {
+                    next_pc = inst.imm as u64;
+                    taken = true;
+                }
+            }
+            Op::Blt => {
+                if rs1 < rs2 {
+                    next_pc = inst.imm as u64;
+                    taken = true;
+                }
+            }
+            Op::Bge => {
+                if rs1 >= rs2 {
+                    next_pc = inst.imm as u64;
+                    taken = true;
+                }
+            }
+            Op::Jump => {
+                next_pc = inst.imm as u64;
+                taken = true;
+            }
+            Op::Call => {
+                assert!(
+                    self.call_stack.len() < MAX_CALL_DEPTH,
+                    "call stack overflow at {pc:#x} (generator bug)"
+                );
+                self.call_stack.push(pc + 4);
+                next_pc = inst.imm as u64;
+                taken = true;
+            }
+            Op::Ret => match self.call_stack.pop() {
+                Some(ra) => {
+                    next_pc = ra;
+                    taken = true;
+                }
+                None => {
+                    self.halted = true;
+                    next_pc = pc;
+                }
+            },
+            Op::Nop => {}
+            Op::Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+        }
+
+        self.pc = next_pc;
+        self.retired += 1;
+        Some(Retired {
+            pc,
+            inst,
+            next_pc,
+            taken,
+            mem_addr,
+        })
+    }
+
+    /// Runs up to `budget` instructions (or until halt).
+    pub fn run(&mut self, budget: u64) -> RunSummary {
+        let start = self.retired;
+        while self.retired - start < budget {
+            if self.step().is_none() {
+                break;
+            }
+        }
+        RunSummary {
+            retired: self.retired - start,
+            halted: self.halted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Inst;
+
+    fn prog(insts: Vec<Inst>) -> Program {
+        Program::new("t", 0x1000, insts, 0x10_0000, 4096, 99)
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        // r8 = 0; r9 = 5; loop: r8 += r9; r9 -= 1; bne r9, r0, loop; halt
+        let p = prog(vec![
+            Inst::new(Op::Addi, 8, 0, 0, 0),
+            Inst::new(Op::Addi, 9, 0, 0, 5),
+            Inst::new(Op::Add, 8, 8, 9, 0),
+            Inst::new(Op::Addi, 9, 9, 0, -1),
+            Inst::new(Op::Bne, 0, 9, 0, 0x1008),
+            Inst::new(Op::Halt, 0, 0, 0, 0),
+        ]);
+        let mut m = Machine::new(&p);
+        let s = m.run(1000);
+        assert!(s.halted);
+        assert_eq!(m.int_reg(8), 5 + 4 + 3 + 2 + 1);
+        assert_eq!(s.retired, 2 + 5 * 3 + 1);
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let base = 0x10_0000i64;
+        let p = prog(vec![
+            Inst::new(Op::Addi, 8, 0, 0, base),
+            Inst::new(Op::Addi, 9, 0, 0, 1234),
+            Inst::new(Op::Store, 0, 8, 9, 16),
+            Inst::new(Op::Load, 10, 8, 0, 16),
+            Inst::new(Op::Halt, 0, 0, 0, 0),
+        ]);
+        let mut m = Machine::new(&p);
+        m.run(10);
+        assert_eq!(m.int_reg(10), 1234);
+        let events: Vec<_> = {
+            let mut m2 = Machine::new(&p);
+            std::iter::from_fn(move || m2.step()).collect()
+        };
+        assert_eq!(events[2].mem_addr, Some(0x10_0010));
+        assert_eq!(events[3].mem_addr, Some(0x10_0010));
+    }
+
+    #[test]
+    fn call_and_ret() {
+        // main: call f; halt   f: addi r8, r0, 7; ret
+        let p = prog(vec![
+            Inst::new(Op::Call, 0, 0, 0, 0x1008),
+            Inst::new(Op::Halt, 0, 0, 0, 0),
+            Inst::new(Op::Addi, 8, 0, 0, 7),
+            Inst::new(Op::Ret, 0, 0, 0, 0),
+        ]);
+        let mut m = Machine::new(&p);
+        let s = m.run(10);
+        assert!(s.halted);
+        assert_eq!(m.int_reg(8), 7);
+        assert_eq!(s.retired, 4);
+    }
+
+    #[test]
+    fn ret_on_empty_stack_halts() {
+        let p = prog(vec![Inst::new(Op::Ret, 0, 0, 0, 0)]);
+        let mut m = Machine::new(&p);
+        let s = m.run(10);
+        assert!(s.halted);
+        assert_eq!(s.retired, 1);
+    }
+
+    #[test]
+    fn r0_stays_zero() {
+        let p = prog(vec![
+            Inst::new(Op::Addi, 0, 0, 0, 55),
+            Inst::new(Op::Halt, 0, 0, 0, 0),
+        ]);
+        let mut m = Machine::new(&p);
+        m.run(10);
+        assert_eq!(m.int_reg(0), 0);
+    }
+
+    #[test]
+    fn data_memory_is_seed_deterministic() {
+        let p = prog(vec![
+            Inst::new(Op::Addi, 8, 0, 0, 0x10_0000),
+            Inst::new(Op::Load, 9, 8, 0, 0),
+            Inst::new(Op::Halt, 0, 0, 0, 0),
+        ]);
+        let mut a = Machine::new(&p);
+        let mut b = Machine::new(&p);
+        a.run(10);
+        b.run(10);
+        assert_eq!(a.int_reg(9), b.int_reg(9));
+    }
+
+    #[test]
+    fn retired_stream_reports_taken_flags() {
+        let p = prog(vec![
+            Inst::new(Op::Beq, 0, 0, 0, 0x1008), // r0 == r0: taken
+            Inst::new(Op::Nop, 0, 0, 0, 0),      // skipped
+            Inst::new(Op::Bne, 0, 0, 0, 0x1000), // r0 != r0: not taken
+            Inst::new(Op::Halt, 0, 0, 0, 0),
+        ]);
+        let mut m = Machine::new(&p);
+        let e1 = m.step().unwrap();
+        assert!(e1.taken);
+        assert_eq!(e1.next_pc, 0x1008);
+        let e2 = m.step().unwrap();
+        assert!(!e2.taken);
+        assert_eq!(e2.next_pc, 0x100c);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside data segment")]
+    fn wild_memory_access_panics() {
+        let p = prog(vec![Inst::new(Op::Load, 8, 0, 0, 64)]);
+        let mut m = Machine::new(&p);
+        m.run(1);
+    }
+
+    #[test]
+    fn budget_stops_infinite_loops() {
+        let p = prog(vec![Inst::new(Op::Jump, 0, 0, 0, 0x1000)]);
+        let mut m = Machine::new(&p);
+        let s = m.run(1000);
+        assert!(!s.halted);
+        assert_eq!(s.retired, 1000);
+        assert_eq!(m.retired(), 1000);
+    }
+
+    #[test]
+    fn div_by_zero_yields_zero() {
+        let p = prog(vec![
+            Inst::new(Op::Addi, 8, 0, 0, 10),
+            Inst::new(Op::Div, 9, 8, 0, 0),
+            Inst::new(Op::Halt, 0, 0, 0, 0),
+        ]);
+        let mut m = Machine::new(&p);
+        m.run(10);
+        assert_eq!(m.int_reg(9), 0);
+    }
+}

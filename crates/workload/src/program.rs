@@ -1,0 +1,224 @@
+//! Programs: code images with a data segment description.
+
+use crate::isa::{Inst, Op, INST_BYTES};
+
+/// A complete synthetic program.
+///
+/// Instructions are laid out contiguously from [`Program::base_addr`];
+/// instruction `i` lives at `base_addr + 4 i`. Sparse layouts (used to
+/// engineer direct-mapped conflicts) are realised by padding with
+/// unreachable [`Inst::nop`]s — exactly like real linkers padding sections.
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    base_addr: u64,
+    insts: Vec<Inst>,
+    data_base: u64,
+    data_bytes: u64,
+    data_seed: u64,
+}
+
+impl Program {
+    /// Assembles a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts` is empty or the code and data segments overlap.
+    pub fn new(
+        name: impl Into<String>,
+        base_addr: u64,
+        insts: Vec<Inst>,
+        data_base: u64,
+        data_bytes: u64,
+        data_seed: u64,
+    ) -> Self {
+        assert!(!insts.is_empty(), "a program needs at least one instruction");
+        let code_end = base_addr + insts.len() as u64 * INST_BYTES;
+        assert!(
+            code_end <= data_base || data_base + data_bytes <= base_addr,
+            "code [{base_addr:#x}, {code_end:#x}) overlaps data [{data_base:#x}, {:#x})",
+            data_base + data_bytes
+        );
+        Program {
+            name: name.into(),
+            base_addr,
+            insts,
+            data_base,
+            data_bytes,
+            data_seed,
+        }
+    }
+
+    /// Program name (the benchmark it proxies).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Address of the first instruction (also the entry point).
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// Entry-point address.
+    pub fn entry(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// Number of instructions (including padding).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty (never true for a validated program).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Code footprint in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.insts.len() as u64 * INST_BYTES
+    }
+
+    /// Start of the data segment.
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// Size of the data segment in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Seed used to initialise data memory (drives data-dependent branch
+    /// behaviour deterministically).
+    pub fn data_seed(&self) -> u64 {
+        self.data_seed
+    }
+
+    /// Address of instruction index `i`.
+    pub fn addr_of(&self, i: usize) -> u64 {
+        self.base_addr + i as u64 * INST_BYTES
+    }
+
+    /// Instruction at address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unaligned or outside the code segment.
+    pub fn inst_at(&self, addr: u64) -> Inst {
+        assert!(
+            addr >= self.base_addr && (addr - self.base_addr) % INST_BYTES == 0,
+            "bad instruction address {addr:#x}"
+        );
+        let idx = ((addr - self.base_addr) / INST_BYTES) as usize;
+        assert!(
+            idx < self.insts.len(),
+            "instruction address {addr:#x} past end of program"
+        );
+        self.insts[idx]
+    }
+
+    /// All instructions (for analysis and tests).
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Validates static well-formedness: all control-flow targets must land
+    /// on instruction boundaries inside the code segment, and all memory
+    /// displacements must be representable. Returns the number of
+    /// control-flow instructions checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic if any target is out of range.
+    pub fn validate(&self) -> usize {
+        let mut checked = 0;
+        for (i, inst) in self.insts.iter().enumerate() {
+            let is_target_op = matches!(
+                inst.op,
+                Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Jump | Op::Call
+            );
+            if is_target_op {
+                let t = inst.imm as u64;
+                assert!(
+                    t >= self.base_addr
+                        && t < self.base_addr + self.code_bytes()
+                        && (t - self.base_addr) % INST_BYTES == 0,
+                    "instruction {i} ({:?}) targets {t:#x} outside code",
+                    inst.op
+                );
+                checked += 1;
+            }
+        }
+        checked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Inst;
+
+    fn tiny() -> Program {
+        Program::new(
+            "tiny",
+            0x1000,
+            vec![
+                Inst::new(Op::Addi, 8, 0, 0, 42),
+                Inst::new(Op::Jump, 0, 0, 0, 0x1000),
+            ],
+            0x10_0000,
+            4096,
+            7,
+        )
+    }
+
+    #[test]
+    fn addressing_round_trips() {
+        let p = tiny();
+        assert_eq!(p.addr_of(0), 0x1000);
+        assert_eq!(p.addr_of(1), 0x1004);
+        assert_eq!(p.inst_at(0x1004).op, Op::Jump);
+        assert_eq!(p.code_bytes(), 8);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_in_range_targets() {
+        assert_eq!(tiny().validate(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside code")]
+    fn validate_rejects_wild_jump() {
+        let p = Program::new(
+            "bad",
+            0x1000,
+            vec![Inst::new(Op::Jump, 0, 0, 0, 0x9999_0000)],
+            0x10_0000,
+            64,
+            0,
+        );
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps data")]
+    fn rejects_overlapping_segments() {
+        let _ = Program::new(
+            "overlap",
+            0x1000,
+            vec![Inst::nop(); 1024],
+            0x1100,
+            64,
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad instruction address")]
+    fn inst_at_rejects_unaligned() {
+        let _ = tiny().inst_at(0x1002);
+    }
+}

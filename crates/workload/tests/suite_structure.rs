@@ -1,0 +1,129 @@
+//! Structural checks on the benchmark suite: each proxy must actually
+//! exhibit the published property that drives its class's Figure 3
+//! behaviour, measured by executing it and watching the touched code.
+
+use std::collections::BTreeSet;
+use synth_workload::machine::Machine;
+use synth_workload::suite::{BenchClass, Benchmark};
+
+/// Executes `budget` instructions and returns the set of touched 32-byte
+/// code blocks per window of `window` instructions.
+fn touched_blocks_per_window(b: Benchmark, budget: u64, window: u64) -> Vec<BTreeSet<u64>> {
+    let g = b.build();
+    let mut m = Machine::new(&g.program);
+    let mut windows = Vec::new();
+    let mut current = BTreeSet::new();
+    for i in 0..budget {
+        let e = m.step().expect("suite programs never halt");
+        current.insert(e.pc >> 5);
+        if (i + 1) % window == 0 {
+            windows.push(std::mem::take(&mut current));
+        }
+    }
+    windows
+}
+
+#[test]
+fn class1_touches_a_tiny_code_set() {
+    for b in [Benchmark::Compress, Benchmark::Li, Benchmark::Mgrid] {
+        let windows = touched_blocks_per_window(b, 400_000, 100_000);
+        for (i, w) in windows.iter().enumerate() {
+            let kb = w.len() as u64 * 32 / 1024;
+            assert!(
+                kb <= 8,
+                "{} window {i}: touched {kb}K, class 1 must stay tiny",
+                b.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fpppp_touches_most_of_the_cache() {
+    let windows = touched_blocks_per_window(Benchmark::Fpppp, 400_000, 100_000);
+    // Skip the first window (entry transient), then expect ~60K+ touched.
+    for (i, w) in windows.iter().enumerate().skip(1) {
+        let kb = w.len() as u64 * 32 / 1024;
+        assert!(
+            kb >= 48,
+            "fpppp window {i}: touched only {kb}K of its ~60K footprint"
+        );
+    }
+}
+
+#[test]
+fn phased_benchmarks_change_their_working_set() {
+    // hydro2d: the init windows touch far more code than the loop windows.
+    let g = Benchmark::Hydro2d.build();
+    let windows = touched_blocks_per_window(
+        Benchmark::Hydro2d,
+        (g.cycle_instructions / 4).min(4_000_000),
+        100_000,
+    );
+    let sizes: Vec<u64> = windows.iter().map(|w| w.len() as u64 * 32 / 1024).collect();
+    let max = *sizes.iter().max().unwrap();
+    let min = *sizes.iter().min().unwrap();
+    assert!(
+        max >= 10 * min.max(1),
+        "hydro2d window footprints {sizes:?} should span an order of magnitude"
+    );
+}
+
+#[test]
+fn class_membership_covers_all_benchmarks() {
+    let mut by_class = [0usize; 3];
+    for b in Benchmark::all() {
+        match b.class() {
+            BenchClass::SmallWorkingSet => by_class[0] += 1,
+            BenchClass::LargeWorkingSet => by_class[1] += 1,
+            BenchClass::Phased => by_class[2] += 1,
+        }
+    }
+    assert_eq!(by_class, [5, 5, 5]);
+}
+
+#[test]
+fn instruction_mix_is_plausible() {
+    // Roughly: a fifth to a third memory ops, some branches, FP only for
+    // FP-flavoured members.
+    for b in [Benchmark::Compress, Benchmark::Swim] {
+        let g = b.build();
+        let mut m = Machine::new(&g.program);
+        let (mut mem, mut br, mut fp) = (0u64, 0u64, 0u64);
+        let n = 200_000u64;
+        for _ in 0..n {
+            let e = m.step().unwrap();
+            if e.mem_addr.is_some() {
+                mem += 1;
+            }
+            if e.inst.op.is_conditional_branch() {
+                br += 1;
+            }
+            if e.inst.op.writes_fp() || e.inst.op.reads_fp() {
+                fp += 1;
+            }
+        }
+        let mem_frac = mem as f64 / n as f64;
+        assert!(
+            (0.1..0.45).contains(&mem_frac),
+            "{}: memory fraction {mem_frac}",
+            b.name()
+        );
+        assert!(br > n / 100, "{}: too few branches", b.name());
+        assert_eq!(fp > 0, b.is_fp(), "{}: FP presence mismatch", b.name());
+    }
+}
+
+#[test]
+fn cold_pools_alias_across_the_stride() {
+    // The multi-phase benchmarks carry aliased cold pools: at least one
+    // pair of executed blocks must be exactly 64K apart (the alias
+    // stride), which is what keeps their miss trickle alive.
+    let windows = touched_blocks_per_window(Benchmark::Ijpeg, 600_000, 600_000);
+    let blocks = &windows[0];
+    let stride_blocks = (64 * 1024) / 32;
+    let has_alias_pair = blocks
+        .iter()
+        .any(|b| blocks.contains(&(b + stride_blocks)));
+    assert!(has_alias_pair, "expected 64K-aliased cold-pool pairs");
+}

@@ -1,0 +1,39 @@
+//! Quickstart: simulate one benchmark on a DRI i-cache vs the conventional
+//! baseline and print the paper's headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dri::dri::DriConfig;
+use dri::experiments::{compare, RunConfig};
+use dri::workload::suite::Benchmark;
+
+fn main() {
+    // The `compress` proxy: a tight ~2K loop kernel (class 1 in the paper's
+    // taxonomy) — the ideal case for a resizable i-cache.
+    let mut cfg = RunConfig::hpca01(Benchmark::Compress);
+    cfg.dri = DriConfig {
+        // Steer toward ~100 misses per 100K-instruction sense interval and
+        // never shrink below 2K (the kernel plus its driver fit in 2K).
+        miss_bound: 100,
+        size_bound_bytes: 2 * 1024,
+        ..DriConfig::hpca01_64k_dm()
+    };
+
+    println!("simulating {} on a 64K direct-mapped DRI i-cache...", cfg.benchmark.name());
+    let c = compare(&cfg);
+
+    println!();
+    println!("relative leakage energy-delay : {:.2}x (conventional = 1.00)", c.relative_energy_delay);
+    println!("  leakage component           : {:.2}", c.leakage_component);
+    println!("  extra-dynamic component     : {:.2}", c.dynamic_component);
+    println!("average cache size            : {:.1}% of 64K", c.avg_size_fraction * 100.0);
+    println!("execution-time increase       : {:.2}%", c.slowdown * 100.0);
+    println!("extra L2 accesses             : {}", c.extra_l2_accesses);
+    println!();
+    println!(
+        "energy-delay reduction: {:.0}% (the paper's class-1 benchmarks reach ~80%)",
+        (1.0 - c.relative_energy_delay) * 100.0
+    );
+}

@@ -1,0 +1,76 @@
+//! The resizable *data* cache: the paper's scoped-out extension, live.
+//!
+//! Demonstrates the two complications paper §2 cites for d-caches — dirty
+//! lines in gated sets (written back on downsize) and aliases after
+//! upsizing (scrubbed with write-back on refill) — on a synthetic
+//! read-modify-write working set that shrinks halfway through.
+//!
+//! ```text
+//! cargo run --release --example resizable_dcache
+//! ```
+
+use dri::cache::cache::AccessKind;
+use dri::dri::{DriConfig, ResizableDCache};
+
+fn main() {
+    let cfg = DriConfig {
+        miss_bound: 50,
+        size_bound_bytes: 4 * 1024,
+        sense_interval: 50_000,
+        ..DriConfig::hpca01_64k_dm()
+    };
+    let mut dcache = ResizableDCache::new(cfg);
+    println!(
+        "64K direct-mapped resizable d-cache, 4K size-bound, miss-bound 50/50K"
+    );
+
+    // Phase 1: read-modify-write sweeps over a 32K array.
+    let big = 32 * 1024u64;
+    let mut cycle = 0u64;
+    for pass in 0..6 {
+        for addr in (0..big).step_by(32) {
+            let _ = dcache.access(addr, AccessKind::Read, cycle);
+            let _ = dcache.access(addr, AccessKind::Write, cycle + 1);
+            cycle += 3;
+        }
+        dcache.retire_instructions(50_000, cycle);
+        println!(
+            "pass {pass}: active {:>3}K, misses {:>6}, writebacks {:>5} (resize-driven {:>4})",
+            dcache.active_size_bytes() / 1024,
+            dcache.stats().misses,
+            dcache.stats().writebacks,
+            dcache.resize_writebacks(),
+        );
+    }
+
+    // Phase 2: the working set collapses to 2K; the cache follows, writing
+    // dirty lines back as sets are gated.
+    println!("\nworking set drops to 2K:");
+    let small = 2 * 1024u64;
+    for pass in 0..8 {
+        for _ in 0..25 {
+            for addr in (0..small).step_by(32) {
+                let _ = dcache.access(addr, AccessKind::Write, cycle);
+                cycle += 2;
+            }
+        }
+        dcache.retire_instructions(50_000, cycle);
+        println!(
+            "pass {pass}: active {:>3}K, misses {:>6}, writebacks {:>5} (resize-driven {:>4})",
+            dcache.active_size_bytes() / 1024,
+            dcache.stats().misses,
+            dcache.stats().writebacks,
+            dcache.resize_writebacks(),
+        );
+    }
+    dcache.finish(cycle);
+
+    println!(
+        "\naverage active size {:.1}% of 64K; {} resizes; every downsize paid \
+         for its gated dirty lines ({} write-backs) — the cost the paper's \
+         i-cache design avoids by construction.",
+        dcache.avg_active_fraction() * 100.0,
+        dcache.resizes(),
+        dcache.resize_writebacks(),
+    );
+}

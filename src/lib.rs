@@ -1,0 +1,48 @@
+//! # dri — the HPCA 2001 DRI i-cache, reproduced in Rust
+//!
+//! This is the facade crate of a workspace that reproduces
+//! *"An Integrated Circuit/Architecture Approach to Reducing Leakage in
+//! Deep-Submicron High-Performance I-Caches"* (Yang, Powell, Falsafi, Roy,
+//! Vijaykumar; HPCA 2001) — the **Dynamically ResIzable instruction cache**
+//! (DRI i-cache) together with every substrate its evaluation depends on:
+//!
+//! * [`circuit`] — transistor-level subthreshold-leakage / delay / area
+//!   models and the **gated-Vdd** supply-gating technique (paper §3, Table 2).
+//! * [`cache`] — a parametric cache and memory-hierarchy simulator
+//!   (conventional i-cache baseline, d-cache, unified L2, memory timing).
+//! * [`energy`] — CACTI-lite per-access energies and the effective-leakage
+//!   energy accounting of paper §5.2.
+//! * [`workload`] — a small RISC ISA plus fifteen synthetic SPEC95-like
+//!   benchmark programs whose phase/footprint structure follows paper §5.3.
+//! * [`cpu`] — a cycle-level out-of-order processor timing model in the
+//!   style of SimpleScalar's `sim-outorder` (paper §4, Table 1).
+//! * [`dri`](mod@dri) — the DRI i-cache itself (paper §2).
+//! * [`experiments`] — runners that regenerate every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dri::experiments::{run_dri, RunConfig};
+//! use dri::workload::suite::Benchmark;
+//!
+//! // Simulate the `compress` proxy (a ~2K loop kernel) on a 64K
+//! // direct-mapped DRI i-cache with a 4K size-bound.
+//! let mut cfg = RunConfig::quick(Benchmark::Compress);
+//! cfg.dri.size_bound_bytes = 4 * 1024;
+//! let result = run_dri(&cfg);
+//! assert!(result.timing.instructions > 0);
+//! // The cache collapses toward the size-bound during the run:
+//! assert!(result.dri.avg_active_fraction < 0.5);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/experiments` for the
+//! full figure/table harness.
+
+pub use cache_sim as cache;
+pub use dri_core as dri;
+pub use energy_model as energy;
+pub use ooo_cpu as cpu;
+pub use sram_circuit as circuit;
+pub use synth_workload as workload;
+
+pub use dri_experiments as experiments;
