@@ -1,0 +1,48 @@
+//! End-to-end engine throughput: simulated (committed) instructions per
+//! second for a full `RunConfig::quick` pair, the trajectory baseline for
+//! future perf PRs.
+//!
+//! Two flavours per benchmark:
+//!
+//! * `cold/*` — `run_*_uncached`: regenerates the workload and always
+//!   simulates. This is the honest simulator-throughput number.
+//! * `warm/*` — the session-memoized default path after a first run: a
+//!   key build plus a hash lookup, showing what repeated sweep points
+//!   cost once the `SimSession` layer absorbs them.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dri_experiments::runner::{run_conventional_uncached, run_dri_uncached};
+use dri_experiments::{compare, run_conventional, run_dri, RunConfig};
+use std::hint::black_box;
+use synth_workload::suite::Benchmark;
+
+fn bench_engine(c: &mut Criterion) {
+    let cfg = RunConfig::quick(Benchmark::Compress);
+    let budget = cfg.instruction_budget.expect("quick sets a budget");
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(budget));
+    group.bench_function("cold/run_conventional/compress_quick", |b| {
+        b.iter(|| black_box(run_conventional_uncached(black_box(&cfg))))
+    });
+    group.bench_function("cold/run_dri/compress_quick", |b| {
+        b.iter(|| black_box(run_dri_uncached(black_box(&cfg))))
+    });
+    group.bench_function("warm/run_conventional/compress_quick", |b| {
+        b.iter(|| black_box(run_conventional(black_box(&cfg))))
+    });
+    group.bench_function("warm/run_dri/compress_quick", |b| {
+        b.iter(|| black_box(run_dri(black_box(&cfg))))
+    });
+    // Both sides plus the §5.2 energy comparison — the unit of work every
+    // figure is assembled from (warm: both runs come from the session).
+    group.throughput(Throughput::Elements(2 * budget));
+    group.bench_function("warm/compare/compress_quick", |b| {
+        b.iter(|| black_box(compare(black_box(&cfg))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

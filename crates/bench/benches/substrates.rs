@@ -80,7 +80,7 @@ fn bench_bpred(c: &mut Criterion) {
             for _ in 0..10_000 {
                 i = i.wrapping_add(1);
                 let pc = 0x1000 + (i % 64) * 4;
-                black_box(bp.conditional(pc, i % 3 != 0, pc + 64));
+                black_box(bp.conditional(pc, !i.is_multiple_of(3), pc + 64));
             }
         })
     });

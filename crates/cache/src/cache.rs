@@ -54,6 +54,11 @@ struct Line {
 /// The model is *functional + counting*: it tracks presence, recency, and
 /// dirtiness, and leaves timing to the caller (latencies live in
 /// [`CacheConfig`] and the hierarchy glue).
+///
+/// Geometry derived from the configuration (offset shift, index mask, way
+/// count) is precomputed at construction so the per-access path performs
+/// only shifts and masks — [`CacheConfig::num_sets`] divides twice, which
+/// is measurable on the simulator's innermost loop.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
@@ -61,6 +66,10 @@ pub struct Cache {
     stats: CacheStats,
     clock: u64,
     rng: SmallRng,
+    // Precomputed geometry (see struct docs).
+    offset_bits: u32,
+    index_mask: u64,
+    ways: usize,
 }
 
 impl Cache {
@@ -69,11 +78,14 @@ impl Cache {
         cfg.validate();
         let total_lines = (cfg.num_sets() * u64::from(cfg.associativity)) as usize;
         Cache {
-            cfg,
             lines: vec![Line::default(); total_lines],
             stats: CacheStats::default(),
             clock: 0,
             rng: SmallRng::seed_from_u64(0xD121_CACE),
+            offset_bits: cfg.offset_bits(),
+            index_mask: cfg.num_sets() - 1,
+            ways: cfg.associativity as usize,
+            cfg,
         }
     }
 
@@ -92,16 +104,17 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn set_range(&self, set: u64) -> std::ops::Range<usize> {
-        let ways = self.cfg.associativity as usize;
-        let start = set as usize * ways;
-        start..start + ways
+        let start = set as usize * self.ways;
+        start..start + self.ways
     }
 
     /// Checks for the block containing `addr` without changing any state.
+    #[inline]
     pub fn probe(&self, addr: u64) -> bool {
-        let block = self.cfg.block_addr(addr);
-        let set = self.cfg.set_index(addr);
+        let block = addr >> self.offset_bits;
+        let set = block & self.index_mask;
         self.lines[self.set_range(set)]
             .iter()
             .any(|l| l.valid && l.block_addr == block)
@@ -110,6 +123,7 @@ impl Cache {
     /// Accesses the block containing `addr`, allocating on miss
     /// (fetch-on-miss, write-allocate). Returns the hit/miss outcome and
     /// any eviction the fill caused.
+    #[inline]
     pub fn access(&mut self, addr: u64, kind: AccessKind) -> Access {
         self.clock += 1;
         self.stats.accesses += 1;
@@ -117,12 +131,12 @@ impl Cache {
             AccessKind::Read => self.stats.reads += 1,
             AccessKind::Write => self.stats.writes += 1,
         }
-        let block = self.cfg.block_addr(addr);
-        let set = self.cfg.set_index(addr);
+        let block = addr >> self.offset_bits;
+        let set = block & self.index_mask;
         let range = self.set_range(set);
 
-        // Hit path.
-        if let Some(line) = self.lines[range.clone()]
+        // Hit path, over one flat slice of the set's ways.
+        if let Some(line) = self.lines[range]
             .iter_mut()
             .find(|l| l.valid && l.block_addr == block)
         {
@@ -150,7 +164,7 @@ impl Cache {
     /// necessary. Exposed for fill-path modelling where the access and the
     /// fill are decoupled.
     pub fn fill_block(&mut self, block: u64, dirty: bool) -> Option<Eviction> {
-        let set = (block & (self.cfg.num_sets() - 1)) as u64;
+        let set = block & self.index_mask;
         let range = self.set_range(set);
         let lines = &mut self.lines[range];
 
@@ -166,12 +180,12 @@ impl Cache {
             return None;
         }
 
-        let last_used: Vec<u64> = lines.iter().map(|l| l.last_used).collect();
-        let filled_at: Vec<u64> = lines.iter().map(|l| l.filled_at).collect();
-        let victim_way = self
-            .cfg
-            .replacement
-            .pick_victim(&last_used, &filled_at, &mut self.rng);
+        let victim_way = self.cfg.replacement.pick_victim_with(
+            lines.len(),
+            |i| lines[i].last_used,
+            |i| lines[i].filled_at,
+            &mut self.rng,
+        );
         let victim = &mut lines[victim_way];
         let evicted = Eviction {
             block_addr: victim.block_addr,
@@ -195,8 +209,8 @@ impl Cache {
     /// it was present (dirtiness is dropped — callers modelling coherence
     /// must write back first via [`Cache::probe`]).
     pub fn invalidate(&mut self, addr: u64) -> bool {
-        let block = self.cfg.block_addr(addr);
-        let set = self.cfg.set_index(addr);
+        let block = addr >> self.offset_bits;
+        let set = block & self.index_mask;
         let range = self.set_range(set);
         for line in &mut self.lines[range] {
             if line.valid && line.block_addr == block {
@@ -236,13 +250,7 @@ mod tests {
 
     fn small_cache(assoc: u32) -> Cache {
         // 1 KiB, 32-byte blocks -> 32 blocks.
-        Cache::new(CacheConfig::new(
-            1024,
-            32,
-            assoc,
-            1,
-            ReplacementPolicy::Lru,
-        ))
+        Cache::new(CacheConfig::new(1024, 32, assoc, 1, ReplacementPolicy::Lru))
     }
 
     #[test]
@@ -337,13 +345,7 @@ mod tests {
 
     #[test]
     fn fifo_ignores_recency() {
-        let mut c = Cache::new(CacheConfig::new(
-            1024,
-            32,
-            2,
-            1,
-            ReplacementPolicy::Fifo,
-        ));
+        let mut c = Cache::new(CacheConfig::new(1024, 32, 2, 1, ReplacementPolicy::Fifo));
         c.access(0, AccessKind::Read);
         c.access(1024, AccessKind::Read);
         c.access(0, AccessKind::Read); // touching 0 does not save it under FIFO

@@ -94,7 +94,7 @@ impl CacheConfig {
             blocks
         );
         assert!(
-            blocks % u64::from(self.associativity) == 0
+            blocks.is_multiple_of(u64::from(self.associativity))
                 && (blocks / u64::from(self.associativity)).is_power_of_two(),
             "set count must be a power of two (blocks={blocks}, ways={})",
             self.associativity

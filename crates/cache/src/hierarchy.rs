@@ -66,6 +66,7 @@ impl Hierarchy {
 
     /// Services an L1 i-cache miss for the block containing `addr`.
     /// Returns the additional latency beyond the L1 hit time.
+    #[inline]
     pub fn inst_fill(&mut self, addr: u64) -> u64 {
         self.l2_inst_accesses += 1;
         let access = self.l2.access(addr, AccessKind::Read);
@@ -78,6 +79,7 @@ impl Hierarchy {
 
     /// Performs a data access (load or store) through L1d.
     /// Returns the total latency including the L1d hit time.
+    #[inline]
     pub fn data_access(&mut self, addr: u64, kind: AccessKind) -> u64 {
         let l1 = self.l1d.access(addr, kind);
         let mut latency = self.l1d.config().latency;
@@ -172,7 +174,7 @@ mod tests {
         h.data_access(a, AccessKind::Read);
         h.data_access(b, AccessKind::Read);
         h.data_access(c, AccessKind::Read); // evicts a
-        // a misses L1d but hits L2: 1 + 12.
+                                            // a misses L1d but hits L2: 1 + 12.
         assert_eq!(h.data_access(a, AccessKind::Read), 13);
     }
 
@@ -186,7 +188,7 @@ mod tests {
         h.data_access(b, AccessKind::Write);
         let before = h.l2_data_accesses();
         h.data_access(c, AccessKind::Read); // evicts dirty a
-        // miss -> +1 L2 read; dirty victim -> +1 L2 write.
+                                            // miss -> +1 L2 read; dirty victim -> +1 L2 write.
         assert_eq!(h.l2_data_accesses(), before + 2);
         assert_eq!(h.l1d_stats().writebacks, 1);
     }

@@ -76,6 +76,7 @@ impl ConventionalICache {
 }
 
 impl InstCache for ConventionalICache {
+    #[inline]
     fn access(&mut self, addr: u64, _cycle: u64) -> bool {
         self.cache.access(addr, AccessKind::Read).hit
     }

@@ -22,27 +22,43 @@ impl ReplacementPolicy {
     /// cache; `rng` supplies randomness for [`ReplacementPolicy::Random`].
     /// Invalid ways are preferred unconditionally and handled by the caller,
     /// so this is only consulted when every way is valid.
-    pub fn pick_victim(
-        self,
-        last_used: &[u64],
-        filled_at: &[u64],
-        rng: &mut SmallRng,
-    ) -> usize {
+    pub fn pick_victim(self, last_used: &[u64], filled_at: &[u64], rng: &mut SmallRng) -> usize {
         debug_assert_eq!(last_used.len(), filled_at.len());
         debug_assert!(!last_used.is_empty());
+        self.pick_victim_with(last_used.len(), |i| last_used[i], |i| filled_at[i], rng)
+    }
+
+    /// Allocation-free variant of [`ReplacementPolicy::pick_victim`] for
+    /// the per-access hot path: timestamps are read through accessors
+    /// instead of being gathered into slices. Selection semantics (and RNG
+    /// consumption for [`ReplacementPolicy::Random`]) are identical, so the
+    /// two forms pick bit-identical victims.
+    #[inline]
+    pub fn pick_victim_with(
+        self,
+        ways: usize,
+        last_used: impl Fn(usize) -> u64,
+        filled_at: impl Fn(usize) -> u64,
+        rng: &mut SmallRng,
+    ) -> usize {
+        debug_assert!(ways > 0);
         match self {
-            ReplacementPolicy::Lru => index_of_min(last_used),
-            ReplacementPolicy::Fifo => index_of_min(filled_at),
-            ReplacementPolicy::Random => rng.gen_range(0..last_used.len()),
+            ReplacementPolicy::Lru => index_of_min_by(ways, last_used),
+            ReplacementPolicy::Fifo => index_of_min_by(ways, filled_at),
+            ReplacementPolicy::Random => rng.gen_range(0..ways),
         }
     }
 }
 
-fn index_of_min(values: &[u64]) -> usize {
+#[inline]
+fn index_of_min_by(n: usize, value: impl Fn(usize) -> u64) -> usize {
     let mut best = 0;
-    for (i, v) in values.iter().enumerate() {
-        if *v < values[best] {
+    let mut best_value = value(0);
+    for i in 1..n {
+        let v = value(i);
+        if v < best_value {
             best = i;
+            best_value = v;
         }
     }
     best
@@ -56,16 +72,14 @@ mod tests {
     #[test]
     fn lru_picks_least_recently_used() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let victim =
-            ReplacementPolicy::Lru.pick_victim(&[5, 2, 9, 4], &[0, 1, 2, 3], &mut rng);
+        let victim = ReplacementPolicy::Lru.pick_victim(&[5, 2, 9, 4], &[0, 1, 2, 3], &mut rng);
         assert_eq!(victim, 1);
     }
 
     #[test]
     fn fifo_picks_oldest_fill() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let victim =
-            ReplacementPolicy::Fifo.pick_victim(&[5, 2, 9, 4], &[7, 3, 1, 9], &mut rng);
+        let victim = ReplacementPolicy::Fifo.pick_victim(&[5, 2, 9, 4], &[7, 3, 1, 9], &mut rng);
         assert_eq!(victim, 2);
     }
 
@@ -78,6 +92,25 @@ mod tests {
             let vb = ReplacementPolicy::Random.pick_victim(&[0; 4], &[0; 4], &mut b);
             assert_eq!(va, vb);
             assert!(va < 4);
+        }
+    }
+
+    #[test]
+    fn slice_and_accessor_forms_agree() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let last = [5u64, 2, 9, 2];
+        let fill = [7u64, 3, 1, 9];
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            for _ in 0..16 {
+                let s = policy.pick_victim(&last, &fill, &mut a);
+                let w = policy.pick_victim_with(last.len(), |i| last[i], |i| fill[i], &mut b);
+                assert_eq!(s, w, "{policy:?}");
+            }
         }
     }
 

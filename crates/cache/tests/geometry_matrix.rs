@@ -84,7 +84,7 @@ fn same_set_different_tag_streams_stay_disjoint() {
     for cfg in geometries().into_iter().filter(|c| c.associativity >= 2) {
         let mut cache = Cache::new(cfg);
         let stride = cfg.num_sets() * cfg.block_bytes; // same set, new tag
-        // Fill exactly `ways` tags of set 0 and keep them all hot.
+                                                       // Fill exactly `ways` tags of set 0 and keep them all hot.
         for round in 0..3 {
             for w in 0..u64::from(cfg.associativity) {
                 let hit = cache.access(w * stride, AccessKind::Read).hit;

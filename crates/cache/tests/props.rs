@@ -76,6 +76,65 @@ proptest! {
     }
 
     #[test]
+    fn shift_mask_indexing_matches_div_mod_math(
+        size_pow in 0u32..=6,
+        block_pow in 0u32..=3,
+        assoc_pow in 0u32..=2,
+        addrs in prop::collection::vec(0u64..1 << 40, 1..64),
+    ) {
+        // The cache's per-access path indexes with a precomputed shift and
+        // mask; the reference geometry math divides. For every power-of-two
+        // geometry the two must agree on every address.
+        let cfg = CacheConfig::new(
+            1024 << size_pow,
+            32 << block_pow,
+            1 << assoc_pow,
+            1,
+            ReplacementPolicy::Lru,
+        );
+        for &addr in &addrs {
+            let div_block = addr / cfg.block_bytes;
+            let div_set = div_block % cfg.num_sets();
+            prop_assert_eq!(cfg.block_addr(addr), div_block, "block at {:#x}", addr);
+            prop_assert_eq!(cfg.set_index(addr), div_set, "set at {:#x}", addr);
+            prop_assert_eq!(
+                (addr >> cfg.offset_bits()) & (cfg.num_sets() - 1),
+                div_set,
+                "shift/mask at {:#x}",
+                addr
+            );
+        }
+    }
+
+    #[test]
+    fn probe_agrees_with_div_mod_resident_tracking(
+        assoc_pow in 0u32..=2,
+        addrs in prop::collection::vec(0u64..1 << 18, 1..150),
+    ) {
+        // Model the cache with explicit div/mod bookkeeping (an LRU map
+        // per set) and check the shift/mask implementation tracks it.
+        let cfg = CacheConfig::new(4096, 32, 1 << assoc_pow, 1, ReplacementPolicy::Lru);
+        let mut cache = Cache::new(cfg);
+        let sets = cfg.num_sets() as usize;
+        let ways = cfg.associativity as usize;
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets]; // MRU first
+        for &addr in &addrs {
+            let block = addr / cfg.block_bytes;
+            let set = (block % cfg.num_sets()) as usize;
+            let _ = cache.access(addr, AccessKind::Read);
+            model[set].retain(|&b| b != block);
+            model[set].insert(0, block);
+            model[set].truncate(ways);
+            for &resident in &model[set] {
+                prop_assert!(
+                    cache.probe(resident * cfg.block_bytes),
+                    "block {resident:#x} should be resident"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn inst_fills_are_l2_or_memory_latency(
         addrs in prop::collection::vec(0u64..1 << 22, 1..100),
     ) {

@@ -103,33 +103,21 @@ impl SramCell {
         // With the footer off the gate is actually at the *low node* which
         // equals vm, and the source also at vm, so Vgs = 0, Vsb = vm,
         // Vds = vh - vm.
-        let pull_down = self.pull_down.subthreshold_current(
-            process,
-            Volts::new(0.0),
-            vh - vm,
-            vm,
-            temp,
-        );
+        let pull_down =
+            self.pull_down
+                .subthreshold_current(process, Volts::new(0.0), vh - vm, vm, temp);
         // Off pull-up PMOS: source at true Vdd? No — the pull-up's source is
         // the virtual supply vh. Gate at the high node = vh, so Vgs = 0,
         // drain at the low node: Vds = vh - vm. Body at Vdd: Vsb = Vdd - vh.
-        let pull_up = self.pull_up.subthreshold_current(
-            process,
-            Volts::new(0.0),
-            vh - vm,
-            vdd - vh,
-            temp,
-        );
+        let pull_up =
+            self.pull_up
+                .subthreshold_current(process, Volts::new(0.0), vh - vm, vdd - vh, temp);
         // Off access NMOS on the low side: gate at Gnd (wordline low),
         // source at the low node (= vm), drain at the precharged bitline
         // (= Vdd): Vgs = -vm, Vds = Vdd - vm, Vsb = vm.
-        let access = self.access.subthreshold_current(
-            process,
-            -vm,
-            vdd - vm,
-            vm,
-            temp,
-        );
+        let access = self
+            .access
+            .subthreshold_current(process, -vm, vdd - vm, vm, temp);
         LeakagePaths {
             pull_down,
             pull_up,
@@ -238,12 +226,8 @@ mod tests {
         let process = p();
         let cell = SramCell::standard(&process, Volts::new(0.2));
         let flat = cell.leakage_paths(&process, t110());
-        let raised = cell.leakage_paths_with_rails(
-            &process,
-            t110(),
-            Volts::new(0.2),
-            process.vdd(),
-        );
+        let raised =
+            cell.leakage_paths_with_rails(&process, t110(), Volts::new(0.2), process.vdd());
         // The access path sees full reverse gate bias (wordline is at true
         // ground): strong suppression. The pull-down's gate tracks its
         // source, so only the body effect and DIBL act on it.

@@ -83,8 +83,7 @@ impl ReadTimingModel {
         reference: &SramCell,
         process: &Process,
     ) -> f64 {
-        self.read_time(cell, process, gating)
-            / self.read_time(reference, process, None)
+        self.read_time(cell, process, gating) / self.read_time(reference, process, None)
     }
 }
 

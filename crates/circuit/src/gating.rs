@@ -250,8 +250,7 @@ impl GatedVddConfig {
                 if g <= 0.0 {
                     return f64::INFINITY;
                 }
-                let read_current =
-                    cell.read_current(process).value() * self.cells_per_gate as f64;
+                let read_current = cell.read_current(process).value() * self.cells_per_gate as f64;
                 let drop = read_current / g;
                 let vov = (process.vdd() - cell.vt()).value();
                 if drop >= vov {
@@ -359,9 +358,7 @@ mod tests {
     fn wider_footer_leaks_more_in_standby() {
         let (p, cell, t) = setup();
         let base = GatedVddConfig::hpca01(&p);
-        let wide = base
-            .clone()
-            .with_gate_width(base.gate_width() * 4.0);
+        let wide = base.clone().with_gate_width(base.gate_width() * 4.0);
         let e_base = base.standby_leakage_per_cell(&cell, &p, t);
         let e_wide = wide.standby_leakage_per_cell(&cell, &p, t);
         assert!(e_wide.value() > e_base.value());

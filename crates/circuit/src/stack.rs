@@ -101,22 +101,14 @@ mod tests {
 
     #[test]
     fn pins_low_when_drain_dominates() {
-        let eq = solve_rail(
-            Volts::new(1.0),
-            |_| Amps::new(1e-9),
-            |_| Amps::new(1e-3),
-        );
+        let eq = solve_rail(Volts::new(1.0), |_| Amps::new(1e-9), |_| Amps::new(1e-3));
         assert_eq!(eq.virtual_rail.value(), 0.0);
         assert_eq!(eq.current.value(), 1e-3);
     }
 
     #[test]
     fn floats_high_when_source_dominates() {
-        let eq = solve_rail(
-            Volts::new(0.7),
-            |_| Amps::new(1e-3),
-            |_| Amps::new(1e-9),
-        );
+        let eq = solve_rail(Volts::new(0.7), |_| Amps::new(1e-3), |_| Amps::new(1e-9));
         assert_eq!(eq.virtual_rail.value(), 0.7);
     }
 

@@ -156,12 +156,18 @@ pub fn generate_extended(process: &Process, op: OperatingPoint) -> Vec<Table2Row
     let reference = SramCell::standard(process, Volts::new(0.2));
     let mut rows = generate(process, op);
     for (label, cfg) in [
-        ("NMOS gated-Vdd same-Vt", GatedVddConfig::nmos_same_vt(process)),
+        (
+            "NMOS gated-Vdd same-Vt",
+            GatedVddConfig::nmos_same_vt(process),
+        ),
         (
             "NMOS gated-Vdd no pump",
             GatedVddConfig::nmos_no_charge_pump(process),
         ),
-        ("PMOS gated-Vdd header", GatedVddConfig::pmos_header(process)),
+        (
+            "PMOS gated-Vdd header",
+            GatedVddConfig::pmos_header(process),
+        ),
     ] {
         rows.push(row(
             label,
@@ -178,9 +184,19 @@ pub fn generate_extended(process: &Process, op: OperatingPoint) -> Vec<Table2Row
 
 /// The numbers printed in the paper, for side-by-side comparison.
 pub mod published {
-    /// (technique, relative read time, active nJ/cycle, standby nJ/cycle,
-    /// savings %, area %) as printed in Table 2.
-    pub const TABLE2: [(&str, f64, f64, Option<f64>, Option<f64>, Option<f64>); 3] = [
+    /// One published row: (technique, relative read time, active nJ/cycle,
+    /// standby nJ/cycle, savings %, area %).
+    pub type PublishedRow = (
+        &'static str,
+        f64,
+        f64,
+        Option<f64>,
+        Option<f64>,
+        Option<f64>,
+    );
+
+    /// The three rows as printed in Table 2.
+    pub const TABLE2: [PublishedRow; 3] = [
         ("base high-Vt", 2.22, 50e-9, None, None, None),
         ("base low-Vt", 1.00, 1740e-9, None, None, None),
         (
@@ -225,11 +241,17 @@ mod tests {
             }
             if let Some(expect) = savings {
                 let got = row.energy_savings_pct.expect("gated row has savings");
-                assert!((got - expect).abs() < 1.0, "{label}: savings {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() < 1.0,
+                    "{label}: savings {got} vs {expect}"
+                );
             }
             if let Some(expect) = area {
                 let got = row.area_increase_pct.expect("gated row has area");
-                assert!((got - expect).abs() < 1.0, "{label}: area {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() < 1.0,
+                    "{label}: area {got} vs {expect}"
+                );
             }
         }
     }

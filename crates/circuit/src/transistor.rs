@@ -31,7 +31,10 @@ impl Transistor {
     /// (depletion devices are out of scope).
     pub fn new(kind: DeviceKind, width: Microns, length: Microns, vt: Volts) -> Self {
         assert!(width.value() > 0.0, "width must be positive, got {width}");
-        assert!(length.value() > 0.0, "length must be positive, got {length}");
+        assert!(
+            length.value() > 0.0,
+            "length must be positive, got {length}"
+        );
         assert!(vt.value() >= 0.0, "vt must be non-negative, got {vt}");
         Transistor {
             kind,
@@ -115,7 +118,13 @@ impl Transistor {
     /// full supply across the channel — the common case for an idle SRAM
     /// cell transistor.
     pub fn off_current(self, process: &Process, temp: Celsius) -> Amps {
-        self.subthreshold_current(process, Volts::new(0.0), process.vdd(), Volts::new(0.0), temp)
+        self.subthreshold_current(
+            process,
+            Volts::new(0.0),
+            process.vdd(),
+            Volts::new(0.0),
+            temp,
+        )
     }
 
     /// Saturation on-current at gate voltage `vgs` (alpha-power law).

@@ -76,6 +76,12 @@ pub struct DriICache {
     stats: CacheStats,
     clock: u64,
     rng: SmallRng,
+    // Precomputed per-access geometry: the offset shift and the size mask
+    // of Figure 1 (`active_sets - 1`), maintained across resizes so the
+    // fetch path performs no division.
+    offset_bits: u32,
+    index_mask: u64,
+    ways: usize,
     // Sense-interval machinery.
     interval_misses: u64,
     insts_into_interval: u64,
@@ -101,12 +107,15 @@ impl DriICache {
         cfg.validate();
         let total = (cfg.max_sets() * u64::from(cfg.associativity)) as usize;
         DriICache {
-            cfg,
             lines: vec![Line::default(); total],
             active_sets: cfg.max_sets(),
             stats: CacheStats::default(),
             clock: 0,
             rng: SmallRng::seed_from_u64(0xD121_1CAC),
+            offset_bits: cfg.offset_bits(),
+            index_mask: cfg.max_sets() - 1,
+            ways: cfg.associativity as usize,
+            cfg,
             interval_misses: 0,
             insts_into_interval: 0,
             intervals_elapsed: 0,
@@ -162,12 +171,8 @@ impl DriICache {
         if end == 0 {
             return 1.0;
         }
-        let pending = if self.finished_at.is_some() {
-            0.0
-        } else {
-            0.0 // integration is closed at each mark; nothing pending
-        };
-        ((self.weighted_set_cycles + pending) / end as f64) / self.cfg.max_sets() as f64
+        // Integration is closed at each mark, so nothing is pending here.
+        (self.weighted_set_cycles / end as f64) / self.cfg.max_sets() as f64
     }
 
     /// Average powered capacity in bytes over the run.
@@ -175,17 +180,18 @@ impl DriICache {
         self.avg_active_fraction() * self.cfg.max_size_bytes as f64
     }
 
+    #[inline]
     fn row(&self, set: u64) -> std::ops::Range<usize> {
-        let ways = self.cfg.associativity as usize;
-        let start = set as usize * ways;
-        start..start + ways
+        let start = set as usize * self.ways;
+        start..start + self.ways
     }
 
     /// Looks up the block containing `addr` under the current size mask
     /// without modifying state.
+    #[inline]
     pub fn probe(&self, addr: u64) -> bool {
-        let block = self.cfg.block_addr(addr);
-        let set = self.cfg.set_index(addr, self.active_sets);
+        let block = addr >> self.offset_bits;
+        let set = block & self.index_mask;
         self.lines[self.row(set)]
             .iter()
             .any(|l| l.valid && l.block_addr == block)
@@ -242,6 +248,7 @@ impl DriICache {
             }
         }
         self.active_sets = new_sets;
+        self.index_mask = new_sets - 1;
     }
 
     fn throttle_note_resize(&mut self, from: u64, to: u64) {
@@ -286,12 +293,13 @@ impl DriICache {
 }
 
 impl InstCache for DriICache {
+    #[inline]
     fn access(&mut self, addr: u64, _cycle: u64) -> bool {
         self.clock += 1;
         self.stats.accesses += 1;
         self.stats.reads += 1;
-        let block = self.cfg.block_addr(addr);
-        let set = self.cfg.set_index(addr, self.active_sets);
+        let block = addr >> self.offset_bits;
+        let set = block & self.index_mask;
         let row = self.row(set);
 
         if let Some(line) = self.lines[row.clone()]
@@ -317,12 +325,12 @@ impl InstCache for DriICache {
             };
             return false;
         }
-        let last_used: Vec<u64> = lines.iter().map(|l| l.last_used).collect();
-        let filled_at: Vec<u64> = lines.iter().map(|l| l.filled_at).collect();
-        let victim = self
-            .cfg
-            .replacement
-            .pick_victim(&last_used, &filled_at, &mut self.rng);
+        let victim = self.cfg.replacement.pick_victim_with(
+            lines.len(),
+            |i| lines[i].last_used,
+            |i| lines[i].filled_at,
+            &mut self.rng,
+        );
         self.stats.evictions += 1;
         lines[victim] = Line {
             valid: true,
@@ -467,7 +475,7 @@ mod tests {
         let mut c = DriICache::new(small_cfg());
         let mut cycle = 0;
         idle_interval(&mut c, &mut cycle, 1000); // 64 sets
-        // Block index 100: at 64 sets it maps to set 36.
+                                                 // Block index 100: at 64 sets it maps to set 36.
         let addr = 100 * 32;
         let _ = c.access(addr, cycle);
         assert!(c.probe(addr));

@@ -47,7 +47,7 @@ impl ThrottleConfig {
 }
 
 /// Full configuration of a DRI i-cache.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DriConfig {
     /// Maximum (base) capacity in bytes — the size a conventional i-cache
     /// of the same design would have.

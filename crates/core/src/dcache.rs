@@ -53,6 +53,11 @@ pub struct ResizableDCache {
     stats: CacheStats,
     clock: u64,
     rng: SmallRng,
+    // Precomputed per-access geometry, maintained across resizes (see
+    // `DriICache`): offset shift and current size mask.
+    offset_bits: u32,
+    index_mask: u64,
+    ways: usize,
     interval_misses: u64,
     insts_into_interval: u64,
     intervals_elapsed: u64,
@@ -76,12 +81,15 @@ impl ResizableDCache {
         cfg.validate();
         let total = (cfg.max_sets() * u64::from(cfg.associativity)) as usize;
         ResizableDCache {
-            cfg,
             lines: vec![Line::default(); total],
             active_sets: cfg.max_sets(),
             stats: CacheStats::default(),
             clock: 0,
             rng: SmallRng::seed_from_u64(0xDCAC_4E51),
+            offset_bits: cfg.offset_bits(),
+            index_mask: cfg.max_sets() - 1,
+            ways: cfg.associativity as usize,
+            cfg,
             interval_misses: 0,
             insts_into_interval: 0,
             intervals_elapsed: 0,
@@ -136,16 +144,17 @@ impl ResizableDCache {
         (self.weighted_set_cycles / end as f64) / self.cfg.max_sets() as f64
     }
 
+    #[inline]
     fn row(&self, set: u64) -> std::ops::Range<usize> {
-        let ways = self.cfg.associativity as usize;
-        let start = set as usize * ways;
-        start..start + ways
+        let start = set as usize * self.ways;
+        start..start + self.ways
     }
 
     /// Looks up the block under the *current* mask without side effects.
+    #[inline]
     pub fn probe(&self, addr: u64) -> bool {
-        let block = self.cfg.block_addr(addr);
-        let set = self.cfg.set_index(addr, self.active_sets);
+        let block = addr >> self.offset_bits;
+        let set = block & self.index_mask;
         self.lines[self.row(set)]
             .iter()
             .any(|l| l.valid && l.block_addr == block)
@@ -154,7 +163,7 @@ impl ResizableDCache {
     /// Removes aliases of `block` at every size's position except the
     /// current one; returns how many dirty aliases had to be written back.
     fn scrub_aliases(&mut self, block: u64) -> u64 {
-        let current_set = block & (self.active_sets - 1);
+        let current_set = block & self.index_mask;
         let mut writebacks = 0;
         let mut sets_checked = self.cfg.bound_sets();
         while sets_checked <= self.cfg.max_sets() {
@@ -178,6 +187,7 @@ impl ResizableDCache {
     }
 
     /// Performs a load (`AccessKind::Read`) or store (`AccessKind::Write`).
+    #[inline]
     pub fn access(&mut self, addr: u64, kind: AccessKind, _cycle: u64) -> DAccess {
         self.clock += 1;
         self.stats.accesses += 1;
@@ -185,8 +195,8 @@ impl ResizableDCache {
             AccessKind::Read => self.stats.reads += 1,
             AccessKind::Write => self.stats.writes += 1,
         }
-        let block = self.cfg.block_addr(addr);
-        let set = self.cfg.set_index(addr, self.active_sets);
+        let block = addr >> self.offset_bits;
+        let set = block & self.index_mask;
         let row = self.row(set);
 
         if let Some(line) = self.lines[row.clone()]
@@ -226,12 +236,12 @@ impl ResizableDCache {
                 writebacks,
             };
         }
-        let last_used: Vec<u64> = lines.iter().map(|l| l.last_used).collect();
-        let filled_at: Vec<u64> = lines.iter().map(|l| l.filled_at).collect();
-        let victim = self
-            .cfg
-            .replacement
-            .pick_victim(&last_used, &filled_at, &mut self.rng);
+        let victim = self.cfg.replacement.pick_victim_with(
+            lines.len(),
+            |i| lines[i].last_used,
+            |i| lines[i].filled_at,
+            &mut self.rng,
+        );
         if lines[victim].dirty {
             writebacks += 1;
             self.stats.writebacks += 1;
@@ -280,6 +290,7 @@ impl ResizableDCache {
             }
         }
         self.active_sets = new_sets;
+        self.index_mask = new_sets - 1;
         self.resizes += 1;
     }
 

@@ -69,7 +69,7 @@ impl DecayConfig {
         );
         let blocks = self.size_bytes / self.block_bytes;
         assert!(
-            blocks % u64::from(self.associativity) == 0
+            blocks.is_multiple_of(u64::from(self.associativity))
                 && (blocks / u64::from(self.associativity)).is_power_of_two(),
             "set count must be a power of two"
         );
@@ -119,6 +119,11 @@ pub struct DecayICache {
     decay_stats: DecayStats,
     clock: u64,
     rng: SmallRng,
+    // Precomputed geometry: shift/mask indexing instead of per-access
+    // division through `DecayConfig::num_sets`.
+    offset_bits: u32,
+    index_mask: u64,
+    ways: usize,
     // Active-fraction integration: swept periodically.
     next_sweep_cycle: u64,
     last_mark_cycle: u64,
@@ -138,12 +143,15 @@ impl DecayICache {
         let total = (cfg.num_sets() * u64::from(cfg.associativity)) as usize;
         let sweep = (cfg.decay_interval_cycles / 4).max(1);
         DecayICache {
-            cfg,
             lines: vec![Line::default(); total],
             stats: CacheStats::default(),
             decay_stats: DecayStats::default(),
             clock: 0,
             rng: SmallRng::seed_from_u64(0xDECA_4DE0),
+            offset_bits: cfg.offset_bits(),
+            index_mask: cfg.num_sets() - 1,
+            ways: cfg.associativity as usize,
+            cfg,
             next_sweep_cycle: sweep,
             last_mark_cycle: 0,
             weighted_live_cycles: 0.0,
@@ -214,21 +222,22 @@ impl DecayICache {
         }
     }
 
+    #[inline]
     fn set_range(&self, set: u64) -> std::ops::Range<usize> {
-        let ways = self.cfg.associativity as usize;
-        let start = set as usize * ways;
-        start..start + ways
+        let start = set as usize * self.ways;
+        start..start + self.ways
     }
 }
 
 impl InstCache for DecayICache {
+    #[inline]
     fn access(&mut self, addr: u64, cycle: u64) -> bool {
         self.maybe_sweep(cycle);
         self.clock += 1;
         self.stats.accesses += 1;
         self.stats.reads += 1;
-        let block = addr >> self.cfg.offset_bits();
-        let set = block & (self.cfg.num_sets() - 1);
+        let block = addr >> self.offset_bits;
+        let set = block & self.index_mask;
         let range = self.set_range(set);
         let interval = self.cfg.decay_interval_cycles;
 
@@ -263,12 +272,13 @@ impl InstCache for DecayICache {
         {
             i
         } else {
-            let last_used: Vec<u64> = lines.iter().map(|l| l.lru).collect();
-            let filled_at: Vec<u64> = lines.iter().map(|l| l.filled_at).collect();
             self.stats.evictions += 1;
-            self.cfg
-                .replacement
-                .pick_victim(&last_used, &filled_at, &mut self.rng)
+            self.cfg.replacement.pick_victim_with(
+                lines.len(),
+                |i| lines[i].lru,
+                |i| lines[i].filled_at,
+                &mut self.rng,
+            )
         };
         lines[victim] = Line {
             valid: true,

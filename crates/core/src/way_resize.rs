@@ -86,7 +86,7 @@ impl WayConfig {
         );
         let blocks = self.size_bytes / self.block_bytes;
         assert!(
-            blocks % u64::from(self.associativity) == 0
+            blocks.is_multiple_of(u64::from(self.associativity))
                 && (blocks / u64::from(self.associativity)).is_power_of_two(),
             "set count must be a power of two"
         );
@@ -120,6 +120,11 @@ pub struct WayResizableICache {
     stats: CacheStats,
     clock: u64,
     rng: SmallRng,
+    // Precomputed geometry: the index function never changes in this
+    // design, so shift and mask are fixed for the cache's lifetime.
+    offset_bits: u32,
+    index_mask: u64,
+    ways: usize,
     interval_misses: u64,
     insts_into_interval: u64,
     intervals_elapsed: u64,
@@ -142,12 +147,15 @@ impl WayResizableICache {
         cfg.validate();
         let total = (cfg.num_sets() * u64::from(cfg.associativity)) as usize;
         WayResizableICache {
-            cfg,
             lines: vec![Line::default(); total],
             active_ways: cfg.associativity,
             stats: CacheStats::default(),
             clock: 0,
             rng: SmallRng::seed_from_u64(0x3A93_517E),
+            offset_bits: cfg.offset_bits(),
+            index_mask: cfg.num_sets() - 1,
+            ways: cfg.associativity as usize,
+            cfg,
             interval_misses: 0,
             insts_into_interval: 0,
             intervals_elapsed: 0,
@@ -198,10 +206,10 @@ impl WayResizableICache {
         self.last_mark_cycle = cycle;
     }
 
+    #[inline]
     fn set_range(&self, set: u64) -> std::ops::Range<usize> {
-        let ways = self.cfg.associativity as usize;
-        let start = set as usize * ways;
-        start..start + ways
+        let start = set as usize * self.ways;
+        start..start + self.ways
     }
 
     fn apply_ways(&mut self, new_ways: u32, cycle: u64) {
@@ -265,12 +273,13 @@ impl WayResizableICache {
 }
 
 impl InstCache for WayResizableICache {
+    #[inline]
     fn access(&mut self, addr: u64, _cycle: u64) -> bool {
         self.clock += 1;
         self.stats.accesses += 1;
         self.stats.reads += 1;
-        let block = addr >> self.cfg.offset_bits();
-        let set = block & (self.cfg.num_sets() - 1);
+        let block = addr >> self.offset_bits;
+        let set = block & self.index_mask;
         let range = self.set_range(set);
         let active = self.active_ways as usize;
         let lines = &mut self.lines[range.start..range.start + active];
@@ -291,12 +300,12 @@ impl InstCache for WayResizableICache {
             };
             return false;
         }
-        let last_used: Vec<u64> = lines.iter().map(|l| l.last_used).collect();
-        let filled_at: Vec<u64> = lines.iter().map(|l| l.filled_at).collect();
-        let victim = self
-            .cfg
-            .replacement
-            .pick_victim(&last_used, &filled_at, &mut self.rng);
+        let victim = self.cfg.replacement.pick_victim_with(
+            lines.len(),
+            |i| lines[i].last_used,
+            |i| lines[i].filled_at,
+            &mut self.rng,
+        );
         self.stats.evictions += 1;
         lines[victim] = Line {
             valid: true,

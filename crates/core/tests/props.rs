@@ -41,6 +41,42 @@ proptest! {
     }
 
     #[test]
+    fn dri_shift_mask_indexing_matches_div_mod_math(
+        max_pow in 1u32..=7,
+        bound_pow in 0u32..=7,
+        assoc_pow in 0u32..=2,
+        addrs in prop::collection::vec(0u64..1 << 40, 1..64),
+    ) {
+        // The DRI access path maintains a precomputed size mask across
+        // resizes; the reference math divides by geometry. They must agree
+        // at every reachable active size.
+        prop_assume!(bound_pow <= max_pow);
+        let c = cfg(1 << max_pow, 1 << bound_pow, 1 << assoc_pow);
+        prop_assume!(c.size_bound_bytes >= c.block_bytes * u64::from(c.associativity));
+        c.validate();
+        let mut active = c.max_sets();
+        while active >= c.bound_sets() {
+            for &addr in &addrs {
+                let div_block = addr / c.block_bytes;
+                let div_set = div_block % active;
+                prop_assert_eq!(c.block_addr(addr), div_block);
+                prop_assert_eq!(c.set_index(addr, active), div_set);
+                prop_assert_eq!(
+                    (addr >> c.offset_bits()) & (active - 1),
+                    div_set,
+                    "shift/mask at {:#x} with {} sets",
+                    addr,
+                    active
+                );
+            }
+            if active == 1 {
+                break;
+            }
+            active /= 2;
+        }
+    }
+
+    #[test]
     fn hits_plus_misses_equals_accesses_through_arbitrary_resizing(
         ops in prop::collection::vec((0u64..1 << 16, any::<bool>()), 10..300),
     ) {
@@ -61,13 +97,11 @@ proptest! {
         addrs in prop::collection::vec(0u64..1 << 14, 2..150),
     ) {
         let mut dri = DriICache::new(cfg(8, 1, 2));
-        let mut cycle = 0u64;
-        for &a in &addrs {
+        for (cycle, &a) in addrs.iter().enumerate() {
             let addr = a * 32;
             let present = dri.probe(addr);
-            let hit = dri.access(addr, cycle);
+            let hit = dri.access(addr, cycle as u64);
             prop_assert_eq!(present, hit, "probe/access disagree at {:#x}", addr);
-            cycle += 1;
         }
     }
 

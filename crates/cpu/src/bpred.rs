@@ -165,9 +165,7 @@ impl HybridPredictor {
                 victim = i;
                 break;
             }
-            if !way.valid {
-                victim = i;
-            } else if ways[victim].valid && way.lru < ways[victim].lru {
+            if !way.valid || (ways[victim].valid && way.lru < ways[victim].lru) {
                 victim = i;
             }
         }
@@ -185,8 +183,8 @@ impl HybridPredictor {
         self.stats.conditional += 1;
         let bi = (pc >> 2) as usize & (self.cfg.bimodal_entries - 1);
         let hist_mask = (1u64 << self.cfg.history_bits) - 1;
-        let gi = (((pc >> 2) ^ (self.history & hist_mask)) as usize)
-            & (self.cfg.gshare_entries - 1);
+        let gi =
+            (((pc >> 2) ^ (self.history & hist_mask)) as usize) & (self.cfg.gshare_entries - 1);
         let mi = (pc >> 2) as usize & (self.cfg.meta_entries - 1);
 
         let bi_pred = predicts_taken(self.bimodal[bi]);

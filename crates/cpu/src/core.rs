@@ -41,37 +41,105 @@ use synth_workload::program::Program;
 const RING: usize = 1 << 16;
 
 /// Per-cycle resource booking with a fixed-size ring.
-#[derive(Debug, Clone)]
+///
+/// Each entry packs `(key << COUNT_BITS) | count` into one word, where
+/// `key = (generation << CYCLE_BITS) | cycle`, so a probe touches one
+/// cache line instead of two parallel arrays. Counts are bounded by the
+/// machine widths (≤ issue width / pool size, far below 2^COUNT_BITS).
+///
+/// The *generation* tag is what makes ring reuse cheap: rings are checked
+/// out of a thread-local pool, and because every entry's key embeds the
+/// ring's generation, entries left over from a previous simulation can
+/// never match a probe from the current one. A fresh core therefore pays
+/// neither the 512 KiB-per-ring zeroing nor the page faults of a cold
+/// allocation — construction cost that dominated short runs.
+#[derive(Debug)]
 struct SlotRing {
-    cycle: Vec<u64>,
-    count: Vec<u32>,
+    slots: Vec<u64>,
+    generation: u64,
+}
+
+/// Low bits of a slot entry reserved for the booking count.
+const COUNT_BITS: u32 = 8;
+const COUNT_MASK: u64 = (1 << COUNT_BITS) - 1;
+/// Bits of the entry key holding the cycle; the rest hold the generation.
+/// 2^32 cycles is orders of magnitude beyond any simulated budget, and
+/// 2^24 generations (per-thread simulations) beyond any process lifetime;
+/// `SlotRing::new` falls back to clearing if generations ever wrap.
+const CYCLE_BITS: u32 = 32;
+const MAX_GENERATION: u64 = 1 << (64 - COUNT_BITS - CYCLE_BITS);
+
+thread_local! {
+    static RING_POOL: std::cell::RefCell<(Vec<Vec<u64>>, u64)> =
+        const { std::cell::RefCell::new((Vec::new(), 0)) };
 }
 
 impl SlotRing {
     fn new() -> Self {
-        SlotRing {
-            cycle: vec![u64::MAX; RING],
-            count: vec![0; RING],
-        }
+        RING_POOL.with(|pool| {
+            let (free, next_gen) = &mut *pool.borrow_mut();
+            let generation = *next_gen % MAX_GENERATION;
+            *next_gen += 1;
+            let mut slots = free.pop().unwrap_or_else(|| vec![u64::MAX; RING]);
+            if *next_gen > MAX_GENERATION {
+                // Generations have lapped: a pooled ring may hold entries
+                // whose (reissued) generation matches a future probe, so
+                // from here on every checkout pays the clearing pass the
+                // tagging scheme normally avoids. Reaching this point
+                // takes 2^24 ring checkouts on one thread.
+                slots.fill(u64::MAX);
+            }
+            SlotRing { slots, generation }
+        })
     }
 
+    #[inline]
+    fn key(&self, cycle: u64) -> u64 {
+        debug_assert!(cycle < 1 << CYCLE_BITS, "cycle {cycle} overflows ring key");
+        (self.generation << CYCLE_BITS) | cycle
+    }
+
+    #[inline]
     fn count_at(&self, cycle: u64) -> u32 {
-        let i = cycle as usize & (RING - 1);
-        if self.cycle[i] == cycle {
-            self.count[i]
+        let e = self.slots[cycle as usize & (RING - 1)];
+        if e >> COUNT_BITS == self.key(cycle) {
+            (e & COUNT_MASK) as u32
         } else {
             0
         }
     }
 
+    #[inline]
     fn book(&mut self, cycle: u64) {
-        let i = cycle as usize & (RING - 1);
-        if self.cycle[i] == cycle {
-            self.count[i] += 1;
+        let key = self.key(cycle);
+        let slot = &mut self.slots[cycle as usize & (RING - 1)];
+        if *slot >> COUNT_BITS == key {
+            *slot += 1;
         } else {
-            self.cycle[i] = cycle;
-            self.count[i] = 1;
+            *slot = (key << COUNT_BITS) | 1;
         }
+    }
+}
+
+impl Drop for SlotRing {
+    fn drop(&mut self) {
+        let slots = std::mem::take(&mut self.slots);
+        if slots.len() == RING {
+            let _ = RING_POOL.try_with(|pool| pool.borrow_mut().0.push(slots));
+        }
+    }
+}
+
+impl Clone for SlotRing {
+    fn clone(&self) -> Self {
+        // The clone's entries are copied bit-for-bit and carry the source
+        // generation in their keys, so it must keep that generation to
+        // answer probes identically. The backing storage is independent,
+        // so the two rings cannot interfere afterwards.
+        let mut ring = SlotRing::new();
+        ring.slots.copy_from_slice(&self.slots);
+        ring.generation = self.generation;
+        ring
     }
 }
 
@@ -107,8 +175,19 @@ pub struct Core<'p, IC: InstCache> {
     last_commit: u64,
     issue_slots: SlotRing,
     fu_slots: Vec<SlotRing>,
-    mem_ops: u64,
-    inst_index: u64,
+    // Rolling ring cursors (the instruction/mem-op index modulo each
+    // ring's length, maintained incrementally: three u64 modulos per
+    // committed instruction are measurable at simulation rates).
+    rob_cursor: usize,
+    commit_cursor: usize,
+    lsq_cursor: usize,
+    // Per-run constants hoisted out of the fetch loop.
+    block_bits: u32,
+    hit_latency: u64,
+    // Pools at least as wide as the issue width can never be the binding
+    // constraint (every pool booking also books an issue slot), so their
+    // per-cycle probe is skipped in the issue loop.
+    pool_unconstrained: [bool; CpuConfig::NUM_POOLS],
     stats: CpuStats,
 }
 
@@ -127,6 +206,23 @@ impl<'p, IC: InstCache> Core<'p, IC> {
         hierarchy: HierarchyConfig,
     ) -> Self {
         cfg.validate();
+        let block_bits = icache.block_bytes().trailing_zeros();
+        let hit_latency = icache.hit_latency();
+        let mut pool_unconstrained = [false; CpuConfig::NUM_POOLS];
+        for class in [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::IntDiv,
+            OpClass::FpAlu,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Control,
+            OpClass::Other,
+        ] {
+            pool_unconstrained[cfg.pool_index(class)] = cfg.pool_size(class) >= cfg.issue_width;
+        }
         Core {
             machine: Machine::new(program),
             icache,
@@ -144,8 +240,12 @@ impl<'p, IC: InstCache> Core<'p, IC> {
             last_commit: 0,
             issue_slots: SlotRing::new(),
             fu_slots: (0..CpuConfig::NUM_POOLS).map(|_| SlotRing::new()).collect(),
-            mem_ops: 0,
-            inst_index: 0,
+            rob_cursor: 0,
+            commit_cursor: 0,
+            lsq_cursor: 0,
+            block_bits,
+            hit_latency,
+            pool_unconstrained,
             cfg,
             stats: CpuStats::default(),
         }
@@ -176,9 +276,7 @@ impl<'p, IC: InstCache> Core<'p, IC> {
     /// address base and an FP data source.
     fn src_indices(inst: &synth_workload::isa::Inst) -> (usize, usize) {
         match inst.op {
-            Op::FAdd | Op::FMul | Op::FDiv => {
-                (32 + inst.rs1 as usize, 32 + inst.rs2 as usize)
-            }
+            Op::FAdd | Op::FMul | Op::FDiv => (32 + inst.rs1 as usize, 32 + inst.rs2 as usize),
             Op::FStore => (inst.rs1 as usize, 32 + inst.rs2 as usize),
             _ => (inst.rs1 as usize, inst.rs2 as usize),
         }
@@ -214,20 +312,19 @@ impl<'p, IC: InstCache> Core<'p, IC> {
         let Some(e) = self.machine.step() else {
             return false;
         };
-        let i = self.inst_index;
-        let rob_len = self.rob_ring.len() as u64;
-        let block_bits = self.icache.block_bytes().trailing_zeros();
 
         // --- Fetch -----------------------------------------------------
-        let block = e.pc >> block_bits;
+        let block = e.pc >> self.block_bits;
         if self.force_new_group
             || self.group_count >= self.cfg.fetch_width
             || block != self.cur_block
         {
             // ROB backpressure: the entry instruction i reuses frees when
             // instruction i - rob_entries commits.
-            let rob_free = self.rob_ring[(i % rob_len) as usize];
-            let mut c = (self.cur_cycle + 1).max(self.next_fetch_floor).max(rob_free);
+            let rob_free = self.rob_ring[self.rob_cursor];
+            let mut c = (self.cur_cycle + 1)
+                .max(self.next_fetch_floor)
+                .max(rob_free);
             let hit = self.icache.access(e.pc, c);
             if !hit {
                 let fill = self.hierarchy.inst_fill(e.pc);
@@ -242,7 +339,7 @@ impl<'p, IC: InstCache> Core<'p, IC> {
         }
         self.group_count += 1;
         let fetch_cycle = self.cur_cycle;
-        let dispatch_ready = fetch_cycle + self.icache.hit_latency() + self.cfg.frontend_latency;
+        let dispatch_ready = fetch_cycle + self.hit_latency + self.cfg.frontend_latency;
 
         // --- Schedule ---------------------------------------------------
         let class = e.inst.op.class();
@@ -252,15 +349,15 @@ impl<'p, IC: InstCache> Core<'p, IC> {
             .max(self.reg_ready[src2]);
         let is_mem = matches!(class, OpClass::Load | OpClass::Store);
         if is_mem {
-            let lsq_len = self.lsq_ring.len() as u64;
-            ready = ready.max(self.lsq_ring[(self.mem_ops % lsq_len) as usize]);
+            ready = ready.max(self.lsq_ring[self.lsq_cursor]);
         }
         let pool = self.cfg.pool_index(class);
         let pool_cap = self.cfg.pool_size(class);
+        let skip_pool_check = self.pool_unconstrained[pool];
         let mut issue = ready;
         loop {
             if self.issue_slots.count_at(issue) < self.cfg.issue_width
-                && self.fu_slots[pool].count_at(issue) < pool_cap
+                && (skip_pool_check || self.fu_slots[pool].count_at(issue) < pool_cap)
             {
                 break;
             }
@@ -317,21 +414,29 @@ impl<'p, IC: InstCache> Core<'p, IC> {
         }
 
         // --- Commit -----------------------------------------------------
-        let cw = self.commit_ring.len() as u64;
         let commit = (complete + 1)
             .max(self.last_commit)
-            .max(self.commit_ring[(i % cw) as usize] + 1);
+            .max(self.commit_ring[self.commit_cursor] + 1);
         self.last_commit = commit;
-        self.commit_ring[(i % cw) as usize] = commit;
-        self.rob_ring[(i % rob_len) as usize] = commit;
+        self.commit_ring[self.commit_cursor] = commit;
+        self.rob_ring[self.rob_cursor] = commit;
+        self.commit_cursor += 1;
+        if self.commit_cursor == self.commit_ring.len() {
+            self.commit_cursor = 0;
+        }
+        self.rob_cursor += 1;
+        if self.rob_cursor == self.rob_ring.len() {
+            self.rob_cursor = 0;
+        }
         if is_mem {
-            let lsq_len = self.lsq_ring.len() as u64;
-            self.lsq_ring[(self.mem_ops % lsq_len) as usize] = commit;
-            self.mem_ops += 1;
+            self.lsq_ring[self.lsq_cursor] = commit;
+            self.lsq_cursor += 1;
+            if self.lsq_cursor == self.lsq_ring.len() {
+                self.lsq_cursor = 0;
+            }
         }
         self.icache.retire_instructions(1, commit);
         self.stats.instructions += 1;
-        self.inst_index += 1;
         true
     }
 
@@ -363,7 +468,11 @@ mod tests {
 
     fn run_bench(spec: &GeneratorSpec, budget: u64) -> (RunResult, CpuStats) {
         let g = generate(spec);
-        let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        let mut core = Core::new(
+            &g.program,
+            CpuConfig::hpca01(),
+            ConventionalICache::hpca01(),
+        );
         let r = core.run(budget);
         (r, *core.stats())
     }
@@ -373,17 +482,18 @@ mod tests {
         let spec = GeneratorSpec::basic("t", 4 * 1024, 100_000);
         let (r, _) = run_bench(&spec, 200_000);
         let ipc = r.stats.ipc();
-        assert!(
-            ipc > 0.5 && ipc <= 8.0,
-            "IPC {ipc} outside plausible range"
-        );
+        assert!(ipc > 0.5 && ipc <= 8.0, "IPC {ipc} outside plausible range");
     }
 
     #[test]
     fn cycles_grow_monotonically_with_instructions() {
         let spec = GeneratorSpec::basic("t", 4 * 1024, 100_000);
         let g = generate(&spec);
-        let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        let mut core = Core::new(
+            &g.program,
+            CpuConfig::hpca01(),
+            ConventionalICache::hpca01(),
+        );
         let a = core.run(50_000).stats.cycles;
         let b = core.run(50_000).stats.cycles;
         assert!(b > a);
@@ -393,7 +503,11 @@ mod tests {
     fn small_kernel_has_tiny_icache_miss_rate() {
         let spec = GeneratorSpec::basic("t", 2 * 1024, 100_000);
         let g = generate(&spec);
-        let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        let mut core = Core::new(
+            &g.program,
+            CpuConfig::hpca01(),
+            ConventionalICache::hpca01(),
+        );
         core.run(500_000);
         let st = core.icache().stats();
         assert!(
@@ -407,7 +521,11 @@ mod tests {
     fn narrower_machine_is_slower() {
         let spec = GeneratorSpec::basic("t", 4 * 1024, 100_000);
         let g = generate(&spec);
-        let mut wide = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        let mut wide = Core::new(
+            &g.program,
+            CpuConfig::hpca01(),
+            ConventionalICache::hpca01(),
+        );
         let narrow_cfg = CpuConfig {
             fetch_width: 2,
             issue_width: 2,
@@ -457,7 +575,11 @@ mod tests {
     #[test]
     fn benchmarks_drive_the_full_hierarchy() {
         let g = Benchmark::Gcc.build();
-        let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        let mut core = Core::new(
+            &g.program,
+            CpuConfig::hpca01(),
+            ConventionalICache::hpca01(),
+        );
         core.run(300_000);
         assert!(core.hierarchy().l1d_stats().accesses > 10_000);
         assert!(core.stats().loads > 0);
@@ -470,7 +592,11 @@ mod tests {
         // fpppp's 60K footprint in the 64K cache: misses happen on phase
         // wrap but stay modest.
         let g = Benchmark::Fpppp.build();
-        let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+        let mut core = Core::new(
+            &g.program,
+            CpuConfig::hpca01(),
+            ConventionalICache::hpca01(),
+        );
         core.run(300_000);
         let st = core.icache().stats();
         assert!(st.accesses > 0);

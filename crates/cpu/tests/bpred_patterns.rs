@@ -27,7 +27,10 @@ fn alternating_branch_is_learnable() {
     // T N T N: bimodal alone oscillates; gshare captures it via history.
     let mut bp = predictor();
     let wrong = late_mispredicts(&mut bp, 0x1000, &[true, false], 200);
-    assert!(wrong <= 8, "{wrong} late mispredicts on an alternating branch");
+    assert!(
+        wrong <= 8,
+        "{wrong} late mispredicts on an alternating branch"
+    );
 }
 
 #[test]

@@ -90,7 +90,11 @@ fn icache_stalls_are_charged_for_giant_footprints() {
     let mut spec = base_spec();
     spec.phases[0].footprint_bytes = 96 * 1024;
     let g = generate(&spec);
-    let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+    let mut core = Core::new(
+        &g.program,
+        CpuConfig::hpca01(),
+        ConventionalICache::hpca01(),
+    );
     core.run(300_000);
     assert!(
         core.stats().icache_stall_cycles > 1_000,
@@ -120,7 +124,11 @@ fn commit_width_bounds_ipc() {
 fn branch_stats_accumulate() {
     let spec = base_spec();
     let g = generate(&spec);
-    let mut core = Core::new(&g.program, CpuConfig::hpca01(), ConventionalICache::hpca01());
+    let mut core = Core::new(
+        &g.program,
+        CpuConfig::hpca01(),
+        ConventionalICache::hpca01(),
+    );
     let r = core.run(100_000);
     assert!(core.stats().branches > 1_000);
     assert!(core.predictor().stats().conditional > 500);

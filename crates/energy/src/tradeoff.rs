@@ -60,7 +60,10 @@ mod tests {
     fn paper_example_l2_ratio() {
         let p = EnergyParams::hpca01_published();
         let r = extra_l2_over_leakage(&p, 0.5, 0.01);
-        assert!((r - 0.079).abs() < 0.002, "ratio {r} (paper rounds to 0.08)");
+        assert!(
+            (r - 0.079).abs() < 0.002,
+            "ratio {r} (paper rounds to 0.08)"
+        );
     }
 
     #[test]

@@ -14,15 +14,13 @@ fn arb_counts() -> impl Strategy<Value = RunCounts> {
         0u32..8,
         0u64..100_000,
     )
-        .prop_map(
-            |(cycles, frac, l1, bits, l2)| RunCounts {
-                cycles,
-                avg_active_fraction: frac,
-                l1_accesses: l1,
-                resizing_bits: bits,
-                extra_l2_accesses: l2,
-            },
-        )
+        .prop_map(|(cycles, frac, l1, bits, l2)| RunCounts {
+            cycles,
+            avg_active_fraction: frac,
+            l1_accesses: l1,
+            resizing_bits: bits,
+            extra_l2_accesses: l2,
+        })
 }
 
 proptest! {

@@ -5,7 +5,9 @@
 use dri_core::{DriConfig, WayConfig};
 use dri_experiments::harness::{banner, base_config, for_each_benchmark, space};
 use dri_experiments::report::{pct, Table};
-use dri_experiments::runner::{compare_with_baseline, run_conventional, run_dri, run_way_resizable};
+use dri_experiments::runner::{
+    compare_with_baseline, run_conventional, run_dri, run_way_resizable,
+};
 use dri_experiments::search::search_benchmark;
 
 fn main() {

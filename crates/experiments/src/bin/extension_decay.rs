@@ -9,7 +9,9 @@ use cache_sim::icache::InstCache;
 use dri_core::{DecayConfig, DecayICache};
 use dri_experiments::harness::{banner, base_config, for_each_benchmark, space};
 use dri_experiments::report::{pct, Table};
-use dri_experiments::runner::{compare_with_baseline, run_conventional, run_dri, DriRun, RunConfig};
+use dri_experiments::runner::{
+    compare_with_baseline, run_conventional, run_dri, DriRun, RunConfig,
+};
 use dri_experiments::search::search_benchmark;
 use ooo_cpu::core::Core;
 

@@ -83,11 +83,7 @@ fn main() {
         pct(1.0 - sum_size / n)
     );
     println!();
-    println!(
-        "legend: C = performance-constrained (slowdown <= 4%), U = unconstrained;"
-    );
-    println!(
-        "        leak+dyn are the stacked components of the relative energy-delay;"
-    );
+    println!("legend: C = performance-constrained (slowdown <= 4%), U = unconstrained;");
+    println!("        leak+dyn are the stacked components of the relative energy-delay;");
     println!("        '!' marks slowdown above the 4% constraint.");
 }

@@ -9,25 +9,20 @@ use dri_experiments::Comparison;
 
 fn cell(c: &Comparison) -> String {
     let mark = if c.slowdown > 0.04 { "!" } else { "" };
-    format!(
-        "{:.2} ({}{mark})",
-        c.relative_energy_delay,
-        pct(c.slowdown)
-    )
+    format!("{:.2} ({}{mark})", c.relative_energy_delay, pct(c.slowdown))
 }
 
 fn main() {
     banner("Figure 4: impact of varying the miss-bound", "Figure 4");
     let grid = space();
-    let rows: Vec<(synth_workload::suite::Benchmark, MissBoundSweep)> =
-        for_each_benchmark(|b| {
-            let base = base_config(b);
-            let sr = search_benchmark(&base, &grid);
-            let mut tuned = base.clone();
-            tuned.dri.miss_bound = sr.constrained.miss_bound;
-            tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
-            miss_bound_sweep(&tuned)
-        });
+    let rows: Vec<(synth_workload::suite::Benchmark, MissBoundSweep)> = for_each_benchmark(|b| {
+        let base = base_config(b);
+        let sr = search_benchmark(&base, &grid);
+        let mut tuned = base.clone();
+        tuned.dri.miss_bound = sr.constrained.miss_bound;
+        tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
+        miss_bound_sweep(&tuned)
+    });
 
     let mut t = Table::new([
         "benchmark",
@@ -47,9 +42,7 @@ fn main() {
     }
     print!("{}", t.render());
     println!();
-    println!(
-        "cells are relative energy-delay (slowdown); '!' = above the 4% constraint."
-    );
+    println!("cells are relative energy-delay (slowdown); '!' = above the 4% constraint.");
     println!(
         "paper: \"despite varying the miss-bound over a factor of four range, most \
          of the energy-delay products do not change significantly\" — exceptions \

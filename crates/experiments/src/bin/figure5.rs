@@ -9,11 +9,7 @@ use dri_experiments::Comparison;
 
 fn cell(c: &Comparison) -> String {
     let mark = if c.slowdown > 0.04 { "!" } else { "" };
-    format!(
-        "{:.2} ({}{mark})",
-        c.relative_energy_delay,
-        pct(c.slowdown)
-    )
+    format!("{:.2} ({}{mark})", c.relative_energy_delay, pct(c.slowdown))
 }
 
 fn opt_cell(c: &Option<Comparison>) -> String {
@@ -23,15 +19,14 @@ fn opt_cell(c: &Option<Comparison>) -> String {
 fn main() {
     banner("Figure 5: impact of varying the size-bound", "Figure 5");
     let grid = space();
-    let rows: Vec<(synth_workload::suite::Benchmark, SizeBoundSweep)> =
-        for_each_benchmark(|b| {
-            let base = base_config(b);
-            let sr = search_benchmark(&base, &grid);
-            let mut tuned = base.clone();
-            tuned.dri.miss_bound = sr.constrained.miss_bound;
-            tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
-            size_bound_sweep(&tuned)
-        });
+    let rows: Vec<(synth_workload::suite::Benchmark, SizeBoundSweep)> = for_each_benchmark(|b| {
+        let base = base_config(b);
+        let sr = search_benchmark(&base, &grid);
+        let mut tuned = base.clone();
+        tuned.dri.miss_bound = sr.constrained.miss_bound;
+        tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
+        size_bound_sweep(&tuned)
+    });
 
     let mut t = Table::new([
         "benchmark",
@@ -51,9 +46,7 @@ fn main() {
     }
     print!("{}", t.render());
     println!();
-    println!(
-        "cells are relative energy-delay (slowdown); '!' = above the 4% constraint;"
-    );
+    println!("cells are relative energy-delay (slowdown); '!' = above the 4% constraint;");
     println!("N/A mirrors the paper's 'NOT APPLICABLE' column (bound at the cache size).");
     println!(
         "paper: a smaller size-bound shrinks the cache further, but class-1 \

@@ -10,11 +10,7 @@ use dri_experiments::Comparison;
 
 fn cell(c: &Comparison) -> String {
     let mark = if c.slowdown > 0.04 { "!" } else { "" };
-    format!(
-        "{:.2} ({}{mark})",
-        c.relative_energy_delay,
-        pct(c.slowdown)
-    )
+    format!("{:.2} ({}{mark})", c.relative_energy_delay, pct(c.slowdown))
 }
 
 fn main() {
@@ -23,15 +19,14 @@ fn main() {
         "Figure 6 and section 5.5",
     );
     let grid = space();
-    let rows: Vec<(synth_workload::suite::Benchmark, GeometrySweep)> =
-        for_each_benchmark(|b| {
-            let base = base_config(b);
-            let sr = search_benchmark(&base, &grid);
-            let mut tuned = base.clone();
-            tuned.dri.miss_bound = sr.constrained.miss_bound;
-            tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
-            geometry_sweep(&tuned)
-        });
+    let rows: Vec<(synth_workload::suite::Benchmark, GeometrySweep)> = for_each_benchmark(|b| {
+        let base = base_config(b);
+        let sr = search_benchmark(&base, &grid);
+        let mut tuned = base.clone();
+        tuned.dri.miss_bound = sr.constrained.miss_bound;
+        tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
+        geometry_sweep(&tuned)
+    });
 
     let mut t = Table::new([
         "benchmark",

@@ -22,7 +22,12 @@ fn main() {
     let seeds = [1u64, 7, 42, 1234];
 
     let mut t = Table::new([
-        "benchmark", "seed", "rel-ED", "avg size", "slowdown", "conv miss/cyc",
+        "benchmark",
+        "seed",
+        "rel-ED",
+        "avg size",
+        "slowdown",
+        "conv miss/cyc",
     ]);
     for (bench, mb, sb) in cases {
         let mut eds = Vec::new();

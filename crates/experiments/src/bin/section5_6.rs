@@ -17,7 +17,10 @@ fn main() {
         "section 5.6",
     );
     let grid = space();
-    type Rows = (Vec<(u64, dri_experiments::Comparison)>, Vec<(u32, dri_experiments::Comparison)>);
+    type Rows = (
+        Vec<(u64, dri_experiments::Comparison)>,
+        Vec<(u32, dri_experiments::Comparison)>,
+    );
     let rows: Vec<(synth_workload::suite::Benchmark, Rows)> = for_each_benchmark(|b| {
         let base = base_config(b);
         let sr = search_benchmark(&base, &grid);
@@ -34,9 +37,7 @@ fn main() {
     });
 
     println!("\n-- sense-interval sweep (relative energy-delay per interval length) --");
-    let mut t = Table::new([
-        "benchmark", "1/4x", "1/2x", "1x", "2x", "4x", "max |dED|",
-    ]);
+    let mut t = Table::new(["benchmark", "1/4x", "1/2x", "1x", "2x", "4x", "max |dED|"]);
     for (b, (intervals, _)) in &rows {
         let base_ed = intervals[2].1.relative_energy_delay;
         let spread = intervals
@@ -58,9 +59,10 @@ fn main() {
     let mut t = Table::new(["benchmark", "div 2", "div 4", "div 8"]);
     for (b, (_, divs)) in &rows {
         let mut cells = vec![b.name().to_owned()];
-        cells.extend(divs.iter().map(|(_, c)| {
-            format!("{:.2} ({})", c.relative_energy_delay, pct(c.slowdown))
-        }));
+        cells.extend(
+            divs.iter()
+                .map(|(_, c)| format!("{:.2} ({})", c.relative_energy_delay, pct(c.slowdown))),
+        );
         t.row(cells);
     }
     print!("{}", t.render());

@@ -57,11 +57,7 @@ fn main() {
             hier.memory.base_latency, hier.memory.per_8_bytes
         ),
     ]);
-    t.row([
-        "reorder buffer size",
-        "128",
-        &cpu.rob_entries.to_string(),
-    ]);
+    t.row(["reorder buffer size", "128", &cpu.rob_entries.to_string()]);
     t.row(["LSQ size", "128", &cpu.lsq_entries.to_string()]);
     t.row([
         "branch predictor",

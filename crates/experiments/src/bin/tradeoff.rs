@@ -45,7 +45,12 @@ fn main() {
     println!();
 
     println!("extra-L2-dynamic / L1-leakage (paper's example: 0.08 at +1% misses, active 0.5):");
-    let mut t = Table::new(["extra miss rate", "active 0.25", "active 0.50", "active 1.00"]);
+    let mut t = Table::new([
+        "extra miss rate",
+        "active 0.25",
+        "active 0.50",
+        "active 1.00",
+    ]);
     for mr in [0.001f64, 0.005, 0.01] {
         t.row([
             format!("{:.1}%", mr * 100.0),

@@ -10,11 +10,73 @@ pub fn quick_mode() -> bool {
     std::env::var_os("DRI_QUICK").is_some_and(|v| v != "0")
 }
 
-/// Worker threads to use for benchmark-level parallelism.
+/// Worker threads to use for benchmark- and sweep-level parallelism.
+///
+/// Defaults to the machine's available parallelism; `DRI_THREADS=n`
+/// overrides it (`DRI_THREADS=1` forces fully serial execution, which is
+/// also the automatic behaviour on single-core hosts).
 pub fn threads() -> usize {
+    if let Some(n) = std::env::var("DRI_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Workers currently spawned by [`parallel_map`] across the process, so
+/// nested maps (a per-benchmark fan-out whose body runs a per-point
+/// fan-out) share one budget instead of multiplying to `threads()²`
+/// CPU-bound threads.
+static ACTIVE_WORKERS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Applies `f` to every item across scoped workers (at most [`threads`]
+/// process-wide, shared with any enclosing `parallel_map`), returning
+/// results in input order. Runs inline when one worker (or one item)
+/// suffices, so single-core hosts — and the innermost level of a nested
+/// fan-out — pay no thread overhead.
+///
+/// Work is claimed from a shared atomic cursor, so uneven item costs
+/// (a thrashing sweep point next to a quiet one) still pack tightly.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    parallel_map_capped(threads(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker cap (still bounded by the
+/// shared process-wide budget).
+pub fn parallel_map_capped<T: Sync, R: Send>(
+    cap: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    use std::sync::atomic::Ordering;
+    let budget = threads().saturating_sub(ACTIVE_WORKERS.load(Ordering::SeqCst));
+    let workers = budget.min(cap).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    ACTIVE_WORKERS.fetch_add(workers, Ordering::SeqCst);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results = std::sync::Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                results.lock().expect("parallel_map results").push((i, out));
+            });
+        }
+    });
+    ACTIVE_WORKERS.fetch_sub(workers, Ordering::SeqCst);
+    let mut indexed = results.into_inner().expect("parallel_map results");
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 /// The base run configuration for a benchmark, honouring quick mode.
@@ -39,27 +101,9 @@ pub fn space() -> SearchSpace {
 
 /// Runs one closure per benchmark across [`threads`] workers, preserving
 /// the canonical benchmark order in the output.
-pub fn for_each_benchmark<T: Send>(
-    f: impl Fn(Benchmark) -> T + Sync,
-) -> Vec<(Benchmark, T)> {
+pub fn for_each_benchmark<T: Send>(f: impl Fn(Benchmark) -> T + Sync) -> Vec<(Benchmark, T)> {
     let benchmarks = Benchmark::all();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads() {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= benchmarks.len() {
-                    break;
-                }
-                let out = f(benchmarks[i]);
-                results.lock().unwrap().push((benchmarks[i], out));
-            });
-        }
-    });
-    let mut out = results.into_inner().unwrap();
-    out.sort_by_key(|(b, _)| benchmarks.iter().position(|x| x == b).expect("known"));
-    out
+    parallel_map(&benchmarks, |&b| (b, f(b)))
 }
 
 /// Standard banner for every experiment binary. A `paper_ref` beginning

@@ -35,7 +35,9 @@ pub mod published;
 pub mod report;
 pub mod runner;
 pub mod search;
+pub mod session;
 pub mod sweeps;
 
 pub use runner::{compare, run_conventional, run_dri, Comparison, DriRun, RunConfig};
 pub use search::{search_all, search_benchmark, SearchResult, SearchSpace, SLOWDOWN_CONSTRAINT};
+pub use session::{SessionStats, SimSession};

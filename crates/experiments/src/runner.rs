@@ -135,7 +135,10 @@ fn budget_for(cfg: &RunConfig, cycle_instructions: u64) -> u64 {
     cfg.instruction_budget.unwrap_or(cycle_instructions)
 }
 
-fn build_workload(cfg: &RunConfig) -> synth_workload::Generated {
+/// Generates `cfg`'s workload from scratch (no session cache). Generation
+/// is deterministic in `(benchmark, seed_override)`, which is what makes
+/// the session's workload memoization sound.
+pub(crate) fn generate_workload(cfg: &RunConfig) -> synth_workload::Generated {
     match cfg.seed_override {
         None => cfg.benchmark.build(),
         Some(seed) => {
@@ -146,9 +149,10 @@ fn build_workload(cfg: &RunConfig) -> synth_workload::Generated {
     }
 }
 
-/// Runs the conventional baseline for `cfg`.
-pub fn run_conventional(cfg: &RunConfig) -> ConventionalRun {
-    let generated = build_workload(cfg);
+fn simulate_conventional(
+    cfg: &RunConfig,
+    generated: &synth_workload::Generated,
+) -> ConventionalRun {
     let icache = ConventionalICache::new(cfg.baseline_icache());
     let mut core = Core::with_hierarchy(&generated.program, cfg.cpu, icache, cfg.hierarchy);
     let result = core.run(budget_for(cfg, generated.cycle_instructions));
@@ -160,9 +164,33 @@ pub fn run_conventional(cfg: &RunConfig) -> ConventionalRun {
     }
 }
 
-/// Runs the DRI i-cache for `cfg`.
-pub fn run_dri(cfg: &RunConfig) -> DriRun {
-    let generated = build_workload(cfg);
+/// Simulates the baseline with a session-cached workload but no run
+/// memoization (the session calls this on a cache miss).
+pub(crate) fn run_conventional_fresh_in(
+    session: &crate::session::SimSession,
+    cfg: &RunConfig,
+) -> ConventionalRun {
+    simulate_conventional(cfg, &session.workload(cfg))
+}
+
+/// Runs the conventional baseline for `cfg` with no caching at all: the
+/// workload is regenerated and the simulation always executes. This is
+/// the reference the session's bit-identity contract is tested against;
+/// prefer [`run_conventional`] everywhere else.
+pub fn run_conventional_uncached(cfg: &RunConfig) -> ConventionalRun {
+    simulate_conventional(cfg, &generate_workload(cfg))
+}
+
+/// Runs the conventional baseline for `cfg`.
+///
+/// Workloads and completed runs are memoized in the global
+/// [`crate::session::SimSession`]; simulations are deterministic, so a
+/// cache hit returns counters bit-identical to a fresh run.
+pub fn run_conventional(cfg: &RunConfig) -> ConventionalRun {
+    crate::session::SimSession::global().conventional(cfg)
+}
+
+fn simulate_dri(cfg: &RunConfig, generated: &synth_workload::Generated) -> DriRun {
     let icache = DriICache::new(cfg.dri);
     let mut core = Core::with_hierarchy(&generated.program, cfg.cpu, icache, cfg.hierarchy);
     let result = core.run(budget_for(cfg, generated.cycle_instructions));
@@ -184,12 +212,33 @@ pub fn run_dri(cfg: &RunConfig) -> DriRun {
     }
 }
 
+/// Simulates the DRI cache with a session-cached workload but no run
+/// memoization (the session calls this on a cache miss).
+pub(crate) fn run_dri_fresh_in(session: &crate::session::SimSession, cfg: &RunConfig) -> DriRun {
+    simulate_dri(cfg, &session.workload(cfg))
+}
+
+/// Runs the DRI i-cache for `cfg` with no caching at all (see
+/// [`run_conventional_uncached`]).
+pub fn run_dri_uncached(cfg: &RunConfig) -> DriRun {
+    simulate_dri(cfg, &generate_workload(cfg))
+}
+
+/// Runs the DRI i-cache for `cfg`.
+///
+/// Workloads and completed runs are memoized in the global
+/// [`crate::session::SimSession`] (see [`run_conventional`]).
+pub fn run_dri(cfg: &RunConfig) -> DriRun {
+    crate::session::SimSession::global().dri(cfg)
+}
+
 /// Runs the Albonesi-style way-resizing ablation cache (see
 /// `dri_core::way_resize`) under the same system configuration. The result
 /// reuses [`DriRun`]: way resizing needs no resizing tag bits, so
-/// `resizing_bits` is 0.
+/// `resizing_bits` is 0. The workload comes from the global session; the
+/// simulation itself is not memoized (ablations run once).
 pub fn run_way_resizable(cfg: &RunConfig, way: dri_core::WayConfig) -> DriRun {
-    let generated = build_workload(cfg);
+    let generated = crate::session::SimSession::global().workload(cfg);
     let icache = dri_core::WayResizableICache::new(way);
     let mut core = Core::with_hierarchy(&generated.program, cfg.cpu, icache, cfg.hierarchy);
     let result = core.run(budget_for(cfg, generated.cycle_instructions));
@@ -252,7 +301,9 @@ pub fn compare_with_baseline(
     dri: &DriRun,
 ) -> Comparison {
     let params = cfg.scaled_energy();
-    let extra_l2 = dri.l2_inst_accesses.saturating_sub(baseline.l2_inst_accesses);
+    let extra_l2 = dri
+        .l2_inst_accesses
+        .saturating_sub(baseline.l2_inst_accesses);
     let counts = RunCounts {
         cycles: dri.timing.cycles,
         avg_active_fraction: dri.dri.avg_active_fraction,
@@ -265,9 +316,7 @@ pub fn compare_with_baseline(
         energy_model::accounting::conventional_leakage(&params, baseline.timing.cycles),
         baseline.timing.cycles,
     );
-    let rel = |e: sram_circuit::units::NanoJoules| {
-        energy_delay(e, dri.timing.cycles) / conv_ed
-    };
+    let rel = |e: sram_circuit::units::NanoJoules| energy_delay(e, dri.timing.cycles) / conv_ed;
     Comparison {
         benchmark: cfg.benchmark,
         miss_bound: cfg.dri.miss_bound,
@@ -299,11 +348,11 @@ mod tests {
     #[test]
     fn quick_compress_downsizes_and_saves_energy() {
         // compress is class 1: tiny working set, lives at the size-bound.
-        // A 4K size-bound comfortably holds its ~2.3K of hot code; the 1K
-        // default would thrash (the §2.3.1 failure mode the parameter
-        // search exists to avoid).
+        // An 8K size-bound comfortably holds its hot code plus the driver
+        // dispatch chain (~6K as laid out); smaller bounds thrash (the
+        // §2.3.1 failure mode the parameter search exists to avoid).
         let mut cfg = RunConfig::quick(Benchmark::Compress);
-        cfg.dri.size_bound_bytes = 4 * 1024;
+        cfg.dri.size_bound_bytes = 8 * 1024;
         let c = compare(&cfg);
         assert!(
             c.avg_size_fraction < 0.6,

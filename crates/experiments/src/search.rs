@@ -58,12 +58,16 @@ pub struct SearchResult {
 }
 
 /// Exhaustively searches the grid for one benchmark, reusing a single
-/// baseline run. `base` supplies everything but the two searched
-/// parameters.
+/// baseline run and simulating the grid's DRI points across
+/// [`crate::harness::threads`] workers. `base` supplies everything but
+/// the two searched parameters.
+///
+/// The best-point selection folds over the grid in its canonical order
+/// (size-bounds outer, miss-bounds inner), so ties resolve exactly as the
+/// original serial search resolved them.
 pub fn search_benchmark(base: &RunConfig, space: &SearchSpace) -> SearchResult {
     let baseline = run_conventional(base);
-    let mut best_constrained: Option<Comparison> = None;
-    let mut best_unconstrained: Option<Comparison> = None;
+    let mut cfgs: Vec<RunConfig> = Vec::new();
     for &size_bound in &space.size_bounds {
         if size_bound > base.dri.max_size_bytes {
             continue;
@@ -72,23 +76,25 @@ pub fn search_benchmark(base: &RunConfig, space: &SearchSpace) -> SearchResult {
             let mut cfg = base.clone();
             cfg.dri.miss_bound = miss_bound;
             cfg.dri.size_bound_bytes = size_bound;
-            let dri = run_dri(&cfg);
-            let c = compare_with_baseline(&cfg, &baseline, &dri);
-            if c.slowdown <= SLOWDOWN_CONSTRAINT
-                && best_constrained
-                    .is_none_or(|b| c.relative_energy_delay < b.relative_energy_delay)
-            {
-                best_constrained = Some(c);
-            }
-            if best_unconstrained
-                .is_none_or(|b| c.relative_energy_delay < b.relative_energy_delay)
-            {
-                best_unconstrained = Some(c);
-            }
-            // With the full-size bound and a generous miss-bound the cache
-            // never resizes, so the constrained set is never empty; the
-            // expect below documents that invariant.
+            cfgs.push(cfg);
         }
+    }
+    let runs = crate::harness::parallel_map(&cfgs, run_dri);
+    let mut best_constrained: Option<Comparison> = None;
+    let mut best_unconstrained: Option<Comparison> = None;
+    for (cfg, dri) in cfgs.iter().zip(&runs) {
+        let c = compare_with_baseline(cfg, &baseline, dri);
+        if c.slowdown <= SLOWDOWN_CONSTRAINT
+            && best_constrained.is_none_or(|b| c.relative_energy_delay < b.relative_energy_delay)
+        {
+            best_constrained = Some(c);
+        }
+        if best_unconstrained.is_none_or(|b| c.relative_energy_delay < b.relative_energy_delay) {
+            best_unconstrained = Some(c);
+        }
+        // With the full-size bound and a generous miss-bound the cache
+        // never resizes, so the constrained set is never empty; the
+        // expect below documents that invariant.
     }
     let unconstrained = best_unconstrained.expect("non-empty search space");
     let constrained = best_constrained.unwrap_or(unconstrained);
@@ -99,35 +105,18 @@ pub fn search_benchmark(base: &RunConfig, space: &SearchSpace) -> SearchResult {
     }
 }
 
-/// Searches every benchmark, spreading the work over `threads` workers.
+/// Searches every benchmark, spreading the work over at most `threads`
+/// workers (drawn from the same process-wide budget the per-benchmark
+/// grids use, so the fan-out never multiplies past the machine).
 pub fn search_all(
     make_base: impl Fn(Benchmark) -> RunConfig + Sync,
     space: &SearchSpace,
     threads: usize,
 ) -> Vec<SearchResult> {
     let benchmarks = Benchmark::all();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results = std::sync::Mutex::new(Vec::<SearchResult>::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= benchmarks.len() {
-                    break;
-                }
-                let r = search_benchmark(&make_base(benchmarks[i]), space);
-                results.lock().unwrap().push(r);
-            });
-        }
-    });
-    let mut out = results.into_inner().unwrap();
-    out.sort_by_key(|r| {
-        benchmarks
-            .iter()
-            .position(|b| *b == r.benchmark)
-            .expect("known benchmark")
-    });
-    out
+    crate::harness::parallel_map_capped(threads.max(1), &benchmarks, |&b| {
+        search_benchmark(&make_base(b), space)
+    })
 }
 
 #[cfg(test)]
@@ -148,8 +137,7 @@ mod tests {
         );
         // Unconstrained can only be at least as good.
         assert!(
-            r.unconstrained.relative_energy_delay
-                <= r.constrained.relative_energy_delay + 1e-12
+            r.unconstrained.relative_energy_delay <= r.constrained.relative_energy_delay + 1e-12
         );
     }
 

@@ -1,0 +1,264 @@
+//! The simulation session: process-wide memoization of workloads and runs.
+//!
+//! Every figure in the paper is assembled from *hundreds* of paired
+//! baseline-vs-DRI simulations, and before this layer existed each
+//! `run_conventional`/`run_dri` call regenerated its synthetic workload
+//! from scratch and every sweep point re-simulated the baseline. A
+//! [`SimSession`] eliminates that redundancy without changing a single
+//! counter:
+//!
+//! * **Workloads** are memoized behind [`Arc`], keyed by
+//!   `(Benchmark, seed override)`. Generation is deterministic in that
+//!   key (see `synth_workload::generator`), so the cached program is the
+//!   program a fresh generation would produce, and each workload is built
+//!   exactly once per process no matter how many sweep points touch it.
+//! * **Baseline (conventional) runs** are memoized by everything that can
+//!   influence their counters: benchmark, seed, CPU configuration,
+//!   hierarchy configuration, baseline i-cache geometry, and instruction
+//!   budget. A parameter search over `n` (miss-bound × size-bound) points
+//!   simulates the baseline once, not `n` times — and the search and the
+//!   Figure 4–6 sweeps that follow it share that one run too.
+//! * **DRI runs** are memoized by the same key plus the full
+//!   [`DriConfig`], so a sweep whose base point was already visited by
+//!   the parameter search reuses it instead of re-simulating.
+//!
+//! Simulations are deterministic (seeded RNGs, no wall-clock input), so a
+//! cache hit is *bit-identical* to a fresh run — the regression tests in
+//! `tests/session_identity.rs` assert this field by field. Results are
+//! small `Copy` structs; workloads are the only cached values of any size.
+//!
+//! The global session is shared across threads (guarded by mutexes that
+//! are held only for lookup/insert, never during a simulation), which is
+//! what makes the parallel sweeps in [`crate::sweeps`] and
+//! [`crate::harness::parallel_map`] cheap: concurrent sweep points fall
+//! back to at most one redundant simulation per race, and typically none.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cache_sim::config::CacheConfig;
+use cache_sim::hierarchy::HierarchyConfig;
+use dri_core::DriConfig;
+use ooo_cpu::config::CpuConfig;
+use synth_workload::suite::Benchmark;
+use synth_workload::Generated;
+
+use crate::runner::{ConventionalRun, DriRun, RunConfig};
+
+/// Identifies a generated workload: the benchmark plus the optional seed
+/// override (`None` = the benchmark's canonical seed).
+pub type WorkloadKey = (Benchmark, Option<u64>);
+
+/// Everything that can influence a conventional (baseline) run's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BaselineKey {
+    benchmark: Benchmark,
+    seed_override: Option<u64>,
+    cpu: CpuConfig,
+    hierarchy: HierarchyConfig,
+    icache: CacheConfig,
+    instruction_budget: Option<u64>,
+}
+
+impl BaselineKey {
+    fn of(cfg: &RunConfig) -> Self {
+        BaselineKey {
+            benchmark: cfg.benchmark,
+            seed_override: cfg.seed_override,
+            cpu: cfg.cpu,
+            hierarchy: cfg.hierarchy,
+            icache: cfg.baseline_icache(),
+            instruction_budget: cfg.instruction_budget,
+        }
+    }
+}
+
+/// Everything that can influence a DRI run's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DriKey {
+    benchmark: Benchmark,
+    seed_override: Option<u64>,
+    cpu: CpuConfig,
+    hierarchy: HierarchyConfig,
+    dri: DriConfig,
+    instruction_budget: Option<u64>,
+}
+
+impl DriKey {
+    fn of(cfg: &RunConfig) -> Self {
+        DriKey {
+            benchmark: cfg.benchmark,
+            seed_override: cfg.seed_override,
+            cpu: cfg.cpu,
+            hierarchy: cfg.hierarchy,
+            dri: cfg.dri,
+            instruction_budget: cfg.instruction_budget,
+        }
+    }
+}
+
+/// Cache-hit/miss counters, for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Workload cache hits.
+    pub workload_hits: u64,
+    /// Workloads generated (cache misses).
+    pub workload_misses: u64,
+    /// Baseline-run cache hits.
+    pub baseline_hits: u64,
+    /// Baseline simulations executed (cache misses).
+    pub baseline_misses: u64,
+    /// DRI-run cache hits.
+    pub dri_hits: u64,
+    /// DRI simulations executed (cache misses).
+    pub dri_misses: u64,
+}
+
+/// Memoization scope for workloads and runs (see the module docs).
+///
+/// Most callers use [`SimSession::global`] through the `runner` free
+/// functions; a fresh `SimSession::new()` gives tests and long-lived
+/// servers an isolated scope they can drop to release memory.
+#[derive(Debug, Default)]
+pub struct SimSession {
+    workloads: Mutex<HashMap<WorkloadKey, Arc<Generated>>>,
+    baselines: Mutex<HashMap<BaselineKey, ConventionalRun>>,
+    dri_runs: Mutex<HashMap<DriKey, DriRun>>,
+    stats: Mutex<SessionStats>,
+}
+
+impl SimSession {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide session every default-path run shares.
+    pub fn global() -> &'static SimSession {
+        static GLOBAL: OnceLock<SimSession> = OnceLock::new();
+        GLOBAL.get_or_init(SimSession::new)
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> SessionStats {
+        *self.stats.lock().expect("session stats lock")
+    }
+
+    /// The memoized workload for `cfg` (generated on first use).
+    pub fn workload(&self, cfg: &RunConfig) -> Arc<Generated> {
+        let key = (cfg.benchmark, cfg.seed_override);
+        if let Some(found) = self.workloads.lock().expect("workload lock").get(&key) {
+            self.stats.lock().expect("session stats lock").workload_hits += 1;
+            return Arc::clone(found);
+        }
+        // Generate outside the lock: concurrent first uses may race and
+        // both generate, but generation is deterministic so either result
+        // is the canonical one.
+        let generated = Arc::new(crate::runner::generate_workload(cfg));
+        self.stats
+            .lock()
+            .expect("session stats lock")
+            .workload_misses += 1;
+        Arc::clone(
+            self.workloads
+                .lock()
+                .expect("workload lock")
+                .entry(key)
+                .or_insert(generated),
+        )
+    }
+
+    /// The memoized baseline run for `cfg` (simulated on first use).
+    pub fn conventional(&self, cfg: &RunConfig) -> ConventionalRun {
+        let key = BaselineKey::of(cfg);
+        if let Some(found) = self.baselines.lock().expect("baseline lock").get(&key) {
+            self.stats.lock().expect("session stats lock").baseline_hits += 1;
+            return *found;
+        }
+        let run = crate::runner::run_conventional_fresh_in(self, cfg);
+        self.stats
+            .lock()
+            .expect("session stats lock")
+            .baseline_misses += 1;
+        *self
+            .baselines
+            .lock()
+            .expect("baseline lock")
+            .entry(key)
+            .or_insert(run)
+    }
+
+    /// The memoized DRI run for `cfg` (simulated on first use).
+    pub fn dri(&self, cfg: &RunConfig) -> DriRun {
+        let key = DriKey::of(cfg);
+        if let Some(found) = self.dri_runs.lock().expect("dri lock").get(&key) {
+            self.stats.lock().expect("session stats lock").dri_hits += 1;
+            return *found;
+        }
+        let run = crate::runner::run_dri_fresh_in(self, cfg);
+        self.stats.lock().expect("session stats lock").dri_misses += 1;
+        *self
+            .dri_runs
+            .lock()
+            .expect("dri lock")
+            .entry(key)
+            .or_insert(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_generated_once_per_key() {
+        let session = SimSession::new();
+        let cfg = RunConfig::quick(Benchmark::Li);
+        let a = session.workload(&cfg);
+        let b = session.workload(&cfg);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        let stats = session.stats();
+        assert_eq!(stats.workload_misses, 1);
+        assert_eq!(stats.workload_hits, 1);
+
+        let mut seeded = cfg.clone();
+        seeded.seed_override = Some(7);
+        let c = session.workload(&seeded);
+        assert!(!Arc::ptr_eq(&a, &c), "different seed, different workload");
+        assert_eq!(session.stats().workload_misses, 2);
+    }
+
+    #[test]
+    fn baseline_is_shared_across_dri_parameter_changes() {
+        let session = SimSession::new();
+        let mut cfg = RunConfig::quick(Benchmark::Compress);
+        cfg.instruction_budget = Some(100_000);
+        let a = session.conventional(&cfg);
+        // Miss-bound and size-bound do not touch the baseline geometry.
+        cfg.dri.miss_bound *= 2;
+        cfg.dri.size_bound_bytes = 8 * 1024;
+        let b = session.conventional(&cfg);
+        assert_eq!(a.timing.cycles, b.timing.cycles);
+        let stats = session.stats();
+        assert_eq!(stats.baseline_misses, 1);
+        assert_eq!(stats.baseline_hits, 1);
+        // A geometry change (associativity) is a different baseline.
+        cfg.dri.associativity = 4;
+        let _ = session.conventional(&cfg);
+        assert_eq!(session.stats().baseline_misses, 2);
+    }
+
+    #[test]
+    fn dri_runs_memoize_on_the_full_config() {
+        let session = SimSession::new();
+        let mut cfg = RunConfig::quick(Benchmark::Mgrid);
+        cfg.instruction_budget = Some(100_000);
+        let a = session.dri(&cfg);
+        let b = session.dri(&cfg);
+        assert_eq!(a.timing.cycles, b.timing.cycles);
+        assert_eq!(session.stats().dri_hits, 1);
+        cfg.dri.sense_interval /= 2;
+        let _ = session.dri(&cfg);
+        assert_eq!(session.stats().dri_misses, 2);
+    }
+}

@@ -1,8 +1,13 @@
 //! Parameter and geometry sweeps: Figures 4–6 and §5.6.
+//!
+//! Every sweep shares one baseline run per geometry (memoized in the
+//! global [`crate::session::SimSession`]) and spreads its DRI points
+//! across [`crate::harness::threads`] workers via
+//! [`crate::harness::parallel_map`]. Points are reassembled in sweep
+//! order, so outputs are identical to a serial sweep.
 
-use crate::runner::{
-    compare_with_baseline, run_conventional, run_dri, Comparison, RunConfig,
-};
+use crate::harness::parallel_map;
+use crate::runner::{compare_with_baseline, run_conventional, run_dri, Comparison, RunConfig};
 use dri_core::DriConfig;
 
 /// Runs one DRI-vs-baseline comparison for a fully specified config.
@@ -10,6 +15,17 @@ fn one(cfg: &RunConfig) -> Comparison {
     let baseline = run_conventional(cfg);
     let dri = run_dri(cfg);
     compare_with_baseline(cfg, &baseline, &dri)
+}
+
+/// Runs the DRI side of every config in parallel and compares each
+/// against `base`'s (shared, memoized) baseline run.
+fn compare_points(base: &RunConfig, cfgs: &[RunConfig]) -> Vec<Comparison> {
+    let baseline = run_conventional(base);
+    let runs = parallel_map(cfgs, run_dri);
+    cfgs.iter()
+        .zip(&runs)
+        .map(|(cfg, dri)| compare_with_baseline(cfg, &baseline, dri))
+        .collect()
 }
 
 /// Figure 4: the miss-bound varied to 0.5×, 1×, and 2× of the base
@@ -25,19 +41,29 @@ pub struct MissBoundSweep {
 }
 
 /// Runs the Figure 4 sweep around `base` (whose `dri.miss_bound` is the
-/// benchmark's constrained-best value). The baseline run is shared.
+/// benchmark's constrained-best value). The baseline run is shared and the
+/// three points run in parallel.
 pub fn miss_bound_sweep(base: &RunConfig) -> MissBoundSweep {
-    let baseline = run_conventional(base);
-    let with = |mb: u64| {
+    let cfgs: Vec<RunConfig> = [
+        base.dri.miss_bound / 2,
+        base.dri.miss_bound,
+        base.dri.miss_bound * 2,
+    ]
+    .into_iter()
+    .map(|mb| {
         let mut cfg = base.clone();
         cfg.dri.miss_bound = mb.max(1);
-        let dri = run_dri(&cfg);
-        compare_with_baseline(&cfg, &baseline, &dri)
-    };
+        cfg
+    })
+    .collect();
+    let mut points = compare_points(base, &cfgs);
+    let double = points.pop().expect("three points");
+    let base_point = points.pop().expect("three points");
+    let half = points.pop().expect("three points");
     MissBoundSweep {
-        half: with(base.dri.miss_bound / 2),
-        base: with(base.dri.miss_bound),
-        double: with(base.dri.miss_bound * 2),
+        half,
+        base: base_point,
+        double,
     }
 }
 
@@ -54,29 +80,34 @@ pub struct SizeBoundSweep {
     pub half: Option<Comparison>,
 }
 
-/// Runs the Figure 5 sweep around `base`.
+/// Runs the Figure 5 sweep around `base`: applicable points in parallel
+/// against the shared baseline.
 pub fn size_bound_sweep(base: &RunConfig) -> SizeBoundSweep {
-    let baseline = run_conventional(base);
-    let with = |sb: u64| {
-        let mut cfg = base.clone();
-        cfg.dri.size_bound_bytes = sb;
-        let dri = run_dri(&cfg);
-        compare_with_baseline(&cfg, &baseline, &dri)
-    };
     let row_bytes = base.dri.block_bytes * u64::from(base.dri.associativity);
-    let double = if base.dri.size_bound_bytes * 2 <= base.dri.max_size_bytes {
-        Some(with(base.dri.size_bound_bytes * 2))
-    } else {
-        None
-    };
-    let half = if base.dri.size_bound_bytes / 2 >= row_bytes {
-        Some(with(base.dri.size_bound_bytes / 2))
-    } else {
-        None
-    };
+    let has_double = base.dri.size_bound_bytes * 2 <= base.dri.max_size_bytes;
+    let has_half = base.dri.size_bound_bytes / 2 >= row_bytes;
+    let mut bounds = vec![base.dri.size_bound_bytes];
+    if has_double {
+        bounds.push(base.dri.size_bound_bytes * 2);
+    }
+    if has_half {
+        bounds.push(base.dri.size_bound_bytes / 2);
+    }
+    let cfgs: Vec<RunConfig> = bounds
+        .into_iter()
+        .map(|sb| {
+            let mut cfg = base.clone();
+            cfg.dri.size_bound_bytes = sb;
+            cfg
+        })
+        .collect();
+    let mut points = compare_points(base, &cfgs).into_iter();
+    let base_point = points.next().expect("base point");
+    let double = has_double.then(|| points.next().expect("double point"));
+    let half = has_half.then(|| points.next().expect("half point"));
     SizeBoundSweep {
         double,
-        base: with(base.dri.size_bound_bytes),
+        base: base_point,
         half,
     }
 }
@@ -96,9 +127,16 @@ pub struct GeometrySweep {
 }
 
 /// Runs the Figure 6 sweep. `base` carries the benchmark's constrained
-/// 64K-DM parameters.
+/// 64K-DM parameters. Each geometry pairs with a baseline of its own
+/// geometry, so the three full comparisons run in parallel.
 pub fn geometry_sweep(base: &RunConfig) -> GeometrySweep {
-    let with_geometry = |dri: DriConfig| {
+    let cfgs: Vec<RunConfig> = [
+        DriConfig::hpca01_64k_4way(),
+        DriConfig::hpca01_64k_dm(),
+        DriConfig::hpca01_128k_dm(),
+    ]
+    .into_iter()
+    .map(|dri| {
         let mut cfg = base.clone();
         cfg.dri = DriConfig {
             miss_bound: base.dri.miss_bound,
@@ -108,40 +146,49 @@ pub fn geometry_sweep(base: &RunConfig) -> GeometrySweep {
             throttle: base.dri.throttle,
             ..dri
         };
-        one(&cfg)
-    };
+        cfg
+    })
+    .collect();
+    let mut points = parallel_map(&cfgs, one).into_iter();
     GeometrySweep {
-        assoc_4way: with_geometry(DriConfig::hpca01_64k_4way()),
-        dm_64k: with_geometry(DriConfig::hpca01_64k_dm()),
-        dm_128k: with_geometry(DriConfig::hpca01_128k_dm()),
+        assoc_4way: points.next().expect("three geometries"),
+        dm_64k: points.next().expect("three geometries"),
+        dm_128k: points.next().expect("three geometries"),
     }
 }
 
 /// §5.6: sense-interval robustness. Returns `(interval, comparison)` per
-/// swept length.
+/// swept length, all points in parallel against the shared baseline.
 pub fn interval_sweep(base: &RunConfig, intervals: &[u64]) -> Vec<(u64, Comparison)> {
-    let baseline = run_conventional(base);
-    intervals
+    let cfgs: Vec<RunConfig> = intervals
         .iter()
         .map(|&si| {
             let mut cfg = base.clone();
             cfg.dri.sense_interval = si;
-            let dri = run_dri(&cfg);
-            (si, compare_with_baseline(&cfg, &baseline, &dri))
+            cfg
         })
+        .collect();
+    intervals
+        .iter()
+        .copied()
+        .zip(compare_points(base, &cfgs))
         .collect()
 }
 
-/// §5.6: divisibility. Returns `(divisibility, comparison)` per factor.
+/// §5.6: divisibility. Returns `(divisibility, comparison)` per factor,
+/// all points in parallel against the shared baseline.
 pub fn divisibility_sweep(base: &RunConfig, divs: &[u32]) -> Vec<(u32, Comparison)> {
-    let baseline = run_conventional(base);
-    divs.iter()
+    let cfgs: Vec<RunConfig> = divs
+        .iter()
         .map(|&d| {
             let mut cfg = base.clone();
             cfg.dri.divisibility = d;
-            let dri = run_dri(&cfg);
-            (d, compare_with_baseline(&cfg, &baseline, &dri))
+            cfg
         })
+        .collect();
+    divs.iter()
+        .copied()
+        .zip(compare_points(base, &cfgs))
         .collect()
 }
 

@@ -1,0 +1,164 @@
+//! The session layer's contract: memoized (and parallel-swept) results
+//! are *bit-identical* to fresh, uncached, serial runs.
+//!
+//! `run_conventional`/`run_dri` route through the global
+//! [`dri_experiments::SimSession`]; `run_conventional_uncached`/
+//! `run_dri_uncached` regenerate the workload and always simulate. Every
+//! counter and every derived f64 must match to the last bit.
+
+use dri_experiments::runner::{
+    compare_with_baseline, run_conventional, run_conventional_uncached, run_dri, run_dri_uncached,
+};
+use dri_experiments::sweeps::miss_bound_sweep;
+use dri_experiments::{Comparison, RunConfig, SimSession};
+use synth_workload::suite::Benchmark;
+
+fn assert_comparisons_bit_identical(a: &Comparison, b: &Comparison, what: &str) {
+    assert_eq!(a.benchmark, b.benchmark, "{what}: benchmark");
+    assert_eq!(a.miss_bound, b.miss_bound, "{what}: miss_bound");
+    assert_eq!(a.size_bound_bytes, b.size_bound_bytes, "{what}: size_bound");
+    assert_eq!(
+        a.relative_energy_delay.to_bits(),
+        b.relative_energy_delay.to_bits(),
+        "{what}: relative_energy_delay {} vs {}",
+        a.relative_energy_delay,
+        b.relative_energy_delay
+    );
+    assert_eq!(
+        a.leakage_component.to_bits(),
+        b.leakage_component.to_bits(),
+        "{what}: leakage_component"
+    );
+    assert_eq!(
+        a.dynamic_component.to_bits(),
+        b.dynamic_component.to_bits(),
+        "{what}: dynamic_component"
+    );
+    assert_eq!(
+        a.slowdown.to_bits(),
+        b.slowdown.to_bits(),
+        "{what}: slowdown"
+    );
+    assert_eq!(
+        a.avg_size_fraction.to_bits(),
+        b.avg_size_fraction.to_bits(),
+        "{what}: avg_size_fraction"
+    );
+    assert_eq!(
+        a.dri_miss_rate.to_bits(),
+        b.dri_miss_rate.to_bits(),
+        "{what}: dri_miss_rate"
+    );
+    assert_eq!(
+        a.conventional_miss_rate.to_bits(),
+        b.conventional_miss_rate.to_bits(),
+        "{what}: conventional_miss_rate"
+    );
+    assert_eq!(
+        a.extra_l2_accesses, b.extra_l2_accesses,
+        "{what}: extra_l2_accesses"
+    );
+    assert_eq!(
+        a.energy.effective().value().to_bits(),
+        b.energy.effective().value().to_bits(),
+        "{what}: effective energy"
+    );
+}
+
+fn uncached_comparison(cfg: &RunConfig) -> Comparison {
+    let baseline = run_conventional_uncached(cfg);
+    let dri = run_dri_uncached(cfg);
+    compare_with_baseline(cfg, &baseline, &dri)
+}
+
+fn cached_comparison(cfg: &RunConfig) -> Comparison {
+    let baseline = run_conventional(cfg);
+    let dri = run_dri(cfg);
+    compare_with_baseline(cfg, &baseline, &dri)
+}
+
+#[test]
+fn cached_runs_are_bit_identical_to_fresh_uncached_runs() {
+    for (benchmark, size_bound) in [
+        (Benchmark::Compress, 8 * 1024),
+        (Benchmark::Li, 4 * 1024),
+        (Benchmark::Gcc, 16 * 1024),
+    ] {
+        let mut cfg = RunConfig::quick(benchmark);
+        cfg.instruction_budget = Some(200_000);
+        cfg.dri.size_bound_bytes = size_bound;
+        let fresh = uncached_comparison(&cfg);
+        // First session pass populates the cache, second hits it; both
+        // must equal the uncached reference bit for bit.
+        let first = cached_comparison(&cfg);
+        let second = cached_comparison(&cfg);
+        let name = benchmark.name();
+        assert_comparisons_bit_identical(&fresh, &first, &format!("{name} (cold cache)"));
+        assert_comparisons_bit_identical(&fresh, &second, &format!("{name} (warm cache)"));
+    }
+}
+
+#[test]
+fn seed_overrides_key_the_cache_correctly() {
+    let mut cfg = RunConfig::quick(Benchmark::Perl);
+    cfg.instruction_budget = Some(150_000);
+    cfg.seed_override = Some(42);
+    let fresh = uncached_comparison(&cfg);
+    let cached = cached_comparison(&cfg);
+    assert_comparisons_bit_identical(&fresh, &cached, "perl seed 42");
+
+    // A different seed must not alias to the cached seed-42 results.
+    let mut other = cfg.clone();
+    other.seed_override = Some(43);
+    let other_fresh = uncached_comparison(&other);
+    let other_cached = cached_comparison(&other);
+    assert_comparisons_bit_identical(&other_fresh, &other_cached, "perl seed 43");
+    assert_ne!(
+        cached.relative_energy_delay.to_bits(),
+        other_cached.relative_energy_delay.to_bits(),
+        "different seeds should produce different runs (sanity check)"
+    );
+}
+
+#[test]
+fn parallel_sweep_matches_serial_uncached_points() {
+    let mut base = RunConfig::quick(Benchmark::Mgrid);
+    base.instruction_budget = Some(150_000);
+    base.dri.size_bound_bytes = 4 * 1024;
+    base.dri.miss_bound = 100;
+
+    let sweep = miss_bound_sweep(&base);
+
+    let point = |mb: u64| {
+        let mut cfg = base.clone();
+        cfg.dri.miss_bound = mb.max(1);
+        let baseline = run_conventional_uncached(&base);
+        let dri = run_dri_uncached(&cfg);
+        compare_with_baseline(&cfg, &baseline, &dri)
+    };
+    assert_comparisons_bit_identical(&point(50), &sweep.half, "mgrid half");
+    assert_comparisons_bit_identical(&point(100), &sweep.base, "mgrid base");
+    assert_comparisons_bit_identical(&point(200), &sweep.double, "mgrid double");
+}
+
+#[test]
+fn global_session_reports_cache_traffic() {
+    let mut cfg = RunConfig::quick(Benchmark::Swim);
+    cfg.instruction_budget = Some(120_000);
+    let before = SimSession::global().stats();
+    let _ = cached_comparison(&cfg);
+    let _ = cached_comparison(&cfg);
+    let after = SimSession::global().stats();
+    assert!(
+        after.baseline_hits > before.baseline_hits,
+        "second pass must hit the baseline cache"
+    );
+    assert!(
+        after.dri_hits > before.dri_hits,
+        "second pass must hit the DRI-run cache"
+    );
+    assert!(
+        after.workload_misses > before.workload_misses,
+        "first pass must generate the workload"
+    );
+}

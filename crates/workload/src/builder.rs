@@ -110,7 +110,10 @@ impl CodeBuilder {
     /// Panics if `addr` is behind the current position or unaligned.
     pub fn pad_to(&mut self, addr: u64) {
         assert!(addr >= self.here(), "cannot pad backwards to {addr:#x}");
-        assert!(addr % INST_BYTES == 0, "unaligned pad target {addr:#x}");
+        assert!(
+            addr.is_multiple_of(INST_BYTES),
+            "unaligned pad target {addr:#x}"
+        );
         while self.here() < addr {
             self.push(Inst::nop());
         }

@@ -147,13 +147,19 @@ impl GeneratorSpec {
     /// routine size, out-of-range phase indices or fractions).
     pub fn validate(&self) {
         assert!(!self.phases.is_empty(), "need at least one phase");
-        assert!(!self.schedule.is_empty(), "need at least one schedule entry");
         assert!(
-            self.routine_bytes >= 64 && self.routine_bytes % 4 == 0,
+            !self.schedule.is_empty(),
+            "need at least one schedule entry"
+        );
+        assert!(
+            self.routine_bytes >= 64 && self.routine_bytes.is_multiple_of(4),
             "routine_bytes must be a multiple of 4 >= 64, got {}",
             self.routine_bytes
         );
-        assert!(self.gap_bytes % 4 == 0, "gap must be instruction-aligned");
+        assert!(
+            self.gap_bytes.is_multiple_of(4),
+            "gap must be instruction-aligned"
+        );
         for e in &self.schedule {
             assert!(
                 e.phase < self.phases.len(),
@@ -249,7 +255,13 @@ pub fn generate(spec: &GeneratorSpec) -> Generated {
     let total_routines: usize = routines_per_phase.iter().sum::<usize>()
         + cold_insts_per_phase
             .iter()
-            .map(|&c| if c > 0 { COLD_POOL_ROUTINES as usize } else { 0 })
+            .map(|&c| {
+                if c > 0 {
+                    COLD_POOL_ROUTINES as usize
+                } else {
+                    0
+                }
+            })
             .sum::<usize>();
     let data_bytes = (total_routines as u64 * SLICE_BYTES)
         .max(64 * 1024)
@@ -354,11 +366,11 @@ pub fn generate(spec: &GeneratorSpec) -> Generated {
     for &p in &order {
         let k = routines_per_phase[p];
         b.pad_to(round_up(b.here() - 4096, frame) + 4096);
-        for r in 0..k {
+        for (r, &label) in routine_labels[p].iter().enumerate().take(k) {
             if r > 0 && spec.gap_bytes > 0 {
                 b.pad_to(b.here() + spec.gap_bytes);
             }
-            b.bind(routine_labels[p][r]);
+            b.bind(label);
             let slice_off = ((slice_idx * SLICE_BYTES) % data_bytes) as i64;
             let mut ctx = RoutineCtx {
                 rng: &mut rng,
@@ -456,9 +468,7 @@ fn prev_scratch(ctx: &RoutineCtx<'_>) -> Reg {
 
 fn emit_int_alu(b: &mut CodeBuilder, ctx: &mut RoutineCtx<'_>) {
     let rs1 = prev_scratch(ctx);
-    let rs2 = ctx
-        .rng
-        .gen_range(regs::SCRATCH_LO..regs::SCRATCH_HI);
+    let rs2 = ctx.rng.gen_range(regs::SCRATCH_LO..regs::SCRATCH_HI);
     let rd = next_scratch(ctx);
     let op = match ctx.rng.gen_range(0..20) {
         0 => Op::Mul,
@@ -491,8 +501,8 @@ fn emit_mem(b: &mut CodeBuilder, ctx: &mut RoutineCtx<'_>) {
     // Keep 8-byte alignment after the wrap.
     ctx.mem_cursor &= !7;
     ctx.mem_emitted += 1;
-    let use_fp = ctx.spec.fp_every > 0 && ctx.mem_emitted % 4 == 0;
-    if ctx.mem_emitted % 3 == 0 {
+    let use_fp = ctx.spec.fp_every > 0 && ctx.mem_emitted.is_multiple_of(4);
+    if ctx.mem_emitted.is_multiple_of(3) {
         // Store.
         if use_fp {
             b.push(Inst::new(Op::FStore, 0, regs::DATA, ctx.fp_cursor, off));
@@ -525,7 +535,11 @@ fn emit_branch_site(b: &mut CodeBuilder, ctx: &mut RoutineCtx<'_>) {
         // per-site constant — learnable by a 2-level predictor.
         let c = ctx.rng.gen_range(0..4);
         b.addi(regs::CMP, 0, c);
-        let op = if ctx.rng.gen_bool(0.5) { Op::Beq } else { Op::Bne };
+        let op = if ctx.rng.gen_bool(0.5) {
+            Op::Beq
+        } else {
+            Op::Bne
+        };
         b.branch(op, regs::PAT, regs::CMP, skip);
     }
     emit_int_alu(b, ctx); // the skippable instruction
@@ -535,7 +549,7 @@ fn emit_branch_site(b: &mut CodeBuilder, ctx: &mut RoutineCtx<'_>) {
 fn emit_routine_body(b: &mut CodeBuilder, ctx: &mut RoutineCtx<'_>, routine_insts: usize) {
     let start = b.here();
     let end_insts = routine_insts - 1; // reserve the final Ret slot
-    // Entry: advance the call counter and derive the branch pattern value.
+                                       // Entry: advance the call counter and derive the branch pattern value.
     b.addi(regs::CALL_CNT, regs::CALL_CNT, 1);
     b.alu(Op::And, regs::PAT, regs::CALL_CNT, regs::MASK3);
 
@@ -673,10 +687,7 @@ mod tests {
             min_pc_second = min_pc_second.min(m.step().unwrap().pc);
         }
         // Phase 1's routines are laid out after phase 0's.
-        assert!(
-            min_pc_second >= CODE_BASE,
-            "sanity: {min_pc_second:#x}"
-        );
+        assert!(min_pc_second >= CODE_BASE, "sanity: {min_pc_second:#x}");
     }
 
     #[test]

@@ -105,6 +105,7 @@ impl<'p> Machine<'p> {
         self.int_regs[0] = 0; // r0 is hardwired to zero
     }
 
+    #[inline]
     fn mem_index(&self, addr: u64) -> usize {
         let base = self.program.data_base();
         assert!(
@@ -112,7 +113,7 @@ impl<'p> Machine<'p> {
             "memory access {addr:#x} outside data segment [{base:#x}, {:#x})",
             base + self.program.data_bytes()
         );
-        assert!(addr % 8 == 0, "unaligned memory access {addr:#x}");
+        assert!(addr.is_multiple_of(8), "unaligned memory access {addr:#x}");
         ((addr - base) / 8) as usize
     }
 
@@ -122,20 +123,24 @@ impl<'p> Machine<'p> {
     ///
     /// Panics on malformed programs (wild jumps, out-of-segment memory
     /// accesses, runaway recursion) — generator bugs, not workload events.
+    #[inline]
     pub fn step(&mut self) -> Option<Retired> {
         if self.halted {
             return None;
         }
         let pc = self.pc;
-        let inst = self.program.inst_at(pc);
+        let inst = self.program.inst_at_fast(pc);
         let mut next_pc = pc + 4;
         let mut taken = false;
         let mut mem_addr = None;
 
         let rs1 = self.int_regs[inst.rs1 as usize];
         let rs2 = self.int_regs[inst.rs2 as usize];
-        let fs1 = self.fp_regs[inst.rs1 as usize];
-        let fs2 = self.fp_regs[inst.rs2 as usize];
+        // FP operands are read lazily: most dynamic instructions are
+        // integer ops, and two unconditional f64 loads per step show up at
+        // interpreter rates.
+        let fs1 = |m: &Self| m.fp_regs[inst.rs1 as usize];
+        let fs2 = |m: &Self| m.fp_regs[inst.rs2 as usize];
 
         match inst.op {
             Op::Add => self.write_int(inst.rd, rs1.wrapping_add(rs2)),
@@ -147,10 +152,11 @@ impl<'p> Machine<'p> {
             Op::Addi => self.write_int(inst.rd, rs1.wrapping_add(inst.imm)),
             Op::Mul => self.write_int(inst.rd, rs1.wrapping_mul(rs2)),
             Op::Div => self.write_int(inst.rd, if rs2 == 0 { 0 } else { rs1.wrapping_div(rs2) }),
-            Op::FAdd => self.fp_regs[inst.rd as usize] = fs1 + fs2,
-            Op::FMul => self.fp_regs[inst.rd as usize] = fs1 * fs2,
+            Op::FAdd => self.fp_regs[inst.rd as usize] = fs1(self) + fs2(self),
+            Op::FMul => self.fp_regs[inst.rd as usize] = fs1(self) * fs2(self),
             Op::FDiv => {
-                self.fp_regs[inst.rd as usize] = if fs2 == 0.0 { 0.0 } else { fs1 / fs2 }
+                let (a, b) = (fs1(self), fs2(self));
+                self.fp_regs[inst.rd as usize] = if b == 0.0 { 0.0 } else { a / b }
             }
             Op::Load => {
                 let addr = (rs1 + inst.imm) as u64;
@@ -175,7 +181,7 @@ impl<'p> Machine<'p> {
                 let addr = (rs1 + inst.imm) as u64;
                 let idx = self.mem_index(addr);
                 mem_addr = Some(addr);
-                self.data[idx] = fs2.to_bits() as i64;
+                self.data[idx] = fs2(self).to_bits() as i64;
             }
             Op::Beq => {
                 if rs1 == rs2 {

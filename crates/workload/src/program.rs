@@ -32,7 +32,10 @@ impl Program {
         data_bytes: u64,
         data_seed: u64,
     ) -> Self {
-        assert!(!insts.is_empty(), "a program needs at least one instruction");
+        assert!(
+            !insts.is_empty(),
+            "a program needs at least one instruction"
+        );
         let code_end = base_addr + insts.len() as u64 * INST_BYTES;
         assert!(
             code_end <= data_base || data_base + data_bytes <= base_addr,
@@ -105,9 +108,10 @@ impl Program {
     /// # Panics
     ///
     /// Panics if `addr` is unaligned or outside the code segment.
+    #[inline]
     pub fn inst_at(&self, addr: u64) -> Inst {
         assert!(
-            addr >= self.base_addr && (addr - self.base_addr) % INST_BYTES == 0,
+            addr >= self.base_addr && (addr - self.base_addr).is_multiple_of(INST_BYTES),
             "bad instruction address {addr:#x}"
         );
         let idx = ((addr - self.base_addr) / INST_BYTES) as usize;
@@ -121,6 +125,20 @@ impl Program {
     /// All instructions (for analysis and tests).
     pub fn insts(&self) -> &[Inst] {
         &self.insts
+    }
+
+    /// Hot-path variant of [`Program::inst_at`]: one subtract, one shift,
+    /// and the slice bounds check. Alignment and segment checks become
+    /// debug assertions — generated programs are validated up front, and
+    /// a wild address still panics via the bounds check.
+    #[inline]
+    pub fn inst_at_fast(&self, addr: u64) -> Inst {
+        debug_assert!(
+            addr >= self.base_addr && (addr - self.base_addr).is_multiple_of(INST_BYTES),
+            "bad instruction address {addr:#x}"
+        );
+        let idx = (addr.wrapping_sub(self.base_addr) / INST_BYTES) as usize;
+        self.insts[idx]
     }
 
     /// Validates static well-formedness: all control-flow targets must land
@@ -143,7 +161,7 @@ impl Program {
                 assert!(
                     t >= self.base_addr
                         && t < self.base_addr + self.code_bytes()
-                        && (t - self.base_addr) % INST_BYTES == 0,
+                        && (t - self.base_addr).is_multiple_of(INST_BYTES),
                     "instruction {i} ({:?}) targets {t:#x} outside code",
                     inst.op
                 );
@@ -206,14 +224,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "overlaps data")]
     fn rejects_overlapping_segments() {
-        let _ = Program::new(
-            "overlap",
-            0x1000,
-            vec![Inst::nop(); 1024],
-            0x1100,
-            64,
-            0,
-        );
+        let _ = Program::new("overlap", 0x1000, vec![Inst::nop(); 1024], 0x1100, 64, 0);
     }
 
     #[test]

@@ -155,10 +155,7 @@ impl Benchmark {
             s.mem_every = 4;
             s
         };
-        let phases = |name: &str,
-                      footprints: &[u64],
-                      sched: &[(usize, u64)]|
-         -> GeneratorSpec {
+        let phases = |name: &str, footprints: &[u64], sched: &[(usize, u64)]| -> GeneratorSpec {
             GeneratorSpec {
                 name: name.into(),
                 phases: footprints
@@ -367,7 +364,8 @@ mod tests {
             let mut m = Machine::new(&g.program);
             let s = m.run(50_000);
             assert_eq!(
-                s.retired, 50_000,
+                s.retired,
+                50_000,
                 "{}: must run indefinitely (outer wrap)",
                 b.name()
             );

@@ -8,13 +8,13 @@ use synth_workload::machine::Machine;
 
 fn arb_spec() -> impl Strategy<Value = GeneratorSpec> {
     (
-        1u64..24,                      // footprint KB
+        1u64..24, // footprint KB
         prop::collection::vec((2u64..24, 10_000u64..60_000), 1..4),
-        0usize..3,                     // mem_every selector
-        0usize..2,                     // fp on/off
-        0.0f64..0.5,                   // random branches
-        0.0f64..0.5,                   // cold fraction
-        0u64..500,                     // seed
+        0usize..3,   // mem_every selector
+        0usize..2,   // fp on/off
+        0.0f64..0.5, // random branches
+        0.0f64..0.5, // cold fraction
+        0u64..500,   // seed
     )
         .prop_map(|(fp0, extra, mem_sel, fp_on, rnd, cold, seed)| {
             let mut phases = vec![PhaseSpec {

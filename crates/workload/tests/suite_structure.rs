@@ -122,8 +122,6 @@ fn cold_pools_alias_across_the_stride() {
     let windows = touched_blocks_per_window(Benchmark::Ijpeg, 600_000, 600_000);
     let blocks = &windows[0];
     let stride_blocks = (64 * 1024) / 32;
-    let has_alias_pair = blocks
-        .iter()
-        .any(|b| blocks.contains(&(b + stride_blocks)));
+    let has_alias_pair = blocks.iter().any(|b| blocks.contains(&(b + stride_blocks)));
     assert!(has_alias_pair, "expected 64K-aliased cold-pool pairs");
 }

@@ -24,29 +24,49 @@ fn main() {
     let reference = SramCell::standard(&process, Volts::new(0.2));
 
     println!("-- threshold scaling: why leakage explodes (per cell, 110C) --");
-    println!("{:>6}  {:>16}  {:>14}", "Vt", "leak (e-9 nJ/cyc)", "rel. read time");
+    println!(
+        "{:>6}  {:>16}  {:>14}",
+        "Vt", "leak (e-9 nJ/cyc)", "rel. read time"
+    );
     for vt_mv in (150..=450).step_by(50) {
         let vt = Volts::new(vt_mv as f64 / 1000.0);
         let cell = SramCell::standard(&process, vt);
         let leak = cell.leakage_energy_per_cycle(&process, temp, cycle);
         let rel = timing.relative_read_time(&cell, None, &reference, &process);
-        println!("{:>5}mV  {:>16.1}  {:>14.2}", vt_mv, leak.value() * 1e9, rel);
+        println!(
+            "{:>5}mV  {:>16.1}  {:>14.2}",
+            vt_mv,
+            leak.value() * 1e9,
+            rel
+        );
     }
 
     println!();
     println!("-- gated-Vdd implementations (SRAM Vt = 0.2V) --");
     let cell = SramCell::standard(&process, Volts::new(0.2));
     let active = cell.leakage_energy_per_cycle(&process, temp, cycle);
-    println!("active-mode leakage: {:.0}e-9 nJ/cycle", active.value() * 1e9);
+    println!(
+        "active-mode leakage: {:.0}e-9 nJ/cycle",
+        active.value() * 1e9
+    );
     println!(
         "{:<34} {:>9} {:>9} {:>10} {:>7}",
         "configuration", "standby", "savings", "read time", "area"
     );
     for (name, cfg) in [
-        ("wide NMOS, dual-Vt, charge pump", GatedVddConfig::hpca01(&process)),
-        ("wide NMOS, dual-Vt, no pump", GatedVddConfig::nmos_no_charge_pump(&process)),
+        (
+            "wide NMOS, dual-Vt, charge pump",
+            GatedVddConfig::hpca01(&process),
+        ),
+        (
+            "wide NMOS, dual-Vt, no pump",
+            GatedVddConfig::nmos_no_charge_pump(&process),
+        ),
         ("wide NMOS, same-Vt", GatedVddConfig::nmos_same_vt(&process)),
-        ("PMOS header, dual-Vt", GatedVddConfig::pmos_header(&process)),
+        (
+            "PMOS header, dual-Vt",
+            GatedVddConfig::pmos_header(&process),
+        ),
     ] {
         let standby = cfg.standby_energy_per_cycle(&cell, &process, temp, cycle);
         let savings = cfg.energy_savings(&cell, &process, temp);
@@ -64,7 +84,10 @@ fn main() {
 
     println!();
     println!("-- footer width trade-off (dual-Vt NMOS + pump) --");
-    println!("{:>10} {:>10} {:>10} {:>7}", "width", "savings", "read time", "area");
+    println!(
+        "{:>10} {:>10} {:>10} {:>7}",
+        "width", "savings", "read time", "area"
+    );
     let base = GatedVddConfig::hpca01(&process);
     for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let cfg = base.clone().with_gate_width(base.gate_width() * scale);

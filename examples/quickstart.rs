@@ -21,14 +21,23 @@ fn main() {
         ..DriConfig::hpca01_64k_dm()
     };
 
-    println!("simulating {} on a 64K direct-mapped DRI i-cache...", cfg.benchmark.name());
+    println!(
+        "simulating {} on a 64K direct-mapped DRI i-cache...",
+        cfg.benchmark.name()
+    );
     let c = compare(&cfg);
 
     println!();
-    println!("relative leakage energy-delay : {:.2}x (conventional = 1.00)", c.relative_energy_delay);
+    println!(
+        "relative leakage energy-delay : {:.2}x (conventional = 1.00)",
+        c.relative_energy_delay
+    );
     println!("  leakage component           : {:.2}", c.leakage_component);
     println!("  extra-dynamic component     : {:.2}", c.dynamic_component);
-    println!("average cache size            : {:.1}% of 64K", c.avg_size_fraction * 100.0);
+    println!(
+        "average cache size            : {:.1}% of 64K",
+        c.avg_size_fraction * 100.0
+    );
     println!("execution-time increase       : {:.2}%", c.slowdown * 100.0);
     println!("extra L2 accesses             : {}", c.extra_l2_accesses);
     println!();

@@ -20,9 +20,7 @@ fn main() {
         ..DriConfig::hpca01_64k_dm()
     };
     let mut dcache = ResizableDCache::new(cfg);
-    println!(
-        "64K direct-mapped resizable d-cache, 4K size-bound, miss-bound 50/50K"
-    );
+    println!("64K direct-mapped resizable d-cache, 4K size-bound, miss-bound 50/50K");
 
     // Phase 1: read-modify-write sweeps over a 32K array.
     let big = 32 * 1024u64;

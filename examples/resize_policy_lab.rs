@@ -10,9 +10,9 @@
 //! cargo run --release --example resize_policy_lab
 //! ```
 
+use dri::dri::{DriConfig, ThrottleConfig};
 use dri::experiments::runner::compare_with_baseline;
 use dri::experiments::{run_conventional, run_dri, RunConfig};
-use dri::dri::{DriConfig, ThrottleConfig};
 use dri::workload::suite::Benchmark;
 
 /// Renders one configuration's outcome.

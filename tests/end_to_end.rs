@@ -55,7 +55,11 @@ fn class1_benchmark_saves_energy_end_to_end() {
     let baseline = run_conventional(&cfg);
     let dri = run_dri(&cfg);
     let c = compare_with_baseline(&cfg, &baseline, &dri);
-    assert!(c.relative_energy_delay < 0.7, "ED {}", c.relative_energy_delay);
+    assert!(
+        c.relative_energy_delay < 0.7,
+        "ED {}",
+        c.relative_energy_delay
+    );
     assert!(c.avg_size_fraction < 0.5);
     // Components must sum to the total.
     let sum = c.leakage_component + c.dynamic_component;

@@ -1,0 +1,268 @@
+//! Vendored, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment is offline, so the real crates-io `criterion`
+//! cannot be fetched. This crate implements the surface the `bench` crate
+//! uses — [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`Throughput`], [`criterion_group!`]/[`criterion_main!`] — with a
+//! simple but honest measurement loop: per benchmark it warms up, then
+//! takes `sample_size` timed samples and reports the median, minimum, and
+//! throughput.
+//!
+//! Results print as one line per benchmark:
+//!
+//! ```text
+//! figure4/miss_bound_sweep/compress  median 184.21 ms  min 182.90 ms  (10 samples)
+//! ```
+//!
+//! Environment knobs: `CRITERION_SAMPLE_SIZE` overrides every group's
+//! sample count (handy for CI smoke runs).
+
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Per-iteration timing handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `sample_size` samples of one call each (after
+    /// a warm-up call whose result is discarded).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _warmup = f();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = f();
+            self.samples.push(start.elapsed());
+            std::hint::black_box(out);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn env_sample_size() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name}  (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let mut line = format!(
+        "{name}  median {}  min {}  ({} samples)",
+        fmt_duration(median),
+        fmt_duration(min),
+        samples.len()
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |units: u64| units as f64 / median.as_secs_f64();
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.2} Melem/s", per_sec(n) / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.2} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards trailing args to the harness.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: env_sample_size().unwrap_or(20),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        if self.enabled(&name) {
+            run_one(&name, sample_size, None, f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    report(name, &mut b.samples, throughput);
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration work so rates are reported.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let sample_size = env_sample_size()
+            .or(self.sample_size)
+            .unwrap_or(self.criterion.sample_size);
+        if self.criterion.enabled(&full) {
+            run_one(&full, sample_size, self.throughput, f);
+        }
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; ours prints eagerly).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+        };
+        let mut calls = 0;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        // warmup + 3 samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_apply_sample_size_and_throughput() {
+        let mut c = Criterion {
+            sample_size: 50,
+            filter: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut calls = 0;
+        group.bench_function("inner", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 1,
+            filter: Some("nomatch".into()),
+        };
+        let mut calls = 0;
+        c.bench_function("other", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+}
