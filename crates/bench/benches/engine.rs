@@ -2,17 +2,21 @@
 //! second for a full `RunConfig::quick` pair, the trajectory baseline for
 //! future perf PRs.
 //!
-//! Two flavours per benchmark:
+//! Three flavours per benchmark:
 //!
 //! * `cold/*` — `run_*_uncached`: regenerates the workload and always
 //!   simulates. This is the honest simulator-throughput number.
 //! * `warm/*` — the session-memoized default path after a first run: a
 //!   key build plus a hash lookup, showing what repeated sweep points
 //!   cost once the `SimSession` layer absorbs them.
+//! * `store/*` — the disk tier: a fresh session per iteration (a cold
+//!   memory cache, as in a new process) loading the point from a warmed
+//!   `ResultStore` — key hash + file read + checksum + decode, the cost
+//!   every figure binary pays per point after another process ran first.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dri_experiments::runner::{run_conventional_uncached, run_dri_uncached};
-use dri_experiments::{compare, run_conventional, run_dri, RunConfig};
+use dri_experiments::{compare, run_conventional, run_dri, ResultStore, RunConfig, SimSession};
 use std::hint::black_box;
 use synth_workload::suite::Benchmark;
 
@@ -41,6 +45,20 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("warm/compare/compress_quick", |b| {
         b.iter(|| black_box(compare(black_box(&cfg))))
     });
+
+    // Disk tier: warm the store once, then measure a cold-memory session
+    // loading the DRI point from disk each iteration.
+    let root = std::env::temp_dir().join(format!("dri-engine-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    SimSession::with_store(ResultStore::open(&root).expect("bench store")).dri(&cfg);
+    group.throughput(Throughput::Elements(budget));
+    group.bench_function("store/run_dri_disk_hit/compress_quick", |b| {
+        b.iter(|| {
+            let session = SimSession::with_store(ResultStore::open(&root).expect("bench store"));
+            black_box(session.dri(black_box(&cfg)))
+        })
+    });
+    let _ = std::fs::remove_dir_all(&root);
     group.finish();
 }
 

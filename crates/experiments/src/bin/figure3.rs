@@ -1,89 +1,8 @@
 //! Figure 3: base energy-delay and average cache size, performance-
 //! constrained (≤4% slowdown) and performance-unconstrained, for all
-//! fifteen benchmarks.
-
-use dri_experiments::harness::{banner, base_config, space, threads};
-use dri_experiments::published;
-use dri_experiments::report::{kbytes, pct, Table};
-use dri_experiments::search::search_all;
-use dri_experiments::Comparison;
-
-fn case_cells(c: &Comparison) -> [String; 6] {
-    [
-        format!("{:.2}", c.relative_energy_delay),
-        format!("{:.2}+{:.2}", c.leakage_component, c.dynamic_component),
-        pct(c.avg_size_fraction),
-        if c.slowdown > 0.04 {
-            format!("{}!", pct(c.slowdown))
-        } else {
-            pct(c.slowdown)
-        },
-        format!("{:.2}%", c.dri_miss_rate * 100.0),
-        format!("mb={} sb={}", c.miss_bound, kbytes(c.size_bound_bytes)),
-    ]
-}
+//! fifteen benchmarks. (Thin wrapper — the suite body lives in
+//! `dri_experiments::figures` so the `suite` batch runner can share it.)
 
 fn main() {
-    banner(
-        "Figure 3: base energy-delay and average cache size measurements",
-        "Figure 3 and section 5.3",
-    );
-    eprintln!(
-        "searching miss-bound x size-bound per benchmark on {} threads...",
-        threads()
-    );
-    let results = search_all(base_config, &space(), threads());
-    let paper = published::figure3();
-
-    let mut t = Table::new([
-        "benchmark",
-        "C:rel-ED",
-        "C:leak+dyn",
-        "C:avg-size",
-        "C:slowdown",
-        "C:missrate",
-        "C:params",
-        "U:rel-ED",
-        "U:slowdown",
-        "paper C:ED",
-        "paper C:size",
-    ]);
-    let mut sum_c = 0.0;
-    let mut sum_u = 0.0;
-    let mut sum_size = 0.0;
-    for (r, p) in results.iter().zip(&paper) {
-        assert_eq!(r.benchmark, p.benchmark);
-        let c = case_cells(&r.constrained);
-        let mut cells: Vec<String> = vec![r.benchmark.name().to_owned()];
-        cells.extend(c);
-        cells.push(format!("{:.2}", r.unconstrained.relative_energy_delay));
-        cells.push(pct(r.unconstrained.slowdown));
-        cells.push(format!("{:.2}", p.relative_energy_delay));
-        cells.push(pct(p.avg_size_fraction));
-        t.row(cells);
-        sum_c += r.constrained.relative_energy_delay;
-        sum_u += r.unconstrained.relative_energy_delay;
-        sum_size += r.constrained.avg_size_fraction;
-    }
-    print!("{}", t.render());
-    let n = results.len() as f64;
-    println!();
-    println!(
-        "mean constrained energy-delay reduction: {} (paper headline: {})",
-        pct(1.0 - sum_c / n),
-        pct(published::HEADLINE_CONSTRAINED_REDUCTION)
-    );
-    println!(
-        "mean unconstrained energy-delay reduction: {} (paper headline: {})",
-        pct(1.0 - sum_u / n),
-        pct(published::HEADLINE_UNCONSTRAINED_REDUCTION)
-    );
-    println!(
-        "mean constrained cache-size reduction: {} (paper: ~62%)",
-        pct(1.0 - sum_size / n)
-    );
-    println!();
-    println!("legend: C = performance-constrained (slowdown <= 4%), U = unconstrained;");
-    println!("        leak+dyn are the stacked components of the relative energy-delay;");
-    println!("        '!' marks slowdown above the 4% constraint.");
+    dri_experiments::figures::figure3();
 }

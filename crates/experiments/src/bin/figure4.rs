@@ -1,51 +1,7 @@
 //! Figure 4: impact of varying the miss-bound (0.5x, 1x, 2x of each
-//! benchmark's performance-constrained base value).
-
-use dri_experiments::harness::{banner, base_config, for_each_benchmark, space};
-use dri_experiments::report::{pct, Table};
-use dri_experiments::search::search_benchmark;
-use dri_experiments::sweeps::{miss_bound_sweep, MissBoundSweep};
-use dri_experiments::Comparison;
-
-fn cell(c: &Comparison) -> String {
-    let mark = if c.slowdown > 0.04 { "!" } else { "" };
-    format!("{:.2} ({}{mark})", c.relative_energy_delay, pct(c.slowdown))
-}
+//! benchmark's performance-constrained base value). (Thin wrapper — the
+//! suite body lives in `dri_experiments::figures`.)
 
 fn main() {
-    banner("Figure 4: impact of varying the miss-bound", "Figure 4");
-    let grid = space();
-    let rows: Vec<(synth_workload::suite::Benchmark, MissBoundSweep)> = for_each_benchmark(|b| {
-        let base = base_config(b);
-        let sr = search_benchmark(&base, &grid);
-        let mut tuned = base.clone();
-        tuned.dri.miss_bound = sr.constrained.miss_bound;
-        tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
-        miss_bound_sweep(&tuned)
-    });
-
-    let mut t = Table::new([
-        "benchmark",
-        "0.5x miss-bound",
-        "base miss-bound",
-        "2x miss-bound",
-        "base mb",
-    ]);
-    for (b, s) in &rows {
-        t.row([
-            b.name().to_owned(),
-            cell(&s.half),
-            cell(&s.base),
-            cell(&s.double),
-            s.base.miss_bound.to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("cells are relative energy-delay (slowdown); '!' = above the 4% constraint.");
-    println!(
-        "paper: \"despite varying the miss-bound over a factor of four range, most \
-         of the energy-delay products do not change significantly\" — exceptions \
-         gcc, go, perl, tomcatv (5-8% slowdown at 2x)."
-    );
+    dri_experiments::figures::figure4();
 }

@@ -1,56 +1,7 @@
 //! Figure 5: impact of varying the size-bound (2x, 1x, 0.5x of each
-//! benchmark's performance-constrained base value).
-
-use dri_experiments::harness::{banner, base_config, for_each_benchmark, space};
-use dri_experiments::report::{kbytes, pct, Table};
-use dri_experiments::search::search_benchmark;
-use dri_experiments::sweeps::{size_bound_sweep, SizeBoundSweep};
-use dri_experiments::Comparison;
-
-fn cell(c: &Comparison) -> String {
-    let mark = if c.slowdown > 0.04 { "!" } else { "" };
-    format!("{:.2} ({}{mark})", c.relative_energy_delay, pct(c.slowdown))
-}
-
-fn opt_cell(c: &Option<Comparison>) -> String {
-    c.as_ref().map_or("N/A".to_owned(), cell)
-}
+//! benchmark's performance-constrained base value). (Thin wrapper — the
+//! suite body lives in `dri_experiments::figures`.)
 
 fn main() {
-    banner("Figure 5: impact of varying the size-bound", "Figure 5");
-    let grid = space();
-    let rows: Vec<(synth_workload::suite::Benchmark, SizeBoundSweep)> = for_each_benchmark(|b| {
-        let base = base_config(b);
-        let sr = search_benchmark(&base, &grid);
-        let mut tuned = base.clone();
-        tuned.dri.miss_bound = sr.constrained.miss_bound;
-        tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
-        size_bound_sweep(&tuned)
-    });
-
-    let mut t = Table::new([
-        "benchmark",
-        "2x size-bound",
-        "base size-bound",
-        "0.5x size-bound",
-        "base sb",
-    ]);
-    for (b, s) in &rows {
-        t.row([
-            b.name().to_owned(),
-            opt_cell(&s.double),
-            cell(&s.base),
-            opt_cell(&s.half),
-            kbytes(s.base.size_bound_bytes),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("cells are relative energy-delay (slowdown); '!' = above the 4% constraint;");
-    println!("N/A mirrors the paper's 'NOT APPLICABLE' column (bound at the cache size).");
-    println!(
-        "paper: a smaller size-bound shrinks the cache further, but class-1 \
-         benchmarks thrash below their working set and class-3 benchmarks pay \
-         extra dynamic energy — the energy-delay can worsen in both directions."
-    );
+    dri_experiments::figures::figure5();
 }

@@ -1,69 +1,8 @@
 //! Figure 6: varying conventional cache parameters — 64K 4-way vs 64K
 //! direct-mapped vs 128K direct-mapped (each normalized to a conventional
-//! cache of equivalent geometry).
-
-use dri_experiments::harness::{banner, base_config, for_each_benchmark, space};
-use dri_experiments::report::{pct, Table};
-use dri_experiments::search::search_benchmark;
-use dri_experiments::sweeps::{geometry_sweep, GeometrySweep};
-use dri_experiments::Comparison;
-
-fn cell(c: &Comparison) -> String {
-    let mark = if c.slowdown > 0.04 { "!" } else { "" };
-    format!("{:.2} ({}{mark})", c.relative_energy_delay, pct(c.slowdown))
-}
+//! cache of equivalent geometry). (Thin wrapper — the suite body lives in
+//! `dri_experiments::figures`.)
 
 fn main() {
-    banner(
-        "Figure 6: varying conventional cache parameters (A: 64K 4-way, B: 64K DM, C: 128K DM)",
-        "Figure 6 and section 5.5",
-    );
-    let grid = space();
-    let rows: Vec<(synth_workload::suite::Benchmark, GeometrySweep)> = for_each_benchmark(|b| {
-        let base = base_config(b);
-        let sr = search_benchmark(&base, &grid);
-        let mut tuned = base.clone();
-        tuned.dri.miss_bound = sr.constrained.miss_bound;
-        tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
-        geometry_sweep(&tuned)
-    });
-
-    let mut t = Table::new([
-        "benchmark",
-        "A: 64K 4-way",
-        "B: 64K DM",
-        "C: 128K DM",
-        "A avg-size",
-        "B avg-size",
-        "C avg-size",
-    ]);
-    let mut sums = [0.0f64; 3];
-    for (b, s) in &rows {
-        t.row([
-            b.name().to_owned(),
-            cell(&s.assoc_4way),
-            cell(&s.dm_64k),
-            cell(&s.dm_128k),
-            pct(s.assoc_4way.avg_size_fraction),
-            pct(s.dm_64k.avg_size_fraction),
-            pct(s.dm_128k.avg_size_fraction),
-        ]);
-        sums[0] += s.assoc_4way.relative_energy_delay;
-        sums[1] += s.dm_64k.relative_energy_delay;
-        sums[2] += s.dm_128k.relative_energy_delay;
-    }
-    print!("{}", t.render());
-    let n = rows.len() as f64;
-    println!();
-    println!(
-        "mean relative energy-delay: 4-way {:.2}, 64K DM {:.2}, 128K DM {:.2}",
-        sums[0] / n,
-        sums[1] / n,
-        sums[2] / n
-    );
-    println!(
-        "paper: higher associativity absorbs conflicts and encourages downsizing; \
-         larger caches gain more because a bigger fraction can be put in standby — \
-         both variants should (on average) match or beat the 64K DM design point."
-    );
+    dri_experiments::figures::figure6();
 }

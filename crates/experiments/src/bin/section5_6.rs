@@ -1,74 +1,6 @@
-//! §5.6: sense-interval length and divisibility robustness.
-//!
-//! The paper varies the interval from 250K to 4M i-cache accesses around
-//! the 1M base and reports <1% energy-delay change (go <5%, due to its
-//! irregular phases), and finds divisibility 4/8 counterproductive. Our
-//! base interval is scaled to 100K instructions, so the sweep covers the
-//! same 1/4x..4x span.
-
-use dri_experiments::harness::{banner, base_config, for_each_benchmark, space};
-use dri_experiments::report::{pct, Table};
-use dri_experiments::search::search_benchmark;
-use dri_experiments::sweeps::{divisibility_sweep, interval_sweep};
+//! §5.6: sense-interval length and divisibility robustness. (Thin
+//! wrapper — the suite body lives in `dri_experiments::figures`.)
 
 fn main() {
-    banner(
-        "Section 5.6: varying sense-interval length and divisibility",
-        "section 5.6",
-    );
-    let grid = space();
-    type Rows = (
-        Vec<(u64, dri_experiments::Comparison)>,
-        Vec<(u32, dri_experiments::Comparison)>,
-    );
-    let rows: Vec<(synth_workload::suite::Benchmark, Rows)> = for_each_benchmark(|b| {
-        let base = base_config(b);
-        let sr = search_benchmark(&base, &grid);
-        let mut tuned = base.clone();
-        tuned.dri.miss_bound = sr.constrained.miss_bound;
-        tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
-        let base_si = tuned.dri.sense_interval;
-        let intervals = interval_sweep(
-            &tuned,
-            &[base_si / 4, base_si / 2, base_si, base_si * 2, base_si * 4],
-        );
-        let divs = divisibility_sweep(&tuned, &[2, 4, 8]);
-        (intervals, divs)
-    });
-
-    println!("\n-- sense-interval sweep (relative energy-delay per interval length) --");
-    let mut t = Table::new(["benchmark", "1/4x", "1/2x", "1x", "2x", "4x", "max |dED|"]);
-    for (b, (intervals, _)) in &rows {
-        let base_ed = intervals[2].1.relative_energy_delay;
-        let spread = intervals
-            .iter()
-            .map(|(_, c)| (c.relative_energy_delay - base_ed).abs())
-            .fold(0.0f64, f64::max);
-        let mut cells = vec![b.name().to_owned()];
-        cells.extend(
-            intervals
-                .iter()
-                .map(|(_, c)| format!("{:.3}", c.relative_energy_delay)),
-        );
-        cells.push(format!("{spread:.3}"));
-        t.row(cells);
-    }
-    print!("{}", t.render());
-
-    println!("\n-- divisibility sweep (relative energy-delay / slowdown) --");
-    let mut t = Table::new(["benchmark", "div 2", "div 4", "div 8"]);
-    for (b, (_, divs)) in &rows {
-        let mut cells = vec![b.name().to_owned()];
-        cells.extend(
-            divs.iter()
-                .map(|(_, c)| format!("{:.2} ({})", c.relative_energy_delay, pct(c.slowdown))),
-        );
-        t.row(cells);
-    }
-    print!("{}", t.render());
-    println!();
-    println!(
-        "paper: interval-length robustness (<1% change, go <5%); divisibility 4/8 \
-         \"prohibitively increases the resizing granularity\"."
-    );
+    dri_experiments::figures::section5_6();
 }

@@ -1,0 +1,222 @@
+//! The manifest-driven batch runner: any subset of the paper's figures
+//! and tables as one declarative plan, executed in a single process so
+//! every job shares the warm `SimSession` (and, with `DRI_STORE`, the
+//! cross-process result store).
+//!
+//! ```text
+//! suite                          # run everything (same as `suite all`)
+//! suite figure3 figure4          # run two jobs, in order
+//! suite --manifest plan.txt      # run a declarative plan file
+//! suite --store-stats figure3    # append the result-store counters
+//! suite --list                   # show available jobs
+//! ```
+//!
+//! Job stdout is byte-identical to the per-figure binaries (jobs
+//! concatenate with no extra separators; `--store-stats` opt-in appends
+//! its block after all jobs); progress lines and the closing summary go
+//! to stderr so piped stdout stays clean.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dri_experiments::harness::quick_mode;
+use dri_experiments::manifest::{self, Job, Manifest};
+use dri_experiments::report::Table;
+use dri_experiments::SimSession;
+
+const USAGE: &str = "\
+usage: suite [--manifest FILE] [--store-stats] [--list] [JOB ...]
+
+Runs figure/table jobs in one process with shared simulation caches.
+With no jobs from the command line or the manifest, runs every job
+(`all`); an options-only manifest composes with command-line jobs.
+
+options:
+  --manifest FILE   load the run plan (options + job list) from FILE
+  --store-stats     print DRI_STORE result-store counters after the run
+  --list            list available jobs and exit
+  --help            this text
+
+environment: DRI_QUICK, DRI_THREADS, DRI_STORE (see README);
+a manifest's `quick/threads/store` options set the same variables.";
+
+struct CliArgs {
+    manifest_path: Option<String>,
+    store_stats: bool,
+    list: bool,
+    jobs: Vec<Job>,
+}
+
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut parsed = CliArgs {
+        manifest_path: None,
+        store_stats: false,
+        list: false,
+        jobs: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--manifest" => {
+                let path = it.next().ok_or("--manifest needs a file path")?;
+                parsed.manifest_path = Some(path.clone());
+            }
+            "--store-stats" => parsed.store_stats = true,
+            "--list" => parsed.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            "all" => parsed.jobs.extend(Job::all()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => match Job::from_name(other) {
+                Some(job) => parsed.jobs.push(job),
+                None => return Err(format!("unknown job `{other}` (try --list)")),
+            },
+        }
+    }
+    Ok(parsed)
+}
+
+/// Builds the run plan: CLI jobs and a manifest file compose (manifest
+/// options always apply; explicit CLI jobs run after the manifest's).
+fn build_plan(args: &CliArgs) -> Result<Manifest, String> {
+    let mut plan = match &args.manifest_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read manifest `{path}`: {e}"))?;
+            manifest::parse(&text).map_err(|e| e.to_string())?
+        }
+        None => Manifest::default(),
+    };
+    for &job in &args.jobs {
+        plan.push_job(job);
+    }
+    if plan.jobs.is_empty() {
+        for job in Job::all() {
+            plan.push_job(job);
+        }
+    }
+    Ok(plan)
+}
+
+/// Applies plan options by exporting the corresponding `DRI_*` variables
+/// (before any worker thread or the global session exists).
+fn apply_options(plan: &Manifest) {
+    if let Some(quick) = plan.options.quick {
+        std::env::set_var("DRI_QUICK", if quick { "1" } else { "0" });
+    }
+    if let Some(threads) = plan.options.threads {
+        std::env::set_var("DRI_THREADS", threads.to_string());
+    }
+    if let Some(store) = &plan.options.store {
+        std::env::set_var("DRI_STORE", store);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&args) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        let mut t = Table::new(["job", "description", "simulates?"]);
+        for job in Job::all() {
+            t.row([
+                job.name(),
+                job.description(),
+                if job.simulates() { "yes" } else { "no" },
+            ]);
+        }
+        print!("{}", t.render());
+        return ExitCode::SUCCESS;
+    }
+    let plan = match build_plan(&args) {
+        Ok(plan) => plan,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    apply_options(&plan);
+
+    let session = SimSession::global();
+    let names: Vec<&str> = plan.jobs.iter().map(Job::name).collect();
+    eprintln!(
+        "suite: {} job(s) [{}]{}{}",
+        plan.jobs.len(),
+        names.join(", "),
+        if quick_mode() { ", quick mode" } else { "" },
+        match session.store() {
+            Some(store) => format!(", store at {}", store.root().display()),
+            None => ", no result store (set DRI_STORE to enable)".to_owned(),
+        }
+    );
+
+    let suite_start = Instant::now();
+    let mut timings: Vec<(Job, f64, u64, u64, u64)> = Vec::new();
+    for (i, job) in plan.jobs.iter().enumerate() {
+        let before = session.stats();
+        eprintln!("suite: [{}/{}] {} ...", i + 1, plan.jobs.len(), job);
+        let start = Instant::now();
+        job.run();
+        let secs = start.elapsed().as_secs_f64();
+        let after = session.stats();
+        timings.push((
+            *job,
+            secs,
+            after.simulations() - before.simulations(),
+            (after.baseline_hits + after.dri_hits) - (before.baseline_hits + before.dri_hits),
+            after.disk_hits() - before.disk_hits(),
+        ));
+    }
+
+    eprintln!("suite: summary");
+    let mut t = Table::new(["job", "wall time", "simulated", "memory hits", "disk hits"]);
+    for (job, secs, simulated, memory_hits, disk_hits) in &timings {
+        t.row([
+            job.name().to_owned(),
+            format!("{secs:.2}s"),
+            simulated.to_string(),
+            memory_hits.to_string(),
+            disk_hits.to_string(),
+        ]);
+    }
+    for line in t.render().lines() {
+        eprintln!("  {line}");
+    }
+    let stats = session.stats();
+    eprintln!(
+        "  total {:.2}s; session: {} simulations, {} memory hits, {} disk hits, {} workloads generated",
+        suite_start.elapsed().as_secs_f64(),
+        stats.simulations(),
+        stats.baseline_hits + stats.dri_hits,
+        stats.disk_hits(),
+        stats.workload_misses,
+    );
+
+    if args.store_stats {
+        match session.store() {
+            Some(store) => {
+                let s = store.stats();
+                println!("result store ({}):", store.root().display());
+                println!("  hits: {}", s.hits);
+                println!("  misses: {}", s.misses);
+                println!("  corrupt: {}", s.corrupt);
+                println!("  writes: {}", s.writes);
+                println!("  write errors: {}", s.write_errors);
+                println!("  bytes read: {}", s.bytes_read);
+                println!("  bytes written: {}", s.bytes_written);
+            }
+            None => println!("result store: disabled (set DRI_STORE to a directory to enable)"),
+        }
+    }
+    ExitCode::SUCCESS
+}

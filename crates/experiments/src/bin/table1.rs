@@ -1,79 +1,6 @@
-//! Table 1: the system configuration actually simulated.
-
-use cache_sim::hierarchy::HierarchyConfig;
-use dri_core::DriConfig;
-use dri_experiments::harness::banner;
-use dri_experiments::report::{kbytes, Table};
-use ooo_cpu::config::CpuConfig;
+//! Table 1: the system configuration actually simulated. (Thin wrapper —
+//! the suite body lives in `dri_experiments::figures`.)
 
 fn main() {
-    banner("Table 1: system configuration parameters", "Table 1");
-    let cpu = CpuConfig::hpca01();
-    let hier = HierarchyConfig::hpca01();
-    let dri = DriConfig::hpca01_64k_dm();
-
-    let mut t = Table::new(["parameter", "paper", "simulated"]);
-    t.row([
-        "instruction issue & decode bandwidth",
-        "8 issues per cycle",
-        &format!("{} issues per cycle", cpu.issue_width),
-    ]);
-    t.row([
-        "L1 i-cache / L1 DRI i-cache",
-        "64K, direct-mapped, 1 cycle latency",
-        &format!(
-            "{}, {}-way, {} cycle latency, {}B blocks",
-            kbytes(dri.max_size_bytes),
-            dri.associativity,
-            dri.latency,
-            dri.block_bytes
-        ),
-    ]);
-    t.row([
-        "L1 d-cache",
-        "64K, 2-way (LRU), 1 cycle latency",
-        &format!(
-            "{}, {}-way (LRU), {} cycle latency",
-            kbytes(hier.l1d.size_bytes),
-            hier.l1d.associativity,
-            hier.l1d.latency
-        ),
-    ]);
-    t.row([
-        "L2 cache",
-        "1M, 4-way, unified, 12 cycle latency",
-        &format!(
-            "{}, {}-way, unified, {} cycle latency",
-            kbytes(hier.l2.size_bytes),
-            hier.l2.associativity,
-            hier.l2.latency
-        ),
-    ]);
-    t.row([
-        "memory access latency",
-        "80 cycles + 4 cycles per 8 bytes",
-        &format!(
-            "{} cycles + {} cycles per 8 bytes",
-            hier.memory.base_latency, hier.memory.per_8_bytes
-        ),
-    ]);
-    t.row(["reorder buffer size", "128", &cpu.rob_entries.to_string()]);
-    t.row(["LSQ size", "128", &cpu.lsq_entries.to_string()]);
-    t.row([
-        "branch predictor",
-        "2-level hybrid",
-        "2-level hybrid (bimodal 4K + gshare 4K + chooser 4K, 512-entry BTB, 8-deep RAS)",
-    ]);
-    print!("{}", t.render());
-
-    println!();
-    println!(
-        "DRI defaults: sense interval {} instructions (paper example: 1M; \
-         scaled with the shorter synthetic runs), divisibility {}, throttle \
-         {}-bit counter / {}-interval lockout.",
-        dri.sense_interval,
-        dri.divisibility,
-        dri.throttle.counter_bits,
-        dri.throttle.lockout_intervals
-    );
+    dri_experiments::figures::table1();
 }

@@ -1,72 +1,7 @@
 //! Table 2: energy, speed, and area trade-off of varying threshold voltage
-//! and gated-Vdd — model output next to the published numbers.
-
-use dri_experiments::harness::banner;
-use dri_experiments::report::Table;
-use sram_circuit::process::Process;
-use sram_circuit::table2::{generate, generate_extended, published, OperatingPoint};
-
-fn fmt_e(e: Option<f64>) -> String {
-    e.map_or("N/A".to_owned(), |v| format!("{:.0}", v * 1e9))
-}
+//! and gated-Vdd — model output next to the published numbers. (Thin
+//! wrapper — the suite body lives in `dri_experiments::figures`.)
 
 fn main() {
-    banner(
-        "Table 2: threshold voltage and gated-Vdd trade-offs (0.18um, 1.0V, 110C)",
-        "Table 2",
-    );
-    let process = Process::tsmc180();
-    let op = OperatingPoint::default();
-    let rows = generate(&process, op);
-
-    let mut t = Table::new([
-        "technique",
-        "gated-Vdd Vt",
-        "SRAM Vt",
-        "rel. read time (model/paper)",
-        "active leak e-9 nJ (model/paper)",
-        "standby leak e-9 nJ (model/paper)",
-        "savings % (model/paper)",
-        "area % (model/paper)",
-    ]);
-    for (row, (_, p_read, p_active, p_standby, p_savings, p_area)) in
-        rows.iter().zip(published::TABLE2)
-    {
-        t.row([
-            row.technique.clone(),
-            row.gate_vt
-                .map_or("N/A".to_owned(), |v| format!("{:.2}V", v.value())),
-            format!("{:.2}V", row.sram_vt.value()),
-            format!("{:.2} / {:.2}", row.relative_read_time, p_read),
-            format!(
-                "{:.0} / {:.0}",
-                row.active_leakage.value() * 1e9,
-                p_active * 1e9
-            ),
-            format!(
-                "{} / {}",
-                fmt_e(row.standby_leakage.map(|e| e.value())),
-                fmt_e(p_standby)
-            ),
-            format!(
-                "{} / {}",
-                row.energy_savings_pct
-                    .map_or("N/A".to_owned(), |v| format!("{v:.0}")),
-                p_savings.map_or("N/A".to_owned(), |v| format!("{v:.0}"))
-            ),
-            format!(
-                "{} / {}",
-                row.area_increase_pct
-                    .map_or("N/A".to_owned(), |v| format!("{v:.1}")),
-                p_area.map_or("N/A".to_owned(), |v| format!("{v:.1}"))
-            ),
-        ]);
-    }
-    print!("{}", t.render());
-
-    println!();
-    println!("Extended trade-off table (ablations beyond the paper's columns):");
-    for row in generate_extended(&process, op).iter().skip(3) {
-        println!("  {row}");
-    }
+    dri_experiments::figures::table2();
 }

@@ -1,68 +1,6 @@
-//! §5.2.1: the analytic leakage/dynamic trade-off bounds.
-
-use dri_experiments::harness::banner;
-use dri_experiments::report::Table;
-use energy_model::params::EnergyParams;
-use energy_model::tradeoff::{extra_l1_over_leakage, extra_l2_over_leakage};
+//! §5.2.1: the analytic leakage/dynamic trade-off bounds. (Thin wrapper —
+//! the suite body lives in `dri_experiments::figures`.)
 
 fn main() {
-    banner(
-        "Section 5.2.1: leakage vs dynamic energy trade-off bounds",
-        "section 5.2.1",
-    );
-    let published = EnergyParams::hpca01_published();
-    let derived = EnergyParams::hpca01_derived();
-
-    println!("constants (published / derived-from-circuit-model):");
-    println!(
-        "  L1 leakage per cycle: {:.3} / {:.3} nJ",
-        published.l1_leak_per_cycle.value(),
-        derived.l1_leak_per_cycle.value()
-    );
-    println!(
-        "  resizing bitline:     {:.4} / {:.4} nJ",
-        published.resizing_bitline_energy.value(),
-        derived.resizing_bitline_energy.value()
-    );
-    println!(
-        "  L2 access:            {:.2} / {:.2} nJ",
-        published.l2_access_energy.value(),
-        derived.l2_access_energy.value()
-    );
-    println!();
-
-    println!("extra-L1-dynamic / L1-leakage (paper's example: 0.024 at 5 bits, active 0.5):");
-    let mut t = Table::new(["resizing bits", "active 0.25", "active 0.50", "active 1.00"]);
-    for bits in [3u32, 5, 6] {
-        t.row([
-            bits.to_string(),
-            format!("{:.3}", extra_l1_over_leakage(&published, bits, 0.25)),
-            format!("{:.3}", extra_l1_over_leakage(&published, bits, 0.50)),
-            format!("{:.3}", extra_l1_over_leakage(&published, bits, 1.00)),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-
-    println!("extra-L2-dynamic / L1-leakage (paper's example: 0.08 at +1% misses, active 0.5):");
-    let mut t = Table::new([
-        "extra miss rate",
-        "active 0.25",
-        "active 0.50",
-        "active 1.00",
-    ]);
-    for mr in [0.001f64, 0.005, 0.01] {
-        t.row([
-            format!("{:.1}%", mr * 100.0),
-            format!("{:.3}", extra_l2_over_leakage(&published, 0.25, mr)),
-            format!("{:.3}", extra_l2_over_leakage(&published, 0.50, mr)),
-            format!("{:.3}", extra_l2_over_leakage(&published, 1.00, mr)),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!(
-        "conclusion (paper): even under extreme assumptions the dynamic overheads \
-         are a few percent of the leakage energy, so sizable leakage savings survive."
-    );
+    dri_experiments::figures::tradeoff();
 }

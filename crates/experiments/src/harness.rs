@@ -14,17 +14,36 @@ pub fn quick_mode() -> bool {
 ///
 /// Defaults to the machine's available parallelism; `DRI_THREADS=n`
 /// overrides it (`DRI_THREADS=1` forces fully serial execution, which is
-/// also the automatic behaviour on single-core hosts).
+/// also the automatic behaviour on single-core hosts; `0` is clamped to
+/// `1` as it always was). A value that does not parse as an integer is
+/// **rejected with a warning** (once per process) rather than silently
+/// ignored — a typo like `DRI_THREADS=4x` used to fall back to all cores
+/// without a trace.
 pub fn threads() -> usize {
-    if let Some(n) = std::env::var("DRI_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        return n.max(1);
+    match std::env::var("DRI_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) => return n.max(1),
+            Err(_) => warn_bad_threads(&raw),
+        },
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            warn_bad_threads(&raw.to_string_lossy());
+        }
+        Err(std::env::VarError::NotPresent) => {}
     }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Warns (once) that `DRI_THREADS` was set to something unusable.
+fn warn_bad_threads(raw: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "warning: DRI_THREADS={raw:?} is not an integer; \
+             falling back to the machine's available parallelism"
+        );
+    });
 }
 
 /// Workers currently spawned by [`parallel_map`] across the process, so

@@ -13,8 +13,12 @@
 //! | Figure 6 (size/associativity) | [`sweeps::geometry_sweep`] + `figure6` binary |
 //! | §5.6 (interval & divisibility) | [`sweeps::interval_sweep`] / [`sweeps::divisibility_sweep`] + `section5_6` binary |
 //! | §5.2.1 (analytic bounds) | `tradeoff` binary (over `energy_model::tradeoff`) |
+//! | any subset of the above, one process | [`manifest`] + `suite` binary |
 //!
-//! Set `DRI_QUICK=1` to run any binary with reduced grids/budgets.
+//! Set `DRI_QUICK=1` to run any binary with reduced grids/budgets, and
+//! `DRI_STORE=<dir>` to persist every simulated point in a
+//! content-addressed on-disk store ([`dri_store`], wired in by
+//! [`session`] + [`persist`]) so later processes warm-start from disk.
 //!
 //! ## Example
 //!
@@ -30,7 +34,10 @@
 
 #![warn(missing_docs)]
 
+pub mod figures;
 pub mod harness;
+pub mod manifest;
+pub mod persist;
 pub mod published;
 pub mod report;
 pub mod runner;
@@ -38,6 +45,7 @@ pub mod search;
 pub mod session;
 pub mod sweeps;
 
+pub use dri_store::{ResultStore, StoreStats};
 pub use runner::{compare, run_conventional, run_dri, Comparison, DriRun, RunConfig};
 pub use search::{search_all, search_benchmark, SearchResult, SearchSpace, SLOWDOWN_CONSTRAINT};
 pub use session::{SessionStats, SimSession};

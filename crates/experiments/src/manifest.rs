@@ -1,0 +1,333 @@
+//! Declarative run plans for the `suite` batch runner.
+//!
+//! A manifest is a small text file describing *which* figure/table suites
+//! to run and under *what* environment, so a whole evaluation campaign is
+//! one reviewable artifact instead of a shell script of `cargo run`
+//! invocations:
+//!
+//! ```text
+//! # figures.manifest — everything the paper's evaluation section needs
+//! quick = on                 # DRI_QUICK: reduced grids and budgets
+//! threads = 4                # DRI_THREADS: worker cap
+//! store = /var/cache/dri     # DRI_STORE: shared on-disk result store
+//!
+//! figure3
+//! figure4                    # reuses figure3's search points in-process
+//! section5_6
+//! ```
+//!
+//! Grammar, line by line (after stripping `#` comments and blank lines):
+//!
+//! * `<key> = <value>` — an option. `quick` (`on`/`off`/`1`/`0`) maps to
+//!   `DRI_QUICK`, `threads` (positive integer) to `DRI_THREADS`, and
+//!   `store` (a directory path) to `DRI_STORE`. Options apply to the
+//!   whole plan and must precede the first job.
+//! * `<job>` — a job name (see [`Job::all`]), or `all` for every job.
+//!   Jobs run in file order; duplicates are dropped (within one process
+//!   the second run would be pure cache hits anyway).
+//!
+//! A manifest may list only options and no jobs (a shared environment
+//! config): the job list then comes from the `suite` command line, or
+//! defaults to `all`.
+//!
+//! Parsing is strict: unknown jobs, unknown options, malformed values,
+//! and options after jobs are errors with line numbers, not warnings —
+//! a typo in a batch plan should fail in seconds, not silently skip a
+//! figure of a multi-hour campaign.
+
+use std::fmt;
+
+use crate::figures;
+
+/// One runnable artifact suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Job {
+    /// Table 1 (system configuration).
+    Table1,
+    /// Table 2 (gated-Vdd circuit trade-offs).
+    Table2,
+    /// Figure 3 (base energy-delay + average size; the parameter search).
+    Figure3,
+    /// Figure 4 (miss-bound sensitivity).
+    Figure4,
+    /// Figure 5 (size-bound sensitivity).
+    Figure5,
+    /// Figure 6 (size/associativity geometry sweep).
+    Figure6,
+    /// §5.6 (sense-interval and divisibility robustness).
+    Section5_6,
+    /// §5.2.1 (analytic leakage/dynamic trade-off bounds).
+    Tradeoff,
+}
+
+impl Job {
+    /// Every job, in the paper's presentation order (also the order
+    /// `all` expands to — searches first, so later sweeps hit their
+    /// cached points).
+    pub fn all() -> [Job; 8] {
+        [
+            Job::Table1,
+            Job::Table2,
+            Job::Figure3,
+            Job::Figure4,
+            Job::Figure5,
+            Job::Figure6,
+            Job::Section5_6,
+            Job::Tradeoff,
+        ]
+    }
+
+    /// The job's manifest/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Job::Table1 => "table1",
+            Job::Table2 => "table2",
+            Job::Figure3 => "figure3",
+            Job::Figure4 => "figure4",
+            Job::Figure5 => "figure5",
+            Job::Figure6 => "figure6",
+            Job::Section5_6 => "section5_6",
+            Job::Tradeoff => "tradeoff",
+        }
+    }
+
+    /// One-line description for `suite --list`.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Job::Table1 => "system configuration parameters",
+            Job::Table2 => "gated-Vdd circuit trade-offs",
+            Job::Figure3 => "base energy-delay + average size (parameter search)",
+            Job::Figure4 => "miss-bound sensitivity sweep",
+            Job::Figure5 => "size-bound sensitivity sweep",
+            Job::Figure6 => "size/associativity geometry sweep",
+            Job::Section5_6 => "sense-interval and divisibility robustness",
+            Job::Tradeoff => "analytic leakage/dynamic trade-off bounds",
+        }
+    }
+
+    /// Whether the job runs paired simulations (and therefore benefits
+    /// from the session/store caches — `table1`/`table2`/`tradeoff` are
+    /// closed-form and always cheap).
+    pub fn simulates(&self) -> bool {
+        !matches!(self, Job::Table1 | Job::Table2 | Job::Tradeoff)
+    }
+
+    /// Looks a job up by its manifest/CLI name.
+    pub fn from_name(name: &str) -> Option<Job> {
+        Job::all().into_iter().find(|j| j.name() == name)
+    }
+
+    /// Executes the job (printing its tables to stdout).
+    pub fn run(&self) {
+        match self {
+            Job::Table1 => figures::table1(),
+            Job::Table2 => figures::table2(),
+            Job::Figure3 => figures::figure3(),
+            Job::Figure4 => figures::figure4(),
+            Job::Figure5 => figures::figure5(),
+            Job::Figure6 => figures::figure6(),
+            Job::Section5_6 => figures::section5_6(),
+            Job::Tradeoff => figures::tradeoff(),
+        }
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Plan-wide options (each maps onto one `DRI_*` environment variable).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// `quick = on|off` → `DRI_QUICK`.
+    pub quick: Option<bool>,
+    /// `threads = n` → `DRI_THREADS`.
+    pub threads: Option<usize>,
+    /// `store = <dir>` → `DRI_STORE`.
+    pub store: Option<String>,
+}
+
+/// A parsed manifest: options plus an ordered, deduplicated job list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Plan-wide options.
+    pub options: PlanOptions,
+    /// Jobs in execution order.
+    pub jobs: Vec<Job>,
+}
+
+impl Manifest {
+    /// Appends `job` unless it is already planned.
+    pub fn push_job(&mut self, job: Job) {
+        if !self.jobs.contains(&job) {
+            self.jobs.push(job);
+        }
+    }
+}
+
+/// A manifest parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based source line (0 is reserved for errors spanning the whole
+    /// file, should a consumer need one).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "manifest: {}", self.message)
+        } else {
+            write!(f, "manifest line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn err(line: usize, message: impl Into<String>) -> ManifestError {
+    ManifestError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_switch(line: usize, value: &str) -> Result<bool, ManifestError> {
+    match value {
+        "on" | "1" | "true" | "yes" => Ok(true),
+        "off" | "0" | "false" | "no" => Ok(false),
+        other => Err(err(line, format!("expected on/off, got `{other}`"))),
+    }
+}
+
+/// Parses manifest text (see the module docs for the grammar).
+pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+    let mut manifest = Manifest::default();
+    let mut saw_job = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            let (key, value) = (key.trim(), value.trim());
+            if saw_job {
+                return Err(err(
+                    lineno,
+                    format!("option `{key}` must appear before the first job"),
+                ));
+            }
+            match key {
+                "quick" => manifest.options.quick = Some(parse_switch(lineno, value)?),
+                "threads" => {
+                    let n: usize = value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        err(
+                            lineno,
+                            format!("`threads` needs a positive integer, got `{value}`"),
+                        )
+                    })?;
+                    manifest.options.threads = Some(n);
+                }
+                "store" => {
+                    if value.is_empty() {
+                        return Err(err(lineno, "`store` needs a directory path"));
+                    }
+                    manifest.options.store = Some(value.to_owned());
+                }
+                other => {
+                    return Err(err(
+                        lineno,
+                        format!("unknown option `{other}` (expected quick, threads, or store)"),
+                    ))
+                }
+            }
+        } else if line == "all" {
+            saw_job = true;
+            for job in Job::all() {
+                manifest.push_job(job);
+            }
+        } else if let Some(job) = Job::from_name(line) {
+            saw_job = true;
+            manifest.push_job(job);
+        } else {
+            let known: Vec<&str> = Job::all().iter().map(Job::name).collect();
+            return Err(err(
+                lineno,
+                format!(
+                    "unknown job `{line}` (expected one of: {}, or `all`)",
+                    known.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_options_jobs_and_comments() {
+        let m = parse(
+            "# campaign\nquick = on\nthreads = 4\nstore = /tmp/dri-store\n\nfigure3 # search\nfigure4\n",
+        )
+        .expect("valid manifest");
+        assert_eq!(m.options.quick, Some(true));
+        assert_eq!(m.options.threads, Some(4));
+        assert_eq!(m.options.store.as_deref(), Some("/tmp/dri-store"));
+        assert_eq!(m.jobs, vec![Job::Figure3, Job::Figure4]);
+    }
+
+    #[test]
+    fn all_expands_and_dedupes() {
+        let m = parse("figure5\nall\nfigure5\n").expect("valid manifest");
+        assert_eq!(m.jobs.len(), Job::all().len());
+        assert_eq!(m.jobs[0], Job::Figure5, "explicit order wins");
+    }
+
+    #[test]
+    fn rejects_unknown_job_with_line_number() {
+        let e = parse("figure3\nfigure7\n").expect_err("unknown job");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("figure7"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_options() {
+        assert!(parse("jobs = 3\nfigure3\n").is_err());
+        assert!(parse("threads = zero\nfigure3\n").is_err());
+        assert!(parse("threads = 0\nfigure3\n").is_err());
+        assert!(parse("quick = maybe\nfigure3\n").is_err());
+        assert!(parse("store =\nfigure3\n").is_err());
+    }
+
+    #[test]
+    fn rejects_options_after_jobs() {
+        let e = parse("figure3\nquick = on\n").expect_err("late option");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn options_only_manifests_are_valid_with_no_jobs() {
+        // A shared-environment config composes with CLI jobs: the suite
+        // supplies the job list (or defaults to `all`).
+        let m = parse("# env only\nquick = on\nstore = /tmp/s\n").expect("options-only manifest");
+        assert!(m.jobs.is_empty());
+        assert_eq!(m.options.quick, Some(true));
+    }
+
+    #[test]
+    fn every_job_name_roundtrips() {
+        for job in Job::all() {
+            assert_eq!(Job::from_name(job.name()), Some(job), "{job}");
+            assert!(!job.description().is_empty());
+        }
+        assert_eq!(Job::from_name("nope"), None);
+    }
+}

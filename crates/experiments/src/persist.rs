@@ -1,0 +1,365 @@
+//! The run-result schema over [`dri_store`]: stable keys for baseline and
+//! DRI runs, and the binary codecs for their counter structs.
+//!
+//! A key absorbs **everything that can influence a run's counters** —
+//! the same closure the in-memory `SimSession` keys capture, plus a
+//! schema version: benchmark, seed override, CPU configuration, memory
+//! hierarchy, i-cache geometry (baseline) or the full `DriConfig` (DRI),
+//! and the instruction budget. `EnergyParams` is deliberately excluded:
+//! energy is recomputed from the stored counters by
+//! [`crate::runner::compare_with_baseline`], so the same stored run
+//! serves every energy model.
+//!
+//! Bump [`SCHEMA_VERSION`] whenever *either* the key encoding *or* the
+//! payload layout changes, and whenever a simulator change alters the
+//! counters produced for an unchanged configuration — old entries then
+//! become invisible (they live under a different `v<N>/` directory) and
+//! are lazily replaced by recomputation. Nothing ever reads across
+//! schema versions.
+
+use cache_sim::config::CacheConfig;
+use cache_sim::hierarchy::HierarchyConfig;
+use cache_sim::replacement::ReplacementPolicy;
+use cache_sim::stats::CacheStats;
+use dri_core::DriConfig;
+use dri_store::{Decoder, Encoder, KeyHasher};
+use ooo_cpu::config::CpuConfig;
+use ooo_cpu::stats::CpuStats;
+
+use crate::runner::{ConventionalRun, DriRun, DriSummary, RunConfig};
+
+/// Version of both the key encoding and the record payload layout.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Record kind for conventional (baseline) runs.
+pub const BASELINE_KIND: &str = "baseline";
+
+/// Record kind for DRI runs.
+pub const DRI_KIND: &str = "dri";
+
+/// Stable one-byte encoding of a replacement policy (never reorder).
+fn replacement_code(policy: ReplacementPolicy) -> u8 {
+    match policy {
+        ReplacementPolicy::Lru => 0,
+        ReplacementPolicy::Fifo => 1,
+        ReplacementPolicy::Random => 2,
+    }
+}
+
+fn hash_cache_config(h: &mut KeyHasher, cfg: &CacheConfig) {
+    h.write_u64(cfg.size_bytes);
+    h.write_u64(cfg.block_bytes);
+    h.write_u32(cfg.associativity);
+    h.write_u64(cfg.latency);
+    h.write_u8(replacement_code(cfg.replacement));
+}
+
+fn hash_cpu_config(h: &mut KeyHasher, cfg: &CpuConfig) {
+    h.write_u32(cfg.fetch_width);
+    h.write_u32(cfg.issue_width);
+    h.write_u32(cfg.commit_width);
+    h.write_u32(cfg.rob_entries);
+    h.write_u32(cfg.lsq_entries);
+    h.write_u32(cfg.fu.int_alu);
+    h.write_u32(cfg.fu.int_mul);
+    h.write_u32(cfg.fu.fp_alu);
+    h.write_u32(cfg.fu.fp_mul);
+    h.write_u32(cfg.fu.mem_ports);
+    h.write_u64(cfg.frontend_latency);
+    h.write_u64(cfg.mispredict_redirect);
+}
+
+fn hash_hierarchy_config(h: &mut KeyHasher, cfg: &HierarchyConfig) {
+    hash_cache_config(h, &cfg.l1d);
+    hash_cache_config(h, &cfg.l2);
+    h.write_u64(cfg.memory.base_latency);
+    h.write_u64(cfg.memory.per_8_bytes);
+}
+
+fn hash_dri_config(h: &mut KeyHasher, cfg: &DriConfig) {
+    h.write_u64(cfg.max_size_bytes);
+    h.write_u64(cfg.block_bytes);
+    h.write_u32(cfg.associativity);
+    h.write_u64(cfg.latency);
+    h.write_u64(cfg.size_bound_bytes);
+    h.write_u64(cfg.miss_bound);
+    h.write_u64(cfg.sense_interval);
+    h.write_u32(cfg.divisibility);
+    h.write_u32(cfg.throttle.counter_bits);
+    h.write_u32(cfg.throttle.lockout_intervals);
+    h.write_bool(cfg.throttle.enabled);
+    h.write_u8(replacement_code(cfg.replacement));
+}
+
+/// The key fields shared by both run kinds: workload identity, core, and
+/// hierarchy (the benchmark travels as its stable name, not its enum
+/// discriminant, so reordering the enum cannot silently remap entries).
+fn hash_common(h: &mut KeyHasher, cfg: &RunConfig) {
+    h.write_u32(SCHEMA_VERSION);
+    h.write_str(cfg.benchmark.name());
+    h.write_opt_u64(cfg.seed_override);
+    hash_cpu_config(h, &cfg.cpu);
+    hash_hierarchy_config(h, &cfg.hierarchy);
+    h.write_opt_u64(cfg.instruction_budget);
+}
+
+/// Store key for `cfg`'s conventional (baseline) run.
+pub fn baseline_key(cfg: &RunConfig) -> u128 {
+    let mut h = KeyHasher::new();
+    h.write_str(BASELINE_KIND);
+    hash_common(&mut h, cfg);
+    hash_cache_config(&mut h, &cfg.baseline_icache());
+    h.finish()
+}
+
+/// Store key for `cfg`'s DRI run.
+pub fn dri_key(cfg: &RunConfig) -> u128 {
+    let mut h = KeyHasher::new();
+    h.write_str(DRI_KIND);
+    hash_common(&mut h, cfg);
+    hash_dri_config(&mut h, &cfg.dri);
+    h.finish()
+}
+
+fn put_cpu_stats(e: &mut Encoder, s: &CpuStats) {
+    e.put_u64(s.cycles);
+    e.put_u64(s.instructions);
+    e.put_u64(s.fetch_groups);
+    e.put_u64(s.icache_stall_cycles);
+    e.put_u64(s.branches);
+    e.put_u64(s.mispredict_redirects);
+    e.put_u64(s.loads);
+    e.put_u64(s.stores);
+}
+
+fn take_cpu_stats(d: &mut Decoder) -> Option<CpuStats> {
+    Some(CpuStats {
+        cycles: d.take_u64()?,
+        instructions: d.take_u64()?,
+        fetch_groups: d.take_u64()?,
+        icache_stall_cycles: d.take_u64()?,
+        branches: d.take_u64()?,
+        mispredict_redirects: d.take_u64()?,
+        loads: d.take_u64()?,
+        stores: d.take_u64()?,
+    })
+}
+
+fn put_cache_stats(e: &mut Encoder, s: &CacheStats) {
+    e.put_u64(s.accesses);
+    e.put_u64(s.hits);
+    e.put_u64(s.misses);
+    e.put_u64(s.reads);
+    e.put_u64(s.writes);
+    e.put_u64(s.evictions);
+    e.put_u64(s.writebacks);
+    e.put_u64(s.invalidations);
+}
+
+fn take_cache_stats(d: &mut Decoder) -> Option<CacheStats> {
+    Some(CacheStats {
+        accesses: d.take_u64()?,
+        hits: d.take_u64()?,
+        misses: d.take_u64()?,
+        reads: d.take_u64()?,
+        writes: d.take_u64()?,
+        evictions: d.take_u64()?,
+        writebacks: d.take_u64()?,
+        invalidations: d.take_u64()?,
+    })
+}
+
+/// Serializes a baseline run (floats as raw bits: decoded runs are
+/// bit-identical to what was stored).
+pub fn encode_conventional(run: &ConventionalRun) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_cpu_stats(&mut e, &run.timing);
+    put_cache_stats(&mut e, &run.icache);
+    e.put_u64(run.l2_inst_accesses);
+    e.put_f64(run.bpred_accuracy);
+    e.into_bytes()
+}
+
+/// Deserializes a baseline run; `None` on any structural mismatch
+/// (including trailing bytes, which indicate a foreign payload).
+pub fn decode_conventional(bytes: &[u8]) -> Option<ConventionalRun> {
+    let mut d = Decoder::new(bytes);
+    let run = ConventionalRun {
+        timing: take_cpu_stats(&mut d)?,
+        icache: take_cache_stats(&mut d)?,
+        l2_inst_accesses: d.take_u64()?,
+        bpred_accuracy: d.take_f64()?,
+    };
+    (d.remaining() == 0).then_some(run)
+}
+
+/// Serializes a DRI run.
+pub fn encode_dri(run: &DriRun) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_cpu_stats(&mut e, &run.timing);
+    put_cache_stats(&mut e, &run.icache);
+    e.put_f64(run.dri.avg_active_fraction);
+    e.put_f64(run.dri.avg_size_bytes);
+    e.put_u64(run.dri.final_size_bytes);
+    e.put_u64(run.dri.resizes as u64);
+    e.put_u64(run.dri.intervals);
+    e.put_u32(run.dri.resizing_bits);
+    e.put_u64(run.l2_inst_accesses);
+    e.put_f64(run.bpred_accuracy);
+    e.into_bytes()
+}
+
+/// Deserializes a DRI run (see [`decode_conventional`]).
+pub fn decode_dri(bytes: &[u8]) -> Option<DriRun> {
+    let mut d = Decoder::new(bytes);
+    let run = DriRun {
+        timing: take_cpu_stats(&mut d)?,
+        icache: take_cache_stats(&mut d)?,
+        dri: DriSummary {
+            avg_active_fraction: d.take_f64()?,
+            avg_size_bytes: d.take_f64()?,
+            final_size_bytes: d.take_u64()?,
+            resizes: usize::try_from(d.take_u64()?).ok()?,
+            intervals: d.take_u64()?,
+            resizing_bits: d.take_u32()?,
+        },
+        l2_inst_accesses: d.take_u64()?,
+        bpred_accuracy: d.take_f64()?,
+    };
+    (d.remaining() == 0).then_some(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth_workload::suite::Benchmark;
+
+    #[test]
+    fn keys_are_deterministic_and_distinguish_kinds() {
+        let cfg = RunConfig::quick(Benchmark::Li);
+        assert_eq!(baseline_key(&cfg), baseline_key(&cfg.clone()));
+        assert_eq!(dri_key(&cfg), dri_key(&cfg.clone()));
+        assert_ne!(baseline_key(&cfg), dri_key(&cfg));
+    }
+
+    #[test]
+    fn every_key_field_perturbs_the_hash() {
+        let base = RunConfig::quick(Benchmark::Li);
+        let mut variants: Vec<RunConfig> = Vec::new();
+        let mut v = base.clone();
+        v.benchmark = Benchmark::Gcc;
+        variants.push(v);
+        let mut v = base.clone();
+        v.seed_override = Some(3);
+        variants.push(v);
+        let mut v = base.clone();
+        v.cpu.rob_entries *= 2;
+        variants.push(v);
+        let mut v = base.clone();
+        v.hierarchy.l2.latency += 1;
+        variants.push(v);
+        let mut v = base.clone();
+        v.instruction_budget = None;
+        variants.push(v);
+        let mut v = base.clone();
+        v.dri.sense_interval *= 2;
+        variants.push(v);
+        for (i, variant) in variants.iter().enumerate() {
+            assert_ne!(dri_key(&base), dri_key(variant), "variant {i}");
+        }
+        // The baseline key ignores DRI parameters that leave the
+        // geometry untouched (miss-bound), but sees geometry changes.
+        let mut mb = base.clone();
+        mb.dri.miss_bound *= 2;
+        assert_eq!(baseline_key(&base), baseline_key(&mb));
+        assert_ne!(dri_key(&base), dri_key(&mb));
+        let mut assoc = base.clone();
+        assoc.dri.associativity = 4;
+        assert_ne!(baseline_key(&base), baseline_key(&assoc));
+    }
+
+    #[test]
+    fn energy_params_do_not_key_the_store() {
+        use energy_model::params::EnergyParams;
+        let base = RunConfig::quick(Benchmark::Li);
+        let mut derived = base.clone();
+        derived.energy = EnergyParams::hpca01_derived();
+        assert_eq!(baseline_key(&base), baseline_key(&derived));
+        assert_eq!(dri_key(&base), dri_key(&derived));
+    }
+
+    #[test]
+    fn codecs_roundtrip_bit_identically() {
+        let conv = ConventionalRun {
+            timing: CpuStats {
+                cycles: 123_456,
+                instructions: 654_321,
+                fetch_groups: 99,
+                icache_stall_cycles: 7,
+                branches: 11,
+                mispredict_redirects: 3,
+                loads: 42,
+                stores: 21,
+            },
+            icache: CacheStats {
+                accesses: 1,
+                hits: 2,
+                misses: 3,
+                reads: 4,
+                writes: 5,
+                evictions: 6,
+                writebacks: 7,
+                invalidations: 8,
+            },
+            l2_inst_accesses: 909,
+            bpred_accuracy: 0.987_654_321,
+        };
+        let decoded = decode_conventional(&encode_conventional(&conv)).expect("roundtrip");
+        assert_eq!(decoded.timing, conv.timing);
+        assert_eq!(decoded.icache, conv.icache);
+        assert_eq!(decoded.l2_inst_accesses, conv.l2_inst_accesses);
+        assert_eq!(
+            decoded.bpred_accuracy.to_bits(),
+            conv.bpred_accuracy.to_bits()
+        );
+
+        let dri = DriRun {
+            timing: conv.timing,
+            icache: conv.icache,
+            dri: DriSummary {
+                avg_active_fraction: 0.25,
+                avg_size_bytes: 16_384.5,
+                final_size_bytes: 8192,
+                resizes: 17,
+                intervals: 40,
+                resizing_bits: 6,
+            },
+            l2_inst_accesses: 31,
+            bpred_accuracy: 0.91,
+        };
+        let decoded = decode_dri(&encode_dri(&dri)).expect("roundtrip");
+        assert_eq!(decoded.dri.resizes, 17);
+        assert_eq!(
+            decoded.dri.avg_size_bytes.to_bits(),
+            dri.dri.avg_size_bytes.to_bits()
+        );
+        assert_eq!(decoded.timing, dri.timing);
+    }
+
+    #[test]
+    fn decoders_reject_truncation_and_surplus() {
+        let conv = ConventionalRun {
+            timing: CpuStats::default(),
+            icache: CacheStats::default(),
+            l2_inst_accesses: 0,
+            bpred_accuracy: 0.5,
+        };
+        let bytes = encode_conventional(&conv);
+        assert!(decode_conventional(&bytes[..bytes.len() - 1]).is_none());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_conventional(&padded).is_none());
+        // A conventional payload is not a DRI payload.
+        assert!(decode_dri(&bytes).is_none());
+    }
+}

@@ -32,9 +32,23 @@
 //! what makes the parallel sweeps in [`crate::sweeps`] and
 //! [`crate::harness::parallel_map`] cheap: concurrent sweep points fall
 //! back to at most one redundant simulation per race, and typically none.
+//!
+//! ## The disk tier
+//!
+//! A session can additionally carry a [`dri_store::ResultStore`], making
+//! the lookup order **memory → disk → simulate**. The global session
+//! attaches one automatically when `DRI_STORE` names a directory (unset
+//! = memory-only, so tests stay hermetic by default). Disk entries are
+//! keyed by a stable content hash of everything that can influence the
+//! counters (see [`crate::persist`]) and carry checksummed payloads, so
+//! a loaded result is bit-identical to the simulation that produced it —
+//! across processes, not just within one — and a corrupt or truncated
+//! entry is silently recomputed and overwritten, never trusted.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+use dri_store::{ResultStore, StoreStats};
 
 use cache_sim::config::CacheConfig;
 use cache_sim::hierarchy::HierarchyConfig;
@@ -104,14 +118,30 @@ pub struct SessionStats {
     pub workload_hits: u64,
     /// Workloads generated (cache misses).
     pub workload_misses: u64,
-    /// Baseline-run cache hits.
+    /// Baseline-run memory-cache hits.
     pub baseline_hits: u64,
-    /// Baseline simulations executed (cache misses).
+    /// Baseline simulations executed (missed memory *and* disk).
     pub baseline_misses: u64,
-    /// DRI-run cache hits.
+    /// Baseline runs loaded from the disk store (no simulation ran).
+    pub baseline_disk_hits: u64,
+    /// DRI-run memory-cache hits.
     pub dri_hits: u64,
-    /// DRI simulations executed (cache misses).
+    /// DRI simulations executed (missed memory *and* disk).
     pub dri_misses: u64,
+    /// DRI runs loaded from the disk store (no simulation ran).
+    pub dri_disk_hits: u64,
+}
+
+impl SessionStats {
+    /// Total simulations this session actually executed.
+    pub fn simulations(&self) -> u64 {
+        self.baseline_misses + self.dri_misses
+    }
+
+    /// Total runs served from the disk tier.
+    pub fn disk_hits(&self) -> u64 {
+        self.baseline_disk_hits + self.dri_disk_hits
+    }
 }
 
 /// Memoization scope for workloads and runs (see the module docs).
@@ -125,18 +155,43 @@ pub struct SimSession {
     baselines: Mutex<HashMap<BaselineKey, ConventionalRun>>,
     dri_runs: Mutex<HashMap<DriKey, DriRun>>,
     stats: Mutex<SessionStats>,
+    store: Option<ResultStore>,
 }
 
 impl SimSession {
-    /// Creates an empty session.
+    /// Creates an empty, memory-only session.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The process-wide session every default-path run shares.
+    /// Creates a session backed by `store` as its second cache tier
+    /// (memory → disk → simulate).
+    pub fn with_store(store: ResultStore) -> Self {
+        SimSession {
+            store: Some(store),
+            ..Self::default()
+        }
+    }
+
+    /// The process-wide session every default-path run shares. Attaches
+    /// the disk tier when the `DRI_STORE` environment variable names a
+    /// usable directory (decided once, at first use).
     pub fn global() -> &'static SimSession {
         static GLOBAL: OnceLock<SimSession> = OnceLock::new();
-        GLOBAL.get_or_init(SimSession::new)
+        GLOBAL.get_or_init(|| match ResultStore::from_env() {
+            Some(store) => SimSession::with_store(store),
+            None => SimSession::new(),
+        })
+    }
+
+    /// The disk tier, if one is attached.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// Snapshot of the disk tier's counters, if one is attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(ResultStore::stats)
     }
 
     /// Snapshot of the hit/miss counters.
@@ -168,18 +223,60 @@ impl SimSession {
         )
     }
 
-    /// The memoized baseline run for `cfg` (simulated on first use).
+    /// Loads a baseline run from the disk tier, or `None` on a miss or a
+    /// rejected (corrupt / truncated / wrong-schema) entry.
+    fn disk_conventional(&self, cfg: &RunConfig) -> Option<ConventionalRun> {
+        self.store.as_ref()?.load_decoded(
+            crate::persist::BASELINE_KIND,
+            crate::persist::SCHEMA_VERSION,
+            crate::persist::baseline_key(cfg),
+            crate::persist::decode_conventional,
+        )
+    }
+
+    /// Loads a DRI run from the disk tier (see [`Self::disk_conventional`]).
+    fn disk_dri(&self, cfg: &RunConfig) -> Option<DriRun> {
+        self.store.as_ref()?.load_decoded(
+            crate::persist::DRI_KIND,
+            crate::persist::SCHEMA_VERSION,
+            crate::persist::dri_key(cfg),
+            crate::persist::decode_dri,
+        )
+    }
+
+    /// The memoized baseline run for `cfg`: memory, then disk, then a
+    /// fresh simulation (whose result is published to both tiers).
     pub fn conventional(&self, cfg: &RunConfig) -> ConventionalRun {
         let key = BaselineKey::of(cfg);
         if let Some(found) = self.baselines.lock().expect("baseline lock").get(&key) {
             self.stats.lock().expect("session stats lock").baseline_hits += 1;
             return *found;
         }
+        if let Some(run) = self.disk_conventional(cfg) {
+            self.stats
+                .lock()
+                .expect("session stats lock")
+                .baseline_disk_hits += 1;
+            return *self
+                .baselines
+                .lock()
+                .expect("baseline lock")
+                .entry(key)
+                .or_insert(run);
+        }
         let run = crate::runner::run_conventional_fresh_in(self, cfg);
         self.stats
             .lock()
             .expect("session stats lock")
             .baseline_misses += 1;
+        if let Some(store) = &self.store {
+            store.save(
+                crate::persist::BASELINE_KIND,
+                crate::persist::SCHEMA_VERSION,
+                crate::persist::baseline_key(cfg),
+                &crate::persist::encode_conventional(&run),
+            );
+        }
         *self
             .baselines
             .lock()
@@ -188,15 +285,33 @@ impl SimSession {
             .or_insert(run)
     }
 
-    /// The memoized DRI run for `cfg` (simulated on first use).
+    /// The memoized DRI run for `cfg`: memory, then disk, then a fresh
+    /// simulation (whose result is published to both tiers).
     pub fn dri(&self, cfg: &RunConfig) -> DriRun {
         let key = DriKey::of(cfg);
         if let Some(found) = self.dri_runs.lock().expect("dri lock").get(&key) {
             self.stats.lock().expect("session stats lock").dri_hits += 1;
             return *found;
         }
+        if let Some(run) = self.disk_dri(cfg) {
+            self.stats.lock().expect("session stats lock").dri_disk_hits += 1;
+            return *self
+                .dri_runs
+                .lock()
+                .expect("dri lock")
+                .entry(key)
+                .or_insert(run);
+        }
         let run = crate::runner::run_dri_fresh_in(self, cfg);
         self.stats.lock().expect("session stats lock").dri_misses += 1;
+        if let Some(store) = &self.store {
+            store.save(
+                crate::persist::DRI_KIND,
+                crate::persist::SCHEMA_VERSION,
+                crate::persist::dri_key(cfg),
+                &crate::persist::encode_dri(&run),
+            );
+        }
         *self
             .dri_runs
             .lock()

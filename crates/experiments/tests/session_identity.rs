@@ -157,8 +157,14 @@ fn global_session_reports_cache_traffic() {
         after.dri_hits > before.dri_hits,
         "second pass must hit the DRI-run cache"
     );
+    // The global session honours an ambient `DRI_STORE`: on a warmed
+    // store the first pass is a disk hit (no workload generation), so
+    // accept either origin — what matters is that the point was produced
+    // exactly once outside the memory tier.
+    let simulated = after.workload_misses > before.workload_misses;
+    let disk_served = after.disk_hits() > before.disk_hits();
     assert!(
-        after.workload_misses > before.workload_misses,
-        "first pass must generate the workload"
+        simulated || disk_served,
+        "first pass must simulate or warm-start from the disk store"
     );
 }

@@ -1,0 +1,136 @@
+//! Fixed-width little-endian record encoding.
+//!
+//! Records are tiny (a few hundred bytes of counters), so the codec
+//! optimizes for being *obviously correct* rather than compact: every
+//! integer is full-width little-endian, floats travel as their IEEE-754
+//! bit patterns (so a decoded `f64` is bit-identical to the encoded one,
+//! including negative zero and NaN payloads), and every read is
+//! bounds-checked — a truncated buffer yields `None`, never garbage.
+
+/// Append-only binary writer.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Starts an empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Bounds-checked reader over an encoded record.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let (head, rest) = self.buf.split_at_checked(n)?;
+        self.buf = rest;
+        Some(head)
+    }
+
+    /// Reads a `u8`, or `None` if the buffer is exhausted.
+    pub fn take_u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads an `f64` from its raw bit pattern.
+    pub fn take_f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Bytes not yet consumed. A well-formed record decodes to exactly
+    /// zero remaining bytes; callers should treat a surplus as corruption.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_every_primitive() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xdead_beef);
+        e.put_u64(u64::MAX - 1);
+        e.put_f64(-0.0);
+        e.put_f64(f64::NAN);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.take_u8(), Some(7));
+        assert_eq!(d.take_u32(), Some(0xdead_beef));
+        assert_eq!(d.take_u64(), Some(u64::MAX - 1));
+        assert_eq!(d.take_f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(d.take_f64().map(f64::to_bits), Some(f64::NAN.to_bits()));
+        assert_eq!(d.remaining(), 0);
+        assert_eq!(d.take_u8(), None, "exhausted reads fail cleanly");
+    }
+
+    #[test]
+    fn truncation_yields_none_not_garbage() {
+        let mut e = Encoder::new();
+        e.put_u64(42);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..5]);
+        assert_eq!(d.take_u64(), None);
+        // The failed read consumes nothing.
+        assert_eq!(d.remaining(), 5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Stable content hashing for store keys.
+//!
+//! Keys must be identical across processes, compiler versions, and
+//! machines, so they are computed by a fixed algorithm (128-bit FNV-1a)
+//! over a canonical encoding: integers little-endian at full width,
+//! strings length-prefixed, `Option`s tag-prefixed. `std::hash::Hasher`
+//! implementations are deliberately *not* used — their output is only
+//! guaranteed stable within one build.
+
+/// FNV-1a offset basis for the 128-bit variant.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a prime for the 128-bit variant.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Incremental 128-bit FNV-1a over a canonical field encoding.
+///
+/// ```
+/// use dri_store::KeyHasher;
+///
+/// let mut a = KeyHasher::new();
+/// a.write_u64(64 * 1024);
+/// a.write_str("compress");
+/// let mut b = KeyHasher::new();
+/// b.write_u64(64 * 1024);
+/// b.write_str("compress");
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    state: u128,
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyHasher {
+    /// Starts a hash at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        KeyHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Absorbs raw bytes (the FNV-1a core loop).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Absorbs a `u32`, little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab", "c")` and
+    /// `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs an optional `u64`: a presence tag, then the value.
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.write_u8(0),
+            Some(x) => {
+                self.write_u8(1);
+                self.write_u64(x);
+            }
+        }
+    }
+
+    /// The 128-bit digest of everything written so far.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice (record checksums).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut state = OFFSET;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(PRIME);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv1a_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+        // 128-bit empty input = offset basis.
+        assert_eq!(KeyHasher::new().finish(), FNV128_OFFSET);
+    }
+
+    #[test]
+    fn field_boundaries_matter() {
+        let mut a = KeyHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = KeyHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn option_tags_disambiguate() {
+        let mut none_then_zero = KeyHasher::new();
+        none_then_zero.write_opt_u64(None);
+        none_then_zero.write_u64(0);
+        let mut some_zero = KeyHasher::new();
+        some_zero.write_opt_u64(Some(0));
+        // `None` followed by an unrelated 0 must not alias `Some(0)`
+        // followed by nothing... (different lengths), nor `Some(0)` itself.
+        assert_ne!(none_then_zero.finish(), some_zero.finish());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = KeyHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = KeyHasher::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,52 @@
+//! # dri-store — the persistent simulation-result store
+//!
+//! PR 1's `SimSession` made repeated sweep points free *within* a process;
+//! this crate makes them free *across* processes. It is a content-addressed,
+//! versioned, on-disk cache of small binary records, designed around three
+//! invariants:
+//!
+//! 1. **Stable keys.** Entries are addressed by a [`hash::KeyHasher`]
+//!    digest (FNV-1a over a canonical little-endian field encoding) of
+//!    everything that can influence a result's counters. The hash is a
+//!    fixed algorithm with fixed constants — never `std`'s `Hasher`, whose
+//!    output may change between compiler releases — so two processes (or
+//!    two machines sharing a network mount) compute identical addresses
+//!    for identical configurations.
+//! 2. **Never trust the disk.** Every record carries a magic number, a
+//!    schema version, its own key, its payload length, and a checksum
+//!    ([`store::ResultStore::load`] verifies all five). A truncated,
+//!    corrupted, or stale-schema file is treated as a miss — counted in
+//!    [`store::StoreStats::corrupt`] — and the caller recomputes and
+//!    overwrites it. A load can therefore *never* poison a result.
+//! 3. **Concurrent writers are safe.** Writes go to a unique temp file in
+//!    the entry's own directory and are published with an atomic
+//!    `rename`, so readers observe either the old complete record or the
+//!    new complete record, and racing writers of the same (deterministic)
+//!    entry simply overwrite each other with identical bytes.
+//!
+//! The store knows nothing about simulations: callers bring their own key
+//! schema and payload codec (see [`codec::Encoder`]/[`codec::Decoder`]).
+//! `dri-experiments` layers its run-result schema on top and wires the
+//! store into `SimSession` as the tier between the in-memory maps and a
+//! fresh simulation.
+//!
+//! ## Layout on disk
+//!
+//! ```text
+//! <root>/<kind>/v<schema>/<hh>/<032-hex-key>.bin
+//! ```
+//!
+//! where `kind` names the record type (`"baseline"`, `"dri"`, …),
+//! `v<schema>` isolates incompatible encodings from each other, and `hh`
+//! (the top byte of the key, in hex) shards entries across 256
+//! subdirectories so no single directory grows unboundedly.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod hash;
+pub mod store;
+
+pub use codec::{Decoder, Encoder};
+pub use hash::KeyHasher;
+pub use store::{ResultStore, StoreStats};

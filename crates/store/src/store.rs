@@ -1,0 +1,387 @@
+//! The on-disk store proper: sharded record files with validated headers,
+//! atomic publication, and best-effort semantics (I/O failures degrade to
+//! cache misses, never to errors the simulation pipeline must handle).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hash::fnv64;
+
+/// First bytes of every record file.
+const MAGIC: [u8; 4] = *b"DRIS";
+/// magic + schema(u32) + key(u128) + payload length(u64).
+const HEADER_LEN: usize = 4 + 4 + 16 + 8;
+/// FNV-1a 64 over header + payload, appended after the payload.
+const CHECKSUM_LEN: usize = 8;
+
+/// Environment variable naming the store root. Unset (or empty) disables
+/// the disk tier entirely, which keeps tests hermetic by default.
+pub const STORE_ENV: &str = "DRI_STORE";
+
+/// Monotonic counters describing one store's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records loaded and validated successfully.
+    pub hits: u64,
+    /// Lookups that found no file.
+    pub misses: u64,
+    /// Lookups that found a file but rejected it (bad magic, wrong
+    /// schema, key mismatch, truncation, or checksum failure).
+    pub corrupt: u64,
+    /// Records written (published via rename).
+    pub writes: u64,
+    /// Writes abandoned due to I/O errors (disk full, permissions, …).
+    pub write_errors: u64,
+    /// Payload bytes returned by successful loads.
+    pub bytes_read: u64,
+    /// Total file bytes written by successful saves.
+    pub bytes_written: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// A content-addressed store rooted at one directory (see the crate docs
+/// for the layout and durability rules).
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    stats: AtomicStats,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ResultStore {
+            root,
+            stats: AtomicStats::default(),
+        })
+    }
+
+    /// Opens the store named by the `DRI_STORE` environment variable, or
+    /// `None` when the variable is unset/empty or the root is unusable
+    /// (an unusable root warns once rather than failing the run — the
+    /// store is an accelerator, not a dependency).
+    pub fn from_env() -> Option<Self> {
+        let root = std::env::var_os(STORE_ENV)?;
+        if root.is_empty() {
+            return None;
+        }
+        match Self::open(PathBuf::from(&root)) {
+            Ok(store) => Some(store),
+            Err(err) => {
+                eprintln!(
+                    "warning: {STORE_ENV}={} is not usable as a result store ({err}); \
+                     continuing without the disk cache",
+                    root.to_string_lossy()
+                );
+                None
+            }
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            corrupt: self.stats.corrupt.load(Ordering::Relaxed),
+            writes: self.stats.writes.load(Ordering::Relaxed),
+            write_errors: self.stats.write_errors.load(Ordering::Relaxed),
+            bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.stats.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The file a record lives at: `<root>/<kind>/v<schema>/<hh>/<key>.bin`.
+    pub fn entry_path(&self, kind: &str, schema: u32, key: u128) -> PathBuf {
+        let shard = (key >> 120) as u8;
+        self.root
+            .join(kind)
+            .join(format!("v{schema}"))
+            .join(format!("{shard:02x}"))
+            .join(format!("{key:032x}.bin"))
+    }
+
+    /// Loads and validates the payload stored for `(kind, schema, key)`.
+    ///
+    /// Returns `None` — counting a miss or a corruption, never erroring —
+    /// unless the file exists, carries the expected magic/schema/key,
+    /// declares exactly the payload length present, and checksums clean.
+    pub fn load(&self, kind: &str, schema: u32, key: u128) -> Option<Vec<u8>> {
+        self.load_decoded(kind, schema, key, |payload| Some(payload.to_vec()))
+    }
+
+    /// [`Self::load`] with the caller's payload decoder inside the
+    /// accounting boundary: a record is a `hit` only if the *decoded*
+    /// value is served. A payload that passes the file-level checks but
+    /// fails `decode` (a layout change shipped without a schema bump)
+    /// counts as `corrupt` — never as a hit — so `--store-stats` cannot
+    /// report a store as warm while every point re-simulates.
+    pub fn load_decoded<T>(
+        &self,
+        kind: &str,
+        schema: u32,
+        key: u128,
+        decode: impl FnOnce(&[u8]) -> Option<T>,
+    ) -> Option<T> {
+        let path = self.entry_path(kind, schema, key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match Self::validate(&bytes, schema, key).and_then(|payload| {
+            let len = payload.len() as u64;
+            decode(payload).map(|value| (value, len))
+        }) {
+            Some((value, payload_len)) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_read
+                    .fetch_add(payload_len, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn validate(bytes: &[u8], schema: u32, key: u128) -> Option<&[u8]> {
+        let body = bytes.len().checked_sub(CHECKSUM_LEN)?;
+        let payload_len = body.checked_sub(HEADER_LEN)?;
+        if bytes[0..4] != MAGIC {
+            return None;
+        }
+        if u32::from_le_bytes(bytes[4..8].try_into().ok()?) != schema {
+            return None;
+        }
+        if u128::from_le_bytes(bytes[8..24].try_into().ok()?) != key {
+            return None;
+        }
+        if u64::from_le_bytes(bytes[24..32].try_into().ok()?) != payload_len as u64 {
+            return None;
+        }
+        let declared = u64::from_le_bytes(bytes[body..].try_into().ok()?);
+        if fnv64(&bytes[..body]) != declared {
+            return None;
+        }
+        Some(&bytes[HEADER_LEN..body])
+    }
+
+    /// Writes `payload` for `(kind, schema, key)`, atomically replacing
+    /// any existing record. Failures are absorbed into `write_errors`:
+    /// the store is best-effort and a failed save only costs a future
+    /// recompute.
+    pub fn save(&self, kind: &str, schema: u32, key: u128, payload: &[u8]) {
+        match self.try_save(kind, schema, key, payload) {
+            Ok(total) => {
+                self.stats.writes.fetch_add(1, Ordering::Relaxed);
+                self.stats.bytes_written.fetch_add(total, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn try_save(&self, kind: &str, schema: u32, key: u128, payload: &[u8]) -> io::Result<u64> {
+        let path = self.entry_path(kind, schema, key);
+        let dir = path.parent().expect("entry path has a shard directory");
+        fs::create_dir_all(dir)?;
+
+        let mut record = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+        record.extend_from_slice(&MAGIC);
+        record.extend_from_slice(&schema.to_le_bytes());
+        record.extend_from_slice(&key.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        record.extend_from_slice(payload);
+        let checksum = fnv64(&record);
+        record.extend_from_slice(&checksum.to_le_bytes());
+
+        // Unique temp name per (process, write): concurrent writers never
+        // share a temp file, and the final rename is atomic on POSIX.
+        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(".tmp-{}-{}-{:032x}", std::process::id(), seq, key));
+        let result = (|| {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&record)?;
+            file.sync_data()?;
+            fs::rename(&tmp, &path)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result.map(|()| record.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> ResultStore {
+        let dir = std::env::temp_dir().join(format!(
+            "dri-store-test-{tag}-{}-{:p}",
+            std::process::id(),
+            &MAGIC
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        ResultStore::open(dir).expect("temp store")
+    }
+
+    #[test]
+    fn roundtrip_hits_and_counts() {
+        let store = temp_store("roundtrip");
+        let key = 0xfeed_face_u128;
+        assert_eq!(store.load("baseline", 1, key), None);
+        assert_eq!(store.stats().misses, 1);
+        store.save("baseline", 1, key, b"payload bytes");
+        assert_eq!(
+            store.load("baseline", 1, key).as_deref(),
+            Some(b"payload bytes".as_slice())
+        );
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.bytes_read, 13);
+        assert!(stats.bytes_written > 13, "header + checksum overhead");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn kinds_schemas_and_keys_are_disjoint() {
+        let store = temp_store("disjoint");
+        store.save("baseline", 1, 1, b"a");
+        assert_eq!(store.load("dri", 1, 1), None, "other kind");
+        assert_eq!(store.load("baseline", 2, 1), None, "other schema");
+        assert_eq!(store.load("baseline", 1, 2), None, "other key");
+        assert_eq!(store.load("baseline", 1, 1).as_deref(), Some(&b"a"[..]));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn truncated_record_is_corrupt_not_a_hit() {
+        let store = temp_store("truncate");
+        let key = 7u128;
+        store.save("dri", 1, key, b"0123456789");
+        let path = store.entry_path("dri", 1, key);
+        let full = fs::read(&path).expect("written record");
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN + 3, full.len() - 1] {
+            fs::write(&path, &full[..cut]).expect("truncate");
+            assert_eq!(store.load("dri", 1, key), None, "cut at {cut}");
+        }
+        assert_eq!(store.stats().corrupt, 5);
+        assert_eq!(store.stats().hits, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn bitflips_anywhere_are_rejected() {
+        let store = temp_store("bitflip");
+        let key = 0xabcd_u128;
+        store.save("dri", 3, key, b"counter payload");
+        let path = store.entry_path("dri", 3, key);
+        let full = fs::read(&path).expect("written record");
+        for pos in 0..full.len() {
+            let mut bad = full.clone();
+            bad[pos] ^= 0x40;
+            fs::write(&path, &bad).expect("tamper");
+            assert_eq!(store.load("dri", 3, key), None, "flip at byte {pos}");
+        }
+        // Restoring the original bytes restores the hit.
+        fs::write(&path, &full).expect("restore");
+        assert!(store.load("dri", 3, key).is_some());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn caller_decode_failure_is_corrupt_not_a_hit() {
+        let store = temp_store("decode-reject");
+        store.save("dri", 1, 5, b"well-formed but wrong layout");
+        let decoded: Option<()> =
+            store.load_decoded("dri", 1, 5, |payload| (payload.len() == 3).then_some(()));
+        assert_eq!(decoded, None);
+        let stats = store.stats();
+        assert_eq!(stats.hits, 0, "a rejected payload is not a served hit");
+        assert_eq!(stats.bytes_read, 0);
+        assert_eq!(stats.corrupt, 1);
+        // The same record decodes fine for a compatible reader.
+        assert!(store.load("dri", 1, 5).is_some());
+        assert_eq!(store.stats().hits, 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn overwrite_replaces_atomically() {
+        let store = temp_store("overwrite");
+        store.save("baseline", 1, 9, b"old");
+        store.save("baseline", 1, 9, b"new");
+        assert_eq!(store.load("baseline", 1, 9).as_deref(), Some(&b"new"[..]));
+        // No temp files left behind.
+        let shard = store
+            .entry_path("baseline", 1, 9)
+            .parent()
+            .expect("shard dir")
+            .to_path_buf();
+        let leftovers: Vec<_> = fs::read_dir(shard)
+            .expect("shard dir listing")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn concurrent_writers_leave_a_valid_record() {
+        let store = temp_store("concurrent");
+        let key = 0x1234_5678_u128;
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        store.save("dri", 1, key, b"deterministic identical payload");
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            store.load("dri", 1, key).as_deref(),
+            Some(b"deterministic identical payload".as_slice())
+        );
+        assert_eq!(store.stats().write_errors, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn empty_env_disables_the_store() {
+        // `from_env` reads the ambient environment; only assert on the
+        // cases this test can see without mutating global state.
+        if std::env::var_os(STORE_ENV).is_none() {
+            assert!(ResultStore::from_env().is_none());
+        }
+    }
+}
