@@ -13,11 +13,18 @@
 //!   memory cache, as in a new process) loading the point from a warmed
 //!   `ResultStore` — key hash + file read + checksum + decode, the cost
 //!   every figure binary pays per point after another process ran first.
+//! * `remote/*` — the service tier: the same cold-memory session fetching
+//!   the point from a loopback `dri-serve` instance — key hash + HTTP
+//!   round-trip + end-to-end record validation + decode, the cost a
+//!   disk-less worker pays per point when a central store is warm.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dri_experiments::runner::{run_conventional_uncached, run_dri_uncached};
-use dri_experiments::{compare, run_conventional, run_dri, ResultStore, RunConfig, SimSession};
+use dri_experiments::{
+    compare, run_conventional, run_dri, RemoteStore, ResultStore, RunConfig, SimSession,
+};
 use std::hint::black_box;
+use std::sync::Arc;
 use synth_workload::suite::Benchmark;
 
 fn bench_engine(c: &mut Criterion) {
@@ -58,6 +65,24 @@ fn bench_engine(c: &mut Criterion) {
             black_box(session.dri(black_box(&cfg)))
         })
     });
+
+    // Remote tier: serve the same warmed store over loopback HTTP and
+    // measure a cold-memory, disk-less worker fetching the point over
+    // the wire each iteration.
+    let server = dri_serve::Server::bind(
+        Arc::new(ResultStore::open(&root).expect("bench store")),
+        "127.0.0.1:0",
+        2,
+    )
+    .expect("bench server");
+    let addr = server.addr().to_string();
+    group.bench_function("remote/run_dri_remote_hit/compress_quick", |b| {
+        b.iter(|| {
+            let session = SimSession::with_remote(RemoteStore::new(addr.clone()));
+            black_box(session.dri(black_box(&cfg)))
+        })
+    });
+    server.shutdown();
     let _ = std::fs::remove_dir_all(&root);
     group.finish();
 }

@@ -23,9 +23,11 @@ use dri_experiments::harness::quick_mode;
 use dri_experiments::manifest::{self, Job, Manifest};
 use dri_experiments::report::Table;
 use dri_experiments::SimSession;
+use dri_store::{GcPolicy, ResultStore};
 
 const USAGE: &str = "\
 usage: suite [--manifest FILE] [--store-stats] [--list] [JOB ...]
+       suite gc [--store DIR] [--max-bytes N[K|M|G]] [--max-age GENS] [--dry-run]
 
 Runs figure/table jobs in one process with shared simulation caches.
 With no jobs from the command line or the manifest, runs every job
@@ -33,12 +35,21 @@ With no jobs from the command line or the manifest, runs every job
 
 options:
   --manifest FILE   load the run plan (options + job list) from FILE
-  --store-stats     print DRI_STORE result-store counters after the run
+  --store-stats     print DRI_STORE result-store counters and disk usage
+                    after the run
   --list            list available jobs and exit
   --help            this text
 
-environment: DRI_QUICK, DRI_THREADS, DRI_STORE (see README);
-a manifest's `quick/threads/store` options set the same variables.";
+gc subcommand (garbage-collect a result store):
+  --store DIR       store root (default: the DRI_STORE environment variable)
+  --max-bytes N     evict least-recently-used records until the store's
+                    record bytes fit N (suffixes K/M/G = KiB/MiB/GiB)
+  --max-age GENS    evict records not accessed in the last GENS gc
+                    generations
+  --dry-run         report what would be evicted without deleting anything
+
+environment: DRI_QUICK, DRI_THREADS, DRI_STORE, DRI_REMOTE (see README);
+a manifest's `quick/threads/store/remote` options set the same variables.";
 
 struct CliArgs {
     manifest_path: Option<String>,
@@ -111,10 +122,88 @@ fn apply_options(plan: &Manifest) {
     if let Some(store) = &plan.options.store {
         std::env::set_var("DRI_STORE", store);
     }
+    if let Some(remote) = &plan.options.remote {
+        std::env::set_var("DRI_REMOTE", remote);
+    }
+}
+
+/// Parses a byte count with optional binary suffix: `64`, `512K`, `2M`, `1G`.
+fn parse_bytes(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    let (digits, multiplier) = match raw.as_bytes().last()? {
+        b'K' | b'k' => (&raw[..raw.len() - 1], 1024u64),
+        b'M' | b'm' => (&raw[..raw.len() - 1], 1024 * 1024),
+        b'G' | b'g' => (&raw[..raw.len() - 1], 1024 * 1024 * 1024),
+        _ => (raw, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(multiplier)
+}
+
+/// The `suite gc` subcommand: age/size-budget garbage collection of a
+/// result store, with a report-only dry-run mode.
+fn run_gc(args: &[String]) -> Result<(), String> {
+    let mut root: Option<String> = std::env::var("DRI_STORE").ok().filter(|s| !s.is_empty());
+    let mut policy = GcPolicy::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => root = Some(it.next().ok_or("--store needs a directory")?.clone()),
+            "--max-bytes" => {
+                let raw = it.next().ok_or("--max-bytes needs a byte count")?;
+                policy.max_bytes = Some(
+                    parse_bytes(raw)
+                        .ok_or_else(|| format!("--max-bytes: `{raw}` is not a byte count"))?,
+                );
+            }
+            "--max-age" => {
+                let raw = it.next().ok_or("--max-age needs a generation count")?;
+                policy.max_age = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--max-age: `{raw}` is not an integer"))?,
+                );
+            }
+            "--dry-run" => policy.dry_run = true,
+            other => return Err(format!("gc: unknown argument `{other}`")),
+        }
+    }
+    let root = root.ok_or("gc: no store root (pass --store DIR or set DRI_STORE)")?;
+    // `ResultStore::open` creates missing roots (right for writers, wrong
+    // here): a typo'd path must fail loudly, not "collect" a fresh empty
+    // directory while the real store stays over budget.
+    if !std::path::Path::new(&root).is_dir() {
+        return Err(format!("gc: store root `{root}` does not exist"));
+    }
+    let store =
+        ResultStore::open(&root).map_err(|e| format!("gc: cannot open store `{root}`: {e}"))?;
+    let report = store.gc(&policy);
+    println!("gc ({root}): generation {}", report.generation);
+    println!(
+        "  scanned: {} records, {} bytes",
+        report.scanned_records, report.scanned_bytes
+    );
+    println!("  evicted: {} records", report.evicted_records);
+    println!("  reclaimed bytes: {}", report.reclaimed_bytes);
+    println!(
+        "  remaining: {} records, {} bytes",
+        report.remaining_records, report.remaining_bytes
+    );
+    if report.dry_run {
+        println!("  (dry run: nothing was deleted)");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("gc") {
+        return match run_gc(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args(&args) {
         Ok(args) => args,
         Err(msg) => {
@@ -150,18 +239,22 @@ fn main() -> ExitCode {
     let session = SimSession::global();
     let names: Vec<&str> = plan.jobs.iter().map(Job::name).collect();
     eprintln!(
-        "suite: {} job(s) [{}]{}{}",
+        "suite: {} job(s) [{}]{}{}{}",
         plan.jobs.len(),
         names.join(", "),
         if quick_mode() { ", quick mode" } else { "" },
         match session.store() {
             Some(store) => format!(", store at {}", store.root().display()),
             None => ", no result store (set DRI_STORE to enable)".to_owned(),
+        },
+        match session.remote() {
+            Some(remote) => format!(", remote at http://{}", remote.addr()),
+            None => String::new(),
         }
     );
 
     let suite_start = Instant::now();
-    let mut timings: Vec<(Job, f64, u64, u64, u64)> = Vec::new();
+    let mut timings: Vec<(Job, f64, u64, u64, u64, u64)> = Vec::new();
     for (i, job) in plan.jobs.iter().enumerate() {
         let before = session.stats();
         eprintln!("suite: [{}/{}] {} ...", i + 1, plan.jobs.len(), job);
@@ -175,18 +268,27 @@ fn main() -> ExitCode {
             after.simulations() - before.simulations(),
             (after.baseline_hits + after.dri_hits) - (before.baseline_hits + before.dri_hits),
             after.disk_hits() - before.disk_hits(),
+            after.remote_hits() - before.remote_hits(),
         ));
     }
 
     eprintln!("suite: summary");
-    let mut t = Table::new(["job", "wall time", "simulated", "memory hits", "disk hits"]);
-    for (job, secs, simulated, memory_hits, disk_hits) in &timings {
+    let mut t = Table::new([
+        "job",
+        "wall time",
+        "simulated",
+        "memory hits",
+        "disk hits",
+        "remote hits",
+    ]);
+    for (job, secs, simulated, memory_hits, disk_hits, remote_hits) in &timings {
         t.row([
             job.name().to_owned(),
             format!("{secs:.2}s"),
             simulated.to_string(),
             memory_hits.to_string(),
             disk_hits.to_string(),
+            remote_hits.to_string(),
         ]);
     }
     for line in t.render().lines() {
@@ -194,11 +296,12 @@ fn main() -> ExitCode {
     }
     let stats = session.stats();
     eprintln!(
-        "  total {:.2}s; session: {} simulations, {} memory hits, {} disk hits, {} workloads generated",
+        "  total {:.2}s; session: {} simulations, {} memory hits, {} disk hits, {} remote hits, {} workloads generated",
         suite_start.elapsed().as_secs_f64(),
         stats.simulations(),
         stats.baseline_hits + stats.dri_hits,
         stats.disk_hits(),
+        stats.remote_hits(),
         stats.workload_misses,
     );
 
@@ -206,6 +309,7 @@ fn main() -> ExitCode {
         match session.store() {
             Some(store) => {
                 let s = store.stats();
+                let usage = store.disk_usage();
                 println!("result store ({}):", store.root().display());
                 println!("  hits: {}", s.hits);
                 println!("  misses: {}", s.misses);
@@ -214,8 +318,20 @@ fn main() -> ExitCode {
                 println!("  write errors: {}", s.write_errors);
                 println!("  bytes read: {}", s.bytes_read);
                 println!("  bytes written: {}", s.bytes_written);
+                println!("  records on disk: {}", usage.records);
+                println!("  bytes on disk: {}", usage.bytes);
+                println!("  generation: {}", store.generation());
             }
             None => println!("result store: disabled (set DRI_STORE to a directory to enable)"),
+        }
+        if let Some(remote) = session.remote() {
+            let r = remote.stats();
+            println!("remote store (http://{}):", remote.addr());
+            println!("  hits: {}", r.hits);
+            println!("  misses: {}", r.misses);
+            println!("  corrupt: {}", r.corrupt);
+            println!("  errors: {}", r.errors);
+            println!("  bytes fetched: {}", r.bytes_fetched);
         }
     }
     ExitCode::SUCCESS

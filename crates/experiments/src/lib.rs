@@ -45,6 +45,7 @@ pub mod search;
 pub mod session;
 pub mod sweeps;
 
+pub use dri_serve::{RemoteStats, RemoteStore};
 pub use dri_store::{ResultStore, StoreStats};
 pub use runner::{compare, run_conventional, run_dri, Comparison, DriRun, RunConfig};
 pub use search::{search_all, search_benchmark, SearchResult, SearchSpace, SLOWDOWN_CONSTRAINT};

@@ -19,9 +19,10 @@
 //! Grammar, line by line (after stripping `#` comments and blank lines):
 //!
 //! * `<key> = <value>` — an option. `quick` (`on`/`off`/`1`/`0`) maps to
-//!   `DRI_QUICK`, `threads` (positive integer) to `DRI_THREADS`, and
-//!   `store` (a directory path) to `DRI_STORE`. Options apply to the
-//!   whole plan and must precede the first job.
+//!   `DRI_QUICK`, `threads` (positive integer) to `DRI_THREADS`, `store`
+//!   (a directory path) to `DRI_STORE`, and `remote` (a `dri-serve`
+//!   `host:port`) to `DRI_REMOTE`. Options apply to the whole plan and
+//!   must precede the first job.
 //! * `<job>` — a job name (see [`Job::all`]), or `all` for every job.
 //!   Jobs run in file order; duplicates are dropped (within one process
 //!   the second run would be pure cache hits anyway).
@@ -147,6 +148,8 @@ pub struct PlanOptions {
     pub threads: Option<usize>,
     /// `store = <dir>` → `DRI_STORE`.
     pub store: Option<String>,
+    /// `remote = <host:port>` → `DRI_REMOTE` (a `dri-serve` instance).
+    pub remote: Option<String>,
 }
 
 /// A parsed manifest: options plus an ordered, deduplicated job list.
@@ -239,10 +242,18 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
                     }
                     manifest.options.store = Some(value.to_owned());
                 }
+                "remote" => {
+                    if value.is_empty() {
+                        return Err(err(lineno, "`remote` needs a host:port address"));
+                    }
+                    manifest.options.remote = Some(value.to_owned());
+                }
                 other => {
                     return Err(err(
                         lineno,
-                        format!("unknown option `{other}` (expected quick, threads, or store)"),
+                        format!(
+                            "unknown option `{other}` (expected quick, threads, store, or remote)"
+                        ),
                     ))
                 }
             }
@@ -305,6 +316,13 @@ mod tests {
         assert!(parse("threads = 0\nfigure3\n").is_err());
         assert!(parse("quick = maybe\nfigure3\n").is_err());
         assert!(parse("store =\nfigure3\n").is_err());
+        assert!(parse("remote =\nfigure3\n").is_err());
+    }
+
+    #[test]
+    fn remote_option_parses() {
+        let m = parse("remote = 10.0.0.5:7171\nfigure3\n").expect("valid manifest");
+        assert_eq!(m.options.remote.as_deref(), Some("10.0.0.5:7171"));
     }
 
     #[test]

@@ -44,10 +44,24 @@
 //! a loaded result is bit-identical to the simulation that produced it —
 //! across processes, not just within one — and a corrupt or truncated
 //! entry is silently recomputed and overwritten, never trusted.
+//!
+//! ## The remote tier
+//!
+//! A session can further carry a [`dri_serve::RemoteStore`] client,
+//! making the full lookup order **memory → disk → remote → simulate**.
+//! The global session attaches one when `DRI_REMOTE` names a `dri-serve`
+//! instance (again, unset = off). A remote hit is validated end-to-end
+//! (the full checksummed record crosses the wire) and is immediately
+//! **healed into the local disk tier** when one is attached, so a record
+//! crosses the network at most once per worker; the remote service
+//! itself is never written to. Remote failures of any kind — the server
+//! is down, a response is truncated, a record is corrupt — degrade to
+//! the next tier (a local simulation), exactly like disk corruption.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use dri_serve::{RemoteStats, RemoteStore};
 use dri_store::{ResultStore, StoreStats};
 
 use cache_sim::config::CacheConfig;
@@ -124,12 +138,16 @@ pub struct SessionStats {
     pub baseline_misses: u64,
     /// Baseline runs loaded from the disk store (no simulation ran).
     pub baseline_disk_hits: u64,
+    /// Baseline runs fetched from the remote service (no simulation ran).
+    pub baseline_remote_hits: u64,
     /// DRI-run memory-cache hits.
     pub dri_hits: u64,
     /// DRI simulations executed (missed memory *and* disk).
     pub dri_misses: u64,
     /// DRI runs loaded from the disk store (no simulation ran).
     pub dri_disk_hits: u64,
+    /// DRI runs fetched from the remote service (no simulation ran).
+    pub dri_remote_hits: u64,
 }
 
 impl SessionStats {
@@ -141,6 +159,11 @@ impl SessionStats {
     /// Total runs served from the disk tier.
     pub fn disk_hits(&self) -> u64 {
         self.baseline_disk_hits + self.dri_disk_hits
+    }
+
+    /// Total runs served from the remote tier.
+    pub fn remote_hits(&self) -> u64 {
+        self.baseline_remote_hits + self.dri_remote_hits
     }
 }
 
@@ -156,6 +179,7 @@ pub struct SimSession {
     dri_runs: Mutex<HashMap<DriKey, DriRun>>,
     stats: Mutex<SessionStats>,
     store: Option<ResultStore>,
+    remote: Option<RemoteStore>,
 }
 
 impl SimSession {
@@ -167,20 +191,33 @@ impl SimSession {
     /// Creates a session backed by `store` as its second cache tier
     /// (memory → disk → simulate).
     pub fn with_store(store: ResultStore) -> Self {
+        Self::with_tiers(Some(store), None)
+    }
+
+    /// Creates a session backed by a remote result service as its only
+    /// extra tier (memory → remote → simulate) — a disk-less worker.
+    pub fn with_remote(remote: RemoteStore) -> Self {
+        Self::with_tiers(None, Some(remote))
+    }
+
+    /// Creates a session with any combination of the optional tiers:
+    /// memory → disk → remote → simulate.
+    pub fn with_tiers(store: Option<ResultStore>, remote: Option<RemoteStore>) -> Self {
         SimSession {
-            store: Some(store),
+            store,
+            remote,
             ..Self::default()
         }
     }
 
     /// The process-wide session every default-path run shares. Attaches
     /// the disk tier when the `DRI_STORE` environment variable names a
-    /// usable directory (decided once, at first use).
+    /// usable directory, and the remote tier when `DRI_REMOTE` names a
+    /// `dri-serve` instance (each decided once, at first use).
     pub fn global() -> &'static SimSession {
         static GLOBAL: OnceLock<SimSession> = OnceLock::new();
-        GLOBAL.get_or_init(|| match ResultStore::from_env() {
-            Some(store) => SimSession::with_store(store),
-            None => SimSession::new(),
+        GLOBAL.get_or_init(|| {
+            SimSession::with_tiers(ResultStore::from_env(), RemoteStore::from_env())
         })
     }
 
@@ -192,6 +229,16 @@ impl SimSession {
     /// Snapshot of the disk tier's counters, if one is attached.
     pub fn store_stats(&self) -> Option<StoreStats> {
         self.store.as_ref().map(ResultStore::stats)
+    }
+
+    /// The remote tier, if one is attached.
+    pub fn remote(&self) -> Option<&RemoteStore> {
+        self.remote.as_ref()
+    }
+
+    /// Snapshot of the remote tier's counters, if one is attached.
+    pub fn remote_stats(&self) -> Option<RemoteStats> {
+        self.remote.as_ref().map(RemoteStore::stats)
     }
 
     /// Snapshot of the hit/miss counters.
@@ -244,8 +291,50 @@ impl SimSession {
         )
     }
 
-    /// The memoized baseline run for `cfg`: memory, then disk, then a
-    /// fresh simulation (whose result is published to both tiers).
+    /// Fetches a record payload from the remote tier and heals it into
+    /// the local disk tier (when one is attached): the record then never
+    /// crosses the wire again from this machine. The payload arrived
+    /// end-to-end validated (checksummed record, checked by the client);
+    /// `decode` still bounds-checks every field, so a layout mismatch
+    /// degrades to `None` → a local simulation, like any other miss.
+    fn remote_fetch<T>(
+        &self,
+        kind: &str,
+        key: u128,
+        decode: impl FnOnce(&[u8]) -> Option<T>,
+    ) -> Option<T> {
+        let payload = self
+            .remote
+            .as_ref()?
+            .fetch(kind, crate::persist::SCHEMA_VERSION, key)?;
+        let value = decode(&payload)?;
+        if let Some(store) = &self.store {
+            store.save(kind, crate::persist::SCHEMA_VERSION, key, &payload);
+        }
+        Some(value)
+    }
+
+    /// Fetches a baseline run from the remote tier.
+    fn remote_conventional(&self, cfg: &RunConfig) -> Option<ConventionalRun> {
+        self.remote_fetch(
+            crate::persist::BASELINE_KIND,
+            crate::persist::baseline_key(cfg),
+            crate::persist::decode_conventional,
+        )
+    }
+
+    /// Fetches a DRI run from the remote tier.
+    fn remote_dri(&self, cfg: &RunConfig) -> Option<DriRun> {
+        self.remote_fetch(
+            crate::persist::DRI_KIND,
+            crate::persist::dri_key(cfg),
+            crate::persist::decode_dri,
+        )
+    }
+
+    /// The memoized baseline run for `cfg`: memory, then disk, then the
+    /// remote service, then a fresh simulation (whose result is
+    /// published to the local tiers).
     pub fn conventional(&self, cfg: &RunConfig) -> ConventionalRun {
         let key = BaselineKey::of(cfg);
         if let Some(found) = self.baselines.lock().expect("baseline lock").get(&key) {
@@ -257,6 +346,18 @@ impl SimSession {
                 .lock()
                 .expect("session stats lock")
                 .baseline_disk_hits += 1;
+            return *self
+                .baselines
+                .lock()
+                .expect("baseline lock")
+                .entry(key)
+                .or_insert(run);
+        }
+        if let Some(run) = self.remote_conventional(cfg) {
+            self.stats
+                .lock()
+                .expect("session stats lock")
+                .baseline_remote_hits += 1;
             return *self
                 .baselines
                 .lock()
@@ -285,8 +386,9 @@ impl SimSession {
             .or_insert(run)
     }
 
-    /// The memoized DRI run for `cfg`: memory, then disk, then a fresh
-    /// simulation (whose result is published to both tiers).
+    /// The memoized DRI run for `cfg`: memory, then disk, then the
+    /// remote service, then a fresh simulation (whose result is
+    /// published to the local tiers).
     pub fn dri(&self, cfg: &RunConfig) -> DriRun {
         let key = DriKey::of(cfg);
         if let Some(found) = self.dri_runs.lock().expect("dri lock").get(&key) {
@@ -295,6 +397,18 @@ impl SimSession {
         }
         if let Some(run) = self.disk_dri(cfg) {
             self.stats.lock().expect("session stats lock").dri_disk_hits += 1;
+            return *self
+                .dri_runs
+                .lock()
+                .expect("dri lock")
+                .entry(key)
+                .or_insert(run);
+        }
+        if let Some(run) = self.remote_dri(cfg) {
+            self.stats
+                .lock()
+                .expect("session stats lock")
+                .dri_remote_hits += 1;
             return *self
                 .dri_runs
                 .lock()

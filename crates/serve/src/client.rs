@@ -1,0 +1,310 @@
+//! The remote-store client: what a cold worker process uses to pull
+//! records from a warm central `dri-serve` instance.
+//!
+//! The client never trusts the wire more than the store trusts the disk:
+//! every fetched record is re-validated with
+//! [`dri_store::validate_record`] (magic, schema, embedded key, length,
+//! checksum) before a byte of it is decoded, so a truncated proxy
+//! response or a bit-flipped frame degrades to a miss — the caller
+//! recomputes, exactly as it would for local corruption.
+//!
+//! The client is also built to *fail fast and stay out of the way*:
+//! short connect timeouts, and a circuit breaker that disables the
+//! remote tier for the rest of the process after
+//! [`MAX_CONSECUTIVE_ERRORS`] straight transport failures (with one
+//! warning) — a dead server must not add a timeout to every sweep point
+//! of a campaign.
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+use dri_store::validate_record;
+
+use crate::http::read_response;
+
+/// Environment variable naming the remote result service
+/// (`host:port`, an optional `http://` prefix is accepted).
+pub const REMOTE_ENV: &str = "DRI_REMOTE";
+
+/// Transport failures tolerated before the breaker opens.
+pub const MAX_CONSECUTIVE_ERRORS: u32 = 3;
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Snapshot of one client's traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Requests attempted (including ones the breaker swallowed).
+    pub requests: u64,
+    /// Records fetched and validated.
+    pub hits: u64,
+    /// Clean 404s / miss frames.
+    pub misses: u64,
+    /// Responses rejected by end-to-end validation.
+    pub corrupt: u64,
+    /// Transport errors (connect/read/write/HTTP failures).
+    pub errors: u64,
+    /// Payload bytes of validated records.
+    pub bytes_fetched: u64,
+}
+
+/// A handle on one remote result service.
+#[derive(Debug)]
+pub struct RemoteStore {
+    addr: String,
+    disabled: AtomicBool,
+    consecutive_errors: AtomicU32,
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    errors: AtomicU64,
+    bytes_fetched: AtomicU64,
+}
+
+impl RemoteStore {
+    /// Points a client at `addr` (`host:port`; `http://host:port` also
+    /// accepted). No connection is made until the first fetch.
+    pub fn new(addr: impl Into<String>) -> Self {
+        let addr = addr.into();
+        let addr = addr
+            .strip_prefix("http://")
+            .unwrap_or(&addr)
+            .trim_end_matches('/')
+            .to_owned();
+        RemoteStore {
+            addr,
+            disabled: AtomicBool::new(false),
+            consecutive_errors: AtomicU32::new(0),
+            requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            bytes_fetched: AtomicU64::new(0),
+        }
+    }
+
+    /// The client named by `DRI_REMOTE`, or `None` when the variable is
+    /// unset or empty (the remote tier is strictly opt-in, like the disk
+    /// tier).
+    pub fn from_env() -> Option<Self> {
+        let addr = std::env::var(REMOTE_ENV).ok()?;
+        if addr.trim().is_empty() {
+            return None;
+        }
+        Some(Self::new(addr))
+    }
+
+    /// The `host:port` this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> RemoteStats {
+        RemoteStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_fetched: self.bytes_fetched.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the circuit breaker has given up on the server.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled.load(Ordering::Relaxed)
+    }
+
+    /// Fetches and validates the record for `(kind, schema, key)`,
+    /// returning its **payload**. `None` on a miss, on corruption, on
+    /// any transport failure, and on every call once the breaker is
+    /// open — the caller falls through to simulation either way.
+    pub fn fetch(&self, kind: &str, schema: u32, key: u128) -> Option<Vec<u8>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if self.is_disabled() {
+            return None;
+        }
+        let path = format!("/record/{kind}/v{schema}/{key:032x}");
+        match self.request("GET", &path, b"") {
+            Ok((200, body)) => {
+                self.consecutive_errors.store(0, Ordering::Relaxed);
+                self.accept(&body, schema, key)
+            }
+            Ok((404, _)) => {
+                self.consecutive_errors.store(0, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Ok(_) | Err(_) => {
+                self.transport_error();
+                None
+            }
+        }
+    }
+
+    /// Batch [`Self::fetch`]: one round-trip for many records, results
+    /// in request order (`None` per entry on miss/corruption). A
+    /// transport failure yields all-`None`.
+    pub fn fetch_batch(&self, entries: &[(&str, u32, u128)]) -> Vec<Option<Vec<u8>>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if entries.is_empty() || self.is_disabled() {
+            return vec![None; entries.len()];
+        }
+        let mut body = String::new();
+        for (kind, schema, key) in entries {
+            body.push_str(&format!("{kind} {schema} {key:032x}\n"));
+        }
+        let frames = match self.request("POST", "/batch", body.as_bytes()) {
+            Ok((200, frames)) => {
+                self.consecutive_errors.store(0, Ordering::Relaxed);
+                frames
+            }
+            Ok(_) | Err(_) => {
+                self.transport_error();
+                return vec![None; entries.len()];
+            }
+        };
+        let mut results = Vec::with_capacity(entries.len());
+        let mut cursor = &frames[..];
+        for &(_, schema, key) in entries {
+            let Some((record, rest)) = take_frame(cursor) else {
+                // A short response corrupts every remaining entry.
+                self.corrupt
+                    .fetch_add((entries.len() - results.len()) as u64, Ordering::Relaxed);
+                results.resize(entries.len(), None);
+                return results;
+            };
+            cursor = rest;
+            match record {
+                Some(bytes) => results.push(self.accept(&bytes, schema, key)),
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    results.push(None);
+                }
+            }
+        }
+        results
+    }
+
+    /// End-to-end validation of received record bytes; counts and
+    /// returns the payload on success.
+    fn accept(&self, record: &[u8], schema: u32, key: u128) -> Option<Vec<u8>> {
+        match validate_record(record, schema, key) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_fetched
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                Some(payload.to_vec())
+            }
+            None => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn transport_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        let seen = self.consecutive_errors.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen >= MAX_CONSECUTIVE_ERRORS && !self.disabled.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: remote result store {} failed {seen} times in a row; \
+                 disabling the remote tier for this process (simulating locally)",
+                self.addr
+            );
+        }
+    }
+
+    /// One `Connection: close` HTTP exchange.
+    fn request(&self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "address resolved to nothing")
+        })?;
+        let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\n\
+             Host: {}\r\n\
+             Content-Length: {}\r\n\
+             Connection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        read_response(&mut stream)
+    }
+}
+
+/// Splits one `[status][len][bytes]` batch frame off `cursor`:
+/// `Some((Some(bytes), rest))` for a found record, `Some((None, rest))`
+/// for a miss frame, `None` when the buffer is too short.
+#[allow(clippy::type_complexity)]
+fn take_frame(cursor: &[u8]) -> Option<(Option<Vec<u8>>, &[u8])> {
+    let (&status, rest) = cursor.split_first()?;
+    let (len, rest) = rest.split_at_checked(8)?;
+    let len = u64::from_le_bytes(len.try_into().ok()?) as usize;
+    let (bytes, rest) = rest.split_at_checked(len)?;
+    match status {
+        1 => Some((Some(bytes.to_vec()), rest)),
+        0 if len == 0 => Some((None, rest)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_normalization() {
+        assert_eq!(
+            RemoteStore::new("http://10.0.0.1:7171/").addr(),
+            "10.0.0.1:7171"
+        );
+        assert_eq!(RemoteStore::new("localhost:80").addr(), "localhost:80");
+    }
+
+    #[test]
+    fn frames_parse_and_reject_short_buffers() {
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&3u64.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        buf.push(0);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let (first, rest) = take_frame(&buf).expect("hit frame");
+        assert_eq!(first.as_deref(), Some(&b"abc"[..]));
+        let (second, rest) = take_frame(rest).expect("miss frame");
+        assert_eq!(second, None);
+        assert!(rest.is_empty());
+        assert!(take_frame(&buf[..5]).is_none(), "truncated header");
+        assert!(take_frame(&buf[..10]).is_none(), "truncated payload");
+    }
+
+    #[test]
+    fn breaker_opens_after_repeated_failures() {
+        // Reserved TEST-NET-3 address: connects fail fast with unreachable
+        // (or time out) — either way a transport error, never a server.
+        let remote = RemoteStore::new("127.0.0.1:1"); // closed port
+        for _ in 0..MAX_CONSECUTIVE_ERRORS {
+            assert_eq!(remote.fetch("dri", 1, 1), None);
+        }
+        assert!(remote.is_disabled());
+        let errors_at_open = remote.stats().errors;
+        // Once open, calls are absorbed without touching the network.
+        assert_eq!(remote.fetch("dri", 1, 2), None);
+        assert_eq!(remote.stats().errors, errors_at_open);
+        assert_eq!(
+            remote.stats().requests,
+            u64::from(MAX_CONSECUTIVE_ERRORS) + 1
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! # dri-serve — the read-only result-store service tier
+//!
+//! PR 2 made simulation results free *across processes sharing a
+//! filesystem*; this crate makes them free **across machines**: a
+//! dependency-free (std `TcpListener` only — the build environment is
+//! offline) HTTP/1.1 service that serves one [`dri_store::ResultStore`]
+//! root to many concurrent readers, plus the matching client
+//! ([`client::RemoteStore`]) that `dri-experiments` wires into
+//! `SimSession` as the tier between the local disk cache and a fresh
+//! simulation (**memory → disk → remote → simulate**).
+//!
+//! The service is strictly **read-only** (many readers, one writer): the
+//! single writer is whatever campaign populates the store on the serving
+//! host; workers never write back over the wire — they heal their *local*
+//! store instead, so a record crosses the network at most once per
+//! worker.
+//!
+//! ## Endpoints
+//!
+//! | method + path | response |
+//! |---|---|
+//! | `GET /healthz` | `200 ok` — liveness probe |
+//! | `GET /stats` | `200` JSON: disk usage, generation, traffic counters |
+//! | `GET /record/<kind>/v<schema>/<key>` | `200` raw record bytes, or `404` |
+//! | `POST /batch` | `200` framed records for a list of keys (see below) |
+//!
+//! `<kind>` is a record kind (`baseline`, `dri`, …), `<schema>` the
+//! decimal schema version, `<key>` the 032-hex content key. A record is
+//! validated (magic/schema/key/length/checksum) **before** it is served —
+//! a corrupt file is a `404`, and the remote reader re-validates the
+//! bytes it receives, so the validation chain is end-to-end: disk →
+//! server → wire → client.
+//!
+//! ## The batch protocol
+//!
+//! `POST /batch` takes a plain-text body, one record reference per line —
+//! `<kind> <schema> <key-hex>` — and answers with one binary frame per
+//! requested line, in request order: a status byte (`1` found, `0`
+//! miss), then a little-endian `u64` length, then that many raw record
+//! bytes (length 0 on a miss). One round-trip fetches a whole manifest's
+//! worth of results.
+//!
+//! ## Concurrency
+//!
+//! Connections are handled by a thread-per-connection pool sized like
+//! `DRI_THREADS` (default: available parallelism) — see
+//! [`server::Server`]. The accept loop applies backpressure by blocking
+//! once all workers are busy and the small handoff queue is full.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::{RemoteStats, RemoteStore, REMOTE_ENV};
+pub use server::{ServeStats, Server};
+
+/// Worker threads for the connection pool: `DRI_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism (the
+/// same sizing rule the simulation sweeps use).
+pub fn default_workers() -> usize {
+    std::env::var("DRI_THREADS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}

@@ -1,0 +1,111 @@
+//! `dri-serve` — serve a result-store root read-only over HTTP.
+//!
+//! ```text
+//! dri-serve --store /var/cache/dri            # 127.0.0.1:7171, DRI_THREADS workers
+//! dri-serve --store ... --addr 0.0.0.0:7171   # expose to the rack
+//! dri-serve --addr 127.0.0.1:0                # ephemeral port (printed)
+//! ```
+//!
+//! Workers then point `DRI_REMOTE` at the printed address and replay
+//! warm grids with zero local simulations.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use dri_serve::{default_workers, Server};
+use dri_store::ResultStore;
+
+const USAGE: &str = "\
+usage: dri-serve [--store DIR] [--addr HOST:PORT] [--workers N]
+
+Serves a dri-store root as a read-only HTTP result service
+(GET /healthz, GET /stats, GET /record/<kind>/v<schema>/<key>,
+POST /batch). Runs until killed.
+
+options:
+  --store DIR       store root (default: the DRI_STORE environment variable)
+  --addr HOST:PORT  bind address (default: 127.0.0.1:7171; port 0 = ephemeral)
+  --workers N       connection worker threads (default: DRI_THREADS, else
+                    the machine's available parallelism)
+  --help            this text";
+
+struct Args {
+    store: Option<String>,
+    addr: String,
+    workers: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        store: std::env::var("DRI_STORE").ok().filter(|s| !s.is_empty()),
+        addr: "127.0.0.1:7171".to_owned(),
+        workers: default_workers(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => {
+                parsed.store = Some(it.next().ok_or("--store needs a directory")?.clone());
+            }
+            "--addr" => {
+                parsed.addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--workers" => {
+                let raw = it.next().ok_or("--workers needs a positive integer")?;
+                parsed.workers = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--workers needs a positive integer, got `{raw}`"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&args) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(root) = args.store else {
+        eprintln!("error: no store root (pass --store DIR or set DRI_STORE)\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let store = match ResultStore::open(&root) {
+        Ok(store) => Arc::new(store),
+        Err(err) => {
+            eprintln!("error: cannot open store at `{root}`: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let usage = store.disk_usage();
+    let server = match Server::bind(Arc::clone(&store), args.addr.as_str(), args.workers) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("error: cannot bind `{}`: {err}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The listening line goes to stdout so scripts can capture the
+    // (possibly ephemeral) port; progress/diagnostics stay on stderr.
+    println!("dri-serve: listening on http://{}", server.addr());
+    eprintln!(
+        "dri-serve: store {root} ({} records, {} bytes), {} workers; read-only — Ctrl-C to stop",
+        usage.records, usage.bytes, args.workers
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

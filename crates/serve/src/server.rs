@@ -1,0 +1,419 @@
+//! The service proper: a `TcpListener` accept loop feeding a
+//! thread-per-connection worker pool over a bounded handoff channel.
+//!
+//! The pool is sized like the simulation fan-out (`DRI_THREADS`, see
+//! [`crate::default_workers`]); when every worker is busy and the small
+//! queue is full, the accept loop blocks, which is exactly the
+//! backpressure a read-only cache tier wants — clients time out, treat
+//! it as a miss, and simulate locally rather than pile up.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dri_store::gc::DiskUsage;
+use dri_store::ResultStore;
+
+use crate::http::{read_request, write_head_response, write_response, Request};
+
+/// Per-connection I/O timeout: a stalled peer releases its worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Most record references one `/batch` request may carry.
+const MAX_BATCH: usize = 100_000;
+/// How long one `/stats` disk-usage walk is reused before re-walking.
+const USAGE_CACHE_TTL: Duration = Duration::from_secs(5);
+
+/// Snapshot of the service's traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests parsed (all endpoints).
+    pub requests: u64,
+    /// Records served, singly or inside batch frames.
+    pub records_served: u64,
+    /// Record lookups answered 404 / miss-framed (absent or corrupt).
+    pub not_found: u64,
+    /// Requests rejected as malformed.
+    pub bad_requests: u64,
+    /// Batch requests handled.
+    pub batch_requests: u64,
+    /// Response body bytes written.
+    pub bytes_served: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicServeStats {
+    requests: AtomicU64,
+    records_served: AtomicU64,
+    not_found: AtomicU64,
+    bad_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    bytes_served: AtomicU64,
+}
+
+impl AtomicServeStats {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            records_served: self.records_served.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            bytes_served: self.bytes_served.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State every connection worker shares.
+#[derive(Debug)]
+struct Shared {
+    store: Arc<ResultStore>,
+    stats: AtomicServeStats,
+    /// Cached `disk_usage` walk for `/stats`: a polling monitor must not
+    /// force a full recursive scan of a multi-gigabyte root per probe.
+    usage: Mutex<Option<(Instant, DiskUsage)>>,
+}
+
+impl Shared {
+    fn disk_usage(&self) -> DiskUsage {
+        let mut cached = self.usage.lock().expect("usage cache lock");
+        if let Some((walked_at, usage)) = *cached {
+            if walked_at.elapsed() < USAGE_CACHE_TTL {
+                return usage;
+            }
+        }
+        let usage = self.store.disk_usage();
+        *cached = Some((Instant::now(), usage));
+        usage
+    }
+}
+
+/// A running read-only result service (see the crate docs for the
+/// endpoints). Dropping (or [`Server::shutdown`]) stops the accept loop
+/// and joins every worker.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7171`, port 0 for an ephemeral
+    /// port) and starts serving `store` on `workers` connection threads.
+    pub fn bind(
+        store: Arc<ResultStore>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            store,
+            stats: AtomicServeStats::default(),
+            usage: Mutex::new(None),
+        });
+        let workers = workers.max(1);
+
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 2);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let receiver = Arc::clone(&receiver);
+            let shared = Arc::clone(&shared);
+            pool.push(std::thread::spawn(move || worker(&receiver, &shared)));
+        }
+
+        let accept = {
+            let stopping = Arc::clone(&stopping);
+            std::thread::spawn(move || {
+                accept_loop(&listener, &sender, &stopping);
+                drop(sender); // workers drain the queue, then exit
+                for handle in pool {
+                    let _ = handle.join();
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            stopping,
+            accept: Some(accept),
+            shared,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops accepting, drains in-flight connections, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, sender: &SyncSender<TcpStream>, stopping: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if sender.send(stream).is_err() {
+            break;
+        }
+    }
+}
+
+fn worker(receiver: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
+    loop {
+        let stream = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(stream) = stream else { return };
+        handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let stats = &shared.stats;
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(_) => {
+            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                b"bad request\n",
+            );
+            return;
+        }
+    };
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    // HEAD is GET with the body suppressed (RFC 9110 §9.3.2): route it
+    // as GET so probes see real statuses, then send headers only.
+    let head_only = request.method == "HEAD";
+    if head_only {
+        request.method = "GET".to_owned();
+    }
+    let (status, reason, content_type, body) = route(&request, shared);
+    if head_only {
+        let _ = write_head_response(&mut stream, status, reason, content_type, body.len());
+        return;
+    }
+    stats
+        .bytes_served
+        .fetch_add(body.len() as u64, Ordering::Relaxed);
+    let _ = write_response(&mut stream, status, reason, content_type, &body);
+}
+
+type Response = (u16, &'static str, &'static str, Vec<u8>);
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    let (store, stats) = (&*shared.store, &shared.stats);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "OK", "text/plain", b"ok\n".to_vec()),
+        ("GET", "/stats") => (200, "OK", "application/json", stats_json(shared)),
+        ("GET", path) if path.starts_with("/record/") => match parse_record_path(path) {
+            Some((kind, schema, key)) => match store.load_record_bytes(&kind, schema, key) {
+                Some(bytes) => {
+                    stats.records_served.fetch_add(1, Ordering::Relaxed);
+                    (200, "OK", "application/octet-stream", bytes)
+                }
+                None => {
+                    stats.not_found.fetch_add(1, Ordering::Relaxed);
+                    (404, "Not Found", "text/plain", b"no such record\n".to_vec())
+                }
+            },
+            None => {
+                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                (
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    b"bad record path\n".to_vec(),
+                )
+            }
+        },
+        ("POST", "/batch") => match batch(&request.body, store, stats) {
+            Some(frames) => {
+                stats.batch_requests.fetch_add(1, Ordering::Relaxed);
+                (200, "OK", "application/octet-stream", frames)
+            }
+            None => {
+                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                (
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    b"bad batch body\n".to_vec(),
+                )
+            }
+        },
+        ("GET", _) => (404, "Not Found", "text/plain", b"not found\n".to_vec()),
+        _ => (
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            b"read-only service\n".to_vec(),
+        ),
+    }
+}
+
+/// `/record/<kind>/v<schema>/<key-hex>` → `(kind, schema, key)`.
+///
+/// `kind` is restricted to `[A-Za-z0-9._-]` (and must contain a letter or
+/// digit), so a crafted path can never escape the store root.
+fn parse_record_path(path: &str) -> Option<(String, u32, u128)> {
+    let rest = path.strip_prefix("/record/")?;
+    let mut parts = rest.split('/');
+    let (kind, schema, key) = (parts.next()?, parts.next()?, parts.next()?);
+    if parts.next().is_some() {
+        return None;
+    }
+    let kind_ok = !kind.is_empty()
+        && kind.chars().any(|c| c.is_ascii_alphanumeric())
+        && kind
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        && kind != "."
+        && kind != "..";
+    if !kind_ok {
+        return None;
+    }
+    let schema: u32 = schema.strip_prefix('v')?.parse().ok()?;
+    if key.is_empty() || key.len() > 32 {
+        return None;
+    }
+    let key = u128::from_str_radix(key, 16).ok()?;
+    Some((kind.to_owned(), schema, key))
+}
+
+/// Builds the `/batch` response: one `[status:u8][len:u64 LE][bytes]`
+/// frame per request line, in order. `None` on any malformed line.
+fn batch(body: &[u8], store: &ResultStore, stats: &AtomicServeStats) -> Option<Vec<u8>> {
+    let text = std::str::from_utf8(body).ok()?;
+    let mut frames = Vec::new();
+    let mut lines = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        if lines > MAX_BATCH {
+            return None;
+        }
+        let mut fields = line.split_whitespace();
+        let (kind, schema, key) = (fields.next()?, fields.next()?, fields.next()?);
+        if fields.next().is_some() {
+            return None;
+        }
+        // Reuse the single-record path syntax checks.
+        let (kind, schema, key) = parse_record_path(&format!("/record/{kind}/v{schema}/{key}"))?;
+        match store.load_record_bytes(&kind, schema, key) {
+            Some(bytes) => {
+                stats.records_served.fetch_add(1, Ordering::Relaxed);
+                frames.push(1u8);
+                frames.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+                frames.extend_from_slice(&bytes);
+            }
+            None => {
+                stats.not_found.fetch_add(1, Ordering::Relaxed);
+                frames.push(0u8);
+                frames.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+    }
+    Some(frames)
+}
+
+/// Hand-rolled JSON (no dependencies): every value is an unsigned
+/// integer, so escaping never arises.
+fn stats_json(shared: &Shared) -> Vec<u8> {
+    let store = &*shared.store;
+    let usage = shared.disk_usage();
+    let snap = shared.stats.snapshot();
+    let traffic = store.stats();
+    format!(
+        "{{\"records\":{},\"bytes\":{},\"generation\":{},\
+         \"requests\":{},\"records_served\":{},\"not_found\":{},\
+         \"bad_requests\":{},\"batch_requests\":{},\"bytes_served\":{},\
+         \"store\":{{\"hits\":{},\"misses\":{},\"corrupt\":{}}}}}\n",
+        usage.records,
+        usage.bytes,
+        store.generation(),
+        snap.requests,
+        snap.records_served,
+        snap.not_found,
+        snap.bad_requests,
+        snap.batch_requests,
+        snap.bytes_served,
+        traffic.hits,
+        traffic.misses,
+        traffic.corrupt,
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_paths_parse_strictly() {
+        assert_eq!(
+            parse_record_path("/record/dri/v1/00ff"),
+            Some(("dri".to_owned(), 1, 0xff))
+        );
+        assert_eq!(
+            parse_record_path(&format!("/record/baseline/v7/{:032x}", u128::MAX)),
+            Some(("baseline".to_owned(), 7, u128::MAX))
+        );
+        for bad in [
+            "/record/dri/v1",                                   // missing key
+            "/record/dri/v1/00/extra",                          // trailing segment
+            "/record/../v1/00",                                 // traversal
+            "/record/dri/1/00",                                 // missing v prefix
+            "/record/dri/vx/00",                                // non-numeric schema
+            "/record/dri/v1/zz",                                // non-hex key
+            "/record/dri/v1/000000000000000000000000000000001", // 33 hex chars
+            "/record//v1/00",                                   // empty kind
+            "/record/---/v1/00",                                // kind with no alphanumerics
+        ] {
+            assert_eq!(parse_record_path(bad), None, "{bad}");
+        }
+    }
+}

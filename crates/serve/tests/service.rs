@@ -1,0 +1,263 @@
+//! The service's wire contract, exercised over real loopback sockets:
+//! every endpooint, the end-to-end validation chain (disk → server →
+//! wire → client), and the read-only guarantee.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dri_serve::{RemoteStore, Server};
+use dri_store::{validate_record, ResultStore};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("dri-serve-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+/// A server over a fresh store seeded with `records`, on an ephemeral
+/// loopback port.
+fn serve(tag: &str, records: &[(&str, u32, u128, &[u8])]) -> (Server, Arc<ResultStore>, PathBuf) {
+    let root = temp_root(tag);
+    let store = Arc::new(ResultStore::open(&root).expect("open store"));
+    for &(kind, schema, key, payload) in records {
+        store.save(kind, schema, key, payload);
+    }
+    let server = Server::bind(Arc::clone(&store), "127.0.0.1:0", 4).expect("bind");
+    (server, store, root)
+}
+
+/// Raw one-shot HTTP exchange (independent of the client code under test).
+fn raw_request(addr: std::net::SocketAddr, request: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    let head_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete head");
+    let head = std::str::from_utf8(&response[..head_end]).expect("utf-8 head");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, response[head_end + 4..].to_vec())
+}
+
+#[test]
+fn healthz_and_stats_answer() {
+    let (server, _store, root) = serve("health", &[("dri", 1, 7, b"payload")]);
+    let (status, body) = raw_request(server.addr(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+
+    let (status, body) = raw_request(server.addr(), "GET /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    let json = String::from_utf8(body).expect("json utf-8");
+    assert!(json.contains("\"records\":1"), "{json}");
+    assert!(json.contains("\"generation\":0"), "{json}");
+    assert!(json.contains("\"store\":{"), "{json}");
+
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn records_serve_the_exact_on_disk_bytes() {
+    let payload: &[u8] = b"counters travel bit-identically";
+    let (server, store, root) = serve("record", &[("baseline", 3, 0xabcd, payload)]);
+    let path = format!(
+        "GET /record/baseline/v{}/{:032x} HTTP/1.1\r\nHost: t\r\n\r\n",
+        3, 0xabcd
+    );
+    let (status, body) = raw_request(server.addr(), &path);
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        fs::read(store.entry_path("baseline", 3, 0xabcd)).expect("on-disk record"),
+        "wire bytes must be the on-disk record, byte for byte"
+    );
+    assert_eq!(validate_record(&body, 3, 0xabcd), Some(payload));
+
+    // Misses and wrong schemas are clean 404s.
+    for miss in [
+        format!(
+            "GET /record/baseline/v3/{:032x} HTTP/1.1\r\nHost: t\r\n\r\n",
+            0x9999
+        ),
+        format!(
+            "GET /record/baseline/v4/{:032x} HTTP/1.1\r\nHost: t\r\n\r\n",
+            0xabcd
+        ),
+        format!(
+            "GET /record/dri/v3/{:032x} HTTP/1.1\r\nHost: t\r\n\r\n",
+            0xabcd
+        ),
+    ] {
+        assert_eq!(raw_request(server.addr(), &miss).0, 404);
+    }
+    // Malformed record paths are 400s, never filesystem probes.
+    assert_eq!(
+        raw_request(
+            server.addr(),
+            "GET /record/../v3/00 HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        .0,
+        400
+    );
+    assert_eq!(
+        raw_request(server.addr(), "GET /nothing HTTP/1.1\r\nHost: t\r\n\r\n").0,
+        404
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.records_served, 1);
+    assert_eq!(stats.not_found, 3);
+    assert_eq!(stats.bad_requests, 1);
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn head_requests_answer_like_get_without_a_body() {
+    let (server, _store, root) = serve("head", &[("dri", 1, 3, b"xyz")]);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .write_all(b"HEAD /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    let text = String::from_utf8(response).expect("utf-8");
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(
+        text.contains("Content-Length: 3"),
+        "HEAD advertises GET's length: {text}"
+    );
+    assert!(text.ends_with("\r\n\r\n"), "no body after the head: {text}");
+    // HEAD of a missing record reports the real status, still body-less.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .write_all(b"HEAD /record/dri/v1/ff HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    let text = String::from_utf8(response).expect("utf-8");
+    assert!(text.starts_with("HTTP/1.1 404"), "{text}");
+    assert!(text.ends_with("\r\n\r\n"), "{text}");
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn corrupt_records_are_never_served() {
+    let (server, store, root) = serve("corrupt", &[("dri", 1, 5, b"soon to be damaged")]);
+    let path = store.entry_path("dri", 1, 5);
+    let mut bytes = fs::read(&path).expect("record");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    fs::write(&path, &bytes).expect("tamper");
+
+    let request = format!("GET /record/dri/v1/{:032x} HTTP/1.1\r\nHost: t\r\n\r\n", 5);
+    let (status, _) = raw_request(server.addr(), &request);
+    assert_eq!(status, 404, "a corrupt record is a miss, not a payload");
+    assert_eq!(store.stats().corrupt, 1);
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn the_service_is_read_only() {
+    let (server, store, root) = serve("readonly", &[("dri", 1, 1, b"x")]);
+    let before = store.disk_usage();
+    for request in [
+        "PUT /record/dri/v1/01 HTTP/1.1\r\nHost: t\r\nContent-Length: 1\r\n\r\nz".to_owned(),
+        "DELETE /record/dri/v1/01 HTTP/1.1\r\nHost: t\r\n\r\n".to_owned(),
+        "POST /record/dri/v1/01 HTTP/1.1\r\nHost: t\r\nContent-Length: 1\r\n\r\nz".to_owned(),
+    ] {
+        assert_eq!(raw_request(server.addr(), &request).0, 405, "{request}");
+    }
+    assert_eq!(store.disk_usage(), before, "no write path exists");
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn client_fetches_and_validates() {
+    let (server, _store, root) = serve("client", &[("dri", 2, 0xfeed, b"remote payload")]);
+    let remote = RemoteStore::new(server.addr().to_string());
+    assert_eq!(
+        remote.fetch("dri", 2, 0xfeed).as_deref(),
+        Some(&b"remote payload"[..])
+    );
+    assert_eq!(remote.fetch("dri", 2, 0xbeef), None, "clean miss");
+    let stats = remote.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.bytes_fetched, 14);
+    assert!(!remote.is_disabled());
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn batch_fetches_many_records_in_one_round_trip() {
+    let (server, _store, root) = serve(
+        "batch",
+        &[
+            ("baseline", 1, 10, b"b10".as_slice()),
+            ("dri", 1, 11, b"d11".as_slice()),
+            ("dri", 1, 12, b"d12".as_slice()),
+        ],
+    );
+    let remote = RemoteStore::new(server.addr().to_string());
+    let entries = [
+        ("baseline", 1u32, 10u128),
+        ("dri", 1, 999), // miss
+        ("dri", 1, 11),
+        ("dri", 1, 12),
+    ];
+    let results = remote.fetch_batch(&entries);
+    assert_eq!(results.len(), 4);
+    assert_eq!(results[0].as_deref(), Some(&b"b10"[..]));
+    assert_eq!(results[1], None);
+    assert_eq!(results[2].as_deref(), Some(&b"d11"[..]));
+    assert_eq!(results[3].as_deref(), Some(&b"d12"[..]));
+    let stats = remote.stats();
+    assert_eq!(stats.hits, 3);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(server.stats().batch_requests, 1);
+
+    // A malformed batch body is rejected wholesale.
+    let (status, _) = raw_request(
+        server.addr(),
+        "POST /batch HTTP/1.1\r\nHost: t\r\nContent-Length: 9\r\n\r\nbad entry",
+    );
+    assert_eq!(status, 400);
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn many_concurrent_readers_are_served() {
+    let payload: &[u8] = b"hot record everyone wants";
+    let (server, _store, root) = serve("concurrent", &[("dri", 1, 42, payload)]);
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(move || {
+                let remote = RemoteStore::new(addr.to_string());
+                for _ in 0..10 {
+                    assert_eq!(remote.fetch("dri", 1, 42).as_deref(), Some(payload));
+                }
+            });
+        }
+    });
+    assert_eq!(server.stats().records_served, 80);
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}

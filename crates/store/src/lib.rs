@@ -41,12 +41,31 @@
 //! (the top byte of the key, in hex) shards entries across 256
 //! subdirectories so no single directory grows unboundedly.
 
+//! ## GC and compaction
+//!
+//! Stores that absorb whole campaign sweeps are bounded by
+//! [`store::ResultStore::gc`] ([`gc`]): age and size budgets, last-access
+//! generation stamps in `.gen` sidecars, and tombstone-then-unlink
+//! eviction that concurrent readers observe as an ordinary miss (they
+//! recompute and heal — a torn read is impossible). See the [`gc`] module
+//! docs.
+//!
+//! ## Serving a store over the wire
+//!
+//! [`store::validate_record`] and
+//! [`store::ResultStore::load_record_bytes`] expose the raw-record
+//! serving path used by the `dri-serve` crate: the full checksummed
+//! record travels to the remote reader, which re-validates it end-to-end
+//! before trusting a byte.
+
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod gc;
 pub mod hash;
 pub mod store;
 
 pub use codec::{Decoder, Encoder};
+pub use gc::{DiskUsage, GcPolicy, GcReport};
 pub use hash::KeyHasher;
-pub use store::{ResultStore, StoreStats};
+pub use store::{validate_record, ResultStore, StoreStats};

@@ -20,6 +20,40 @@ const CHECKSUM_LEN: usize = 8;
 /// the disk tier entirely, which keeps tests hermetic by default.
 pub const STORE_ENV: &str = "DRI_STORE";
 
+/// File at the store root holding the current GC generation (ASCII u64).
+pub(crate) const GENERATION_FILE: &str = "generation";
+
+/// Validates one raw record (as read from disk or received over the
+/// wire) against the expected `schema` and `key`, returning the payload
+/// slice on success.
+///
+/// This is the exact check [`ResultStore::load`] applies: magic, schema,
+/// embedded key, declared payload length, and the trailing FNV-1a 64
+/// checksum all have to match. It is exposed so a *remote* reader (the
+/// `dri-serve` client) can apply the same end-to-end validation to bytes
+/// that crossed a network instead of a filesystem.
+pub fn validate_record(bytes: &[u8], schema: u32, key: u128) -> Option<&[u8]> {
+    let body = bytes.len().checked_sub(CHECKSUM_LEN)?;
+    let payload_len = body.checked_sub(HEADER_LEN)?;
+    if bytes[0..4] != MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(bytes[4..8].try_into().ok()?) != schema {
+        return None;
+    }
+    if u128::from_le_bytes(bytes[8..24].try_into().ok()?) != key {
+        return None;
+    }
+    if u64::from_le_bytes(bytes[24..32].try_into().ok()?) != payload_len as u64 {
+        return None;
+    }
+    let declared = u64::from_le_bytes(bytes[body..].try_into().ok()?);
+    if fnv64(&bytes[..body]) != declared {
+        return None;
+    }
+    Some(&bytes[HEADER_LEN..body])
+}
+
 /// Monotonic counters describing one store's traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -57,6 +91,12 @@ struct AtomicStats {
 pub struct ResultStore {
     root: PathBuf,
     stats: AtomicStats,
+    /// GC generation read from `<root>/generation` at open (0 when the
+    /// file is missing). Access stamps use this value; a GC running in
+    /// another process may bump the file without this handle noticing,
+    /// which only makes this handle's stamps look slightly older —
+    /// stamps are advisory eviction hints, never correctness inputs.
+    generation: AtomicU64,
 }
 
 impl ResultStore {
@@ -64,9 +104,11 @@ impl ResultStore {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
+        let generation = read_generation(&root);
         Ok(ResultStore {
             root,
             stats: AtomicStats::default(),
+            generation: AtomicU64::new(generation),
         })
     }
 
@@ -95,6 +137,38 @@ impl ResultStore {
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The GC generation this handle stamps accesses with (the value of
+    /// `<root>/generation` when the store was opened, later bumped by
+    /// [`ResultStore::gc`] runs through this same handle).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Persists `generation` to `<root>/generation` (best-effort) and
+    /// adopts it for subsequent access stamps.
+    pub(crate) fn set_generation(&self, generation: u64) {
+        self.generation.store(generation, Ordering::Relaxed);
+        let _ = fs::write(self.root.join(GENERATION_FILE), generation.to_string());
+    }
+
+    /// Best-effort last-access stamp: writes the current generation into
+    /// the record's `.gen` sidecar (skipped when already current, so warm
+    /// traffic within one generation costs a single 8-byte read). A torn
+    /// or missing sidecar only makes the record *look* old to GC — the
+    /// worst outcome is an early eviction and a recompute.
+    fn stamp(&self, record_path: &Path) {
+        let generation = self.generation();
+        let sidecar = record_path.with_extension("gen");
+        if let Ok(bytes) = fs::read(&sidecar) {
+            if let Ok(current) = <[u8; 8]>::try_from(bytes.as_slice()) {
+                if u64::from_le_bytes(current) == generation {
+                    return;
+                }
+            }
+        }
+        let _ = fs::write(&sidecar, generation.to_le_bytes());
     }
 
     /// Snapshot of the traffic counters.
@@ -150,7 +224,7 @@ impl ResultStore {
                 return None;
             }
         };
-        match Self::validate(&bytes, schema, key).and_then(|payload| {
+        match validate_record(&bytes, schema, key).and_then(|payload| {
             let len = payload.len() as u64;
             decode(payload).map(|value| (value, len))
         }) {
@@ -159,6 +233,7 @@ impl ResultStore {
                 self.stats
                     .bytes_read
                     .fetch_add(payload_len, Ordering::Relaxed);
+                self.stamp(&path);
                 Some(value)
             }
             None => {
@@ -168,26 +243,34 @@ impl ResultStore {
         }
     }
 
-    fn validate(bytes: &[u8], schema: u32, key: u128) -> Option<&[u8]> {
-        let body = bytes.len().checked_sub(CHECKSUM_LEN)?;
-        let payload_len = body.checked_sub(HEADER_LEN)?;
-        if bytes[0..4] != MAGIC {
-            return None;
+    /// Loads the **raw record bytes** (header + payload + checksum) for
+    /// `(kind, schema, key)`, validating them exactly like [`Self::load`]
+    /// and with the same accounting. This is the serving path of the
+    /// `dri-serve` result service: the full record travels over the wire
+    /// so the remote reader can re-run [`validate_record`] end-to-end.
+    pub fn load_record_bytes(&self, kind: &str, schema: u32, key: u128) -> Option<Vec<u8>> {
+        let path = self.entry_path(kind, schema, key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match validate_record(&bytes, schema, key) {
+            Some(payload) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_read
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                self.stamp(&path);
+                Some(bytes)
+            }
+            None => {
+                self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
-        if u32::from_le_bytes(bytes[4..8].try_into().ok()?) != schema {
-            return None;
-        }
-        if u128::from_le_bytes(bytes[8..24].try_into().ok()?) != key {
-            return None;
-        }
-        if u64::from_le_bytes(bytes[24..32].try_into().ok()?) != payload_len as u64 {
-            return None;
-        }
-        let declared = u64::from_le_bytes(bytes[body..].try_into().ok()?);
-        if fnv64(&bytes[..body]) != declared {
-            return None;
-        }
-        Some(&bytes[HEADER_LEN..body])
     }
 
     /// Writes `payload` for `(kind, schema, key)`, atomically replacing
@@ -233,9 +316,24 @@ impl ResultStore {
         })();
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
+        } else {
+            // A fresh record starts life stamped with the current
+            // generation, so an age-budget GC never evicts what a running
+            // campaign just computed.
+            self.stamp(&path);
         }
         result.map(|()| record.len() as u64)
     }
+}
+
+/// Reads `<root>/generation`, defaulting to 0 on a missing or mangled
+/// file (a mangled counter restarts aging from scratch — safe, since
+/// stamps only ever influence eviction order).
+fn read_generation(root: &Path) -> u64 {
+    fs::read_to_string(root.join(GENERATION_FILE))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -373,6 +471,42 @@ mod tests {
             Some(b"deterministic identical payload".as_slice())
         );
         assert_eq!(store.stats().write_errors, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn raw_record_bytes_roundtrip_and_validate() {
+        let store = temp_store("raw-bytes");
+        let key = 0xc0ffee_u128;
+        assert_eq!(store.load_record_bytes("dri", 2, key), None);
+        assert_eq!(store.stats().misses, 1);
+        store.save("dri", 2, key, b"wire payload");
+        let raw = store.load_record_bytes("dri", 2, key).expect("raw record");
+        assert_eq!(raw, fs::read(store.entry_path("dri", 2, key)).unwrap());
+        // The exported validator accepts the exact on-disk bytes and
+        // rejects any other (schema, key) claim about them.
+        assert_eq!(validate_record(&raw, 2, key), Some(&b"wire payload"[..]));
+        assert_eq!(validate_record(&raw, 3, key), None);
+        assert_eq!(validate_record(&raw, 2, key + 1), None);
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.bytes_read, 12, "payload bytes, not file bytes");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn accesses_are_generation_stamped() {
+        let store = temp_store("stamps");
+        assert_eq!(store.generation(), 0);
+        store.save("dri", 1, 11, b"x");
+        let sidecar = store.entry_path("dri", 1, 11).with_extension("gen");
+        assert_eq!(fs::read(&sidecar).unwrap(), 0u64.to_le_bytes());
+        store.set_generation(5);
+        assert!(store.load("dri", 1, 11).is_some());
+        assert_eq!(fs::read(&sidecar).unwrap(), 5u64.to_le_bytes());
+        // A re-opened handle adopts the persisted generation.
+        let reopened = ResultStore::open(store.root()).expect("reopen");
+        assert_eq!(reopened.generation(), 5);
         let _ = fs::remove_dir_all(store.root());
     }
 
