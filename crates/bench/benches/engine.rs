@@ -17,6 +17,11 @@
 //!   the point from a loopback `dri-serve` instance — key hash + HTTP
 //!   round-trip + end-to-end record validation + decode, the cost a
 //!   disk-less worker pays per point when a central store is warm.
+//! * `remote/grid_*` — a whole sweep grid (6 quick-space points + the
+//!   shared baseline) resolved by a cold session: one HTTP round-trip
+//!   **per record** versus one chunked `POST /batch` for the entire
+//!   plan (`SimSession::prefetch`) — the amortization the suite's
+//!   `--prefetch` default buys every campaign replay.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dri_experiments::runner::{run_conventional_uncached, run_dri_uncached};
@@ -80,6 +85,39 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let session = SimSession::with_remote(RemoteStore::new(addr.clone()));
             black_box(session.dri(black_box(&cfg)))
+        })
+    });
+
+    // Grid resolution: warm the full quick-space sweep grid into the
+    // same served store, then compare a cold worker replaying it with
+    // per-record round-trips vs one batch-prefetch round-trip.
+    let grid = dri_experiments::grid_configs(&cfg, &dri_experiments::SearchSpace::quick());
+    {
+        let warmer = SimSession::with_store(ResultStore::open(&root).expect("bench store"));
+        for point in &grid {
+            warmer.conventional(point);
+            warmer.dri(point);
+        }
+    }
+    // 7 unique records per replay: 6 DRI points + the shared baseline.
+    group.throughput(Throughput::Elements(grid.len() as u64 + 1));
+    group.bench_function("remote/grid_per_record_hits/compress_quick", |b| {
+        b.iter(|| {
+            let session = SimSession::with_remote(RemoteStore::new(addr.clone()));
+            for point in &grid {
+                black_box(session.conventional(black_box(point)));
+                black_box(session.dri(black_box(point)));
+            }
+        })
+    });
+    group.bench_function("remote/grid_prefetch_batch/compress_quick", |b| {
+        b.iter(|| {
+            let session = SimSession::with_remote(RemoteStore::new(addr.clone()));
+            black_box(session.prefetch(&grid));
+            for point in &grid {
+                black_box(session.conventional(black_box(point)));
+                black_box(session.dri(black_box(point)));
+            }
         })
     });
     server.shutdown();

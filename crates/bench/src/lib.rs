@@ -1,1 +1,23 @@
-//! Criterion benchmark crate (benches live in `benches/`).
+//! # bench — criterion benchmarks for the DRI i-cache reproduction
+//!
+//! This crate is a harness shell: it exports nothing and exists only to
+//! host the benchmark targets under `benches/` (run them with
+//! `cargo bench -p bench`, or `cargo bench -p bench --bench engine` for
+//! one suite). The benchmarks are the repository's performance ledger —
+//! README §Performance quotes them — and fall into three groups:
+//!
+//! * `substrates` — microbenchmarks of the hot building blocks: cache
+//!   accesses, interpreter and OoO-core instruction throughput, the
+//!   circuit model.
+//! * `engine` — end-to-end cost of one simulated point through every
+//!   cache tier: `cold/*` (always simulate), `warm/*` (session memory
+//!   hit), `store/*` (disk-tier load), `remote/*` (HTTP fetch +
+//!   end-to-end validation), and `remote/grid_*` (a whole sweep grid:
+//!   per-record round-trips vs one batch-prefetch `POST /batch`).
+//! * per-figure pipelines (`figure3`–`figure6`, `section5_6`, `table2`)
+//!   — wall-clock for the paper's artifacts in quick mode.
+//!
+//! The `criterion` crate here is the offline vendored subset (see
+//! `vendor/README.md`): median/min over a fixed sample count, no plots.
+
+#![warn(missing_docs)]

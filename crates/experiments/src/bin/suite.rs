@@ -26,7 +26,7 @@ use dri_experiments::SimSession;
 use dri_store::{GcPolicy, ResultStore};
 
 const USAGE: &str = "\
-usage: suite [--manifest FILE] [--store-stats] [--list] [JOB ...]
+usage: suite [--manifest FILE] [--store-stats] [--[no-]prefetch] [--list] [JOB ...]
        suite gc [--store DIR] [--max-bytes N[K|M|G]] [--max-age GENS] [--dry-run]
 
 Runs figure/table jobs in one process with shared simulation caches.
@@ -37,6 +37,10 @@ options:
   --manifest FILE   load the run plan (options + job list) from FILE
   --store-stats     print DRI_STORE result-store counters and disk usage
                     after the run
+  --prefetch        resolve each sweep's whole key grid through the cache
+                    tiers up front (one chunked POST /batch round-trip for
+                    the remote remainder); this is the default
+  --no-prefetch     restore per-point tier lookups
   --list            list available jobs and exit
   --help            this text
 
@@ -48,12 +52,14 @@ gc subcommand (garbage-collect a result store):
                     generations
   --dry-run         report what would be evicted without deleting anything
 
-environment: DRI_QUICK, DRI_THREADS, DRI_STORE, DRI_REMOTE (see README);
-a manifest's `quick/threads/store/remote` options set the same variables.";
+environment: DRI_QUICK, DRI_THREADS, DRI_STORE, DRI_REMOTE, DRI_PREFETCH
+(see README); a manifest's `quick/threads/store/remote/prefetch` options
+set the same variables.";
 
 struct CliArgs {
     manifest_path: Option<String>,
     store_stats: bool,
+    prefetch: Option<bool>,
     list: bool,
     jobs: Vec<Job>,
 }
@@ -62,6 +68,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut parsed = CliArgs {
         manifest_path: None,
         store_stats: false,
+        prefetch: None,
         list: false,
         jobs: Vec::new(),
     };
@@ -73,6 +80,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 parsed.manifest_path = Some(path.clone());
             }
             "--store-stats" => parsed.store_stats = true,
+            "--prefetch" => parsed.prefetch = Some(true),
+            "--no-prefetch" => parsed.prefetch = Some(false),
             "--list" => parsed.list = true,
             "--help" | "-h" => return Err(String::new()),
             "all" => parsed.jobs.extend(Job::all()),
@@ -89,7 +98,9 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
 }
 
 /// Builds the run plan: CLI jobs and a manifest file compose (manifest
-/// options always apply; explicit CLI jobs run after the manifest's).
+/// options always apply, except that an explicit `--[no-]prefetch` flag
+/// overrides the manifest's `prefetch =`; explicit CLI jobs run after
+/// the manifest's).
 fn build_plan(args: &CliArgs) -> Result<Manifest, String> {
     let mut plan = match &args.manifest_path {
         Some(path) => {
@@ -99,6 +110,9 @@ fn build_plan(args: &CliArgs) -> Result<Manifest, String> {
         }
         None => Manifest::default(),
     };
+    if args.prefetch.is_some() {
+        plan.options.prefetch = args.prefetch;
+    }
     for &job in &args.jobs {
         plan.push_job(job);
     }
@@ -124,6 +138,9 @@ fn apply_options(plan: &Manifest) {
     }
     if let Some(remote) = &plan.options.remote {
         std::env::set_var("DRI_REMOTE", remote);
+    }
+    if let Some(prefetch) = plan.options.prefetch {
+        std::env::set_var("DRI_PREFETCH", if prefetch { "1" } else { "0" });
     }
 }
 
@@ -304,6 +321,20 @@ fn main() -> ExitCode {
         stats.remote_hits(),
         stats.workload_misses,
     );
+    let prefetch = session.prefetch_stats();
+    if prefetch.plans > 0 {
+        eprintln!(
+            "  prefetch: {} plan(s), {} records planned — {} memory / {} disk / {} remote, \
+             {} left to simulate, {} batch round-trip(s)",
+            prefetch.plans,
+            prefetch.planned,
+            prefetch.memory_hits,
+            prefetch.disk_hits,
+            prefetch.remote_hits,
+            prefetch.misses,
+            prefetch.batch_round_trips,
+        );
+    }
 
     if args.store_stats {
         match session.store() {
@@ -332,6 +363,7 @@ fn main() -> ExitCode {
             println!("  corrupt: {}", r.corrupt);
             println!("  errors: {}", r.errors);
             println!("  bytes fetched: {}", r.bytes_fetched);
+            println!("  batch round trips: {}", r.batch_round_trips);
         }
     }
     ExitCode::SUCCESS

@@ -9,6 +9,13 @@
 //! for them again. The per-artifact binaries (`figure3`, `table2`, …)
 //! are now one-line wrappers over these functions, so `cargo run --bin
 //! figure4` output is byte-identical to the `figure4` job of a suite run.
+//!
+//! Every search and sweep grid below batch-prefetches its key plan
+//! through the session's cache tiers before fanning out (see
+//! [`crate::session::SimSession::prefetch`]): on a worker with
+//! `DRI_REMOTE` set, Figure 3's entire cross-benchmark grid arrives in
+//! one `POST /batch` round-trip, and Figures 4–6/§5.6 plan each sweep's
+//! points the same way.
 
 use crate::harness::{banner, base_config, for_each_benchmark, space, threads};
 use crate::published;

@@ -46,7 +46,11 @@ pub mod session;
 pub mod sweeps;
 
 pub use dri_serve::{RemoteStats, RemoteStore};
-pub use dri_store::{ResultStore, StoreStats};
+pub use dri_store::{KeyPlan, ResultStore, StoreStats};
 pub use runner::{compare, run_conventional, run_dri, Comparison, DriRun, RunConfig};
-pub use search::{search_all, search_benchmark, SearchResult, SearchSpace, SLOWDOWN_CONSTRAINT};
-pub use session::{SessionStats, SimSession};
+pub use search::{
+    grid_configs, search_all, search_benchmark, SearchResult, SearchSpace, SLOWDOWN_CONSTRAINT,
+};
+pub use session::{
+    prefetch_enabled, prefetch_grid, PrefetchStats, SessionStats, SimSession, PREFETCH_ENV,
+};

@@ -20,9 +20,11 @@
 //!
 //! * `<key> = <value>` — an option. `quick` (`on`/`off`/`1`/`0`) maps to
 //!   `DRI_QUICK`, `threads` (positive integer) to `DRI_THREADS`, `store`
-//!   (a directory path) to `DRI_STORE`, and `remote` (a `dri-serve`
-//!   `host:port`) to `DRI_REMOTE`. Options apply to the whole plan and
-//!   must precede the first job.
+//!   (a directory path) to `DRI_STORE`, `remote` (a `dri-serve`
+//!   `host:port`) to `DRI_REMOTE`, and `prefetch` (`on`/`off`) to
+//!   `DRI_PREFETCH` (bulk grid prefetch through the cache tiers — on by
+//!   default). Options apply to the whole plan and must precede the
+//!   first job.
 //! * `<job>` — a job name (see [`Job::all`]), or `all` for every job.
 //!   Jobs run in file order; duplicates are dropped (within one process
 //!   the second run would be pure cache hits anyway).
@@ -150,6 +152,9 @@ pub struct PlanOptions {
     pub store: Option<String>,
     /// `remote = <host:port>` → `DRI_REMOTE` (a `dri-serve` instance).
     pub remote: Option<String>,
+    /// `prefetch = on|off` → `DRI_PREFETCH` (bulk grid prefetch; on by
+    /// default when unset).
+    pub prefetch: Option<bool>,
 }
 
 /// A parsed manifest: options plus an ordered, deduplicated job list.
@@ -208,6 +213,27 @@ fn parse_switch(line: usize, value: &str) -> Result<bool, ManifestError> {
 }
 
 /// Parses manifest text (see the module docs for the grammar).
+///
+/// ```
+/// use dri_experiments::manifest::{parse, Job};
+///
+/// let plan = parse(
+///     "# campaign plan\n\
+///      quick = on\n\
+///      prefetch = on          # one batch round-trip per grid\n\
+///      \n\
+///      figure3\n\
+///      figure4\n",
+/// )
+/// .expect("well-formed manifest");
+/// assert_eq!(plan.options.quick, Some(true));
+/// assert_eq!(plan.options.prefetch, Some(true));
+/// assert_eq!(plan.jobs, vec![Job::Figure3, Job::Figure4]);
+///
+/// // Errors carry 1-based line numbers: a typo fails in seconds, not
+/// // silently mid-campaign.
+/// assert_eq!(parse("figure3\nfigure9\n").unwrap_err().line, 2);
+/// ```
 pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
     let mut manifest = Manifest::default();
     let mut saw_job = false;
@@ -248,11 +274,13 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
                     }
                     manifest.options.remote = Some(value.to_owned());
                 }
+                "prefetch" => manifest.options.prefetch = Some(parse_switch(lineno, value)?),
                 other => {
                     return Err(err(
                         lineno,
                         format!(
-                            "unknown option `{other}` (expected quick, threads, store, or remote)"
+                            "unknown option `{other}` (expected quick, threads, store, \
+                             remote, or prefetch)"
                         ),
                     ))
                 }
@@ -323,6 +351,14 @@ mod tests {
     fn remote_option_parses() {
         let m = parse("remote = 10.0.0.5:7171\nfigure3\n").expect("valid manifest");
         assert_eq!(m.options.remote.as_deref(), Some("10.0.0.5:7171"));
+    }
+
+    #[test]
+    fn prefetch_option_parses_and_rejects_garbage() {
+        let m = parse("prefetch = off\nfigure3\n").expect("valid manifest");
+        assert_eq!(m.options.prefetch, Some(false));
+        assert_eq!(parse("figure3\n").unwrap().options.prefetch, None);
+        assert!(parse("prefetch = sometimes\nfigure3\n").is_err());
     }
 
     #[test]

@@ -16,6 +16,30 @@
 //! become invisible (they live under a different `v<N>/` directory) and
 //! are lazily replaced by recomputation. Nothing ever reads across
 //! schema versions.
+//!
+//! Key derivation is a pure function of the configuration, so any two
+//! processes — a campaign host, a prefetching worker, a `dri-serve`
+//! client — agree on every record's address:
+//!
+//! ```
+//! use dri_experiments::persist::{baseline_key, dri_key};
+//! use dri_experiments::RunConfig;
+//! use synth_workload::suite::Benchmark;
+//!
+//! let cfg = RunConfig::quick(Benchmark::Li);
+//! // Deterministic, and the two record kinds never collide.
+//! assert_eq!(baseline_key(&cfg), baseline_key(&cfg.clone()));
+//! assert_ne!(baseline_key(&cfg), dri_key(&cfg));
+//!
+//! // Every counter-influencing field perturbs the DRI key …
+//! let mut widened = cfg.clone();
+//! widened.dri.miss_bound *= 2;
+//! assert_ne!(dri_key(&cfg), dri_key(&widened));
+//! // … while the baseline key sees only the baseline's inputs: a
+//! // miss-bound change leaves the geometry (and so the baseline run)
+//! // untouched, which is why a whole search grid shares one record.
+//! assert_eq!(baseline_key(&cfg), baseline_key(&widened));
+//! ```
 
 use cache_sim::config::CacheConfig;
 use cache_sim::hierarchy::HierarchyConfig;

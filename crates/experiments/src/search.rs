@@ -57,16 +57,12 @@ pub struct SearchResult {
     pub unconstrained: Comparison,
 }
 
-/// Exhaustively searches the grid for one benchmark, reusing a single
-/// baseline run and simulating the grid's DRI points across
-/// [`crate::harness::threads`] workers. `base` supplies everything but
-/// the two searched parameters.
-///
-/// The best-point selection folds over the grid in its canonical order
-/// (size-bounds outer, miss-bounds inner), so ties resolve exactly as the
-/// original serial search resolved them.
-pub fn search_benchmark(base: &RunConfig, space: &SearchSpace) -> SearchResult {
-    let baseline = run_conventional(base);
+/// The full (miss-bound × size-bound) grid for one benchmark as run
+/// configurations, in the canonical search order (size-bounds outer,
+/// miss-bounds inner; bounds over the cache size skipped). This is both
+/// what [`search_benchmark`] simulates and what the batch-prefetch pass
+/// ([`crate::session::SimSession::prefetch`]) enumerates up front.
+pub fn grid_configs(base: &RunConfig, space: &SearchSpace) -> Vec<RunConfig> {
     let mut cfgs: Vec<RunConfig> = Vec::new();
     for &size_bound in &space.size_bounds {
         if size_bound > base.dri.max_size_bytes {
@@ -79,6 +75,23 @@ pub fn search_benchmark(base: &RunConfig, space: &SearchSpace) -> SearchResult {
             cfgs.push(cfg);
         }
     }
+    cfgs
+}
+
+/// Exhaustively searches the grid for one benchmark, reusing a single
+/// baseline run and simulating the grid's DRI points across
+/// [`crate::harness::threads`] workers. `base` supplies everything but
+/// the two searched parameters.
+///
+/// The best-point selection folds over the grid in its canonical order
+/// (size-bounds outer, miss-bounds inner), so ties resolve exactly as the
+/// original serial search resolved them.
+pub fn search_benchmark(base: &RunConfig, space: &SearchSpace) -> SearchResult {
+    let cfgs = grid_configs(base, space);
+    // Resolve the grid through the cache tiers in bulk first (a no-op
+    // when an enclosing search_all already warmed the session).
+    crate::session::prefetch_grid(&cfgs);
+    let baseline = run_conventional(base);
     let runs = crate::harness::parallel_map(&cfgs, run_dri);
     let mut best_constrained: Option<Comparison> = None;
     let mut best_unconstrained: Option<Comparison> = None;
@@ -108,12 +121,25 @@ pub fn search_benchmark(base: &RunConfig, space: &SearchSpace) -> SearchResult {
 /// Searches every benchmark, spreading the work over at most `threads`
 /// workers (drawn from the same process-wide budget the per-benchmark
 /// grids use, so the fan-out never multiplies past the machine).
+///
+/// The **entire cross-benchmark grid** is enumerated and prefetched
+/// before the fan-out, so a cold worker pointed at a warm `dri-serve`
+/// instance resolves the whole campaign — every benchmark's baseline and
+/// every (miss-bound × size-bound) point — in **one** batch round-trip,
+/// not one per benchmark (the per-benchmark prefetch inside
+/// [`search_benchmark`] then finds everything memory-resident and stays
+/// off the network).
 pub fn search_all(
     make_base: impl Fn(Benchmark) -> RunConfig + Sync,
     space: &SearchSpace,
     threads: usize,
 ) -> Vec<SearchResult> {
     let benchmarks = Benchmark::all();
+    let campaign: Vec<RunConfig> = benchmarks
+        .iter()
+        .flat_map(|&b| grid_configs(&make_base(b), space))
+        .collect();
+    crate::session::prefetch_grid(&campaign);
     crate::harness::parallel_map_capped(threads.max(1), &benchmarks, |&b| {
         search_benchmark(&make_base(b), space)
     })

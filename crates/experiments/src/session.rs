@@ -57,12 +57,30 @@
 //! itself is never written to. Remote failures of any kind — the server
 //! is down, a response is truncated, a record is corrupt — degrade to
 //! the next tier (a local simulation), exactly like disk corruption.
+//!
+//! ## Batch prefetch
+//!
+//! Sweeps and manifest-driven suites know their full configuration grid
+//! before they run a point, so [`SimSession::prefetch`] resolves the
+//! whole grid through the tiers **in bulk** before the per-point fan-out
+//! starts: the grid's store keys are enumerated into a deduplicated
+//! [`dri_store::KeyPlan`], records already in memory are skipped, the
+//! local disk tier is swept once, and everything still missing is
+//! fetched from the remote tier in a single chunked `POST /batch`
+//! round-trip (healed into the local store on arrival). Only true misses
+//! are left for the sweep's `parallel_map` workers to simulate. The pass
+//! is purely a cache-warming step — every record it installs is the same
+//! validated, bit-identical record the per-point lookup path would have
+//! loaded — and it is on by default; `DRI_PREFETCH=0` (or `suite
+//! --no-prefetch` / a manifest's `prefetch = off`) restores per-point
+//! lookups. See `tests/batch_prefetch.rs` for the round-trip and
+//! bit-identity proofs.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use dri_serve::{RemoteStats, RemoteStore};
-use dri_store::{ResultStore, StoreStats};
+use dri_serve::{BatchEntry, RemoteStats, RemoteStore};
+use dri_store::{KeyPlan, ResultStore, StoreStats};
 
 use cache_sim::config::CacheConfig;
 use cache_sim::hierarchy::HierarchyConfig;
@@ -76,6 +94,13 @@ use crate::runner::{ConventionalRun, DriRun, RunConfig};
 /// Identifies a generated workload: the benchmark plus the optional seed
 /// override (`None` = the benchmark's canonical seed).
 pub type WorkloadKey = (Benchmark, Option<u64>);
+
+/// Which tier a prefetched record arrived from (for stats accounting).
+#[derive(Debug, Clone, Copy)]
+enum TierHit {
+    Disk,
+    Remote,
+}
 
 /// Everything that can influence a conventional (baseline) run's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,6 +192,64 @@ impl SessionStats {
     }
 }
 
+/// Environment variable gating the bulk-prefetch pass. Prefetch is **on
+/// by default**; set `DRI_PREFETCH=0` (or `off`/`false`/`no`) to restore
+/// per-point tier lookups.
+pub const PREFETCH_ENV: &str = "DRI_PREFETCH";
+
+/// Whether sweeps/search should bulk-prefetch their grids through the
+/// session tiers before fanning out (see [`SimSession::prefetch`]).
+/// Reads [`PREFETCH_ENV`] afresh on every call, like the other `DRI_*`
+/// switches, so a manifest's `prefetch =` option takes effect even after
+/// the global session exists.
+pub fn prefetch_enabled() -> bool {
+    match std::env::var(PREFETCH_ENV) {
+        Ok(raw) => !matches!(
+            raw.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// Bulk-prefetches `cfgs` through the **global** session's tiers when
+/// prefetch is enabled — the hook every sweep/search grid calls right
+/// before its `parallel_map` fan-out. Returns the per-plan outcome
+/// (`None` when prefetch is disabled).
+pub fn prefetch_grid(cfgs: &[RunConfig]) -> Option<PrefetchStats> {
+    prefetch_enabled().then(|| SimSession::global().prefetch(cfgs))
+}
+
+/// Outcome counters of one (or, aggregated, every) bulk-prefetch pass.
+///
+/// Every planned record lands in exactly one of the four outcome
+/// buckets: `memory_hits + disk_hits + remote_hits + misses == planned`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Prefetch passes executed.
+    pub plans: u64,
+    /// Records enumerated, summed over plans. Each plan dedups
+    /// internally (a parameter search reuses one baseline across its
+    /// whole grid, so a plan holds well under two records per grid
+    /// point), but a record re-planned by a nested grid — a
+    /// per-benchmark search inside an already-prefetched campaign —
+    /// counts once per plan (it shows up again as a memory hit).
+    pub planned: u64,
+    /// Planned records already resident in the memory tier.
+    pub memory_hits: u64,
+    /// Planned records loaded from the local disk tier.
+    pub disk_hits: u64,
+    /// Planned records fetched from the remote tier (and healed into the
+    /// local disk tier when one is attached).
+    pub remote_hits: u64,
+    /// Planned records no tier could serve — the simulations the sweep's
+    /// workers will actually run.
+    pub misses: u64,
+    /// `POST /batch` round-trips the remote pass cost (0 for a plan the
+    /// local tiers fully absorbed; ⌈remainder / `BATCH_CHUNK`⌉ otherwise).
+    pub batch_round_trips: u64,
+}
+
 /// Memoization scope for workloads and runs (see the module docs).
 ///
 /// Most callers use [`SimSession::global`] through the `runner` free
@@ -178,6 +261,14 @@ pub struct SimSession {
     baselines: Mutex<HashMap<BaselineKey, ConventionalRun>>,
     dri_runs: Mutex<HashMap<DriKey, DriRun>>,
     stats: Mutex<SessionStats>,
+    prefetch_totals: Mutex<PrefetchStats>,
+    /// Store keys a successful remote exchange has definitively answered
+    /// with a miss frame: the serving store does not hold them, so
+    /// re-asking — from a nested grid's prefetch or from the per-point
+    /// lookup that precedes a simulation — is pure wasted traffic. Never
+    /// consulted for anything but skipping the remote tier; the disk and
+    /// memory tiers still see every lookup.
+    known_missing: Mutex<HashSet<u128>>,
     store: Option<ResultStore>,
     remote: Option<RemoteStore>,
 }
@@ -246,6 +337,247 @@ impl SimSession {
         *self.stats.lock().expect("session stats lock")
     }
 
+    /// Aggregate of every [`Self::prefetch`] pass this session ran.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        *self.prefetch_totals.lock().expect("prefetch totals lock")
+    }
+
+    /// Resolves the whole configuration grid through the cache tiers in
+    /// bulk, before any per-point lookup runs (see the module docs):
+    ///
+    /// 1. every grid point's baseline and DRI store keys are enumerated
+    ///    into one deduplicated [`KeyPlan`];
+    /// 2. records already in the memory tier are skipped;
+    /// 3. the local disk tier is swept for the remainder;
+    /// 4. what is still missing is fetched from the remote tier in one
+    ///    chunked `POST /batch` pass, each arrival healed into the local
+    ///    disk tier;
+    /// 5. true misses are left for the caller's fan-out to simulate —
+    ///    and the ones a successful exchange *definitively* reported
+    ///    absent are remembered, so nested plans and the per-point
+    ///    lookups that precede those simulations never re-ask the
+    ///    server for records it is known not to hold.
+    ///
+    /// Disk and remote arrivals are installed into the memory tier and
+    /// counted in [`SessionStats`] exactly as per-point lookups would
+    /// have counted them, so a prefetched grid replays with the same
+    /// observable tier accounting — just fewer round-trips. The pass
+    /// never simulates; an empty (or fully memory-warm) plan touches
+    /// neither the disk nor the network.
+    pub fn prefetch(&self, cfgs: &[RunConfig]) -> PrefetchStats {
+        let mut report = PrefetchStats {
+            plans: 1,
+            ..PrefetchStats::default()
+        };
+
+        // 1–2. Enumerate the deduplicated key grid, skipping records the
+        // memory tier already holds. The map locks are held only for the
+        // membership probes, never across I/O.
+        let mut plan = KeyPlan::new();
+        let mut pending_baselines: Vec<(u128, BaselineKey, &RunConfig)> = Vec::new();
+        let mut pending_dri: Vec<(u128, DriKey, &RunConfig)> = Vec::new();
+        {
+            let baselines = self.baselines.lock().expect("baseline lock");
+            let dri_runs = self.dri_runs.lock().expect("dri lock");
+            for cfg in cfgs {
+                let store_key = crate::persist::baseline_key(cfg);
+                if plan.push(
+                    crate::persist::BASELINE_KIND,
+                    crate::persist::SCHEMA_VERSION,
+                    store_key,
+                ) {
+                    report.planned += 1;
+                    let key = BaselineKey::of(cfg);
+                    if baselines.contains_key(&key) {
+                        report.memory_hits += 1;
+                    } else {
+                        pending_baselines.push((store_key, key, cfg));
+                    }
+                }
+                let store_key = crate::persist::dri_key(cfg);
+                if plan.push(
+                    crate::persist::DRI_KIND,
+                    crate::persist::SCHEMA_VERSION,
+                    store_key,
+                ) {
+                    report.planned += 1;
+                    let key = DriKey::of(cfg);
+                    if dri_runs.contains_key(&key) {
+                        report.memory_hits += 1;
+                    } else {
+                        pending_dri.push((store_key, key, cfg));
+                    }
+                }
+            }
+        }
+
+        // 3. One pass over the local disk tier.
+        if self.store.is_some() {
+            pending_baselines.retain(|&(store_key, key, cfg)| match self.disk_conventional(cfg) {
+                Some(run) => {
+                    debug_assert_eq!(store_key, crate::persist::baseline_key(cfg));
+                    self.install_baseline(key, run, TierHit::Disk);
+                    report.disk_hits += 1;
+                    false
+                }
+                None => true,
+            });
+            pending_dri.retain(|&(store_key, key, cfg)| match self.disk_dri(cfg) {
+                Some(run) => {
+                    debug_assert_eq!(store_key, crate::persist::dri_key(cfg));
+                    self.install_dri(key, run, TierHit::Disk);
+                    report.disk_hits += 1;
+                    false
+                }
+                None => true,
+            });
+        }
+
+        // Records a prior exchange definitively reported missing from
+        // the serving store go straight to the simulate bucket — a
+        // nested grid (a per-benchmark search inside an already-planned
+        // campaign) must not re-ask for guaranteed misses.
+        {
+            let missing = self.known_missing.lock().expect("known-missing lock");
+            if !missing.is_empty() {
+                pending_baselines.retain(|(store_key, _, _)| {
+                    let skip = missing.contains(store_key);
+                    report.misses += u64::from(skip);
+                    !skip
+                });
+                pending_dri.retain(|(store_key, _, _)| {
+                    let skip = missing.contains(store_key);
+                    report.misses += u64::from(skip);
+                    !skip
+                });
+            }
+        }
+
+        // 4. One chunked batch fetch for everything still missing.
+        let remainder = pending_baselines.len() + pending_dri.len();
+        match (&self.remote, remainder) {
+            (Some(remote), 1..) => {
+                let mut entries: Vec<(&str, u32, u128)> = Vec::with_capacity(remainder);
+                entries.extend(pending_baselines.iter().map(|&(store_key, _, _)| {
+                    (
+                        crate::persist::BASELINE_KIND,
+                        crate::persist::SCHEMA_VERSION,
+                        store_key,
+                    )
+                }));
+                entries.extend(pending_dri.iter().map(|&(store_key, _, _)| {
+                    (
+                        crate::persist::DRI_KIND,
+                        crate::persist::SCHEMA_VERSION,
+                        store_key,
+                    )
+                }));
+                let (outcomes, round_trips) =
+                    remote.fetch_batch_outcomes(&entries, dri_serve::BATCH_CHUNK);
+                report.batch_round_trips = round_trips;
+                let mut outcomes = outcomes.into_iter();
+                let mut definitive_misses: Vec<u128> = Vec::new();
+                for (store_key, key, _) in pending_baselines {
+                    match outcomes.next() {
+                        Some(BatchEntry::Hit(payload)) => {
+                            match crate::persist::decode_conventional(&payload) {
+                                Some(run) => {
+                                    self.heal(crate::persist::BASELINE_KIND, store_key, &payload);
+                                    self.install_baseline(key, run, TierHit::Remote);
+                                    report.remote_hits += 1;
+                                }
+                                None => report.misses += 1,
+                            }
+                        }
+                        Some(BatchEntry::Miss) => {
+                            definitive_misses.push(store_key);
+                            report.misses += 1;
+                        }
+                        _ => report.misses += 1,
+                    }
+                }
+                for (store_key, key, _) in pending_dri {
+                    match outcomes.next() {
+                        Some(BatchEntry::Hit(payload)) => {
+                            match crate::persist::decode_dri(&payload) {
+                                Some(run) => {
+                                    self.heal(crate::persist::DRI_KIND, store_key, &payload);
+                                    self.install_dri(key, run, TierHit::Remote);
+                                    report.remote_hits += 1;
+                                }
+                                None => report.misses += 1,
+                            }
+                        }
+                        Some(BatchEntry::Miss) => {
+                            definitive_misses.push(store_key);
+                            report.misses += 1;
+                        }
+                        _ => report.misses += 1,
+                    }
+                }
+                if !definitive_misses.is_empty() {
+                    self.known_missing
+                        .lock()
+                        .expect("known-missing lock")
+                        .extend(definitive_misses);
+                }
+            }
+            // 5. No remote tier (or nothing left): the rest simulates.
+            _ => report.misses += remainder as u64,
+        }
+
+        let mut totals = self.prefetch_totals.lock().expect("prefetch totals lock");
+        totals.plans += report.plans;
+        totals.planned += report.planned;
+        totals.memory_hits += report.memory_hits;
+        totals.disk_hits += report.disk_hits;
+        totals.remote_hits += report.remote_hits;
+        totals.misses += report.misses;
+        totals.batch_round_trips += report.batch_round_trips;
+        report
+    }
+
+    /// Publishes a prefetched baseline run to the memory tier with the
+    /// same [`SessionStats`] accounting the per-point lookup would apply.
+    fn install_baseline(&self, key: BaselineKey, run: ConventionalRun, tier: TierHit) {
+        {
+            let mut stats = self.stats.lock().expect("session stats lock");
+            match tier {
+                TierHit::Disk => stats.baseline_disk_hits += 1,
+                TierHit::Remote => stats.baseline_remote_hits += 1,
+            }
+        }
+        self.baselines
+            .lock()
+            .expect("baseline lock")
+            .entry(key)
+            .or_insert(run);
+    }
+
+    /// Publishes a prefetched DRI run to the memory tier (see
+    /// [`Self::install_baseline`]).
+    fn install_dri(&self, key: DriKey, run: DriRun, tier: TierHit) {
+        {
+            let mut stats = self.stats.lock().expect("session stats lock");
+            match tier {
+                TierHit::Disk => stats.dri_disk_hits += 1,
+                TierHit::Remote => stats.dri_remote_hits += 1,
+            }
+        }
+        self.dri_runs
+            .lock()
+            .expect("dri lock")
+            .entry(key)
+            .or_insert(run);
+    }
+
+    /// Writes a remotely fetched payload through to the local disk tier.
+    fn heal(&self, kind: &str, key: u128, payload: &[u8]) {
+        if let Some(store) = &self.store {
+            store.save(kind, crate::persist::SCHEMA_VERSION, key, payload);
+        }
+    }
+
     /// The memoized workload for `cfg` (generated on first use).
     pub fn workload(&self, cfg: &RunConfig) -> Arc<Generated> {
         let key = (cfg.benchmark, cfg.seed_override);
@@ -303,10 +635,19 @@ impl SimSession {
         key: u128,
         decode: impl FnOnce(&[u8]) -> Option<T>,
     ) -> Option<T> {
-        let payload = self
-            .remote
-            .as_ref()?
-            .fetch(kind, crate::persist::SCHEMA_VERSION, key)?;
+        let remote = self.remote.as_ref()?;
+        // A prior batch exchange definitively established the record is
+        // absent from the serving store: skip straight to simulation
+        // rather than re-asking per point.
+        if self
+            .known_missing
+            .lock()
+            .expect("known-missing lock")
+            .contains(&key)
+        {
+            return None;
+        }
+        let payload = remote.fetch(kind, crate::persist::SCHEMA_VERSION, key)?;
         let value = decode(&payload)?;
         if let Some(store) = &self.store {
             store.save(kind, crate::persist::SCHEMA_VERSION, key, &payload);

@@ -18,8 +18,12 @@ fn one(cfg: &RunConfig) -> Comparison {
 }
 
 /// Runs the DRI side of every config in parallel and compares each
-/// against `base`'s (shared, memoized) baseline run.
+/// against `base`'s (shared, memoized) baseline run. The whole point
+/// grid is batch-prefetched through the session tiers first (every
+/// `cfg` shares `base`'s geometry, so the shared baseline record rides
+/// along in the same plan).
 fn compare_points(base: &RunConfig, cfgs: &[RunConfig]) -> Vec<Comparison> {
+    crate::session::prefetch_grid(cfgs);
     let baseline = run_conventional(base);
     let runs = parallel_map(cfgs, run_dri);
     cfgs.iter()
@@ -149,6 +153,7 @@ pub fn geometry_sweep(base: &RunConfig) -> GeometrySweep {
         cfg
     })
     .collect();
+    crate::session::prefetch_grid(&cfgs);
     let mut points = parallel_map(&cfgs, one).into_iter();
     GeometrySweep {
         assoc_4way: points.next().expect("three geometries"),

@@ -31,6 +31,13 @@ pub const REMOTE_ENV: &str = "DRI_REMOTE";
 /// Transport failures tolerated before the breaker opens.
 pub const MAX_CONSECUTIVE_ERRORS: u32 = 3;
 
+/// Most record references [`RemoteStore::fetch_batch`] puts in one
+/// `POST /batch` request. Larger plans are split into consecutive
+/// round-trips of this size; the value is deliberately below the
+/// server's own per-request cap (`dri_serve::server::MAX_BATCH`), so a
+/// well-formed client chunk is never rejected wholesale.
+pub const BATCH_CHUNK: usize = 4096;
+
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
@@ -49,6 +56,36 @@ pub struct RemoteStats {
     pub errors: u64,
     /// Payload bytes of validated records.
     pub bytes_fetched: u64,
+    /// `POST /batch` exchanges that reached the server (a chunked batch
+    /// counts once per chunk; empty plans, breaker-absorbed chunks, and
+    /// connections that never opened count zero).
+    pub batch_round_trips: u64,
+}
+
+/// One entry's outcome in a [`RemoteStore::fetch_batch_outcomes`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchEntry {
+    /// A validated record's payload.
+    Hit(Vec<u8>),
+    /// The server definitively answered with a miss frame: the record
+    /// does not exist there, and re-asking (until the store is re-seeded)
+    /// is wasted traffic.
+    Miss,
+    /// The record's state is unknown: a transport failure, a truncated
+    /// response, or bytes that failed end-to-end validation. A later
+    /// fetch could still succeed.
+    Failed,
+}
+
+impl BatchEntry {
+    /// Collapses the outcome to the plain `fetch_batch` shape
+    /// (`Some(payload)` on a hit, `None` otherwise).
+    pub fn into_payload(self) -> Option<Vec<u8>> {
+        match self {
+            BatchEntry::Hit(payload) => Some(payload),
+            BatchEntry::Miss | BatchEntry::Failed => None,
+        }
+    }
 }
 
 /// A handle on one remote result service.
@@ -63,6 +100,7 @@ pub struct RemoteStore {
     corrupt: AtomicU64,
     errors: AtomicU64,
     bytes_fetched: AtomicU64,
+    batch_round_trips: AtomicU64,
 }
 
 impl RemoteStore {
@@ -85,6 +123,7 @@ impl RemoteStore {
             corrupt: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             bytes_fetched: AtomicU64::new(0),
+            batch_round_trips: AtomicU64::new(0),
         }
     }
 
@@ -113,6 +152,7 @@ impl RemoteStore {
             corrupt: self.corrupt.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             bytes_fetched: self.bytes_fetched.load(Ordering::Relaxed),
+            batch_round_trips: self.batch_round_trips.load(Ordering::Relaxed),
         }
     }
 
@@ -148,13 +188,70 @@ impl RemoteStore {
         }
     }
 
-    /// Batch [`Self::fetch`]: one round-trip for many records, results
-    /// in request order (`None` per entry on miss/corruption). A
-    /// transport failure yields all-`None`.
+    /// Batch [`Self::fetch`]: resolves many record references with as
+    /// few round-trips as possible, returning results in request order
+    /// (`None` per entry on miss/corruption).
+    ///
+    /// Plans larger than [`BATCH_CHUNK`] are split into consecutive
+    /// `POST /batch` exchanges of that size — still orders of magnitude
+    /// fewer round-trips than per-record fetches, and each chunk stays
+    /// under the server's own request cap. An empty plan touches neither
+    /// the network nor the counters. A transport failure yields `None`
+    /// for that chunk's entries (later chunks are skipped once the
+    /// breaker opens).
     pub fn fetch_batch(&self, entries: &[(&str, u32, u128)]) -> Vec<Option<Vec<u8>>> {
+        self.fetch_batch_chunked(entries, BATCH_CHUNK)
+    }
+
+    /// [`Self::fetch_batch`] with an explicit chunk size (tests use tiny
+    /// chunks to exercise the split; `chunk` is clamped to at least 1).
+    pub fn fetch_batch_chunked(
+        &self,
+        entries: &[(&str, u32, u128)],
+        chunk: usize,
+    ) -> Vec<Option<Vec<u8>>> {
+        self.fetch_batch_outcomes(entries, chunk)
+            .0
+            .into_iter()
+            .map(BatchEntry::into_payload)
+            .collect()
+    }
+
+    /// [`Self::fetch_batch_chunked`] with full per-entry outcomes: the
+    /// caller learns which entries the server **definitively** answered
+    /// with a miss frame (the record does not exist there) versus
+    /// entries whose state is unknown (transport failure, truncated
+    /// response, failed validation). Also returns how many `POST /batch`
+    /// exchanges *this call* put on the wire — callers aggregating stats
+    /// must use this rather than diffing the shared
+    /// [`RemoteStats::batch_round_trips`] counter, which concurrent
+    /// fetches also advance.
+    pub fn fetch_batch_outcomes(
+        &self,
+        entries: &[(&str, u32, u128)],
+        chunk: usize,
+    ) -> (Vec<BatchEntry>, u64) {
+        let mut results = Vec::with_capacity(entries.len());
+        let mut round_trips = 0;
+        for chunk_entries in entries.chunks(chunk.max(1)) {
+            let (outcomes, trips) = self.fetch_batch_once(chunk_entries);
+            results.extend(outcomes);
+            round_trips += trips;
+        }
+        (results, round_trips)
+    }
+
+    /// One `POST /batch` exchange for up to one chunk of references.
+    /// Returns the outcomes plus the round-trips performed (1 when an
+    /// HTTP exchange reached the server, 0 when the breaker swallowed
+    /// the chunk or the connection never opened).
+    fn fetch_batch_once(&self, entries: &[(&str, u32, u128)]) -> (Vec<BatchEntry>, u64) {
+        if entries.is_empty() {
+            return (Vec::new(), 0);
+        }
         self.requests.fetch_add(1, Ordering::Relaxed);
-        if entries.is_empty() || self.is_disabled() {
-            return vec![None; entries.len()];
+        if self.is_disabled() {
+            return (vec![BatchEntry::Failed; entries.len()], 0);
         }
         let mut body = String::new();
         for (kind, schema, key) in entries {
@@ -162,12 +259,19 @@ impl RemoteStore {
         }
         let frames = match self.request("POST", "/batch", body.as_bytes()) {
             Ok((200, frames)) => {
+                self.batch_round_trips.fetch_add(1, Ordering::Relaxed);
                 self.consecutive_errors.store(0, Ordering::Relaxed);
                 frames
             }
-            Ok(_) | Err(_) => {
+            Ok(_) => {
+                // The exchange happened; the server rejected it.
+                self.batch_round_trips.fetch_add(1, Ordering::Relaxed);
                 self.transport_error();
-                return vec![None; entries.len()];
+                return (vec![BatchEntry::Failed; entries.len()], 1);
+            }
+            Err(_) => {
+                self.transport_error();
+                return (vec![BatchEntry::Failed; entries.len()], 0);
             }
         };
         let mut results = Vec::with_capacity(entries.len());
@@ -177,19 +281,22 @@ impl RemoteStore {
                 // A short response corrupts every remaining entry.
                 self.corrupt
                     .fetch_add((entries.len() - results.len()) as u64, Ordering::Relaxed);
-                results.resize(entries.len(), None);
-                return results;
+                results.resize(entries.len(), BatchEntry::Failed);
+                return (results, 1);
             };
             cursor = rest;
             match record {
-                Some(bytes) => results.push(self.accept(&bytes, schema, key)),
+                Some(bytes) => results.push(match self.accept(&bytes, schema, key) {
+                    Some(payload) => BatchEntry::Hit(payload),
+                    None => BatchEntry::Failed,
+                }),
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    results.push(None);
+                    results.push(BatchEntry::Miss);
                 }
             }
         }
-        results
+        (results, 1)
     }
 
     /// End-to-end validation of received record bytes; counts and

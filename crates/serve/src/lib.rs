@@ -38,7 +38,16 @@
 //! requested line, in request order: a status byte (`1` found, `0`
 //! miss), then a little-endian `u64` length, then that many raw record
 //! bytes (length 0 on a miss). One round-trip fetches a whole manifest's
-//! worth of results.
+//! worth of results — this is what `SimSession::prefetch` rides to
+//! replay an entire sweep grid in a single exchange.
+//!
+//! Limits: the server rejects more than [`server::MAX_BATCH`] references
+//! per request (`400`); the client splits larger plans into chunks of
+//! [`client::BATCH_CHUNK`] (< the server cap) and counts each exchange
+//! in [`RemoteStats::batch_round_trips`]. A frame failing end-to-end
+//! validation fails only its own entry; a truncated response fails the
+//! entries after it; a transport failure fails the chunk and feeds the
+//! circuit breaker. See `ARCHITECTURE.md` for the full wire schema.
 //!
 //! ## Concurrency
 //!
@@ -53,7 +62,7 @@ pub mod client;
 pub mod http;
 pub mod server;
 
-pub use client::{RemoteStats, RemoteStore, REMOTE_ENV};
+pub use client::{BatchEntry, RemoteStats, RemoteStore, BATCH_CHUNK, REMOTE_ENV};
 pub use server::{ServeStats, Server};
 
 /// Worker threads for the connection pool: `DRI_THREADS` when set to a

@@ -22,8 +22,12 @@ use crate::http::{read_request, write_head_response, write_response, Request};
 
 /// Per-connection I/O timeout: a stalled peer releases its worker.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
-/// Most record references one `/batch` request may carry.
-const MAX_BATCH: usize = 100_000;
+/// Most record references one `/batch` request may carry; longer bodies
+/// are rejected wholesale with `400`. The client's chunk size
+/// (`crate::client::BATCH_CHUNK`) stays below this, so a well-formed
+/// chunked prefetch is never bounced — the cap only stops a confused or
+/// hostile peer from pinning a worker on one unbounded request.
+pub const MAX_BATCH: usize = 8192;
 /// How long one `/stats` disk-usage walk is reused before re-walking.
 const USAGE_CACHE_TTL: Duration = Duration::from_secs(5);
 
@@ -32,10 +36,12 @@ const USAGE_CACHE_TTL: Duration = Duration::from_secs(5);
 pub struct ServeStats {
     /// Requests parsed (all endpoints).
     pub requests: u64,
-    /// Records served, singly or inside batch frames.
-    pub records_served: u64,
-    /// Record lookups answered 404 / miss-framed (absent or corrupt).
-    pub not_found: u64,
+    /// Records served, singly or inside batch frames (the JSON key is
+    /// `hits`, matching the store-counter naming everywhere else).
+    pub hits: u64,
+    /// Record lookups answered 404 / miss-framed (absent or corrupt;
+    /// the JSON key is `misses`).
+    pub misses: u64,
     /// Requests rejected as malformed.
     pub bad_requests: u64,
     /// Batch requests handled.
@@ -47,8 +53,8 @@ pub struct ServeStats {
 #[derive(Debug, Default)]
 struct AtomicServeStats {
     requests: AtomicU64,
-    records_served: AtomicU64,
-    not_found: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
     bad_requests: AtomicU64,
     batch_requests: AtomicU64,
     bytes_served: AtomicU64,
@@ -58,8 +64,8 @@ impl AtomicServeStats {
     fn snapshot(&self) -> ServeStats {
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
-            records_served: self.records_served.load(Ordering::Relaxed),
-            not_found: self.not_found.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
             bytes_served: self.bytes_served.load(Ordering::Relaxed),
@@ -249,11 +255,11 @@ fn route(request: &Request, shared: &Shared) -> Response {
         ("GET", path) if path.starts_with("/record/") => match parse_record_path(path) {
             Some((kind, schema, key)) => match store.load_record_bytes(&kind, schema, key) {
                 Some(bytes) => {
-                    stats.records_served.fetch_add(1, Ordering::Relaxed);
+                    stats.hits.fetch_add(1, Ordering::Relaxed);
                     (200, "OK", "application/octet-stream", bytes)
                 }
                 None => {
-                    stats.not_found.fetch_add(1, Ordering::Relaxed);
+                    stats.misses.fetch_add(1, Ordering::Relaxed);
                     (404, "Not Found", "text/plain", b"no such record\n".to_vec())
                 }
             },
@@ -345,13 +351,13 @@ fn batch(body: &[u8], store: &ResultStore, stats: &AtomicServeStats) -> Option<V
         let (kind, schema, key) = parse_record_path(&format!("/record/{kind}/v{schema}/{key}"))?;
         match store.load_record_bytes(&kind, schema, key) {
             Some(bytes) => {
-                stats.records_served.fetch_add(1, Ordering::Relaxed);
+                stats.hits.fetch_add(1, Ordering::Relaxed);
                 frames.push(1u8);
                 frames.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
                 frames.extend_from_slice(&bytes);
             }
             None => {
-                stats.not_found.fetch_add(1, Ordering::Relaxed);
+                stats.misses.fetch_add(1, Ordering::Relaxed);
                 frames.push(0u8);
                 frames.extend_from_slice(&0u64.to_le_bytes());
             }
@@ -361,7 +367,11 @@ fn batch(body: &[u8], store: &ResultStore, stats: &AtomicServeStats) -> Option<V
 }
 
 /// Hand-rolled JSON (no dependencies): every value is an unsigned
-/// integer, so escaping never arises.
+/// integer, so escaping never arises. The schema — documented in
+/// `ARCHITECTURE.md` §Observability — names served-vs-missed record
+/// traffic `hits`/`misses` at both levels (service and the nested
+/// `store` disk-tier counters), the same keys `suite --store-stats`
+/// prints, so dashboards scrape one vocabulary.
 fn stats_json(shared: &Shared) -> Vec<u8> {
     let store = &*shared.store;
     let usage = shared.disk_usage();
@@ -369,15 +379,15 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
     let traffic = store.stats();
     format!(
         "{{\"records\":{},\"bytes\":{},\"generation\":{},\
-         \"requests\":{},\"records_served\":{},\"not_found\":{},\
+         \"requests\":{},\"hits\":{},\"misses\":{},\
          \"bad_requests\":{},\"batch_requests\":{},\"bytes_served\":{},\
          \"store\":{{\"hits\":{},\"misses\":{},\"corrupt\":{}}}}}\n",
         usage.records,
         usage.bytes,
         store.generation(),
         snap.requests,
-        snap.records_served,
-        snap.not_found,
+        snap.hits,
+        snap.misses,
         snap.bad_requests,
         snap.batch_requests,
         snap.bytes_served,

@@ -115,8 +115,8 @@ fn records_serve_the_exact_on_disk_bytes() {
     );
 
     let stats = server.stats();
-    assert_eq!(stats.records_served, 1);
-    assert_eq!(stats.not_found, 3);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 3);
     assert_eq!(stats.bad_requests, 1);
     server.shutdown();
     let _ = fs::remove_dir_all(root);
@@ -257,7 +257,186 @@ fn many_concurrent_readers_are_served() {
             });
         }
     });
-    assert_eq!(server.stats().records_served, 80);
+    assert_eq!(server.stats().hits, 80);
     server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn empty_batch_plans_touch_nothing() {
+    // No server needed: an empty plan must not open a socket, count a
+    // request, or cost a round trip.
+    let remote = RemoteStore::new("127.0.0.1:1"); // nothing listens here
+    let results = remote.fetch_batch(&[]);
+    assert!(results.is_empty());
+    let stats = remote.stats();
+    assert_eq!(stats.requests, 0);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.batch_round_trips, 0);
+    assert!(!remote.is_disabled());
+}
+
+#[test]
+fn oversized_batches_split_into_chunked_round_trips() {
+    let records: Vec<(String, u32, u128, Vec<u8>)> = (0..10u128)
+        .map(|k| {
+            (
+                "dri".to_owned(),
+                1u32,
+                k,
+                format!("payload-{k}").into_bytes(),
+            )
+        })
+        .collect();
+    let borrowed: Vec<(&str, u32, u128, &[u8])> = records
+        .iter()
+        .map(|(kind, schema, key, payload)| (kind.as_str(), *schema, *key, payload.as_slice()))
+        .collect();
+    let (server, _store, root) = serve("chunked", &borrowed);
+    let remote = RemoteStore::new(server.addr().to_string());
+    let entries: Vec<(&str, u32, u128)> = records
+        .iter()
+        .map(|(kind, schema, key, _)| (kind.as_str(), *schema, *key))
+        .collect();
+
+    // 10 entries at a chunk size of 3 → 4 consecutive round-trips, with
+    // results still zipped back in request order.
+    let results = remote.fetch_batch_chunked(&entries, 3);
+    assert_eq!(results.len(), 10);
+    for (k, result) in results.iter().enumerate() {
+        assert_eq!(
+            result.as_deref(),
+            Some(format!("payload-{k}").as_bytes()),
+            "entry {k}"
+        );
+    }
+    let stats = remote.stats();
+    assert_eq!(stats.batch_round_trips, 4, "ceil(10 / 3) chunks");
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.hits, 10);
+    assert_eq!(server.stats().batch_requests, 4);
+
+    // The default chunk swallows the same plan in a single round-trip.
+    let remote = RemoteStore::new(server.addr().to_string());
+    let results = remote.fetch_batch(&entries);
+    assert_eq!(results.iter().filter(|r| r.is_some()).count(), 10);
+    assert_eq!(remote.stats().batch_round_trips, 1);
+
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn batches_over_the_server_cap_are_rejected_wholesale() {
+    let (server, _store, root) = serve("cap", &[("dri", 1, 1, b"x")]);
+    let mut body = String::new();
+    for key in 0..=dri_serve::server::MAX_BATCH as u128 {
+        body.push_str(&format!("dri 1 {key:032x}\n"));
+    }
+    let request = format!(
+        "POST /batch HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, _) = raw_request(server.addr(), &request);
+    assert_eq!(status, 400, "one reference over MAX_BATCH is a 400");
+    assert_eq!(server.stats().bad_requests, 1);
+    // A full-cap batch is still served.
+    let mut body = String::new();
+    for key in 0..dri_serve::server::MAX_BATCH as u128 {
+        body.push_str(&format!("dri 1 {key:032x}\n"));
+    }
+    let request = format!(
+        "POST /batch HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let (status, _) = raw_request(server.addr(), &request);
+    assert_eq!(status, 200);
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+/// Serves one rigged `POST /batch` response from a raw loopback socket,
+/// returning the address to point a client at. The body is framed by the
+/// caller, so tests can hand the client responses a well-behaved server
+/// would never produce.
+fn rig_batch_server(response_body: Vec<u8>) -> std::net::SocketAddr {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind rigged server");
+    let addr = listener.local_addr().expect("rigged addr");
+    std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let request = dri_serve::http::read_request(&mut stream).expect("read request");
+        assert_eq!(request.path, "/batch");
+        dri_serve::http::write_response(
+            &mut stream,
+            200,
+            "OK",
+            "application/octet-stream",
+            &response_body,
+        )
+        .expect("write rigged response");
+    });
+    addr
+}
+
+#[test]
+fn corrupt_frame_inside_a_good_batch_fails_only_that_entry() {
+    // Build two genuine records to flank a frame whose bytes fail
+    // end-to-end validation (right length, garbage content).
+    let root = temp_root("rigged-batch");
+    let store = ResultStore::open(&root).expect("open store");
+    store.save("dri", 1, 1, b"first ok");
+    store.save("dri", 1, 3, b"third ok");
+    let record_1 = fs::read(store.entry_path("dri", 1, 1)).expect("record 1");
+    let record_3 = fs::read(store.entry_path("dri", 1, 3)).expect("record 3");
+
+    let mut body = Vec::new();
+    let mut frame = |bytes: &[u8]| {
+        body.push(1u8);
+        body.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        body.extend_from_slice(bytes);
+    };
+    frame(&record_1);
+    frame(&vec![0xA5u8; record_1.len()]); // corrupt: fails validation
+    frame(&record_3);
+
+    let addr = rig_batch_server(body);
+    let remote = RemoteStore::new(addr.to_string());
+    let results = remote.fetch_batch(&[("dri", 1, 1), ("dri", 1, 2), ("dri", 1, 3)]);
+    assert_eq!(results[0].as_deref(), Some(&b"first ok"[..]));
+    assert_eq!(results[1], None, "the corrupt frame degrades to a miss");
+    assert_eq!(results[2].as_deref(), Some(&b"third ok"[..]));
+    let stats = remote.stats();
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.corrupt, 1);
+    assert_eq!(stats.errors, 0, "a bad frame is not a transport failure");
+    assert!(!remote.is_disabled());
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn truncated_batch_responses_fail_the_remaining_entries() {
+    let root = temp_root("truncated-batch");
+    let store = ResultStore::open(&root).expect("open store");
+    store.save("dri", 1, 1, b"whole");
+    let record = fs::read(store.entry_path("dri", 1, 1)).expect("record");
+
+    let mut body = Vec::new();
+    body.push(1u8);
+    body.extend_from_slice(&(record.len() as u64).to_le_bytes());
+    body.extend_from_slice(&record);
+    // Second frame: header promises more bytes than follow.
+    body.push(1u8);
+    body.extend_from_slice(&(record.len() as u64).to_le_bytes());
+    body.extend_from_slice(&record[..4]);
+
+    let addr = rig_batch_server(body);
+    let remote = RemoteStore::new(addr.to_string());
+    let results = remote.fetch_batch(&[("dri", 1, 1), ("dri", 1, 2), ("dri", 1, 3)]);
+    assert_eq!(results[0].as_deref(), Some(&b"whole"[..]));
+    assert_eq!(results[1], None);
+    assert_eq!(results[2], None);
+    let stats = remote.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.corrupt, 2, "every unframed entry counts corrupt");
     let _ = fs::remove_dir_all(root);
 }

@@ -57,15 +57,25 @@
 //! serving path used by the `dri-serve` crate: the full checksummed
 //! record travels to the remote reader, which re-validates it end-to-end
 //! before trusting a byte.
+//!
+//! ## Planning lookups in bulk
+//!
+//! [`plan::KeyPlan`] enumerates — ordered and deduplicated — the record
+//! grid a campaign is about to need, so a bulk resolver (the prefetch
+//! pass in `dri-experiments`) can sweep the disk once and fetch every
+//! remote remainder in a single chunked `POST /batch` round-trip instead
+//! of paying one round-trip per grid point.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod gc;
 pub mod hash;
+pub mod plan;
 pub mod store;
 
 pub use codec::{Decoder, Encoder};
 pub use gc::{DiskUsage, GcPolicy, GcReport};
 pub use hash::KeyHasher;
+pub use plan::{KeyPlan, KeyRef};
 pub use store::{validate_record, ResultStore, StoreStats};

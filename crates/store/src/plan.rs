@@ -1,0 +1,142 @@
+//! Key-plan enumeration: the record grid a campaign is *about* to need.
+//!
+//! A sweep or a manifest-driven suite knows its entire configuration grid
+//! before it runs a single point, and every grid point's store address is
+//! computable up front from the same stable [`crate::hash::KeyHasher`]
+//! keys the store files are named by. A [`KeyPlan`] captures that
+//! enumeration: an ordered, **deduplicated** list of `(kind, schema,
+//! key)` references that a bulk resolver (the local disk pass and the
+//! remote `POST /batch` client in `dri-experiments`/`dri-serve`) can
+//! walk in one pass instead of one round-trip per point.
+//!
+//! Deduplication matters because grids share records heavily — every
+//! miss-bound × size-bound point of a parameter search reuses the same
+//! baseline run — and a batch request that repeats a key pays wire and
+//! disk cost for bytes it already has. Order is preserved (first push
+//! wins) so batch responses can be zipped back to their requesters
+//! deterministically.
+
+use std::collections::HashSet;
+
+/// One planned record reference: the triple that addresses a record in a
+/// [`crate::ResultStore`] and over the `dri-serve` wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KeyRef {
+    /// Record kind (`"baseline"`, `"dri"`, …).
+    pub kind: String,
+    /// Schema version the payload layout is valid under.
+    pub schema: u32,
+    /// The 128-bit stable content key.
+    pub key: u128,
+}
+
+/// An ordered, deduplicated enumeration of the records a campaign is
+/// about to look up (see the module docs).
+///
+/// ```
+/// use dri_store::KeyPlan;
+///
+/// let mut plan = KeyPlan::new();
+/// assert!(plan.push("baseline", 1, 7));
+/// assert!(plan.push("dri", 1, 7), "same key, different kind: distinct");
+/// assert!(!plan.push("baseline", 1, 7), "duplicates are dropped");
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeyPlan {
+    entries: Vec<KeyRef>,
+    seen: HashSet<KeyRef>,
+}
+
+impl KeyPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one record reference, keeping the first occurrence of a
+    /// duplicate. Returns whether the reference was newly planned.
+    pub fn push(&mut self, kind: &str, schema: u32, key: u128) -> bool {
+        let entry = KeyRef {
+            kind: kind.to_owned(),
+            schema,
+            key,
+        };
+        if !self.seen.insert(entry.clone()) {
+            return false;
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    /// Whether `(kind, schema, key)` is already planned.
+    pub fn contains(&self, kind: &str, schema: u32, key: u128) -> bool {
+        self.seen.contains(&KeyRef {
+            kind: kind.to_owned(),
+            schema,
+            key,
+        })
+    }
+
+    /// Unique records planned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is planned (a fully memory-warm grid).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The planned references, in first-push order.
+    pub fn iter(&self) -> impl Iterator<Item = &KeyRef> {
+        self.entries.iter()
+    }
+
+    /// The plan as borrowed `(kind, schema, key)` tuples — the exact
+    /// shape the batch client consumes.
+    pub fn entries(&self) -> Vec<(&str, u32, u128)> {
+        self.entries
+            .iter()
+            .map(|e| (e.kind.as_str(), e.schema, e.key))
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a KeyPlan {
+    type Item = &'a KeyRef;
+    type IntoIter = std::slice::Iter<'a, KeyRef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_preserves_first_push_order() {
+        let mut plan = KeyPlan::new();
+        assert!(plan.push("dri", 1, 2));
+        assert!(plan.push("baseline", 1, 1));
+        assert!(!plan.push("dri", 1, 2), "duplicate dropped");
+        assert!(plan.push("dri", 2, 2), "schema distinguishes");
+        let got: Vec<(&str, u32, u128)> = plan.entries();
+        assert_eq!(got, vec![("dri", 1, 2), ("baseline", 1, 1), ("dri", 2, 2)]);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert!(plan.contains("baseline", 1, 1));
+        assert!(!plan.contains("baseline", 1, 2));
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        let plan = KeyPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert!(plan.entries().is_empty());
+        assert_eq!(plan.iter().count(), 0);
+    }
+}

@@ -38,6 +38,8 @@
 //! See `examples/` for runnable scenarios and `crates/experiments` for the
 //! full figure/table harness.
 
+#![warn(missing_docs)]
+
 pub use cache_sim as cache;
 pub use dri_core as dri;
 pub use energy_model as energy;
