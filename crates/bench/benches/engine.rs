@@ -22,6 +22,10 @@
 //!   **per record** versus one chunked `POST /batch` for the entire
 //!   plan (`SimSession::prefetch`) — the amortization the suite's
 //!   `--prefetch` default buys every campaign replay.
+//! * `push/*` — the authenticated write path: one signed `PUT` per
+//!   record versus one chunked `POST /batch-put` for a whole grid's
+//!   worth — what a `DRI_PUSH=1` worker pays to heal its simulations
+//!   into the central store after a sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dri_experiments::runner::{run_conventional_uncached, run_dri_uncached};
@@ -121,6 +125,42 @@ fn bench_engine(c: &mut Criterion) {
         })
     });
     server.shutdown();
+
+    // Write path: a token-authenticated server over a scratch root, fed
+    // by a client holding the matching secret. Per-record signed PUTs
+    // versus one chunked batch-put of a grid's worth of records.
+    let push_root =
+        std::env::temp_dir().join(format!("dri-engine-bench-push-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&push_root);
+    let token = "engine-bench-token";
+    let push_server = dri_serve::Server::bind_with_token(
+        Arc::new(ResultStore::open(&push_root).expect("push store")),
+        "127.0.0.1:0",
+        2,
+        Some(token.to_owned()),
+    )
+    .expect("push server");
+    let pusher =
+        dri_serve::RemoteStore::with_token(push_server.addr().to_string(), Some(token.to_owned()));
+    let payload = dri_experiments::persist::encode_dri(&run_dri(&cfg));
+    let record = dri_store::frame_record(1, 0xb1e5, &payload);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push/put_record/compress_quick", |b| {
+        b.iter(|| black_box(pusher.push("dri", 1, 0xb1e5, black_box(&record))))
+    });
+    let grid_records: Vec<(u128, Vec<u8>)> = (0..7u128)
+        .map(|k| (k, dri_store::frame_record(1, k, &payload)))
+        .collect();
+    let entries: Vec<(&str, u32, u128, &[u8])> = grid_records
+        .iter()
+        .map(|(k, r)| ("dri", 1u32, *k, r.as_slice()))
+        .collect();
+    group.throughput(Throughput::Elements(entries.len() as u64));
+    group.bench_function("push/batch_put_grid/compress_quick", |b| {
+        b.iter(|| black_box(pusher.push_batch(black_box(&entries))))
+    });
+    push_server.shutdown();
+    let _ = std::fs::remove_dir_all(&push_root);
     let _ = std::fs::remove_dir_all(&root);
     group.finish();
 }

@@ -26,7 +26,8 @@ use dri_experiments::SimSession;
 use dri_store::{GcPolicy, ResultStore};
 
 const USAGE: &str = "\
-usage: suite [--manifest FILE] [--store-stats] [--[no-]prefetch] [--list] [JOB ...]
+usage: suite [--manifest FILE] [--store-stats] [--[no-]prefetch] [--[no-]push]
+             [--list] [JOB ...]
        suite gc [--store DIR] [--max-bytes N[K|M|G]] [--max-age GENS] [--dry-run]
 
 Runs figure/table jobs in one process with shared simulation caches.
@@ -41,6 +42,10 @@ options:
                     tiers up front (one chunked POST /batch round-trip for
                     the remote remainder); this is the default
   --no-prefetch     restore per-point tier lookups
+  --push            push locally simulated records to the DRI_REMOTE
+                    service after each sweep (requires the server to hold
+                    the matching DRI_TOKEN); off by default
+  --no-push         keep simulated records local (the default)
   --list            list available jobs and exit
   --help            this text
 
@@ -52,14 +57,17 @@ gc subcommand (garbage-collect a result store):
                     generations
   --dry-run         report what would be evicted without deleting anything
 
-environment: DRI_QUICK, DRI_THREADS, DRI_STORE, DRI_REMOTE, DRI_PREFETCH
-(see README); a manifest's `quick/threads/store/remote/prefetch` options
-set the same variables.";
+environment: DRI_QUICK, DRI_THREADS, DRI_STORE, DRI_REMOTE, DRI_PREFETCH,
+DRI_PUSH, DRI_TOKEN, DRI_BENCHMARKS (see README); a manifest's
+`quick/threads/store/remote/prefetch/push/benchmarks` options set the
+same variables (the token deliberately has no manifest spelling — a
+secret does not belong in a reviewable plan file).";
 
 struct CliArgs {
     manifest_path: Option<String>,
     store_stats: bool,
     prefetch: Option<bool>,
+    push: Option<bool>,
     list: bool,
     jobs: Vec<Job>,
 }
@@ -69,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         manifest_path: None,
         store_stats: false,
         prefetch: None,
+        push: None,
         list: false,
         jobs: Vec::new(),
     };
@@ -82,6 +91,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--store-stats" => parsed.store_stats = true,
             "--prefetch" => parsed.prefetch = Some(true),
             "--no-prefetch" => parsed.prefetch = Some(false),
+            "--push" => parsed.push = Some(true),
+            "--no-push" => parsed.push = Some(false),
             "--list" => parsed.list = true,
             "--help" | "-h" => return Err(String::new()),
             "all" => parsed.jobs.extend(Job::all()),
@@ -98,9 +109,9 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
 }
 
 /// Builds the run plan: CLI jobs and a manifest file compose (manifest
-/// options always apply, except that an explicit `--[no-]prefetch` flag
-/// overrides the manifest's `prefetch =`; explicit CLI jobs run after
-/// the manifest's).
+/// options always apply, except that an explicit `--[no-]prefetch` /
+/// `--[no-]push` flag overrides the manifest's `prefetch =` / `push =`;
+/// explicit CLI jobs run after the manifest's).
 fn build_plan(args: &CliArgs) -> Result<Manifest, String> {
     let mut plan = match &args.manifest_path {
         Some(path) => {
@@ -112,6 +123,9 @@ fn build_plan(args: &CliArgs) -> Result<Manifest, String> {
     };
     if args.prefetch.is_some() {
         plan.options.prefetch = args.prefetch;
+    }
+    if args.push.is_some() {
+        plan.options.push = args.push;
     }
     for &job in &args.jobs {
         plan.push_job(job);
@@ -141,6 +155,12 @@ fn apply_options(plan: &Manifest) {
     }
     if let Some(prefetch) = plan.options.prefetch {
         std::env::set_var("DRI_PREFETCH", if prefetch { "1" } else { "0" });
+    }
+    if let Some(push) = plan.options.push {
+        std::env::set_var("DRI_PUSH", if push { "1" } else { "0" });
+    }
+    if let Some(benchmarks) = &plan.options.benchmarks {
+        std::env::set_var("DRI_BENCHMARKS", benchmarks);
     }
 }
 
@@ -265,7 +285,15 @@ fn main() -> ExitCode {
             None => ", no result store (set DRI_STORE to enable)".to_owned(),
         },
         match session.remote() {
-            Some(remote) => format!(", remote at http://{}", remote.addr()),
+            Some(remote) => format!(
+                ", remote at http://{}{}",
+                remote.addr(),
+                if dri_experiments::push_enabled() {
+                    " (write-through push)"
+                } else {
+                    ""
+                }
+            ),
             None => String::new(),
         }
     );
@@ -335,6 +363,14 @@ fn main() -> ExitCode {
             prefetch.batch_round_trips,
         );
     }
+    let push = session.push_stats();
+    if push.batches > 0 {
+        eprintln!(
+            "  push: {} batch(es), {} record(s) — {} pushed / {} rejected / {} failed, \
+             {} round-trip(s)",
+            push.batches, push.attempted, push.pushed, push.rejected, push.failed, push.round_trips,
+        );
+    }
 
     if args.store_stats {
         match session.store() {
@@ -364,6 +400,13 @@ fn main() -> ExitCode {
             println!("  errors: {}", r.errors);
             println!("  bytes fetched: {}", r.bytes_fetched);
             println!("  batch round trips: {}", r.batch_round_trips);
+            // Write-side counters, named like the server's /stats JSON:
+            // client `pushes` advances in lockstep with the server's
+            // `records_accepted`, `push round trips` with its
+            // `push_round_trips`.
+            println!("  pushes: {}", r.pushes);
+            println!("  push rejected: {}", r.push_rejected);
+            println!("  push round trips: {}", r.push_round_trips);
         }
     }
     ExitCode::SUCCESS

@@ -98,6 +98,60 @@ pub fn parallel_map_capped<T: Sync, R: Send>(
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Environment variable restricting which benchmarks the figure suites
+/// run: a comma-separated list of benchmark names (`compress,gcc,li`).
+/// Unset or empty = every benchmark. This is the fleet-splitting knob:
+/// two workers pointed at one pushing store each take a disjoint half of
+/// a campaign (manifest `benchmarks =` sets the same variable).
+pub const BENCHMARKS_ENV: &str = "DRI_BENCHMARKS";
+
+/// The benchmarks the figure suites should cover: all fifteen, unless
+/// [`BENCHMARKS_ENV`] names a subset. Order always follows the paper's
+/// presentation order regardless of how the list was written. Unknown
+/// names warn (once per process) and are skipped; a selection that names
+/// nothing valid falls back to the full suite rather than silently
+/// producing empty figures.
+pub fn selected_benchmarks() -> Vec<Benchmark> {
+    let all = Benchmark::all();
+    let Ok(raw) = std::env::var(BENCHMARKS_ENV) else {
+        return all.to_vec();
+    };
+    if raw.trim().is_empty() {
+        return all.to_vec();
+    }
+    let mut wanted: Vec<&str> = Vec::new();
+    for name in raw.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        if all.iter().any(|b| b.name() == name) {
+            wanted.push(name);
+        } else {
+            warn_bad_benchmark(name);
+        }
+    }
+    if wanted.is_empty() {
+        return all.to_vec();
+    }
+    all.into_iter()
+        .filter(|b| wanted.contains(&b.name()))
+        .collect()
+}
+
+/// Warns (once per process) that `DRI_BENCHMARKS` named something that
+/// is not a benchmark.
+fn warn_bad_benchmark(name: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "warning: {BENCHMARKS_ENV} names unknown benchmark `{name}`; \
+             ignoring it (known: {})",
+            Benchmark::all().map(Benchmark::name).join(", ")
+        );
+    });
+}
+
 /// The base run configuration for a benchmark, honouring quick mode.
 pub fn base_config(benchmark: Benchmark) -> RunConfig {
     if quick_mode() {
@@ -118,10 +172,11 @@ pub fn space() -> SearchSpace {
     }
 }
 
-/// Runs one closure per benchmark across [`threads`] workers, preserving
-/// the canonical benchmark order in the output.
+/// Runs one closure per selected benchmark (see [`selected_benchmarks`])
+/// across [`threads`] workers, preserving the canonical benchmark order
+/// in the output.
 pub fn for_each_benchmark<T: Send>(f: impl Fn(Benchmark) -> T + Sync) -> Vec<(Benchmark, T)> {
-    let benchmarks = Benchmark::all();
+    let benchmarks = selected_benchmarks();
     parallel_map(&benchmarks, |&b| (b, f(b)))
 }
 
@@ -158,5 +213,16 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn selection_defaults_to_every_benchmark() {
+        // `selected_benchmarks` reads the ambient environment; only
+        // assert on the case this test can see without mutating global
+        // state (the filtering itself is covered via the manifest's
+        // strict `benchmarks =` validation and the distributed CI job).
+        if std::env::var_os(BENCHMARKS_ENV).is_none() {
+            assert_eq!(selected_benchmarks(), Benchmark::all().to_vec());
+        }
     }
 }

@@ -52,5 +52,6 @@ pub use search::{
     grid_configs, search_all, search_benchmark, SearchResult, SearchSpace, SLOWDOWN_CONSTRAINT,
 };
 pub use session::{
-    prefetch_enabled, prefetch_grid, PrefetchStats, SessionStats, SimSession, PREFETCH_ENV,
+    prefetch_enabled, prefetch_grid, push_enabled, push_grid, PrefetchStats, PushStats,
+    SessionStats, SimSession, PREFETCH_ENV, PUSH_ENV,
 };

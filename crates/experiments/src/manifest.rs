@@ -21,10 +21,15 @@
 //! * `<key> = <value>` — an option. `quick` (`on`/`off`/`1`/`0`) maps to
 //!   `DRI_QUICK`, `threads` (positive integer) to `DRI_THREADS`, `store`
 //!   (a directory path) to `DRI_STORE`, `remote` (a `dri-serve`
-//!   `host:port`) to `DRI_REMOTE`, and `prefetch` (`on`/`off`) to
+//!   `host:port`) to `DRI_REMOTE`, `prefetch` (`on`/`off`) to
 //!   `DRI_PREFETCH` (bulk grid prefetch through the cache tiers — on by
-//!   default). Options apply to the whole plan and must precede the
-//!   first job.
+//!   default), `push` (`on`/`off`) to `DRI_PUSH` (push locally simulated
+//!   records to the remote service after each sweep — off by default;
+//!   the server must hold the matching `DRI_TOKEN`), and `benchmarks`
+//!   (a comma-separated list of benchmark names) to `DRI_BENCHMARKS` —
+//!   the fleet-splitting knob that lets two workers take disjoint halves
+//!   of one campaign. Options apply to the whole plan and must precede
+//!   the first job.
 //! * `<job>` — a job name (see [`Job::all`]), or `all` for every job.
 //!   Jobs run in file order; duplicates are dropped (within one process
 //!   the second run would be pure cache hits anyway).
@@ -155,6 +160,13 @@ pub struct PlanOptions {
     /// `prefetch = on|off` → `DRI_PREFETCH` (bulk grid prefetch; on by
     /// default when unset).
     pub prefetch: Option<bool>,
+    /// `push = on|off` → `DRI_PUSH` (write-through push of simulated
+    /// records to the remote service; off by default when unset).
+    pub push: Option<bool>,
+    /// `benchmarks = a,b,c` → `DRI_BENCHMARKS` (restrict the figure
+    /// suites to a validated subset of benchmarks; names are normalised
+    /// to a comma-joined list).
+    pub benchmarks: Option<String>,
 }
 
 /// A parsed manifest: options plus an ordered, deduplicated job list.
@@ -210,6 +222,40 @@ fn parse_switch(line: usize, value: &str) -> Result<bool, ManifestError> {
         "off" | "0" | "false" | "no" => Ok(false),
         other => Err(err(line, format!("expected on/off, got `{other}`"))),
     }
+}
+
+/// Validates a `benchmarks =` list against the known benchmark names,
+/// returning them normalised (trimmed, comma-joined). Strict like every
+/// other manifest value: a typo'd name fails the parse with its line
+/// number rather than silently shrinking a fleet worker's share of the
+/// campaign.
+fn parse_benchmarks(line: usize, value: &str) -> Result<String, ManifestError> {
+    use synth_workload::suite::Benchmark;
+    let mut names: Vec<&str> = Vec::new();
+    for name in value.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        if Benchmark::all().iter().any(|b| b.name() == name) {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        } else {
+            let known: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+            return Err(err(
+                line,
+                format!(
+                    "unknown benchmark `{name}` (expected a comma-separated subset of: {})",
+                    known.join(", ")
+                ),
+            ));
+        }
+    }
+    if names.is_empty() {
+        return Err(err(line, "`benchmarks` needs at least one benchmark name"));
+    }
+    Ok(names.join(","))
 }
 
 /// Parses manifest text (see the module docs for the grammar).
@@ -275,12 +321,16 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
                     manifest.options.remote = Some(value.to_owned());
                 }
                 "prefetch" => manifest.options.prefetch = Some(parse_switch(lineno, value)?),
+                "push" => manifest.options.push = Some(parse_switch(lineno, value)?),
+                "benchmarks" => {
+                    manifest.options.benchmarks = Some(parse_benchmarks(lineno, value)?);
+                }
                 other => {
                     return Err(err(
                         lineno,
                         format!(
                             "unknown option `{other}` (expected quick, threads, store, \
-                             remote, or prefetch)"
+                             remote, prefetch, push, or benchmarks)"
                         ),
                     ))
                 }
@@ -351,6 +401,33 @@ mod tests {
     fn remote_option_parses() {
         let m = parse("remote = 10.0.0.5:7171\nfigure3\n").expect("valid manifest");
         assert_eq!(m.options.remote.as_deref(), Some("10.0.0.5:7171"));
+    }
+
+    #[test]
+    fn push_option_parses_and_rejects_garbage() {
+        let m = parse("push = on\nremote = 10.0.0.5:7171\nfigure3\n").expect("valid manifest");
+        assert_eq!(m.options.push, Some(true));
+        assert_eq!(parse("figure3\n").unwrap().options.push, None, "default");
+        assert!(parse("push = maybe\nfigure3\n").is_err());
+    }
+
+    #[test]
+    fn benchmarks_option_validates_names_strictly() {
+        let m = parse("benchmarks = compress, gcc ,li\nfigure3\n").expect("valid manifest");
+        assert_eq!(
+            m.options.benchmarks.as_deref(),
+            Some("compress,gcc,li"),
+            "trimmed, deduplicated, comma-joined"
+        );
+        let m = parse("benchmarks = swim, swim\nfigure3\n").expect("dup collapses");
+        assert_eq!(m.options.benchmarks.as_deref(), Some("swim"));
+        let e = parse("figure3\n").unwrap();
+        assert_eq!(e.options.benchmarks, None);
+        let e = parse("quick = on\nbenchmarks = compress, gzip\nfigure3\n")
+            .expect_err("gzip is not in the suite");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("gzip"), "{e}");
+        assert!(parse("benchmarks = ,\nfigure3\n").is_err(), "empty list");
     }
 
     #[test]

@@ -93,6 +93,10 @@ pub fn search_benchmark(base: &RunConfig, space: &SearchSpace) -> SearchResult {
     crate::session::prefetch_grid(&cfgs);
     let baseline = run_conventional(base);
     let runs = crate::harness::parallel_map(&cfgs, run_dri);
+    // With push mode on, heal whatever this grid had to simulate upward
+    // into the shared store (one chunked POST /batch-put; a no-op when
+    // every point came from a cache tier).
+    crate::session::push_grid();
     let mut best_constrained: Option<Comparison> = None;
     let mut best_unconstrained: Option<Comparison> = None;
     for (cfg, dri) in cfgs.iter().zip(&runs) {
@@ -118,9 +122,11 @@ pub fn search_benchmark(base: &RunConfig, space: &SearchSpace) -> SearchResult {
     }
 }
 
-/// Searches every benchmark, spreading the work over at most `threads`
-/// workers (drawn from the same process-wide budget the per-benchmark
-/// grids use, so the fan-out never multiplies past the machine).
+/// Searches every selected benchmark (all fifteen unless
+/// `DRI_BENCHMARKS` restricts the campaign — the fleet-splitting knob),
+/// spreading the work over at most `threads` workers (drawn from the
+/// same process-wide budget the per-benchmark grids use, so the fan-out
+/// never multiplies past the machine).
 ///
 /// The **entire cross-benchmark grid** is enumerated and prefetched
 /// before the fan-out, so a cold worker pointed at a warm `dri-serve`
@@ -128,21 +134,26 @@ pub fn search_benchmark(base: &RunConfig, space: &SearchSpace) -> SearchResult {
 /// every (miss-bound × size-bound) point — in **one** batch round-trip,
 /// not one per benchmark (the per-benchmark prefetch inside
 /// [`search_benchmark`] then finds everything memory-resident and stays
-/// off the network).
+/// off the network). With push mode on, whatever the campaign had to
+/// simulate is pushed upward after the fan-out too (each per-benchmark
+/// grid pushes as it finishes; the final [`crate::session::push_grid`]
+/// drains stragglers).
 pub fn search_all(
     make_base: impl Fn(Benchmark) -> RunConfig + Sync,
     space: &SearchSpace,
     threads: usize,
 ) -> Vec<SearchResult> {
-    let benchmarks = Benchmark::all();
+    let benchmarks = crate::harness::selected_benchmarks();
     let campaign: Vec<RunConfig> = benchmarks
         .iter()
         .flat_map(|&b| grid_configs(&make_base(b), space))
         .collect();
     crate::session::prefetch_grid(&campaign);
-    crate::harness::parallel_map_capped(threads.max(1), &benchmarks, |&b| {
+    let results = crate::harness::parallel_map_capped(threads.max(1), &benchmarks, |&b| {
         search_benchmark(&make_base(b), space)
-    })
+    });
+    crate::session::push_grid();
+    results
 }
 
 #[cfg(test)]

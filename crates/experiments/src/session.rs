@@ -75,11 +75,28 @@
 //! --no-prefetch` / a manifest's `prefetch = off`) restores per-point
 //! lookups. See `tests/batch_prefetch.rs` for the round-trip and
 //! bit-identity proofs.
+//!
+//! ## Write-through push
+//!
+//! Prefetch heals records *downward* (remote → local disk); push mode
+//! heals them **upward**. With `DRI_PUSH=1` (or `suite --push` / a
+//! manifest's `push = on`) and a remote tier attached, every record this
+//! session *simulates* — a true miss nothing could serve — is buffered,
+//! and [`SimSession::push_pending`] sends the batch to the central
+//! server after each sweep's fan-out, chunked exactly like prefetch's
+//! `POST /batch` (one `POST /batch-put` per [`dri_serve::BATCH_CHUNK`]
+//! records). Pushes are signed with the `DRI_TOKEN` shared secret (see
+//! `dri_serve::auth`); a server that rejects them — wrong token,
+//! read-only — costs one warning and the records simply stay local.
+//! This is what turns a fleet of workers into one shared memoization
+//! domain: each grid point is simulated once *fleet-wide*, by whichever
+//! worker reaches it first (`tests/push_tier.rs` proves the full
+//! two-pushers-one-cold-replayer scenario bit-identically).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use dri_serve::{BatchEntry, RemoteStats, RemoteStore};
+use dri_serve::{BatchEntry, PushOutcome, RemoteStats, RemoteStore};
 use dri_store::{KeyPlan, ResultStore, StoreStats};
 
 use cache_sim::config::CacheConfig;
@@ -220,6 +237,55 @@ pub fn prefetch_grid(cfgs: &[RunConfig]) -> Option<PrefetchStats> {
     prefetch_enabled().then(|| SimSession::global().prefetch(cfgs))
 }
 
+/// Environment variable gating write-through push mode. Push is **off by
+/// default** (workers must opt in to writing at a shared host); set
+/// `DRI_PUSH=1` (or `on`/`true`/`yes`) to enable it.
+pub const PUSH_ENV: &str = "DRI_PUSH";
+
+/// Whether locally simulated results should be pushed to the remote
+/// result service after each sweep (see [`SimSession::push_pending`]).
+/// Like the other `DRI_*` switches this reads [`PUSH_ENV`] afresh on
+/// every call, so a manifest's `push =` option takes effect even after
+/// the global session exists.
+pub fn push_enabled() -> bool {
+    match std::env::var(PUSH_ENV) {
+        Ok(raw) => matches!(
+            raw.trim().to_ascii_lowercase().as_str(),
+            "1" | "on" | "true" | "yes"
+        ),
+        Err(_) => false,
+    }
+}
+
+/// Pushes the **global** session's pending simulated records upward when
+/// push mode is enabled — the hook every sweep/search calls right after
+/// its `parallel_map` fan-out completes (the post-sweep mirror of
+/// [`prefetch_grid`]). Returns the per-batch outcome (`None` when push
+/// is disabled).
+pub fn push_grid() -> Option<PushStats> {
+    push_enabled().then(|| SimSession::global().push_pending())
+}
+
+/// Outcome counters of one (or, aggregated, every) write-through push.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PushStats {
+    /// Push passes that had at least one pending record (empty passes —
+    /// a fully warm sweep — cost nothing and count nothing).
+    pub batches: u64,
+    /// Records drained from the pending buffer and offered to the server.
+    pub attempted: u64,
+    /// Records the server validated and landed in its store.
+    pub pushed: u64,
+    /// Records the server definitively rejected (bad token, read-only
+    /// server, or a frame that failed validation).
+    pub rejected: u64,
+    /// Records whose fate is unknown (transport failure mid-batch).
+    pub failed: u64,
+    /// `POST /batch-put` exchanges that reached the server
+    /// (⌈attempted ∕ [`dri_serve::BATCH_CHUNK`]⌉ when all goes well).
+    pub round_trips: u64,
+}
+
 /// Outcome counters of one (or, aggregated, every) bulk-prefetch pass.
 ///
 /// Every planned record lands in exactly one of the four outcome
@@ -269,6 +335,18 @@ pub struct SimSession {
     /// consulted for anything but skipping the remote tier; the disk and
     /// memory tiers still see every lookup.
     known_missing: Mutex<HashSet<u128>>,
+    /// Encoded payloads of records this session *simulated* while push
+    /// mode was active, awaiting the next [`Self::push_pending`] drain.
+    /// Simulated-only by construction: disk/remote hits already exist
+    /// upstream or arrived from there, so pushing them back would be
+    /// redundant traffic.
+    pending_push: Mutex<Vec<(&'static str, u128, Vec<u8>)>>,
+    push_totals: Mutex<PushStats>,
+    /// Test-facing push switch; the environment ([`push_enabled`]) is
+    /// also consulted afresh on every simulation, so the global session
+    /// honours a manifest's `push = on` even though it was constructed
+    /// earlier.
+    push: bool,
     store: Option<ResultStore>,
     remote: Option<RemoteStore>,
 }
@@ -297,6 +375,21 @@ impl SimSession {
         SimSession {
             store,
             remote,
+            ..Self::default()
+        }
+    }
+
+    /// [`Self::with_tiers`] with write-through push mode set explicitly
+    /// (tests use this instead of mutating the process environment).
+    pub fn with_tiers_push(
+        store: Option<ResultStore>,
+        remote: Option<RemoteStore>,
+        push: bool,
+    ) -> Self {
+        SimSession {
+            store,
+            remote,
+            push,
             ..Self::default()
         }
     }
@@ -340,6 +433,92 @@ impl SimSession {
     /// Aggregate of every [`Self::prefetch`] pass this session ran.
     pub fn prefetch_stats(&self) -> PrefetchStats {
         *self.prefetch_totals.lock().expect("prefetch totals lock")
+    }
+
+    /// Aggregate of every [`Self::push_pending`] drain this session ran.
+    pub fn push_stats(&self) -> PushStats {
+        *self.push_totals.lock().expect("push totals lock")
+    }
+
+    /// Whether fresh simulations should be buffered for upward push:
+    /// push mode is on (session flag or `DRI_PUSH`), and there is a
+    /// remote tier to push to.
+    fn push_active(&self) -> bool {
+        self.remote.is_some() && (self.push || push_enabled())
+    }
+
+    /// Buffers one freshly simulated record for the next push drain.
+    fn buffer_push(&self, kind: &'static str, key: u128, payload: Vec<u8>) {
+        self.pending_push
+            .lock()
+            .expect("pending push lock")
+            .push((kind, key, payload));
+    }
+
+    /// Drains the pending-push buffer to the remote service in one
+    /// chunked `POST /batch-put` pass — the post-sweep mirror of
+    /// [`Self::prefetch`]. Every buffered payload is framed into the
+    /// same self-validating record the local store persists
+    /// ([`dri_store::frame_record`]), so the server re-validates
+    /// end-to-end before a byte lands. Best-effort by design: rejected
+    /// and failed records are dropped from the buffer (they live on in
+    /// this worker's local tiers), counted, and never retried — a dead
+    /// or read-only server must not add latency to every sweep.
+    ///
+    /// No-op (and no exchange) when the buffer is empty or no remote
+    /// tier is attached.
+    pub fn push_pending(&self) -> PushStats {
+        let pending: Vec<(&'static str, u128, Vec<u8>)> = {
+            let mut buffer = self.pending_push.lock().expect("pending push lock");
+            std::mem::take(&mut *buffer)
+        };
+        let mut report = PushStats::default();
+        let Some(remote) = &self.remote else {
+            return report;
+        };
+        if pending.is_empty() {
+            return report;
+        }
+        report.batches = 1;
+        report.attempted = pending.len() as u64;
+        let records: Vec<(&'static str, u128, Vec<u8>)> = pending
+            .into_iter()
+            .map(|(kind, key, payload)| {
+                (
+                    kind,
+                    key,
+                    dri_store::frame_record(crate::persist::SCHEMA_VERSION, key, &payload),
+                )
+            })
+            .collect();
+        let entries: Vec<(&str, u32, u128, &[u8])> = records
+            .iter()
+            .map(|(kind, key, record)| {
+                (
+                    *kind,
+                    crate::persist::SCHEMA_VERSION,
+                    *key,
+                    record.as_slice(),
+                )
+            })
+            .collect();
+        let (outcomes, round_trips) = remote.push_batch_chunked(&entries, dri_serve::BATCH_CHUNK);
+        report.round_trips = round_trips;
+        for outcome in outcomes {
+            match outcome {
+                PushOutcome::Accepted => report.pushed += 1,
+                PushOutcome::Rejected => report.rejected += 1,
+                PushOutcome::Failed => report.failed += 1,
+            }
+        }
+        let mut totals = self.push_totals.lock().expect("push totals lock");
+        totals.batches += report.batches;
+        totals.attempted += report.attempted;
+        totals.pushed += report.pushed;
+        totals.rejected += report.rejected;
+        totals.failed += report.failed;
+        totals.round_trips += report.round_trips;
+        report
     }
 
     /// Resolves the whole configuration grid through the cache tiers in
@@ -711,13 +890,21 @@ impl SimSession {
             .lock()
             .expect("session stats lock")
             .baseline_misses += 1;
-        if let Some(store) = &self.store {
-            store.save(
-                crate::persist::BASELINE_KIND,
-                crate::persist::SCHEMA_VERSION,
-                crate::persist::baseline_key(cfg),
-                &crate::persist::encode_conventional(&run),
-            );
+        let push = self.push_active();
+        if self.store.is_some() || push {
+            let store_key = crate::persist::baseline_key(cfg);
+            let payload = crate::persist::encode_conventional(&run);
+            if let Some(store) = &self.store {
+                store.save(
+                    crate::persist::BASELINE_KIND,
+                    crate::persist::SCHEMA_VERSION,
+                    store_key,
+                    &payload,
+                );
+            }
+            if push {
+                self.buffer_push(crate::persist::BASELINE_KIND, store_key, payload);
+            }
         }
         *self
             .baselines
@@ -759,13 +946,21 @@ impl SimSession {
         }
         let run = crate::runner::run_dri_fresh_in(self, cfg);
         self.stats.lock().expect("session stats lock").dri_misses += 1;
-        if let Some(store) = &self.store {
-            store.save(
-                crate::persist::DRI_KIND,
-                crate::persist::SCHEMA_VERSION,
-                crate::persist::dri_key(cfg),
-                &crate::persist::encode_dri(&run),
-            );
+        let push = self.push_active();
+        if self.store.is_some() || push {
+            let store_key = crate::persist::dri_key(cfg);
+            let payload = crate::persist::encode_dri(&run);
+            if let Some(store) = &self.store {
+                store.save(
+                    crate::persist::DRI_KIND,
+                    crate::persist::SCHEMA_VERSION,
+                    store_key,
+                    &payload,
+                );
+            }
+            if push {
+                self.buffer_push(crate::persist::DRI_KIND, store_key, payload);
+            }
         }
         *self
             .dri_runs
@@ -816,6 +1011,33 @@ mod tests {
         cfg.dri.associativity = 4;
         let _ = session.conventional(&cfg);
         assert_eq!(session.stats().baseline_misses, 2);
+    }
+
+    #[test]
+    fn push_mode_buffers_simulations_and_survives_a_dead_server() {
+        let session =
+            SimSession::with_tiers_push(None, Some(RemoteStore::new("127.0.0.1:1")), true);
+        let mut cfg = RunConfig::quick(Benchmark::Li);
+        cfg.instruction_budget = Some(60_000);
+        let _ = session.conventional(&cfg);
+        let _ = session.dri(&cfg);
+        let report = session.push_pending();
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.attempted, 2, "baseline + dri were buffered");
+        assert_eq!(report.pushed, 0);
+        assert_eq!(report.failed, 2, "a dead server fails, never blocks");
+        assert_eq!(report.round_trips, 0, "the connection never opened");
+        // The buffer drained: a second pass has nothing to do.
+        assert_eq!(session.push_pending().batches, 0);
+        assert_eq!(session.push_stats().attempted, 2, "totals aggregate");
+        // Memory/tier hits are never buffered — only true simulations.
+        let _ = session.dri(&cfg);
+        assert_eq!(session.push_pending().attempted, 0);
+
+        // With push mode off nothing accumulates in the first place.
+        let quiet = SimSession::with_tiers_push(None, Some(RemoteStore::new("127.0.0.1:1")), false);
+        let _ = quiet.dri(&cfg);
+        assert_eq!(quiet.push_pending().attempted, 0);
     }
 
     #[test]

@@ -21,11 +21,13 @@ fn one(cfg: &RunConfig) -> Comparison {
 /// against `base`'s (shared, memoized) baseline run. The whole point
 /// grid is batch-prefetched through the session tiers first (every
 /// `cfg` shares `base`'s geometry, so the shared baseline record rides
-/// along in the same plan).
+/// along in the same plan), and — with push mode on — whatever the
+/// sweep had to simulate is pushed upward after the fan-out.
 fn compare_points(base: &RunConfig, cfgs: &[RunConfig]) -> Vec<Comparison> {
     crate::session::prefetch_grid(cfgs);
     let baseline = run_conventional(base);
     let runs = parallel_map(cfgs, run_dri);
+    crate::session::push_grid();
     cfgs.iter()
         .zip(&runs)
         .map(|(cfg, dri)| compare_with_baseline(cfg, &baseline, dri))
@@ -155,6 +157,7 @@ pub fn geometry_sweep(base: &RunConfig) -> GeometrySweep {
     .collect();
     crate::session::prefetch_grid(&cfgs);
     let mut points = parallel_map(&cfgs, one).into_iter();
+    crate::session::push_grid();
     GeometrySweep {
         assoc_4way: points.next().expect("three geometries"),
         dm_64k: points.next().expect("three geometries"),

@@ -38,6 +38,15 @@ pub const MAX_CONSECUTIVE_ERRORS: u32 = 3;
 /// well-formed client chunk is never rejected wholesale.
 pub const BATCH_CHUNK: usize = 4096;
 
+/// Most body bytes one `POST /batch-put` chunk may carry — well under
+/// the server's request-body cap (`crate::http::MAX_BODY`, 64 MiB), so
+/// a count-full chunk of unusually large records can never build a
+/// request the server drops at the transport layer (which would feed
+/// the read-path circuit breaker for a sizing problem, not a dead
+/// server). A single over-budget record still travels alone; the server
+/// answers for it per-entry.
+pub const PUSH_BODY_BUDGET: usize = 16 * 1024 * 1024;
+
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
@@ -60,6 +69,15 @@ pub struct RemoteStats {
     /// counts once per chunk; empty plans, breaker-absorbed chunks, and
     /// connections that never opened count zero).
     pub batch_round_trips: u64,
+    /// Records the server accepted through the write path (its
+    /// `records_accepted` counter advances in lockstep).
+    pub pushes: u64,
+    /// Records the server definitively rejected: failed authentication,
+    /// a read-only server, or a corrupt/key-mismatched frame.
+    pub push_rejected: u64,
+    /// `PUT` / `POST /batch-put` exchanges that reached the server
+    /// (the client-side mirror of the server's `push_round_trips`).
+    pub push_round_trips: u64,
 }
 
 /// One entry's outcome in a [`RemoteStore::fetch_batch_outcomes`] call.
@@ -88,11 +106,36 @@ impl BatchEntry {
     }
 }
 
+/// One record's outcome in a [`RemoteStore::push`] /
+/// [`RemoteStore::push_batch_chunked`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The server validated the record and landed it in its store.
+    Accepted,
+    /// The server definitively refused the record — bad or missing
+    /// token, a read-only server, or a frame that failed validation.
+    /// Retrying without changing something is wasted traffic.
+    Rejected,
+    /// The record's fate is unknown: a transport failure or a truncated
+    /// response. The record survives in the worker's local tiers either
+    /// way, so the worst case is another worker re-simulating it.
+    Failed,
+}
+
 /// A handle on one remote result service.
 #[derive(Debug)]
 pub struct RemoteStore {
     addr: String,
+    /// Shared write-path secret used to sign push requests (`DRI_TOKEN`).
+    /// `None` = this client never authenticates; its pushes are rejected
+    /// by any server that accepts writes.
+    token: Option<String>,
     disabled: AtomicBool,
+    /// Latched after the server *definitively* rejects this client's
+    /// authentication (`401`/`405`): later pushes are absorbed locally
+    /// instead of spamming a server that already said no. Reads are
+    /// unaffected — this is narrower than the transport breaker.
+    push_disabled: AtomicBool,
     consecutive_errors: AtomicU32,
     requests: AtomicU64,
     hits: AtomicU64,
@@ -101,12 +144,22 @@ pub struct RemoteStore {
     errors: AtomicU64,
     bytes_fetched: AtomicU64,
     batch_round_trips: AtomicU64,
+    pushes: AtomicU64,
+    push_rejected: AtomicU64,
+    push_round_trips: AtomicU64,
 }
 
 impl RemoteStore {
     /// Points a client at `addr` (`host:port`; `http://host:port` also
     /// accepted). No connection is made until the first fetch.
     pub fn new(addr: impl Into<String>) -> Self {
+        Self::with_token(addr, None)
+    }
+
+    /// [`RemoteStore::new`] with a write-path secret: push requests are
+    /// signed with a keyed tag over the request (see [`crate::auth`]),
+    /// which the server verifies against its own `DRI_TOKEN`.
+    pub fn with_token(addr: impl Into<String>, token: Option<String>) -> Self {
         let addr = addr.into();
         let addr = addr
             .strip_prefix("http://")
@@ -115,7 +168,9 @@ impl RemoteStore {
             .to_owned();
         RemoteStore {
             addr,
+            token: token.filter(|t| !t.is_empty()),
             disabled: AtomicBool::new(false),
+            push_disabled: AtomicBool::new(false),
             consecutive_errors: AtomicU32::new(0),
             requests: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -124,23 +179,35 @@ impl RemoteStore {
             errors: AtomicU64::new(0),
             bytes_fetched: AtomicU64::new(0),
             batch_round_trips: AtomicU64::new(0),
+            pushes: AtomicU64::new(0),
+            push_rejected: AtomicU64::new(0),
+            push_round_trips: AtomicU64::new(0),
         }
     }
 
-    /// The client named by `DRI_REMOTE`, or `None` when the variable is
-    /// unset or empty (the remote tier is strictly opt-in, like the disk
-    /// tier).
+    /// The client named by `DRI_REMOTE` — signing pushes with the
+    /// `DRI_TOKEN` secret when that is set too — or `None` when the
+    /// variable is unset or empty (the remote tier is strictly opt-in,
+    /// like the disk tier).
     pub fn from_env() -> Option<Self> {
         let addr = std::env::var(REMOTE_ENV).ok()?;
         if addr.trim().is_empty() {
             return None;
         }
-        Some(Self::new(addr))
+        Some(Self::with_token(
+            addr,
+            std::env::var(crate::auth::TOKEN_ENV).ok(),
+        ))
     }
 
     /// The `host:port` this client targets.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Whether this client holds a write-path secret (it signs pushes).
+    pub fn has_token(&self) -> bool {
+        self.token.is_some()
     }
 
     /// Snapshot of the traffic counters.
@@ -153,6 +220,9 @@ impl RemoteStore {
             errors: self.errors.load(Ordering::Relaxed),
             bytes_fetched: self.bytes_fetched.load(Ordering::Relaxed),
             batch_round_trips: self.batch_round_trips.load(Ordering::Relaxed),
+            pushes: self.pushes.load(Ordering::Relaxed),
+            push_rejected: self.push_rejected.load(Ordering::Relaxed),
+            push_round_trips: self.push_round_trips.load(Ordering::Relaxed),
         }
     }
 
@@ -299,6 +369,174 @@ impl RemoteStore {
         (results, 1)
     }
 
+    /// Whether pushes were latched off by a definitive auth rejection.
+    pub fn is_push_disabled(&self) -> bool {
+        self.push_disabled.load(Ordering::Relaxed)
+    }
+
+    /// Pushes one complete record (header + payload + checksum, as
+    /// [`dri_store::frame_record`] builds it) to the server's store via
+    /// `PUT /record/<kind>/v<schema>/<key>`. The request is signed with
+    /// this client's token; the server re-validates the record against
+    /// the path before a byte lands on its disk.
+    pub fn push(&self, kind: &str, schema: u32, key: u128, record: &[u8]) -> PushOutcome {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if self.is_push_disabled() {
+            self.push_rejected.fetch_add(1, Ordering::Relaxed);
+            return PushOutcome::Rejected;
+        }
+        if self.is_disabled() {
+            return PushOutcome::Failed;
+        }
+        let path = format!("/record/{kind}/v{schema}/{key:032x}");
+        match self.request("PUT", &path, record) {
+            Ok((status, _)) => {
+                self.push_round_trips.fetch_add(1, Ordering::Relaxed);
+                self.consecutive_errors.store(0, Ordering::Relaxed);
+                match status {
+                    200 => {
+                        self.pushes.fetch_add(1, Ordering::Relaxed);
+                        PushOutcome::Accepted
+                    }
+                    401 | 405 => {
+                        self.push_rejected.fetch_add(1, Ordering::Relaxed);
+                        self.auth_rejected(status);
+                        PushOutcome::Rejected
+                    }
+                    _ => {
+                        self.push_rejected.fetch_add(1, Ordering::Relaxed);
+                        PushOutcome::Rejected
+                    }
+                }
+            }
+            Err(_) => {
+                self.transport_error();
+                PushOutcome::Failed
+            }
+        }
+    }
+
+    /// Batch [`Self::push`] at the default chunk size.
+    pub fn push_batch(&self, entries: &[(&str, u32, u128, &[u8])]) -> (Vec<PushOutcome>, u64) {
+        self.push_batch_chunked(entries, BATCH_CHUNK)
+    }
+
+    /// Pushes many records with as few round-trips as possible: frames
+    /// the entries into `POST /batch-put` requests of at most `chunk`
+    /// records each (clamped to at least 1; the default stays under the
+    /// server's [`crate::server::MAX_BATCH`] cap) **and** at most
+    /// [`PUSH_BODY_BUDGET`] body bytes — records are small, but chunking
+    /// by count alone could otherwise build a request the server's body
+    /// cap rejects at the transport layer, and that failure would feed
+    /// the shared read-circuit breaker. Returns per-entry outcomes in
+    /// request order plus how many exchanges *this call* put on the
+    /// wire — per-call reporting, exactly like
+    /// [`Self::fetch_batch_outcomes`], so aggregating callers never race
+    /// on the shared counters.
+    pub fn push_batch_chunked(
+        &self,
+        entries: &[(&str, u32, u128, &[u8])],
+        chunk: usize,
+    ) -> (Vec<PushOutcome>, u64) {
+        let mut outcomes = Vec::with_capacity(entries.len());
+        let mut round_trips = 0;
+        let mut start = 0;
+        while start < entries.len() {
+            let end = plan_push_chunk_end(entries, start, chunk.max(1), PUSH_BODY_BUDGET);
+            let (chunk_outcomes, trips) = self.push_batch_once(&entries[start..end]);
+            outcomes.extend(chunk_outcomes);
+            round_trips += trips;
+            start = end;
+        }
+        (outcomes, round_trips)
+    }
+
+    /// One `POST /batch-put` exchange for up to one chunk of records.
+    fn push_batch_once(&self, entries: &[(&str, u32, u128, &[u8])]) -> (Vec<PushOutcome>, u64) {
+        if entries.is_empty() {
+            return (Vec::new(), 0);
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if self.is_push_disabled() {
+            self.push_rejected
+                .fetch_add(entries.len() as u64, Ordering::Relaxed);
+            return (vec![PushOutcome::Rejected; entries.len()], 0);
+        }
+        if self.is_disabled() {
+            return (vec![PushOutcome::Failed; entries.len()], 0);
+        }
+        let mut body = Vec::new();
+        for &(kind, schema, key, record) in entries {
+            body.push(kind.len() as u8);
+            body.extend_from_slice(kind.as_bytes());
+            body.extend_from_slice(&schema.to_le_bytes());
+            body.extend_from_slice(&key.to_le_bytes());
+            body.extend_from_slice(&(record.len() as u64).to_le_bytes());
+            body.extend_from_slice(record);
+        }
+        match self.request("POST", "/batch-put", &body) {
+            Ok((200, statuses)) => {
+                self.push_round_trips.fetch_add(1, Ordering::Relaxed);
+                self.consecutive_errors.store(0, Ordering::Relaxed);
+                let outcomes: Vec<PushOutcome> = (0..entries.len())
+                    .map(|i| match statuses.get(i) {
+                        Some(1) => {
+                            self.pushes.fetch_add(1, Ordering::Relaxed);
+                            PushOutcome::Accepted
+                        }
+                        Some(_) => {
+                            self.push_rejected.fetch_add(1, Ordering::Relaxed);
+                            PushOutcome::Rejected
+                        }
+                        // A short status vector leaves the tail unknown.
+                        None => PushOutcome::Failed,
+                    })
+                    .collect();
+                (outcomes, 1)
+            }
+            Ok((status @ (401 | 405), _)) => {
+                self.push_round_trips.fetch_add(1, Ordering::Relaxed);
+                self.consecutive_errors.store(0, Ordering::Relaxed);
+                self.push_rejected
+                    .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                self.auth_rejected(status);
+                (vec![PushOutcome::Rejected; entries.len()], 1)
+            }
+            Ok(_) => {
+                // The server answered (e.g. a structural 400): definitive
+                // for this batch, but not an auth problem — later batches
+                // may be fine.
+                self.push_round_trips.fetch_add(1, Ordering::Relaxed);
+                self.consecutive_errors.store(0, Ordering::Relaxed);
+                self.push_rejected
+                    .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                (vec![PushOutcome::Rejected; entries.len()], 1)
+            }
+            Err(_) => {
+                self.transport_error();
+                (vec![PushOutcome::Failed; entries.len()], 0)
+            }
+        }
+    }
+
+    /// Latches pushes off after the server definitively rejected this
+    /// client's authentication — retrying every sweep would spam a
+    /// server that already said no. Reads continue unaffected.
+    fn auth_rejected(&self, status: u16) {
+        if !self.push_disabled.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: result store {} rejected a push with HTTP {status} \
+                 ({}); disabling pushes for this process (results stay local)",
+                self.addr,
+                if status == 405 {
+                    "the server is read-only — it was started without DRI_TOKEN"
+                } else {
+                    "missing or mismatched DRI_TOKEN"
+                }
+            );
+        }
+    }
+
     /// End-to-end validation of received record bytes; counts and
     /// returns the payload on success.
     fn accept(&self, record: &[u8], schema: u32, key: u128) -> Option<Vec<u8>> {
@@ -328,7 +566,8 @@ impl RemoteStore {
         }
     }
 
-    /// One `Connection: close` HTTP exchange.
+    /// One `Connection: close` HTTP exchange. Write methods are signed
+    /// with the keyed request tag when this client holds a token.
     fn request(&self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
         let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, "address resolved to nothing")
@@ -336,10 +575,22 @@ impl RemoteStore {
         let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
         stream.set_read_timeout(Some(IO_TIMEOUT))?;
         stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        // Sign only requests bound for the write endpoints: reads never
+        // need a tag, and hashing a large `/batch` prefetch body (or
+        // handing observers tags over known plaintexts) for an endpoint
+        // that ignores the header would be pure waste.
+        let writes = method == "PUT" || path == "/batch-put";
+        let auth = match &self.token {
+            Some(secret) if writes => format!(
+                "X-DRI-Token: {}\r\n",
+                crate::auth::sign_hex(secret, method, path, body)
+            ),
+            _ => String::new(),
+        };
         let head = format!(
             "{method} {path} HTTP/1.1\r\n\
              Host: {}\r\n\
-             Content-Length: {}\r\n\
+             {auth}Content-Length: {}\r\n\
              Connection: close\r\n\r\n",
             self.addr,
             body.len()
@@ -349,6 +600,36 @@ impl RemoteStore {
         stream.flush()?;
         read_response(&mut stream)
     }
+}
+
+/// Wire size of one `/batch-put` frame for `entry`:
+/// `[kind_len:u8][kind][schema:u32][key:u128][record_len:u64][record]`.
+fn push_frame_len(entry: &(&str, u32, u128, &[u8])) -> usize {
+    1 + entry.0.len() + 4 + 16 + 8 + entry.3.len()
+}
+
+/// Where the push chunk starting at `start` ends: at most `chunk`
+/// entries **and** at most `body_budget` body bytes — whichever bites
+/// first — but always at least one entry, however large (the server
+/// answers for an oversized record per-entry rather than the transport
+/// layer failing the exchange).
+fn plan_push_chunk_end(
+    entries: &[(&str, u32, u128, &[u8])],
+    start: usize,
+    chunk: usize,
+    body_budget: usize,
+) -> usize {
+    let mut end = start;
+    let mut body_bytes = 0usize;
+    while end < entries.len() && end - start < chunk {
+        let frame_bytes = push_frame_len(&entries[end]);
+        if end > start && body_bytes + frame_bytes > body_budget {
+            break;
+        }
+        body_bytes += frame_bytes;
+        end += 1;
+    }
+    end
 }
 
 /// Splits one `[status][len][bytes]` batch frame off `cursor`:
@@ -394,6 +675,28 @@ mod tests {
         assert!(rest.is_empty());
         assert!(take_frame(&buf[..5]).is_none(), "truncated header");
         assert!(take_frame(&buf[..10]).is_none(), "truncated payload");
+    }
+
+    #[test]
+    fn push_chunks_split_on_count_and_body_bytes() {
+        let small = vec![0u8; 10];
+        let big = vec![0u8; 100];
+        let entries: Vec<(&str, u32, u128, &[u8])> = vec![
+            ("dri", 1, 1, &small),
+            ("dri", 1, 2, &small),
+            ("dri", 1, 3, &big),
+            ("dri", 1, 4, &small),
+        ];
+        // Count bites first with a generous byte budget.
+        assert_eq!(plan_push_chunk_end(&entries, 0, 2, usize::MAX), 2);
+        // Bytes bite first: two small frames (42 bytes each) fit a
+        // 90-byte budget, the big third frame (132 bytes) does not.
+        assert_eq!(plan_push_chunk_end(&entries, 0, 100, 90), 2);
+        // An over-budget entry still travels — alone.
+        assert_eq!(plan_push_chunk_end(&entries, 2, 100, 90), 3);
+        // Tail chunk ends at the slice end.
+        assert_eq!(plan_push_chunk_end(&entries, 3, 100, 90), 4);
+        assert_eq!(push_frame_len(&entries[0]), 1 + 3 + 4 + 16 + 8 + 10);
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct Request {
     pub method: String,
     /// The request target, e.g. `/record/dri/v1/00ab…`.
     pub path: String,
+    /// The keyed write-authentication tag from the `X-DRI-Token` header
+    /// (see [`crate::auth`]); `None` when the header is absent. Read
+    /// requests never need one.
+    pub token: Option<String>,
     /// The body, sized by `Content-Length` (empty when absent).
     pub body: Vec<u8>,
 }
@@ -57,19 +61,26 @@ fn read_head(stream: &mut impl Read) -> io::Result<(String, Vec<u8>)> {
     }
 }
 
-/// Case-insensitive `Content-Length` lookup over raw header lines.
-fn content_length(head: &str) -> io::Result<usize> {
+/// Case-insensitive header lookup over raw header lines.
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
     for line in head.lines().skip(1) {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                return value
-                    .trim()
-                    .parse()
-                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"));
+        if let Some((found, value)) = line.split_once(':') {
+            if found.trim().eq_ignore_ascii_case(name) {
+                return Some(value.trim());
             }
         }
     }
-    Ok(0)
+    None
+}
+
+/// Case-insensitive `Content-Length` lookup over raw header lines.
+fn content_length(head: &str) -> io::Result<usize> {
+    match header(head, "content-length") {
+        Some(value) => value
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")),
+        None => Ok(0),
+    }
 }
 
 /// Reads and parses one request from `stream`.
@@ -100,6 +111,7 @@ pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
     Ok(Request {
         method: method.to_owned(),
         path: path.to_owned(),
+        token: header(&head, crate::auth::TOKEN_HEADER).map(str::to_owned),
         body,
     })
 }
@@ -187,6 +199,18 @@ mod tests {
         let req = read_request(&mut &raw[..]).expect("parse");
         assert_eq!(req.method, "POST");
         assert_eq!(req.body, b"hello", "body is bounded by Content-Length");
+        assert_eq!(req.token, None);
+    }
+
+    #[test]
+    fn parses_the_token_header_case_insensitively() {
+        let raw =
+            b"PUT /record/dri/v1/00 HTTP/1.1\r\nX-DRI-Token: 00ff\r\ncontent-length: 1\r\n\r\nz";
+        let req = read_request(&mut &raw[..]).expect("parse");
+        assert_eq!(req.token.as_deref(), Some("00ff"));
+        let raw = b"PUT / HTTP/1.1\r\nx-dri-token:  abc \r\n\r\n";
+        let req = read_request(&mut &raw[..]).expect("parse");
+        assert_eq!(req.token.as_deref(), Some("abc"), "trimmed value");
     }
 
     #[test]

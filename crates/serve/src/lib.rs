@@ -1,4 +1,4 @@
-//! # dri-serve — the read-only result-store service tier
+//! # dri-serve — the shared result-store service tier
 //!
 //! PR 2 made simulation results free *across processes sharing a
 //! filesystem*; this crate makes them free **across machines**: a
@@ -9,11 +9,16 @@
 //! `SimSession` as the tier between the local disk cache and a fresh
 //! simulation (**memory → disk → remote → simulate**).
 //!
-//! The service is strictly **read-only** (many readers, one writer): the
-//! single writer is whatever campaign populates the store on the serving
-//! host; workers never write back over the wire — they heal their *local*
-//! store instead, so a record crosses the network at most once per
-//! worker.
+//! Reads are open; **writes are opt-in and authenticated**. By default
+//! the service is read-only — the single writer is whatever campaign
+//! populates the store on the serving host, and workers only heal their
+//! *local* stores. Started with a `DRI_TOKEN` shared secret, the service
+//! additionally accepts **pushes** from trusted workers (`PUT
+//! /record/...`, `POST /batch-put`), each request proven with a keyed
+//! tag over its own method, path, and body (see [`auth`]) — which is
+//! what turns a fleet of sweep workers plus one central host into a
+//! shared memoization system: every grid point is simulated exactly once
+//! fleet-wide.
 //!
 //! ## Endpoints
 //!
@@ -23,13 +28,33 @@
 //! | `GET /stats` | `200` JSON: disk usage, generation, traffic counters |
 //! | `GET /record/<kind>/v<schema>/<key>` | `200` raw record bytes, or `404` |
 //! | `POST /batch` | `200` framed records for a list of keys (see below) |
+//! | `PUT /record/<kind>/v<schema>/<key>` | `200` record accepted; `401`/`405`/`400` |
+//! | `POST /batch-put` | `200` + one status byte per frame; `401`/`405`/`400` |
 //!
 //! `<kind>` is a record kind (`baseline`, `dri`, …), `<schema>` the
 //! decimal schema version, `<key>` the 032-hex content key. A record is
 //! validated (magic/schema/key/length/checksum) **before** it is served —
 //! a corrupt file is a `404`, and the remote reader re-validates the
 //! bytes it receives, so the validation chain is end-to-end: disk →
-//! server → wire → client.
+//! server → wire → client. Pushed records travel the same chain in
+//! reverse: the worker frames the full checksummed record
+//! ([`dri_store::frame_record`]), the server re-validates it against the
+//! schema and key the request *names* (a mismatch fails the entry), and
+//! the payload lands through the store's atomic temp+rename write, so
+//! racing GC and concurrent readers never observe a torn record.
+//!
+//! ## The push protocol
+//!
+//! `PUT /record/<kind>/v<schema>/<key>` carries one complete record as
+//! its body. `POST /batch-put` carries repeated frames of
+//! `[kind_len:u8][kind][schema:u32 LE][key:u128 LE][record_len:u64 LE][record]`
+//! (at most [`server::MAX_BATCH`] frames, each record at most
+//! [`server::MAX_PUSH_RECORD`] bytes) and answers with one status byte
+//! per frame, in order: `1` accepted, `0` rejected — a corrupt,
+//! key-mismatched, or oversized record fails **only its own entry**.
+//! Structural damage (a broken length prefix, an over-cap batch) is a
+//! wholesale `400`; a missing or invalid request tag is a `401`; any
+//! write to a server started without `DRI_TOKEN` is a `405`.
 //!
 //! ## The batch protocol
 //!
@@ -58,11 +83,13 @@
 
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod client;
 pub mod http;
 pub mod server;
 
-pub use client::{BatchEntry, RemoteStats, RemoteStore, BATCH_CHUNK, REMOTE_ENV};
+pub use auth::TOKEN_ENV;
+pub use client::{BatchEntry, PushOutcome, RemoteStats, RemoteStore, BATCH_CHUNK, REMOTE_ENV};
 pub use server::{ServeStats, Server};
 
 /// Worker threads for the connection pool: `DRI_THREADS` when set to a

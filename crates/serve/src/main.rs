@@ -1,38 +1,45 @@
-//! `dri-serve` — serve a result-store root read-only over HTTP.
+//! `dri-serve` — serve a result-store root over HTTP.
 //!
 //! ```text
 //! dri-serve --store /var/cache/dri            # 127.0.0.1:7171, DRI_THREADS workers
 //! dri-serve --store ... --addr 0.0.0.0:7171   # expose to the rack
 //! dri-serve --addr 127.0.0.1:0                # ephemeral port (printed)
+//! DRI_TOKEN=s3cret dri-serve --store ...      # accept authenticated pushes
 //! ```
 //!
 //! Workers then point `DRI_REMOTE` at the printed address and replay
-//! warm grids with zero local simulations.
+//! warm grids with zero local simulations; workers holding the same
+//! `DRI_TOKEN` additionally push what they simulate (`DRI_PUSH=1`), so
+//! the store fills fleet-wide instead of per machine.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use dri_serve::{default_workers, Server};
+use dri_serve::{default_workers, Server, TOKEN_ENV};
 use dri_store::ResultStore;
 
 const USAGE: &str = "\
-usage: dri-serve [--store DIR] [--addr HOST:PORT] [--workers N]
+usage: dri-serve [--store DIR] [--addr HOST:PORT] [--workers N] [--token SECRET]
 
-Serves a dri-store root as a read-only HTTP result service
-(GET /healthz, GET /stats, GET /record/<kind>/v<schema>/<key>,
-POST /batch). Runs until killed.
+Serves a dri-store root as an HTTP result service (GET /healthz,
+GET /stats, GET /record/<kind>/v<schema>/<key>, POST /batch; with a
+token also PUT /record/... and POST /batch-put). Runs until killed.
 
 options:
   --store DIR       store root (default: the DRI_STORE environment variable)
   --addr HOST:PORT  bind address (default: 127.0.0.1:7171; port 0 = ephemeral)
   --workers N       connection worker threads (default: DRI_THREADS, else
                     the machine's available parallelism)
+  --token SECRET    shared write-path secret (default: the DRI_TOKEN
+                    environment variable; prefer the variable — argv is
+                    visible to every local process). Absent = read-only.
   --help            this text";
 
 struct Args {
     store: Option<String>,
     addr: String,
     workers: usize,
+    token: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -40,6 +47,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         store: std::env::var("DRI_STORE").ok().filter(|s| !s.is_empty()),
         addr: "127.0.0.1:7171".to_owned(),
         workers: default_workers(),
+        token: std::env::var(TOKEN_ENV).ok().filter(|s| !s.is_empty()),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -57,6 +65,13 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--workers needs a positive integer, got `{raw}`"))?;
+            }
+            "--token" => {
+                // An empty value means "no token", exactly like the env
+                // path — otherwise the banner would claim a write path
+                // the server (which filters empty secrets) never enables.
+                parsed.token = Some(it.next().ok_or("--token needs a secret")?.clone())
+                    .filter(|t| !t.is_empty());
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -90,7 +105,13 @@ fn main() -> ExitCode {
         }
     };
     let usage = store.disk_usage();
-    let server = match Server::bind(Arc::clone(&store), args.addr.as_str(), args.workers) {
+    let writable = args.token.is_some();
+    let server = match Server::bind_with_token(
+        Arc::clone(&store),
+        args.addr.as_str(),
+        args.workers,
+        args.token,
+    ) {
         Ok(server) => server,
         Err(err) => {
             eprintln!("error: cannot bind `{}`: {err}", args.addr);
@@ -101,8 +122,15 @@ fn main() -> ExitCode {
     // (possibly ephemeral) port; progress/diagnostics stay on stderr.
     println!("dri-serve: listening on http://{}", server.addr());
     eprintln!(
-        "dri-serve: store {root} ({} records, {} bytes), {} workers; read-only — Ctrl-C to stop",
-        usage.records, usage.bytes, args.workers
+        "dri-serve: store {root} ({} records, {} bytes), {} workers; {} — Ctrl-C to stop",
+        usage.records,
+        usage.bytes,
+        args.workers,
+        if writable {
+            "accepting authenticated pushes (DRI_TOKEN)"
+        } else {
+            "read-only (set DRI_TOKEN to accept pushes)"
+        }
     );
     // Serve until the process is killed.
     loop {

@@ -16,18 +16,24 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dri_store::gc::DiskUsage;
-use dri_store::ResultStore;
+use dri_store::{validate_record, ResultStore};
 
 use crate::http::{read_request, write_head_response, write_response, Request};
 
 /// Per-connection I/O timeout: a stalled peer releases its worker.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
-/// Most record references one `/batch` request may carry; longer bodies
-/// are rejected wholesale with `400`. The client's chunk size
-/// (`crate::client::BATCH_CHUNK`) stays below this, so a well-formed
-/// chunked prefetch is never bounced — the cap only stops a confused or
-/// hostile peer from pinning a worker on one unbounded request.
+/// Most record references one `/batch` request — or record frames one
+/// `/batch-put` request — may carry; longer bodies are rejected wholesale
+/// with `400`. The client's chunk size (`crate::client::BATCH_CHUNK`)
+/// stays below this, so a well-formed chunked prefetch or push is never
+/// bounced — the cap only stops a confused or hostile peer from pinning
+/// a worker on one unbounded request.
 pub const MAX_BATCH: usize = 8192;
+/// Largest record one push frame may carry. Run-counter records are a
+/// few hundred bytes; a frame claiming orders of magnitude more is a
+/// confused writer, and rejecting it fails only that entry (the frame is
+/// still structurally parseable, so later entries proceed).
+pub const MAX_PUSH_RECORD: usize = 1024 * 1024;
 /// How long one `/stats` disk-usage walk is reused before re-walking.
 const USAGE_CACHE_TTL: Duration = Duration::from_secs(5);
 
@@ -48,6 +54,16 @@ pub struct ServeStats {
     pub batch_requests: u64,
     /// Response body bytes written.
     pub bytes_served: u64,
+    /// Write exchanges (`PUT /record/...` + `POST /batch-put`) routed,
+    /// authorized or not — the server-side mirror of the client's
+    /// `push_round_trips`.
+    pub push_round_trips: u64,
+    /// Records accepted through the write path and landed on disk.
+    pub records_accepted: u64,
+    /// Write attempts rejected: failed authentication, writes hitting a
+    /// read-only server, and corrupt / key-mismatched / oversized frames
+    /// (counted per entry for `/batch-put`).
+    pub writes_rejected: u64,
 }
 
 #[derive(Debug, Default)]
@@ -58,6 +74,9 @@ struct AtomicServeStats {
     bad_requests: AtomicU64,
     batch_requests: AtomicU64,
     bytes_served: AtomicU64,
+    push_round_trips: AtomicU64,
+    records_accepted: AtomicU64,
+    writes_rejected: AtomicU64,
 }
 
 impl AtomicServeStats {
@@ -69,6 +88,9 @@ impl AtomicServeStats {
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
             bytes_served: self.bytes_served.load(Ordering::Relaxed),
+            push_round_trips: self.push_round_trips.load(Ordering::Relaxed),
+            records_accepted: self.records_accepted.load(Ordering::Relaxed),
+            writes_rejected: self.writes_rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -78,6 +100,10 @@ impl AtomicServeStats {
 struct Shared {
     store: Arc<ResultStore>,
     stats: AtomicServeStats,
+    /// Shared write-path secret (`DRI_TOKEN`). `None` = the write
+    /// endpoints are disabled and the service is strictly read-only,
+    /// exactly as it was before the push path existed.
+    token: Option<String>,
     /// Cached `disk_usage` walk for `/stats`: a polling monitor must not
     /// force a full recursive scan of a multi-gigabyte root per probe.
     usage: Mutex<Option<(Instant, DiskUsage)>>,
@@ -110,11 +136,26 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7171`, port 0 for an ephemeral
-    /// port) and starts serving `store` on `workers` connection threads.
+    /// port) and starts serving `store` **read-only** on `workers`
+    /// connection threads.
     pub fn bind(
         store: Arc<ResultStore>,
         addr: impl ToSocketAddrs,
         workers: usize,
+    ) -> io::Result<Server> {
+        Self::bind_with_token(store, addr, workers, None)
+    }
+
+    /// [`Server::bind`] with an optional write-path secret: when `token`
+    /// is `Some`, `PUT /record/...` and `POST /batch-put` accept records
+    /// whose requests carry a valid keyed tag (see [`crate::auth`]);
+    /// when `None`, every write answers `405` and the service stays
+    /// read-only.
+    pub fn bind_with_token(
+        store: Arc<ResultStore>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        token: Option<String>,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -122,6 +163,7 @@ impl Server {
         let shared = Arc::new(Shared {
             store,
             stats: AtomicServeStats::default(),
+            token: token.filter(|t| !t.is_empty()),
             usage: Mutex::new(None),
         });
         let workers = workers.max(1);
@@ -162,6 +204,12 @@ impl Server {
     /// Snapshot of the traffic counters.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats.snapshot()
+    }
+
+    /// Whether the write path is enabled (a `DRI_TOKEN` secret was
+    /// configured at bind time).
+    pub fn writable(&self) -> bool {
+        self.shared.token.is_some()
     }
 
     /// Stops accepting, drains in-flight connections, joins all threads.
@@ -288,20 +336,192 @@ fn route(request: &Request, shared: &Shared) -> Response {
                 )
             }
         },
+        ("PUT", path) if path.starts_with("/record/") => put_record(request, shared),
+        ("POST", "/batch-put") => batch_put(request, shared),
         ("GET", _) => (404, "Not Found", "text/plain", b"not found\n".to_vec()),
         _ => (
             405,
             "Method Not Allowed",
             "text/plain",
-            b"read-only service\n".to_vec(),
+            if shared.token.is_some() {
+                b"method not allowed\n".to_vec()
+            } else {
+                b"read-only service\n".to_vec()
+            },
         ),
     }
 }
 
+/// Gate for the write endpoints: `Ok` when the request carries a valid
+/// keyed tag for its own (method, path, body); otherwise the rejection
+/// response. Both failure modes count in `writes_rejected`.
+fn authorize(request: &Request, shared: &Shared) -> Result<(), Response> {
+    let Some(secret) = shared.token.as_deref() else {
+        shared.stats.writes_rejected.fetch_add(1, Ordering::Relaxed);
+        return Err((
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            b"writes disabled (start the server with DRI_TOKEN to accept pushes)\n".to_vec(),
+        ));
+    };
+    if !crate::auth::verify(
+        secret,
+        &request.method,
+        &request.path,
+        &request.body,
+        request.token.as_deref(),
+    ) {
+        shared.stats.writes_rejected.fetch_add(1, Ordering::Relaxed);
+        return Err((
+            401,
+            "Unauthorized",
+            "text/plain",
+            b"missing or invalid write token\n".to_vec(),
+        ));
+    }
+    Ok(())
+}
+
+/// `PUT /record/<kind>/v<schema>/<key>`: accepts one complete record
+/// (header + payload + checksum, as [`dri_store::frame_record`] builds
+/// it), re-validates it against the *path's* schema and key, and lands
+/// the payload through the store's atomic temp+rename write — racing GC
+/// and concurrent readers observe either the old record or the new one,
+/// never a torn write.
+fn put_record(request: &Request, shared: &Shared) -> Response {
+    let stats = &shared.stats;
+    stats.push_round_trips.fetch_add(1, Ordering::Relaxed);
+    if let Err(rejection) = authorize(request, shared) {
+        return rejection;
+    }
+    let Some((kind, schema, key)) = parse_record_path(&request.path) else {
+        stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return (
+            400,
+            "Bad Request",
+            "text/plain",
+            b"bad record path\n".to_vec(),
+        );
+    };
+    if request.body.len() > MAX_PUSH_RECORD {
+        stats.writes_rejected.fetch_add(1, Ordering::Relaxed);
+        return (
+            400,
+            "Bad Request",
+            "text/plain",
+            b"record too large\n".to_vec(),
+        );
+    }
+    match validate_record(&request.body, schema, key) {
+        Some(payload) => {
+            shared.store.save(&kind, schema, key, payload);
+            stats.records_accepted.fetch_add(1, Ordering::Relaxed);
+            (200, "OK", "text/plain", b"accepted\n".to_vec())
+        }
+        None => {
+            stats.writes_rejected.fetch_add(1, Ordering::Relaxed);
+            (
+                400,
+                "Bad Request",
+                "text/plain",
+                b"corrupt or key-mismatched record\n".to_vec(),
+            )
+        }
+    }
+}
+
+/// One parsed `/batch-put` frame: where the record claims to live, and
+/// the record bytes themselves (still unvalidated).
+type PushFrame<'a> = (String, u32, u128, &'a [u8]);
+
+/// Parses a `/batch-put` body into frames (see the crate docs for the
+/// wire layout). `None` on any structural failure — a broken length
+/// prefix makes everything after it unreadable — and on more than
+/// [`MAX_BATCH`] frames. Per-frame *content* problems (a record that
+/// fails validation) are left to the caller, which fails only that entry.
+fn parse_push_frames(body: &[u8]) -> Option<Vec<PushFrame<'_>>> {
+    let mut frames = Vec::new();
+    let mut cursor = body;
+    while !cursor.is_empty() {
+        if frames.len() >= MAX_BATCH {
+            return None;
+        }
+        let (&kind_len, rest) = cursor.split_first()?;
+        let (kind, rest) = rest.split_at_checked(kind_len as usize)?;
+        let kind = std::str::from_utf8(kind).ok()?;
+        if !kind_is_safe(kind) {
+            return None;
+        }
+        let (schema, rest) = rest.split_at_checked(4)?;
+        let schema = u32::from_le_bytes(schema.try_into().ok()?);
+        let (key, rest) = rest.split_at_checked(16)?;
+        let key = u128::from_le_bytes(key.try_into().ok()?);
+        let (len, rest) = rest.split_at_checked(8)?;
+        let len = u64::from_le_bytes(len.try_into().ok()?);
+        let len = usize::try_from(len).ok()?;
+        let (record, rest) = rest.split_at_checked(len)?;
+        frames.push((kind.to_owned(), schema, key, record));
+        cursor = rest;
+    }
+    Some(frames)
+}
+
+/// `POST /batch-put`: a framed multi-record upload. The response body is
+/// one status byte per frame, in order (`1` accepted, `0` rejected), so
+/// a corrupt, key-mismatched, or oversized record fails **only its own
+/// entry** — the rest of the batch still lands.
+fn batch_put(request: &Request, shared: &Shared) -> Response {
+    let stats = &shared.stats;
+    stats.push_round_trips.fetch_add(1, Ordering::Relaxed);
+    if let Err(rejection) = authorize(request, shared) {
+        return rejection;
+    }
+    let Some(frames) = parse_push_frames(&request.body) else {
+        stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return (
+            400,
+            "Bad Request",
+            "text/plain",
+            b"bad batch-put body\n".to_vec(),
+        );
+    };
+    let mut outcomes = Vec::with_capacity(frames.len());
+    for (kind, schema, key, record) in frames {
+        let payload = (record.len() <= MAX_PUSH_RECORD)
+            .then(|| validate_record(record, schema, key))
+            .flatten();
+        match payload {
+            Some(payload) => {
+                shared.store.save(&kind, schema, key, payload);
+                stats.records_accepted.fetch_add(1, Ordering::Relaxed);
+                outcomes.push(1u8);
+            }
+            None => {
+                stats.writes_rejected.fetch_add(1, Ordering::Relaxed);
+                outcomes.push(0u8);
+            }
+        }
+    }
+    (200, "OK", "application/octet-stream", outcomes)
+}
+
+/// Whether a record kind is safe to use as a store directory name:
+/// restricted to `[A-Za-z0-9._-]` (and it must contain a letter or
+/// digit), so a crafted kind can never escape the store root. Applied to
+/// every kind that arrives over the wire — record paths, batch fetch
+/// lines, and push frames alike.
+fn kind_is_safe(kind: &str) -> bool {
+    !kind.is_empty()
+        && kind.chars().any(|c| c.is_ascii_alphanumeric())
+        && kind
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        && kind != "."
+        && kind != ".."
+}
+
 /// `/record/<kind>/v<schema>/<key-hex>` → `(kind, schema, key)`.
-///
-/// `kind` is restricted to `[A-Za-z0-9._-]` (and must contain a letter or
-/// digit), so a crafted path can never escape the store root.
 fn parse_record_path(path: &str) -> Option<(String, u32, u128)> {
     let rest = path.strip_prefix("/record/")?;
     let mut parts = rest.split('/');
@@ -309,14 +529,7 @@ fn parse_record_path(path: &str) -> Option<(String, u32, u128)> {
     if parts.next().is_some() {
         return None;
     }
-    let kind_ok = !kind.is_empty()
-        && kind.chars().any(|c| c.is_ascii_alphanumeric())
-        && kind
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
-        && kind != "."
-        && kind != "..";
-    if !kind_ok {
+    if !kind_is_safe(kind) {
         return None;
     }
     let schema: u32 = schema.strip_prefix('v')?.parse().ok()?;
@@ -367,7 +580,7 @@ fn batch(body: &[u8], store: &ResultStore, stats: &AtomicServeStats) -> Option<V
 }
 
 /// Hand-rolled JSON (no dependencies): every value is an unsigned
-/// integer, so escaping never arises. The schema — documented in
+/// integer or a bare boolean, so escaping never arises. The schema — documented in
 /// `ARCHITECTURE.md` §Observability — names served-vs-missed record
 /// traffic `hits`/`misses` at both levels (service and the nested
 /// `store` disk-tier counters), the same keys `suite --store-stats`
@@ -378,19 +591,24 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
     let snap = shared.stats.snapshot();
     let traffic = store.stats();
     format!(
-        "{{\"records\":{},\"bytes\":{},\"generation\":{},\
+        "{{\"records\":{},\"bytes\":{},\"generation\":{},\"writable\":{},\
          \"requests\":{},\"hits\":{},\"misses\":{},\
          \"bad_requests\":{},\"batch_requests\":{},\"bytes_served\":{},\
+         \"push_round_trips\":{},\"records_accepted\":{},\"writes_rejected\":{},\
          \"store\":{{\"hits\":{},\"misses\":{},\"corrupt\":{}}}}}\n",
         usage.records,
         usage.bytes,
         store.generation(),
+        shared.token.is_some(),
         snap.requests,
         snap.hits,
         snap.misses,
         snap.bad_requests,
         snap.batch_requests,
         snap.bytes_served,
+        snap.push_round_trips,
+        snap.records_accepted,
+        snap.writes_rejected,
         traffic.hits,
         traffic.misses,
         traffic.corrupt,
@@ -401,6 +619,48 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Builds one well-formed `/batch-put` frame.
+    fn push_frame(kind: &str, schema: u32, key: u128, record: &[u8]) -> Vec<u8> {
+        let mut frame = Vec::new();
+        frame.push(kind.len() as u8);
+        frame.extend_from_slice(kind.as_bytes());
+        frame.extend_from_slice(&schema.to_le_bytes());
+        frame.extend_from_slice(&key.to_le_bytes());
+        frame.extend_from_slice(&(record.len() as u64).to_le_bytes());
+        frame.extend_from_slice(record);
+        frame
+    }
+
+    #[test]
+    fn push_frames_parse_and_reject_structural_damage() {
+        let mut body = push_frame("dri", 1, 7, b"abc");
+        body.extend_from_slice(&push_frame("baseline", 2, 9, b""));
+        let frames = parse_push_frames(&body).expect("two frames");
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], ("dri".to_owned(), 1, 7, &b"abc"[..]));
+        assert_eq!(frames[1], ("baseline".to_owned(), 2, 9, &b""[..]));
+        assert_eq!(
+            parse_push_frames(&[]).expect("empty body").len(),
+            0,
+            "an empty batch is structurally fine"
+        );
+        // Truncations anywhere are structural failures.
+        for cut in 1..body.len() {
+            let truncated = &body[..cut];
+            if parse_push_frames(truncated).is_some() {
+                // Only valid if the cut falls exactly on a frame boundary.
+                assert_eq!(cut, push_frame("dri", 1, 7, b"abc").len(), "cut {cut}");
+            }
+        }
+        // A traversal-shaped kind is rejected outright.
+        assert!(parse_push_frames(&push_frame("..", 1, 7, b"abc")).is_none());
+        // A length prefix promising more than the body holds.
+        let mut overrun = push_frame("dri", 1, 7, b"abc");
+        let len_at = 1 + 3 + 4 + 16;
+        overrun[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(parse_push_frames(&overrun).is_none());
+    }
 
     #[test]
     fn record_paths_parse_strictly() {

@@ -1,6 +1,7 @@
 //! The service's wire contract, exercised over real loopback sockets:
-//! every endpooint, the end-to-end validation chain (disk → server →
-//! wire → client), and the read-only guarantee.
+//! every endpoint, the end-to-end validation chain (disk → server →
+//! wire → client), the read-only default, and the authenticated write
+//! path (token edge cases, per-entry batch-put failure, caps).
 
 use std::fs;
 use std::io::{Read, Write};
@@ -8,8 +9,8 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use dri_serve::{RemoteStore, Server};
-use dri_store::{validate_record, ResultStore};
+use dri_serve::{auth, PushOutcome, RemoteStore, Server};
+use dri_store::{frame_record, validate_record, ResultStore};
 
 fn temp_root(tag: &str) -> PathBuf {
     let root = std::env::temp_dir().join(format!("dri-serve-test-{tag}-{}", std::process::id()));
@@ -170,17 +171,296 @@ fn corrupt_records_are_never_served() {
 }
 
 #[test]
-fn the_service_is_read_only() {
+fn the_service_is_read_only_by_default() {
     let (server, store, root) = serve("readonly", &[("dri", 1, 1, b"x")]);
+    assert!(!server.writable());
     let before = store.disk_usage();
+    // Even a perfectly framed, correctly signed record bounces off a
+    // server that was started without a token: writes are disabled, not
+    // merely unauthenticated.
+    let record = frame_record(1, 2, b"z");
+    let path = format!("/record/dri/v1/{:032x}", 2);
+    let tag = auth::sign_hex("some-token", "PUT", &path, &record);
+    let mut signed_put = format!(
+        "PUT {path} HTTP/1.1\r\nHost: t\r\nX-DRI-Token: {tag}\r\nContent-Length: {}\r\n\r\n",
+        record.len()
+    )
+    .into_bytes();
+    signed_put.extend_from_slice(&record);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(&signed_put).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 405"), "{text}");
+
     for request in [
         "PUT /record/dri/v1/01 HTTP/1.1\r\nHost: t\r\nContent-Length: 1\r\n\r\nz".to_owned(),
         "DELETE /record/dri/v1/01 HTTP/1.1\r\nHost: t\r\n\r\n".to_owned(),
         "POST /record/dri/v1/01 HTTP/1.1\r\nHost: t\r\nContent-Length: 1\r\n\r\nz".to_owned(),
+        "POST /batch-put HTTP/1.1\r\nHost: t\r\nContent-Length: 1\r\n\r\nz".to_owned(),
     ] {
-        assert_eq!(raw_request(server.addr(), &request).0, 405, "{request}");
+        let status = raw_request(server.addr(), &request).0;
+        assert_eq!(status, 405, "{request}");
     }
-    assert_eq!(store.disk_usage(), before, "no write path exists");
+    assert_eq!(store.disk_usage(), before, "nothing landed");
+    assert_eq!(server.stats().records_accepted, 0);
+    // The three write-endpoint attempts (signed PUT, bare PUT,
+    // batch-put) count as rejected writes; DELETE and POST to a
+    // non-endpoint are plain 405s, not write attempts.
+    assert_eq!(server.stats().writes_rejected, 3);
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+/// A writable server over a fresh store seeded with `records`.
+fn serve_writable(
+    tag: &str,
+    token: &str,
+    records: &[(&str, u32, u128, &[u8])],
+) -> (Server, Arc<ResultStore>, PathBuf) {
+    let root = temp_root(tag);
+    let store = Arc::new(ResultStore::open(&root).expect("open store"));
+    for &(kind, schema, key, payload) in records {
+        store.save(kind, schema, key, payload);
+    }
+    let server =
+        Server::bind_with_token(Arc::clone(&store), "127.0.0.1:0", 4, Some(token.to_owned()))
+            .expect("bind");
+    (server, store, root)
+}
+
+/// One raw `PUT /record/...` with an arbitrary token header (`None` =
+/// header omitted entirely).
+fn raw_put(addr: std::net::SocketAddr, path: &str, token_header: Option<&str>, body: &[u8]) -> u16 {
+    let token_line = token_header.map_or(String::new(), |t| format!("X-DRI-Token: {t}\r\n"));
+    let mut request = format!(
+        "PUT {path} HTTP/1.1\r\nHost: t\r\n{token_line}Content-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(body);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(&request).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    let text = String::from_utf8_lossy(&response);
+    text.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code")
+}
+
+#[test]
+fn put_requires_a_valid_token_and_validates_the_record() {
+    let token = "unit-secret";
+    let (server, store, root) = serve_writable("put-auth", token, &[]);
+    assert!(server.writable());
+    let key = 0xfeedu128;
+    let record = frame_record(1, key, b"pushed payload");
+    let path = format!("/record/dri/v1/{key:032x}");
+
+    // Missing token header → 401.
+    assert_eq!(raw_put(server.addr(), &path, None, &record), 401);
+    // Wrong secret → 401 (the tag verifies against the server's secret).
+    let bad = auth::sign_hex("other-secret", "PUT", &path, &record);
+    assert_eq!(raw_put(server.addr(), &path, Some(&bad), &record), 401);
+    // Malformed tag → 401.
+    assert_eq!(raw_put(server.addr(), &path, Some("zz"), &record), 401);
+    // A valid tag for a *different* body → 401: the tag binds the exact
+    // request, so a captured header cannot authorize new content.
+    let other = auth::sign_hex(token, "PUT", &path, b"other body");
+    assert_eq!(raw_put(server.addr(), &path, Some(&other), &record), 401);
+    assert_eq!(store.disk_usage().records, 0, "nothing landed yet");
+    assert_eq!(server.stats().writes_rejected, 4);
+
+    // The genuine tag lands the record, atomically, where reads find it.
+    let good = auth::sign_hex(token, "PUT", &path, &record);
+    assert_eq!(raw_put(server.addr(), &path, Some(&good), &record), 200);
+    assert_eq!(server.stats().records_accepted, 1);
+    let (status, body) = raw_request(
+        server.addr(),
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(validate_record(&body, 1, key), Some(&b"pushed payload"[..]));
+
+    // A key-mismatched record (valid bytes, wrong address) → 400, and a
+    // corrupt record → 400; each signed correctly, so the failure is the
+    // record, not the auth.
+    let wrong_path = format!("/record/dri/v1/{:032x}", key + 1);
+    let tag = auth::sign_hex(token, "PUT", &wrong_path, &record);
+    assert_eq!(
+        raw_put(server.addr(), &wrong_path, Some(&tag), &record),
+        400
+    );
+    let mut damaged = record.clone();
+    damaged[8] ^= 0x01;
+    let tag = auth::sign_hex(token, "PUT", &path, &damaged);
+    assert_eq!(raw_put(server.addr(), &path, Some(&tag), &damaged), 400);
+    assert_eq!(server.stats().records_accepted, 1, "still just the one");
+
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn client_push_round_trips_and_latches_off_on_auth_rejection() {
+    let token = "client-secret";
+    let (server, _store, root) = serve_writable("client-push", token, &[]);
+
+    // The right token pushes; the record then serves back validated.
+    let remote = RemoteStore::with_token(server.addr().to_string(), Some(token.to_owned()));
+    let record = frame_record(3, 0xab, b"via client");
+    assert_eq!(remote.push("dri", 3, 0xab, &record), PushOutcome::Accepted);
+    assert_eq!(
+        remote.fetch("dri", 3, 0xab).as_deref(),
+        Some(&b"via client"[..])
+    );
+    let stats = remote.stats();
+    assert_eq!(stats.pushes, 1);
+    assert_eq!(stats.push_rejected, 0);
+    assert_eq!(stats.push_round_trips, 1);
+    assert!(!remote.is_push_disabled());
+
+    // A client with the wrong token is rejected once, then latches its
+    // push path off — reads keep working.
+    let imposter = RemoteStore::with_token(server.addr().to_string(), Some("wrong".to_owned()));
+    assert_eq!(
+        imposter.push("dri", 3, 0xcd, &frame_record(3, 0xcd, b"nope")),
+        PushOutcome::Rejected
+    );
+    assert!(imposter.is_push_disabled());
+    assert_eq!(
+        imposter.push("dri", 3, 0xce, &frame_record(3, 0xce, b"still no")),
+        PushOutcome::Rejected,
+        "latched: absorbed locally without another exchange"
+    );
+    let stats = imposter.stats();
+    assert_eq!(stats.push_rejected, 2);
+    assert_eq!(stats.push_round_trips, 1, "only the first reached the wire");
+    assert_eq!(stats.errors, 0, "auth rejection is not a transport error");
+    assert!(!imposter.is_disabled(), "the read breaker is untouched");
+    assert_eq!(
+        imposter.fetch("dri", 3, 0xab).as_deref(),
+        Some(&b"via client"[..]),
+        "reads still flow"
+    );
+    // A token-less client is likewise rejected (it cannot sign at all).
+    let anonymous = RemoteStore::new(server.addr().to_string());
+    assert_eq!(
+        anonymous.push("dri", 3, 0xcf, &frame_record(3, 0xcf, b"anon")),
+        PushOutcome::Rejected
+    );
+
+    assert_eq!(server.stats().records_accepted, 1);
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn batch_put_fails_only_the_corrupt_entry() {
+    let token = "batch-secret";
+    let (server, store, root) = serve_writable("batch-put", token, &[]);
+    let remote = RemoteStore::with_token(server.addr().to_string(), Some(token.to_owned()));
+
+    let first = frame_record(1, 1, b"first");
+    let mut corrupt = frame_record(1, 2, b"second");
+    corrupt[5] ^= 0x10;
+    let mismatched = frame_record(1, 999, b"third"); // pushed under key 3
+    let third = frame_record(1, 4, b"fourth");
+    let (outcomes, trips) = remote.push_batch(&[
+        ("dri", 1, 1, &first),
+        ("dri", 1, 2, &corrupt),
+        ("dri", 1, 3, &mismatched),
+        ("dri", 1, 4, &third),
+    ]);
+    assert_eq!(trips, 1);
+    assert_eq!(
+        outcomes,
+        vec![
+            PushOutcome::Accepted,
+            PushOutcome::Rejected,
+            PushOutcome::Rejected,
+            PushOutcome::Accepted,
+        ]
+    );
+    let stats = server.stats();
+    assert_eq!(stats.records_accepted, 2);
+    assert_eq!(stats.writes_rejected, 2);
+    assert_eq!(store.load("dri", 1, 1).as_deref(), Some(&b"first"[..]));
+    assert_eq!(
+        store.load("dri", 1, 2),
+        None,
+        "the corrupt entry never landed"
+    );
+    assert_eq!(store.load("dri", 1, 3), None, "nor the key-mismatched one");
+    assert_eq!(store.load("dri", 1, 4).as_deref(), Some(&b"fourth"[..]));
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
+#[test]
+fn batch_put_rejects_structural_damage_and_over_cap_wholesale() {
+    let token = "cap-secret";
+    let (server, store, root) = serve_writable("batch-put-cap", token, &[]);
+
+    // Over the MAX_BATCH frame cap → 400, nothing lands.
+    let mut body = Vec::new();
+    for key in 0..=dri_serve::server::MAX_BATCH as u128 {
+        let record = frame_record(1, key, b"x");
+        body.push(3u8);
+        body.extend_from_slice(b"dri");
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&key.to_le_bytes());
+        body.extend_from_slice(&(record.len() as u64).to_le_bytes());
+        body.extend_from_slice(&record);
+    }
+    let tag = auth::sign_hex(token, "POST", "/batch-put", &body);
+    let mut request = format!(
+        "POST /batch-put HTTP/1.1\r\nHost: t\r\nX-DRI-Token: {tag}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(&body);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(&request).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    assert!(
+        String::from_utf8_lossy(&response).starts_with("HTTP/1.1 400"),
+        "over-cap batches bounce wholesale"
+    );
+    assert_eq!(store.disk_usage().records, 0);
+
+    // A truncated frame stream (signed, authenticated) is also a 400.
+    let mut truncated = Vec::new();
+    truncated.push(3u8);
+    truncated.extend_from_slice(b"dri");
+    truncated.extend_from_slice(&1u32.to_le_bytes()); // key + length missing
+    let tag = auth::sign_hex(token, "POST", "/batch-put", &truncated);
+    let mut request = format!(
+        "POST /batch-put HTTP/1.1\r\nHost: t\r\nX-DRI-Token: {tag}\r\nContent-Length: {}\r\n\r\n",
+        truncated.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(&truncated);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(&request).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 400"));
+
+    // An oversized *record* inside an otherwise fine batch fails only
+    // its own entry (the framing stays parseable).
+    let remote = RemoteStore::with_token(server.addr().to_string(), Some(token.to_owned()));
+    let good = frame_record(1, 10, b"fits");
+    let huge = frame_record(1, 11, &vec![0u8; dri_serve::server::MAX_PUSH_RECORD + 1]);
+    let (outcomes, _) = remote.push_batch(&[("dri", 1, 10, &good), ("dri", 1, 11, &huge)]);
+    assert_eq!(outcomes, vec![PushOutcome::Accepted, PushOutcome::Rejected]);
+    assert_eq!(store.load("dri", 1, 10).as_deref(), Some(&b"fits"[..]));
+    assert_eq!(store.load("dri", 1, 11), None);
+
     server.shutdown();
     let _ = fs::remove_dir_all(root);
 }

@@ -67,6 +67,12 @@ impl KeyHasher {
         self.write_bytes(&v.to_le_bytes());
     }
 
+    /// Absorbs a `u128`, little-endian (e.g. a digest being folded into
+    /// another hash, as the keyed request-tag construction does).
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
     /// Absorbs a bool as one byte.
     pub fn write_bool(&mut self, v: bool) {
         self.write_u8(u8::from(v));

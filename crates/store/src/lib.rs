@@ -56,7 +56,11 @@
 //! [`store::ResultStore::load_record_bytes`] expose the raw-record
 //! serving path used by the `dri-serve` crate: the full checksummed
 //! record travels to the remote reader, which re-validates it end-to-end
-//! before trusting a byte.
+//! before trusting a byte. The reverse direction — a worker *pushing* a
+//! locally computed result to a central host — uses
+//! [`store::frame_record`] to build the identical self-validating record
+//! for the wire; the receiving server re-runs [`store::validate_record`]
+//! and lands the payload through the same atomic temp+rename write path.
 //!
 //! ## Planning lookups in bulk
 //!
@@ -78,4 +82,4 @@ pub use codec::{Decoder, Encoder};
 pub use gc::{DiskUsage, GcPolicy, GcReport};
 pub use hash::KeyHasher;
 pub use plan::{KeyPlan, KeyRef};
-pub use store::{validate_record, ResultStore, StoreStats};
+pub use store::{frame_record, validate_record, ResultStore, StoreStats};

@@ -54,6 +54,35 @@ pub fn validate_record(bytes: &[u8], schema: u32, key: u128) -> Option<&[u8]> {
     Some(&bytes[HEADER_LEN..body])
 }
 
+/// Builds the complete on-disk/wire record for `(schema, key, payload)`:
+/// magic, schema, key, payload length, payload, trailing FNV-1a 64
+/// checksum — exactly the bytes [`ResultStore::save`] persists and
+/// [`validate_record`] accepts.
+///
+/// Exposed so a *pushing* client (the `dri-serve` write path) can frame a
+/// locally computed payload into the same self-validating record the
+/// serving host would have written itself; the receiver re-validates
+/// before a byte lands on its disk.
+///
+/// ```
+/// use dri_store::{frame_record, validate_record};
+///
+/// let record = frame_record(1, 0xabcd, b"counters");
+/// assert_eq!(validate_record(&record, 1, 0xabcd), Some(&b"counters"[..]));
+/// assert_eq!(validate_record(&record, 2, 0xabcd), None, "wrong schema");
+/// ```
+pub fn frame_record(schema: u32, key: u128, payload: &[u8]) -> Vec<u8> {
+    let mut record = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    record.extend_from_slice(&MAGIC);
+    record.extend_from_slice(&schema.to_le_bytes());
+    record.extend_from_slice(&key.to_le_bytes());
+    record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    record.extend_from_slice(payload);
+    let checksum = fnv64(&record);
+    record.extend_from_slice(&checksum.to_le_bytes());
+    record
+}
+
 /// Monotonic counters describing one store's traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -294,14 +323,7 @@ impl ResultStore {
         let dir = path.parent().expect("entry path has a shard directory");
         fs::create_dir_all(dir)?;
 
-        let mut record = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
-        record.extend_from_slice(&MAGIC);
-        record.extend_from_slice(&schema.to_le_bytes());
-        record.extend_from_slice(&key.to_le_bytes());
-        record.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        record.extend_from_slice(payload);
-        let checksum = fnv64(&record);
-        record.extend_from_slice(&checksum.to_le_bytes());
+        let record = frame_record(schema, key, payload);
 
         // Unique temp name per (process, write): concurrent writers never
         // share a temp file, and the final rename is atomic on POSIX.
@@ -483,6 +505,11 @@ mod tests {
         store.save("dri", 2, key, b"wire payload");
         let raw = store.load_record_bytes("dri", 2, key).expect("raw record");
         assert_eq!(raw, fs::read(store.entry_path("dri", 2, key)).unwrap());
+        assert_eq!(
+            raw,
+            frame_record(2, key, b"wire payload"),
+            "a client-framed record is byte-identical to what save() persists"
+        );
         // The exported validator accepts the exact on-disk bytes and
         // rejects any other (schema, key) claim about them.
         assert_eq!(validate_record(&raw, 2, key), Some(&b"wire payload"[..]));

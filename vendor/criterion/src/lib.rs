@@ -15,7 +15,10 @@
 //! ```
 //!
 //! Environment knobs: `CRITERION_SAMPLE_SIZE` overrides every group's
-//! sample count (handy for CI smoke runs).
+//! sample count (handy for CI smoke runs), and `CRITERION_JSON=<path>`
+//! appends one JSON object per benchmark to `<path>` (JSON Lines) so CI
+//! can assemble machine-readable trajectory artifacts like
+//! `BENCH_5.json` without scraping the human-readable lines.
 
 use std::time::{Duration, Instant};
 
@@ -69,6 +72,32 @@ fn env_sample_size() -> Option<usize> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Appends one JSON-Lines record per benchmark to `CRITERION_JSON`
+/// (best-effort: an unwritable path must not fail a measurement run).
+/// Benchmark names are `[A-Za-z0-9/_.-]` by construction, so no JSON
+/// escaping is needed.
+fn report_json(name: &str, median: Duration, min: Duration, samples: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"name\":\"{name}\",\"median_ns\":{},\"min_ns\":{},\"samples\":{samples}}}\n",
+        median.as_nanos(),
+        min.as_nanos()
+    );
+    use std::io::Write;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(line.as_bytes());
+    }
+}
+
 fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{name}  (no samples)");
@@ -77,6 +106,7 @@ fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) 
     samples.sort_unstable();
     let median = samples[samples.len() / 2];
     let min = samples[0];
+    report_json(name, median, min, samples.len());
     let mut line = format!(
         "{name}  median {}  min {}  ({} samples)",
         fmt_duration(median),
