@@ -19,7 +19,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use dri_experiments::harness::quick_mode;
+use dri_experiments::harness::{quick_mode, selected_benchmarks, BENCHMARKS_ENV};
 use dri_experiments::manifest::{self, Job, Manifest};
 use dri_experiments::report::Table;
 use dri_experiments::SimSession;
@@ -27,7 +27,7 @@ use dri_store::{GcPolicy, ResultStore};
 
 const USAGE: &str = "\
 usage: suite [--manifest FILE] [--store-stats] [--[no-]prefetch] [--[no-]push]
-             [--list] [JOB ...]
+             [--[no-]steal] [--list] [JOB ...]
        suite gc [--store DIR] [--max-bytes N[K|M|G]] [--max-age GENS] [--dry-run]
 
 Runs figure/table jobs in one process with shared simulation caches.
@@ -46,6 +46,12 @@ options:
                     service after each sweep (requires the server to hold
                     the matching DRI_TOKEN); off by default
   --no-push         keep simulated records local (the default)
+  --steal           join a lease-based work-stealing campaign: claim
+                    benchmark-sized units from the DRI_REMOTE scheduler,
+                    simulate only what is claimed, push the records, and
+                    reclaim units abandoned by dead workers (implies
+                    --push unless push is explicitly off)
+  --no-steal        run every planned job locally (the default)
   --list            list available jobs and exit
   --help            this text
 
@@ -58,16 +64,17 @@ gc subcommand (garbage-collect a result store):
   --dry-run         report what would be evicted without deleting anything
 
 environment: DRI_QUICK, DRI_THREADS, DRI_STORE, DRI_REMOTE, DRI_PREFETCH,
-DRI_PUSH, DRI_TOKEN, DRI_BENCHMARKS (see README); a manifest's
-`quick/threads/store/remote/prefetch/push/benchmarks` options set the
-same variables (the token deliberately has no manifest spelling — a
-secret does not belong in a reviewable plan file).";
+DRI_PUSH, DRI_STEAL, DRI_WORKER, DRI_TOKEN, DRI_BENCHMARKS (see README);
+a manifest's `quick/threads/store/remote/prefetch/push/steal/benchmarks`
+options set the same variables (the token deliberately has no manifest
+spelling — a secret does not belong in a reviewable plan file).";
 
 struct CliArgs {
     manifest_path: Option<String>,
     store_stats: bool,
     prefetch: Option<bool>,
     push: Option<bool>,
+    steal: Option<bool>,
     list: bool,
     jobs: Vec<Job>,
 }
@@ -78,6 +85,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         store_stats: false,
         prefetch: None,
         push: None,
+        steal: None,
         list: false,
         jobs: Vec::new(),
     };
@@ -93,6 +101,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--no-prefetch" => parsed.prefetch = Some(false),
             "--push" => parsed.push = Some(true),
             "--no-push" => parsed.push = Some(false),
+            "--steal" => parsed.steal = Some(true),
+            "--no-steal" => parsed.steal = Some(false),
             "--list" => parsed.list = true,
             "--help" | "-h" => return Err(String::new()),
             "all" => parsed.jobs.extend(Job::all()),
@@ -110,8 +120,9 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
 
 /// Builds the run plan: CLI jobs and a manifest file compose (manifest
 /// options always apply, except that an explicit `--[no-]prefetch` /
-/// `--[no-]push` flag overrides the manifest's `prefetch =` / `push =`;
-/// explicit CLI jobs run after the manifest's).
+/// `--[no-]push` / `--[no-]steal` flag overrides the manifest's
+/// `prefetch =` / `push =` / `steal =`; explicit CLI jobs run after the
+/// manifest's).
 fn build_plan(args: &CliArgs) -> Result<Manifest, String> {
     let mut plan = match &args.manifest_path {
         Some(path) => {
@@ -126,6 +137,9 @@ fn build_plan(args: &CliArgs) -> Result<Manifest, String> {
     }
     if args.push.is_some() {
         plan.options.push = args.push;
+    }
+    if args.steal.is_some() {
+        plan.options.steal = args.steal;
     }
     for &job in &args.jobs {
         plan.push_job(job);
@@ -158,6 +172,9 @@ fn apply_options(plan: &Manifest) {
     }
     if let Some(push) = plan.options.push {
         std::env::set_var("DRI_PUSH", if push { "1" } else { "0" });
+    }
+    if let Some(steal) = plan.options.steal {
+        std::env::set_var(dri_experiments::STEAL_ENV, if steal { "1" } else { "0" });
     }
     if let Some(benchmarks) = &plan.options.benchmarks {
         std::env::set_var("DRI_BENCHMARKS", benchmarks);
@@ -230,6 +247,75 @@ fn run_gc(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--steal` campaign mode. Instead of running every simulating job
+/// over every benchmark locally, the worker claims benchmark-sized
+/// units from the remote scheduler's durable lease queue, simulates
+/// just the claimed benchmark's share of each simulating job, pushes
+/// the records, and completes the lease — looping until the campaign
+/// drains. Units abandoned by crashed workers (expired leases) are
+/// reclaimed and re-run; the deterministic simulator makes the replay
+/// bit-identical. Non-simulating jobs (the closed-form tables) run
+/// locally once — they are cheap and keep this worker's stdout useful.
+fn run_steal(plan: &Manifest, session: &SimSession) -> Result<(), String> {
+    let Some(remote) = session.remote() else {
+        return Err(
+            "--steal needs a scheduler: set DRI_REMOTE (or `remote =` in the manifest) \
+             to a dri-serve address"
+                .to_owned(),
+        );
+    };
+    for job in plan.jobs.iter().filter(|j| !j.simulates()) {
+        eprintln!("suite: [steal] running non-simulating job {job} locally");
+        job.run();
+    }
+    let sim_jobs: Vec<Job> = plan.jobs.iter().copied().filter(Job::simulates).collect();
+    if sim_jobs.is_empty() {
+        eprintln!("suite: [steal] no simulating jobs in the plan — nothing to lease");
+        return Ok(());
+    }
+    // Stealing without pushing would strand every simulated record on
+    // this worker and force the next claimant to redo it, so steal
+    // implies push unless push was explicitly switched off.
+    if plan.options.push.is_none() && std::env::var_os("DRI_PUSH").is_none() {
+        eprintln!(
+            "suite: [steal] enabling write-through push (pass --no-push to keep records local)"
+        );
+        std::env::set_var("DRI_PUSH", "1");
+    }
+    let sim_names: Vec<&str> = sim_jobs.iter().map(Job::name).collect();
+    let campaign = dri_experiments::campaign_id(&sim_names, quick_mode());
+    let worker = dri_experiments::worker_name();
+    let units: Vec<String> = selected_benchmarks()
+        .iter()
+        .map(|b| b.name().to_owned())
+        .collect();
+    eprintln!(
+        "suite: [steal] worker `{worker}` joining campaign `{campaign}` \
+         ({} unit(s), {} simulating job(s))",
+        units.len(),
+        sim_jobs.len()
+    );
+    let outcome = dri_experiments::drain(remote, &campaign, &units, &worker, |unit| {
+        std::env::set_var(BENCHMARKS_ENV, unit);
+        eprintln!("suite: [{worker}] unit `{unit}` ...");
+        for job in &sim_jobs {
+            job.run();
+        }
+        session.push_pending();
+    })?;
+    eprintln!(
+        "suite: steal campaign `{campaign}` drained: {} claimed ({} reclaimed), \
+         {} completed, {} lost, {} renewal(s), {} wait(s)",
+        outcome.granted,
+        outcome.reclaimed,
+        outcome.completed,
+        outcome.lost,
+        outcome.renewals,
+        outcome.waits
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("gc") {
@@ -297,6 +383,24 @@ fn main() -> ExitCode {
             None => String::new(),
         }
     );
+
+    if dri_experiments::steal_enabled() {
+        return match run_steal(&plan, session) {
+            Ok(()) => {
+                let stats = session.stats();
+                eprintln!(
+                    "suite: session: {} simulations, {} remote hits",
+                    stats.simulations(),
+                    stats.remote_hits()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let suite_start = Instant::now();
     let mut timings: Vec<(Job, f64, u64, u64, u64, u64)> = Vec::new();

@@ -17,12 +17,15 @@
 //! one `POST /batch` round-trip, and Figures 4–6/§5.6 plan each sweep's
 //! points the same way.
 
-use crate::harness::{banner, base_config, for_each_benchmark, space, threads};
+use crate::harness::{
+    banner, base_config, for_each_benchmark, selected_benchmarks, space, threads,
+};
 use crate::published;
 use crate::report::{kbytes, pct, Table};
-use crate::search::{search_all, search_benchmark};
+use crate::search::{grid_configs, search_all, search_benchmark};
 use crate::sweeps::{
-    divisibility_sweep, geometry_sweep, interval_sweep, miss_bound_sweep, size_bound_sweep,
+    divisibility_grid, divisibility_sweep, geometry_grid, geometry_sweep, interval_grid,
+    interval_sweep, miss_bound_grid, miss_bound_sweep, size_bound_grid, size_bound_sweep,
     GeometrySweep, MissBoundSweep, SizeBoundSweep,
 };
 use crate::Comparison;
@@ -43,6 +46,41 @@ fn constrained_base(b: Benchmark) -> crate::RunConfig {
     tuned.dri.miss_bound = sr.constrained.miss_bound;
     tuned.dri.size_bound_bytes = sr.constrained.size_bound_bytes;
     tuned
+}
+
+/// Batch-prefetches everything a Figure 4–6/§5.6 sweep campaign will
+/// touch, before the per-benchmark fan-out starts. Until this hook
+/// existed, only figure3's `search_all` planned its whole campaign in
+/// one pass — the sweep figures prefetched per benchmark, costing a
+/// cold worker one batch round-trip per benchmark instead of one per
+/// campaign (and a `--steal` worker one per claimed unit per sweep).
+///
+/// Two phases, because the sweep points are only known once the search
+/// is resolved:
+///
+/// 1. the search grids that determine every selected benchmark's
+///    constrained base are planned as **one** cross-benchmark pass (the
+///    same records figure3's `search_all` plans, so an in-process or
+///    fleet-warm campaign resolves them from memory or one round-trip);
+/// 2. the tuned bases are computed (pure replay after phase 1 when the
+///    store is warm) and every sweep point around them — enumerated by
+///    `points`, e.g. [`miss_bound_grid`] — is planned as one more pass.
+///
+/// A no-op when prefetch is disabled (`DRI_PREFETCH=0`): the per-point
+/// lookups inside the sweeps then behave exactly as before.
+fn prefetch_sweep_campaign(points: impl Fn(&crate::RunConfig) -> Vec<crate::RunConfig> + Sync) {
+    if !crate::session::prefetch_enabled() {
+        return;
+    }
+    let benchmarks = selected_benchmarks();
+    let search_grid: Vec<crate::RunConfig> = benchmarks
+        .iter()
+        .flat_map(|&b| grid_configs(&base_config(b), &space()))
+        .collect();
+    crate::session::prefetch_grid(&search_grid);
+    let bases = crate::harness::parallel_map(&benchmarks, |&b| constrained_base(b));
+    let sweep_grid: Vec<crate::RunConfig> = bases.iter().flat_map(&points).collect();
+    crate::session::prefetch_grid(&sweep_grid);
 }
 
 /// Figure 3: base energy-delay and average cache size, performance-
@@ -146,6 +184,7 @@ pub fn figure3() {
 /// benchmark's performance-constrained base value).
 pub fn figure4() {
     banner("Figure 4: impact of varying the miss-bound", "Figure 4");
+    prefetch_sweep_campaign(miss_bound_grid);
     let rows: Vec<(Benchmark, MissBoundSweep)> =
         for_each_benchmark(|b| miss_bound_sweep(&constrained_base(b)));
 
@@ -180,6 +219,7 @@ pub fn figure4() {
 pub fn figure5() {
     banner("Figure 5: impact of varying the size-bound", "Figure 5");
     let opt_cell = |c: &Option<Comparison>| c.as_ref().map_or("N/A".to_owned(), sweep_cell);
+    prefetch_sweep_campaign(size_bound_grid);
     let rows: Vec<(Benchmark, SizeBoundSweep)> =
         for_each_benchmark(|b| size_bound_sweep(&constrained_base(b)));
 
@@ -218,6 +258,7 @@ pub fn figure6() {
         "Figure 6: varying conventional cache parameters (A: 64K 4-way, B: 64K DM, C: 128K DM)",
         "Figure 6 and section 5.5",
     );
+    prefetch_sweep_campaign(geometry_grid);
     let rows: Vec<(Benchmark, GeometrySweep)> =
         for_each_benchmark(|b| geometry_sweep(&constrained_base(b)));
 
@@ -408,6 +449,15 @@ pub fn section5_6() {
         "Section 5.6: varying sense-interval length and divisibility",
         "section 5.6",
     );
+    prefetch_sweep_campaign(|tuned| {
+        let base_si = tuned.dri.sense_interval;
+        let mut grid = interval_grid(
+            tuned,
+            &[base_si / 4, base_si / 2, base_si, base_si * 2, base_si * 4],
+        );
+        grid.extend(divisibility_grid(tuned, &[2, 4, 8]));
+        grid
+    });
     type Rows = (Vec<(u64, Comparison)>, Vec<(u32, Comparison)>);
     let rows: Vec<(Benchmark, Rows)> = for_each_benchmark(|b| {
         let tuned = constrained_base(b);

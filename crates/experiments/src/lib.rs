@@ -20,6 +20,12 @@
 //! content-addressed on-disk store ([`dri_store`], wired in by
 //! [`session`] + [`persist`]) so later processes warm-start from disk.
 //!
+//! With `DRI_REMOTE` pointing at a `dri-serve` host, a fleet shares one
+//! memoization domain; `suite --steal` ([`steal`]) goes further and
+//! shares the *scheduling* too — workers claim benchmark-sized work
+//! units from the server's durable lease table, push what they
+//! simulate, and re-claim anything a dead worker left behind.
+//!
 //! ## Example
 //!
 //! ```
@@ -43,6 +49,7 @@ pub mod report;
 pub mod runner;
 pub mod search;
 pub mod session;
+pub mod steal;
 pub mod sweeps;
 
 pub use dri_serve::{RemoteStats, RemoteStore};
@@ -54,4 +61,7 @@ pub use search::{
 pub use session::{
     prefetch_enabled, prefetch_grid, push_enabled, push_grid, PrefetchStats, PushStats,
     SessionStats, SimSession, PREFETCH_ENV, PUSH_ENV,
+};
+pub use steal::{
+    campaign_id, drain, steal_enabled, worker_name, DrainOutcome, STEAL_ENV, WORKER_ENV,
 };

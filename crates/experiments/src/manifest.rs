@@ -25,7 +25,11 @@
 //!   `DRI_PREFETCH` (bulk grid prefetch through the cache tiers — on by
 //!   default), `push` (`on`/`off`) to `DRI_PUSH` (push locally simulated
 //!   records to the remote service after each sweep — off by default;
-//!   the server must hold the matching `DRI_TOKEN`), and `benchmarks`
+//!   the server must hold the matching `DRI_TOKEN`), `steal` (`on`/`off`)
+//!   to `DRI_STEAL` (lease-based work stealing: instead of statically
+//!   splitting the campaign with `benchmarks`, workers claim
+//!   benchmark-sized units from the server's durable lease queue — off
+//!   by default, requires `remote`), and `benchmarks`
 //!   (a comma-separated list of benchmark names) to `DRI_BENCHMARKS` —
 //!   the fleet-splitting knob that lets two workers take disjoint halves
 //!   of one campaign. Options apply to the whole plan and must precede
@@ -163,6 +167,9 @@ pub struct PlanOptions {
     /// `push = on|off` → `DRI_PUSH` (write-through push of simulated
     /// records to the remote service; off by default when unset).
     pub push: Option<bool>,
+    /// `steal = on|off` → `DRI_STEAL` (lease-based work stealing over
+    /// the remote scheduler; off by default when unset).
+    pub steal: Option<bool>,
     /// `benchmarks = a,b,c` → `DRI_BENCHMARKS` (restrict the figure
     /// suites to a validated subset of benchmarks; names are normalised
     /// to a comma-joined list).
@@ -322,6 +329,7 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
                 }
                 "prefetch" => manifest.options.prefetch = Some(parse_switch(lineno, value)?),
                 "push" => manifest.options.push = Some(parse_switch(lineno, value)?),
+                "steal" => manifest.options.steal = Some(parse_switch(lineno, value)?),
                 "benchmarks" => {
                     manifest.options.benchmarks = Some(parse_benchmarks(lineno, value)?);
                 }
@@ -330,7 +338,7 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
                         lineno,
                         format!(
                             "unknown option `{other}` (expected quick, threads, store, \
-                             remote, prefetch, push, or benchmarks)"
+                             remote, prefetch, push, steal, or benchmarks)"
                         ),
                     ))
                 }
@@ -409,6 +417,14 @@ mod tests {
         assert_eq!(m.options.push, Some(true));
         assert_eq!(parse("figure3\n").unwrap().options.push, None, "default");
         assert!(parse("push = maybe\nfigure3\n").is_err());
+    }
+
+    #[test]
+    fn steal_option_parses_and_rejects_garbage() {
+        let m = parse("steal = on\nremote = 10.0.0.5:7171\nfigure3\n").expect("valid manifest");
+        assert_eq!(m.options.steal, Some(true));
+        assert_eq!(parse("figure3\n").unwrap().options.steal, None, "default");
+        assert!(parse("steal = maybe\nfigure3\n").is_err());
     }
 
     #[test]

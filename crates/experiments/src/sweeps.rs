@@ -46,11 +46,12 @@ pub struct MissBoundSweep {
     pub double: Comparison,
 }
 
-/// Runs the Figure 4 sweep around `base` (whose `dri.miss_bound` is the
-/// benchmark's constrained-best value). The baseline run is shared and the
-/// three points run in parallel.
-pub fn miss_bound_sweep(base: &RunConfig) -> MissBoundSweep {
-    let cfgs: Vec<RunConfig> = [
+/// The Figure 4 sweep's point grid around `base`, in sweep order
+/// (half, base, double). Enumerating the grid without running it is
+/// what lets a campaign batch-prefetch every sweep point up front (see
+/// [`crate::figures`]); [`miss_bound_sweep`] runs exactly these configs.
+pub fn miss_bound_grid(base: &RunConfig) -> Vec<RunConfig> {
+    [
         base.dri.miss_bound / 2,
         base.dri.miss_bound,
         base.dri.miss_bound * 2,
@@ -61,7 +62,14 @@ pub fn miss_bound_sweep(base: &RunConfig) -> MissBoundSweep {
         cfg.dri.miss_bound = mb.max(1);
         cfg
     })
-    .collect();
+    .collect()
+}
+
+/// Runs the Figure 4 sweep around `base` (whose `dri.miss_bound` is the
+/// benchmark's constrained-best value). The baseline run is shared and the
+/// three points run in parallel.
+pub fn miss_bound_sweep(base: &RunConfig) -> MissBoundSweep {
+    let cfgs = miss_bound_grid(base);
     let mut points = compare_points(base, &cfgs);
     let double = points.pop().expect("three points");
     let base_point = points.pop().expect("three points");
@@ -86,27 +94,36 @@ pub struct SizeBoundSweep {
     pub half: Option<Comparison>,
 }
 
-/// Runs the Figure 5 sweep around `base`: applicable points in parallel
-/// against the shared baseline.
-pub fn size_bound_sweep(base: &RunConfig) -> SizeBoundSweep {
+/// The Figure 5 sweep's point grid around `base`: the base bound first,
+/// then the applicable 2× and 0.5× points (the inapplicable ends are
+/// simply absent, mirroring the paper's "NOT APPLICABLE" cells).
+/// [`size_bound_sweep`] runs exactly these configs.
+pub fn size_bound_grid(base: &RunConfig) -> Vec<RunConfig> {
     let row_bytes = base.dri.block_bytes * u64::from(base.dri.associativity);
-    let has_double = base.dri.size_bound_bytes * 2 <= base.dri.max_size_bytes;
-    let has_half = base.dri.size_bound_bytes / 2 >= row_bytes;
     let mut bounds = vec![base.dri.size_bound_bytes];
-    if has_double {
+    if base.dri.size_bound_bytes * 2 <= base.dri.max_size_bytes {
         bounds.push(base.dri.size_bound_bytes * 2);
     }
-    if has_half {
+    if base.dri.size_bound_bytes / 2 >= row_bytes {
         bounds.push(base.dri.size_bound_bytes / 2);
     }
-    let cfgs: Vec<RunConfig> = bounds
+    bounds
         .into_iter()
         .map(|sb| {
             let mut cfg = base.clone();
             cfg.dri.size_bound_bytes = sb;
             cfg
         })
-        .collect();
+        .collect()
+}
+
+/// Runs the Figure 5 sweep around `base`: applicable points in parallel
+/// against the shared baseline.
+pub fn size_bound_sweep(base: &RunConfig) -> SizeBoundSweep {
+    let has_double = base.dri.size_bound_bytes * 2 <= base.dri.max_size_bytes;
+    let has_half =
+        base.dri.size_bound_bytes / 2 >= base.dri.block_bytes * u64::from(base.dri.associativity);
+    let cfgs = size_bound_grid(base);
     let mut points = compare_points(base, &cfgs).into_iter();
     let base_point = points.next().expect("base point");
     let double = has_double.then(|| points.next().expect("double point"));
@@ -132,11 +149,12 @@ pub struct GeometrySweep {
     pub dm_128k: Comparison,
 }
 
-/// Runs the Figure 6 sweep. `base` carries the benchmark's constrained
-/// 64K-DM parameters. Each geometry pairs with a baseline of its own
-/// geometry, so the three full comparisons run in parallel.
-pub fn geometry_sweep(base: &RunConfig) -> GeometrySweep {
-    let cfgs: Vec<RunConfig> = [
+/// The Figure 6 sweep's point grid around `base`, in sweep order (64K
+/// 4-way, 64K DM, 128K DM), each point carrying the base miss-/size-
+/// bounds capped to its geometry. [`geometry_sweep`] runs exactly these
+/// configs.
+pub fn geometry_grid(base: &RunConfig) -> Vec<RunConfig> {
+    [
         DriConfig::hpca01_64k_4way(),
         DriConfig::hpca01_64k_dm(),
         DriConfig::hpca01_128k_dm(),
@@ -154,7 +172,14 @@ pub fn geometry_sweep(base: &RunConfig) -> GeometrySweep {
         };
         cfg
     })
-    .collect();
+    .collect()
+}
+
+/// Runs the Figure 6 sweep. `base` carries the benchmark's constrained
+/// 64K-DM parameters. Each geometry pairs with a baseline of its own
+/// geometry, so the three full comparisons run in parallel.
+pub fn geometry_sweep(base: &RunConfig) -> GeometrySweep {
+    let cfgs = geometry_grid(base);
     crate::session::prefetch_grid(&cfgs);
     let mut points = parallel_map(&cfgs, one).into_iter();
     crate::session::push_grid();
@@ -165,17 +190,23 @@ pub fn geometry_sweep(base: &RunConfig) -> GeometrySweep {
     }
 }
 
-/// §5.6: sense-interval robustness. Returns `(interval, comparison)` per
-/// swept length, all points in parallel against the shared baseline.
-pub fn interval_sweep(base: &RunConfig, intervals: &[u64]) -> Vec<(u64, Comparison)> {
-    let cfgs: Vec<RunConfig> = intervals
+/// The §5.6 sense-interval grid around `base`, one config per swept
+/// length; [`interval_sweep`] runs exactly these configs.
+pub fn interval_grid(base: &RunConfig, intervals: &[u64]) -> Vec<RunConfig> {
+    intervals
         .iter()
         .map(|&si| {
             let mut cfg = base.clone();
             cfg.dri.sense_interval = si;
             cfg
         })
-        .collect();
+        .collect()
+}
+
+/// §5.6: sense-interval robustness. Returns `(interval, comparison)` per
+/// swept length, all points in parallel against the shared baseline.
+pub fn interval_sweep(base: &RunConfig, intervals: &[u64]) -> Vec<(u64, Comparison)> {
+    let cfgs = interval_grid(base, intervals);
     intervals
         .iter()
         .copied()
@@ -183,17 +214,22 @@ pub fn interval_sweep(base: &RunConfig, intervals: &[u64]) -> Vec<(u64, Comparis
         .collect()
 }
 
-/// §5.6: divisibility. Returns `(divisibility, comparison)` per factor,
-/// all points in parallel against the shared baseline.
-pub fn divisibility_sweep(base: &RunConfig, divs: &[u32]) -> Vec<(u32, Comparison)> {
-    let cfgs: Vec<RunConfig> = divs
-        .iter()
+/// The §5.6 divisibility grid around `base`, one config per factor;
+/// [`divisibility_sweep`] runs exactly these configs.
+pub fn divisibility_grid(base: &RunConfig, divs: &[u32]) -> Vec<RunConfig> {
+    divs.iter()
         .map(|&d| {
             let mut cfg = base.clone();
             cfg.dri.divisibility = d;
             cfg
         })
-        .collect();
+        .collect()
+}
+
+/// §5.6: divisibility. Returns `(divisibility, comparison)` per factor,
+/// all points in parallel against the shared baseline.
+pub fn divisibility_sweep(base: &RunConfig, divs: &[u32]) -> Vec<(u32, Comparison)> {
+    let cfgs = divisibility_grid(base, divs);
     divs.iter()
         .copied()
         .zip(compare_points(base, &cfgs))
@@ -251,6 +287,41 @@ mod tests {
             - eds.iter().cloned().fold(f64::MAX, f64::min))
         .abs();
         assert!(spread < 0.3, "interval spread {spread} too wide: {eds:?}");
+    }
+
+    #[test]
+    fn grids_enumerate_exactly_what_the_sweeps_run() {
+        // The campaign-level prefetch plans these grids *instead of*
+        // running the sweeps, so each must mirror its sweep's points.
+        let base = quick_base();
+        let mb = miss_bound_grid(&base);
+        assert_eq!(
+            mb.iter().map(|c| c.dri.miss_bound).collect::<Vec<_>>(),
+            vec![50, 100, 200]
+        );
+        let sb = size_bound_grid(&base);
+        assert_eq!(
+            sb.iter()
+                .map(|c| c.dri.size_bound_bytes)
+                .collect::<Vec<_>>(),
+            vec![4 * 1024, 8 * 1024, 2 * 1024]
+        );
+        let mut full = quick_base();
+        full.dri.size_bound_bytes = full.dri.max_size_bytes;
+        assert_eq!(size_bound_grid(&full).len(), 2, "no 2x point at the cap");
+        let geo = geometry_grid(&base);
+        assert_eq!(geo.len(), 3);
+        assert_eq!(geo[0].dri.associativity, 4);
+        assert_eq!(geo[2].dri.max_size_bytes, 128 * 1024);
+        assert!(geo.iter().all(|c| c.dri.miss_bound == 100));
+        assert_eq!(interval_grid(&base, &[10_000, 20_000]).len(), 2);
+        assert_eq!(
+            divisibility_grid(&base, &[2, 4, 8])
+                .iter()
+                .map(|c| c.dri.divisibility)
+                .collect::<Vec<_>>(),
+            vec![2, 4, 8]
+        );
     }
 
     #[test]

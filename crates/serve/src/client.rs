@@ -9,11 +9,28 @@
 //! recomputes, exactly as it would for local corruption.
 //!
 //! The client is also built to *fail fast and stay out of the way*:
-//! short connect timeouts, and a circuit breaker that disables the
-//! remote tier for the rest of the process after
-//! [`MAX_CONSECUTIVE_ERRORS`] straight transport failures (with one
-//! warning) — a dead server must not add a timeout to every sweep point
-//! of a campaign.
+//! short connect timeouts (tunable via [`TIMEOUT_ENV`]), bounded retry
+//! with exponential backoff for **transient** transport failures, and a
+//! circuit breaker that disables the remote tier for the rest of the
+//! process after [`MAX_CONSECUTIVE_ERRORS`] straight *exhausted* retry
+//! rounds (with one warning) — a dead server must not add a timeout to
+//! every sweep point of a campaign. Failures split three ways:
+//!
+//! * **Transient** (refused/reset connection, timeout, torn response,
+//!   5xx): retried up to [`RETRY_ATTEMPTS`] times with exponential
+//!   backoff + deterministic jitter; only a fully exhausted round counts
+//!   once against the breaker.
+//! * **Hard auth** (`401`/`405` on the write path): never retried —
+//!   the server *answered*, definitively. Pushes latch off immediately.
+//! * **Breaker open**: every later call is absorbed locally.
+//!
+//! The client also carries the scheduler's control plane: the
+//! [`RemoteStore::lease_claim`] / [`RemoteStore::lease_renew`] /
+//! [`RemoteStore::lease_complete`] calls a `suite --steal` worker loops
+//! over. Lease traffic deliberately bypasses the data-plane breaker: a
+//! worker whose *fetches* gave up must still heartbeat and complete the
+//! unit it holds (the steal loop has its own bounded claim-failure
+//! bailout).
 
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -47,8 +64,86 @@ pub const BATCH_CHUNK: usize = 4096;
 /// answers for it per-entry.
 pub const PUSH_BODY_BUDGET: usize = 16 * 1024 * 1024;
 
+/// Environment variable overriding both socket timeouts, in
+/// milliseconds: connect uses the value as-is, read/write use five times
+/// it (a slow *response* is worth more patience than a dead *connect*).
+/// Unparsable or zero values warn once and fall back to the defaults,
+/// the `DRI_THREADS` convention.
+pub const TIMEOUT_ENV: &str = "DRI_REMOTE_TIMEOUT_MS";
+
+/// Attempts per exchange: the first try plus bounded retries for
+/// transient failures. Definitive answers (2xx/4xx) never retry.
+pub const RETRY_ATTEMPTS: u32 = 3;
+
+/// First-retry backoff; doubles per retry up to [`BACKOFF_CAP`], plus
+/// deterministic jitter of at most half the step.
+const BACKOFF_BASE: Duration = Duration::from_millis(25);
+const BACKOFF_CAP: Duration = Duration::from_millis(200);
+
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The socket timeouts in force, resolved once per client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Timeouts {
+    connect: Duration,
+    io: Duration,
+}
+
+impl Timeouts {
+    fn default_pair() -> Timeouts {
+        Timeouts {
+            connect: CONNECT_TIMEOUT,
+            io: IO_TIMEOUT,
+        }
+    }
+
+    /// Resolves [`TIMEOUT_ENV`] (see its docs for the semantics).
+    fn from_env() -> Timeouts {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        let Ok(raw) = std::env::var(TIMEOUT_ENV) else {
+            return Timeouts::default_pair();
+        };
+        match parse_timeout_ms(&raw) {
+            Some(connect_ms) => Timeouts {
+                connect: Duration::from_millis(connect_ms),
+                io: Duration::from_millis(connect_ms.saturating_mul(5)),
+            },
+            None => {
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring unparsable {TIMEOUT_ENV}={raw:?} \
+                         (want a positive integer of milliseconds); using the defaults"
+                    );
+                });
+                Timeouts::default_pair()
+            }
+        }
+    }
+}
+
+/// `Some(ms)` for a positive integer, `None` otherwise.
+fn parse_timeout_ms(raw: &str) -> Option<u64> {
+    raw.trim().parse::<u64>().ok().filter(|&ms| ms > 0)
+}
+
+/// Backoff before retry number `attempt` (1-based): exponential from
+/// [`BACKOFF_BASE`], capped at [`BACKOFF_CAP`], plus a deterministic
+/// jitter derived by hashing `salt` — reproducible (no clocks, no RNG),
+/// but de-synchronized across a fleet of workers whose salts differ.
+fn backoff_delay(attempt: u32, salt: u64) -> Duration {
+    let step = BACKOFF_BASE
+        .saturating_mul(1u32 << attempt.saturating_sub(1).min(8))
+        .min(BACKOFF_CAP);
+    // FNV-1a over the salt bytes: cheap, stable, dependency-free.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in salt.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    let jitter_ms = hash % (step.as_millis() as u64 / 2).max(1);
+    step + Duration::from_millis(jitter_ms)
+}
 
 /// Snapshot of one client's traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,6 +173,10 @@ pub struct RemoteStats {
     /// `PUT` / `POST /batch-put` exchanges that reached the server
     /// (the client-side mirror of the server's `push_round_trips`).
     pub push_round_trips: u64,
+    /// Transient failures that were retried (each backoff sleep counts
+    /// one). `errors` counts only *exhausted* rounds, so under flaky-but-
+    /// recoverable transport this climbs while `errors` stays at zero.
+    pub retries: u64,
 }
 
 /// One entry's outcome in a [`RemoteStore::fetch_batch_outcomes`] call.
@@ -122,6 +221,85 @@ pub enum PushOutcome {
     Failed,
 }
 
+/// A granted-or-not answer from `POST /lease/claim`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseClaim {
+    /// One unit to execute, with the handle needed to renew/complete it.
+    Granted {
+        /// The work unit (a benchmark name).
+        unit: String,
+        /// Claim generation — quote it in renew/complete.
+        generation: u64,
+        /// Expiry instant (server wall-clock ms).
+        deadline_ms: u64,
+        /// TTL granted per claim/renewal.
+        ttl_ms: u64,
+        /// Whether this grant took over a dead worker's expired lease.
+        reclaimed: bool,
+    },
+    /// Everything is claimed and live; back off and re-ask.
+    Wait {
+        /// Units currently claimed fleet-wide.
+        claimed: u64,
+    },
+    /// Every unit is completed: the campaign is drained.
+    Drained,
+}
+
+/// Why a lease call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseError {
+    /// Transport failure after retries, or an unparsable response. The
+    /// caller may try again later.
+    Unavailable,
+    /// `409`: the scheduler refused — stale generation, expired lease,
+    /// wrong owner, unknown unit. Carries the server's reason.
+    Refused(String),
+    /// `401`/`405`: authentication definitively rejected; the worker
+    /// cannot participate in this campaign at all.
+    Denied(u16),
+}
+
+impl std::fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeaseError::Unavailable => f.write_str("lease service unavailable"),
+            LeaseError::Refused(reason) => write!(f, "lease refused: {reason}"),
+            LeaseError::Denied(status) => write!(f, "lease denied (HTTP {status})"),
+        }
+    }
+}
+
+/// Classifies a lease response status and hands back its text body.
+fn lease_response_text(status: u16, body: &[u8]) -> Result<String, LeaseError> {
+    let text = String::from_utf8_lossy(body).into_owned();
+    match status {
+        200 => Ok(text),
+        409 => {
+            let reason = text
+                .lines()
+                .find_map(|line| line.strip_prefix("reason="))
+                .unwrap_or("unspecified")
+                .to_owned();
+            Err(LeaseError::Refused(reason))
+        }
+        401 | 405 => Err(LeaseError::Denied(status)),
+        _ => Err(LeaseError::Unavailable),
+    }
+}
+
+/// Collects the remaining `key=value` lines of a lease response.
+fn lease_kv<'a>(lines: impl Iterator<Item = &'a str>) -> Vec<(&'a str, &'a str)> {
+    lines.filter_map(|line| line.split_once('=')).collect()
+}
+
+fn lease_field_u64(fields: &[(&str, &str)], key: &str) -> Option<u64> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
 /// A handle on one remote result service.
 #[derive(Debug)]
 pub struct RemoteStore {
@@ -137,6 +315,10 @@ pub struct RemoteStore {
     /// unaffected — this is narrower than the transport breaker.
     push_disabled: AtomicBool,
     consecutive_errors: AtomicU32,
+    /// Socket timeouts resolved at construction ([`TIMEOUT_ENV`]).
+    timeouts: Timeouts,
+    /// Monotonic per-attempt salt feeding the backoff jitter.
+    attempt_salt: AtomicU64,
     requests: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -147,6 +329,7 @@ pub struct RemoteStore {
     pushes: AtomicU64,
     push_rejected: AtomicU64,
     push_round_trips: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl RemoteStore {
@@ -172,6 +355,8 @@ impl RemoteStore {
             disabled: AtomicBool::new(false),
             push_disabled: AtomicBool::new(false),
             consecutive_errors: AtomicU32::new(0),
+            timeouts: Timeouts::from_env(),
+            attempt_salt: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -182,6 +367,7 @@ impl RemoteStore {
             pushes: AtomicU64::new(0),
             push_rejected: AtomicU64::new(0),
             push_round_trips: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         }
     }
 
@@ -223,6 +409,7 @@ impl RemoteStore {
             pushes: self.pushes.load(Ordering::Relaxed),
             push_rejected: self.push_rejected.load(Ordering::Relaxed),
             push_round_trips: self.push_round_trips.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 
@@ -241,7 +428,7 @@ impl RemoteStore {
             return None;
         }
         let path = format!("/record/{kind}/v{schema}/{key:032x}");
-        match self.request("GET", &path, b"") {
+        match self.exchange("GET", &path, b"") {
             Ok((200, body)) => {
                 self.consecutive_errors.store(0, Ordering::Relaxed);
                 self.accept(&body, schema, key)
@@ -327,7 +514,7 @@ impl RemoteStore {
         for (kind, schema, key) in entries {
             body.push_str(&format!("{kind} {schema} {key:032x}\n"));
         }
-        let frames = match self.request("POST", "/batch", body.as_bytes()) {
+        let frames = match self.exchange("POST", "/batch", body.as_bytes()) {
             Ok((200, frames)) => {
                 self.batch_round_trips.fetch_add(1, Ordering::Relaxed);
                 self.consecutive_errors.store(0, Ordering::Relaxed);
@@ -389,7 +576,7 @@ impl RemoteStore {
             return PushOutcome::Failed;
         }
         let path = format!("/record/{kind}/v{schema}/{key:032x}");
-        match self.request("PUT", &path, record) {
+        match self.exchange("PUT", &path, record) {
             Ok((status, _)) => {
                 self.push_round_trips.fetch_add(1, Ordering::Relaxed);
                 self.consecutive_errors.store(0, Ordering::Relaxed);
@@ -474,7 +661,7 @@ impl RemoteStore {
             body.extend_from_slice(&(record.len() as u64).to_le_bytes());
             body.extend_from_slice(record);
         }
-        match self.request("POST", "/batch-put", &body) {
+        match self.exchange("POST", "/batch-put", &body) {
             Ok((200, statuses)) => {
                 self.push_round_trips.fetch_add(1, Ordering::Relaxed);
                 self.consecutive_errors.store(0, Ordering::Relaxed);
@@ -516,6 +703,102 @@ impl RemoteStore {
                 self.transport_error();
                 (vec![PushOutcome::Failed; entries.len()], 0)
             }
+        }
+    }
+
+    /// `POST /lease/claim`: asks the scheduler for one unit of
+    /// `campaign`, seeding the campaign with `units` (the full
+    /// deterministic list — seeding is idempotent, so every worker sends
+    /// the same list). See [`LeaseClaim`] for the three answers.
+    ///
+    /// Lease calls ride the same retry/backoff as data traffic but
+    /// **bypass the data-plane circuit breaker** (module docs): the
+    /// steal loop bounds its own claim failures. A retried claim whose
+    /// lost response had granted a unit merely strands that lease until
+    /// its TTL reclaims it — wasted work at worst, never a wrong result.
+    pub fn lease_claim(
+        &self,
+        campaign: &str,
+        worker: &str,
+        units: &[String],
+    ) -> Result<LeaseClaim, LeaseError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut body = format!("campaign={campaign}\nworker={worker}\n");
+        for unit in units {
+            body.push_str(&format!("unit={unit}\n"));
+        }
+        let (status, response) = self
+            .exchange("POST", "/lease/claim", body.as_bytes())
+            .map_err(|_| LeaseError::Unavailable)?;
+        let text = lease_response_text(status, &response)?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("granted") => {
+                let fields = lease_kv(lines);
+                Ok(LeaseClaim::Granted {
+                    unit: fields
+                        .iter()
+                        .find(|(k, _)| *k == "unit")
+                        .map(|(_, v)| (*v).to_owned())
+                        .ok_or(LeaseError::Unavailable)?,
+                    generation: lease_field_u64(&fields, "gen").ok_or(LeaseError::Unavailable)?,
+                    deadline_ms: lease_field_u64(&fields, "deadline_ms").unwrap_or(0),
+                    ttl_ms: lease_field_u64(&fields, "ttl_ms").unwrap_or(0),
+                    reclaimed: lease_field_u64(&fields, "reclaimed").unwrap_or(0) != 0,
+                })
+            }
+            Some("wait") => Ok(LeaseClaim::Wait {
+                claimed: lease_field_u64(&lease_kv(lines), "claimed").unwrap_or(0),
+            }),
+            Some("drained") => Ok(LeaseClaim::Drained),
+            _ => Err(LeaseError::Unavailable),
+        }
+    }
+
+    /// `POST /lease/renew`: the mid-sweep heartbeat. Returns the new
+    /// deadline; [`LeaseError::Refused`] once the lease expired or was
+    /// reclaimed (the worker must stop assuming ownership).
+    pub fn lease_renew(
+        &self,
+        campaign: &str,
+        unit: &str,
+        generation: u64,
+        worker: &str,
+    ) -> Result<u64, LeaseError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let body = format!("campaign={campaign}\nworker={worker}\nunit={unit}\ngen={generation}\n");
+        let (status, response) = self
+            .exchange("POST", "/lease/renew", body.as_bytes())
+            .map_err(|_| LeaseError::Unavailable)?;
+        let text = lease_response_text(status, &response)?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("renewed") => {
+                lease_field_u64(&lease_kv(lines), "deadline_ms").ok_or(LeaseError::Unavailable)
+            }
+            _ => Err(LeaseError::Unavailable),
+        }
+    }
+
+    /// `POST /lease/complete`: marks the unit done. A refusal after a
+    /// reclaim is expected and harmless (the records were pushed; the
+    /// reclaimer re-executes bit-identically).
+    pub fn lease_complete(
+        &self,
+        campaign: &str,
+        unit: &str,
+        generation: u64,
+        worker: &str,
+    ) -> Result<(), LeaseError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let body = format!("campaign={campaign}\nworker={worker}\nunit={unit}\ngen={generation}\n");
+        let (status, response) = self
+            .exchange("POST", "/lease/complete", body.as_bytes())
+            .map_err(|_| LeaseError::Unavailable)?;
+        let text = lease_response_text(status, &response)?;
+        match text.lines().next() {
+            Some("completed") => Ok(()),
+            _ => Err(LeaseError::Unavailable),
         }
     }
 
@@ -566,20 +849,52 @@ impl RemoteStore {
         }
     }
 
+    /// [`Self::request`] with bounded retry: a transport `Err` or a 5xx
+    /// status — the transient failures fault injection and real networks
+    /// produce — is retried up to [`RETRY_ATTEMPTS`] total attempts with
+    /// exponential backoff + deterministic jitter. Any other status is a
+    /// definitive answer and returns immediately. Callers treat only the
+    /// *final* outcome as a transport error, so one exhausted round
+    /// counts once against the breaker, however many attempts it burned.
+    /// (Retried writes are safe: records are content-addressed and
+    /// idempotent, and a re-claimed lease unit is merely re-executed
+    /// bit-identically.)
+    fn exchange(&self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let mut attempt = 1;
+        loop {
+            let outcome = self.request(method, path, body);
+            let transient = match &outcome {
+                Err(_) => true,
+                Ok((status, _)) => *status >= 500,
+            };
+            if !transient || attempt >= RETRY_ATTEMPTS {
+                return outcome;
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            // Per-process salt stream: reproducible within a worker,
+            // de-synchronized across a fleet.
+            let salt = (u64::from(std::process::id()) << 32)
+                | self.attempt_salt.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(backoff_delay(attempt, salt));
+            attempt += 1;
+        }
+    }
+
     /// One `Connection: close` HTTP exchange. Write methods are signed
     /// with the keyed request tag when this client holds a token.
     fn request(&self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
         let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
             io::Error::new(io::ErrorKind::NotFound, "address resolved to nothing")
         })?;
-        let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
-        stream.set_read_timeout(Some(IO_TIMEOUT))?;
-        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeouts.connect)?;
+        stream.set_read_timeout(Some(self.timeouts.io))?;
+        stream.set_write_timeout(Some(self.timeouts.io))?;
         // Sign only requests bound for the write endpoints: reads never
         // need a tag, and hashing a large `/batch` prefetch body (or
         // handing observers tags over known plaintexts) for an endpoint
-        // that ignores the header would be pure waste.
-        let writes = method == "PUT" || path == "/batch-put";
+        // that ignores the header would be pure waste. The lease control
+        // plane is a write path too — only trusted workers may schedule.
+        let writes = method == "PUT" || path == "/batch-put" || path.starts_with("/lease/");
         let auth = match &self.token {
             Some(secret) if writes => format!(
                 "X-DRI-Token: {}\r\n",
@@ -697,6 +1012,64 @@ mod tests {
         // Tail chunk ends at the slice end.
         assert_eq!(plan_push_chunk_end(&entries, 3, 100, 90), 4);
         assert_eq!(push_frame_len(&entries[0]), 1 + 3 + 4 + 16 + 8 + 10);
+    }
+
+    #[test]
+    fn timeout_env_values_parse_strictly() {
+        assert_eq!(parse_timeout_ms("250"), Some(250));
+        assert_eq!(parse_timeout_ms(" 1000 "), Some(1000));
+        for bad in ["", "0", "-5", "2s", "fast", "1.5"] {
+            assert_eq!(parse_timeout_ms(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        // Same (attempt, salt) → same delay; the schedule is replayable.
+        assert_eq!(backoff_delay(1, 7), backoff_delay(1, 7));
+        assert_ne!(
+            backoff_delay(1, 7),
+            backoff_delay(1, 8),
+            "salt varies jitter"
+        );
+        for attempt in 1..=10 {
+            let delay = backoff_delay(attempt, 42);
+            let step = BACKOFF_BASE
+                .saturating_mul(1u32 << (attempt - 1).min(8))
+                .min(BACKOFF_CAP);
+            assert!(delay >= step, "attempt {attempt}: jitter only adds");
+            assert!(
+                delay <= step + step / 2,
+                "attempt {attempt}: jitter bounded by half the step"
+            );
+            assert!(delay <= BACKOFF_CAP + BACKOFF_CAP / 2, "capped");
+        }
+    }
+
+    #[test]
+    fn lease_responses_parse_and_classify() {
+        assert_eq!(
+            lease_response_text(200, b"granted\nunit=gcc\n"),
+            Ok("granted\nunit=gcc\n".to_owned())
+        );
+        assert_eq!(
+            lease_response_text(409, b"refused\nreason=expired\n"),
+            Err(LeaseError::Refused("expired".to_owned()))
+        );
+        assert_eq!(lease_response_text(401, b""), Err(LeaseError::Denied(401)));
+        assert_eq!(lease_response_text(405, b""), Err(LeaseError::Denied(405)));
+        assert_eq!(
+            lease_response_text(500, b"boom"),
+            Err(LeaseError::Unavailable)
+        );
+
+        let text = "unit=gcc\ngen=3\ndeadline_ms=9000\nreclaimed=1\n";
+        let fields = lease_kv(text.lines());
+        assert_eq!(lease_field_u64(&fields, "gen"), Some(3));
+        assert_eq!(lease_field_u64(&fields, "deadline_ms"), Some(9000));
+        assert_eq!(lease_field_u64(&fields, "reclaimed"), Some(1));
+        assert_eq!(lease_field_u64(&fields, "absent"), None);
+        assert_eq!(lease_field_u64(&fields, "unit"), None, "non-numeric");
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //! | `POST /batch` | `200` framed records for a list of keys (see below) |
 //! | `PUT /record/<kind>/v<schema>/<key>` | `200` record accepted; `401`/`405`/`400` |
 //! | `POST /batch-put` | `200` + one status byte per frame; `401`/`405`/`400` |
+//! | `POST /lease/claim` | `200` `granted`/`wait`/`drained`; `401`/`405`/`400` |
+//! | `POST /lease/renew` | `200` `renewed`, or `409` refused |
+//! | `POST /lease/complete` | `200` `completed`, or `409` refused |
 //!
 //! `<kind>` is a record kind (`baseline`, `dri`, …), `<schema>` the
 //! decimal schema version, `<key>` the 032-hex content key. A record is
@@ -74,6 +77,27 @@
 //! entries after it; a transport failure fails the chunk and feeds the
 //! circuit breaker. See `ARCHITECTURE.md` for the full wire schema.
 //!
+//! ## The campaign scheduler
+//!
+//! The `/lease/*` endpoints broker the store's durable work-unit lease
+//! table ([`dri_store::lease`]) to `suite --steal` workers: claim →
+//! simulate → push → complete, with heartbeat renewals mid-sweep and
+//! expired leases reclaimed by any survivor. Bodies and responses are
+//! plain `key=value` text lines; all three endpoints require the same
+//! keyed request tag as the push path, so only trusted workers can
+//! schedule. The lease TTL comes from `DRI_LEASE_TTL_MS` (see
+//! [`server::lease_ttl_from_env`]). Wire format details live in
+//! `ARCHITECTURE.md` §Campaign scheduler.
+//!
+//! ## Fault injection
+//!
+//! For chaos tests, `DRI_FAULT` ([`fault::FaultSpec`]) makes the server
+//! misbehave **deterministically by connection count**: drop
+//! connections, delay handling, answer `503`, or tear responses
+//! mid-body. Production servers never set it; CI's chaos job does, and
+//! the client's retry/backoff plus `Content-Length` cross-check are the
+//! defenses under test.
+//!
 //! ## Concurrency
 //!
 //! Connections are handled by a thread-per-connection pool sized like
@@ -85,12 +109,17 @@
 
 pub mod auth;
 pub mod client;
+pub mod fault;
 pub mod http;
 pub mod server;
 
 pub use auth::TOKEN_ENV;
-pub use client::{BatchEntry, PushOutcome, RemoteStats, RemoteStore, BATCH_CHUNK, REMOTE_ENV};
-pub use server::{ServeStats, Server};
+pub use client::{
+    BatchEntry, LeaseClaim, LeaseError, PushOutcome, RemoteStats, RemoteStore, BATCH_CHUNK,
+    REMOTE_ENV, TIMEOUT_ENV,
+};
+pub use fault::{FaultSpec, FAULT_ENV};
+pub use server::{ServeStats, Server, DEFAULT_LEASE_TTL_MS, LEASE_TTL_ENV};
 
 /// Worker threads for the connection pool: `DRI_THREADS` when set to a
 /// positive integer, otherwise the machine's available parallelism (the

@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use dri_serve::{default_workers, Server, TOKEN_ENV};
+use dri_serve::{default_workers, server::lease_ttl_from_env, FaultSpec, Server, TOKEN_ENV};
 use dri_store::ResultStore;
 
 const USAGE: &str = "\
@@ -23,7 +23,8 @@ usage: dri-serve [--store DIR] [--addr HOST:PORT] [--workers N] [--token SECRET]
 
 Serves a dri-store root as an HTTP result service (GET /healthz,
 GET /stats, GET /record/<kind>/v<schema>/<key>, POST /batch; with a
-token also PUT /record/... and POST /batch-put). Runs until killed.
+token also PUT /record/..., POST /batch-put, and the campaign
+scheduler's POST /lease/claim|renew|complete). Runs until killed.
 
 options:
   --store DIR       store root (default: the DRI_STORE environment variable)
@@ -33,7 +34,13 @@ options:
   --token SECRET    shared write-path secret (default: the DRI_TOKEN
                     environment variable; prefer the variable — argv is
                     visible to every local process). Absent = read-only.
-  --help            this text";
+  --help            this text
+
+environment:
+  DRI_LEASE_TTL_MS  lease TTL granted to --steal workers (default 30000)
+  DRI_FAULT         chaos spec, e.g. drop:7,delay:5:40,503:9,torn:11 —
+                    deterministic fault injection for tests; never set
+                    this on a production server";
 
 struct Args {
     store: Option<String>,
@@ -106,11 +113,23 @@ fn main() -> ExitCode {
     };
     let usage = store.disk_usage();
     let writable = args.token.is_some();
-    let server = match Server::bind_with_token(
+    let faults = match FaultSpec::from_env() {
+        Ok(faults) => faults,
+        Err(msg) => {
+            // A typo'd chaos spec must fail loudly at startup, not
+            // silently run a faultless "chaos" test.
+            eprintln!("error: bad DRI_FAULT: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fault_banner = faults.as_ref().map(FaultSpec::describe);
+    let server = match Server::bind_with_options(
         Arc::clone(&store),
         args.addr.as_str(),
         args.workers,
         args.token,
+        lease_ttl_from_env(),
+        faults,
     ) {
         Ok(server) => server,
         Err(err) => {
@@ -118,6 +137,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(spec) = fault_banner {
+        eprintln!("dri-serve: FAULT INJECTION ACTIVE ({spec}) — chaos-test mode");
+    }
     // The listening line goes to stdout so scripts can capture the
     // (possibly ephemeral) port; progress/diagnostics stay on stderr.
     println!("dri-serve: listening on http://{}", server.addr());

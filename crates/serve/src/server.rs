@@ -7,7 +7,7 @@
 //! backpressure a read-only cache tier wants — clients time out, treat
 //! it as a miss, and simulate locally rather than pile up.
 
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -16,12 +16,44 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dri_store::gc::DiskUsage;
+use dri_store::lease::{self, ClaimOutcome, LeaseBroker, LeaseRefusal};
 use dri_store::{validate_record, ResultStore};
 
+use crate::fault::{FaultAction, FaultSpec};
 use crate::http::{read_request, write_head_response, write_response, Request};
 
 /// Per-connection I/O timeout: a stalled peer releases its worker.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Environment variable overriding the lease TTL handed to `--steal`
+/// workers, in milliseconds.
+pub const LEASE_TTL_ENV: &str = "DRI_LEASE_TTL_MS";
+/// Default lease TTL: long enough that a quick-mode unit's heartbeat
+/// cadence (TTL/3) never races a healthy worker, short enough that a
+/// killed worker's units are reclaimed within a CI-friendly window.
+pub const DEFAULT_LEASE_TTL_MS: u64 = 30_000;
+
+/// Reads [`LEASE_TTL_ENV`]: unset means [`DEFAULT_LEASE_TTL_MS`]; a
+/// present-but-unparsable (or zero) value warns once and falls back to
+/// the default rather than erroring — the `DRI_THREADS` convention.
+pub fn lease_ttl_from_env() -> u64 {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let Ok(raw) = std::env::var(LEASE_TTL_ENV) else {
+        return DEFAULT_LEASE_TTL_MS;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(ms) if ms > 0 => ms,
+        _ => {
+            WARNED.call_once(|| {
+                eprintln!(
+                    "dri-serve: ignoring unparsable {LEASE_TTL_ENV}={raw:?} \
+                     (want a positive integer of milliseconds); \
+                     using {DEFAULT_LEASE_TTL_MS}"
+                );
+            });
+            DEFAULT_LEASE_TTL_MS
+        }
+    }
+}
 /// Most record references one `/batch` request — or record frames one
 /// `/batch-put` request — may carry; longer bodies are rejected wholesale
 /// with `400`. The client's chunk size (`crate::client::BATCH_CHUNK`)
@@ -64,6 +96,22 @@ pub struct ServeStats {
     /// read-only server, and corrupt / key-mismatched / oversized frames
     /// (counted per entry for `/batch-put`).
     pub writes_rejected: u64,
+    /// `/lease/claim` requests handled (authorized and well-formed).
+    pub lease_claims: u64,
+    /// Claims answered with a grant.
+    pub lease_granted: u64,
+    /// Grants that took over an expired lease — a dead worker's unit
+    /// handed to a survivor.
+    pub lease_reclaimed: u64,
+    /// Successful `/lease/renew` heartbeats.
+    pub lease_renewed: u64,
+    /// Units marked done through `/lease/complete`.
+    pub lease_completed: u64,
+    /// Renew/complete attempts refused (`409`): stale generation, wrong
+    /// owner, expired lease, unknown unit.
+    pub lease_rejected: u64,
+    /// Faults injected by the `DRI_FAULT` chaos layer (0 in production).
+    pub faults_injected: u64,
 }
 
 #[derive(Debug, Default)]
@@ -77,6 +125,13 @@ struct AtomicServeStats {
     push_round_trips: AtomicU64,
     records_accepted: AtomicU64,
     writes_rejected: AtomicU64,
+    lease_claims: AtomicU64,
+    lease_granted: AtomicU64,
+    lease_reclaimed: AtomicU64,
+    lease_renewed: AtomicU64,
+    lease_completed: AtomicU64,
+    lease_rejected: AtomicU64,
+    faults_injected: AtomicU64,
 }
 
 impl AtomicServeStats {
@@ -91,6 +146,13 @@ impl AtomicServeStats {
             push_round_trips: self.push_round_trips.load(Ordering::Relaxed),
             records_accepted: self.records_accepted.load(Ordering::Relaxed),
             writes_rejected: self.writes_rejected.load(Ordering::Relaxed),
+            lease_claims: self.lease_claims.load(Ordering::Relaxed),
+            lease_granted: self.lease_granted.load(Ordering::Relaxed),
+            lease_reclaimed: self.lease_reclaimed.load(Ordering::Relaxed),
+            lease_renewed: self.lease_renewed.load(Ordering::Relaxed),
+            lease_completed: self.lease_completed.load(Ordering::Relaxed),
+            lease_rejected: self.lease_rejected.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 }
@@ -107,6 +169,13 @@ struct Shared {
     /// Cached `disk_usage` walk for `/stats`: a polling monitor must not
     /// force a full recursive scan of a multi-gigabyte root per probe.
     usage: Mutex<Option<(Instant, DiskUsage)>>,
+    /// Durable work-unit lease table under the store root, brokered to
+    /// `--steal` workers over `/lease/*` (gated by the same write token).
+    broker: LeaseBroker,
+    /// TTL granted on every claim and renewal ([`LEASE_TTL_ENV`]).
+    lease_ttl_ms: u64,
+    /// The chaos layer: `Some` only when `DRI_FAULT` asked for it.
+    faults: Option<FaultSpec>,
 }
 
 impl Shared {
@@ -157,14 +226,33 @@ impl Server {
         workers: usize,
         token: Option<String>,
     ) -> io::Result<Server> {
+        Self::bind_with_options(store, addr, workers, token, DEFAULT_LEASE_TTL_MS, None)
+    }
+
+    /// The full-control bind: [`Server::bind_with_token`] plus the lease
+    /// TTL granted to `--steal` workers and an optional [`FaultSpec`]
+    /// chaos layer (`DRI_FAULT`; `None` = behave perfectly, the
+    /// production default).
+    pub fn bind_with_options(
+        store: Arc<ResultStore>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        token: Option<String>,
+        lease_ttl_ms: u64,
+        faults: Option<FaultSpec>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stopping = Arc::new(AtomicBool::new(false));
+        let broker = LeaseBroker::open(store.root())?;
         let shared = Arc::new(Shared {
             store,
             stats: AtomicServeStats::default(),
             token: token.filter(|t| !t.is_empty()),
             usage: Mutex::new(None),
+            broker,
+            lease_ttl_ms: lease_ttl_ms.max(1),
+            faults,
         });
         let workers = workers.max(1);
 
@@ -261,6 +349,36 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let stats = &shared.stats;
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    // The chaos layer sees the connection before the request parser: a
+    // dropped or delayed connection is a transport event, not an HTTP one.
+    let mut torn = false;
+    if let Some(faults) = &shared.faults {
+        for action in faults.next_connection() {
+            stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+            match action {
+                // Close without reading: the peer sees a reset/EOF.
+                FaultAction::Drop => return,
+                FaultAction::Delay(pause) => std::thread::sleep(pause),
+                FaultAction::Error503 => {
+                    // Drain the request first so the peer's write
+                    // completes; the failure is the *status*, not a
+                    // mid-write hangup.
+                    let _ = read_request(&mut stream);
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        "Service Unavailable",
+                        "text/plain",
+                        b"injected fault\n",
+                    );
+                    return;
+                }
+                // Remembered for write time: route normally, then send a
+                // head promising the full body and deliver only half.
+                FaultAction::Torn => torn = true,
+            }
+        }
+    }
     let mut request = match read_request(&mut stream) {
         Ok(request) => request,
         Err(_) => {
@@ -285,6 +403,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let (status, reason, content_type, body) = route(&request, shared);
     if head_only {
         let _ = write_head_response(&mut stream, status, reason, content_type, body.len());
+        return;
+    }
+    if torn {
+        // Head declares the full length; only half the body follows. The
+        // client's Content-Length cross-check must catch this.
+        let half = &body[..body.len() / 2];
+        stats
+            .bytes_served
+            .fetch_add(half.len() as u64, Ordering::Relaxed);
+        let _ = write_head_response(&mut stream, status, reason, content_type, body.len());
+        let _ = stream.write_all(half);
         return;
     }
     stats
@@ -338,6 +467,9 @@ fn route(request: &Request, shared: &Shared) -> Response {
         },
         ("PUT", path) if path.starts_with("/record/") => put_record(request, shared),
         ("POST", "/batch-put") => batch_put(request, shared),
+        ("POST", "/lease/claim") => lease_claim(request, shared),
+        ("POST", "/lease/renew") => lease_renew(request, shared),
+        ("POST", "/lease/complete") => lease_complete(request, shared),
         ("GET", _) => (404, "Not Found", "text/plain", b"not found\n".to_vec()),
         _ => (
             405,
@@ -506,6 +638,221 @@ fn batch_put(request: &Request, shared: &Shared) -> Response {
     (200, "OK", "application/octet-stream", outcomes)
 }
 
+/// Fields a `/lease/*` request body may carry, as `key=value` lines (see
+/// `ARCHITECTURE.md` §Campaign scheduler for the wire format).
+#[derive(Debug, Default)]
+struct LeaseFields {
+    campaign: Option<String>,
+    worker: Option<String>,
+    unit: Option<String>,
+    generation: Option<u64>,
+    /// `unit=` lines beyond the first stay meaningful for claim: the
+    /// deterministic unit list that seeds the campaign idempotently.
+    units: Vec<String>,
+}
+
+impl LeaseFields {
+    fn parse(body: &[u8]) -> Option<LeaseFields> {
+        let text = std::str::from_utf8(body).ok()?;
+        let mut fields = LeaseFields::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=')?;
+            match key {
+                "campaign" => fields.campaign = Some(value.to_owned()),
+                "worker" => fields.worker = Some(value.to_owned()),
+                "unit" => {
+                    if fields.unit.is_none() {
+                        fields.unit = Some(value.to_owned());
+                    }
+                    if fields.units.len() >= MAX_BATCH {
+                        return None;
+                    }
+                    fields.units.push(value.to_owned());
+                }
+                "gen" => fields.generation = Some(value.parse().ok()?),
+                // Unknown keys are a client/server version skew, not an
+                // error: ignore them so old servers tolerate new clients.
+                _ => {}
+            }
+        }
+        fields.campaign.is_some().then_some(fields)
+    }
+}
+
+fn bad_lease_body(stats: &AtomicServeStats) -> Response {
+    stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+    (
+        400,
+        "Bad Request",
+        "text/plain",
+        b"bad lease body\n".to_vec(),
+    )
+}
+
+fn lease_io_error(err: &io::Error) -> Response {
+    if err.kind() == io::ErrorKind::InvalidInput {
+        (
+            400,
+            "Bad Request",
+            "text/plain",
+            b"bad lease name\n".to_vec(),
+        )
+    } else {
+        (
+            500,
+            "Internal Server Error",
+            "text/plain",
+            b"lease state unavailable\n".to_vec(),
+        )
+    }
+}
+
+fn refusal_response(refusal: LeaseRefusal, stats: &AtomicServeStats) -> Response {
+    stats.lease_rejected.fetch_add(1, Ordering::Relaxed);
+    let reason = match refusal {
+        LeaseRefusal::UnknownUnit => "unknown-unit",
+        LeaseRefusal::NotClaimed => "not-claimed",
+        LeaseRefusal::NotOwner => "not-owner",
+        LeaseRefusal::Expired => "expired",
+    };
+    (
+        409,
+        "Conflict",
+        "text/plain",
+        format!("refused\nreason={reason}\n").into_bytes(),
+    )
+}
+
+/// `POST /lease/claim`: seed-if-needed, then hand out one unit. The body
+/// carries `campaign=`, `worker=`, and the campaign's full deterministic
+/// `unit=` list (idempotent seeding means any worker — first, late, or
+/// restarted — sends the same list and the table converges). Answers
+/// `granted`, `wait` (everything claimed and live), or `drained`.
+fn lease_claim(request: &Request, shared: &Shared) -> Response {
+    if let Err(rejection) = authorize(request, shared) {
+        return rejection;
+    }
+    let stats = &shared.stats;
+    let Some(fields) = LeaseFields::parse(&request.body) else {
+        return bad_lease_body(stats);
+    };
+    let (Some(campaign), Some(worker)) = (fields.campaign.as_deref(), fields.worker.as_deref())
+    else {
+        return bad_lease_body(stats);
+    };
+    stats.lease_claims.fetch_add(1, Ordering::Relaxed);
+    if !fields.units.is_empty() {
+        if let Err(err) = shared.broker.seed(campaign, &fields.units) {
+            return lease_io_error(&err);
+        }
+    }
+    let now_ms = lease::wall_now_ms();
+    match shared
+        .broker
+        .claim(campaign, worker, shared.lease_ttl_ms, now_ms)
+    {
+        Ok(ClaimOutcome::Granted(grant)) => {
+            stats.lease_granted.fetch_add(1, Ordering::Relaxed);
+            if grant.reclaimed {
+                stats.lease_reclaimed.fetch_add(1, Ordering::Relaxed);
+            }
+            let body = format!(
+                "granted\nunit={}\ngen={}\ndeadline_ms={}\nttl_ms={}\nreclaimed={}\n",
+                grant.unit,
+                grant.generation,
+                grant.deadline_ms,
+                shared.lease_ttl_ms,
+                u8::from(grant.reclaimed),
+            );
+            (200, "OK", "text/plain", body.into_bytes())
+        }
+        Ok(ClaimOutcome::Wait { claimed }) => (
+            200,
+            "OK",
+            "text/plain",
+            format!("wait\nclaimed={claimed}\n").into_bytes(),
+        ),
+        Ok(ClaimOutcome::Drained) => (200, "OK", "text/plain", b"drained\n".to_vec()),
+        Err(err) => lease_io_error(&err),
+    }
+}
+
+/// `POST /lease/renew`: the mid-sweep heartbeat. Requires `campaign=`,
+/// `worker=`, `unit=`, and the granted `gen=`; refused (`409`) once the
+/// lease expired or was reclaimed — a heartbeat racing a reclaim must
+/// lose deterministically.
+fn lease_renew(request: &Request, shared: &Shared) -> Response {
+    if let Err(rejection) = authorize(request, shared) {
+        return rejection;
+    }
+    let stats = &shared.stats;
+    let Some(fields) = LeaseFields::parse(&request.body) else {
+        return bad_lease_body(stats);
+    };
+    let (Some(campaign), Some(worker), Some(unit), Some(generation)) = (
+        fields.campaign.as_deref(),
+        fields.worker.as_deref(),
+        fields.unit.as_deref(),
+        fields.generation,
+    ) else {
+        return bad_lease_body(stats);
+    };
+    match shared.broker.renew(
+        campaign,
+        unit,
+        generation,
+        worker,
+        shared.lease_ttl_ms,
+        lease::wall_now_ms(),
+    ) {
+        Ok(Ok(deadline_ms)) => {
+            stats.lease_renewed.fetch_add(1, Ordering::Relaxed);
+            (
+                200,
+                "OK",
+                "text/plain",
+                format!("renewed\ndeadline_ms={deadline_ms}\n").into_bytes(),
+            )
+        }
+        Ok(Err(refusal)) => refusal_response(refusal, stats),
+        Err(err) => lease_io_error(&err),
+    }
+}
+
+/// `POST /lease/complete`: marks a unit done. Honoured even past the
+/// deadline while the generation still matches (the slow worker *did*
+/// push its records); refused after a reclaim, which is harmless — the
+/// reclaimer re-executes bit-identically.
+fn lease_complete(request: &Request, shared: &Shared) -> Response {
+    if let Err(rejection) = authorize(request, shared) {
+        return rejection;
+    }
+    let stats = &shared.stats;
+    let Some(fields) = LeaseFields::parse(&request.body) else {
+        return bad_lease_body(stats);
+    };
+    let (Some(campaign), Some(worker), Some(unit), Some(generation)) = (
+        fields.campaign.as_deref(),
+        fields.worker.as_deref(),
+        fields.unit.as_deref(),
+        fields.generation,
+    ) else {
+        return bad_lease_body(stats);
+    };
+    match shared.broker.complete(campaign, unit, generation, worker) {
+        Ok(Ok(())) => {
+            stats.lease_completed.fetch_add(1, Ordering::Relaxed);
+            (200, "OK", "text/plain", b"completed\n".to_vec())
+        }
+        Ok(Err(refusal)) => refusal_response(refusal, stats),
+        Err(err) => lease_io_error(&err),
+    }
+}
+
 /// Whether a record kind is safe to use as a store directory name:
 /// restricted to `[A-Za-z0-9._-]` (and it must contain a letter or
 /// digit), so a crafted kind can never escape the store root. Applied to
@@ -595,6 +942,9 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
          \"requests\":{},\"hits\":{},\"misses\":{},\
          \"bad_requests\":{},\"batch_requests\":{},\"bytes_served\":{},\
          \"push_round_trips\":{},\"records_accepted\":{},\"writes_rejected\":{},\
+         \"faults_injected\":{},\
+         \"leases\":{{\"claims\":{},\"granted\":{},\"reclaimed\":{},\
+         \"renewed\":{},\"completed\":{},\"rejected\":{}}},\
          \"store\":{{\"hits\":{},\"misses\":{},\"corrupt\":{}}}}}\n",
         usage.records,
         usage.bytes,
@@ -609,6 +959,13 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
         snap.push_round_trips,
         snap.records_accepted,
         snap.writes_rejected,
+        snap.faults_injected,
+        snap.lease_claims,
+        snap.lease_granted,
+        snap.lease_reclaimed,
+        snap.lease_renewed,
+        snap.lease_completed,
+        snap.lease_rejected,
         traffic.hits,
         traffic.misses,
         traffic.corrupt,

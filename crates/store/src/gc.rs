@@ -28,6 +28,13 @@
 //! so an in-flight publication — a matter of milliseconds — is never
 //! touched) are swept opportunistically by every pass, including dry
 //! runs' accounting.
+//!
+//! Campaign lease state ([`crate::lease`]) lives under the same root but
+//! is **not** the GC's to manage: `.lease` files match none of the
+//! walker's classes, so a pass never counts, evicts, or sweeps a live
+//! lease — `suite gc` can run mid-campaign. A lease *write* crashed
+//! between create and rename leaves ordinary `.tmp-` debris, which the
+//! stale-temp sweep reclaims like any other.
 
 use std::fs;
 use std::path::PathBuf;
@@ -390,6 +397,64 @@ mod tests {
             Some(now - STALE_TMP_AGE - Duration::from_secs(1)),
             now
         ));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_spares_live_lease_state_and_sweeps_lease_debris() {
+        use crate::lease::{ClaimOutcome, LeaseBroker, LeaseState};
+
+        let store = temp_store("lease-coexist");
+        fill(&store, 3);
+        let broker = LeaseBroker::open(store.root()).unwrap();
+        broker
+            .seed("figure3-quick", &["compress".to_owned(), "gcc".to_owned()])
+            .unwrap();
+        let ClaimOutcome::Granted(grant) =
+            broker.claim("figure3-quick", "w1", 60_000, 1_000).unwrap()
+        else {
+            panic!("expected a grant");
+        };
+        // A lease writer crashed mid-publication, long enough ago to be
+        // classified as a leak.
+        let campaign_dir = store.root().join("leases").join("figure3-quick");
+        let leaked = campaign_dir.join(".tmp-9-9-compress");
+        fs::write(&leaked, b"crashed lease write").unwrap();
+        fs::File::options()
+            .write(true)
+            .open(&leaked)
+            .unwrap()
+            .set_modified(SystemTime::now() - STALE_TMP_AGE - Duration::from_secs(60))
+            .unwrap();
+
+        // The most aggressive possible pass: evict every record.
+        let report = store.gc(&GcPolicy {
+            max_bytes: Some(0),
+            ..GcPolicy::default()
+        });
+        assert_eq!(report.evicted_records, 3, "records all evicted");
+        assert!(!leaked.exists(), "orphaned lease temp swept");
+        // Live lease state is untouched mid-campaign: the claim is still
+        // held and the unclaimed unit is still available.
+        let lease = broker.lease("figure3-quick", grant.unit.as_str()).unwrap();
+        let lease = lease.expect("claimed lease survived gc");
+        assert_eq!(lease.state, LeaseState::Claimed);
+        assert_eq!(lease.generation, grant.generation);
+        assert_eq!(
+            broker
+                .lease(
+                    "figure3-quick",
+                    if grant.unit == "compress" {
+                        "gcc"
+                    } else {
+                        "compress"
+                    }
+                )
+                .unwrap()
+                .expect("available lease survived gc")
+                .state,
+            LeaseState::Available
+        );
         let _ = fs::remove_dir_all(store.root());
     }
 

@@ -1,0 +1,777 @@
+//! Durable, expiring work-unit leases: the store-side state of the
+//! work-stealing campaign scheduler.
+//!
+//! A campaign (one `suite` run plan) is split into named **work units**
+//! (one per benchmark). Workers *claim* a unit, simulate and push its
+//! grid, and *complete* it, renewing a heartbeat mid-sweep; a worker
+//! that dies simply stops renewing, its lease expires after the TTL,
+//! and any other worker *reclaims* the unit — simulations are
+//! deterministic, so re-execution is bit-identical and the only cost of
+//! a crash is the wasted work, never a wrong or stranded result.
+//!
+//! The state machine per unit:
+//!
+//! ```text
+//!             claim                complete
+//! available ─────────▶ claimed ─────────────▶ completed
+//!                      ▲  │  ▲╲
+//!                renew │  │  │ ╲ TTL elapses without a renewal
+//!                      └──┘  │  ▼
+//!                            │ expired ──▶ (claim = reclaim, gen+1)
+//!                            └───────────────┘
+//! ```
+//!
+//! Leases are durable: one small text file per unit under
+//! `<store-root>/leases/<campaign>/<unit>.lease`, published with the
+//! store's atomic temp+`rename` idiom, so a restarted server resumes
+//! the campaign exactly where the fleet left it. Every transition into
+//! `claimed` bumps the unit's **monotonic generation**; renew and
+//! complete must present the generation they were granted, so a worker
+//! whose lease was reclaimed can never renew or complete over the new
+//! owner (its late `complete` is refused with [`LeaseRefusal::NotOwner`]
+//! — harmless, because its results were already pushed and are
+//! bit-identical to the reclaimer's).
+//!
+//! Time is an explicit `now_ms` argument throughout (the server passes
+//! wall-clock milliseconds via [`wall_now_ms`]), so every expiry edge is
+//! unit-testable without sleeping. Mutations are serialized by an
+//! in-process lock: the broker is designed to live inside the single
+//! `dri-serve` process that owns the store root (concurrent *workers*
+//! race through the HTTP endpoints, not through this struct).
+//!
+//! GC interplay: `.lease` files are neither records nor debris to
+//! [`crate::gc`]'s walker, so `suite gc` never touches live lease state;
+//! a crashed lease *write* leaves a `.tmp-` file that the ordinary
+//! stale-temp sweep reclaims.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Directory under the store root holding all campaigns' lease state.
+pub const LEASES_DIR: &str = "leases";
+
+/// Lifecycle state of one work unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Never claimed, or returned to the pool (not currently used: a
+    /// reclaim goes straight to `Claimed` for the new owner).
+    Available,
+    /// Leased to `owner` until `deadline_ms`; expired once the deadline
+    /// passes without a renewal.
+    Claimed,
+    /// Done: the unit's records were simulated and pushed.
+    Completed,
+}
+
+/// One unit's durable lease record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// Unit name (a benchmark name in the `suite --steal` scheduler).
+    pub unit: String,
+    /// Monotonic claim generation: bumped on every transition into
+    /// `Claimed`. Renew/complete must present the granted generation.
+    pub generation: u64,
+    /// Current lifecycle state.
+    pub state: LeaseState,
+    /// Worker holding the claim (empty unless `Claimed`/`Completed`).
+    pub owner: String,
+    /// Expiry instant in milliseconds (0 unless `Claimed`).
+    pub deadline_ms: u64,
+}
+
+impl Lease {
+    fn available(unit: &str) -> Lease {
+        Lease {
+            unit: unit.to_owned(),
+            generation: 0,
+            state: LeaseState::Available,
+            owner: String::new(),
+            deadline_ms: 0,
+        }
+    }
+
+    /// Whether a claimed lease's deadline has passed.
+    pub fn expired(&self, now_ms: u64) -> bool {
+        self.state == LeaseState::Claimed && now_ms > self.deadline_ms
+    }
+}
+
+/// A granted claim: what the worker needs to run, renew, and complete
+/// the unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseGrant {
+    /// The unit to execute.
+    pub unit: String,
+    /// Generation of this claim — quote it in renew/complete.
+    pub generation: u64,
+    /// When the claim expires unless renewed.
+    pub deadline_ms: u64,
+    /// Whether this grant took over an expired claim (a dead worker's
+    /// unit being re-executed).
+    pub reclaimed: bool,
+}
+
+/// Outcome of one [`LeaseBroker::claim`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// A unit was granted.
+    Granted(LeaseGrant),
+    /// Every remaining unit is claimed and live — back off and re-ask
+    /// (one of them may expire).
+    Wait {
+        /// Units currently claimed and unexpired.
+        claimed: u64,
+    },
+    /// Every unit is completed: the campaign is drained.
+    Drained,
+}
+
+/// Why a renew or complete was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseRefusal {
+    /// The unit has no lease file (never seeded, or a foreign name).
+    UnknownUnit,
+    /// The unit is not in the `Claimed` state.
+    NotClaimed,
+    /// Generation or owner mismatch: the lease was reclaimed by (or
+    /// belongs to) another worker.
+    NotOwner,
+    /// The deadline passed before the renewal arrived; the unit is up
+    /// for reclaim and the caller must stop assuming ownership.
+    Expired,
+}
+
+impl std::fmt::Display for LeaseRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LeaseRefusal::UnknownUnit => "unknown unit",
+            LeaseRefusal::NotClaimed => "not claimed",
+            LeaseRefusal::NotOwner => "not the lease owner",
+            LeaseRefusal::Expired => "lease expired",
+        })
+    }
+}
+
+/// Per-campaign unit tallies (see [`LeaseBroker::counts`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseCounts {
+    /// Units never claimed / up for first claim.
+    pub available: u64,
+    /// Units claimed and still live.
+    pub claimed: u64,
+    /// Units claimed but past their deadline (reclaimable).
+    pub expired: u64,
+    /// Units completed.
+    pub completed: u64,
+}
+
+/// The durable lease table for every campaign under one store root.
+#[derive(Debug)]
+pub struct LeaseBroker {
+    root: PathBuf,
+    /// Serializes mutations: the broker lives in the one server process
+    /// that owns the root, so an in-process lock is the whole story.
+    lock: Mutex<()>,
+}
+
+impl LeaseBroker {
+    /// Opens (creating if needed) the lease table under
+    /// `<store_root>/leases`.
+    pub fn open(store_root: &Path) -> io::Result<LeaseBroker> {
+        let root = store_root.join(LEASES_DIR);
+        fs::create_dir_all(&root)?;
+        Ok(LeaseBroker {
+            root,
+            lock: Mutex::new(()),
+        })
+    }
+
+    /// Seeds `units` into `campaign` idempotently: units without a lease
+    /// file get one in the `Available` state; existing files (whatever
+    /// their state) are left alone, so any number of workers can seed
+    /// the same campaign concurrently with the same deterministic list.
+    /// Returns how many units were newly created. Unsafe names are
+    /// rejected wholesale — a crafted unit must never escape the root.
+    pub fn seed(&self, campaign: &str, units: &[String]) -> io::Result<usize> {
+        if !name_is_safe(campaign) || !units.iter().all(|u| name_is_safe(u)) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "unsafe campaign or unit name",
+            ));
+        }
+        let _guard = self.lock.lock().expect("lease lock");
+        let mut created = 0;
+        for unit in units {
+            if !self.lease_path(campaign, unit).exists() {
+                self.write_lease(campaign, &Lease::available(unit))?;
+                created += 1;
+            }
+        }
+        Ok(created)
+    }
+
+    /// Claims one unit of `campaign` for `worker`: the first available
+    /// unit in name order, else the first **expired** claim (a reclaim —
+    /// the previous owner stopped renewing). Every grant bumps the
+    /// unit's generation and sets its deadline to `now_ms + ttl_ms`.
+    pub fn claim(
+        &self,
+        campaign: &str,
+        worker: &str,
+        ttl_ms: u64,
+        now_ms: u64,
+    ) -> io::Result<ClaimOutcome> {
+        if !name_is_safe(campaign) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "unsafe campaign name",
+            ));
+        }
+        let _guard = self.lock.lock().expect("lease lock");
+        let units = self.read_campaign(campaign)?;
+        let pick = units
+            .values()
+            .find(|l| l.state == LeaseState::Available)
+            .or_else(|| units.values().find(|l| l.expired(now_ms)));
+        let Some(previous) = pick else {
+            let claimed = units
+                .values()
+                .filter(|l| !l.expired(now_ms))
+                .filter(|l| l.state == LeaseState::Claimed)
+                .count() as u64;
+            return Ok(if claimed > 0 || units.is_empty() {
+                // An unseeded campaign has nothing to drain *yet*; tell
+                // the worker to re-ask rather than to go home.
+                ClaimOutcome::Wait { claimed }
+            } else {
+                ClaimOutcome::Drained
+            });
+        };
+        let reclaimed = previous.state == LeaseState::Claimed;
+        let lease = Lease {
+            unit: previous.unit.clone(),
+            generation: previous.generation + 1,
+            state: LeaseState::Claimed,
+            owner: worker.to_owned(),
+            deadline_ms: now_ms.saturating_add(ttl_ms),
+        };
+        self.write_lease(campaign, &lease)?;
+        Ok(ClaimOutcome::Granted(LeaseGrant {
+            unit: lease.unit,
+            generation: lease.generation,
+            deadline_ms: lease.deadline_ms,
+            reclaimed,
+        }))
+    }
+
+    /// Renews `worker`'s claim on `unit`: the new deadline is `now_ms +
+    /// ttl_ms`. Refused when the unit is unknown, not claimed, claimed
+    /// under a different generation/owner (reclaimed), or **already
+    /// expired** — an expired lease is up for reclaim, and a renewal
+    /// racing a reclaim must lose deterministically.
+    pub fn renew(
+        &self,
+        campaign: &str,
+        unit: &str,
+        generation: u64,
+        worker: &str,
+        ttl_ms: u64,
+        now_ms: u64,
+    ) -> io::Result<Result<u64, LeaseRefusal>> {
+        let _guard = self.lock.lock().expect("lease lock");
+        let Some(lease) = self.read_lease(campaign, unit)? else {
+            return Ok(Err(LeaseRefusal::UnknownUnit));
+        };
+        if let Err(refusal) = check_ownership(&lease, generation, worker) {
+            return Ok(Err(refusal));
+        }
+        if lease.expired(now_ms) {
+            return Ok(Err(LeaseRefusal::Expired));
+        }
+        let renewed = Lease {
+            deadline_ms: now_ms.saturating_add(ttl_ms),
+            ..lease
+        };
+        self.write_lease(campaign, &renewed)?;
+        Ok(Ok(renewed.deadline_ms))
+    }
+
+    /// Marks `unit` completed. Unlike renew, completion is honoured even
+    /// past the deadline as long as nobody has reclaimed the unit (the
+    /// generation still matches): the slow worker *did* finish and push,
+    /// and accepting saves the fleet a redundant re-execution. After a
+    /// reclaim the generation differs and the late completion is refused
+    /// — also harmless, since results are bit-identical. A *duplicate*
+    /// completion from the same (generation, owner) succeeds idempotently:
+    /// a completion whose response was lost in transit gets retried, and
+    /// the retry must not read as a refusal.
+    pub fn complete(
+        &self,
+        campaign: &str,
+        unit: &str,
+        generation: u64,
+        worker: &str,
+    ) -> io::Result<Result<(), LeaseRefusal>> {
+        let _guard = self.lock.lock().expect("lease lock");
+        let Some(lease) = self.read_lease(campaign, unit)? else {
+            return Ok(Err(LeaseRefusal::UnknownUnit));
+        };
+        if lease.state == LeaseState::Completed
+            && lease.generation == generation
+            && lease.owner == worker
+        {
+            return Ok(Ok(()));
+        }
+        if let Err(refusal) = check_ownership(&lease, generation, worker) {
+            return Ok(Err(refusal));
+        }
+        let completed = Lease {
+            state: LeaseState::Completed,
+            deadline_ms: 0,
+            ..lease
+        };
+        self.write_lease(campaign, &completed)?;
+        Ok(Ok(()))
+    }
+
+    /// Reads one unit's lease (`None` when it has no file).
+    pub fn lease(&self, campaign: &str, unit: &str) -> io::Result<Option<Lease>> {
+        let _guard = self.lock.lock().expect("lease lock");
+        self.read_lease(campaign, unit)
+    }
+
+    /// Tallies `campaign`'s units by state at `now_ms`.
+    pub fn counts(&self, campaign: &str, now_ms: u64) -> io::Result<LeaseCounts> {
+        let _guard = self.lock.lock().expect("lease lock");
+        let mut counts = LeaseCounts::default();
+        for lease in self.read_campaign(campaign)?.values() {
+            match lease.state {
+                LeaseState::Available => counts.available += 1,
+                LeaseState::Claimed if lease.expired(now_ms) => counts.expired += 1,
+                LeaseState::Claimed => counts.claimed += 1,
+                LeaseState::Completed => counts.completed += 1,
+            }
+        }
+        Ok(counts)
+    }
+
+    fn lease_path(&self, campaign: &str, unit: &str) -> PathBuf {
+        self.root.join(campaign).join(format!("{unit}.lease"))
+    }
+
+    fn read_lease(&self, campaign: &str, unit: &str) -> io::Result<Option<Lease>> {
+        if !name_is_safe(campaign) || !name_is_safe(unit) {
+            return Ok(None);
+        }
+        let path = self.lease_path(campaign, unit);
+        match fs::read(&path) {
+            // A torn or corrupt file (impossible under the atomic write,
+            // but the disk is never trusted) degrades to "available":
+            // the unit merely gets re-executed, bit-identically.
+            Ok(bytes) => Ok(Some(parse_lease(unit, &String::from_utf8_lossy(&bytes)))),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// All of a campaign's leases, keyed (and therefore ordered) by unit
+    /// name — claim order is deterministic.
+    fn read_campaign(&self, campaign: &str) -> io::Result<BTreeMap<String, Lease>> {
+        let mut units = BTreeMap::new();
+        let dir = self.root.join(campaign);
+        let entries = match fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(units),
+            Err(err) => return Err(err),
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(unit) = name.strip_suffix(".lease") else {
+                continue;
+            };
+            let Ok(bytes) = fs::read(&path) else {
+                continue;
+            };
+            units.insert(
+                unit.to_owned(),
+                parse_lease(unit, &String::from_utf8_lossy(&bytes)),
+            );
+        }
+        Ok(units)
+    }
+
+    /// Publishes one lease durably: temp file + `sync_data` + atomic
+    /// rename, the store's record-write idiom. The temp name's `.tmp-`
+    /// prefix puts a crashed write under GC's stale-temp sweep.
+    fn write_lease(&self, campaign: &str, lease: &Lease) -> io::Result<()> {
+        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = self.root.join(campaign);
+        fs::create_dir_all(&dir)?;
+        let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            seq,
+            lease.unit
+        ));
+        let result = (|| {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(encode_lease(lease).as_bytes())?;
+            file.sync_data()?;
+            fs::rename(&tmp, self.lease_path(campaign, &lease.unit))
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+}
+
+/// Generation + owner gate shared by renew and complete.
+fn check_ownership(lease: &Lease, generation: u64, worker: &str) -> Result<(), LeaseRefusal> {
+    if lease.state != LeaseState::Claimed {
+        return Err(LeaseRefusal::NotClaimed);
+    }
+    if lease.generation != generation || lease.owner != worker {
+        return Err(LeaseRefusal::NotOwner);
+    }
+    Ok(())
+}
+
+/// Whether a campaign/unit name is safe as a path component: the same
+/// alphabet record kinds use on the wire (`[A-Za-z0-9._-]`, at least one
+/// alphanumeric, not `.`/`..`), so a crafted name can never escape the
+/// store root.
+pub fn name_is_safe(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name.chars().any(|c| c.is_ascii_alphanumeric())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        && name != "."
+        && name != ".."
+}
+
+/// Wall-clock milliseconds since the Unix epoch — what the server passes
+/// as `now_ms`. Lease state must survive server restarts, so deadlines
+/// are wall-clock, not process-relative.
+pub fn wall_now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn encode_lease(lease: &Lease) -> String {
+    let state = match lease.state {
+        LeaseState::Available => "available",
+        LeaseState::Claimed => "claimed",
+        LeaseState::Completed => "completed",
+    };
+    format!(
+        "gen={}\nstate={state}\nowner={}\ndeadline={}\n",
+        lease.generation, lease.owner, lease.deadline_ms
+    )
+}
+
+/// Best-effort parse: unknown fields are ignored, missing ones default,
+/// and an unrecognizable state degrades to `Available` (re-execution is
+/// bit-identical, so lost lease state can cost work, never correctness).
+fn parse_lease(unit: &str, text: &str) -> Lease {
+    let mut lease = Lease::available(unit);
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        match key {
+            "gen" => lease.generation = value.parse().unwrap_or(lease.generation),
+            "state" => {
+                lease.state = match value {
+                    "claimed" => LeaseState::Claimed,
+                    "completed" => LeaseState::Completed,
+                    _ => LeaseState::Available,
+                }
+            }
+            "owner" => lease.owner = value.to_owned(),
+            "deadline" => lease.deadline_ms = value.parse().unwrap_or(lease.deadline_ms),
+            _ => {}
+        }
+    }
+    lease
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_broker(tag: &str) -> (PathBuf, LeaseBroker) {
+        let root =
+            std::env::temp_dir().join(format!("dri-lease-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        let broker = LeaseBroker::open(&root).expect("broker");
+        (root, broker)
+    }
+
+    fn units(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn grant(outcome: ClaimOutcome) -> LeaseGrant {
+        match outcome {
+            ClaimOutcome::Granted(grant) => grant,
+            other => panic!("expected a grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn claim_complete_drain_lifecycle() {
+        let (root, broker) = temp_broker("lifecycle");
+        assert_eq!(broker.seed("fig3", &units(&["a", "b"])).unwrap(), 2);
+        assert_eq!(
+            broker.seed("fig3", &units(&["a", "b"])).unwrap(),
+            0,
+            "idempotent"
+        );
+
+        let g1 = grant(broker.claim("fig3", "w1", 100, 1_000).unwrap());
+        assert_eq!(
+            (g1.unit.as_str(), g1.generation, g1.reclaimed),
+            ("a", 1, false)
+        );
+        assert_eq!(g1.deadline_ms, 1_100);
+        let g2 = grant(broker.claim("fig3", "w2", 100, 1_000).unwrap());
+        assert_eq!(g2.unit, "b");
+
+        // Everything claimed and live: wait.
+        assert_eq!(
+            broker.claim("fig3", "w3", 100, 1_050).unwrap(),
+            ClaimOutcome::Wait { claimed: 2 }
+        );
+
+        broker
+            .complete("fig3", "a", g1.generation, "w1")
+            .unwrap()
+            .unwrap();
+        broker
+            .complete("fig3", "b", g2.generation, "w2")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            broker.claim("fig3", "w3", 100, 1_060).unwrap(),
+            ClaimOutcome::Drained
+        );
+
+        let counts = broker.counts("fig3", 1_060).unwrap();
+        assert_eq!(counts.completed, 2);
+        assert_eq!(counts.available + counts.claimed + counts.expired, 0);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn expired_lease_is_reclaimed_with_a_new_generation() {
+        let (root, broker) = temp_broker("reclaim");
+        broker.seed("fig3", &units(&["a"])).unwrap();
+        let g1 = grant(broker.claim("fig3", "w1", 100, 1_000).unwrap());
+
+        // Still live at the deadline itself; expired one tick later.
+        assert_eq!(
+            broker.claim("fig3", "w2", 100, g1.deadline_ms).unwrap(),
+            ClaimOutcome::Wait { claimed: 1 }
+        );
+        let g2 = grant(broker.claim("fig3", "w2", 100, g1.deadline_ms + 1).unwrap());
+        assert_eq!(g2.unit, "a");
+        assert!(g2.reclaimed, "took over a dead worker's claim");
+        assert_eq!(g2.generation, g1.generation + 1, "generation is monotonic");
+
+        // The dead worker's stale handle is powerless now.
+        assert_eq!(
+            broker
+                .renew("fig3", "a", g1.generation, "w1", 100, g2.deadline_ms - 1)
+                .unwrap(),
+            Err(LeaseRefusal::NotOwner)
+        );
+        assert_eq!(
+            broker.complete("fig3", "a", g1.generation, "w1").unwrap(),
+            Err(LeaseRefusal::NotOwner)
+        );
+        // The reclaimer's handle works.
+        broker
+            .complete("fig3", "a", g2.generation, "w2")
+            .unwrap()
+            .unwrap();
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn renew_extends_and_is_refused_after_expiry() {
+        let (root, broker) = temp_broker("renew");
+        broker.seed("c", &units(&["u"])).unwrap();
+        let g = grant(broker.claim("c", "w1", 100, 1_000).unwrap());
+
+        // A live renewal pushes the deadline out from *now*.
+        let renewed = broker
+            .renew("c", "u", g.generation, "w1", 100, 1_050)
+            .unwrap()
+            .unwrap();
+        assert_eq!(renewed, 1_150);
+
+        // Past the (renewed) deadline the renewal is refused, even though
+        // nobody reclaimed the unit yet: a renewal racing a reclaim must
+        // lose deterministically.
+        assert_eq!(
+            broker
+                .renew("c", "u", g.generation, "w1", 100, 1_151)
+                .unwrap(),
+            Err(LeaseRefusal::Expired)
+        );
+
+        // ... but a late *completion* with the still-unclaimed generation
+        // is honoured: the work was done and pushed.
+        broker
+            .complete("c", "u", g.generation, "w1")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            broker
+                .renew("c", "u", g.generation, "w1", 100, 1_200)
+                .unwrap(),
+            Err(LeaseRefusal::NotClaimed)
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn refusals_name_unknown_units_and_wrong_workers() {
+        let (root, broker) = temp_broker("refusals");
+        broker.seed("c", &units(&["u"])).unwrap();
+        assert_eq!(
+            broker.renew("c", "nope", 1, "w1", 100, 0).unwrap(),
+            Err(LeaseRefusal::UnknownUnit)
+        );
+        assert_eq!(
+            broker.renew("c", "u", 1, "w1", 100, 0).unwrap(),
+            Err(LeaseRefusal::NotClaimed)
+        );
+        let g = grant(broker.claim("c", "w1", 100, 0).unwrap());
+        assert_eq!(
+            broker
+                .renew("c", "u", g.generation, "imposter", 100, 50)
+                .unwrap(),
+            Err(LeaseRefusal::NotOwner)
+        );
+        assert_eq!(
+            broker.complete("c", "u", g.generation + 7, "w1").unwrap(),
+            Err(LeaseRefusal::NotOwner)
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn lease_state_survives_reopening_the_broker() {
+        let (root, broker) = temp_broker("durable");
+        broker.seed("c", &units(&["u", "v"])).unwrap();
+        let g = grant(broker.claim("c", "w1", 1_000, 5_000).unwrap());
+        broker
+            .complete(
+                "c",
+                "v",
+                grant(broker.claim("c", "w2", 1_000, 5_000).unwrap()).generation,
+                "w2",
+            )
+            .unwrap()
+            .unwrap();
+        drop(broker);
+
+        // A restarted server sees the identical table.
+        let broker = LeaseBroker::open(&root).unwrap();
+        let lease = broker.lease("c", "u").unwrap().expect("persisted");
+        assert_eq!(lease.state, LeaseState::Claimed);
+        assert_eq!(lease.owner, "w1");
+        assert_eq!(lease.generation, g.generation);
+        assert_eq!(lease.deadline_ms, g.deadline_ms);
+        assert_eq!(
+            broker.lease("c", "v").unwrap().unwrap().state,
+            LeaseState::Completed
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn concurrent_claims_hand_out_distinct_units() {
+        let (root, broker) = temp_broker("race");
+        let names: Vec<String> = (0..16).map(|i| format!("u{i:02}")).collect();
+        broker.seed("c", &names).unwrap();
+        let broker = std::sync::Arc::new(broker);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let broker = std::sync::Arc::clone(&broker);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let ClaimOutcome::Granted(g) =
+                    broker.claim("c", &format!("w{t}"), 60_000, 1).unwrap()
+                {
+                    mine.push(g.unit);
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<String> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort();
+        assert_eq!(all, names, "every unit granted exactly once");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn unsafe_names_are_rejected() {
+        let (root, broker) = temp_broker("names");
+        assert!(broker.seed("../escape", &units(&["u"])).is_err());
+        assert!(broker.seed("c", &units(&["../../etc"])).is_err());
+        assert!(broker.claim("..", "w", 1, 0).is_err());
+        for bad in ["", ".", "..", "a/b", "a\\b", "---", "a b"] {
+            assert!(!name_is_safe(bad), "{bad:?}");
+        }
+        for good in ["compress", "figure3-quick", "m88ksim", "a.b_c-d"] {
+            assert!(name_is_safe(good), "{good:?}");
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn corrupt_lease_files_degrade_to_available() {
+        let (root, broker) = temp_broker("corrupt");
+        broker.seed("c", &units(&["u"])).unwrap();
+        grant(broker.claim("c", "w1", 60_000, 1_000).unwrap());
+        fs::write(
+            root.join(LEASES_DIR).join("c").join("u.lease"),
+            b"\xff\xfe garbage",
+        )
+        .unwrap();
+        // Unreadable state = available: the unit is simply re-executed.
+        let g = grant(broker.claim("c", "w2", 100, 2_000).unwrap());
+        assert_eq!(g.unit, "u");
+        assert!(!g.reclaimed);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn empty_campaign_waits_rather_than_draining() {
+        let (_root, broker) = temp_broker("empty");
+        assert_eq!(
+            broker.claim("never-seeded", "w", 100, 0).unwrap(),
+            ClaimOutcome::Wait { claimed: 0 }
+        );
+    }
+}

@@ -69,17 +69,32 @@
 //! pass in `dri-experiments`) can sweep the disk once and fetch every
 //! remote remainder in a single chunked `POST /batch` round-trip instead
 //! of paying one round-trip per grid point.
+//!
+//! ## Scheduling a campaign across a fleet
+//!
+//! [`lease::LeaseBroker`] keeps a durable table of expiring, generation-
+//! stamped work-unit leases under `<root>/leases/`, published with the
+//! same atomic temp+rename idiom as records. `dri-serve` brokers it over
+//! authenticated `/lease/*` endpoints so any number of workers can
+//! claim → simulate → push → complete a campaign's units, with a dead
+//! worker's expired leases reclaimed (and re-executed bit-identically)
+//! by the survivors. Lease files are invisible to the GC walker, so
+//! `suite gc` never disturbs a live campaign.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod gc;
 pub mod hash;
+pub mod lease;
 pub mod plan;
 pub mod store;
 
 pub use codec::{Decoder, Encoder};
 pub use gc::{DiskUsage, GcPolicy, GcReport};
 pub use hash::KeyHasher;
+pub use lease::{
+    ClaimOutcome, Lease, LeaseBroker, LeaseCounts, LeaseGrant, LeaseRefusal, LeaseState,
+};
 pub use plan::{KeyPlan, KeyRef};
 pub use store::{frame_record, validate_record, ResultStore, StoreStats};
