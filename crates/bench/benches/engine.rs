@@ -9,6 +9,9 @@
 //! * `warm/*` — the session-memoized default path after a first run: a
 //!   key build plus a hash lookup, showing what repeated sweep points
 //!   cost once the `SimSession` layer absorbs them.
+//! * `telemetry/*` — the same warm hit on a timed session
+//!   (`SimSession::with_timing(true)`): the span + per-tier histogram
+//!   overhead a `DRI_TIMING`/`DRI_TRACE` run adds to the hot path.
 //! * `store/*` — the disk tier: a fresh session per iteration (a cold
 //!   memory cache, as in a new process) loading the point from a warmed
 //!   `ResultStore` — key hash + file read + checksum + decode, the cost
@@ -54,6 +57,14 @@ fn bench_engine(c: &mut Criterion) {
     });
     group.bench_function("warm/run_dri/compress_quick", |b| {
         b.iter(|| black_box(run_dri(black_box(&cfg))))
+    });
+    // The same warm hit on a *timed* session (what `suite` and any
+    // DRI_TRACE/DRI_TIMING run pay): two clock reads + a histogram
+    // record per lookup, the whole telemetry overhead on the hot path.
+    let timed = SimSession::with_timing(true);
+    timed.dri(&cfg);
+    group.bench_function("telemetry/run_dri_warm_timed/compress_quick", |b| {
+        b.iter(|| black_box(timed.dri(black_box(&cfg))))
     });
     // Both sides plus the §5.2 energy comparison — the unit of work every
     // figure is assembled from (warm: both runs come from the session).

@@ -17,13 +17,13 @@
 //! to stderr so piped stdout stays clean.
 
 use std::process::ExitCode;
-use std::time::Instant;
 
 use dri_experiments::harness::{quick_mode, selected_benchmarks, BENCHMARKS_ENV};
 use dri_experiments::manifest::{self, Job, Manifest};
 use dri_experiments::report::Table;
 use dri_experiments::SimSession;
 use dri_store::{GcPolicy, ResultStore};
+use dri_telemetry::Span;
 
 const USAGE: &str = "\
 usage: suite [--manifest FILE] [--store-stats] [--[no-]prefetch] [--[no-]push]
@@ -359,6 +359,14 @@ fn main() -> ExitCode {
     };
     apply_options(&plan);
 
+    // The summary's wall-times and the per-tier latency table both come
+    // from telemetry spans — switch lookup timing on (one clock for the
+    // whole report) before the global session resolves it. An explicit
+    // DRI_TIMING from the caller wins.
+    if std::env::var_os(dri_telemetry::TIMING_ENV).is_none() {
+        std::env::set_var(dri_telemetry::TIMING_ENV, "1");
+    }
+
     let session = SimSession::global();
     let names: Vec<&str> = plan.jobs.iter().map(Job::name).collect();
     eprintln!(
@@ -393,6 +401,10 @@ fn main() -> ExitCode {
                     stats.simulations(),
                     stats.remote_hits()
                 );
+                print_tier_latency(session);
+                if args.store_stats {
+                    print_store_stats(session);
+                }
                 ExitCode::SUCCESS
             }
             Err(msg) => {
@@ -402,14 +414,14 @@ fn main() -> ExitCode {
         };
     }
 
-    let suite_start = Instant::now();
+    let suite_span = Span::begin("job", "suite");
     let mut timings: Vec<(Job, f64, u64, u64, u64, u64)> = Vec::new();
     for (i, job) in plan.jobs.iter().enumerate() {
         let before = session.stats();
         eprintln!("suite: [{}/{}] {} ...", i + 1, plan.jobs.len(), job);
-        let start = Instant::now();
+        let span = Span::begin("job", job.name());
         job.run();
-        let secs = start.elapsed().as_secs_f64();
+        let secs = span.finish("done").as_secs_f64();
         let after = session.stats();
         timings.push((
             *job,
@@ -446,7 +458,7 @@ fn main() -> ExitCode {
     let stats = session.stats();
     eprintln!(
         "  total {:.2}s; session: {} simulations, {} memory hits, {} disk hits, {} remote hits, {} workloads generated",
-        suite_start.elapsed().as_secs_f64(),
+        suite_span.finish("done").as_secs_f64(),
         stats.simulations(),
         stats.baseline_hits + stats.dri_hits,
         stats.disk_hits(),
@@ -475,43 +487,103 @@ fn main() -> ExitCode {
             push.batches, push.attempted, push.pushed, push.rejected, push.failed, push.round_trips,
         );
     }
+    print_tier_latency(session);
 
     if args.store_stats {
-        match session.store() {
-            Some(store) => {
-                let s = store.stats();
-                let usage = store.disk_usage();
-                println!("result store ({}):", store.root().display());
-                println!("  hits: {}", s.hits);
-                println!("  misses: {}", s.misses);
-                println!("  corrupt: {}", s.corrupt);
-                println!("  writes: {}", s.writes);
-                println!("  write errors: {}", s.write_errors);
-                println!("  bytes read: {}", s.bytes_read);
-                println!("  bytes written: {}", s.bytes_written);
-                println!("  records on disk: {}", usage.records);
-                println!("  bytes on disk: {}", usage.bytes);
-                println!("  generation: {}", store.generation());
-            }
-            None => println!("result store: disabled (set DRI_STORE to a directory to enable)"),
-        }
-        if let Some(remote) = session.remote() {
-            let r = remote.stats();
-            println!("remote store (http://{}):", remote.addr());
-            println!("  hits: {}", r.hits);
-            println!("  misses: {}", r.misses);
-            println!("  corrupt: {}", r.corrupt);
-            println!("  errors: {}", r.errors);
-            println!("  bytes fetched: {}", r.bytes_fetched);
-            println!("  batch round trips: {}", r.batch_round_trips);
-            // Write-side counters, named like the server's /stats JSON:
-            // client `pushes` advances in lockstep with the server's
-            // `records_accepted`, `push round trips` with its
-            // `push_round_trips`.
-            println!("  pushes: {}", r.pushes);
-            println!("  push rejected: {}", r.push_rejected);
-            println!("  push round trips: {}", r.push_round_trips);
-        }
+        print_store_stats(session);
     }
     ExitCode::SUCCESS
+}
+
+/// The per-tier lookup-latency table on stderr (timed sessions only —
+/// with timing off every histogram is empty and nothing prints).
+fn print_tier_latency(session: &SimSession) {
+    let tiers = session.tier_latency();
+    if tiers.rows().iter().any(|(_, h)| h.count() > 0) {
+        eprintln!("  tier resolution latency:");
+        let mut lt = Table::new(["tier", "lookups", "p50", "p90", "p99", "max"]);
+        for (tier, hist) in tiers.rows() {
+            if hist.count() == 0 {
+                continue;
+            }
+            let (p50, p90, p99, max) = hist.percentiles();
+            lt.row([
+                tier.to_owned(),
+                hist.count().to_string(),
+                fmt_ns(p50),
+                fmt_ns(p90),
+                fmt_ns(p99),
+                fmt_ns(max),
+            ]);
+        }
+        for line in lt.render().lines() {
+            eprintln!("  {line}");
+        }
+    }
+}
+
+/// The `--store-stats` report on stdout: local store counters, remote
+/// client counters, and the server's own `/stats` tallies.
+fn print_store_stats(session: &SimSession) {
+    match session.store() {
+        Some(store) => {
+            let s = store.stats();
+            let usage = store.disk_usage();
+            println!("result store ({}):", store.root().display());
+            println!("  hits: {}", s.hits);
+            println!("  misses: {}", s.misses);
+            println!("  corrupt: {}", s.corrupt);
+            println!("  writes: {}", s.writes);
+            println!("  write errors: {}", s.write_errors);
+            println!("  bytes read: {}", s.bytes_read);
+            println!("  bytes written: {}", s.bytes_written);
+            println!("  records on disk: {}", usage.records);
+            println!("  bytes on disk: {}", usage.bytes);
+            println!("  generation: {}", store.generation());
+        }
+        None => println!("result store: disabled (set DRI_STORE to a directory to enable)"),
+    }
+    if let Some(remote) = session.remote() {
+        let r = remote.stats();
+        println!("remote store (http://{}):", remote.addr());
+        println!("  hits: {}", r.hits);
+        println!("  misses: {}", r.misses);
+        println!("  corrupt: {}", r.corrupt);
+        println!("  errors: {}", r.errors);
+        println!("  bytes fetched: {}", r.bytes_fetched);
+        println!("  batch round trips: {}", r.batch_round_trips);
+        // Write-side counters, named like the server's /stats JSON:
+        // client `pushes` advances in lockstep with the server's
+        // `records_accepted`, `push round trips` with its
+        // `push_round_trips`.
+        println!("  pushes: {}", r.pushes);
+        println!("  push rejected: {}", r.push_rejected);
+        println!("  push round trips: {}", r.push_round_trips);
+        // The server's own side of the story: one GET /stats scrape
+        // surfaces the lease-scheduler tallies and any chaos
+        // injections next to the client counters above.
+        match remote.server_stats() {
+            Some(s) => {
+                println!("server (http://{}/stats):", remote.addr());
+                println!("  faults injected: {}", s.faults_injected);
+                println!("  lease claims: {}", s.lease_claims);
+                println!("  lease granted: {}", s.lease_granted);
+                println!("  lease reclaimed: {}", s.lease_reclaimed);
+                println!("  lease renewed: {}", s.lease_renewed);
+                println!("  lease completed: {}", s.lease_completed);
+                println!("  lease rejected: {}", s.lease_rejected);
+            }
+            None => println!("server (http://{}/stats): unavailable", remote.addr()),
+        }
+    }
+}
+
+/// Renders a nanosecond figure at the precision a summary table wants.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
 }

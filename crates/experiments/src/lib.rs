@@ -60,7 +60,7 @@ pub use search::{
 };
 pub use session::{
     prefetch_enabled, prefetch_grid, push_enabled, push_grid, PrefetchStats, PushStats,
-    SessionStats, SimSession, PREFETCH_ENV, PUSH_ENV,
+    SessionStats, SimSession, TierLatency, PREFETCH_ENV, PUSH_ENV,
 };
 pub use steal::{
     campaign_id, drain, steal_enabled, worker_name, DrainOutcome, STEAL_ENV, WORKER_ENV,

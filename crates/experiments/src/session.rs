@@ -95,9 +95,11 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use dri_serve::{BatchEntry, PushOutcome, RemoteStats, RemoteStore};
 use dri_store::{KeyPlan, ResultStore, StoreStats};
+use dri_telemetry::{trace, Histogram, Span, TraceEvent};
 
 use cache_sim::config::CacheConfig;
 use cache_sim::hierarchy::HierarchyConfig;
@@ -316,6 +318,50 @@ pub struct PrefetchStats {
     pub batch_round_trips: u64,
 }
 
+/// Per-tier lookup-resolution latency: each histogram holds the
+/// wall-times of the [`SimSession::conventional`]/[`SimSession::dri`]
+/// lookups *answered by that tier* — so `memory` is the warm-path cost,
+/// `disk` the load+decode cost, `remote` the round-trip cost, and
+/// `simulate` the price of a true miss. Only populated on a **timed**
+/// session ([`dri_telemetry::timing_enabled`] at construction, or
+/// [`SimSession::with_timing`]): the warm memory path runs in hundreds
+/// of nanoseconds, where even two clock reads are visible, so untimed
+/// sessions skip the clocks entirely.
+#[derive(Debug, Default)]
+pub struct TierLatency {
+    /// Lookups the memory tier answered.
+    pub memory: Histogram,
+    /// Lookups the disk tier answered.
+    pub disk: Histogram,
+    /// Lookups the remote tier answered.
+    pub remote: Histogram,
+    /// Lookups that fell through to a fresh simulation.
+    pub simulate: Histogram,
+}
+
+impl TierLatency {
+    /// The histogram for a tier's outcome name.
+    fn of(&self, tier: &str) -> &Histogram {
+        match tier {
+            "memory" => &self.memory,
+            "disk" => &self.disk,
+            "remote" => &self.remote,
+            _ => &self.simulate,
+        }
+    }
+
+    /// `(tier, histogram)` rows in lookup order — the suite's summary
+    /// table iterates these.
+    pub fn rows(&self) -> [(&'static str, &Histogram); 4] {
+        [
+            ("memory", &self.memory),
+            ("disk", &self.disk),
+            ("remote", &self.remote),
+            ("simulate", &self.simulate),
+        ]
+    }
+}
+
 /// Memoization scope for workloads and runs (see the module docs).
 ///
 /// Most callers use [`SimSession::global`] through the `runner` free
@@ -347,14 +393,31 @@ pub struct SimSession {
     /// honours a manifest's `push = on` even though it was constructed
     /// earlier.
     push: bool,
+    /// Whether lookups are wall-clocked into [`Self::tier_latency`] (and
+    /// traced). Resolved once at construction — see [`TierLatency`] for
+    /// why the warm path must not read clocks by default. A session
+    /// built by `Default::default()` is untimed.
+    timed: bool,
+    tier_latency: TierLatency,
     store: Option<ResultStore>,
     remote: Option<RemoteStore>,
 }
 
 impl SimSession {
-    /// Creates an empty, memory-only session.
+    /// Creates an empty, memory-only session. Timing is resolved from
+    /// the environment ([`dri_telemetry::timing_enabled`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_tiers(None, None)
+    }
+
+    /// A memory-only session with lookup timing set explicitly — the
+    /// bench harness uses `with_timing(true)` to measure the timed warm
+    /// path without touching the process environment.
+    pub fn with_timing(timed: bool) -> Self {
+        SimSession {
+            timed,
+            ..Self::default()
+        }
     }
 
     /// Creates a session backed by `store` as its second cache tier
@@ -375,6 +438,7 @@ impl SimSession {
         SimSession {
             store,
             remote,
+            timed: dri_telemetry::timing_enabled(),
             ..Self::default()
         }
     }
@@ -390,6 +454,7 @@ impl SimSession {
             store,
             remote,
             push,
+            timed: dri_telemetry::timing_enabled(),
             ..Self::default()
         }
     }
@@ -428,6 +493,17 @@ impl SimSession {
     /// Snapshot of the hit/miss counters.
     pub fn stats(&self) -> SessionStats {
         *self.stats.lock().expect("session stats lock")
+    }
+
+    /// Per-tier lookup-resolution latency histograms (empty unless the
+    /// session is timed — see [`TierLatency`]).
+    pub fn tier_latency(&self) -> &TierLatency {
+        &self.tier_latency
+    }
+
+    /// Whether lookups are wall-clocked (and traced) on this session.
+    pub fn is_timed(&self) -> bool {
+        self.timed
     }
 
     /// Aggregate of every [`Self::prefetch`] pass this session ran.
@@ -544,6 +620,10 @@ impl SimSession {
     /// never simulates; an empty (or fully memory-warm) plan touches
     /// neither the disk nor the network.
     pub fn prefetch(&self, cfgs: &[RunConfig]) -> PrefetchStats {
+        // Traced as one `kind:"prefetch"` span covering the whole plan;
+        // the outcome labels carry the per-tier split so a trace alone
+        // reconstructs the bulk pass without the stderr summary.
+        let trace_start = trace::enabled().then(|| (trace::now_us(), Instant::now()));
         let mut report = PrefetchStats {
             plans: 1,
             ..PrefetchStats::default()
@@ -713,6 +793,20 @@ impl SimSession {
         totals.remote_hits += report.remote_hits;
         totals.misses += report.misses;
         totals.batch_round_trips += report.batch_round_trips;
+        drop(totals);
+        if let Some((ts_us, started)) = trace_start {
+            let mut event = TraceEvent::new("prefetch", "plan")
+                .outcome("resolved")
+                .label("planned", &report.planned.to_string())
+                .label("memory", &report.memory_hits.to_string())
+                .label("disk", &report.disk_hits.to_string())
+                .label("remote", &report.remote_hits.to_string())
+                .label("misses", &report.misses.to_string())
+                .label("round_trips", &report.batch_round_trips.to_string());
+            event.ts_us = ts_us;
+            event.dur_us = Some(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+            event.emit();
+        }
         report
     }
 
@@ -854,36 +948,59 @@ impl SimSession {
 
     /// The memoized baseline run for `cfg`: memory, then disk, then the
     /// remote service, then a fresh simulation (whose result is
-    /// published to the local tiers).
+    /// published to the local tiers). On a timed session the resolution
+    /// is wall-clocked into [`Self::tier_latency`] (bucketed by the tier
+    /// that answered) and emitted as a `kind:"tier"` trace span; the
+    /// resolution itself — and therefore every counter in the result —
+    /// is identical either way.
     pub fn conventional(&self, cfg: &RunConfig) -> ConventionalRun {
+        if !self.timed {
+            return self.conventional_resolve(cfg).0;
+        }
+        let span = Span::begin("tier", "conventional").label("benchmark", cfg.benchmark.name());
+        let (run, tier) = self.conventional_resolve(cfg);
+        let elapsed = span.finish(tier);
+        self.tier_latency.of(tier).record_duration(elapsed);
+        run
+    }
+
+    /// The tier fall-through behind [`Self::conventional`]; names the
+    /// tier that answered so the timed wrapper can attribute the cost.
+    fn conventional_resolve(&self, cfg: &RunConfig) -> (ConventionalRun, &'static str) {
         let key = BaselineKey::of(cfg);
         if let Some(found) = self.baselines.lock().expect("baseline lock").get(&key) {
             self.stats.lock().expect("session stats lock").baseline_hits += 1;
-            return *found;
+            return (*found, "memory");
         }
         if let Some(run) = self.disk_conventional(cfg) {
             self.stats
                 .lock()
                 .expect("session stats lock")
                 .baseline_disk_hits += 1;
-            return *self
-                .baselines
-                .lock()
-                .expect("baseline lock")
-                .entry(key)
-                .or_insert(run);
+            return (
+                *self
+                    .baselines
+                    .lock()
+                    .expect("baseline lock")
+                    .entry(key)
+                    .or_insert(run),
+                "disk",
+            );
         }
         if let Some(run) = self.remote_conventional(cfg) {
             self.stats
                 .lock()
                 .expect("session stats lock")
                 .baseline_remote_hits += 1;
-            return *self
-                .baselines
-                .lock()
-                .expect("baseline lock")
-                .entry(key)
-                .or_insert(run);
+            return (
+                *self
+                    .baselines
+                    .lock()
+                    .expect("baseline lock")
+                    .entry(key)
+                    .or_insert(run),
+                "remote",
+            );
         }
         let run = crate::runner::run_conventional_fresh_in(self, cfg);
         self.stats
@@ -906,43 +1023,65 @@ impl SimSession {
                 self.buffer_push(crate::persist::BASELINE_KIND, store_key, payload);
             }
         }
-        *self
-            .baselines
-            .lock()
-            .expect("baseline lock")
-            .entry(key)
-            .or_insert(run)
+        (
+            *self
+                .baselines
+                .lock()
+                .expect("baseline lock")
+                .entry(key)
+                .or_insert(run),
+            "simulate",
+        )
     }
 
     /// The memoized DRI run for `cfg`: memory, then disk, then the
     /// remote service, then a fresh simulation (whose result is
-    /// published to the local tiers).
+    /// published to the local tiers). Timed exactly like
+    /// [`Self::conventional`].
     pub fn dri(&self, cfg: &RunConfig) -> DriRun {
+        if !self.timed {
+            return self.dri_resolve(cfg).0;
+        }
+        let span = Span::begin("tier", "dri").label("benchmark", cfg.benchmark.name());
+        let (run, tier) = self.dri_resolve(cfg);
+        let elapsed = span.finish(tier);
+        self.tier_latency.of(tier).record_duration(elapsed);
+        run
+    }
+
+    /// The tier fall-through behind [`Self::dri`].
+    fn dri_resolve(&self, cfg: &RunConfig) -> (DriRun, &'static str) {
         let key = DriKey::of(cfg);
         if let Some(found) = self.dri_runs.lock().expect("dri lock").get(&key) {
             self.stats.lock().expect("session stats lock").dri_hits += 1;
-            return *found;
+            return (*found, "memory");
         }
         if let Some(run) = self.disk_dri(cfg) {
             self.stats.lock().expect("session stats lock").dri_disk_hits += 1;
-            return *self
-                .dri_runs
-                .lock()
-                .expect("dri lock")
-                .entry(key)
-                .or_insert(run);
+            return (
+                *self
+                    .dri_runs
+                    .lock()
+                    .expect("dri lock")
+                    .entry(key)
+                    .or_insert(run),
+                "disk",
+            );
         }
         if let Some(run) = self.remote_dri(cfg) {
             self.stats
                 .lock()
                 .expect("session stats lock")
                 .dri_remote_hits += 1;
-            return *self
-                .dri_runs
-                .lock()
-                .expect("dri lock")
-                .entry(key)
-                .or_insert(run);
+            return (
+                *self
+                    .dri_runs
+                    .lock()
+                    .expect("dri lock")
+                    .entry(key)
+                    .or_insert(run),
+                "remote",
+            );
         }
         let run = crate::runner::run_dri_fresh_in(self, cfg);
         self.stats.lock().expect("session stats lock").dri_misses += 1;
@@ -962,12 +1101,15 @@ impl SimSession {
                 self.buffer_push(crate::persist::DRI_KIND, store_key, payload);
             }
         }
-        *self
-            .dri_runs
-            .lock()
-            .expect("dri lock")
-            .entry(key)
-            .or_insert(run)
+        (
+            *self
+                .dri_runs
+                .lock()
+                .expect("dri lock")
+                .entry(key)
+                .or_insert(run),
+            "simulate",
+        )
     }
 }
 

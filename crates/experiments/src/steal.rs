@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use dri_serve::{LeaseClaim, LeaseError, RemoteStore};
+use dri_telemetry::{trace, Span};
 
 /// Environment variable gating work-stealing campaign mode. Off by
 /// default; set `DRI_STEAL=1` (or `on`/`true`/`yes`) — or pass `suite
@@ -140,6 +141,11 @@ pub fn drain(
     worker: &str,
     run_unit: impl Fn(&str),
 ) -> Result<DrainOutcome, String> {
+    // Ambient context for every event the drain loop (and the session
+    // tiers running beneath it) emits: worker + campaign for the whole
+    // drain, unit per claimed lease. No-ops when tracing is off.
+    trace::set_context("worker", worker);
+    trace::set_context("campaign", campaign);
     let mut outcome = DrainOutcome::default();
     let mut claim_failures = 0u32;
     loop {
@@ -154,6 +160,10 @@ pub fn drain(
                 claim_failures = 0;
                 outcome.granted += 1;
                 outcome.reclaimed += u64::from(reclaimed);
+                trace::set_context("unit", &unit);
+                let span = Span::begin("unit", &unit)
+                    .label("gen", &generation.to_string())
+                    .label("reclaimed", if reclaimed { "1" } else { "0" });
                 outcome.renewals += run_with_heartbeat(
                     control,
                     campaign,
@@ -163,7 +173,13 @@ pub fn drain(
                     ttl_ms,
                     || run_unit(&unit),
                 );
-                match control.lease_complete(campaign, &unit, generation, worker) {
+                let completion = control.lease_complete(campaign, &unit, generation, worker);
+                span.finish(match &completion {
+                    Ok(()) => "completed",
+                    Err(_) => "lost",
+                });
+                trace::clear_context("unit");
+                match completion {
                     Ok(()) => outcome.completed += 1,
                     Err(LeaseError::Denied(status)) => return Err(denied(status)),
                     // Reclaimed mid-run, or the completion call itself
@@ -177,7 +193,11 @@ pub fn drain(
                 outcome.waits += 1;
                 std::thread::sleep(WAIT_POLL);
             }
-            Ok(LeaseClaim::Drained) => return Ok(outcome),
+            Ok(LeaseClaim::Drained) => {
+                trace::clear_context("campaign");
+                trace::clear_context("worker");
+                return Ok(outcome);
+            }
             Err(LeaseError::Denied(status)) => return Err(denied(status)),
             Err(err) => {
                 claim_failures += 1;

@@ -35,9 +35,10 @@
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dri_store::validate_record;
+use dri_telemetry::{trace, Histogram, Registry, Span, TraceEvent};
 
 use crate::http::read_response;
 
@@ -270,6 +271,15 @@ impl std::fmt::Display for LeaseError {
     }
 }
 
+/// The trace-span outcome word for a failed lease call.
+fn lease_error_outcome(err: &LeaseError) -> &'static str {
+    match err {
+        LeaseError::Unavailable => "unavailable",
+        LeaseError::Refused(_) => "refused",
+        LeaseError::Denied(_) => "denied",
+    }
+}
+
 /// Classifies a lease response status and hands back its text body.
 fn lease_response_text(status: u16, body: &[u8]) -> Result<String, LeaseError> {
     let text = String::from_utf8_lossy(body).into_owned();
@@ -300,6 +310,58 @@ fn lease_field_u64(fields: &[(&str, &str)], key: &str) -> Option<u64> {
         .and_then(|(_, v)| v.parse().ok())
 }
 
+/// The server-side counters a `GET /stats` scrape surfaces to the
+/// suite's `--store-stats` report: the lease-scheduler tallies and the
+/// chaos-injection count, plus the store's size for context. Parsed
+/// from the server's hand-rolled JSON by [`RemoteStore::server_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Records in the server's store.
+    pub records: u64,
+    /// Bytes in the server's store.
+    pub bytes: u64,
+    /// `DRI_FAULT` chaos actions the server fired (0 in production).
+    pub faults_injected: u64,
+    /// `POST /lease/claim` requests fielded.
+    pub lease_claims: u64,
+    /// Claims answered with a grant.
+    pub lease_granted: u64,
+    /// Grants that took over a dead worker's expired lease.
+    pub lease_reclaimed: u64,
+    /// Successful heartbeat renewals.
+    pub lease_renewed: u64,
+    /// Units marked complete.
+    pub lease_completed: u64,
+    /// Lease calls refused (stale generation, expired, wrong owner, …).
+    pub lease_rejected: u64,
+}
+
+/// Pulls one unsigned-integer field out of the `/stats` JSON document.
+/// The document is flat enough (every key unique, every value a bare
+/// integer or boolean) that a substring scan is exact.
+fn scrape_u64(doc: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let digits: String = doc[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parses the server's `GET /stats` JSON into [`ServerStats`]. `None`
+/// when a required field is absent — an old server or a non-stats body.
+fn parse_server_stats(doc: &str) -> Option<ServerStats> {
+    Some(ServerStats {
+        records: scrape_u64(doc, "records")?,
+        bytes: scrape_u64(doc, "bytes")?,
+        faults_injected: scrape_u64(doc, "faults_injected")?,
+        lease_claims: scrape_u64(doc, "claims")?,
+        lease_granted: scrape_u64(doc, "granted")?,
+        lease_reclaimed: scrape_u64(doc, "reclaimed")?,
+        lease_renewed: scrape_u64(doc, "renewed")?,
+        lease_completed: scrape_u64(doc, "completed")?,
+        lease_rejected: scrape_u64(doc, "rejected")?,
+    })
+}
+
 /// A handle on one remote result service.
 #[derive(Debug)]
 pub struct RemoteStore {
@@ -319,6 +381,10 @@ pub struct RemoteStore {
     timeouts: Timeouts,
     /// Monotonic per-attempt salt feeding the backoff jitter.
     attempt_salt: AtomicU64,
+    /// Wire round-trip latency per attempt (connect through response),
+    /// shared process-wide via [`Registry::global`] so `suite` can print
+    /// remote-tier percentiles however many clients a run constructs.
+    exchange_latency: Histogram,
     requests: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -357,6 +423,10 @@ impl RemoteStore {
             consecutive_errors: AtomicU32::new(0),
             timeouts: Timeouts::from_env(),
             attempt_salt: AtomicU64::new(0),
+            exchange_latency: Registry::global().histogram(
+                "dri_client_exchange_ns",
+                "remote-store HTTP round-trip latency per attempt (ns)",
+            ),
             requests: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -416,6 +486,28 @@ impl RemoteStore {
     /// Whether the circuit breaker has given up on the server.
     pub fn is_disabled(&self) -> bool {
         self.disabled.load(Ordering::Relaxed)
+    }
+
+    /// Scrapes the server's `GET /stats` document and extracts the
+    /// scheduler/chaos counters (see [`ServerStats`]) — what
+    /// `suite --store-stats` prints alongside the client's own traffic.
+    /// `None` on any transport failure, an unparsable body, or whenever
+    /// the breaker is already open.
+    pub fn server_stats(&self) -> Option<ServerStats> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if self.is_disabled() {
+            return None;
+        }
+        match self.exchange("GET", "/stats", b"") {
+            Ok((200, body)) => {
+                self.consecutive_errors.store(0, Ordering::Relaxed);
+                parse_server_stats(&String::from_utf8_lossy(&body))
+            }
+            Ok(_) | Err(_) => {
+                self.transport_error();
+                None
+            }
+        }
     }
 
     /// Fetches and validates the record for `(kind, schema, key)`,
@@ -722,6 +814,28 @@ impl RemoteStore {
         worker: &str,
         units: &[String],
     ) -> Result<LeaseClaim, LeaseError> {
+        let span = Span::begin("lease", "claim")
+            .label("campaign", campaign)
+            .label("worker", worker);
+        let result = self.lease_claim_inner(campaign, worker, units);
+        span.finish(match &result {
+            Ok(LeaseClaim::Granted {
+                reclaimed: true, ..
+            }) => "reclaimed",
+            Ok(LeaseClaim::Granted { .. }) => "granted",
+            Ok(LeaseClaim::Wait { .. }) => "wait",
+            Ok(LeaseClaim::Drained) => "drained",
+            Err(err) => lease_error_outcome(err),
+        });
+        result
+    }
+
+    fn lease_claim_inner(
+        &self,
+        campaign: &str,
+        worker: &str,
+        units: &[String],
+    ) -> Result<LeaseClaim, LeaseError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let mut body = format!("campaign={campaign}\nworker={worker}\n");
         for unit in units {
@@ -765,6 +879,25 @@ impl RemoteStore {
         generation: u64,
         worker: &str,
     ) -> Result<u64, LeaseError> {
+        let span = Span::begin("lease", "renew")
+            .label("campaign", campaign)
+            .label("unit", unit)
+            .label("worker", worker);
+        let result = self.lease_renew_inner(campaign, unit, generation, worker);
+        span.finish(match &result {
+            Ok(_) => "renewed",
+            Err(err) => lease_error_outcome(err),
+        });
+        result
+    }
+
+    fn lease_renew_inner(
+        &self,
+        campaign: &str,
+        unit: &str,
+        generation: u64,
+        worker: &str,
+    ) -> Result<u64, LeaseError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let body = format!("campaign={campaign}\nworker={worker}\nunit={unit}\ngen={generation}\n");
         let (status, response) = self
@@ -790,6 +923,25 @@ impl RemoteStore {
         generation: u64,
         worker: &str,
     ) -> Result<(), LeaseError> {
+        let span = Span::begin("lease", "complete")
+            .label("campaign", campaign)
+            .label("unit", unit)
+            .label("worker", worker);
+        let result = self.lease_complete_inner(campaign, unit, generation, worker);
+        span.finish(match &result {
+            Ok(()) => "completed",
+            Err(err) => lease_error_outcome(err),
+        });
+        result
+    }
+
+    fn lease_complete_inner(
+        &self,
+        campaign: &str,
+        unit: &str,
+        generation: u64,
+        worker: &str,
+    ) -> Result<(), LeaseError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let body = format!("campaign={campaign}\nworker={worker}\nunit={unit}\ngen={generation}\n");
         let (status, response) = self
@@ -807,6 +959,12 @@ impl RemoteStore {
     /// server that already said no. Reads continue unaffected.
     fn auth_rejected(&self, status: u16) {
         if !self.push_disabled.swap(true, Ordering::Relaxed) {
+            if trace::enabled() {
+                TraceEvent::new("breaker", "push_disabled")
+                    .outcome(&status.to_string())
+                    .label("addr", &self.addr)
+                    .emit();
+            }
             eprintln!(
                 "warning: result store {} rejected a push with HTTP {status} \
                  ({}); disabling pushes for this process (results stay local)",
@@ -841,6 +999,12 @@ impl RemoteStore {
         self.errors.fetch_add(1, Ordering::Relaxed);
         let seen = self.consecutive_errors.fetch_add(1, Ordering::Relaxed) + 1;
         if seen >= MAX_CONSECUTIVE_ERRORS && !self.disabled.swap(true, Ordering::Relaxed) {
+            if trace::enabled() {
+                TraceEvent::new("breaker", "open")
+                    .label("addr", &self.addr)
+                    .label("consecutive_errors", &seen.to_string())
+                    .emit();
+            }
             eprintln!(
                 "warning: remote result store {} failed {seen} times in a row; \
                  disabling the remote tier for this process (simulating locally)",
@@ -862,7 +1026,9 @@ impl RemoteStore {
     fn exchange(&self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
         let mut attempt = 1;
         loop {
+            let started = Instant::now();
             let outcome = self.request(method, path, body);
+            self.exchange_latency.record_duration(started.elapsed());
             let transient = match &outcome {
                 Err(_) => true,
                 Ok((status, _)) => *status >= 500,
@@ -871,6 +1037,16 @@ impl RemoteStore {
                 return outcome;
             }
             self.retries.fetch_add(1, Ordering::Relaxed);
+            if trace::enabled() {
+                TraceEvent::new("retry", path)
+                    .outcome(&match &outcome {
+                        Err(err) => err.kind().to_string(),
+                        Ok((status, _)) => format!("http {status}"),
+                    })
+                    .label("method", method)
+                    .label("attempt", &attempt.to_string())
+                    .emit();
+            }
             // Per-process salt stream: reproducible within a worker,
             // de-synchronized across a fleet.
             let salt = (u64::from(std::process::id()) << 32)
@@ -1070,6 +1246,42 @@ mod tests {
         assert_eq!(lease_field_u64(&fields, "reclaimed"), Some(1));
         assert_eq!(lease_field_u64(&fields, "absent"), None);
         assert_eq!(lease_field_u64(&fields, "unit"), None, "non-numeric");
+    }
+
+    #[test]
+    fn server_stats_parse_from_stats_json() {
+        // Shaped exactly like `server::stats_json` renders, including the
+        // fields whose names are near-collisions (`records_accepted`,
+        // `writes_rejected`, `bytes_served`) — the scraper must not
+        // confuse them with `records`, `rejected`, or `bytes`.
+        let doc = "{\"records\":12,\"bytes\":3456,\"generation\":2,\"writable\":true,\
+                   \"requests\":99,\"hits\":40,\"misses\":8,\
+                   \"bad_requests\":1,\"batch_requests\":3,\"bytes_served\":70000,\
+                   \"push_round_trips\":5,\"records_accepted\":33,\"writes_rejected\":2,\
+                   \"faults_injected\":7,\
+                   \"leases\":{\"claims\":20,\"granted\":16,\"reclaimed\":4,\
+                   \"renewed\":50,\"completed\":15,\"rejected\":1},\
+                   \"store\":{\"hits\":40,\"misses\":8,\"corrupt\":0}}\n";
+        assert_eq!(
+            parse_server_stats(doc),
+            Some(ServerStats {
+                records: 12,
+                bytes: 3456,
+                faults_injected: 7,
+                lease_claims: 20,
+                lease_granted: 16,
+                lease_reclaimed: 4,
+                lease_renewed: 50,
+                lease_completed: 15,
+                lease_rejected: 1,
+            })
+        );
+        assert_eq!(
+            parse_server_stats("{\"records\":1}"),
+            None,
+            "missing fields"
+        );
+        assert_eq!(parse_server_stats("not json at all"), None);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! |---|---|
 //! | `GET /healthz` | `200 ok` — liveness probe |
 //! | `GET /stats` | `200` JSON: disk usage, generation, traffic counters |
+//! | `GET /metrics` | `200` Prometheus text exposition of the same counters |
 //! | `GET /record/<kind>/v<schema>/<key>` | `200` raw record bytes, or `404` |
 //! | `POST /batch` | `200` framed records for a list of keys (see below) |
 //! | `PUT /record/<kind>/v<schema>/<key>` | `200` record accepted; `401`/`405`/`400` |
@@ -115,8 +116,8 @@ pub mod server;
 
 pub use auth::TOKEN_ENV;
 pub use client::{
-    BatchEntry, LeaseClaim, LeaseError, PushOutcome, RemoteStats, RemoteStore, BATCH_CHUNK,
-    REMOTE_ENV, TIMEOUT_ENV,
+    BatchEntry, LeaseClaim, LeaseError, PushOutcome, RemoteStats, RemoteStore, ServerStats,
+    BATCH_CHUNK, REMOTE_ENV, TIMEOUT_ENV,
 };
 pub use fault::{FaultSpec, FAULT_ENV};
 pub use server::{ServeStats, Server, DEFAULT_LEASE_TTL_MS, LEASE_TTL_ENV};

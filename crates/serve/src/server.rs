@@ -9,7 +9,7 @@
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use dri_store::gc::DiskUsage;
 use dri_store::lease::{self, ClaimOutcome, LeaseBroker, LeaseRefusal};
 use dri_store::{validate_record, ResultStore};
+use dri_telemetry::{trace, Counter, Gauge, Histogram, Registry, TraceEvent};
 
 use crate::fault::{FaultAction, FaultSpec};
 use crate::http::{read_request, write_head_response, write_response, Request};
@@ -114,45 +115,135 @@ pub struct ServeStats {
     pub faults_injected: u64,
 }
 
-#[derive(Debug, Default)]
+/// The server's counters as telemetry handles, all registered in one
+/// per-server [`Registry`]. `/stats` snapshots these very atomics and
+/// `GET /metrics` renders the same registry, so the two reporters can
+/// never diverge — one set of counters, two expositions. (Per-server
+/// rather than process-global so parallel test servers stay isolated.)
+#[derive(Debug)]
 struct AtomicServeStats {
-    requests: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    bad_requests: AtomicU64,
-    batch_requests: AtomicU64,
-    bytes_served: AtomicU64,
-    push_round_trips: AtomicU64,
-    records_accepted: AtomicU64,
-    writes_rejected: AtomicU64,
-    lease_claims: AtomicU64,
-    lease_granted: AtomicU64,
-    lease_reclaimed: AtomicU64,
-    lease_renewed: AtomicU64,
-    lease_completed: AtomicU64,
-    lease_rejected: AtomicU64,
-    faults_injected: AtomicU64,
+    registry: Registry,
+    requests: Counter,
+    hits: Counter,
+    misses: Counter,
+    bad_requests: Counter,
+    batch_requests: Counter,
+    bytes_served: Counter,
+    push_round_trips: Counter,
+    records_accepted: Counter,
+    writes_rejected: Counter,
+    lease_claims: Counter,
+    lease_granted: Counter,
+    lease_reclaimed: Counter,
+    lease_renewed: Counter,
+    lease_completed: Counter,
+    lease_rejected: Counter,
+    faults_injected: Counter,
+    /// Wall time from request-parsed to response-built, per request.
+    request_latency: Histogram,
+    /// Disk-tier gauges, refreshed at `/metrics` scrape time.
+    store_records: Gauge,
+    store_bytes: Gauge,
+    store_generation: Gauge,
+}
+
+impl Default for AtomicServeStats {
+    fn default() -> AtomicServeStats {
+        let registry = Registry::new();
+        AtomicServeStats {
+            requests: registry.counter(
+                "dri_serve_requests_total",
+                "requests parsed (all endpoints)",
+            ),
+            hits: registry.counter(
+                "dri_serve_hits_total",
+                "records served, singly or in batch frames",
+            ),
+            misses: registry.counter(
+                "dri_serve_misses_total",
+                "record lookups answered 404 / miss-framed",
+            ),
+            bad_requests: registry.counter(
+                "dri_serve_bad_requests_total",
+                "requests rejected as malformed",
+            ),
+            batch_requests: registry.counter(
+                "dri_serve_batch_requests_total",
+                "POST /batch requests handled",
+            ),
+            bytes_served: registry.counter(
+                "dri_serve_bytes_served_total",
+                "response body bytes written",
+            ),
+            push_round_trips: registry
+                .counter("dri_serve_push_round_trips_total", "write exchanges routed"),
+            records_accepted: registry.counter(
+                "dri_serve_records_accepted_total",
+                "records landed through the write path",
+            ),
+            writes_rejected: registry
+                .counter("dri_serve_writes_rejected_total", "write attempts rejected"),
+            lease_claims: registry.counter(
+                "dri_serve_lease_claims_total",
+                "well-formed POST /lease/claim requests",
+            ),
+            lease_granted: registry.counter(
+                "dri_serve_lease_granted_total",
+                "claims answered with a unit",
+            ),
+            lease_reclaimed: registry.counter(
+                "dri_serve_lease_reclaimed_total",
+                "grants that took over an expired lease",
+            ),
+            lease_renewed: registry
+                .counter("dri_serve_lease_renewed_total", "successful heartbeats"),
+            lease_completed: registry
+                .counter("dri_serve_lease_completed_total", "units marked done"),
+            lease_rejected: registry.counter(
+                "dri_serve_lease_rejected_total",
+                "409s: stale gen / wrong owner / expired",
+            ),
+            faults_injected: registry.counter(
+                "dri_serve_faults_injected_total",
+                "DRI_FAULT chaos actions fired (0 in production)",
+            ),
+            request_latency: registry.histogram(
+                "dri_serve_request_latency_ns",
+                "request handling latency, parse to response-built",
+            ),
+            store_records: registry.gauge(
+                "dri_serve_store_records",
+                "validated records on disk (cached walk)",
+            ),
+            store_bytes: registry.gauge(
+                "dri_serve_store_bytes",
+                "record file bytes on disk (cached walk)",
+            ),
+            store_generation: registry.gauge("dri_serve_store_generation", "current GC generation"),
+            registry,
+        }
+    }
 }
 
 impl AtomicServeStats {
     fn snapshot(&self) -> ServeStats {
         ServeStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            bad_requests: self.bad_requests.load(Ordering::Relaxed),
-            batch_requests: self.batch_requests.load(Ordering::Relaxed),
-            bytes_served: self.bytes_served.load(Ordering::Relaxed),
-            push_round_trips: self.push_round_trips.load(Ordering::Relaxed),
-            records_accepted: self.records_accepted.load(Ordering::Relaxed),
-            writes_rejected: self.writes_rejected.load(Ordering::Relaxed),
-            lease_claims: self.lease_claims.load(Ordering::Relaxed),
-            lease_granted: self.lease_granted.load(Ordering::Relaxed),
-            lease_reclaimed: self.lease_reclaimed.load(Ordering::Relaxed),
-            lease_renewed: self.lease_renewed.load(Ordering::Relaxed),
-            lease_completed: self.lease_completed.load(Ordering::Relaxed),
-            lease_rejected: self.lease_rejected.load(Ordering::Relaxed),
-            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            bad_requests: self.bad_requests.get(),
+            batch_requests: self.batch_requests.get(),
+            bytes_served: self.bytes_served.get(),
+            push_round_trips: self.push_round_trips.get(),
+            records_accepted: self.records_accepted.get(),
+            writes_rejected: self.writes_rejected.get(),
+            lease_claims: self.lease_claims.get(),
+            lease_granted: self.lease_granted.get(),
+            lease_reclaimed: self.lease_reclaimed.get(),
+            lease_renewed: self.lease_renewed.get(),
+            lease_completed: self.lease_completed.get(),
+            lease_rejected: self.lease_rejected.get(),
+            faults_injected: self.faults_injected.get(),
         }
     }
 }
@@ -354,7 +445,18 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let mut torn = false;
     if let Some(faults) = &shared.faults {
         for action in faults.next_connection() {
-            stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+            stats.faults_injected.inc();
+            if trace::enabled() {
+                let name = match action {
+                    FaultAction::Drop => "drop",
+                    FaultAction::Delay(_) => "delay",
+                    FaultAction::Error503 => "503",
+                    FaultAction::Torn => "torn",
+                };
+                TraceEvent::new("fault", name)
+                    .label("connection", &faults.connections_seen().to_string())
+                    .emit();
+            }
             match action {
                 // Close without reading: the peer sees a reset/EOF.
                 FaultAction::Drop => return,
@@ -382,7 +484,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let mut request = match read_request(&mut stream) {
         Ok(request) => request,
         Err(_) => {
-            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            stats.bad_requests.inc();
             let _ = write_response(
                 &mut stream,
                 400,
@@ -393,14 +495,25 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             return;
         }
     };
-    stats.requests.fetch_add(1, Ordering::Relaxed);
+    stats.requests.inc();
     // HEAD is GET with the body suppressed (RFC 9110 §9.3.2): route it
     // as GET so probes see real statuses, then send headers only.
     let head_only = request.method == "HEAD";
     if head_only {
         request.method = "GET".to_owned();
     }
+    let routed_at = Instant::now();
     let (status, reason, content_type, body) = route(&request, shared);
+    let elapsed = routed_at.elapsed();
+    stats.request_latency.record_duration(elapsed);
+    if trace::enabled() {
+        // One access record per request: endpoint, status, handling time.
+        let mut event = TraceEvent::new("serve", &request.path)
+            .outcome(&status.to_string())
+            .label("method", &request.method);
+        event.dur_us = Some(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        event.emit();
+    }
     if head_only {
         let _ = write_head_response(&mut stream, status, reason, content_type, body.len());
         return;
@@ -409,16 +522,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         // Head declares the full length; only half the body follows. The
         // client's Content-Length cross-check must catch this.
         let half = &body[..body.len() / 2];
-        stats
-            .bytes_served
-            .fetch_add(half.len() as u64, Ordering::Relaxed);
+        stats.bytes_served.add(half.len() as u64);
         let _ = write_head_response(&mut stream, status, reason, content_type, body.len());
         let _ = stream.write_all(half);
         return;
     }
-    stats
-        .bytes_served
-        .fetch_add(body.len() as u64, Ordering::Relaxed);
+    stats.bytes_served.add(body.len() as u64);
     let _ = write_response(&mut stream, status, reason, content_type, &body);
 }
 
@@ -429,19 +538,20 @@ fn route(request: &Request, shared: &Shared) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "OK", "text/plain", b"ok\n".to_vec()),
         ("GET", "/stats") => (200, "OK", "application/json", stats_json(shared)),
+        ("GET", "/metrics") => (200, "OK", "text/plain; version=0.0.4", metrics_text(shared)),
         ("GET", path) if path.starts_with("/record/") => match parse_record_path(path) {
             Some((kind, schema, key)) => match store.load_record_bytes(&kind, schema, key) {
                 Some(bytes) => {
-                    stats.hits.fetch_add(1, Ordering::Relaxed);
+                    stats.hits.inc();
                     (200, "OK", "application/octet-stream", bytes)
                 }
                 None => {
-                    stats.misses.fetch_add(1, Ordering::Relaxed);
+                    stats.misses.inc();
                     (404, "Not Found", "text/plain", b"no such record\n".to_vec())
                 }
             },
             None => {
-                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                stats.bad_requests.inc();
                 (
                     400,
                     "Bad Request",
@@ -452,11 +562,11 @@ fn route(request: &Request, shared: &Shared) -> Response {
         },
         ("POST", "/batch") => match batch(&request.body, store, stats) {
             Some(frames) => {
-                stats.batch_requests.fetch_add(1, Ordering::Relaxed);
+                stats.batch_requests.inc();
                 (200, "OK", "application/octet-stream", frames)
             }
             None => {
-                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                stats.bad_requests.inc();
                 (
                     400,
                     "Bad Request",
@@ -489,7 +599,7 @@ fn route(request: &Request, shared: &Shared) -> Response {
 /// response. Both failure modes count in `writes_rejected`.
 fn authorize(request: &Request, shared: &Shared) -> Result<(), Response> {
     let Some(secret) = shared.token.as_deref() else {
-        shared.stats.writes_rejected.fetch_add(1, Ordering::Relaxed);
+        shared.stats.writes_rejected.inc();
         return Err((
             405,
             "Method Not Allowed",
@@ -504,7 +614,7 @@ fn authorize(request: &Request, shared: &Shared) -> Result<(), Response> {
         &request.body,
         request.token.as_deref(),
     ) {
-        shared.stats.writes_rejected.fetch_add(1, Ordering::Relaxed);
+        shared.stats.writes_rejected.inc();
         return Err((
             401,
             "Unauthorized",
@@ -523,12 +633,12 @@ fn authorize(request: &Request, shared: &Shared) -> Result<(), Response> {
 /// never a torn write.
 fn put_record(request: &Request, shared: &Shared) -> Response {
     let stats = &shared.stats;
-    stats.push_round_trips.fetch_add(1, Ordering::Relaxed);
+    stats.push_round_trips.inc();
     if let Err(rejection) = authorize(request, shared) {
         return rejection;
     }
     let Some((kind, schema, key)) = parse_record_path(&request.path) else {
-        stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        stats.bad_requests.inc();
         return (
             400,
             "Bad Request",
@@ -537,7 +647,7 @@ fn put_record(request: &Request, shared: &Shared) -> Response {
         );
     };
     if request.body.len() > MAX_PUSH_RECORD {
-        stats.writes_rejected.fetch_add(1, Ordering::Relaxed);
+        stats.writes_rejected.inc();
         return (
             400,
             "Bad Request",
@@ -548,11 +658,11 @@ fn put_record(request: &Request, shared: &Shared) -> Response {
     match validate_record(&request.body, schema, key) {
         Some(payload) => {
             shared.store.save(&kind, schema, key, payload);
-            stats.records_accepted.fetch_add(1, Ordering::Relaxed);
+            stats.records_accepted.inc();
             (200, "OK", "text/plain", b"accepted\n".to_vec())
         }
         None => {
-            stats.writes_rejected.fetch_add(1, Ordering::Relaxed);
+            stats.writes_rejected.inc();
             (
                 400,
                 "Bad Request",
@@ -605,12 +715,12 @@ fn parse_push_frames(body: &[u8]) -> Option<Vec<PushFrame<'_>>> {
 /// entry** — the rest of the batch still lands.
 fn batch_put(request: &Request, shared: &Shared) -> Response {
     let stats = &shared.stats;
-    stats.push_round_trips.fetch_add(1, Ordering::Relaxed);
+    stats.push_round_trips.inc();
     if let Err(rejection) = authorize(request, shared) {
         return rejection;
     }
     let Some(frames) = parse_push_frames(&request.body) else {
-        stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        stats.bad_requests.inc();
         return (
             400,
             "Bad Request",
@@ -626,11 +736,11 @@ fn batch_put(request: &Request, shared: &Shared) -> Response {
         match payload {
             Some(payload) => {
                 shared.store.save(&kind, schema, key, payload);
-                stats.records_accepted.fetch_add(1, Ordering::Relaxed);
+                stats.records_accepted.inc();
                 outcomes.push(1u8);
             }
             None => {
-                stats.writes_rejected.fetch_add(1, Ordering::Relaxed);
+                stats.writes_rejected.inc();
                 outcomes.push(0u8);
             }
         }
@@ -684,7 +794,7 @@ impl LeaseFields {
 }
 
 fn bad_lease_body(stats: &AtomicServeStats) -> Response {
-    stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+    stats.bad_requests.inc();
     (
         400,
         "Bad Request",
@@ -712,7 +822,7 @@ fn lease_io_error(err: &io::Error) -> Response {
 }
 
 fn refusal_response(refusal: LeaseRefusal, stats: &AtomicServeStats) -> Response {
-    stats.lease_rejected.fetch_add(1, Ordering::Relaxed);
+    stats.lease_rejected.inc();
     let reason = match refusal {
         LeaseRefusal::UnknownUnit => "unknown-unit",
         LeaseRefusal::NotClaimed => "not-claimed",
@@ -744,7 +854,7 @@ fn lease_claim(request: &Request, shared: &Shared) -> Response {
     else {
         return bad_lease_body(stats);
     };
-    stats.lease_claims.fetch_add(1, Ordering::Relaxed);
+    stats.lease_claims.inc();
     if !fields.units.is_empty() {
         if let Err(err) = shared.broker.seed(campaign, &fields.units) {
             return lease_io_error(&err);
@@ -756,9 +866,9 @@ fn lease_claim(request: &Request, shared: &Shared) -> Response {
         .claim(campaign, worker, shared.lease_ttl_ms, now_ms)
     {
         Ok(ClaimOutcome::Granted(grant)) => {
-            stats.lease_granted.fetch_add(1, Ordering::Relaxed);
+            stats.lease_granted.inc();
             if grant.reclaimed {
-                stats.lease_reclaimed.fetch_add(1, Ordering::Relaxed);
+                stats.lease_reclaimed.inc();
             }
             let body = format!(
                 "granted\nunit={}\ngen={}\ndeadline_ms={}\nttl_ms={}\nreclaimed={}\n",
@@ -810,7 +920,7 @@ fn lease_renew(request: &Request, shared: &Shared) -> Response {
         lease::wall_now_ms(),
     ) {
         Ok(Ok(deadline_ms)) => {
-            stats.lease_renewed.fetch_add(1, Ordering::Relaxed);
+            stats.lease_renewed.inc();
             (
                 200,
                 "OK",
@@ -845,7 +955,7 @@ fn lease_complete(request: &Request, shared: &Shared) -> Response {
     };
     match shared.broker.complete(campaign, unit, generation, worker) {
         Ok(Ok(())) => {
-            stats.lease_completed.fetch_add(1, Ordering::Relaxed);
+            stats.lease_completed.inc();
             (200, "OK", "text/plain", b"completed\n".to_vec())
         }
         Ok(Err(refusal)) => refusal_response(refusal, stats),
@@ -911,13 +1021,13 @@ fn batch(body: &[u8], store: &ResultStore, stats: &AtomicServeStats) -> Option<V
         let (kind, schema, key) = parse_record_path(&format!("/record/{kind}/v{schema}/{key}"))?;
         match store.load_record_bytes(&kind, schema, key) {
             Some(bytes) => {
-                stats.hits.fetch_add(1, Ordering::Relaxed);
+                stats.hits.inc();
                 frames.push(1u8);
                 frames.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
                 frames.extend_from_slice(&bytes);
             }
             None => {
-                stats.misses.fetch_add(1, Ordering::Relaxed);
+                stats.misses.inc();
                 frames.push(0u8);
                 frames.extend_from_slice(&0u64.to_le_bytes());
             }
@@ -971,6 +1081,26 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
         traffic.corrupt,
     )
     .into_bytes()
+}
+
+/// Builds the `GET /metrics` body: the Prometheus text exposition of
+/// the server's registry — the *same* atomics `/stats` snapshots, so
+/// the two endpoints agree by construction. Disk-tier gauges (records,
+/// bytes, generation) are refreshed from the cached usage walk at
+/// scrape time.
+fn metrics_text(shared: &Shared) -> Vec<u8> {
+    let usage = shared.disk_usage();
+    let stats = &shared.stats;
+    stats.store_records.set(usage.records);
+    stats.store_bytes.set(usage.bytes);
+    stats.store_generation.set(shared.store.generation());
+    let mut text = stats.registry.render_prometheus();
+    // The store's disk-tier latency histograms live in the process-wide
+    // registry (every ResultStore handle shares them); append them so
+    // one scrape covers both layers. Name prefixes are disjoint
+    // (dri_serve_* vs dri_store_*), so the expositions never collide.
+    text.push_str(&Registry::global().render_prometheus());
+    text.into_bytes()
 }
 
 #[cfg(test)]

@@ -125,6 +125,17 @@ impl ResultStore {
     /// Runs one GC pass under `policy` (see the module docs for the
     /// eviction and concurrency rules).
     pub fn gc(&self, policy: &GcPolicy) -> GcReport {
+        let span = dri_telemetry::Span::begin("gc", "pass");
+        let report = self.gc_inner(policy);
+        let span = span
+            .label("scanned", &report.scanned_records.to_string())
+            .label("evicted", &report.evicted_records.to_string())
+            .label("reclaimed_bytes", &report.reclaimed_bytes.to_string());
+        span.finish(if report.dry_run { "dry-run" } else { "swept" });
+        report
+    }
+
+    fn gc_inner(&self, policy: &GcPolicy) -> GcReport {
         let generation = self.generation() + 1;
         if !policy.dry_run {
             self.set_generation(generation);

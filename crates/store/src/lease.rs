@@ -52,6 +52,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use dri_telemetry::{trace, TraceEvent};
+
 /// Directory under the store root holding all campaigns' lease state.
 pub const LEASES_DIR: &str = "leases";
 
@@ -253,6 +255,7 @@ impl LeaseBroker {
             });
         };
         let reclaimed = previous.state == LeaseState::Claimed;
+        let previous_owner = previous.owner.clone();
         let lease = Lease {
             unit: previous.unit.clone(),
             generation: previous.generation + 1,
@@ -261,6 +264,21 @@ impl LeaseBroker {
             deadline_ms: now_ms.saturating_add(ttl_ms),
         };
         self.write_lease(campaign, &lease)?;
+        if trace::enabled() {
+            // The reclaim handoff is the one edge a chaos post-mortem
+            // must see: which unit moved from whom to whom, and under
+            // which generation.
+            let mut event = TraceEvent::new("lease", "claim")
+                .outcome(if reclaimed { "reclaimed" } else { "granted" })
+                .label("campaign", campaign)
+                .label("unit", &lease.unit)
+                .label("worker", worker)
+                .label("gen", &lease.generation.to_string());
+            if reclaimed {
+                event = event.label("previous_owner", &previous_owner);
+            }
+            event.emit();
+        }
         Ok(ClaimOutcome::Granted(LeaseGrant {
             unit: lease.unit,
             generation: lease.generation,
@@ -336,6 +354,15 @@ impl LeaseBroker {
             ..lease
         };
         self.write_lease(campaign, &completed)?;
+        if trace::enabled() {
+            TraceEvent::new("lease", "complete")
+                .outcome("completed")
+                .label("campaign", campaign)
+                .label("unit", unit)
+                .label("worker", worker)
+                .label("gen", &generation.to_string())
+                .emit();
+        }
         Ok(Ok(()))
     }
 

@@ -7,6 +7,8 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use dri_telemetry::{Histogram, Registry};
+
 use crate::hash::fnv64;
 
 /// First bytes of every record file.
@@ -126,6 +128,12 @@ pub struct ResultStore {
     /// which only makes this handle's stamps look slightly older —
     /// stamps are advisory eviction hints, never correctness inputs.
     generation: AtomicU64,
+    /// Disk-tier load latency (read + validate + decode), process-wide:
+    /// every handle shares the global-registry histogram, so a server's
+    /// `/metrics` scrape sees its store's disk behaviour.
+    load_latency: Histogram,
+    /// Disk-tier save latency (frame + temp write + fsync + rename).
+    save_latency: Histogram,
 }
 
 impl ResultStore {
@@ -134,10 +142,19 @@ impl ResultStore {
         let root = root.into();
         fs::create_dir_all(&root)?;
         let generation = read_generation(&root);
+        let registry = Registry::global();
         Ok(ResultStore {
             root,
             stats: AtomicStats::default(),
             generation: AtomicU64::new(generation),
+            load_latency: registry.histogram(
+                "dri_store_load_ns",
+                "disk-tier record load latency (read + validate + decode)",
+            ),
+            save_latency: registry.histogram(
+                "dri_store_save_ns",
+                "disk-tier record save latency (frame + write + fsync + rename)",
+            ),
         })
     }
 
@@ -245,6 +262,7 @@ impl ResultStore {
         key: u128,
         decode: impl FnOnce(&[u8]) -> Option<T>,
     ) -> Option<T> {
+        let started = std::time::Instant::now();
         let path = self.entry_path(kind, schema, key);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
@@ -263,6 +281,7 @@ impl ResultStore {
                     .bytes_read
                     .fetch_add(payload_len, Ordering::Relaxed);
                 self.stamp(&path);
+                self.load_latency.record_duration(started.elapsed());
                 Some(value)
             }
             None => {
@@ -278,6 +297,7 @@ impl ResultStore {
     /// `dri-serve` result service: the full record travels over the wire
     /// so the remote reader can re-run [`validate_record`] end-to-end.
     pub fn load_record_bytes(&self, kind: &str, schema: u32, key: u128) -> Option<Vec<u8>> {
+        let started = std::time::Instant::now();
         let path = self.entry_path(kind, schema, key);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
@@ -293,6 +313,7 @@ impl ResultStore {
                     .bytes_read
                     .fetch_add(payload.len() as u64, Ordering::Relaxed);
                 self.stamp(&path);
+                self.load_latency.record_duration(started.elapsed());
                 Some(bytes)
             }
             None => {
@@ -307,10 +328,12 @@ impl ResultStore {
     /// the store is best-effort and a failed save only costs a future
     /// recompute.
     pub fn save(&self, kind: &str, schema: u32, key: u128, payload: &[u8]) {
+        let started = std::time::Instant::now();
         match self.try_save(kind, schema, key, payload) {
             Ok(total) => {
                 self.stats.writes.fetch_add(1, Ordering::Relaxed);
                 self.stats.bytes_written.fetch_add(total, Ordering::Relaxed);
+                self.save_latency.record_duration(started.elapsed());
             }
             Err(_) => {
                 self.stats.write_errors.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,148 @@
+//! `trace-check` — validate a `DRI_TRACE` JSONL file.
+//!
+//! Every line must parse as a [`dri_telemetry::TraceEvent`] (the strict
+//! schema in `dri_telemetry::trace`); `--require` asserts that at least
+//! one event matches a comma-separated list of `field=value` matchers,
+//! where `field` is `kind`, `name`, or `outcome`, and anything else
+//! matches a label. CI's smoke jobs use this to prove a worker's trace
+//! covers the tiers it exercised and that a chaos run recorded the
+//! injected faults and the reclaim handoff.
+
+use std::process::ExitCode;
+
+use dri_telemetry::TraceEvent;
+
+const USAGE: &str = "\
+usage: trace-check FILE [--require MATCHERS]...
+
+MATCHERS is a comma-separated list of field=value pairs that must all
+hold on a single event; field is kind, name, or outcome, anything else
+matches a label. Examples:
+  trace-check trace.jsonl --require kind=tier,outcome=remote
+  trace-check trace.jsonl --require kind=fault --require 'kind=lease,outcome=reclaimed'
+
+Exits 0 when every line parses and every --require matched >= 1 event;
+prints per-kind event counts to stderr.";
+
+struct Require {
+    raw: String,
+    matchers: Vec<(String, String)>,
+}
+
+fn parse_require(raw: &str) -> Result<Require, String> {
+    let mut matchers = Vec::new();
+    for pair in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (field, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("matcher {pair:?}: want field=value"))?;
+        matchers.push((field.trim().to_owned(), value.trim().to_owned()));
+    }
+    if matchers.is_empty() {
+        return Err(format!("--require {raw:?}: no matchers"));
+    }
+    Ok(Require {
+        raw: raw.to_owned(),
+        matchers,
+    })
+}
+
+fn matches(event: &TraceEvent, matchers: &[(String, String)]) -> bool {
+    matchers.iter().all(|(field, want)| match field.as_str() {
+        "kind" => event.kind == *want,
+        "name" => event.name == *want,
+        "outcome" => event.outcome.as_deref() == Some(want),
+        label => event.labels.iter().any(|(k, v)| k == label && v == want),
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut requires = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require" => {
+                let Some(raw) = it.next() else {
+                    eprintln!("error: --require needs matchers\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                match parse_require(raw) {
+                    Ok(req) => requires.push(req),
+                    Err(msg) => {
+                        eprintln!("error: {msg}\n\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("error: no trace file given\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let body = match std::fs::read_to_string(&path) {
+        Ok(body) => body,
+        Err(err) => {
+            eprintln!("error: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut total = 0u64;
+    let mut by_kind: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut matched = vec![0u64; requires.len()];
+    for (lineno, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = match TraceEvent::parse(line) {
+            Ok(event) => event,
+            Err(msg) => {
+                eprintln!("error: {path}:{}: {msg}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        total += 1;
+        *by_kind.entry(event.kind.clone()).or_default() += 1;
+        for (req, hit) in requires.iter().zip(matched.iter_mut()) {
+            if matches(&event, &req.matchers) {
+                *hit += 1;
+            }
+        }
+    }
+
+    eprintln!("trace-check: {path}: {total} events");
+    for (kind, n) in &by_kind {
+        eprintln!("  {kind}: {n}");
+    }
+    let mut failed = false;
+    for (req, hit) in requires.iter().zip(matched.iter()) {
+        if *hit == 0 {
+            eprintln!("error: no event matches --require {}", req.raw);
+            failed = true;
+        } else {
+            eprintln!("  require {} -> {hit} events", req.raw);
+        }
+    }
+    if total == 0 {
+        eprintln!("error: {path} holds no events");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

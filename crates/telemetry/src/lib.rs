@@ -1,0 +1,65 @@
+//! # dri-telemetry — the observability layer
+//!
+//! The paper's DRI cache is a feedback loop driven by counters (a
+//! miss-count monitor decides every resize); this crate gives the
+//! *reproduction's runtime* the same kind of self-measurement, with no
+//! dependencies beyond `std` (the build environment is offline):
+//!
+//! * [`metrics`] — a registry of atomic [`Counter`]s, [`Gauge`]s, and
+//!   log-linear [`Histogram`]s (p50/p90/p99/max export), rendered as
+//!   Prometheus text by `dri-serve`'s `GET /metrics` and read by
+//!   `/stats` and the suite summary — one set of atomics behind all
+//!   three reporters.
+//! * [`trace`] — span-based structured tracing gated by
+//!   `DRI_TRACE=<path.jsonl>`: monotonic-clocked JSONL events at every
+//!   interesting edge (tier resolutions, prefetch phases, lease
+//!   round-trips, retries, breaker trips, per-request server records,
+//!   fault injections), with ambient worker/campaign/unit labels.
+//!   [`TraceEvent::parse`] is the strict inverse of the emitter; the
+//!   `trace-check` binary validates a trace file and asserts required
+//!   event kinds for CI.
+//!
+//! Instrumentation must never perturb simulation results — emit sites
+//! read clocks and bump atomics, nothing else, and the bit-identity
+//! tests run with `DRI_TRACE` enabled to hold that line.
+//!
+//! ## Timing granularity
+//!
+//! Microsecond-and-up edges (disk, network, simulation) are always
+//! timed. The *memory-tier* lookup path is ~300 ns hot — two clock
+//! reads would be visible — so sub-microsecond timing is opt-in via
+//! [`timing_enabled`]: on when tracing is on, when [`TIMING_ENV`] is
+//! set truthy (the `suite` binary sets it for its per-tier latency
+//! table), or when a session is built with timing forced.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::{Span, TraceEvent, TRACE_ENV};
+
+/// Environment variable opting into sub-microsecond (memory-tier)
+/// timing: `DRI_TIMING=1`. Unset/`0` keeps the ~300 ns warm lookup path
+/// free of clock reads; `suite` sets it so the summary's per-tier
+/// latency table always includes the memory tier.
+pub const TIMING_ENV: &str = "DRI_TIMING";
+
+/// Whether fine-grained (memory-tier) timing is on: tracing active, or
+/// [`TIMING_ENV`] set to anything but `0`/`false`/empty. Resolved once
+/// per process.
+pub fn timing_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        if trace::enabled() {
+            return true;
+        }
+        std::env::var(TIMING_ENV)
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+            })
+            .unwrap_or(false)
+    })
+}

@@ -1,0 +1,444 @@
+//! The metrics registry: atomic counters, gauges, and log-linear
+//! latency histograms with a Prometheus text exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones around atomics — register once, clone freely, update from any
+//! thread without locking. A [`Registry`] is the named collection a
+//! scrape renders; the same handle can also live unregistered (a struct
+//! field) when a component wants per-instance counts, which is how the
+//! client keeps its per-store stats test-isolated while sharing one
+//! metric vocabulary with the server.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (records on disk, bytes,
+/// generation, …). Set at scrape or sample time.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per power of two; 16 bounds the quantile error at one
+/// part in sixteen (~6%) while keeping the whole table under 1000 slots.
+const SUB_BUCKETS: u64 = 16;
+/// Values below `SUB_BUCKETS` get one exact bucket each.
+const LINEAR_CUTOFF: u64 = SUB_BUCKETS;
+/// 16 exact linear buckets + 16 sub-buckets for each octave 4..=63.
+const NBUCKETS: usize = (LINEAR_CUTOFF + (64 - 4) * SUB_BUCKETS) as usize;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Exact smallest recorded value (`u64::MAX` until first record).
+    min: AtomicU64,
+    /// Exact largest recorded value.
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+/// A log-linear histogram of `u64` samples (by convention nanoseconds).
+///
+/// Values below 16 land in exact buckets; above that, each power of two
+/// is split into 16 sub-buckets, so a reported quantile
+/// overstates the true sample by at most one sub-bucket width (≤ 1/16
+/// relative). The exact `min` and `max` are tracked separately, which
+/// pins `quantile(0.0)` and `quantile(1.0)` to real recorded samples —
+/// every sample falls in `quantile(0.0)..=quantile(1.0)`.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    pub fn new() -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }))
+    }
+
+    /// Bucket index for a value.
+    fn index(v: u64) -> usize {
+        if v < LINEAR_CUTOFF {
+            return v as usize;
+        }
+        let octave = 63 - v.leading_zeros() as u64; // floor(log2 v), >= 4
+        let sub = (v >> (octave - 4)) - SUB_BUCKETS; // 0..16 within the octave
+        (LINEAR_CUTOFF + (octave - 4) * SUB_BUCKETS + sub) as usize
+    }
+
+    /// Inclusive `(lo, hi)` value range of bucket `i`.
+    fn bounds(i: usize) -> (u64, u64) {
+        let i = i as u64;
+        if i < LINEAR_CUTOFF {
+            return (i, i);
+        }
+        let octave = 4 + (i - LINEAR_CUTOFF) / SUB_BUCKETS;
+        let sub = (i - LINEAR_CUTOFF) % SUB_BUCKETS;
+        let width = 1u64 << (octave - 4);
+        let lo = (SUB_BUCKETS + sub) << (octave - 4);
+        (lo, lo + (width - 1))
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let inner = &*self.0;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+        inner.buckets[Histogram::index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds (saturating).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.0.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// The `q`-quantile (`q` in `0.0..=1.0`) of the recorded samples.
+    ///
+    /// `quantile(0.0)` is the exact minimum and `quantile(1.0)` the
+    /// exact maximum; interior quantiles return the upper bound of the
+    /// bucket holding the ranked sample, clamped into `min..=max`.
+    /// Returns 0 when nothing has been recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let (min, max) = (self.min(), self.max());
+        if q <= 0.0 {
+            return min;
+        }
+        if q >= 1.0 {
+            return max;
+        }
+        // 1-based rank of the sample this quantile names.
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let (_, hi) = Histogram::bounds(i);
+                return hi.clamp(min, max);
+            }
+        }
+        max
+    }
+
+    /// `(p50, p90, p99, max)` in one call — the suite's summary row.
+    pub fn percentiles(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.max(),
+        )
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter { help: String, handle: Counter },
+    Gauge { help: String, handle: Gauge },
+    Histogram { help: String, handle: Histogram },
+}
+
+/// A named collection of metrics that one scrape renders.
+///
+/// `counter`/`gauge`/`histogram` get-or-register: asking twice for the
+/// same name returns a handle to the same atomic, so every component
+/// naming a metric shares it. [`Registry::global`] is the process-wide
+/// instance; servers hold their own so that `/stats` and `/metrics`
+/// read the very same atomics while parallel test servers stay
+/// isolated.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Gets or registers a counter. Panics if `name` is already
+    /// registered as a different metric type — that is a programming
+    /// error, not a runtime condition.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter {
+                help: help.to_owned(),
+                handle: Counter::new(),
+            }) {
+            Metric::Counter { handle, .. } => handle.clone(),
+            _ => panic!("metric {name} already registered with another type"),
+        }
+    }
+
+    /// Gets or registers a gauge (same rules as [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge {
+                help: help.to_owned(),
+                handle: Gauge::new(),
+            }) {
+            Metric::Gauge { handle, .. } => handle.clone(),
+            _ => panic!("metric {name} already registered with another type"),
+        }
+    }
+
+    /// Gets or registers a histogram (same rules as
+    /// [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram {
+                help: help.to_owned(),
+                handle: Histogram::new(),
+            }) {
+            Metric::Histogram { handle, .. } => handle.clone(),
+            _ => panic!("metric {name} already registered with another type"),
+        }
+    }
+
+    /// Value of a registered counter or gauge, for tests and agreement
+    /// checks.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        match self.metrics.lock().unwrap().get(name)? {
+            Metric::Counter { handle, .. } => Some(handle.get()),
+            Metric::Gauge { handle, .. } => Some(handle.get()),
+            Metric::Histogram { handle, .. } => Some(handle.count()),
+        }
+    }
+
+    /// Renders the Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Counters and gauges are one sample each; histograms are rendered
+    /// as a `summary` (`{quantile="0.5"|"0.9"|"0.99"}` plus `_sum` and
+    /// `_count`) with a companion `<name>_max` gauge, since the text
+    /// format's summary type has no max of its own.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter { help, handle } => {
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", handle.get());
+                }
+                Metric::Gauge { help, handle } => {
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", handle.get());
+                }
+                Metric::Histogram { help, handle } => {
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    for (q, label) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
+                        let _ =
+                            writeln!(out, "{name}{{quantile=\"{label}\"}} {}", handle.quantile(q));
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", handle.sum());
+                    let _ = writeln!(out, "{name}_count {}", handle.count());
+                    let _ = writeln!(out, "# HELP {name}_max {help} (exact maximum)");
+                    let _ = writeln!(out, "# TYPE {name}_max gauge");
+                    let _ = writeln!(out, "{name}_max {}", handle.max());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("reqs_total", "requests");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Second ask returns the same underlying atomic.
+        assert_eq!(reg.counter("reqs_total", "requests").get(), 5);
+        let g = reg.gauge("records", "records on disk");
+        g.set(42);
+        assert_eq!(reg.value("records"), Some(42));
+        assert_eq!(reg.value("reqs_total"), Some(5));
+        assert_eq!(reg.value("missing"), None);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in (0u64..4096).chain([u64::MAX, u64::MAX - 1, 1 << 40, (1 << 40) + 12345]) {
+            let i = Histogram::index(v);
+            let (lo, hi) = Histogram::bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} bucket {i} [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_line() {
+        // Consecutive buckets meet exactly: hi(i) + 1 == lo(i+1).
+        for i in 0..NBUCKETS - 1 {
+            let (_, hi) = Histogram::bounds(i);
+            let (lo, _) = Histogram::bounds(i + 1);
+            assert_eq!(hi + 1, lo, "gap between buckets {i} and {}", i + 1);
+        }
+        let (_, top) = Histogram::bounds(NBUCKETS - 1);
+        assert_eq!(top, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_of_known_samples() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 100);
+        // p50 names rank 50 (value 50); its bucket [48,51] reports 51.
+        let p50 = h.quantile(0.5);
+        assert!((50..=53).contains(&p50), "p50={p50}");
+        // Quantiles never decrease as q grows.
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q})={v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = Registry::new();
+        reg.counter("dri_x_total", "things").add(7);
+        reg.gauge("dri_g", "a gauge").set(3);
+        let h = reg.histogram("dri_lat_ns", "latency");
+        h.record(100);
+        h.record(200);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE dri_x_total counter\ndri_x_total 7\n"));
+        assert!(text.contains("# TYPE dri_g gauge\ndri_g 3\n"));
+        assert!(text.contains("# TYPE dri_lat_ns summary\n"));
+        assert!(text.contains("dri_lat_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("dri_lat_ns_sum 300\n"));
+        assert!(text.contains("dri_lat_ns_count 2\n"));
+        assert!(text.contains("# TYPE dri_lat_ns_max gauge\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<u64>().is_ok(), "bad sample line: {line}");
+            assert!(parts.next().is_some());
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Span-based structured tracing, gated by `DRI_TRACE=<path.jsonl>`.
+//!
+//! When [`TRACE_ENV`] names a file, every interesting edge in the
+//! process appends one JSON object per line — monotonic-clocked,
+//! causally ordered within the process, and cheap enough to leave
+//! instrumented everywhere (disabled, an emit site is one atomic load).
+//!
+//! ## Event schema
+//!
+//! ```json
+//! {"ts_us":1234,"kind":"tier","name":"dri","dur_us":57,"outcome":"remote",
+//!  "labels":{"benchmark":"compress","worker":"w1","unit":"3"}}
+//! ```
+//!
+//! | field | type | meaning |
+//! |---|---|---|
+//! | `ts_us` | u64, required | microseconds since process start (monotonic clock) |
+//! | `kind` | string, required | event family: `tier`, `prefetch`, `job`, `unit`, `lease`, `retry`, `breaker`, `serve`, `fault`, `gc`, … |
+//! | `name` | string, required | what within the family (a tier name, an endpoint, a unit id) |
+//! | `dur_us` | u64, optional | span duration in microseconds (absent on point events) |
+//! | `outcome` | string, optional | how it ended (`memory`, `granted`, `reclaimed`, `503`, …) |
+//! | `labels` | object of strings, optional | dimensions: `worker`, `campaign`, `unit`, `benchmark`, … |
+//!
+//! Writes are single `write(2)` calls on an `O_APPEND` handle, so lines
+//! from concurrent threads (or even co-tracing processes sharing one
+//! path) never interleave mid-line. [`TraceEvent::parse`] is the strict
+//! inverse of the emitter — CI's `trace-check` binary and the round-trip
+//! tests hold every emitted line to this schema.
+//!
+//! Ambient **context labels** ([`set_context`]/[`clear_context`]) are
+//! merged into every event: a steal worker sets `worker` and `campaign`
+//! once and `unit` per claimed lease, and every tier/lease/push event
+//! emitted underneath carries them without threading strings through
+//! call sites. Explicit event labels win over context on key collision.
+//!
+//! Tracing never perturbs simulation results: emit sites only read
+//! clocks and append bytes — the bit-identity tests run with `DRI_TRACE`
+//! on to prove it.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Environment variable naming the JSONL trace file (absent/empty =
+/// tracing off, the default).
+pub const TRACE_ENV: &str = "DRI_TRACE";
+
+/// The process epoch every `ts_us` counts from.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since process start on the monotonic clock — the one
+/// clock every span, histogram sample, and suite wall-time shares.
+pub fn now_us() -> u64 {
+    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn sink() -> Option<&'static Mutex<File>> {
+    static SINK: OnceLock<Option<Mutex<File>>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let path = std::env::var(TRACE_ENV).ok()?;
+        let path = path.trim();
+        if path.is_empty() {
+            return None;
+        }
+        match OpenOptions::new().create(true).append(true).open(path) {
+            Ok(file) => Some(Mutex::new(file)),
+            Err(err) => {
+                // A mis-set trace path must not kill the run — warn once
+                // (this init runs once) and trace nothing.
+                eprintln!("warning: {TRACE_ENV}={path}: {err}; tracing disabled");
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+/// Whether tracing is active (the first call resolves [`TRACE_ENV`] and
+/// opens the file; later calls are one atomic load).
+pub fn enabled() -> bool {
+    sink().is_some()
+}
+
+fn context() -> &'static Mutex<BTreeMap<String, String>> {
+    static CONTEXT: OnceLock<Mutex<BTreeMap<String, String>>> = OnceLock::new();
+    CONTEXT.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Sets an ambient label merged into every subsequent event (e.g.
+/// `worker`, `campaign`, `unit`). Explicit event labels take precedence.
+pub fn set_context(key: &str, value: &str) {
+    if enabled() {
+        context()
+            .lock()
+            .unwrap()
+            .insert(key.to_owned(), value.to_owned());
+    }
+}
+
+/// Removes an ambient label (e.g. `unit`, once its lease completes).
+pub fn clear_context(key: &str) {
+    if enabled() {
+        context().lock().unwrap().remove(key);
+    }
+}
+
+/// One trace line, in memory. See the module docs for the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since process start.
+    pub ts_us: u64,
+    /// Event family (`tier`, `lease`, `serve`, …).
+    pub kind: String,
+    /// Name within the family.
+    pub name: String,
+    /// Span duration in microseconds; `None` on point events.
+    pub dur_us: Option<u64>,
+    /// How it ended; `None` when there is nothing to say.
+    pub outcome: Option<String>,
+    /// Extra dimensions, in emission order.
+    pub labels: Vec<(String, String)>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl TraceEvent {
+    /// A point event at now.
+    pub fn new(kind: &str, name: &str) -> TraceEvent {
+        TraceEvent {
+            ts_us: now_us(),
+            kind: kind.to_owned(),
+            name: name.to_owned(),
+            dur_us: None,
+            outcome: None,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Builder: sets the outcome.
+    pub fn outcome(mut self, outcome: &str) -> TraceEvent {
+        self.outcome = Some(outcome.to_owned());
+        self
+    }
+
+    /// Builder: adds a label.
+    pub fn label(mut self, key: &str, value: &str) -> TraceEvent {
+        self.labels.push((key.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// The event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"ts_us\":");
+        out.push_str(&self.ts_us.to_string());
+        out.push_str(",\"kind\":\"");
+        escape_into(&mut out, &self.kind);
+        out.push_str("\",\"name\":\"");
+        escape_into(&mut out, &self.name);
+        out.push('"');
+        if let Some(dur) = self.dur_us {
+            out.push_str(",\"dur_us\":");
+            out.push_str(&dur.to_string());
+        }
+        if let Some(outcome) = &self.outcome {
+            out.push_str(",\"outcome\":\"");
+            escape_into(&mut out, outcome);
+            out.push('"');
+        }
+        if !self.labels.is_empty() {
+            out.push_str(",\"labels\":{");
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_into(&mut out, k);
+                out.push_str("\":\"");
+                escape_into(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Strict inverse of [`TraceEvent::to_json`]: parses one trace line,
+    /// rejecting unknown fields, wrong types, and trailing garbage.
+    pub fn parse(line: &str) -> Result<TraceEvent, String> {
+        let mut p = Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        let event = p.event()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(event)
+    }
+
+    /// Emits the event to the trace file (with ambient context labels
+    /// merged in); a no-op when tracing is off.
+    pub fn emit(mut self) {
+        let Some(sink) = sink() else { return };
+        {
+            let ctx = context().lock().unwrap();
+            for (k, v) in ctx.iter() {
+                if !self.labels.iter().any(|(ek, _)| ek == k) {
+                    self.labels.push((k.clone(), v.clone()));
+                }
+            }
+        }
+        let mut line = self.to_json();
+        line.push('\n');
+        // One write(2) on an O_APPEND fd: concurrent emitters never
+        // interleave mid-line. Ignore errors — tracing must never fail
+        // the traced work.
+        let _ = sink.lock().unwrap().write_all(line.as_bytes());
+    }
+}
+
+/// A timed interval: [`Span::begin`] stamps the start, [`Span::finish`]
+/// emits a `dur_us` event and returns the elapsed time — callers use
+/// the same measurement for histograms and summaries, so wall-times and
+/// trace lines come from one clock.
+#[derive(Debug)]
+pub struct Span {
+    start: Instant,
+    ts_us: u64,
+    kind: String,
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Starts a span now.
+    pub fn begin(kind: &str, name: &str) -> Span {
+        Span {
+            start: Instant::now(),
+            ts_us: now_us(),
+            kind: kind.to_owned(),
+            name: name.to_owned(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Builder: adds a label.
+    pub fn label(mut self, key: &str, value: &str) -> Span {
+        self.labels.push((key.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Ends the span: emits the event (when tracing) and returns the
+    /// elapsed duration (always).
+    pub fn finish(self, outcome: &str) -> Duration {
+        let elapsed = self.start.elapsed();
+        if enabled() {
+            TraceEvent {
+                ts_us: self.ts_us,
+                kind: self.kind,
+                name: self.name,
+                dur_us: Some(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)),
+                outcome: Some(outcome.to_owned()),
+                labels: self.labels,
+            }
+            .emit();
+        }
+        elapsed
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", want as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code).ok_or("surrogate \\u escape unsupported")?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| "number out of range".to_owned())
+    }
+
+    fn labels(&mut self) -> Result<Vec<(String, String)>, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = self.string()?;
+            out.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                other => return Err(format!("expected ',' or '}}' in labels, got {other:?}")),
+            }
+        }
+    }
+
+    fn event(&mut self) -> Result<TraceEvent, String> {
+        self.eat(b'{')?;
+        let mut ts_us = None;
+        let mut kind = None;
+        let mut name = None;
+        let mut dur_us = None;
+        let mut outcome = None;
+        let mut labels = Vec::new();
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            match key.as_str() {
+                "ts_us" => ts_us = Some(self.number()?),
+                "dur_us" => dur_us = Some(self.number()?),
+                "kind" => kind = Some(self.string()?),
+                "name" => name = Some(self.string()?),
+                "outcome" => outcome = Some(self.string()?),
+                "labels" => labels = self.labels()?,
+                other => return Err(format!("unknown field {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+        Ok(TraceEvent {
+            ts_us: ts_us.ok_or("missing ts_us")?,
+            kind: kind.ok_or("missing kind")?,
+            name: name.ok_or("missing name")?,
+            dur_us,
+            outcome,
+            labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_full_event() {
+        let ev = TraceEvent {
+            ts_us: 123_456,
+            kind: "tier".into(),
+            name: "dri".into(),
+            dur_us: Some(57),
+            outcome: Some("remote".into()),
+            labels: vec![
+                ("benchmark".into(), "compress".into()),
+                ("worker".into(), "w-1".into()),
+            ],
+        };
+        let line = ev.to_json();
+        assert_eq!(TraceEvent::parse(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn round_trips_hostile_strings() {
+        for nasty in [
+            "quo\"te",
+            "back\\slash",
+            "new\nline",
+            "tab\there",
+            "naïve…🦀",
+            "\u{1}",
+        ] {
+            let ev = TraceEvent::new("kind", nasty)
+                .outcome(nasty)
+                .label(nasty, nasty);
+            let parsed = TraceEvent::parse(&ev.to_json()).unwrap();
+            assert_eq!(parsed.name, nasty);
+            assert_eq!(parsed.outcome.as_deref(), Some(nasty));
+            assert_eq!(parsed.labels, vec![(nasty.to_owned(), nasty.to_owned())]);
+        }
+    }
+
+    #[test]
+    fn minimal_event_omits_optional_fields() {
+        let ev = TraceEvent {
+            ts_us: 5,
+            kind: "fault".into(),
+            name: "drop".into(),
+            dur_us: None,
+            outcome: None,
+            labels: Vec::new(),
+        };
+        let line = ev.to_json();
+        assert!(!line.contains("dur_us"));
+        assert!(!line.contains("outcome"));
+        assert!(!line.contains("labels"));
+        assert_eq!(TraceEvent::parse(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{}",
+            "not json",
+            r#"{"ts_us":1,"kind":"k"}"#, // missing name
+            r#"{"ts_us":1,"kind":"k","name":"n"} trailing"#, // trailing garbage
+            r#"{"ts_us":1,"kind":"k","name":"n","bogus":"x"}"#, // unknown field
+            r#"{"ts_us":"1","kind":"k","name":"n"}"#, // wrong type
+            r#"{"ts_us":1,"kind":"k","name":"n","labels":{"a":1}}"#, // non-string label
+        ] {
+            assert!(TraceEvent::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn span_returns_elapsed_even_when_disabled() {
+        // DRI_TRACE is not set under cargo test.
+        let span = Span::begin("job", "x").label("k", "v");
+        std::thread::sleep(Duration::from_millis(2));
+        let dur = span.finish("ok");
+        assert!(dur >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn now_us_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the histogram quantile math and the trace-event
+//! JSONL codec — the two pieces whose correctness everything downstream
+//! (suite summaries, CI trace assertions) silently assumes.
+
+use dri_telemetry::{Histogram, TraceEvent};
+use proptest::prelude::*;
+
+/// Arbitrary (possibly hostile) string from raw code points: plain
+/// ASCII, quotes, backslashes, control bytes, and non-ASCII scalars.
+fn string_from(codes: &[u32]) -> String {
+    codes
+        .iter()
+        .filter_map(|&c| char::from_u32(c % 0x11_0000))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn samples_always_fall_in_p0_to_pmax(
+        samples in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let p0 = h.quantile(0.0);
+        let pmax = h.quantile(1.0);
+        for &s in &samples {
+            prop_assert!(p0 <= s && s <= pmax, "sample {s} outside [{p0}, {pmax}]");
+        }
+        // The ends are exact, not bucket bounds.
+        prop_assert_eq!(p0, *samples.iter().min().unwrap());
+        prop_assert_eq!(pmax, *samples.iter().max().unwrap());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..150),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+        prop_assert!(h.quantile(hi) <= h.max());
+        prop_assert!(h.quantile(lo) >= h.min());
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_log_linearly(
+        samples in prop::collection::vec(1u64..u64::MAX / 2, 1..100),
+        q in 0.0f64..1.0,
+    ) {
+        // An interior quantile may overstate the ranked sample by at
+        // most one sub-bucket (1/16 relative), and never understates
+        // the true rank-holder's bucket floor.
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let approx = h.quantile(q);
+        prop_assert!(approx >= exact, "quantile({q})={approx} < exact {exact}");
+        // Upper bucket bound of v is < v + v/16 + 1 (one sub-bucket up).
+        prop_assert!(
+            approx <= exact + exact / 16 + 1,
+            "quantile({q})={approx} overshoots exact {exact} by more than a sub-bucket"
+        );
+    }
+
+    #[test]
+    fn trace_events_round_trip(
+        ts in any::<u64>(),
+        dur in any::<u64>(),
+        has_dur in any::<bool>(),
+        has_outcome in any::<bool>(),
+        kind_codes in prop::collection::vec(any::<u32>(), 0..12),
+        name_codes in prop::collection::vec(any::<u32>(), 0..24),
+        label_codes in prop::collection::vec(any::<u32>(), 0..16),
+        nlabels in 0usize..4,
+    ) {
+        let event = TraceEvent {
+            ts_us: ts,
+            kind: string_from(&kind_codes),
+            name: string_from(&name_codes),
+            dur_us: has_dur.then_some(dur),
+            outcome: has_outcome.then(|| string_from(&label_codes)),
+            labels: (0..nlabels)
+                .map(|i| (format!("k{i}-{}", string_from(&label_codes)), string_from(&name_codes)))
+                .collect(),
+        };
+        let line = event.to_json();
+        prop_assert!(!line.contains('\n'), "a trace line must be one line");
+        let parsed = TraceEvent::parse(&line);
+        prop_assert!(parsed.is_ok(), "emitted line failed to parse: {line}");
+        prop_assert_eq!(parsed.unwrap(), event);
+    }
+}
