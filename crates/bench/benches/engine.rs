@@ -10,7 +10,7 @@
 //!   key build plus a hash lookup, showing what repeated sweep points
 //!   cost once the `SimSession` layer absorbs them.
 //! * `telemetry/*` — the same warm hit on a timed session
-//!   (`SimSession::with_timing(true)`): the span + per-tier histogram
+//!   (`SimSession::builder().timed(true).build()`): the span + per-tier histogram
 //!   overhead a `DRI_TIMING`/`DRI_TRACE` run adds to the hot path.
 //! * `store/*` — the disk tier: a fresh session per iteration (a cold
 //!   memory cache, as in a new process) loading the point from a warmed
@@ -61,10 +61,10 @@ fn bench_engine(c: &mut Criterion) {
     // The same warm hit on a *timed* session (what `suite` and any
     // DRI_TRACE/DRI_TIMING run pay): two clock reads + a histogram
     // record per lookup, the whole telemetry overhead on the hot path.
-    let timed = SimSession::with_timing(true);
-    timed.dri(&cfg);
+    let timed = SimSession::builder().timed(true).build();
+    timed.policy_run(&cfg);
     group.bench_function("telemetry/run_dri_warm_timed/compress_quick", |b| {
-        b.iter(|| black_box(timed.dri(black_box(&cfg))))
+        b.iter(|| black_box(timed.policy_run(black_box(&cfg))))
     });
     // Both sides plus the §5.2 energy comparison — the unit of work every
     // figure is assembled from (warm: both runs come from the session).
@@ -77,12 +77,17 @@ fn bench_engine(c: &mut Criterion) {
     // loading the DRI point from disk each iteration.
     let root = std::env::temp_dir().join(format!("dri-engine-bench-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
-    SimSession::with_store(ResultStore::open(&root).expect("bench store")).dri(&cfg);
+    SimSession::builder()
+        .store(ResultStore::open(&root).expect("bench store"))
+        .build()
+        .policy_run(&cfg);
     group.throughput(Throughput::Elements(budget));
     group.bench_function("store/run_dri_disk_hit/compress_quick", |b| {
         b.iter(|| {
-            let session = SimSession::with_store(ResultStore::open(&root).expect("bench store"));
-            black_box(session.dri(black_box(&cfg)))
+            let session = SimSession::builder()
+                .store(ResultStore::open(&root).expect("bench store"))
+                .build();
+            black_box(session.policy_run(black_box(&cfg)))
         })
     });
 
@@ -98,8 +103,10 @@ fn bench_engine(c: &mut Criterion) {
     let addr = server.addr().to_string();
     group.bench_function("remote/run_dri_remote_hit/compress_quick", |b| {
         b.iter(|| {
-            let session = SimSession::with_remote(RemoteStore::new(addr.clone()));
-            black_box(session.dri(black_box(&cfg)))
+            let session = SimSession::builder()
+                .remote(RemoteStore::new(addr.clone()))
+                .build();
+            black_box(session.policy_run(black_box(&cfg)))
         })
     });
 
@@ -108,30 +115,36 @@ fn bench_engine(c: &mut Criterion) {
     // per-record round-trips vs one batch-prefetch round-trip.
     let grid = dri_experiments::grid_configs(&cfg, &dri_experiments::SearchSpace::quick());
     {
-        let warmer = SimSession::with_store(ResultStore::open(&root).expect("bench store"));
+        let warmer = SimSession::builder()
+            .store(ResultStore::open(&root).expect("bench store"))
+            .build();
         for point in &grid {
             warmer.conventional(point);
-            warmer.dri(point);
+            warmer.policy_run(point);
         }
     }
     // 7 unique records per replay: 6 DRI points + the shared baseline.
     group.throughput(Throughput::Elements(grid.len() as u64 + 1));
     group.bench_function("remote/grid_per_record_hits/compress_quick", |b| {
         b.iter(|| {
-            let session = SimSession::with_remote(RemoteStore::new(addr.clone()));
+            let session = SimSession::builder()
+                .remote(RemoteStore::new(addr.clone()))
+                .build();
             for point in &grid {
                 black_box(session.conventional(black_box(point)));
-                black_box(session.dri(black_box(point)));
+                black_box(session.policy_run(black_box(point)));
             }
         })
     });
     group.bench_function("remote/grid_prefetch_batch/compress_quick", |b| {
         b.iter(|| {
-            let session = SimSession::with_remote(RemoteStore::new(addr.clone()));
+            let session = SimSession::builder()
+                .remote(RemoteStore::new(addr.clone()))
+                .build();
             black_box(session.prefetch(&grid));
             for point in &grid {
                 black_box(session.conventional(black_box(point)));
-                black_box(session.dri(black_box(point)));
+                black_box(session.policy_run(black_box(point)));
             }
         })
     });

@@ -11,6 +11,8 @@
 //! * [`hierarchy`] — L1d + unified L2 + memory timing, with split
 //!   accounting of instruction- vs data-originated L2 traffic;
 //! * [`memory`] — the "80 cycles + 4 per 8 bytes" main-memory model;
+//! * [`policy`] — the [`policy::LeakagePolicy`] accounting/identity
+//!   trait every leakage-control cache model implements;
 //! * [`stats`], [`replacement`] — shared counters and policies.
 //!
 //! ## Example
@@ -31,6 +33,7 @@ pub mod config;
 pub mod hierarchy;
 pub mod icache;
 pub mod memory;
+pub mod policy;
 pub mod replacement;
 pub mod stats;
 
@@ -39,5 +42,6 @@ pub use config::CacheConfig;
 pub use hierarchy::{Hierarchy, HierarchyConfig};
 pub use icache::{ConventionalICache, InstCache};
 pub use memory::MemoryTiming;
+pub use policy::LeakagePolicy;
 pub use replacement::ReplacementPolicy;
 pub use stats::CacheStats;

@@ -1,0 +1,112 @@
+//! The leakage-policy abstraction that unifies every cache model's
+//! accounting surface.
+//!
+//! The repository grew five cache models (conventional, DRI set-resizing,
+//! cache decay, way-resizing, the resizable d-cache), each with an ad-hoc
+//! `active_size_bytes`/`avg_active_fraction`/`resizes` surface that the
+//! energy model and every figure runner special-cased. [`LeakagePolicy`]
+//! is the shared *accounting and identity* facet of those models:
+//!
+//! * [`icache::InstCache`](crate::icache::InstCache) remains the
+//!   *behavioural* facet — the per-access hook the CPU fetch path drives
+//!   (the resizable d-cache has its own read/write access surface and
+//!   implements only this trait);
+//! * `LeakagePolicy` answers the questions the energy model and the
+//!   result store ask *after* (or independently of) a run: how much of
+//!   the array is powered, what was the time-integrated average, how many
+//!   resize/gating decisions fired, and — crucially — a stable
+//!   [`policy_id`](LeakagePolicy::policy_id) that feeds the FNV-128
+//!   content-addressed store key, so records simulated under different
+//!   policies can never collide.
+//!
+//! A runner that needs both facets bounds on `InstCache + LeakagePolicy`
+//! and works generically over every i-cache model.
+
+use crate::icache::ConventionalICache;
+
+/// The accounting/identity surface shared by every leakage-control cache
+/// model.
+///
+/// Implementations are expected to be *deterministic*: two runs of the
+/// same workload under the same configuration must report bit-identical
+/// values, because these numbers are persisted in the content-addressed
+/// result store and replayed across processes and machines.
+pub trait LeakagePolicy {
+    /// Stable identifier of the policy *kind* (not its parameters):
+    /// `"baseline"`, `"dri"`, `"decay"`, `"way_resize"`, `"way_memo"`,
+    /// `"dri_dcache"`. This string is hashed first into the FNV-128
+    /// store key, so records from different policies occupy disjoint key
+    /// spaces. It must never change once records exist under it.
+    fn policy_id(&self) -> &'static str;
+
+    /// Currently powered capacity in bytes (after the last access or
+    /// sweep the model observed).
+    fn active_size_bytes(&self) -> u64;
+
+    /// Time-integrated average of the powered fraction of the array over
+    /// the run (1.0 for a conventional cache).
+    fn avg_active_fraction(&self) -> f64;
+
+    /// Time-integrated average powered capacity in bytes. Kept as a
+    /// required method (rather than derived from
+    /// [`avg_active_fraction`](Self::avg_active_fraction)) so models can
+    /// delegate to an exact inherent computation and replay bit-identical
+    /// to their pre-trait records.
+    fn avg_size_bytes(&self) -> f64;
+
+    /// Resize or gating decisions taken, at the policy's own granularity
+    /// (set-resizes for DRI, lines decayed for decay, ways dropped/added
+    /// for way-resizing, lines gated for way-memoization). Zero for
+    /// non-adaptive models.
+    fn resizes(&self) -> u64 {
+        0
+    }
+
+    /// Completed sense intervals, for policies driven by an
+    /// instruction-count feedback loop. Zero for cycle-driven or
+    /// non-adaptive models.
+    fn intervals(&self) -> u64 {
+        0
+    }
+
+    /// Extra tag bits the policy requires beyond a conventional cache of
+    /// the same maximum size (the DRI "resizing tag bits" of paper §2.1).
+    fn resizing_tag_bits(&self) -> u32 {
+        0
+    }
+}
+
+impl LeakagePolicy for ConventionalICache {
+    fn policy_id(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn active_size_bytes(&self) -> u64 {
+        self.config().size_bytes
+    }
+
+    fn avg_active_fraction(&self) -> f64 {
+        1.0
+    }
+
+    fn avg_size_bytes(&self) -> f64 {
+        self.config().size_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_cache_is_always_fully_powered() {
+        let ic = ConventionalICache::hpca01();
+        assert_eq!(ic.policy_id(), "baseline");
+        assert_eq!(ic.active_size_bytes(), 64 * 1024);
+        assert_eq!(ic.avg_active_fraction(), 1.0);
+        assert_eq!(ic.avg_size_bytes(), 64.0 * 1024.0);
+        assert_eq!(ic.resizes(), 0);
+        assert_eq!(ic.intervals(), 0);
+        assert_eq!(ic.resizing_tag_bits(), 0);
+    }
+}

@@ -22,6 +22,7 @@
 
 use crate::config::DriConfig;
 use cache_sim::icache::InstCache;
+use cache_sim::policy::LeakagePolicy;
 use cache_sim::stats::CacheStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -364,6 +365,38 @@ impl InstCache for DriICache {
 
     fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+}
+
+impl LeakagePolicy for DriICache {
+    fn policy_id(&self) -> &'static str {
+        "dri"
+    }
+
+    fn active_size_bytes(&self) -> u64 {
+        DriICache::active_size_bytes(self)
+    }
+
+    fn avg_active_fraction(&self) -> f64 {
+        DriICache::avg_active_fraction(self)
+    }
+
+    fn avg_size_bytes(&self) -> f64 {
+        // Delegates to the exact inherent computation so trait-driven
+        // runners replay bit-identical to pre-trait records.
+        DriICache::avg_size_bytes(self)
+    }
+
+    fn resizes(&self) -> u64 {
+        self.resize_events.len() as u64
+    }
+
+    fn intervals(&self) -> u64 {
+        self.intervals_elapsed
+    }
+
+    fn resizing_tag_bits(&self) -> u32 {
+        self.cfg.resizing_tag_bits()
     }
 }
 

@@ -21,6 +21,7 @@
 
 use crate::config::DriConfig;
 use cache_sim::cache::AccessKind;
+use cache_sim::policy::LeakagePolicy;
 use cache_sim::stats::CacheStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -346,6 +347,39 @@ impl ResizableDCache {
     pub fn finish(&mut self, cycle: u64) {
         self.advance_integration(cycle);
         self.finished_at = Some(cycle.max(1));
+    }
+}
+
+// The d-cache has its own read/write access surface (it is not an
+// `InstCache`), but its leakage accounting is the same shape as every
+// other model's — which is exactly why the two facets are separate traits.
+impl LeakagePolicy for ResizableDCache {
+    fn policy_id(&self) -> &'static str {
+        "dri_dcache"
+    }
+
+    fn active_size_bytes(&self) -> u64 {
+        ResizableDCache::active_size_bytes(self)
+    }
+
+    fn avg_active_fraction(&self) -> f64 {
+        ResizableDCache::avg_active_fraction(self)
+    }
+
+    fn avg_size_bytes(&self) -> f64 {
+        ResizableDCache::avg_active_fraction(self) * self.cfg.max_size_bytes as f64
+    }
+
+    fn resizes(&self) -> u64 {
+        ResizableDCache::resizes(self)
+    }
+
+    fn intervals(&self) -> u64 {
+        self.intervals_elapsed
+    }
+
+    fn resizing_tag_bits(&self) -> u32 {
+        self.cfg.resizing_tag_bits()
     }
 }
 

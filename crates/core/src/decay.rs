@@ -18,13 +18,14 @@
 //! which the 2-bit scheme approximates within one global tick).
 
 use cache_sim::icache::InstCache;
+use cache_sim::policy::LeakagePolicy;
 use cache_sim::replacement::ReplacementPolicy;
 use cache_sim::stats::CacheStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Configuration for [`DecayICache`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DecayConfig {
     /// Capacity in bytes.
     pub size_bytes: u64,
@@ -306,6 +307,30 @@ impl InstCache for DecayICache {
 
     fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+}
+
+impl LeakagePolicy for DecayICache {
+    fn policy_id(&self) -> &'static str {
+        "decay"
+    }
+
+    fn active_size_bytes(&self) -> u64 {
+        // Live-line count as of the last sweep mark: decay has no single
+        // "current size" between sweeps, so the mark is the honest answer.
+        self.live_at_mark * self.cfg.block_bytes
+    }
+
+    fn avg_active_fraction(&self) -> f64 {
+        DecayICache::avg_active_fraction(self)
+    }
+
+    fn avg_size_bytes(&self) -> f64 {
+        DecayICache::avg_active_fraction(self) * self.cfg.size_bytes as f64
+    }
+
+    fn resizes(&self) -> u64 {
+        self.decay_stats.lines_decayed
     }
 }
 

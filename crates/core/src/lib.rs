@@ -14,16 +14,24 @@
 //!   [`cache_sim::icache::InstCache`] so it can drop into the `ooo-cpu`
 //!   fetch path wherever a conventional i-cache fits.
 //!
-//! Three extensions let the repository *measure* design arguments the
+//! Four extensions let the repository *measure* design arguments the
 //! paper makes in prose:
 //!
 //! * [`way_resize::WayResizableICache`] — the Albonesi-style selective-ways
 //!   alternative §2 argues against (coarse granularity, DM-incompatible);
 //! * [`decay::DecayICache`] — per-line cache decay, the successor policy
 //!   this line of work led to, for head-to-head comparison;
+//! * [`way_memo::WayMemoICache`] — way-memoization (Ishihara & Fallah)
+//!   adapted into a leakage policy: memo links steer single-way probes
+//!   *and* defer gating of lines predicted to be fetched next;
 //! * [`dcache::ResizableDCache`] — the write-back d-cache variant the
 //!   paper scoped out, with dirty-line writeback on downsizing and strict
 //!   alias scrubbing on refill.
+//!
+//! All of them (and the conventional baseline) implement the
+//! [`cache_sim::policy::LeakagePolicy`] accounting/identity trait;
+//! [`policy::PolicyConfig`] selects one per run and derives comparable
+//! parameters from a shared [`config::DriConfig`].
 //!
 //! ## Example
 //!
@@ -51,10 +59,14 @@ pub mod cache;
 pub mod config;
 pub mod dcache;
 pub mod decay;
+pub mod policy;
+pub mod way_memo;
 pub mod way_resize;
 
 pub use cache::{DriICache, ResizeDirection, ResizeEvent};
 pub use config::{DriConfig, ThrottleConfig};
 pub use dcache::{DAccess, ResizableDCache};
 pub use decay::{DecayConfig, DecayICache, DecayStats};
+pub use policy::PolicyConfig;
+pub use way_memo::{WayMemoConfig, WayMemoICache, WayMemoStats};
 pub use way_resize::{WayConfig, WayResizableICache};

@@ -1,0 +1,173 @@
+//! Per-level leakage-policy selection: which cache model guards the L1
+//! i-cache, and how its parameters derive from the DRI baseline.
+//!
+//! [`PolicyConfig`] is the *configuration-side* counterpart of the
+//! [`cache_sim::policy::LeakagePolicy`] trait: one enum variant per
+//! adaptive i-cache model, carrying that model's full parameter set, with
+//! a stable [`id`](PolicyConfig::id) string matching the model's
+//! `policy_id`. The experiments crate threads a `PolicyConfig` through
+//! `RunConfig`, the result-store key derivation, the manifest's
+//! `policy =` option, and the `DRI_POLICY` environment variable, so any
+//! figure can run under any policy — and the derived FNV-128 keys stay
+//! disjoint per policy kind.
+//!
+//! The `*_from` constructors derive each alternative policy's parameters
+//! from a [`DriConfig`], so a sweep that tunes the DRI miss-bound and
+//! size-bound can be replayed under decay, way-resizing, or
+//! way-memoization on the *same geometry* with directly comparable
+//! feedback settings.
+
+use crate::config::DriConfig;
+use crate::decay::DecayConfig;
+use crate::way_memo::WayMemoConfig;
+use crate::way_resize::WayConfig;
+
+/// Which leakage policy guards the L1 i-cache, with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyConfig {
+    /// DRI set-resizing under gated-Vdd (the paper's contribution).
+    Dri(DriConfig),
+    /// Per-line cache decay (Kaxiras/Hu/Martonosi).
+    Decay(DecayConfig),
+    /// Way-resizing (the Albonesi-style alternative of paper §2).
+    WayResize(WayConfig),
+    /// Way-memoization adapted to leakage (Ishihara & Fallah).
+    WayMemo(WayMemoConfig),
+}
+
+impl PolicyConfig {
+    /// The stable policy-kind identifier, matching the corresponding
+    /// model's `LeakagePolicy::policy_id` (and the record kind under
+    /// which its results are persisted).
+    pub fn id(&self) -> &'static str {
+        match self {
+            PolicyConfig::Dri(_) => "dri",
+            PolicyConfig::Decay(_) => "decay",
+            PolicyConfig::WayResize(_) => "way_resize",
+            PolicyConfig::WayMemo(_) => "way_memo",
+        }
+    }
+
+    /// Every selectable policy id, in presentation order (the strings
+    /// `DRI_POLICY` and the manifest's `policy =` option accept).
+    pub fn all_ids() -> [&'static str; 4] {
+        ["dri", "decay", "way_resize", "way_memo"]
+    }
+
+    /// Builds the policy named `id`, deriving its parameters from `dri`
+    /// (see the `*_from` constructors). `None` for an unknown id.
+    pub fn from_id(id: &str, dri: &DriConfig) -> Option<PolicyConfig> {
+        match id {
+            "dri" => Some(PolicyConfig::Dri(*dri)),
+            "decay" => Some(PolicyConfig::Decay(Self::decay_from(dri))),
+            "way_resize" => Some(PolicyConfig::WayResize(Self::way_resize_from(dri))),
+            "way_memo" => Some(PolicyConfig::WayMemo(Self::way_memo_from(dri))),
+            _ => None,
+        }
+    }
+
+    /// A decay configuration on `dri`'s geometry. The decay interval is
+    /// four sense intervals' worth of cycles: long enough that a line
+    /// surviving a full DRI monitoring window is also kept alive here,
+    /// short enough that dead lines gate within the same order of
+    /// magnitude as a DRI downsize decision.
+    pub fn decay_from(dri: &DriConfig) -> DecayConfig {
+        DecayConfig {
+            size_bytes: dri.max_size_bytes,
+            block_bytes: dri.block_bytes,
+            associativity: dri.associativity,
+            latency: dri.latency,
+            decay_interval_cycles: dri.sense_interval * 4,
+            replacement: dri.replacement,
+        }
+    }
+
+    /// A way-resizing configuration on `dri`'s geometry, sharing its
+    /// miss-bound feedback loop (way-resizing has no size-bound — its
+    /// floor is `min_ways`, here 1, i.e. `size / associativity` bytes).
+    pub fn way_resize_from(dri: &DriConfig) -> WayConfig {
+        WayConfig {
+            size_bytes: dri.max_size_bytes,
+            block_bytes: dri.block_bytes,
+            associativity: dri.associativity,
+            latency: dri.latency,
+            min_ways: 1,
+            miss_bound: dri.miss_bound,
+            sense_interval: dri.sense_interval,
+            throttle: dri.throttle,
+            replacement: dri.replacement,
+        }
+    }
+
+    /// A way-memoization configuration on `dri`'s geometry, gating
+    /// unlinked lines after four sense intervals' worth of idle cycles
+    /// (the same horizon as [`decay_from`](Self::decay_from), so the two
+    /// line-granular policies compare like for like).
+    pub fn way_memo_from(dri: &DriConfig) -> WayMemoConfig {
+        WayMemoConfig {
+            size_bytes: dri.max_size_bytes,
+            block_bytes: dri.block_bytes,
+            associativity: dri.associativity,
+            latency: dri.latency,
+            gate_interval_cycles: dri.sense_interval * 4,
+            replacement: dri.replacement,
+        }
+    }
+
+    /// Checks the selected policy's invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wrapped configuration is invalid (see each
+    /// configuration type's `validate`).
+    pub fn validate(&self) {
+        match self {
+            PolicyConfig::Dri(c) => c.validate(),
+            PolicyConfig::Decay(c) => c.validate(),
+            PolicyConfig::WayResize(c) => c.validate(),
+            PolicyConfig::WayMemo(c) => c.validate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_roundtrips_and_validates() {
+        let dri = DriConfig::hpca01_64k_4way();
+        for id in PolicyConfig::all_ids() {
+            let p = PolicyConfig::from_id(id, &dri).expect("known id");
+            assert_eq!(p.id(), id);
+            p.validate();
+        }
+        assert_eq!(PolicyConfig::from_id("nope", &dri), None);
+    }
+
+    #[test]
+    fn derived_policies_share_the_dri_geometry() {
+        let dri = DriConfig::hpca01_64k_dm();
+        let decay = PolicyConfig::decay_from(&dri);
+        assert_eq!(decay.size_bytes, dri.max_size_bytes);
+        assert_eq!(decay.decay_interval_cycles, dri.sense_interval * 4);
+        let way = PolicyConfig::way_resize_from(&dri);
+        assert_eq!(way.size_bytes, dri.max_size_bytes);
+        assert_eq!(way.miss_bound, dri.miss_bound);
+        assert_eq!(way.min_ways, 1);
+        let memo = PolicyConfig::way_memo_from(&dri);
+        assert_eq!(memo.gate_interval_cycles, dri.sense_interval * 4);
+        assert_eq!(memo.block_bytes, dri.block_bytes);
+    }
+
+    #[test]
+    fn policy_config_is_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let dri = DriConfig::hpca01_64k_4way();
+        let mut set = HashSet::new();
+        for id in PolicyConfig::all_ids() {
+            set.insert(PolicyConfig::from_id(id, &dri).unwrap());
+        }
+        assert_eq!(set.len(), 4, "all four policies are distinct keys");
+    }
+}

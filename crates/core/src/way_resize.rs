@@ -20,13 +20,14 @@
 
 use crate::config::ThrottleConfig;
 use cache_sim::icache::InstCache;
+use cache_sim::policy::LeakagePolicy;
 use cache_sim::replacement::ReplacementPolicy;
 use cache_sim::stats::CacheStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Configuration for [`WayResizableICache`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WayConfig {
     /// Total capacity in bytes at full associativity.
     pub size_bytes: u64,
@@ -189,6 +190,11 @@ impl WayResizableICache {
         self.resizes
     }
 
+    /// Completed sense intervals.
+    pub fn intervals_elapsed(&self) -> u64 {
+        self.intervals_elapsed
+    }
+
     /// Average active fraction (powered ways over physical ways),
     /// integrated over cycles.
     pub fn avg_active_fraction(&self) -> f64 {
@@ -340,6 +346,34 @@ impl InstCache for WayResizableICache {
     fn stats(&self) -> &CacheStats {
         &self.stats
     }
+}
+
+impl LeakagePolicy for WayResizableICache {
+    fn policy_id(&self) -> &'static str {
+        "way_resize"
+    }
+
+    fn active_size_bytes(&self) -> u64 {
+        WayResizableICache::active_size_bytes(self)
+    }
+
+    fn avg_active_fraction(&self) -> f64 {
+        WayResizableICache::avg_active_fraction(self)
+    }
+
+    fn avg_size_bytes(&self) -> f64 {
+        WayResizableICache::avg_active_fraction(self) * self.cfg.size_bytes as f64
+    }
+
+    fn resizes(&self) -> u64 {
+        WayResizableICache::resizes(self)
+    }
+
+    fn intervals(&self) -> u64 {
+        self.intervals_elapsed
+    }
+    // No resizing tag bits: the index function never changes (the one
+    // advantage of this design, module docs).
 }
 
 #[cfg(test)]

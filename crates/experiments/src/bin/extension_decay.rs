@@ -5,47 +5,25 @@
 //! harness runs both policies over the suite under identical substrates
 //! and energy accounting, sweeping the decay interval.
 
-use cache_sim::icache::InstCache;
-use dri_core::{DecayConfig, DecayICache};
+use dri_core::{DecayConfig, PolicyConfig};
 use dri_experiments::harness::{banner, base_config, for_each_benchmark, space};
 use dri_experiments::report::{pct, Table};
 use dri_experiments::runner::{
-    compare_with_baseline, run_conventional, run_dri, DriRun, RunConfig,
+    compare_with_baseline, run_conventional, run_dri, run_policy, DriRun, RunConfig,
 };
 use dri_experiments::search::search_benchmark;
-use ooo_cpu::core::Core;
 
-/// Runs a decaying i-cache under the same system configuration.
+/// Runs a decaying i-cache under the same system configuration, through
+/// the policy path: the run is session-memoized and store-persisted
+/// under the decay key (and honours `seed_override`/`instruction_budget`
+/// like every other policy, which the old hand-rolled loop here did not).
 fn run_decay(cfg: &RunConfig, interval_cycles: u64) -> DriRun {
-    let generated = cfg.benchmark.build();
-    let decay = DecayICache::new(DecayConfig {
-        size_bytes: cfg.dri.max_size_bytes,
-        block_bytes: cfg.dri.block_bytes,
-        associativity: cfg.dri.associativity,
-        latency: cfg.dri.latency,
+    let mut cfg = cfg.clone();
+    cfg.policy = Some(PolicyConfig::Decay(DecayConfig {
         decay_interval_cycles: interval_cycles,
-        replacement: cfg.dri.replacement,
-    });
-    let mut core = Core::with_hierarchy(&generated.program, cfg.cpu, decay, cfg.hierarchy);
-    let budget = cfg
-        .instruction_budget
-        .unwrap_or(generated.cycle_instructions);
-    let result = core.run(budget);
-    let cache = core.icache();
-    DriRun {
-        timing: result.stats,
-        icache: *cache.stats(),
-        dri: dri_experiments::runner::DriSummary {
-            avg_active_fraction: cache.avg_active_fraction(),
-            avg_size_bytes: cache.avg_active_fraction() * cfg.dri.max_size_bytes as f64,
-            final_size_bytes: cfg.dri.max_size_bytes,
-            resizes: 0,
-            intervals: 0,
-            resizing_bits: 0, // decay needs no extra tag bits
-        },
-        l2_inst_accesses: core.hierarchy().l2_inst_accesses(),
-        bpred_accuracy: result.bpred_accuracy,
-    }
+        ..PolicyConfig::decay_from(&cfg.dri)
+    }));
+    run_policy(&cfg)
 }
 
 fn main() {

@@ -64,8 +64,9 @@ gc subcommand (garbage-collect a result store):
   --dry-run         report what would be evicted without deleting anything
 
 environment: DRI_QUICK, DRI_THREADS, DRI_STORE, DRI_REMOTE, DRI_PREFETCH,
-DRI_PUSH, DRI_STEAL, DRI_WORKER, DRI_TOKEN, DRI_BENCHMARKS (see README);
-a manifest's `quick/threads/store/remote/prefetch/push/steal/benchmarks`
+DRI_PUSH, DRI_STEAL, DRI_WORKER, DRI_TOKEN, DRI_POLICY, DRI_BENCHMARKS
+(see README); a manifest's
+`quick/threads/store/remote/prefetch/push/steal/policy/benchmarks`
 options set the same variables (the token deliberately has no manifest
 spelling — a secret does not belong in a reviewable plan file).";
 
@@ -175,6 +176,9 @@ fn apply_options(plan: &Manifest) {
     }
     if let Some(steal) = plan.options.steal {
         std::env::set_var(dri_experiments::STEAL_ENV, if steal { "1" } else { "0" });
+    }
+    if let Some(policy) = &plan.options.policy {
+        std::env::set_var(dri_experiments::harness::POLICY_ENV, policy);
     }
     if let Some(benchmarks) = &plan.options.benchmarks {
         std::env::set_var("DRI_BENCHMARKS", benchmarks);
@@ -552,19 +556,23 @@ fn print_store_stats(session: &SimSession) {
         println!("  errors: {}", r.errors);
         println!("  bytes fetched: {}", r.bytes_fetched);
         println!("  batch round trips: {}", r.batch_round_trips);
-        // Write-side counters, named like the server's /stats JSON:
-        // client `pushes` advances in lockstep with the server's
-        // `records_accepted`, `push round trips` with its
-        // `push_round_trips`.
-        println!("  pushes: {}", r.pushes);
-        println!("  push rejected: {}", r.push_rejected);
+        // Write-side counters, named like the server's /stats JSON
+        // fields so a client line and a server line about the same
+        // quantity grep identically from both reports.
+        println!("  records accepted: {}", r.records_accepted);
+        println!("  writes rejected: {}", r.writes_rejected);
         println!("  push round trips: {}", r.push_round_trips);
         // The server's own side of the story: one GET /stats scrape
-        // surfaces the lease-scheduler tallies and any chaos
-        // injections next to the client counters above.
+        // surfaces the write-path and lease-scheduler tallies and any
+        // chaos injections next to the client counters above. On a
+        // single-worker run the three write-side pairs match line for
+        // line; a fleet's server lines sum over every worker.
         match remote.server_stats() {
             Some(s) => {
                 println!("server (http://{}/stats):", remote.addr());
+                println!("  records accepted: {}", s.records_accepted);
+                println!("  writes rejected: {}", s.writes_rejected);
+                println!("  push round trips: {}", s.push_round_trips);
                 println!("  faults injected: {}", s.faults_injected);
                 println!("  lease claims: {}", s.lease_claims);
                 println!("  lease granted: {}", s.lease_granted);

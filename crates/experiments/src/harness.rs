@@ -2,6 +2,7 @@
 
 use crate::runner::RunConfig;
 use crate::search::SearchSpace;
+use dri_core::PolicyConfig;
 use synth_workload::suite::Benchmark;
 
 /// Whether quick mode is enabled (`DRI_QUICK=1`): smaller search grids and
@@ -152,15 +153,59 @@ fn warn_bad_benchmark(name: &str) {
     });
 }
 
-/// The base run configuration for a benchmark, honouring quick mode.
+/// Environment variable selecting the leakage policy the figure suites
+/// run: one of [`PolicyConfig::all_ids`] (`dri`, `decay`, `way_resize`,
+/// `way_memo`). Unset or `dri` = the paper's DRI i-cache. A manifest's
+/// `policy =` option sets the same variable, so any figure binary can be
+/// replayed under any policy without code changes.
+pub const POLICY_ENV: &str = "DRI_POLICY";
+
+/// The policy [`POLICY_ENV`] selects, derived from `dri` (see
+/// [`PolicyConfig::from_id`]). `None` when the variable is unset, empty,
+/// or explicitly `dri` — the default DRI path keys identically either
+/// way, but `None` keeps the common case on the frozen `RunConfig`
+/// default. Unknown names warn (once per process) and fall back to DRI
+/// rather than silently mislabelling a whole campaign's records.
+pub fn selected_policy(dri: &dri_core::DriConfig) -> Option<PolicyConfig> {
+    let raw = std::env::var(POLICY_ENV).ok()?;
+    let id = raw.trim();
+    if id.is_empty() {
+        return None;
+    }
+    match PolicyConfig::from_id(id, dri) {
+        Some(policy) => Some(policy),
+        None => {
+            warn_bad_policy(id);
+            None
+        }
+    }
+}
+
+/// Warns (once per process) that `DRI_POLICY` named something that is
+/// not a policy.
+fn warn_bad_policy(id: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "warning: {POLICY_ENV} names unknown policy `{id}`; \
+             falling back to dri (known: {})",
+            PolicyConfig::all_ids().join(", ")
+        );
+    });
+}
+
+/// The base run configuration for a benchmark, honouring quick mode and
+/// the [`POLICY_ENV`] policy selection.
 pub fn base_config(benchmark: Benchmark) -> RunConfig {
-    if quick_mode() {
+    let mut cfg = if quick_mode() {
         let mut cfg = RunConfig::quick(benchmark);
         cfg.instruction_budget = Some(600_000);
         cfg
     } else {
         RunConfig::hpca01(benchmark)
-    }
+    };
+    cfg.policy = selected_policy(&cfg.dri);
+    cfg
 }
 
 /// The search space, honouring quick mode.
@@ -213,6 +258,19 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn policy_defaults_to_dri() {
+        // Like `selection_defaults_to_every_benchmark`, only assert on
+        // the ambient case; explicit selections are covered by the
+        // manifest's strict `policy =` validation and the two-policy
+        // distributed CI job.
+        if std::env::var_os(POLICY_ENV).is_none() {
+            let cfg = base_config(Benchmark::Li);
+            assert_eq!(cfg.policy, None);
+            assert_eq!(cfg.resolved_policy(), PolicyConfig::Dri(cfg.dri));
+        }
     }
 
     #[test]

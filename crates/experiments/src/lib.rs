@@ -13,7 +13,13 @@
 //! | Figure 6 (size/associativity) | [`sweeps::geometry_sweep`] + `figure6` binary |
 //! | §5.6 (interval & divisibility) | [`sweeps::interval_sweep`] / [`sweeps::divisibility_sweep`] + `section5_6` binary |
 //! | §5.2.1 (analytic bounds) | `tradeoff` binary (over `energy_model::tradeoff`) |
+//! | policy shoot-out (DRI vs decay vs way-resize vs way-memo) | [`figures::policies`] + `policies` binary |
 //! | any subset of the above, one process | [`manifest`] + `suite` binary |
+//!
+//! Every figure runs under any [`PolicyConfig`] — set `DRI_POLICY`
+//! (or a manifest's `policy =`) to swap the leakage-control model on
+//! the fetch path while baselines, energy accounting, and store keys
+//! adjust to match.
 //!
 //! Set `DRI_QUICK=1` to run any binary with reduced grids/budgets, and
 //! `DRI_STORE=<dir>` to persist every simulated point in a
@@ -52,15 +58,19 @@ pub mod session;
 pub mod steal;
 pub mod sweeps;
 
+pub use dri_core::PolicyConfig;
 pub use dri_serve::{RemoteStats, RemoteStore};
 pub use dri_store::{KeyPlan, ResultStore, StoreStats};
-pub use runner::{compare, run_conventional, run_dri, Comparison, DriRun, RunConfig};
+pub use runner::{
+    compare, run_conventional, run_dri, run_policy, run_policy_uncached, Comparison, DriRun,
+    RunConfig,
+};
 pub use search::{
     grid_configs, search_all, search_benchmark, SearchResult, SearchSpace, SLOWDOWN_CONSTRAINT,
 };
 pub use session::{
     prefetch_enabled, prefetch_grid, push_enabled, push_grid, PrefetchStats, PushStats,
-    SessionStats, SimSession, TierLatency, PREFETCH_ENV, PUSH_ENV,
+    SessionBuilder, SessionStats, SimSession, TierLatency, PREFETCH_ENV, PUSH_ENV,
 };
 pub use steal::{
     campaign_id, drain, steal_enabled, worker_name, DrainOutcome, STEAL_ENV, WORKER_ENV,

@@ -29,11 +29,13 @@
 //!   to `DRI_STEAL` (lease-based work stealing: instead of statically
 //!   splitting the campaign with `benchmarks`, workers claim
 //!   benchmark-sized units from the server's durable lease queue — off
-//!   by default, requires `remote`), and `benchmarks`
-//!   (a comma-separated list of benchmark names) to `DRI_BENCHMARKS` —
-//!   the fleet-splitting knob that lets two workers take disjoint halves
-//!   of one campaign. Options apply to the whole plan and must precede
-//!   the first job.
+//!   by default, requires `remote`), `policy` (one of `dri`, `decay`,
+//!   `way_resize`, `way_memo`) to `DRI_POLICY` (which leakage policy the
+//!   figure suites run — the paper's DRI cache by default), and
+//!   `benchmarks` (a comma-separated list of benchmark names) to
+//!   `DRI_BENCHMARKS` — the fleet-splitting knob that lets two workers
+//!   take disjoint halves of one campaign. Options apply to the whole
+//!   plan and must precede the first job.
 //! * `<job>` — a job name (see [`Job::all`]), or `all` for every job.
 //!   Jobs run in file order; duplicates are dropped (within one process
 //!   the second run would be pure cache hits anyway).
@@ -70,13 +72,16 @@ pub enum Job {
     Section5_6,
     /// §5.2.1 (analytic leakage/dynamic trade-off bounds).
     Tradeoff,
+    /// Policy shoot-out (DRI vs decay vs way-resize vs way-memo,
+    /// side by side on one geometry).
+    Policies,
 }
 
 impl Job {
     /// Every job, in the paper's presentation order (also the order
     /// `all` expands to — searches first, so later sweeps hit their
     /// cached points).
-    pub fn all() -> [Job; 8] {
+    pub fn all() -> [Job; 9] {
         [
             Job::Table1,
             Job::Table2,
@@ -86,6 +91,7 @@ impl Job {
             Job::Figure6,
             Job::Section5_6,
             Job::Tradeoff,
+            Job::Policies,
         ]
     }
 
@@ -100,6 +106,7 @@ impl Job {
             Job::Figure6 => "figure6",
             Job::Section5_6 => "section5_6",
             Job::Tradeoff => "tradeoff",
+            Job::Policies => "policies",
         }
     }
 
@@ -114,6 +121,7 @@ impl Job {
             Job::Figure6 => "size/associativity geometry sweep",
             Job::Section5_6 => "sense-interval and divisibility robustness",
             Job::Tradeoff => "analytic leakage/dynamic trade-off bounds",
+            Job::Policies => "leakage-policy shoot-out (dri/decay/way_resize/way_memo)",
         }
     }
 
@@ -140,6 +148,7 @@ impl Job {
             Job::Figure6 => figures::figure6(),
             Job::Section5_6 => figures::section5_6(),
             Job::Tradeoff => figures::tradeoff(),
+            Job::Policies => figures::policies(),
         }
     }
 }
@@ -170,6 +179,9 @@ pub struct PlanOptions {
     /// `steal = on|off` → `DRI_STEAL` (lease-based work stealing over
     /// the remote scheduler; off by default when unset).
     pub steal: Option<bool>,
+    /// `policy = dri|decay|way_resize|way_memo` → `DRI_POLICY` (which
+    /// leakage policy the figure suites run; DRI when unset).
+    pub policy: Option<String>,
     /// `benchmarks = a,b,c` → `DRI_BENCHMARKS` (restrict the figure
     /// suites to a validated subset of benchmarks; names are normalised
     /// to a comma-joined list).
@@ -265,6 +277,24 @@ fn parse_benchmarks(line: usize, value: &str) -> Result<String, ManifestError> {
     Ok(names.join(","))
 }
 
+/// Validates a `policy =` value against the known leakage-policy ids.
+/// Strict for the same reason `benchmarks` is: a typo'd policy would
+/// otherwise run (and label) a whole campaign as DRI.
+fn parse_policy(line: usize, value: &str) -> Result<String, ManifestError> {
+    use dri_core::PolicyConfig;
+    if PolicyConfig::all_ids().contains(&value) {
+        Ok(value.to_owned())
+    } else {
+        Err(err(
+            line,
+            format!(
+                "unknown policy `{value}` (expected one of: {})",
+                PolicyConfig::all_ids().join(", ")
+            ),
+        ))
+    }
+}
+
 /// Parses manifest text (see the module docs for the grammar).
 ///
 /// ```
@@ -330,6 +360,7 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
                 "prefetch" => manifest.options.prefetch = Some(parse_switch(lineno, value)?),
                 "push" => manifest.options.push = Some(parse_switch(lineno, value)?),
                 "steal" => manifest.options.steal = Some(parse_switch(lineno, value)?),
+                "policy" => manifest.options.policy = Some(parse_policy(lineno, value)?),
                 "benchmarks" => {
                     manifest.options.benchmarks = Some(parse_benchmarks(lineno, value)?);
                 }
@@ -338,7 +369,7 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
                         lineno,
                         format!(
                             "unknown option `{other}` (expected quick, threads, store, \
-                             remote, prefetch, push, steal, or benchmarks)"
+                             remote, prefetch, push, steal, policy, or benchmarks)"
                         ),
                     ))
                 }
@@ -425,6 +456,20 @@ mod tests {
         assert_eq!(m.options.steal, Some(true));
         assert_eq!(parse("figure3\n").unwrap().options.steal, None, "default");
         assert!(parse("steal = maybe\nfigure3\n").is_err());
+    }
+
+    #[test]
+    fn policy_option_validates_ids_strictly() {
+        for id in dri_core::PolicyConfig::all_ids() {
+            let m = parse(&format!("policy = {id}\nfigure3\n")).expect("valid manifest");
+            assert_eq!(m.options.policy.as_deref(), Some(id));
+        }
+        assert_eq!(parse("figure3\n").unwrap().options.policy, None, "default");
+        let e =
+            parse("quick = on\npolicy = drowsy\nfigure3\n").expect_err("drowsy is not a policy");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("drowsy"), "{e}");
+        assert!(e.message.contains("way_memo"), "{e}");
     }
 
     #[test]

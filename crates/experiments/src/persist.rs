@@ -45,7 +45,7 @@ use cache_sim::config::CacheConfig;
 use cache_sim::hierarchy::HierarchyConfig;
 use cache_sim::replacement::ReplacementPolicy;
 use cache_sim::stats::CacheStats;
-use dri_core::DriConfig;
+use dri_core::{DecayConfig, DriConfig, PolicyConfig, WayConfig, WayMemoConfig};
 use dri_store::{Decoder, Encoder, KeyHasher};
 use ooo_cpu::config::CpuConfig;
 use ooo_cpu::stats::CpuStats;
@@ -60,6 +60,15 @@ pub const BASELINE_KIND: &str = "baseline";
 
 /// Record kind for DRI runs.
 pub const DRI_KIND: &str = "dri";
+
+/// Record kind for cache-decay runs.
+pub const DECAY_KIND: &str = "decay";
+
+/// Record kind for way-resizing runs.
+pub const WAY_RESIZE_KIND: &str = "way_resize";
+
+/// Record kind for way-memoization runs.
+pub const WAY_MEMO_KIND: &str = "way_memo";
 
 /// Stable one-byte encoding of a replacement policy (never reorder).
 fn replacement_code(policy: ReplacementPolicy) -> u8 {
@@ -115,6 +124,38 @@ fn hash_dri_config(h: &mut KeyHasher, cfg: &DriConfig) {
     h.write_u8(replacement_code(cfg.replacement));
 }
 
+fn hash_decay_config(h: &mut KeyHasher, cfg: &DecayConfig) {
+    h.write_u64(cfg.size_bytes);
+    h.write_u64(cfg.block_bytes);
+    h.write_u32(cfg.associativity);
+    h.write_u64(cfg.latency);
+    h.write_u64(cfg.decay_interval_cycles);
+    h.write_u8(replacement_code(cfg.replacement));
+}
+
+fn hash_way_config(h: &mut KeyHasher, cfg: &WayConfig) {
+    h.write_u64(cfg.size_bytes);
+    h.write_u64(cfg.block_bytes);
+    h.write_u32(cfg.associativity);
+    h.write_u64(cfg.latency);
+    h.write_u32(cfg.min_ways);
+    h.write_u64(cfg.miss_bound);
+    h.write_u64(cfg.sense_interval);
+    h.write_u32(cfg.throttle.counter_bits);
+    h.write_u32(cfg.throttle.lockout_intervals);
+    h.write_bool(cfg.throttle.enabled);
+    h.write_u8(replacement_code(cfg.replacement));
+}
+
+fn hash_way_memo_config(h: &mut KeyHasher, cfg: &WayMemoConfig) {
+    h.write_u64(cfg.size_bytes);
+    h.write_u64(cfg.block_bytes);
+    h.write_u32(cfg.associativity);
+    h.write_u64(cfg.latency);
+    h.write_u64(cfg.gate_interval_cycles);
+    h.write_u8(replacement_code(cfg.replacement));
+}
+
 /// The key fields shared by both run kinds: workload identity, core, and
 /// hierarchy (the benchmark travels as its stable name, not its enum
 /// discriminant, so reordering the enum cannot silently remap entries).
@@ -136,12 +177,59 @@ pub fn baseline_key(cfg: &RunConfig) -> u128 {
     h.finish()
 }
 
-/// Store key for `cfg`'s DRI run.
+/// Store key for `cfg`'s DRI run. Equal to [`policy_key`] whenever the
+/// resolved policy is DRI (in particular whenever `cfg.policy` is
+/// `None`) — the `"dri"` derivation is frozen; the policy layer routes
+/// through it rather than replacing it.
 pub fn dri_key(cfg: &RunConfig) -> u128 {
     let mut h = KeyHasher::new();
     h.write_str(DRI_KIND);
     hash_common(&mut h, cfg);
     hash_dri_config(&mut h, &cfg.dri);
+    h.finish()
+}
+
+/// Record kind of `cfg`'s resolved leakage-policy run. The kind strings
+/// equal [`PolicyConfig::id`] (and the models'
+/// `cache_sim::policy::LeakagePolicy::policy_id`) by construction; a
+/// unit test pins the correspondence.
+pub fn policy_kind(cfg: &RunConfig) -> &'static str {
+    match cfg.resolved_policy() {
+        PolicyConfig::Dri(_) => DRI_KIND,
+        PolicyConfig::Decay(_) => DECAY_KIND,
+        PolicyConfig::WayResize(_) => WAY_RESIZE_KIND,
+        PolicyConfig::WayMemo(_) => WAY_MEMO_KIND,
+    }
+}
+
+/// Store key for `cfg`'s resolved leakage-policy run: the kind string,
+/// the common closure, then the selected policy's own configuration.
+/// The DRI arm hashes byte-for-byte what [`dri_key`] hashes, so every
+/// record written before policies existed keeps its address.
+pub fn policy_key(cfg: &RunConfig) -> u128 {
+    let mut h = KeyHasher::new();
+    match cfg.resolved_policy() {
+        PolicyConfig::Dri(dri) => {
+            h.write_str(DRI_KIND);
+            hash_common(&mut h, cfg);
+            hash_dri_config(&mut h, &dri);
+        }
+        PolicyConfig::Decay(decay) => {
+            h.write_str(DECAY_KIND);
+            hash_common(&mut h, cfg);
+            hash_decay_config(&mut h, &decay);
+        }
+        PolicyConfig::WayResize(way) => {
+            h.write_str(WAY_RESIZE_KIND);
+            hash_common(&mut h, cfg);
+            hash_way_config(&mut h, &way);
+        }
+        PolicyConfig::WayMemo(memo) => {
+            h.write_str(WAY_MEMO_KIND);
+            hash_common(&mut h, cfg);
+            hash_way_memo_config(&mut h, &memo);
+        }
+    }
     h.finish()
 }
 
@@ -300,6 +388,49 @@ mod tests {
         let mut assoc = base.clone();
         assoc.dri.associativity = 4;
         assert_ne!(baseline_key(&base), baseline_key(&assoc));
+    }
+
+    #[test]
+    fn policy_kinds_match_policy_config_ids() {
+        let mut cfg = RunConfig::quick(Benchmark::Li);
+        assert_eq!(policy_kind(&cfg), DRI_KIND, "policy: None resolves to DRI");
+        for id in PolicyConfig::all_ids() {
+            cfg.policy = Some(PolicyConfig::from_id(id, &cfg.dri).expect("known id"));
+            assert_eq!(policy_kind(&cfg), id);
+        }
+    }
+
+    #[test]
+    fn policy_keys_are_disjoint_across_kinds() {
+        let base = RunConfig::quick(Benchmark::Li);
+        let mut keys = vec![baseline_key(&base)];
+        for id in PolicyConfig::all_ids() {
+            let mut cfg = base.clone();
+            cfg.policy = Some(PolicyConfig::from_id(id, &cfg.dri).expect("known id"));
+            keys.push(policy_key(&cfg));
+        }
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "two record kinds collided on one config");
+            }
+        }
+        // And deterministic: recomputation reproduces each key.
+        for id in PolicyConfig::all_ids() {
+            let mut cfg = base.clone();
+            cfg.policy = Some(PolicyConfig::from_id(id, &cfg.dri).expect("known id"));
+            assert_eq!(policy_key(&cfg), policy_key(&cfg.clone()));
+        }
+    }
+
+    #[test]
+    fn dri_policy_key_is_the_frozen_dri_key() {
+        // The refactor must not move any existing record: with the
+        // default (or an explicit) DRI policy, the generic derivation
+        // lands on the same 128-bit address the pre-policy code used.
+        let mut cfg = RunConfig::quick(Benchmark::Compress);
+        assert_eq!(policy_key(&cfg), dri_key(&cfg));
+        cfg.policy = Some(PolicyConfig::Dri(cfg.dri));
+        assert_eq!(policy_key(&cfg), dri_key(&cfg));
     }
 
     #[test]

@@ -1,17 +1,26 @@
-//! Paired simulation runs: conventional baseline vs DRI i-cache.
+//! Paired simulation runs: conventional baseline vs a leakage policy.
 //!
 //! Every figure in the paper is built from pairs of runs that differ only
 //! in the i-cache on the fetch path. The baseline is "a conventional
 //! i-cache using an aggressively-scaled threshold voltage" of the same
-//! geometry; the DRI run swaps in [`DriICache`] and the §5.2 energy
-//! equations combine the two (extra L2 accesses are measured against the
-//! baseline run).
+//! geometry; the policy run swaps in one of the leakage-controlled models
+//! — the paper's [`DriICache`] by default, or any other
+//! [`PolicyConfig`] selection — and the §5.2 energy equations combine
+//! the two (extra L2 accesses are measured against the baseline run).
+//!
+//! The policy side is generic over `InstCache + LeakagePolicy`
+//! ([`cache_sim::policy::LeakagePolicy`]): the simulation loop reads only
+//! that surface, so every model produces the same [`DriRun`] shape and
+//! flows through the same memoization, persistence, and energy
+//! accounting. [`run_policy`] is the generic entry point; [`run_dri`]
+//! remains as the DRI-flavoured alias the original figures call.
 
 use cache_sim::config::CacheConfig;
 use cache_sim::hierarchy::HierarchyConfig;
 use cache_sim::icache::{ConventionalICache, InstCache};
+use cache_sim::policy::LeakagePolicy;
 use cache_sim::stats::CacheStats;
-use dri_core::{DriConfig, DriICache};
+use dri_core::{DriConfig, DriICache, PolicyConfig};
 use energy_model::accounting::{breakdown, energy_delay, EnergyBreakdown, RunCounts};
 use energy_model::params::EnergyParams;
 use ooo_cpu::config::CpuConfig;
@@ -41,6 +50,12 @@ pub struct RunConfig {
     /// data contents with the same footprint/phase structure); used by the
     /// seed-robustness experiment.
     pub seed_override: Option<u64>,
+    /// Which leakage policy the non-baseline run uses. `None` (the
+    /// default everywhere) means the paper's DRI i-cache built from
+    /// [`Self::dri`] — see [`Self::resolved_policy`]. Setting
+    /// `Some(PolicyConfig::…)` swaps the model on the fetch path while
+    /// the baseline, energy accounting, and store keys adjust to match.
+    pub policy: Option<PolicyConfig>,
 }
 
 impl RunConfig {
@@ -56,6 +71,7 @@ impl RunConfig {
             instruction_budget: None,
             energy: EnergyParams::hpca01_published(),
             seed_override: None,
+            policy: None,
         }
     }
 
@@ -66,6 +82,16 @@ impl RunConfig {
         cfg.instruction_budget = Some(400_000);
         cfg.dri.sense_interval = 20_000;
         cfg
+    }
+
+    /// The leakage policy this configuration actually runs: the explicit
+    /// [`Self::policy`] selection, or the paper's gated-Vdd DRI cache
+    /// built from [`Self::dri`] when none is set. Everything downstream —
+    /// the simulation dispatch, the memoization key, the store key — keys
+    /// on this resolved value, so `policy: None` and
+    /// `policy: Some(PolicyConfig::Dri(cfg.dri))` are the same run.
+    pub fn resolved_policy(&self) -> PolicyConfig {
+        self.policy.unwrap_or(PolicyConfig::Dri(self.dri))
     }
 
     /// The baseline i-cache geometry implied by the DRI configuration.
@@ -190,66 +216,27 @@ pub fn run_conventional(cfg: &RunConfig) -> ConventionalRun {
     crate::session::SimSession::global().conventional(cfg)
 }
 
-fn simulate_dri(cfg: &RunConfig, generated: &synth_workload::Generated) -> DriRun {
-    let icache = DriICache::new(cfg.dri);
-    let mut core = Core::with_hierarchy(&generated.program, cfg.cpu, icache, cfg.hierarchy);
-    let result = core.run(budget_for(cfg, generated.cycle_instructions));
-    let dri = core.icache();
-    let summary = DriSummary {
-        avg_active_fraction: dri.avg_active_fraction(),
-        avg_size_bytes: dri.avg_size_bytes(),
-        final_size_bytes: dri.active_size_bytes(),
-        resizes: dri.resize_events().len(),
-        intervals: dri.intervals_elapsed(),
-        resizing_bits: dri.config().resizing_tag_bits(),
-    };
-    DriRun {
-        timing: result.stats,
-        icache: *dri.stats(),
-        dri: summary,
-        l2_inst_accesses: core.hierarchy().l2_inst_accesses(),
-        bpred_accuracy: result.bpred_accuracy,
-    }
-}
-
-/// Simulates the DRI cache with a session-cached workload but no run
-/// memoization (the session calls this on a cache miss).
-pub(crate) fn run_dri_fresh_in(session: &crate::session::SimSession, cfg: &RunConfig) -> DriRun {
-    simulate_dri(cfg, &session.workload(cfg))
-}
-
-/// Runs the DRI i-cache for `cfg` with no caching at all (see
-/// [`run_conventional_uncached`]).
-pub fn run_dri_uncached(cfg: &RunConfig) -> DriRun {
-    simulate_dri(cfg, &generate_workload(cfg))
-}
-
-/// Runs the DRI i-cache for `cfg`.
-///
-/// Workloads and completed runs are memoized in the global
-/// [`crate::session::SimSession`] (see [`run_conventional`]).
-pub fn run_dri(cfg: &RunConfig) -> DriRun {
-    crate::session::SimSession::global().dri(cfg)
-}
-
-/// Runs the Albonesi-style way-resizing ablation cache (see
-/// `dri_core::way_resize`) under the same system configuration. The result
-/// reuses [`DriRun`]: way resizing needs no resizing tag bits, so
-/// `resizing_bits` is 0. The workload comes from the global session; the
-/// simulation itself is not memoized (ablations run once).
-pub fn run_way_resizable(cfg: &RunConfig, way: dri_core::WayConfig) -> DriRun {
-    let generated = crate::session::SimSession::global().workload(cfg);
-    let icache = dri_core::WayResizableICache::new(way);
+/// The one simulation loop every leakage policy shares: drive the core
+/// with `icache` on the fetch path, then read the run summary through
+/// the [`LeakagePolicy`] accounting surface. For the DRI model every
+/// trait method delegates to the inherent accessor `simulate_dri` used
+/// to call directly, so the summary is bit-identical to the
+/// pre-`LeakagePolicy` code path.
+fn simulate_policy_with<IC: InstCache + LeakagePolicy>(
+    cfg: &RunConfig,
+    generated: &synth_workload::Generated,
+    icache: IC,
+) -> DriRun {
     let mut core = Core::with_hierarchy(&generated.program, cfg.cpu, icache, cfg.hierarchy);
     let result = core.run(budget_for(cfg, generated.cycle_instructions));
     let cache = core.icache();
     let summary = DriSummary {
         avg_active_fraction: cache.avg_active_fraction(),
-        avg_size_bytes: cache.avg_active_fraction() * way.size_bytes as f64,
+        avg_size_bytes: cache.avg_size_bytes(),
         final_size_bytes: cache.active_size_bytes(),
         resizes: cache.resizes() as usize,
-        intervals: 0,
-        resizing_bits: 0,
+        intervals: cache.intervals(),
+        resizing_bits: cache.resizing_tag_bits(),
     };
     DriRun {
         timing: result.stats,
@@ -258,6 +245,70 @@ pub fn run_way_resizable(cfg: &RunConfig, way: dri_core::WayConfig) -> DriRun {
         l2_inst_accesses: core.hierarchy().l2_inst_accesses(),
         bpred_accuracy: result.bpred_accuracy,
     }
+}
+
+/// Builds the i-cache `cfg`'s resolved policy selects and simulates it.
+fn simulate_policy(cfg: &RunConfig, generated: &synth_workload::Generated) -> DriRun {
+    match cfg.resolved_policy() {
+        PolicyConfig::Dri(dri) => simulate_policy_with(cfg, generated, DriICache::new(dri)),
+        PolicyConfig::Decay(decay) => {
+            simulate_policy_with(cfg, generated, dri_core::DecayICache::new(decay))
+        }
+        PolicyConfig::WayResize(way) => {
+            simulate_policy_with(cfg, generated, dri_core::WayResizableICache::new(way))
+        }
+        PolicyConfig::WayMemo(memo) => {
+            simulate_policy_with(cfg, generated, dri_core::WayMemoICache::new(memo))
+        }
+    }
+}
+
+/// Simulates `cfg`'s resolved policy with a session-cached workload but
+/// no run memoization (the session calls this on a cache miss).
+pub(crate) fn run_policy_fresh_in(session: &crate::session::SimSession, cfg: &RunConfig) -> DriRun {
+    simulate_policy(cfg, &session.workload(cfg))
+}
+
+/// Runs `cfg`'s resolved leakage policy with no caching at all (see
+/// [`run_conventional_uncached`]).
+pub fn run_policy_uncached(cfg: &RunConfig) -> DriRun {
+    simulate_policy(cfg, &generate_workload(cfg))
+}
+
+/// Runs `cfg`'s resolved leakage policy — the DRI i-cache unless
+/// [`RunConfig::policy`] selects another model.
+///
+/// Workloads and completed runs are memoized in the global
+/// [`crate::session::SimSession`] (see [`run_conventional`]); each policy
+/// memoizes and persists under its own key, so sweeping several policies
+/// over one grid never aliases records.
+pub fn run_policy(cfg: &RunConfig) -> DriRun {
+    crate::session::SimSession::global().policy_run(cfg)
+}
+
+/// Runs the DRI i-cache for `cfg` with no caching at all (see
+/// [`run_conventional_uncached`]). Alias of [`run_policy_uncached`] kept
+/// for the original figures; with `policy: None` they are the same run.
+pub fn run_dri_uncached(cfg: &RunConfig) -> DriRun {
+    run_policy_uncached(cfg)
+}
+
+/// Runs the DRI i-cache for `cfg` (alias of [`run_policy`]; see there).
+pub fn run_dri(cfg: &RunConfig) -> DriRun {
+    run_policy(cfg)
+}
+
+/// Runs the Albonesi-style way-resizing ablation cache (see
+/// `dri_core::way_resize`) under the same system configuration — now a
+/// thin wrapper that pins [`RunConfig::policy`] to
+/// [`PolicyConfig::WayResize`] and goes through [`run_policy`], so
+/// ablation runs share the session memoization and store keys like every
+/// other policy. Way resizing needs no resizing tag bits, so
+/// `resizing_bits` is 0.
+pub fn run_way_resizable(cfg: &RunConfig, way: dri_core::WayConfig) -> DriRun {
+    let mut cfg = cfg.clone();
+    cfg.policy = Some(PolicyConfig::WayResize(way));
+    run_policy(&cfg)
 }
 
 /// A paired DRI-vs-conventional comparison with the §5.2 energy metrics.

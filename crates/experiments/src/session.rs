@@ -18,9 +18,11 @@
 //!   budget. A parameter search over `n` (miss-bound × size-bound) points
 //!   simulates the baseline once, not `n` times — and the search and the
 //!   Figure 4–6 sweeps that follow it share that one run too.
-//! * **DRI runs** are memoized by the same key plus the full
-//!   [`DriConfig`], so a sweep whose base point was already visited by
-//!   the parameter search reuses it instead of re-simulating.
+//! * **Policy runs** (the DRI i-cache by default, or whichever model
+//!   [`crate::runner::RunConfig::policy`] selects) are memoized by the
+//!   same key plus the resolved [`PolicyConfig`], so a sweep whose base
+//!   point was already visited by the parameter search reuses it instead
+//!   of re-simulating — and two policies over one grid never alias.
 //!
 //! Simulations are deterministic (seeded RNGs, no wall-clock input), so a
 //! cache hit is *bit-identical* to a fresh run — the regression tests in
@@ -103,7 +105,7 @@ use dri_telemetry::{trace, Histogram, Span, TraceEvent};
 
 use cache_sim::config::CacheConfig;
 use cache_sim::hierarchy::HierarchyConfig;
-use dri_core::DriConfig;
+use dri_core::PolicyConfig;
 use ooo_cpu::config::CpuConfig;
 use synth_workload::suite::Benchmark;
 use synth_workload::Generated;
@@ -145,25 +147,28 @@ impl BaselineKey {
     }
 }
 
-/// Everything that can influence a DRI run's counters.
+/// Everything that can influence a leakage-policy run's counters. The
+/// policy travels *resolved* ([`RunConfig::resolved_policy`]), so a
+/// config with `policy: None` and one with an explicit identical DRI
+/// selection share an entry, exactly as they share a store key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct DriKey {
+struct PolicyKey {
     benchmark: Benchmark,
     seed_override: Option<u64>,
     cpu: CpuConfig,
     hierarchy: HierarchyConfig,
-    dri: DriConfig,
+    policy: PolicyConfig,
     instruction_budget: Option<u64>,
 }
 
-impl DriKey {
+impl PolicyKey {
     fn of(cfg: &RunConfig) -> Self {
-        DriKey {
+        PolicyKey {
             benchmark: cfg.benchmark,
             seed_override: cfg.seed_override,
             cpu: cfg.cpu,
             hierarchy: cfg.hierarchy,
-            dri: cfg.dri,
+            policy: cfg.resolved_policy(),
             instruction_budget: cfg.instruction_budget,
         }
     }
@@ -184,13 +189,15 @@ pub struct SessionStats {
     pub baseline_disk_hits: u64,
     /// Baseline runs fetched from the remote service (no simulation ran).
     pub baseline_remote_hits: u64,
-    /// DRI-run memory-cache hits.
+    /// Policy-run memory-cache hits (the `dri_` prefix is historical:
+    /// these count the non-baseline side of every pair, whichever
+    /// leakage policy it runs).
     pub dri_hits: u64,
-    /// DRI simulations executed (missed memory *and* disk).
+    /// Policy simulations executed (missed memory *and* disk).
     pub dri_misses: u64,
-    /// DRI runs loaded from the disk store (no simulation ran).
+    /// Policy runs loaded from the disk store (no simulation ran).
     pub dri_disk_hits: u64,
-    /// DRI runs fetched from the remote service (no simulation ran).
+    /// Policy runs fetched from the remote service (no simulation ran).
     pub dri_remote_hits: u64,
 }
 
@@ -319,12 +326,13 @@ pub struct PrefetchStats {
 }
 
 /// Per-tier lookup-resolution latency: each histogram holds the
-/// wall-times of the [`SimSession::conventional`]/[`SimSession::dri`]
-/// lookups *answered by that tier* — so `memory` is the warm-path cost,
-/// `disk` the load+decode cost, `remote` the round-trip cost, and
-/// `simulate` the price of a true miss. Only populated on a **timed**
-/// session ([`dri_telemetry::timing_enabled`] at construction, or
-/// [`SimSession::with_timing`]): the warm memory path runs in hundreds
+/// wall-times of the
+/// [`SimSession::conventional`]/[`SimSession::policy_run`] lookups
+/// *answered by that tier* — so `memory` is the warm-path cost, `disk`
+/// the load+decode cost, `remote` the round-trip cost, and `simulate`
+/// the price of a true miss. Only populated on a **timed** session
+/// ([`dri_telemetry::timing_enabled`] at construction, or
+/// [`SessionBuilder::timed`]): the warm memory path runs in hundreds
 /// of nanoseconds, where even two clock reads are visible, so untimed
 /// sessions skip the clocks entirely.
 #[derive(Debug, Default)]
@@ -365,13 +373,13 @@ impl TierLatency {
 /// Memoization scope for workloads and runs (see the module docs).
 ///
 /// Most callers use [`SimSession::global`] through the `runner` free
-/// functions; a fresh `SimSession::new()` gives tests and long-lived
-/// servers an isolated scope they can drop to release memory.
+/// functions; a fresh `SimSession::builder().build()` gives tests and
+/// long-lived servers an isolated scope they can drop to release memory.
 #[derive(Debug, Default)]
 pub struct SimSession {
     workloads: Mutex<HashMap<WorkloadKey, Arc<Generated>>>,
     baselines: Mutex<HashMap<BaselineKey, ConventionalRun>>,
-    dri_runs: Mutex<HashMap<DriKey, DriRun>>,
+    dri_runs: Mutex<HashMap<PolicyKey, DriRun>>,
     stats: Mutex<SessionStats>,
     prefetch_totals: Mutex<PrefetchStats>,
     /// Store keys a successful remote exchange has definitively answered
@@ -403,60 +411,75 @@ pub struct SimSession {
     remote: Option<RemoteStore>,
 }
 
-impl SimSession {
-    /// Creates an empty, memory-only session. Timing is resolved from
-    /// the environment ([`dri_telemetry::timing_enabled`]).
-    pub fn new() -> Self {
-        Self::with_tiers(None, None)
+/// Builds a [`SimSession`] from any combination of optional tiers and
+/// switches — the one construction path (the former `new` /
+/// `with_store` / `with_remote` / `with_tiers` / `with_tiers_push` /
+/// `with_timing` constructor family kept drifting apart: PR 7 fixed a
+/// flag one of them silently dropped).
+///
+/// Defaults: memory-only, push off, timing resolved from the
+/// environment ([`dri_telemetry::timing_enabled`]) at `build()` unless
+/// [`Self::timed`] pins it.
+///
+/// ```
+/// use dri_experiments::session::SimSession;
+///
+/// let session = SimSession::builder().build(); // memory-only
+/// assert!(session.store().is_none() && session.remote().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    store: Option<ResultStore>,
+    remote: Option<RemoteStore>,
+    push: bool,
+    timed: Option<bool>,
+}
+
+impl SessionBuilder {
+    /// Attaches (or, with `None`, omits) the disk tier.
+    pub fn store(mut self, store: impl Into<Option<ResultStore>>) -> Self {
+        self.store = store.into();
+        self
     }
 
-    /// A memory-only session with lookup timing set explicitly — the
-    /// bench harness uses `with_timing(true)` to measure the timed warm
+    /// Attaches (or, with `None`, omits) the remote tier.
+    pub fn remote(mut self, remote: impl Into<Option<RemoteStore>>) -> Self {
+        self.remote = remote.into();
+        self
+    }
+
+    /// Sets write-through push mode explicitly (tests use this instead
+    /// of mutating the process environment; `DRI_PUSH` is still
+    /// consulted afresh on every simulation either way).
+    pub fn push(mut self, push: bool) -> Self {
+        self.push = push;
+        self
+    }
+
+    /// Pins lookup timing instead of resolving it from the environment —
+    /// the bench harness uses `.timed(true)` to measure the timed warm
     /// path without touching the process environment.
-    pub fn with_timing(timed: bool) -> Self {
+    pub fn timed(mut self, timed: bool) -> Self {
+        self.timed = Some(timed);
+        self
+    }
+
+    /// Finishes the session.
+    pub fn build(self) -> SimSession {
         SimSession {
-            timed,
-            ..Self::default()
+            store: self.store,
+            remote: self.remote,
+            push: self.push,
+            timed: self.timed.unwrap_or_else(dri_telemetry::timing_enabled),
+            ..SimSession::default()
         }
     }
+}
 
-    /// Creates a session backed by `store` as its second cache tier
-    /// (memory → disk → simulate).
-    pub fn with_store(store: ResultStore) -> Self {
-        Self::with_tiers(Some(store), None)
-    }
-
-    /// Creates a session backed by a remote result service as its only
-    /// extra tier (memory → remote → simulate) — a disk-less worker.
-    pub fn with_remote(remote: RemoteStore) -> Self {
-        Self::with_tiers(None, Some(remote))
-    }
-
-    /// Creates a session with any combination of the optional tiers:
-    /// memory → disk → remote → simulate.
-    pub fn with_tiers(store: Option<ResultStore>, remote: Option<RemoteStore>) -> Self {
-        SimSession {
-            store,
-            remote,
-            timed: dri_telemetry::timing_enabled(),
-            ..Self::default()
-        }
-    }
-
-    /// [`Self::with_tiers`] with write-through push mode set explicitly
-    /// (tests use this instead of mutating the process environment).
-    pub fn with_tiers_push(
-        store: Option<ResultStore>,
-        remote: Option<RemoteStore>,
-        push: bool,
-    ) -> Self {
-        SimSession {
-            store,
-            remote,
-            push,
-            timed: dri_telemetry::timing_enabled(),
-            ..Self::default()
-        }
+impl SimSession {
+    /// Starts building a session; see [`SessionBuilder`].
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
     }
 
     /// The process-wide session every default-path run shares. Attaches
@@ -466,7 +489,10 @@ impl SimSession {
     pub fn global() -> &'static SimSession {
         static GLOBAL: OnceLock<SimSession> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            SimSession::with_tiers(ResultStore::from_env(), RemoteStore::from_env())
+            SimSession::builder()
+                .store(ResultStore::from_env())
+                .remote(RemoteStore::from_env())
+                .build()
         })
     }
 
@@ -634,7 +660,7 @@ impl SimSession {
         // membership probes, never across I/O.
         let mut plan = KeyPlan::new();
         let mut pending_baselines: Vec<(u128, BaselineKey, &RunConfig)> = Vec::new();
-        let mut pending_dri: Vec<(u128, DriKey, &RunConfig)> = Vec::new();
+        let mut pending_dri: Vec<(u128, PolicyKey, &RunConfig)> = Vec::new();
         {
             let baselines = self.baselines.lock().expect("baseline lock");
             let dri_runs = self.dri_runs.lock().expect("dri lock");
@@ -653,14 +679,14 @@ impl SimSession {
                         pending_baselines.push((store_key, key, cfg));
                     }
                 }
-                let store_key = crate::persist::dri_key(cfg);
+                let store_key = crate::persist::policy_key(cfg);
                 if plan.push(
-                    crate::persist::DRI_KIND,
+                    crate::persist::policy_kind(cfg),
                     crate::persist::SCHEMA_VERSION,
                     store_key,
                 ) {
                     report.planned += 1;
-                    let key = DriKey::of(cfg);
+                    let key = PolicyKey::of(cfg);
                     if dri_runs.contains_key(&key) {
                         report.memory_hits += 1;
                     } else {
@@ -681,9 +707,9 @@ impl SimSession {
                 }
                 None => true,
             });
-            pending_dri.retain(|&(store_key, key, cfg)| match self.disk_dri(cfg) {
+            pending_dri.retain(|&(store_key, key, cfg)| match self.disk_policy(cfg) {
                 Some(run) => {
-                    debug_assert_eq!(store_key, crate::persist::dri_key(cfg));
+                    debug_assert_eq!(store_key, crate::persist::policy_key(cfg));
                     self.install_dri(key, run, TierHit::Disk);
                     report.disk_hits += 1;
                     false
@@ -724,9 +750,9 @@ impl SimSession {
                         store_key,
                     )
                 }));
-                entries.extend(pending_dri.iter().map(|&(store_key, _, _)| {
+                entries.extend(pending_dri.iter().map(|&(store_key, _, cfg)| {
                     (
-                        crate::persist::DRI_KIND,
+                        crate::persist::policy_kind(cfg),
                         crate::persist::SCHEMA_VERSION,
                         store_key,
                     )
@@ -755,12 +781,16 @@ impl SimSession {
                         _ => report.misses += 1,
                     }
                 }
-                for (store_key, key, _) in pending_dri {
+                for (store_key, key, cfg) in pending_dri {
                     match outcomes.next() {
                         Some(BatchEntry::Hit(payload)) => {
                             match crate::persist::decode_dri(&payload) {
                                 Some(run) => {
-                                    self.heal(crate::persist::DRI_KIND, store_key, &payload);
+                                    self.heal(
+                                        crate::persist::policy_kind(cfg),
+                                        store_key,
+                                        &payload,
+                                    );
                                     self.install_dri(key, run, TierHit::Remote);
                                     report.remote_hits += 1;
                                 }
@@ -827,9 +857,9 @@ impl SimSession {
             .or_insert(run);
     }
 
-    /// Publishes a prefetched DRI run to the memory tier (see
+    /// Publishes a prefetched policy run to the memory tier (see
     /// [`Self::install_baseline`]).
-    fn install_dri(&self, key: DriKey, run: DriRun, tier: TierHit) {
+    fn install_dri(&self, key: PolicyKey, run: DriRun, tier: TierHit) {
         {
             let mut stats = self.stats.lock().expect("session stats lock");
             match tier {
@@ -886,12 +916,15 @@ impl SimSession {
         )
     }
 
-    /// Loads a DRI run from the disk tier (see [`Self::disk_conventional`]).
-    fn disk_dri(&self, cfg: &RunConfig) -> Option<DriRun> {
+    /// Loads a policy run from the disk tier (see
+    /// [`Self::disk_conventional`]). Every policy kind shares the
+    /// [`crate::persist::decode_dri`] payload layout; only the key and
+    /// the kind directory differ.
+    fn disk_policy(&self, cfg: &RunConfig) -> Option<DriRun> {
         self.store.as_ref()?.load_decoded(
-            crate::persist::DRI_KIND,
+            crate::persist::policy_kind(cfg),
             crate::persist::SCHEMA_VERSION,
-            crate::persist::dri_key(cfg),
+            crate::persist::policy_key(cfg),
             crate::persist::decode_dri,
         )
     }
@@ -937,11 +970,11 @@ impl SimSession {
         )
     }
 
-    /// Fetches a DRI run from the remote tier.
-    fn remote_dri(&self, cfg: &RunConfig) -> Option<DriRun> {
+    /// Fetches a policy run from the remote tier.
+    fn remote_policy(&self, cfg: &RunConfig) -> Option<DriRun> {
         self.remote_fetch(
-            crate::persist::DRI_KIND,
-            crate::persist::dri_key(cfg),
+            crate::persist::policy_kind(cfg),
+            crate::persist::policy_key(cfg),
             crate::persist::decode_dri,
         )
     }
@@ -1034,29 +1067,32 @@ impl SimSession {
         )
     }
 
-    /// The memoized DRI run for `cfg`: memory, then disk, then the
-    /// remote service, then a fresh simulation (whose result is
+    /// The memoized leakage-policy run for `cfg` (DRI unless
+    /// [`RunConfig::policy`] selects another model): memory, then disk,
+    /// then the remote service, then a fresh simulation (whose result is
     /// published to the local tiers). Timed exactly like
-    /// [`Self::conventional`].
-    pub fn dri(&self, cfg: &RunConfig) -> DriRun {
+    /// [`Self::conventional`]; the trace span is named after the policy
+    /// kind, so a trace distinguishes the models at a glance.
+    pub fn policy_run(&self, cfg: &RunConfig) -> DriRun {
         if !self.timed {
-            return self.dri_resolve(cfg).0;
+            return self.policy_resolve(cfg).0;
         }
-        let span = Span::begin("tier", "dri").label("benchmark", cfg.benchmark.name());
-        let (run, tier) = self.dri_resolve(cfg);
+        let span = Span::begin("tier", crate::persist::policy_kind(cfg))
+            .label("benchmark", cfg.benchmark.name());
+        let (run, tier) = self.policy_resolve(cfg);
         let elapsed = span.finish(tier);
         self.tier_latency.of(tier).record_duration(elapsed);
         run
     }
 
-    /// The tier fall-through behind [`Self::dri`].
-    fn dri_resolve(&self, cfg: &RunConfig) -> (DriRun, &'static str) {
-        let key = DriKey::of(cfg);
+    /// The tier fall-through behind [`Self::policy_run`].
+    fn policy_resolve(&self, cfg: &RunConfig) -> (DriRun, &'static str) {
+        let key = PolicyKey::of(cfg);
         if let Some(found) = self.dri_runs.lock().expect("dri lock").get(&key) {
             self.stats.lock().expect("session stats lock").dri_hits += 1;
             return (*found, "memory");
         }
-        if let Some(run) = self.disk_dri(cfg) {
+        if let Some(run) = self.disk_policy(cfg) {
             self.stats.lock().expect("session stats lock").dri_disk_hits += 1;
             return (
                 *self
@@ -1068,7 +1104,7 @@ impl SimSession {
                 "disk",
             );
         }
-        if let Some(run) = self.remote_dri(cfg) {
+        if let Some(run) = self.remote_policy(cfg) {
             self.stats
                 .lock()
                 .expect("session stats lock")
@@ -1083,22 +1119,18 @@ impl SimSession {
                 "remote",
             );
         }
-        let run = crate::runner::run_dri_fresh_in(self, cfg);
+        let run = crate::runner::run_policy_fresh_in(self, cfg);
         self.stats.lock().expect("session stats lock").dri_misses += 1;
         let push = self.push_active();
         if self.store.is_some() || push {
-            let store_key = crate::persist::dri_key(cfg);
+            let kind = crate::persist::policy_kind(cfg);
+            let store_key = crate::persist::policy_key(cfg);
             let payload = crate::persist::encode_dri(&run);
             if let Some(store) = &self.store {
-                store.save(
-                    crate::persist::DRI_KIND,
-                    crate::persist::SCHEMA_VERSION,
-                    store_key,
-                    &payload,
-                );
+                store.save(kind, crate::persist::SCHEMA_VERSION, store_key, &payload);
             }
             if push {
-                self.buffer_push(crate::persist::DRI_KIND, store_key, payload);
+                self.buffer_push(kind, store_key, payload);
             }
         }
         (
@@ -1119,7 +1151,7 @@ mod tests {
 
     #[test]
     fn workload_is_generated_once_per_key() {
-        let session = SimSession::new();
+        let session = SimSession::builder().build();
         let cfg = RunConfig::quick(Benchmark::Li);
         let a = session.workload(&cfg);
         let b = session.workload(&cfg);
@@ -1137,7 +1169,7 @@ mod tests {
 
     #[test]
     fn baseline_is_shared_across_dri_parameter_changes() {
-        let session = SimSession::new();
+        let session = SimSession::builder().build();
         let mut cfg = RunConfig::quick(Benchmark::Compress);
         cfg.instruction_budget = Some(100_000);
         let a = session.conventional(&cfg);
@@ -1157,12 +1189,14 @@ mod tests {
 
     #[test]
     fn push_mode_buffers_simulations_and_survives_a_dead_server() {
-        let session =
-            SimSession::with_tiers_push(None, Some(RemoteStore::new("127.0.0.1:1")), true);
+        let session = SimSession::builder()
+            .remote(RemoteStore::new("127.0.0.1:1"))
+            .push(true)
+            .build();
         let mut cfg = RunConfig::quick(Benchmark::Li);
         cfg.instruction_budget = Some(60_000);
         let _ = session.conventional(&cfg);
-        let _ = session.dri(&cfg);
+        let _ = session.policy_run(&cfg);
         let report = session.push_pending();
         assert_eq!(report.batches, 1);
         assert_eq!(report.attempted, 2, "baseline + dri were buffered");
@@ -1173,26 +1207,50 @@ mod tests {
         assert_eq!(session.push_pending().batches, 0);
         assert_eq!(session.push_stats().attempted, 2, "totals aggregate");
         // Memory/tier hits are never buffered — only true simulations.
-        let _ = session.dri(&cfg);
+        let _ = session.policy_run(&cfg);
         assert_eq!(session.push_pending().attempted, 0);
 
         // With push mode off nothing accumulates in the first place.
-        let quiet = SimSession::with_tiers_push(None, Some(RemoteStore::new("127.0.0.1:1")), false);
-        let _ = quiet.dri(&cfg);
+        let quiet = SimSession::builder()
+            .remote(RemoteStore::new("127.0.0.1:1"))
+            .build();
+        let _ = quiet.policy_run(&cfg);
         assert_eq!(quiet.push_pending().attempted, 0);
     }
 
     #[test]
     fn dri_runs_memoize_on_the_full_config() {
-        let session = SimSession::new();
+        let session = SimSession::builder().build();
         let mut cfg = RunConfig::quick(Benchmark::Mgrid);
         cfg.instruction_budget = Some(100_000);
-        let a = session.dri(&cfg);
-        let b = session.dri(&cfg);
+        let a = session.policy_run(&cfg);
+        let b = session.policy_run(&cfg);
         assert_eq!(a.timing.cycles, b.timing.cycles);
         assert_eq!(session.stats().dri_hits, 1);
         cfg.dri.sense_interval /= 2;
-        let _ = session.dri(&cfg);
+        let _ = session.policy_run(&cfg);
         assert_eq!(session.stats().dri_misses, 2);
+    }
+
+    #[test]
+    fn policies_memoize_under_disjoint_keys() {
+        let session = SimSession::builder().build();
+        let mut cfg = RunConfig::quick(Benchmark::Li);
+        cfg.instruction_budget = Some(60_000);
+        let dri = session.policy_run(&cfg);
+        cfg.policy = Some(PolicyConfig::Decay(PolicyConfig::decay_from(&cfg.dri)));
+        let decay = session.policy_run(&cfg);
+        // Two models, two simulations, no aliasing — and an explicit
+        // DRI selection lands back on the default entry.
+        assert_eq!(session.stats().dri_misses, 2);
+        cfg.policy = Some(PolicyConfig::Dri(cfg.dri));
+        let explicit = session.policy_run(&cfg);
+        assert_eq!(session.stats().dri_hits, 1);
+        assert_eq!(explicit.timing.cycles, dri.timing.cycles);
+        assert_ne!(
+            (decay.dri.avg_active_fraction, decay.dri.resizes),
+            (dri.dri.avg_active_fraction, dri.dri.resizes),
+            "decay gates per line; its accounting must differ from DRI's"
+        );
     }
 }

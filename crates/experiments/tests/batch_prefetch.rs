@@ -109,20 +109,20 @@ fn cold_worker_prefetches_a_figure3_grid_in_one_round_trip() {
     assert_eq!(unique_records, 105, "the full quick figure3 record grid");
 
     // Campaign host: simulate the whole grid into the central store.
-    let writer = SimSession::with_store(open_store(&central));
+    let writer = SimSession::builder().store(open_store(&central)).build();
     let reference: Vec<(ConventionalRun, DriRun)> = grid
         .iter()
-        .map(|cfg| (writer.conventional(cfg), writer.dri(cfg)))
+        .map(|cfg| (writer.conventional(cfg), writer.policy_run(cfg)))
         .collect();
     assert_eq!(writer.stats().simulations() as usize, unique_records);
 
     // Cold worker, disk-less memory, empty local store: the whole grid
     // must arrive in one POST /batch.
     let server = serve(&central);
-    let worker = SimSession::with_tiers(
-        Some(open_store(&local)),
-        Some(RemoteStore::new(server.addr().to_string())),
-    );
+    let worker = SimSession::builder()
+        .store(open_store(&local))
+        .remote(RemoteStore::new(server.addr().to_string()))
+        .build();
     let report = worker.prefetch(&grid);
     assert_eq!(
         report.planned as usize,
@@ -140,7 +140,7 @@ fn cold_worker_prefetches_a_figure3_grid_in_one_round_trip() {
     // the writer's fresh simulations.
     for (cfg, (ref_baseline, ref_dri)) in grid.iter().zip(&reference) {
         assert_conventional_identical(ref_baseline, &worker.conventional(cfg), "grid baseline");
-        assert_dri_identical(ref_dri, &worker.dri(cfg), "grid dri");
+        assert_dri_identical(ref_dri, &worker.policy_run(cfg), "grid dri");
     }
     let stats = worker.stats();
     assert_eq!(stats.simulations(), 0, "nothing simulated locally");
@@ -163,14 +163,14 @@ fn cold_worker_prefetches_a_figure3_grid_in_one_round_trip() {
         unique_records
     );
     server.shutdown();
-    let offline = SimSession::with_store(open_store(&local));
+    let offline = SimSession::builder().store(open_store(&local)).build();
     let report = offline.prefetch(&grid);
     assert_eq!(report.disk_hits as usize, unique_records);
     assert_eq!(report.batch_round_trips, 0);
     assert_eq!(report.misses, 0);
     for (cfg, (ref_baseline, ref_dri)) in grid.iter().zip(&reference) {
         assert_conventional_identical(ref_baseline, &offline.conventional(cfg), "healed baseline");
-        assert_dri_identical(ref_dri, &offline.dri(cfg), "healed dri");
+        assert_dri_identical(ref_dri, &offline.policy_run(cfg), "healed dri");
     }
     assert_eq!(offline.stats().simulations(), 0);
 
@@ -180,7 +180,7 @@ fn cold_worker_prefetches_a_figure3_grid_in_one_round_trip() {
 
 #[test]
 fn empty_and_memory_warm_plans_are_no_ops() {
-    let session = SimSession::new();
+    let session = SimSession::builder().build();
     let report = session.prefetch(&[]);
     assert_eq!(report.plans, 1);
     assert_eq!(report.planned, 0);
@@ -197,8 +197,10 @@ fn empty_and_memory_warm_plans_are_no_ops() {
     // Once the session is warm, the same plan is pure memory hits —
     // even through a breaker-protected remote that must not be touched.
     let _ = session.conventional(&cfg);
-    let _ = session.dri(&cfg);
-    let warm = SimSession::with_remote(RemoteStore::new("127.0.0.1:1"));
+    let _ = session.policy_run(&cfg);
+    let warm = SimSession::builder()
+        .remote(RemoteStore::new("127.0.0.1:1"))
+        .build();
     let _ = warm.prefetch(std::slice::from_ref(&cfg)); // cold: all misses
     let sims = warm.stats();
     assert_eq!(sims.simulations(), 0, "prefetch never simulates");
@@ -223,17 +225,17 @@ fn partial_miss_prefetch_recomputes_and_heals_only_the_misses() {
     assert_eq!(grid.len(), 6);
 
     // The central store only ever saw half the grid.
-    let writer = SimSession::with_store(open_store(&central));
+    let writer = SimSession::builder().store(open_store(&central)).build();
     for cfg in &grid[..3] {
         let _ = writer.conventional(cfg);
-        let _ = writer.dri(cfg);
+        let _ = writer.policy_run(cfg);
     }
 
     let server = serve(&central);
-    let worker = SimSession::with_tiers(
-        Some(open_store(&local)),
-        Some(RemoteStore::new(server.addr().to_string())),
-    );
+    let worker = SimSession::builder()
+        .store(open_store(&local))
+        .remote(RemoteStore::new(server.addr().to_string()))
+        .build();
     let report = worker.prefetch(&grid);
     assert_eq!(report.planned, 7, "6 DRI points + 1 shared baseline");
     assert_eq!(report.batch_round_trips, 1);
@@ -251,7 +253,11 @@ fn partial_miss_prefetch_recomputes_and_heals_only_the_misses() {
     // The sweep replays: only the misses simulate, and they match an
     // uncached reference bit for bit.
     for cfg in &grid {
-        assert_dri_identical(&run_dri_uncached(cfg), &worker.dri(cfg), "partial grid");
+        assert_dri_identical(
+            &run_dri_uncached(cfg),
+            &worker.policy_run(cfg),
+            "partial grid",
+        );
     }
     assert_eq!(worker.stats().simulations(), 3);
     // Neither the nested plan nor the per-point lookups that preceded
@@ -263,7 +269,7 @@ fn partial_miss_prefetch_recomputes_and_heals_only_the_misses() {
     // Healed fetches + recomputed misses both landed in the local store:
     // the same grid now prefetches entirely from disk.
     server.shutdown();
-    let offline = SimSession::with_store(open_store(&local));
+    let offline = SimSession::builder().store(open_store(&local)).build();
     let report = offline.prefetch(&grid);
     assert_eq!(report.disk_hits, 7);
     assert_eq!(report.misses, 0);
@@ -279,8 +285,8 @@ fn corrupt_central_record_degrades_to_recompute_and_heal() {
     let mut cfg = RunConfig::quick(Benchmark::Li);
     cfg.instruction_budget = Some(60_000);
 
-    let writer = SimSession::with_store(open_store(&central));
-    let ref_dri = writer.dri(&cfg);
+    let writer = SimSession::builder().store(open_store(&central)).build();
+    let ref_dri = writer.policy_run(&cfg);
     let _ = writer.conventional(&cfg);
 
     // Damage the stored DRI record. The server validates before it
@@ -298,21 +304,21 @@ fn corrupt_central_record_degrades_to_recompute_and_heal() {
     fs::write(&path, &bytes).expect("tamper");
 
     let server = serve(&central);
-    let worker = SimSession::with_tiers(
-        Some(open_store(&local)),
-        Some(RemoteStore::new(server.addr().to_string())),
-    );
+    let worker = SimSession::builder()
+        .store(open_store(&local))
+        .remote(RemoteStore::new(server.addr().to_string()))
+        .build();
     let report = worker.prefetch(std::slice::from_ref(&cfg));
     assert_eq!(report.batch_round_trips, 1);
     assert_eq!(report.remote_hits, 1, "the baseline still arrives");
     assert_eq!(report.misses, 1, "the corrupt record is a clean miss");
 
-    let recomputed = worker.dri(&cfg);
+    let recomputed = worker.policy_run(&cfg);
     assert_dri_identical(&ref_dri, &recomputed, "recompute after corruption");
     assert_eq!(worker.stats().dri_misses, 1);
     // The recompute healed the local tier; the grid is whole again here.
     server.shutdown();
-    let offline = SimSession::with_store(open_store(&local));
+    let offline = SimSession::builder().store(open_store(&local)).build();
     let report = offline.prefetch(std::slice::from_ref(&cfg));
     assert_eq!(report.disk_hits, 2);
     assert_eq!(report.misses, 0);

@@ -20,8 +20,8 @@
 //!
 //! Like the other tier tests, every test runs its own ephemeral server
 //! over its own temp store — nothing reads or pollutes `DRI_*` variables
-//! (sessions get their push flag via `SimSession::with_tiers_push`, not
-//! the environment).
+//! (sessions get their push flag via `SessionBuilder::push`, not the
+//! environment).
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -58,14 +58,13 @@ fn serve_writable(root: &Path) -> Server {
 
 /// A cold worker that simulates what it must and pushes it upward.
 fn pushing_worker(addr: &str, token: &str) -> SimSession {
-    SimSession::with_tiers_push(
-        None,
-        Some(RemoteStore::with_token(
+    SimSession::builder()
+        .remote(RemoteStore::with_token(
             addr.to_owned(),
             Some(token.to_owned()),
-        )),
-        true,
-    )
+        ))
+        .push(true)
+        .build()
 }
 
 /// Each benchmark's full quick-space search grid at a test-sized budget
@@ -152,7 +151,7 @@ fn two_pushing_workers_fill_the_store_and_a_cold_third_replays_everything() {
         let report = worker.prefetch(&half_grid);
         assert_eq!(report.misses as usize, half_records, "cold store");
         for cfg in &half_grid {
-            reference.push((worker.conventional(cfg), worker.dri(cfg)));
+            reference.push((worker.conventional(cfg), worker.policy_run(cfg)));
         }
         assert_eq!(worker.stats().simulations() as usize, half_records);
         let push = worker.push_pending();
@@ -163,7 +162,7 @@ fn two_pushing_workers_fill_the_store_and_a_cold_third_replays_everything() {
         assert_eq!(push.failed, 0);
         assert_eq!(push.round_trips, 1, "one chunked POST /batch-put");
         let remote = worker.remote_stats().expect("remote attached");
-        assert_eq!(remote.pushes as usize, half_records);
+        assert_eq!(remote.records_accepted as usize, half_records);
         assert_eq!(remote.push_round_trips, 1);
         pushed_total += half_records;
     }
@@ -176,7 +175,9 @@ fn two_pushing_workers_fill_the_store_and_a_cold_third_replays_everything() {
     // A third, completely cold worker replays the full grid: one batch
     // round-trip, zero simulations, zero workload generations, and every
     // counter bit-identical to the workers' fresh runs.
-    let replayer = SimSession::with_remote(RemoteStore::new(addr.clone()));
+    let replayer = SimSession::builder()
+        .remote(RemoteStore::new(addr.clone()))
+        .build();
     let report = replayer.prefetch(&grid);
     assert_eq!(report.planned as usize, unique_records);
     assert_eq!(
@@ -187,7 +188,7 @@ fn two_pushing_workers_fill_the_store_and_a_cold_third_replays_everything() {
     assert_eq!(report.batch_round_trips, 1, "exactly one POST /batch");
     for (cfg, (ref_baseline, ref_dri)) in grid.iter().zip(&reference) {
         assert_conventional_identical(ref_baseline, &replayer.conventional(cfg), "replay baseline");
-        assert_dri_identical(ref_dri, &replayer.dri(cfg), "replay dri");
+        assert_dri_identical(ref_dri, &replayer.policy_run(cfg), "replay dri");
     }
     let stats = replayer.stats();
     assert_eq!(stats.simulations(), 0, "nothing simulated on replay");
@@ -198,13 +199,15 @@ fn two_pushing_workers_fill_the_store_and_a_cold_third_replays_everything() {
     // healed store identically.
     server.shutdown();
     let server = Server::bind(Arc::new(open_store(&central)), "127.0.0.1:0", 4).expect("rebind");
-    let late = SimSession::with_remote(RemoteStore::new(server.addr().to_string()));
+    let late = SimSession::builder()
+        .remote(RemoteStore::new(server.addr().to_string()))
+        .build();
     let report = late.prefetch(&grid);
     assert_eq!(report.remote_hits as usize, unique_records);
     assert_eq!(report.misses, 0);
     for (cfg, (ref_baseline, ref_dri)) in grid.iter().zip(&reference) {
         assert_conventional_identical(ref_baseline, &late.conventional(cfg), "restart baseline");
-        assert_dri_identical(ref_dri, &late.dri(cfg), "restart dri");
+        assert_dri_identical(ref_dri, &late.policy_run(cfg), "restart dri");
     }
     assert_eq!(late.stats().simulations(), 0);
 
@@ -225,31 +228,31 @@ fn wrong_token_pushes_are_rejected_and_replayers_recompute_locally() {
     // pushes bounce with 401 and its results stay local.
     let worker = pushing_worker(&addr, "not-the-secret");
     let ref_baseline = worker.conventional(&cfg);
-    let ref_dri = worker.dri(&cfg);
+    let ref_dri = worker.policy_run(&cfg);
     let push = worker.push_pending();
     assert_eq!(push.attempted, 2);
     assert_eq!(push.pushed, 0);
     assert_eq!(push.rejected, 2, "definitive 401, not a transport failure");
     assert_eq!(push.failed, 0);
     let remote = worker.remote_stats().expect("remote attached");
-    assert_eq!(remote.push_rejected, 2);
+    assert_eq!(remote.writes_rejected, 2);
     assert_eq!(remote.errors, 0, "auth rejection never trips the breaker");
     assert!(remote.push_round_trips >= 1);
     // Pushes latch off after a definitive rejection; reads still work.
-    let _ = worker.dri(&cfg);
+    let _ = worker.policy_run(&cfg);
     let server_stats = server.stats();
     assert_eq!(server_stats.records_accepted, 0, "nothing landed");
     assert!(server_stats.writes_rejected >= 1);
 
     // A replayer finds nothing remote and degrades to local recompute —
     // bit-identical, just not free.
-    let replayer = SimSession::with_remote(RemoteStore::new(addr));
+    let replayer = SimSession::builder().remote(RemoteStore::new(addr)).build();
     assert_conventional_identical(
         &ref_baseline,
         &replayer.conventional(&cfg),
         "recomputed baseline",
     );
-    assert_dri_identical(&ref_dri, &replayer.dri(&cfg), "recomputed dri");
+    assert_dri_identical(&ref_dri, &replayer.policy_run(&cfg), "recomputed dri");
     assert_eq!(replayer.stats().simulations(), 2, "nothing was served");
 
     server.shutdown();
@@ -271,10 +274,10 @@ fn a_corrupt_frame_fails_only_its_own_entry() {
     let baseline_key = dri_experiments::persist::baseline_key(&cfg);
     let dri_key = dri_experiments::persist::dri_key(&cfg);
     let schema = dri_experiments::persist::SCHEMA_VERSION;
-    let session = SimSession::new();
+    let session = SimSession::builder().build();
     let baseline_payload =
         dri_experiments::persist::encode_conventional(&session.conventional(&cfg));
-    let dri_payload = dri_experiments::persist::encode_dri(&session.dri(&cfg));
+    let dri_payload = dri_experiments::persist::encode_dri(&session.policy_run(&cfg));
     let baseline_record = dri_store::frame_record(schema, baseline_key, &baseline_payload);
     let dri_record = dri_store::frame_record(schema, dri_key, &dri_payload);
     let mut tampered = dri_store::frame_record(schema, 0x1234, b"tampered payload");
@@ -305,8 +308,14 @@ fn a_corrupt_frame_fails_only_its_own_entry() {
 
     // The two good records serve a cold replayer; the grid point the
     // corrupt frame would have covered recomputes locally.
-    let replayer = SimSession::with_remote(RemoteStore::new(server.addr().to_string()));
-    assert_dri_identical(&session.dri(&cfg), &replayer.dri(&cfg), "served dri");
+    let replayer = SimSession::builder()
+        .remote(RemoteStore::new(server.addr().to_string()))
+        .build();
+    assert_dri_identical(
+        &session.policy_run(&cfg),
+        &replayer.policy_run(&cfg),
+        "served dri",
+    );
     assert_conventional_identical(
         &session.conventional(&cfg),
         &replayer.conventional(&cfg),
@@ -327,7 +336,7 @@ fn pushes_to_a_read_only_server_degrade_cleanly() {
     // The server has no token: the write path is disabled outright.
     let server = Server::bind(Arc::new(open_store(&central)), "127.0.0.1:0", 4).expect("bind");
     let worker = pushing_worker(&server.addr().to_string(), TOKEN);
-    let _ = worker.dri(&cfg);
+    let _ = worker.policy_run(&cfg);
     let push = worker.push_pending();
     assert_eq!(push.attempted, 1);
     assert_eq!(push.rejected, 1, "405: writes disabled");
@@ -336,7 +345,7 @@ fn pushes_to_a_read_only_server_degrade_cleanly() {
     assert!(server.stats().writes_rejected >= 1);
     // The worker's results still exist in its own memory tier.
     assert_eq!(worker.stats().dri_hits, 0);
-    let _ = worker.dri(&cfg);
+    let _ = worker.policy_run(&cfg);
     assert_eq!(worker.stats().dri_hits, 1);
 
     server.shutdown();

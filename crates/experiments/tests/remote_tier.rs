@@ -95,16 +95,18 @@ fn cold_disk_less_worker_warm_starts_from_the_wire() {
     let cfg = test_config();
 
     // The central host simulates once and keeps the records.
-    let writer = SimSession::with_store(open_store(&central));
+    let writer = SimSession::builder().store(open_store(&central)).build();
     let ref_baseline = writer.conventional(&cfg);
-    let ref_dri = writer.dri(&cfg);
+    let ref_dri = writer.policy_run(&cfg);
     assert_eq!(writer.stats().simulations(), 2);
 
     let server = serve(&central);
     // A cold worker with no disk store at all: memory → remote → simulate.
-    let worker = SimSession::with_remote(RemoteStore::new(server.addr().to_string()));
+    let worker = SimSession::builder()
+        .remote(RemoteStore::new(server.addr().to_string()))
+        .build();
     let baseline = worker.conventional(&cfg);
-    let dri = worker.dri(&cfg);
+    let dri = worker.policy_run(&cfg);
     assert_conventional_identical(&ref_baseline, &baseline, "remote baseline");
     assert_dri_identical(&ref_dri, &dri, "remote dri");
 
@@ -122,7 +124,7 @@ fn cold_disk_less_worker_warm_starts_from_the_wire() {
 
     // Within the session the memory tier absorbs repeats — no new
     // network traffic.
-    let again = worker.dri(&cfg);
+    let again = worker.policy_run(&cfg);
     assert_dri_identical(&ref_dri, &again, "memory re-hit");
     assert_eq!(worker.remote_stats().expect("remote attached").hits, 2);
 
@@ -149,19 +151,21 @@ fn remote_replays_the_figure3_grid_with_zero_local_simulations() {
     }
 
     // Campaign host: simulate the whole grid into the central store.
-    let writer = SimSession::with_store(open_store(&central));
+    let writer = SimSession::builder().store(open_store(&central)).build();
     let reference: Vec<(ConventionalRun, DriRun)> = grid
         .iter()
-        .map(|cfg| (writer.conventional(cfg), writer.dri(cfg)))
+        .map(|cfg| (writer.conventional(cfg), writer.policy_run(cfg)))
         .collect();
     assert!(writer.stats().simulations() > 0);
 
     // Cold worker: replays the same grid purely over the wire.
     let server = serve(&central);
-    let worker = SimSession::with_remote(RemoteStore::new(server.addr().to_string()));
+    let worker = SimSession::builder()
+        .remote(RemoteStore::new(server.addr().to_string()))
+        .build();
     for (cfg, (ref_baseline, ref_dri)) in grid.iter().zip(&reference) {
         let baseline = worker.conventional(cfg);
-        let dri = worker.dri(cfg);
+        let dri = worker.policy_run(cfg);
         assert_conventional_identical(ref_baseline, &baseline, "grid baseline");
         assert_dri_identical(ref_dri, &dri, "grid dri");
     }
@@ -187,18 +191,18 @@ fn remote_hits_heal_the_local_disk_tier() {
     let local = temp_root("heal-local");
     let cfg = test_config();
 
-    let writer = SimSession::with_store(open_store(&central));
-    let ref_dri = writer.dri(&cfg);
+    let writer = SimSession::builder().store(open_store(&central)).build();
+    let ref_dri = writer.policy_run(&cfg);
     let ref_baseline = writer.conventional(&cfg);
 
     let server = serve(&central);
     // Worker with both tiers: remote hits must be written through to
     // the local store.
-    let worker = SimSession::with_tiers(
-        Some(open_store(&local)),
-        Some(RemoteStore::new(server.addr().to_string())),
-    );
-    assert_dri_identical(&ref_dri, &worker.dri(&cfg), "healing fetch");
+    let worker = SimSession::builder()
+        .store(open_store(&local))
+        .remote(RemoteStore::new(server.addr().to_string()))
+        .build();
+    assert_dri_identical(&ref_dri, &worker.policy_run(&cfg), "healing fetch");
     assert_eq!(worker.stats().dri_remote_hits, 1);
     assert_eq!(
         worker.store_stats().expect("local store").writes,
@@ -209,8 +213,8 @@ fn remote_hits_heal_the_local_disk_tier() {
 
     // With the server gone, a fresh process on this machine is served
     // entirely by the healed local store.
-    let offline = SimSession::with_store(open_store(&local));
-    assert_dri_identical(&ref_dri, &offline.dri(&cfg), "healed local record");
+    let offline = SimSession::builder().store(open_store(&local)).build();
+    assert_dri_identical(&ref_dri, &offline.policy_run(&cfg), "healed local record");
     let stats = offline.stats();
     assert_eq!(stats.dri_disk_hits, 1);
     assert_eq!(stats.simulations(), 0);
@@ -229,8 +233,8 @@ fn remote_hits_heal_the_local_disk_tier() {
 fn corrupt_served_records_degrade_to_identical_recompute() {
     let central = temp_root("corrupt-remote");
     let cfg = test_config();
-    let writer = SimSession::with_store(open_store(&central));
-    let _ = writer.dri(&cfg);
+    let writer = SimSession::builder().store(open_store(&central)).build();
+    let _ = writer.policy_run(&cfg);
 
     // Flip one payload byte in the stored record. The server validates
     // before serving, so the worker sees a 404 (miss), recomputes, and
@@ -247,8 +251,10 @@ fn corrupt_served_records_degrade_to_identical_recompute() {
     fs::write(&path, &bytes).expect("tamper");
 
     let server = serve(&central);
-    let worker = SimSession::with_remote(RemoteStore::new(server.addr().to_string()));
-    let dri = worker.dri(&cfg);
+    let worker = SimSession::builder()
+        .remote(RemoteStore::new(server.addr().to_string()))
+        .build();
+    let dri = worker.policy_run(&cfg);
     assert_dri_identical(&run_dri_uncached(&cfg), &dri, "recompute after corruption");
     let stats = worker.stats();
     assert_eq!(stats.dri_misses, 1, "corrupt remote record re-simulates");
@@ -267,8 +273,10 @@ fn corrupt_served_records_degrade_to_identical_recompute() {
 fn dead_server_degrades_to_local_simulation() {
     let cfg = test_config();
     // Nothing listens here; connects fail fast.
-    let worker = SimSession::with_remote(RemoteStore::new("127.0.0.1:1"));
-    let dri = worker.dri(&cfg);
+    let worker = SimSession::builder()
+        .remote(RemoteStore::new("127.0.0.1:1"))
+        .build();
+    let dri = worker.policy_run(&cfg);
     assert_dri_identical(
         &run_dri_uncached(&cfg),
         &dri,

@@ -1,16 +1,25 @@
 //! The session layer's contract: memoized (and parallel-swept) results
 //! are *bit-identical* to fresh, uncached, serial runs.
 //!
-//! `run_conventional`/`run_dri` route through the global
+//! `run_conventional`/`run_policy` route through the global
 //! [`dri_experiments::SimSession`]; `run_conventional_uncached`/
-//! `run_dri_uncached` regenerate the workload and always simulate. Every
-//! counter and every derived f64 must match to the last bit.
+//! `run_policy_uncached` regenerate the workload and always simulate.
+//! Every counter and every derived f64 must match to the last bit — for
+//! the paper's DRI cache and for every other [`PolicyConfig`] model.
+//!
+//! The FNV-128 store keys are part of the same contract: a key names a
+//! record in every store a fleet has ever written, so the golden-key
+//! fixtures below pin one key per record kind forever. A key change is
+//! a silent full-store invalidation and must be a deliberate
+//! `SCHEMA_VERSION` bump, never a refactor side-effect.
 
+use dri_experiments::persist::{baseline_key, policy_key, policy_kind};
 use dri_experiments::runner::{
     compare_with_baseline, run_conventional, run_conventional_uncached, run_dri, run_dri_uncached,
+    run_policy, run_policy_uncached, DriRun,
 };
 use dri_experiments::sweeps::miss_bound_sweep;
-use dri_experiments::{Comparison, RunConfig, SimSession};
+use dri_experiments::{Comparison, PolicyConfig, RunConfig, SimSession};
 use synth_workload::suite::Benchmark;
 
 fn assert_comparisons_bit_identical(a: &Comparison, b: &Comparison, what: &str) {
@@ -139,6 +148,102 @@ fn parallel_sweep_matches_serial_uncached_points() {
     assert_comparisons_bit_identical(&point(50), &sweep.half, "mgrid half");
     assert_comparisons_bit_identical(&point(100), &sweep.base, "mgrid base");
     assert_comparisons_bit_identical(&point(200), &sweep.double, "mgrid double");
+}
+
+/// The four policy variants of one config, keyed off its DRI parameters
+/// (the same derivation `figures::policies` sweeps).
+fn policy_variants(cfg: &RunConfig) -> Vec<RunConfig> {
+    [
+        PolicyConfig::Dri(cfg.dri),
+        PolicyConfig::Decay(PolicyConfig::decay_from(&cfg.dri)),
+        PolicyConfig::WayResize(PolicyConfig::way_resize_from(&cfg.dri)),
+        PolicyConfig::WayMemo(PolicyConfig::way_memo_from(&cfg.dri)),
+    ]
+    .into_iter()
+    .map(|p| {
+        let mut c = cfg.clone();
+        c.policy = Some(p);
+        c
+    })
+    .collect()
+}
+
+#[test]
+fn golden_store_keys_never_change() {
+    // One frozen key per record kind, computed from the unmodified
+    // `RunConfig::quick(Compress)` fixture when the policy layer landed.
+    // These constants are the on-disk/remote compatibility contract: a
+    // mismatch means every store a fleet has ever written silently went
+    // cold. If a key derivation must change, bump
+    // `persist::SCHEMA_VERSION` and recompute — never just update the
+    // constant to make the test pass.
+    let cfg = RunConfig::quick(Benchmark::Compress);
+    assert_eq!(
+        baseline_key(&cfg),
+        0x8826_86a6_511d_8176_5b58_9cab_fcf8_daa6,
+        "baseline key drifted"
+    );
+    let golden: [(&str, u128); 4] = [
+        ("dri", 0xaaca_7c75_35d3_abfc_2762_5db1_5f00_96db),
+        ("decay", 0x1620_3629_2ec6_1b32_e615_7b62_34ca_af95),
+        ("way_resize", 0xaec2_6e4b_44a8_0f9d_65bf_8695_78d3_7c0c),
+        ("way_memo", 0x5068_1e61_d58e_cb7a_e5f2_d137_e7b4_1d5a),
+    ];
+    for (cfg, (kind, key)) in policy_variants(&cfg).iter().zip(golden) {
+        assert_eq!(policy_kind(cfg), kind);
+        assert_eq!(policy_key(cfg), key, "{kind} key drifted");
+    }
+    // `policy: None` is the original pre-policy-layer DRI path and must
+    // still produce the very same bytes-derived key.
+    assert_eq!(
+        policy_key(&cfg),
+        0xaaca_7c75_35d3_abfc_2762_5db1_5f00_96db,
+        "default-policy key drifted from the frozen dri key"
+    );
+}
+
+fn assert_runs_bit_identical(a: &DriRun, b: &DriRun, what: &str) {
+    assert_eq!(a.timing, b.timing, "{what}: timing");
+    assert_eq!(a.icache, b.icache, "{what}: icache");
+    assert_eq!(
+        a.dri.avg_active_fraction.to_bits(),
+        b.dri.avg_active_fraction.to_bits(),
+        "{what}: avg_active_fraction"
+    );
+    assert_eq!(
+        a.dri.avg_size_bytes.to_bits(),
+        b.dri.avg_size_bytes.to_bits(),
+        "{what}: avg_size_bytes"
+    );
+    assert_eq!(
+        a.dri.final_size_bytes, b.dri.final_size_bytes,
+        "{what}: final_size_bytes"
+    );
+    assert_eq!(a.dri.resizes, b.dri.resizes, "{what}: resizes");
+    assert_eq!(a.dri.intervals, b.dri.intervals, "{what}: intervals");
+    assert_eq!(
+        a.l2_inst_accesses, b.l2_inst_accesses,
+        "{what}: l2_inst_accesses"
+    );
+    assert_eq!(
+        a.bpred_accuracy.to_bits(),
+        b.bpred_accuracy.to_bits(),
+        "{what}: bpred_accuracy"
+    );
+}
+
+#[test]
+fn every_policy_is_bit_identical_cached_and_uncached() {
+    let mut base = RunConfig::quick(Benchmark::Li);
+    base.instruction_budget = Some(120_000);
+    for cfg in policy_variants(&base) {
+        let kind = policy_kind(&cfg);
+        let fresh = run_policy_uncached(&cfg);
+        let first = run_policy(&cfg);
+        let second = run_policy(&cfg);
+        assert_runs_bit_identical(&fresh, &first, &format!("{kind} (cold cache)"));
+        assert_runs_bit_identical(&fresh, &second, &format!("{kind} (warm cache)"));
+    }
 }
 
 #[test]

@@ -115,12 +115,15 @@ fn run_worker(
     worker: &str,
     unit_delay: Duration,
 ) -> (DrainOutcome, u64) {
-    let session = SimSession::with_tiers_push(None, Some(worker_remote(addr)), true);
+    let session = SimSession::builder()
+        .remote(worker_remote(addr))
+        .push(true)
+        .build();
     let control = worker_remote(addr);
     let outcome = drain(&control, campaign, units, worker, |unit| {
         for cfg in &unit_grid(benchmark_by_name(unit)) {
             let _ = session.conventional(cfg);
-            let _ = session.dri(cfg);
+            let _ = session.policy_run(cfg);
         }
         if !unit_delay.is_zero() {
             std::thread::sleep(unit_delay);
@@ -198,8 +201,8 @@ fn two_healthy_workers_drain_the_campaign_with_zero_duplicate_simulations() {
 
     // A cold replayer gets the whole campaign remotely, bit-identical to
     // an isolated reference session, with zero simulations of its own.
-    let reference = SimSession::new();
-    let replayer = SimSession::with_remote(RemoteStore::new(addr));
+    let reference = SimSession::builder().build();
+    let replayer = SimSession::builder().remote(RemoteStore::new(addr)).build();
     let grid: Vec<RunConfig> = units
         .iter()
         .flat_map(|u| unit_grid(benchmark_by_name(u)))
@@ -213,7 +216,11 @@ fn two_healthy_workers_drain_the_campaign_with_zero_duplicate_simulations() {
             &replayer.conventional(cfg),
             "replay baseline",
         );
-        assert_dri_identical(&reference.dri(cfg), &replayer.dri(cfg), "replay dri");
+        assert_dri_identical(
+            &reference.policy_run(cfg),
+            &replayer.policy_run(cfg),
+            "replay dri",
+        );
     }
     assert_eq!(replayer.stats().simulations(), 0);
 
@@ -252,10 +259,13 @@ fn a_dead_workers_unit_is_reclaimed_and_the_chaos_drain_stays_bit_identical() {
         }
         other => panic!("expected a grant, got {other:?}"),
     };
-    let dying = SimSession::with_tiers_push(None, Some(worker_remote(&addr)), true);
+    let dying = SimSession::builder()
+        .remote(worker_remote(&addr))
+        .push(true)
+        .build();
     for cfg in unit_grid(benchmark_by_name(&doomed_unit)).iter().take(2) {
         let _ = dying.conventional(cfg);
-        let _ = dying.dri(cfg);
+        let _ = dying.policy_run(cfg);
     }
     let push = dying.push_pending();
     assert!(push.pushed > 0, "the dead worker left partial records");
@@ -302,8 +312,8 @@ fn a_dead_workers_unit_is_reclaimed_and_the_chaos_drain_stays_bit_identical() {
     // The re-executed unit healed over the dead worker's partial push
     // bit-identically: a cold replay of the full grid needs zero local
     // simulations and matches an isolated reference session.
-    let reference = SimSession::new();
-    let replayer = SimSession::with_remote(RemoteStore::new(addr));
+    let reference = SimSession::builder().build();
+    let replayer = SimSession::builder().remote(RemoteStore::new(addr)).build();
     let grid: Vec<RunConfig> = units
         .iter()
         .flat_map(|u| unit_grid(benchmark_by_name(u)))
@@ -317,7 +327,11 @@ fn a_dead_workers_unit_is_reclaimed_and_the_chaos_drain_stays_bit_identical() {
             &replayer.conventional(cfg),
             "chaos replay baseline",
         );
-        assert_dri_identical(&reference.dri(cfg), &replayer.dri(cfg), "chaos replay dri");
+        assert_dri_identical(
+            &reference.policy_run(cfg),
+            &replayer.policy_run(cfg),
+            "chaos replay dri",
+        );
     }
     assert_eq!(replayer.stats().simulations(), 0);
 

@@ -47,12 +47,12 @@ fn assert_dri_identical(a: &DriRun, b: &DriRun, what: &str) {
 
 /// Simulates several sweep points into `root`, returning the configs.
 fn warm_grid(root: &Path, points: u64) -> Vec<RunConfig> {
-    let session = SimSession::with_store(open_store(root));
+    let session = SimSession::builder().store(open_store(root)).build();
     let mut cfgs = Vec::new();
     for i in 0..points {
         let mut cfg = test_config();
         cfg.dri.miss_bound = 100 + i * 50;
-        let _ = session.dri(&cfg);
+        let _ = session.policy_run(&cfg);
         cfgs.push(cfg);
     }
     cfgs
@@ -68,13 +68,13 @@ fn over_budget_store_reclaims_and_survivors_stay_bit_identical() {
 
     // Touch the last config's record so it is the warmest, then keep
     // only ~half the bytes.
-    let warm_session = SimSession::with_store(open_store(&root));
+    let warm_session = SimSession::builder().store(open_store(&root)).build();
     store.gc(&GcPolicy::default()); // age everything one generation
-    let _ = warm_session.dri(&cfgs[3]);
+    let _ = warm_session.policy_run(&cfgs[3]);
     // warm_session's handle predates the bump, so re-stamp through a
     // fresh handle that carries the new generation.
-    let fresh = SimSession::with_store(open_store(&root));
-    let _ = fresh.dri(&cfgs[3]);
+    let fresh = SimSession::builder().store(open_store(&root)).build();
+    let _ = fresh.policy_run(&cfgs[3]);
 
     let budget = usage.bytes / 2;
     let report = open_store(&root).gc(&GcPolicy {
@@ -93,8 +93,8 @@ fn over_budget_store_reclaims_and_survivors_stay_bit_identical() {
     // The warmest record survived and still loads bit-identically to a
     // fresh simulation; evicted points recompute bit-identically too.
     for (i, cfg) in cfgs.iter().enumerate() {
-        let session = SimSession::with_store(open_store(&root));
-        let dri = session.dri(cfg);
+        let session = SimSession::builder().store(open_store(&root)).build();
+        let dri = session.policy_run(cfg);
         assert_dri_identical(&run_dri_uncached(cfg), &dri, "post-gc point");
         if i == 3 {
             assert_eq!(session.stats().dri_disk_hits, 1, "warm record survived");
@@ -119,9 +119,9 @@ fn dry_run_reports_without_touching_records() {
     assert!(report.reclaimed_bytes >= before.bytes);
     assert_eq!(store.disk_usage(), before, "nothing deleted");
     // Every record still serves from disk.
-    let session = SimSession::with_store(open_store(&root));
+    let session = SimSession::builder().store(open_store(&root)).build();
     for cfg in &cfgs {
-        let _ = session.dri(cfg);
+        let _ = session.policy_run(cfg);
     }
     assert_eq!(session.stats().simulations(), 0);
     let _ = fs::remove_dir_all(&root);
@@ -134,8 +134,8 @@ fn age_budget_keeps_records_recent_campaigns_used() {
     // Three campaign generations pass; only cfgs[0] stays in use.
     for _ in 0..3 {
         open_store(&root).gc(&GcPolicy::default());
-        let session = SimSession::with_store(open_store(&root));
-        let _ = session.dri(&cfgs[0]);
+        let session = SimSession::builder().store(open_store(&root)).build();
+        let _ = session.policy_run(&cfgs[0]);
         assert_eq!(session.stats().dri_disk_hits, 1);
     }
     let report = open_store(&root).gc(&GcPolicy {
@@ -145,10 +145,10 @@ fn age_budget_keeps_records_recent_campaigns_used() {
     assert_eq!(report.evicted_records, 2, "{report:?}");
     assert_eq!(report.remaining_records, 1);
 
-    let session = SimSession::with_store(open_store(&root));
-    let _ = session.dri(&cfgs[0]);
+    let session = SimSession::builder().store(open_store(&root)).build();
+    let _ = session.policy_run(&cfgs[0]);
     assert_eq!(session.stats().dri_disk_hits, 1, "hot record survived");
-    let _ = session.dri(&cfgs[1]);
+    let _ = session.policy_run(&cfgs[1]);
     assert_eq!(session.stats().dri_misses, 1, "cold record was evicted");
     let _ = fs::remove_dir_all(&root);
 }
@@ -159,8 +159,8 @@ fn readers_racing_compaction_recompute_and_heal_never_tear() {
     let cfg = test_config();
     let reference = run_dri_uncached(&cfg);
     {
-        let session = SimSession::with_store(open_store(&root));
-        let _ = session.dri(&cfg);
+        let session = SimSession::builder().store(open_store(&root)).build();
+        let _ = session.policy_run(&cfg);
     }
 
     let done = AtomicBool::new(false);
@@ -174,8 +174,8 @@ fn readers_racing_compaction_recompute_and_heal_never_tear() {
             let reference = &reference;
             move || {
                 for _ in 0..iterations {
-                    let session = SimSession::with_store(open_store(root));
-                    let dri = session.dri(cfg);
+                    let session = SimSession::builder().store(open_store(root)).build();
+                    let dri = session.policy_run(cfg);
                     assert_dri_identical(reference, &dri, "mid-compaction read");
                     let store = session.store_stats().expect("store attached");
                     // Every lookup is a clean hit or a clean miss —
@@ -205,10 +205,10 @@ fn readers_racing_compaction_recompute_and_heal_never_tear() {
 
     // Post-race: the store is in a consistent state and one more
     // round-trip works (heal, then hit).
-    let session = SimSession::with_store(open_store(&root));
-    assert_dri_identical(&reference, &session.dri(&cfg), "post-race heal");
-    let verify = SimSession::with_store(open_store(&root));
-    assert_dri_identical(&reference, &verify.dri(&cfg), "post-race hit");
+    let session = SimSession::builder().store(open_store(&root)).build();
+    assert_dri_identical(&reference, &session.policy_run(&cfg), "post-race heal");
+    let verify = SimSession::builder().store(open_store(&root)).build();
+    assert_dri_identical(&reference, &verify.policy_run(&cfg), "post-race hit");
     assert_eq!(verify.stats().simulations(), 0);
     let _ = fs::remove_dir_all(&root);
 }

@@ -6,7 +6,7 @@
 //! degrades to a recompute that again matches the cold run field by
 //! field.
 //!
-//! Each test uses private `SimSession::with_store` scopes over its own
+//! Each test uses private `SimSession::builder().store(…)` scopes over its own
 //! temp directory, so nothing here depends on (or pollutes) the `DRI_STORE`
 //! environment; a fresh `SimSession` per phase models a fresh process
 //! (the in-memory tier starts empty, exactly like a new `figure4` run).
@@ -111,9 +111,9 @@ fn record_files(root: &Path) -> Vec<PathBuf> {
 /// Populates `root` with the baseline + DRI records for `cfg` and returns
 /// the uncached reference pair.
 fn warm_store(root: &Path, cfg: &RunConfig) -> (ConventionalRun, DriRun) {
-    let session = SimSession::with_store(open_store(root));
+    let session = SimSession::builder().store(open_store(root)).build();
     let baseline = session.conventional(cfg);
-    let dri = session.dri(cfg);
+    let dri = session.policy_run(cfg);
     let stats = session.stats();
     assert_eq!(stats.baseline_misses, 1, "cold store must simulate");
     assert_eq!(stats.dri_misses, 1, "cold store must simulate");
@@ -137,9 +137,9 @@ fn second_process_warm_starts_with_zero_resimulation() {
 
     // A fresh session over the same root models a second process: the
     // memory tier is cold, the disk tier is warm.
-    let session = SimSession::with_store(open_store(&root));
+    let session = SimSession::builder().store(open_store(&root)).build();
     let baseline = session.conventional(&cfg);
-    let dri = session.dri(&cfg);
+    let dri = session.policy_run(&cfg);
     assert_conventional_identical(&ref_baseline, &baseline, "disk-loaded baseline");
     assert_dri_identical(&ref_dri, &dri, "disk-loaded dri");
 
@@ -157,7 +157,7 @@ fn second_process_warm_starts_with_zero_resimulation() {
     assert_eq!(store.corrupt, 0);
 
     // Within the same session the memory tier now absorbs repeats.
-    let again = session.dri(&cfg);
+    let again = session.policy_run(&cfg);
     assert_dri_identical(&ref_dri, &again, "memory re-hit");
     assert_eq!(session.stats().dri_hits, 1);
     assert_eq!(
@@ -181,9 +181,9 @@ fn truncated_entries_fall_back_to_an_identical_recompute() {
         fs::write(file, &bytes[..bytes.len() * 3 / 5]).expect("truncate record");
     }
 
-    let session = SimSession::with_store(open_store(&root));
+    let session = SimSession::builder().store(open_store(&root)).build();
     let baseline = session.conventional(&cfg);
-    let dri = session.dri(&cfg);
+    let dri = session.policy_run(&cfg);
     assert_conventional_identical(&ref_baseline, &baseline, "recompute after truncation");
     assert_dri_identical(&ref_dri, &dri, "recompute after truncation");
     let stats = session.stats();
@@ -195,8 +195,8 @@ fn truncated_entries_fall_back_to_an_identical_recompute() {
     assert_eq!(store.writes, 2, "recomputed results must heal the store");
 
     // The healed entries serve the next "process" from disk again.
-    let healed = SimSession::with_store(open_store(&root));
-    assert_dri_identical(&ref_dri, &healed.dri(&cfg), "healed entry");
+    let healed = SimSession::builder().store(open_store(&root)).build();
+    assert_dri_identical(&ref_dri, &healed.policy_run(&cfg), "healed entry");
     assert_eq!(healed.stats().dri_misses, 0);
     let _ = fs::remove_dir_all(&root);
 }
@@ -217,9 +217,9 @@ fn wrong_schema_version_is_ignored_and_recomputed() {
         fs::write(&file, &bytes).expect("tamper version");
     }
 
-    let session = SimSession::with_store(open_store(&root));
+    let session = SimSession::builder().store(open_store(&root)).build();
     let baseline = session.conventional(&cfg);
-    let dri = session.dri(&cfg);
+    let dri = session.policy_run(&cfg);
     assert_conventional_identical(&ref_baseline, &baseline, "recompute after schema drift");
     assert_dri_identical(&ref_dri, &dri, "recompute after schema drift");
     let stats = session.stats();
@@ -241,8 +241,8 @@ fn concurrent_writers_converge_to_identical_results() {
     std::thread::scope(|scope| {
         for _ in 0..4 {
             scope.spawn(|| {
-                let session = SimSession::with_store(open_store(&root));
-                let dri = session.dri(&cfg);
+                let session = SimSession::builder().store(open_store(&root)).build();
+                let dri = session.policy_run(&cfg);
                 assert_dri_identical(&reference, &dri, "racing writer");
             });
         }
@@ -250,8 +250,8 @@ fn concurrent_writers_converge_to_identical_results() {
 
     // Whatever interleaving happened, the store holds one valid record
     // and a later session loads it without simulating.
-    let session = SimSession::with_store(open_store(&root));
-    let dri = session.dri(&cfg);
+    let session = SimSession::builder().store(open_store(&root)).build();
+    let dri = session.policy_run(&cfg);
     assert_dri_identical(&reference, &dri, "after the race");
     let stats = session.stats();
     assert_eq!(stats.dri_misses, 0, "the surviving record must be valid");

@@ -35,12 +35,12 @@ fn tracing_never_perturbs_results_and_emits_parsable_tier_spans() {
     cfg.instruction_budget = Some(80_000);
 
     // Timed + traced session: first lookups simulate, replays hit memory.
-    let session = SimSession::new();
+    let session = SimSession::builder().build();
     assert!(session.is_timed());
     let baseline = session.conventional(&cfg);
-    let dri = session.dri(&cfg);
+    let dri = session.policy_run(&cfg);
     let baseline_replay = session.conventional(&cfg);
-    let dri_replay = session.dri(&cfg);
+    let dri_replay = session.policy_run(&cfg);
 
     // Bit-identity, traced vs fresh-and-uncached (which also runs under
     // the live trace — instrumentation is on for both sides).

@@ -165,12 +165,14 @@ pub struct RemoteStats {
     /// counts once per chunk; empty plans, breaker-absorbed chunks, and
     /// connections that never opened count zero).
     pub batch_round_trips: u64,
-    /// Records the server accepted through the write path (its
-    /// `records_accepted` counter advances in lockstep).
-    pub pushes: u64,
+    /// Records the server accepted through the write path — named after
+    /// the server's own `/stats` counter `records_accepted`, which
+    /// advances in lockstep with this one.
+    pub records_accepted: u64,
     /// Records the server definitively rejected: failed authentication,
-    /// a read-only server, or a corrupt/key-mismatched frame.
-    pub push_rejected: u64,
+    /// a read-only server, or a corrupt/key-mismatched frame. Mirrors
+    /// the server's `/stats` counter `writes_rejected`.
+    pub writes_rejected: u64,
     /// `PUT` / `POST /batch-put` exchanges that reached the server
     /// (the client-side mirror of the server's `push_round_trips`).
     pub push_round_trips: u64,
@@ -334,6 +336,12 @@ pub struct ServerStats {
     pub lease_completed: u64,
     /// Lease calls refused (stale generation, expired, wrong owner, …).
     pub lease_rejected: u64,
+    /// Records the server accepted through the write path.
+    pub records_accepted: u64,
+    /// Write-path records the server definitively rejected.
+    pub writes_rejected: u64,
+    /// `PUT` / `POST /batch-put` exchanges the server fielded.
+    pub push_round_trips: u64,
 }
 
 /// Pulls one unsigned-integer field out of the `/stats` JSON document.
@@ -359,6 +367,9 @@ fn parse_server_stats(doc: &str) -> Option<ServerStats> {
         lease_renewed: scrape_u64(doc, "renewed")?,
         lease_completed: scrape_u64(doc, "completed")?,
         lease_rejected: scrape_u64(doc, "rejected")?,
+        records_accepted: scrape_u64(doc, "records_accepted")?,
+        writes_rejected: scrape_u64(doc, "writes_rejected")?,
+        push_round_trips: scrape_u64(doc, "push_round_trips")?,
     })
 }
 
@@ -392,8 +403,8 @@ pub struct RemoteStore {
     errors: AtomicU64,
     bytes_fetched: AtomicU64,
     batch_round_trips: AtomicU64,
-    pushes: AtomicU64,
-    push_rejected: AtomicU64,
+    records_accepted: AtomicU64,
+    writes_rejected: AtomicU64,
     push_round_trips: AtomicU64,
     retries: AtomicU64,
 }
@@ -434,8 +445,8 @@ impl RemoteStore {
             errors: AtomicU64::new(0),
             bytes_fetched: AtomicU64::new(0),
             batch_round_trips: AtomicU64::new(0),
-            pushes: AtomicU64::new(0),
-            push_rejected: AtomicU64::new(0),
+            records_accepted: AtomicU64::new(0),
+            writes_rejected: AtomicU64::new(0),
             push_round_trips: AtomicU64::new(0),
             retries: AtomicU64::new(0),
         }
@@ -476,8 +487,8 @@ impl RemoteStore {
             errors: self.errors.load(Ordering::Relaxed),
             bytes_fetched: self.bytes_fetched.load(Ordering::Relaxed),
             batch_round_trips: self.batch_round_trips.load(Ordering::Relaxed),
-            pushes: self.pushes.load(Ordering::Relaxed),
-            push_rejected: self.push_rejected.load(Ordering::Relaxed),
+            records_accepted: self.records_accepted.load(Ordering::Relaxed),
+            writes_rejected: self.writes_rejected.load(Ordering::Relaxed),
             push_round_trips: self.push_round_trips.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
         }
@@ -661,7 +672,7 @@ impl RemoteStore {
     pub fn push(&self, kind: &str, schema: u32, key: u128, record: &[u8]) -> PushOutcome {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if self.is_push_disabled() {
-            self.push_rejected.fetch_add(1, Ordering::Relaxed);
+            self.writes_rejected.fetch_add(1, Ordering::Relaxed);
             return PushOutcome::Rejected;
         }
         if self.is_disabled() {
@@ -674,16 +685,16 @@ impl RemoteStore {
                 self.consecutive_errors.store(0, Ordering::Relaxed);
                 match status {
                     200 => {
-                        self.pushes.fetch_add(1, Ordering::Relaxed);
+                        self.records_accepted.fetch_add(1, Ordering::Relaxed);
                         PushOutcome::Accepted
                     }
                     401 | 405 => {
-                        self.push_rejected.fetch_add(1, Ordering::Relaxed);
+                        self.writes_rejected.fetch_add(1, Ordering::Relaxed);
                         self.auth_rejected(status);
                         PushOutcome::Rejected
                     }
                     _ => {
-                        self.push_rejected.fetch_add(1, Ordering::Relaxed);
+                        self.writes_rejected.fetch_add(1, Ordering::Relaxed);
                         PushOutcome::Rejected
                     }
                 }
@@ -737,7 +748,7 @@ impl RemoteStore {
         }
         self.requests.fetch_add(1, Ordering::Relaxed);
         if self.is_push_disabled() {
-            self.push_rejected
+            self.writes_rejected
                 .fetch_add(entries.len() as u64, Ordering::Relaxed);
             return (vec![PushOutcome::Rejected; entries.len()], 0);
         }
@@ -760,11 +771,11 @@ impl RemoteStore {
                 let outcomes: Vec<PushOutcome> = (0..entries.len())
                     .map(|i| match statuses.get(i) {
                         Some(1) => {
-                            self.pushes.fetch_add(1, Ordering::Relaxed);
+                            self.records_accepted.fetch_add(1, Ordering::Relaxed);
                             PushOutcome::Accepted
                         }
                         Some(_) => {
-                            self.push_rejected.fetch_add(1, Ordering::Relaxed);
+                            self.writes_rejected.fetch_add(1, Ordering::Relaxed);
                             PushOutcome::Rejected
                         }
                         // A short status vector leaves the tail unknown.
@@ -776,7 +787,7 @@ impl RemoteStore {
             Ok((status @ (401 | 405), _)) => {
                 self.push_round_trips.fetch_add(1, Ordering::Relaxed);
                 self.consecutive_errors.store(0, Ordering::Relaxed);
-                self.push_rejected
+                self.writes_rejected
                     .fetch_add(entries.len() as u64, Ordering::Relaxed);
                 self.auth_rejected(status);
                 (vec![PushOutcome::Rejected; entries.len()], 1)
@@ -787,7 +798,7 @@ impl RemoteStore {
                 // may be fine.
                 self.push_round_trips.fetch_add(1, Ordering::Relaxed);
                 self.consecutive_errors.store(0, Ordering::Relaxed);
-                self.push_rejected
+                self.writes_rejected
                     .fetch_add(entries.len() as u64, Ordering::Relaxed);
                 (vec![PushOutcome::Rejected; entries.len()], 1)
             }
@@ -1274,6 +1285,9 @@ mod tests {
                 lease_renewed: 50,
                 lease_completed: 15,
                 lease_rejected: 1,
+                records_accepted: 33,
+                writes_rejected: 2,
+                push_round_trips: 5,
             })
         );
         assert_eq!(

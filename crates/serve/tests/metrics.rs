@@ -139,6 +139,77 @@ fn metrics_exposition_parses_and_agrees_with_stats() {
     let _ = fs::remove_dir_all(root);
 }
 
+/// Every JSON key in `doc`, in document order — a serde-free scan that
+/// relies only on the stats document's flat shape (keys never contain
+/// escapes) and is exact for it.
+fn json_keys(doc: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut rest = doc;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('"') else { break };
+        if after[end + 1..].starts_with(':') {
+            keys.push(after[..end].to_owned());
+        }
+        rest = &after[end + 1..];
+    }
+    keys
+}
+
+#[test]
+fn stats_json_schema_is_the_documented_key_set() {
+    // The /stats document is the contract `suite --store-stats`, the CI
+    // accounting greps, and the client's `ServerStats` scraper all parse
+    // with substring scans — so its key set (names *and* order) is
+    // pinned here, serde-free, exactly as `server::stats_json` renders
+    // it. Renaming, dropping, or reordering a counter must fail this
+    // test, not silently break a scraper.
+    let root = temp_root("schema");
+    let store = Arc::new(ResultStore::open(&root).expect("open store"));
+    let server = Server::bind(Arc::clone(&store), "127.0.0.1:0", 2).expect("bind");
+    let (status, body) = get(server.addr(), "/stats");
+    assert_eq!(status, 200);
+    let json = String::from_utf8(body).expect("utf-8 stats");
+    assert_eq!(
+        json_keys(&json),
+        [
+            "records",
+            "bytes",
+            "generation",
+            "writable",
+            "requests",
+            "hits",
+            "misses",
+            "bad_requests",
+            "batch_requests",
+            "bytes_served",
+            "push_round_trips",
+            "records_accepted",
+            "writes_rejected",
+            "faults_injected",
+            "leases",
+            "claims",
+            "granted",
+            "reclaimed",
+            "renewed",
+            "completed",
+            "rejected",
+            "store",
+            "hits",
+            "misses",
+            "corrupt",
+        ],
+        "the /stats key set is a published schema:\n{json}"
+    );
+    // The write-side trio exists under exactly the names the client's
+    // RemoteStats snapshot uses, so the two reports align by grep.
+    for field in ["records_accepted", "writes_rejected", "push_round_trips"] {
+        assert_eq!(stats_field(&json, field), 0, "{field} starts at zero");
+    }
+    server.shutdown();
+    let _ = fs::remove_dir_all(root);
+}
+
 #[test]
 fn metrics_includes_the_store_tier_histograms() {
     let root = temp_root("store-tier");

@@ -318,8 +318,8 @@ fn client_push_round_trips_and_latches_off_on_auth_rejection() {
         Some(&b"via client"[..])
     );
     let stats = remote.stats();
-    assert_eq!(stats.pushes, 1);
-    assert_eq!(stats.push_rejected, 0);
+    assert_eq!(stats.records_accepted, 1);
+    assert_eq!(stats.writes_rejected, 0);
     assert_eq!(stats.push_round_trips, 1);
     assert!(!remote.is_push_disabled());
 
@@ -337,7 +337,7 @@ fn client_push_round_trips_and_latches_off_on_auth_rejection() {
         "latched: absorbed locally without another exchange"
     );
     let stats = imposter.stats();
-    assert_eq!(stats.push_rejected, 2);
+    assert_eq!(stats.writes_rejected, 2);
     assert_eq!(stats.push_round_trips, 1, "only the first reached the wire");
     assert_eq!(stats.errors, 0, "auth rejection is not a transport error");
     assert!(!imposter.is_disabled(), "the read breaker is untouched");
