@@ -185,6 +185,49 @@ fn bench_engine(c: &mut Criterion) {
     });
     push_server.shutdown();
     let _ = std::fs::remove_dir_all(&push_root);
+
+    // The same grid push against a journaled server: the whole batch
+    // lands as one checksummed segment append with **one fsync**, versus
+    // one atomic record write (and its per-file fsync) per entry above.
+    let journal_root =
+        std::env::temp_dir().join(format!("dri-engine-bench-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_root);
+    let journal_server = dri_serve::Server::bind_with_journal(
+        Arc::new(ResultStore::open(&journal_root).expect("journal store")),
+        "127.0.0.1:0",
+        2,
+        Some(token.to_owned()),
+        dri_serve::DEFAULT_LEASE_TTL_MS,
+        None,
+        Some(dri_serve::JournalConfig::default()),
+    )
+    .expect("journal server");
+    let journal_pusher = dri_serve::RemoteStore::with_token(
+        journal_server.addr().to_string(),
+        Some(token.to_owned()),
+    );
+    group.bench_function("push/batch_put_grid_journaled/compress_quick", |b| {
+        b.iter(|| black_box(journal_pusher.push_batch(black_box(&entries))))
+    });
+    journal_server.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_root);
+
+    // The wire/at-rest codec alone, over a real encoded DRI record:
+    // what each push body / journal frame / stored record pays.
+    group.throughput(Throughput::Bytes(record.len() as u64));
+    group.bench_function("codec/compress/dri_record", |b| {
+        b.iter(|| black_box(dri_store::compress::compress(black_box(&record))))
+    });
+    let packed = dri_store::compress::compress(&record);
+    group.bench_function("codec/decompress/dri_record", |b| {
+        b.iter(|| {
+            black_box(dri_store::compress::decompress(
+                black_box(&packed),
+                record.len(),
+            ))
+        })
+    });
+
     let _ = std::fs::remove_dir_all(&root);
     group.finish();
 }

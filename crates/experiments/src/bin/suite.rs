@@ -573,6 +573,13 @@ fn print_store_stats(session: &SimSession) {
                 println!("  records accepted: {}", s.records_accepted);
                 println!("  writes rejected: {}", s.writes_rejected);
                 println!("  push round trips: {}", s.push_round_trips);
+                // Journal depth > 0 means acked records still awaiting
+                // compaction into record files — normal in flight, and
+                // drained within a compaction interval once pushes stop.
+                println!("  journal depth: {}", s.journal_depth);
+                println!("  journal batches: {}", s.journal_batches);
+                println!("  journal fsyncs: {}", s.journal_fsyncs);
+                println!("  journal compacted: {}", s.journal_compacted);
                 println!("  faults injected: {}", s.faults_injected);
                 println!("  lease claims: {}", s.lease_claims);
                 println!("  lease granted: {}", s.lease_granted);

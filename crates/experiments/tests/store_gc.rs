@@ -154,6 +154,83 @@ fn age_budget_keeps_records_recent_campaigns_used() {
 }
 
 #[test]
+fn gc_spares_undrained_journal_segments_and_sweeps_compacted_debris() {
+    use dri_store::{Journal, JournalEntry, JournalOptions};
+
+    let root = temp_root("journal");
+    let store = open_store(&root);
+    let entry = |i: u64| JournalEntry {
+        kind: "dri".to_owned(),
+        schema: 1,
+        key: 0x0dd0u128.wrapping_add(i as u128),
+        payload: (0..4u64).flat_map(|w| (i * 31 + w).to_le_bytes()).collect(),
+    };
+
+    // One compacted batch and one still-journaled batch (its `.wal`
+    // segment is the only durable copy of those records).
+    let journal = Journal::open(&root, JournalOptions::default()).expect("open journal");
+    journal
+        .append_batch((0..3).map(entry).collect())
+        .expect("batch 1");
+    assert_eq!(journal.compact(&store).expect("compact"), 3);
+    journal
+        .append_batch((3..6).map(entry).collect())
+        .expect("batch 2");
+
+    let journal_dir = root.join("journal");
+    let names = |dir: &Path| -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(dir)
+            .expect("journal dir")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    };
+    // Compaction normally removes its `.wal.compacted` tomb right after
+    // the rename; a crash between the two steps strands it. Fabricate
+    // exactly that debris.
+    fs::write(
+        journal_dir.join("seg-00000000000000aa.wal.compacted"),
+        b"drained segment stranded by a crash mid-sweep",
+    )
+    .expect("fabricate debris");
+
+    // An aggressive GC pass (evict everything) must sweep the compacted
+    // debris but never a live `.wal` segment — those records are not in
+    // record files yet.
+    let report = store.gc(&GcPolicy {
+        max_bytes: Some(0),
+        ..GcPolicy::default()
+    });
+    assert!(report.reclaimed_bytes > 0, "{report:?}");
+    let after = names(&journal_dir);
+    assert!(
+        after.iter().all(|n| !n.ends_with(".wal.compacted")),
+        "compacted debris swept: {after:?}"
+    );
+    assert!(
+        after.iter().any(|n| n.ends_with(".wal")),
+        "live segment spared: {after:?}"
+    );
+
+    // Recovery over the post-GC root still serves the journaled batch,
+    // and draining it lands every payload bit-identically.
+    let recovered = Journal::open(&root, JournalOptions::default()).expect("reopen");
+    assert_eq!(recovered.stats().recovered, 3, "journaled batch survived");
+    assert_eq!(recovered.compact(&store).expect("drain"), 3);
+    for i in 3..6 {
+        let want = entry(i);
+        assert_eq!(
+            store.load("dri", 1, want.key).as_deref(),
+            Some(want.payload.as_slice()),
+            "journaled entry {i} after GC + drain"
+        );
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
 fn readers_racing_compaction_recompute_and_heal_never_tear() {
     let root = temp_root("race");
     let cfg = test_config();

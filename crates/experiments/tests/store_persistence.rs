@@ -231,6 +231,76 @@ fn wrong_schema_version_is_ignored_and_recomputed() {
 }
 
 #[test]
+fn torn_journal_tail_recovers_the_synced_prefix_and_compacts_bit_identically() {
+    use dri_store::{Journal, JournalEntry, JournalOptions};
+
+    let root = temp_root("journal-tail");
+    let store = open_store(&root);
+
+    let entry = |tag: u64, i: u64| JournalEntry {
+        kind: "dri".to_owned(),
+        schema: 1,
+        key: ((tag as u128) << 64) | i as u128,
+        payload: (0..6u64)
+            .flat_map(|w| (tag * 7_919 + i * 13 + w).to_le_bytes())
+            .collect(),
+    };
+    let batch = |tag: u64| (0..4).map(|i| entry(tag, i)).collect::<Vec<_>>();
+
+    // Two batches land durably; the third tears mid-frame — the on-disk
+    // shape a power cut leaves between `write` and `fsync`.
+    let journal = Journal::open(&root, JournalOptions::default()).expect("open journal");
+    journal.append_batch(batch(1)).expect("batch 1");
+    journal.append_batch(batch(2)).expect("batch 2");
+    journal
+        .simulate_torn_append(&batch(3), 11)
+        .expect("torn batch 3");
+    drop(journal);
+
+    // Recovery over the same root: the synced prefix is fully visible,
+    // the torn frame is dropped whole.
+    let recovered = Journal::open(&root, JournalOptions::default()).expect("reopen journal");
+    assert_eq!(recovered.stats().recovered, 8, "both synced batches");
+    assert_eq!(recovered.depth(), 8);
+    for tag in [1, 2] {
+        for i in 0..4 {
+            let want = entry(tag, i);
+            assert_eq!(
+                recovered.lookup("dri", 1, want.key).as_deref(),
+                Some(&want.payload),
+                "recovered batch {tag} entry {i}"
+            );
+        }
+    }
+    for i in 0..4 {
+        assert_eq!(
+            recovered.lookup("dri", 1, entry(3, i).key),
+            None,
+            "torn batch entry {i} never becomes visible"
+        );
+    }
+
+    // Compaction drains the prefix into record files bit-identically,
+    // and the store itself (no journal in front) serves them.
+    assert_eq!(recovered.compact(&store).expect("compact"), 8);
+    assert_eq!(recovered.depth(), 0);
+    for tag in [1, 2] {
+        for i in 0..4 {
+            let want = entry(tag, i);
+            assert_eq!(
+                store.load("dri", 1, want.key).as_deref(),
+                Some(want.payload.as_slice()),
+                "compacted batch {tag} entry {i}"
+            );
+        }
+    }
+    for i in 0..4 {
+        assert_eq!(store.load("dri", 1, entry(3, i).key), None);
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
 fn concurrent_writers_converge_to_identical_results() {
     let root = temp_root("concurrent");
     let cfg = test_config();

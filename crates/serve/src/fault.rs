@@ -13,6 +13,9 @@
 //! | `503:N`        | answer `503 Service Unavailable` without routing     |
 //! | `torn:N`       | send a head with the full `Content-Length` but only  |
 //! |                | half the body, then close (a torn response)          |
+//! | `crash:N`      | kill the whole process after reading the request —   |
+//! |                | a journaled `batch-put` leaves a torn frame behind,  |
+//! |                | nothing is acked (a `kill -9` mid-fsync)             |
 //!
 //! Example: `DRI_FAULT=drop:7,delay:5:40,torn:13` drops every 7th
 //! connection, delays every 5th by 40 ms, and tears every 13th response.
@@ -22,11 +25,14 @@
 //! at most one fault, except `delay`, which composes with later clauses
 //! because delaying then answering is exactly its point).
 //!
-//! All four faults exercise a distinct client-side defense: `drop` and
-//! `delay` the transport retry/backoff path, `503` the HTTP-level retry
-//! path, and `torn` the `Content-Length` cross-check in the response
-//! reader. None of them corrupt durable state — the server's writes stay
-//! atomic; only the wire misbehaves.
+//! The faults exercise distinct defenses: `drop` and `delay` the
+//! transport retry/backoff path, `503` the HTTP-level retry path, and
+//! `torn` the `Content-Length` cross-check in the response reader. None
+//! of those corrupt durable state — the server's writes stay atomic;
+//! only the wire misbehaves. `crash` is the exception by design: it
+//! exists to prove the group-commit journal's recovery contract, so it
+//! deliberately leaves a torn, unacked journal frame on disk before
+//! dying. Restart the server *without* the fault spec to recover.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -48,6 +54,9 @@ pub enum FaultAction {
     /// Write a head declaring the full body length, then only half the
     /// body.
     Torn,
+    /// Read the request, tear a journal frame if one was being written,
+    /// then `exit` the whole process without responding.
+    Crash,
 }
 
 /// One parsed `action:every[:arg]` clause.
@@ -93,10 +102,11 @@ impl FaultSpec {
                 }
                 ("503", None) => FaultAction::Error503,
                 ("torn", None) => FaultAction::Torn,
+                ("crash", None) => FaultAction::Crash,
                 _ => {
                     return Err(format!(
-                        "fault clause {clause:?}: want drop:N, delay:N:MS, 503:N, or torn:N"
-                    ))
+                    "fault clause {clause:?}: want drop:N, delay:N:MS, 503:N, torn:N, or crash:N"
+                ))
                 }
             };
             clauses.push(FaultClause { action, every });
@@ -153,6 +163,7 @@ impl FaultSpec {
                 FaultAction::Delay(d) => format!("delay:{}:{}", c.every, d.as_millis()),
                 FaultAction::Error503 => format!("503:{}", c.every),
                 FaultAction::Torn => format!("torn:{}", c.every),
+                FaultAction::Crash => format!("crash:{}", c.every),
             })
             .collect();
         clauses.join(",")
@@ -165,8 +176,8 @@ mod tests {
 
     #[test]
     fn parses_all_actions_and_round_trips() {
-        let spec = FaultSpec::parse("drop:7, delay:5:40,503:9,torn:13").unwrap();
-        assert_eq!(spec.describe(), "drop:7,delay:5:40,503:9,torn:13");
+        let spec = FaultSpec::parse("drop:7, delay:5:40,503:9,torn:13,crash:99").unwrap();
+        assert_eq!(spec.describe(), "drop:7,delay:5:40,503:9,torn:13,crash:99");
     }
 
     #[test]
@@ -182,6 +193,8 @@ mod tests {
             "503:1:2",
             "explode:3",
             "torn:",
+            "crash:0",
+            "crash:4:9",
         ] {
             assert!(FaultSpec::parse(bad).is_err(), "{bad:?} should be rejected");
         }

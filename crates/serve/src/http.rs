@@ -11,6 +11,14 @@
 
 use std::io::{self, Read, Write};
 
+/// Header naming the codec applied to the *body of this message* (see
+/// `dri_store::compress::WIRE_ENCODING`). Absent means raw bytes — the
+/// protocol an old peer speaks.
+pub const ENCODING_HEADER: &str = "X-DRI-Encoding";
+/// Header a client sends to say it can decode a compressed response; the
+/// server answers raw unless it sees (and honors) this.
+pub const ACCEPT_ENCODING_HEADER: &str = "X-DRI-Accept-Encoding";
+
 /// Upper bound on the request line + headers.
 const MAX_HEAD: usize = 16 * 1024;
 /// Upper bound on a request or response body (a batch of ~10k record
@@ -30,6 +38,13 @@ pub struct Request {
     pub token: Option<String>,
     /// The body, sized by `Content-Length` (empty when absent).
     pub body: Vec<u8>,
+    /// The [`ENCODING_HEADER`] value: the codec the *body* arrived in
+    /// (`None` = raw). Authentication tags are computed over the bytes
+    /// as received, so verification happens before decoding.
+    pub encoding: Option<String>,
+    /// The [`ACCEPT_ENCODING_HEADER`] value: the codec the client can
+    /// decode in the response (`None` = raw only).
+    pub accept_encoding: Option<String>,
 }
 
 /// Reads until `\r\n\r\n`, returning `(head, leftover-body-bytes)`.
@@ -113,6 +128,8 @@ pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
         path: path.to_owned(),
         token: header(&head, crate::auth::TOKEN_HEADER).map(str::to_owned),
         body,
+        encoding: header(&head, ENCODING_HEADER).map(str::to_owned),
+        accept_encoding: header(&head, ACCEPT_ENCODING_HEADER).map(str::to_owned),
     })
 }
 
@@ -124,10 +141,27 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_encoded(stream, status, reason, content_type, None, body)
+}
+
+/// [`write_response`] with an optional [`ENCODING_HEADER`] announcing
+/// that `body` is compressed (the caller compresses; this only frames).
+pub fn write_response_encoded(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    encoding: Option<&str>,
+    body: &[u8],
+) -> io::Result<()> {
+    let encoding = match encoding {
+        Some(name) => format!("{ENCODING_HEADER}: {name}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\n\
          Content-Type: {content_type}\r\n\
-         Content-Length: {}\r\n\
+         {encoding}Content-Length: {}\r\n\
          Connection: close\r\n\r\n",
         body.len()
     );
@@ -156,10 +190,11 @@ pub fn write_head_response(
     stream.flush()
 }
 
-/// Reads one complete response (status code + body), trusting
-/// `Connection: close` framing: the body ends at EOF, cross-checked
-/// against `Content-Length` when present.
-pub fn read_response(stream: &mut impl Read) -> io::Result<(u16, Vec<u8>)> {
+/// Reads one complete response (status code + body + body encoding),
+/// trusting `Connection: close` framing: the body ends at EOF,
+/// cross-checked against `Content-Length` when present. The third
+/// element is the [`ENCODING_HEADER`] value (`None` = raw body).
+pub fn read_response(stream: &mut impl Read) -> io::Result<(u16, Vec<u8>, Option<String>)> {
     let (head, mut body) = read_head(stream)?;
     let status_line = head.lines().next().unwrap_or("");
     let status: u16 = status_line
@@ -177,7 +212,8 @@ pub fn read_response(stream: &mut impl Read) -> io::Result<(u16, Vec<u8>)> {
             "body length does not match Content-Length",
         ));
     }
-    Ok((status, body))
+    let encoding = header(&head, ENCODING_HEADER).map(str::to_owned);
+    Ok((status, body, encoding))
 }
 
 #[cfg(test)]
@@ -217,9 +253,41 @@ mod tests {
     fn response_roundtrip() {
         let mut wire = Vec::new();
         write_response(&mut wire, 200, "OK", "application/octet-stream", b"abc").unwrap();
-        let (status, body) = read_response(&mut &wire[..]).expect("parse");
+        let (status, body, encoding) = read_response(&mut &wire[..]).expect("parse");
         assert_eq!(status, 200);
         assert_eq!(body, b"abc");
+        assert_eq!(encoding, None, "plain responses carry no encoding header");
+    }
+
+    #[test]
+    fn encoded_response_roundtrips_its_encoding_header() {
+        let mut wire = Vec::new();
+        write_response_encoded(
+            &mut wire,
+            200,
+            "OK",
+            "application/octet-stream",
+            Some("delta64"),
+            b"packed",
+        )
+        .unwrap();
+        let (status, body, encoding) = read_response(&mut &wire[..]).expect("parse");
+        assert_eq!(status, 200);
+        assert_eq!(body, b"packed");
+        assert_eq!(encoding.as_deref(), Some("delta64"));
+    }
+
+    #[test]
+    fn requests_surface_both_encoding_headers() {
+        let raw = b"POST /batch-put HTTP/1.1\r\nx-dri-encoding: delta64\r\n\
+                    X-DRI-Accept-Encoding: delta64\r\ncontent-length: 2\r\n\r\nok";
+        let req = read_request(&mut &raw[..]).expect("parse");
+        assert_eq!(req.encoding.as_deref(), Some("delta64"));
+        assert_eq!(req.accept_encoding.as_deref(), Some("delta64"));
+        let raw = b"GET /stats HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..]).expect("parse");
+        assert_eq!(req.encoding, None);
+        assert_eq!(req.accept_encoding, None);
     }
 
     #[test]

@@ -117,10 +117,10 @@ pub mod server;
 pub use auth::TOKEN_ENV;
 pub use client::{
     BatchEntry, LeaseClaim, LeaseError, PushOutcome, RemoteStats, RemoteStore, ServerStats,
-    BATCH_CHUNK, REMOTE_ENV, TIMEOUT_ENV,
+    BATCH_CHUNK, REMOTE_ENV, TIMEOUT_ENV, WIRE_COMPRESS_ENV,
 };
 pub use fault::{FaultSpec, FAULT_ENV};
-pub use server::{ServeStats, Server, DEFAULT_LEASE_TTL_MS, LEASE_TTL_ENV};
+pub use server::{JournalConfig, ServeStats, Server, DEFAULT_LEASE_TTL_MS, LEASE_TTL_ENV};
 
 /// Worker threads for the connection pool: `DRI_THREADS` when set to a
 /// positive integer, otherwise the machine's available parallelism (the

@@ -6,22 +6,41 @@
 //! queue is full, the accept loop blocks, which is exactly the
 //! backpressure a read-only cache tier wants — clients time out, treat
 //! it as a miss, and simulate locally rather than pile up.
+//!
+//! ## The group-commit write path
+//!
+//! A server bound with a [`JournalConfig`] routes every accepted write
+//! through a [`dri_store::Journal`] instead of one-fsync-per-record
+//! store saves: a whole `POST /batch-put` becomes **one** checksummed
+//! segment append and **one** fsync, acked only after the fsync — so an
+//! ack is a durability promise, proven by the crash-recovery tests. A
+//! commit window additionally coalesces concurrent single `PUT`s
+//! (which each wait out a few-millisecond window) into the same fsync.
+//! Reads fall through the journal index before touching the store, and
+//! a background compactor drains sealed segments into ordinary record
+//! files on an interval (plus once at shutdown).
 
+use std::borrow::Cow;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dri_store::gc::DiskUsage;
 use dri_store::lease::{self, ClaimOutcome, LeaseBroker, LeaseRefusal};
-use dri_store::{validate_record, ResultStore};
+use dri_store::{
+    compress, frame_record, validate_record, Journal, JournalEntry, JournalOptions, JournalStats,
+    ResultStore,
+};
 use dri_telemetry::{trace, Counter, Gauge, Histogram, Registry, TraceEvent};
 
 use crate::fault::{FaultAction, FaultSpec};
-use crate::http::{read_request, write_head_response, write_response, Request};
+use crate::http::{
+    read_request, write_head_response, write_response, write_response_encoded, Request,
+};
 
 /// Per-connection I/O timeout: a stalled peer releases its worker.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
@@ -69,6 +88,140 @@ pub const MAX_BATCH: usize = 8192;
 pub const MAX_PUSH_RECORD: usize = 1024 * 1024;
 /// How long one `/stats` disk-usage walk is reused before re-walking.
 const USAGE_CACHE_TTL: Duration = Duration::from_secs(5);
+
+/// How a journaled server groups writes (see the module docs). All
+/// fields have production defaults; `Default` is the tuned
+/// configuration `dri-serve --journal` / `DRI_JOURNAL=1` uses.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// How long a single `PUT /record` waits for company before paying
+    /// the fsync — concurrent writers landing inside the window share
+    /// one. `batch-put` requests never wait (the batch *is* the group).
+    pub commit_window: Duration,
+    /// How often the background compactor drains sealed segments into
+    /// ordinary record files.
+    pub compact_interval: Duration,
+    /// Segment rotation / frame compression knobs passed through to
+    /// [`dri_store::Journal::open`].
+    pub options: JournalOptions,
+}
+
+impl Default for JournalConfig {
+    fn default() -> JournalConfig {
+        JournalConfig {
+            commit_window: Duration::from_millis(2),
+            compact_interval: Duration::from_millis(250),
+            options: JournalOptions::default(),
+        }
+    }
+}
+
+/// How many recent batch outcomes [`CommitWindow`] remembers. A waiter
+/// reads its slot immediately after the notifying leader writes it;
+/// the ring only exists so a pathologically descheduled waiter still
+/// finds *an* answer rather than indexing stale memory.
+const OUTCOME_RING: usize = 64;
+
+/// Mutable half of the commit window (under the mutex).
+#[derive(Debug)]
+struct WindowState {
+    /// Entries enqueued but not yet drained into an append.
+    pending: Vec<JournalEntry>,
+    /// Whether some thread is currently electing/paying the fsync.
+    leader: bool,
+    /// Id the *next* drained batch will get (monotonic from 1).
+    next_batch: u64,
+    /// Highest batch id whose append has completed (success or not).
+    done_batch: u64,
+    /// Outcome per recent batch id (`id % OUTCOME_RING`).
+    outcomes: [bool; OUTCOME_RING],
+}
+
+/// Group-commit coordinator: many writer threads enqueue entries; one
+/// elects itself leader, optionally sleeps out the commit window so
+/// stragglers pile on, drains the queue into **one**
+/// [`Journal::append_batch`] (= one fsync), and wakes everyone with the
+/// shared outcome. Every waiter's ack therefore carries the same
+/// durability guarantee at a fraction of the fsync cost.
+#[derive(Debug)]
+struct CommitWindow {
+    window: Duration,
+    state: Mutex<WindowState>,
+    committed: Condvar,
+}
+
+impl CommitWindow {
+    fn new(window: Duration) -> CommitWindow {
+        CommitWindow {
+            window,
+            state: Mutex::new(WindowState {
+                pending: Vec::new(),
+                leader: false,
+                next_batch: 1,
+                done_batch: 0,
+                outcomes: [false; OUTCOME_RING],
+            }),
+            committed: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `entries` and blocks until the batch containing them is
+    /// durably on disk (`Ok`) or the append failed (`Err`). `coalesce`
+    /// makes an elected leader sleep out the window first — single-record
+    /// `PUT`s pass `true` to find each other; `batch-put` passes `false`
+    /// because its batch is already formed (it still scoops up whatever
+    /// queued meanwhile).
+    fn submit(
+        &self,
+        journal: &Journal,
+        entries: Vec<JournalEntry>,
+        coalesce: bool,
+    ) -> io::Result<()> {
+        let mut state = self.state.lock().expect("commit window lock");
+        state.pending.extend(entries);
+        let my_batch = state.next_batch;
+        loop {
+            if state.done_batch >= my_batch {
+                return if state.outcomes[(my_batch as usize) % OUTCOME_RING] {
+                    Ok(())
+                } else {
+                    Err(io::Error::other("journal append failed"))
+                };
+            }
+            if state.leader {
+                state = self.committed.wait(state).expect("commit window wait");
+                continue;
+            }
+            state.leader = true;
+            if coalesce && !self.window.is_zero() {
+                drop(state);
+                std::thread::sleep(self.window);
+                state = self.state.lock().expect("commit window lock");
+            }
+            let batch_id = state.next_batch;
+            state.next_batch += 1;
+            let batch = std::mem::take(&mut state.pending);
+            drop(state); // the fsync happens outside the lock
+            let committed = journal.append_batch(batch);
+            state = self.state.lock().expect("commit window lock");
+            state.done_batch = batch_id;
+            state.outcomes[(batch_id as usize) % OUTCOME_RING] = committed.is_ok();
+            state.leader = false;
+            self.committed.notify_all();
+            // The leader's entries rode this batch; hand it the real
+            // error (followers get the generic one above).
+            committed?;
+        }
+    }
+}
+
+/// The journal plus its commit-window coordinator (present only on
+/// servers bound with a [`JournalConfig`]).
+#[derive(Debug)]
+struct JournalTier {
+    journal: Journal,
+    window: CommitWindow,
+}
 
 /// Snapshot of the service's traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -145,6 +298,14 @@ struct AtomicServeStats {
     store_records: Gauge,
     store_bytes: Gauge,
     store_generation: Gauge,
+    /// Journal-tier gauges, refreshed at `/metrics` scrape time from
+    /// [`Journal::stats`] (all zero on a journal-less server).
+    journal_depth: Gauge,
+    journal_batches: Gauge,
+    journal_appended: Gauge,
+    journal_fsyncs: Gauge,
+    journal_compactions: Gauge,
+    journal_compacted: Gauge,
 }
 
 impl Default for AtomicServeStats {
@@ -220,6 +381,30 @@ impl Default for AtomicServeStats {
                 "record file bytes on disk (cached walk)",
             ),
             store_generation: registry.gauge("dri_serve_store_generation", "current GC generation"),
+            journal_depth: registry.gauge(
+                "dri_serve_journal_depth",
+                "records acked into the journal, not yet compacted",
+            ),
+            journal_batches: registry.gauge(
+                "dri_serve_journal_batches",
+                "group-commit batches appended since open",
+            ),
+            journal_appended: registry.gauge(
+                "dri_serve_journal_appended",
+                "records appended to the journal since open",
+            ),
+            journal_fsyncs: registry.gauge(
+                "dri_serve_journal_fsyncs",
+                "segment fsyncs paid since open (one per batch)",
+            ),
+            journal_compactions: registry.gauge(
+                "dri_serve_journal_compactions",
+                "compaction passes that drained at least one record",
+            ),
+            journal_compacted: registry.gauge(
+                "dri_serve_journal_compacted",
+                "records drained from the journal into the store",
+            ),
             registry,
         }
     }
@@ -267,6 +452,9 @@ struct Shared {
     lease_ttl_ms: u64,
     /// The chaos layer: `Some` only when `DRI_FAULT` asked for it.
     faults: Option<FaultSpec>,
+    /// The group-commit write path: `Some` only on servers bound with a
+    /// [`JournalConfig`]; `None` keeps the original save-per-record path.
+    journal: Option<JournalTier>,
 }
 
 impl Shared {
@@ -292,6 +480,14 @@ pub struct Server {
     stopping: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     shared: Arc<Shared>,
+    compactor: Option<CompactorHandle>,
+}
+
+/// The background journal-compactor thread plus its stop signal.
+#[derive(Debug)]
+struct CompactorHandle {
+    thread: JoinHandle<()>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl Server {
@@ -332,10 +528,35 @@ impl Server {
         lease_ttl_ms: u64,
         faults: Option<FaultSpec>,
     ) -> io::Result<Server> {
+        Self::bind_with_journal(store, addr, workers, token, lease_ttl_ms, faults, None)
+    }
+
+    /// [`Server::bind_with_options`] plus an optional group-commit
+    /// journal. With `Some(config)` the write endpoints ack through one
+    /// fsync per batch (see the module docs), existing journal segments
+    /// under the store root are recovered before the first connection is
+    /// accepted, and a background compactor drains the journal on
+    /// `config.compact_interval` (and once more at shutdown).
+    pub fn bind_with_journal(
+        store: Arc<ResultStore>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        token: Option<String>,
+        lease_ttl_ms: u64,
+        faults: Option<FaultSpec>,
+        journal: Option<JournalConfig>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stopping = Arc::new(AtomicBool::new(false));
         let broker = LeaseBroker::open(store.root())?;
+        let journal_tier = match journal {
+            Some(config) => Some(JournalTier {
+                journal: Journal::open(store.root(), config.options)?,
+                window: CommitWindow::new(config.commit_window),
+            }),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             store,
             stats: AtomicServeStats::default(),
@@ -344,6 +565,7 @@ impl Server {
             broker,
             lease_ttl_ms: lease_ttl_ms.max(1),
             faults,
+            journal: journal_tier,
         });
         let workers = workers.max(1);
 
@@ -367,11 +589,24 @@ impl Server {
             })
         };
 
+        let compactor = journal.map(|config| {
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let thread = {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    compactor_loop(&shared, &stop, config.compact_interval);
+                })
+            };
+            CompactorHandle { thread, stop }
+        });
+
         Ok(Server {
             addr,
             stopping,
             accept: Some(accept),
             shared,
+            compactor,
         })
     }
 
@@ -391,6 +626,25 @@ impl Server {
         self.shared.token.is_some()
     }
 
+    /// Snapshot of the journal counters; `None` on a journal-less bind.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.shared
+            .journal
+            .as_ref()
+            .map(|tier| tier.journal.stats())
+    }
+
+    /// Forces one journal compaction pass, returning the number of
+    /// records drained into the store (0, trivially, without a journal).
+    /// Tests and benches use this for deterministic drains; production
+    /// relies on the background compactor.
+    pub fn compact_journal(&self) -> io::Result<u64> {
+        match &self.shared.journal {
+            Some(tier) => tier.journal.compact(&self.shared.store),
+            None => Ok(0),
+        }
+    }
+
     /// Stops accepting, drains in-flight connections, joins all threads.
     pub fn shutdown(mut self) {
         self.stop();
@@ -404,6 +658,42 @@ impl Server {
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         let _ = accept.join();
+        // With every connection drained, stop the compactor; its last
+        // act is one final compaction, so a graceful shutdown leaves an
+        // empty journal (a crash leaves segments for recovery instead).
+        if let Some(compactor) = self.compactor.take() {
+            *compactor.stop.0.lock().expect("compactor stop lock") = true;
+            compactor.stop.1.notify_all();
+            let _ = compactor.thread.join();
+        }
+    }
+}
+
+/// Body of the background compactor thread: drain the journal every
+/// `interval`, and once more when the stop signal arrives.
+fn compactor_loop(shared: &Shared, stop: &(Mutex<bool>, Condvar), interval: Duration) {
+    let Some(tier) = shared.journal.as_ref() else {
+        return;
+    };
+    let (flag, signal) = stop;
+    loop {
+        let mut stopped = flag.lock().expect("compactor stop lock");
+        if !*stopped {
+            stopped = signal
+                .wait_timeout(stopped, interval)
+                .expect("compactor stop wait")
+                .0;
+        }
+        let done = *stopped;
+        drop(stopped);
+        if let Err(err) = tier.journal.compact(&shared.store) {
+            // Leaving records in the journal is safe (they are durable
+            // and served from the index); just say why drains stalled.
+            eprintln!("dri-serve: journal compaction failed: {err}");
+        }
+        if done {
+            return;
+        }
     }
 }
 
@@ -452,6 +742,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                     FaultAction::Delay(_) => "delay",
                     FaultAction::Error503 => "503",
                     FaultAction::Torn => "torn",
+                    FaultAction::Crash => "crash",
                 };
                 TraceEvent::new("fault", name)
                     .label("connection", &faults.connections_seen().to_string())
@@ -478,6 +769,8 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 // Remembered for write time: route normally, then send a
                 // head promising the full body and deliver only half.
                 FaultAction::Torn => torn = true,
+                // Kill the whole process mid-write; never returns.
+                FaultAction::Crash => crash_now(&mut stream, shared),
             }
         }
     }
@@ -503,7 +796,21 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         request.method = "GET".to_owned();
     }
     let routed_at = Instant::now();
-    let (status, reason, content_type, body) = route(&request, shared);
+    let (status, reason, content_type, mut body) = route(&request, shared);
+    // Compress the bulk-fetch response when the client advertised the
+    // codec and it actually pays (the header is only sent when bytes on
+    // the wire are compressed, so old clients are untouched).
+    let mut body_encoding = None;
+    if status == 200
+        && request.path == "/batch"
+        && request.accept_encoding.as_deref() == Some(compress::WIRE_ENCODING)
+    {
+        let packed = compress::compress(&body);
+        if packed.len() < body.len() {
+            body = packed;
+            body_encoding = Some(compress::WIRE_ENCODING);
+        }
+    }
     let elapsed = routed_at.elapsed();
     stats.request_latency.record_duration(elapsed);
     if trace::enabled() {
@@ -528,19 +835,68 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         return;
     }
     stats.bytes_served.add(body.len() as u64);
-    let _ = write_response(&mut stream, status, reason, content_type, &body);
+    let _ = write_response_encoded(
+        &mut stream,
+        status,
+        reason,
+        content_type,
+        body_encoding,
+        &body,
+    );
+}
+
+/// The `crash:N` chaos action: read the request (so the peer's write
+/// completes and the crash lands server-side, like a power cut), tear
+/// the journal frame a `batch-put` would have appended — first half of
+/// the bytes only, synced, never acked, never indexed — then kill the
+/// process. The restarted server's recovery must drop the torn frame
+/// whole; the client saw no ack, so nothing durable was promised.
+fn crash_now(stream: &mut TcpStream, shared: &Shared) -> ! {
+    if let Ok(request) = read_request(stream) {
+        if request.method == "POST" && request.path == "/batch-put" {
+            if let Some(tier) = &shared.journal {
+                let body = match request.encoding.as_deref() {
+                    Some(name) if name == compress::WIRE_ENCODING => {
+                        compress::decompress(&request.body, crate::http::MAX_BODY)
+                    }
+                    Some(_) => None,
+                    None => Some(request.body.clone()),
+                };
+                let frames = body.as_deref().and_then(parse_push_frames);
+                if let Some(frames) = frames {
+                    let entries: Vec<JournalEntry> = frames
+                        .into_iter()
+                        .filter_map(|(kind, schema, key, record)| {
+                            validate_record(record, schema, key).map(|payload| JournalEntry {
+                                kind,
+                                schema,
+                                key,
+                                payload: payload.to_vec(),
+                            })
+                        })
+                        .collect();
+                    if !entries.is_empty() {
+                        let keep = (request.body.len() / 2).max(1);
+                        let _ = tier.journal.simulate_torn_append(&entries, keep);
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("dri-serve: crash fault fired; exiting without a response");
+    std::process::exit(17);
 }
 
 type Response = (u16, &'static str, &'static str, Vec<u8>);
 
 fn route(request: &Request, shared: &Shared) -> Response {
-    let (store, stats) = (&*shared.store, &shared.stats);
+    let stats = &shared.stats;
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "OK", "text/plain", b"ok\n".to_vec()),
         ("GET", "/stats") => (200, "OK", "application/json", stats_json(shared)),
         ("GET", "/metrics") => (200, "OK", "text/plain; version=0.0.4", metrics_text(shared)),
         ("GET", path) if path.starts_with("/record/") => match parse_record_path(path) {
-            Some((kind, schema, key)) => match store.load_record_bytes(&kind, schema, key) {
+            Some((kind, schema, key)) => match serve_record(&kind, schema, key, shared) {
                 Some(bytes) => {
                     stats.hits.inc();
                     (200, "OK", "application/octet-stream", bytes)
@@ -560,7 +916,7 @@ fn route(request: &Request, shared: &Shared) -> Response {
                 )
             }
         },
-        ("POST", "/batch") => match batch(&request.body, store, stats) {
+        ("POST", "/batch") => match batch(&request.body, shared) {
             Some(frames) => {
                 stats.batch_requests.inc();
                 (200, "OK", "application/octet-stream", frames)
@@ -591,6 +947,55 @@ fn route(request: &Request, shared: &Shared) -> Response {
                 b"read-only service\n".to_vec()
             },
         ),
+    }
+}
+
+/// Serves one record's wire bytes: journal index first (a record acked
+/// seconds ago must be readable before compaction lands it), then the
+/// store. Journal payloads are re-framed with [`frame_record`], so the
+/// client's end-to-end re-validation works identically for both tiers.
+fn serve_record(kind: &str, schema: u32, key: u128, shared: &Shared) -> Option<Vec<u8>> {
+    if let Some(tier) = &shared.journal {
+        if let Some(payload) = tier.journal.lookup(kind, schema, key) {
+            return Some(frame_record(schema, key, &payload));
+        }
+    }
+    shared.store.load_record_bytes(kind, schema, key)
+}
+
+/// Resolves the wire encoding of a write body: absent means raw (the
+/// old protocol), [`compress::WIRE_ENCODING`] is decompressed under the
+/// same cap the raw body already passed, anything else is a 400. Runs
+/// *after* [`authorize`] — the auth tag covers the bytes as received.
+fn decode_push_body<'a>(
+    request: &'a Request,
+    stats: &AtomicServeStats,
+) -> Result<Cow<'a, [u8]>, Response> {
+    match request.encoding.as_deref() {
+        None => Ok(Cow::Borrowed(&request.body[..])),
+        Some(name) if name == compress::WIRE_ENCODING => {
+            match compress::decompress(&request.body, crate::http::MAX_BODY) {
+                Some(raw) => Ok(Cow::Owned(raw)),
+                None => {
+                    stats.bad_requests.inc();
+                    Err((
+                        400,
+                        "Bad Request",
+                        "text/plain",
+                        b"bad compressed body\n".to_vec(),
+                    ))
+                }
+            }
+        }
+        Some(_) => {
+            stats.bad_requests.inc();
+            Err((
+                400,
+                "Bad Request",
+                "text/plain",
+                b"unsupported body encoding\n".to_vec(),
+            ))
+        }
     }
 }
 
@@ -646,7 +1051,11 @@ fn put_record(request: &Request, shared: &Shared) -> Response {
             b"bad record path\n".to_vec(),
         );
     };
-    if request.body.len() > MAX_PUSH_RECORD {
+    let body = match decode_push_body(request, stats) {
+        Ok(body) => body,
+        Err(rejection) => return rejection,
+    };
+    if body.len() > MAX_PUSH_RECORD {
         stats.writes_rejected.inc();
         return (
             400,
@@ -655,9 +1064,32 @@ fn put_record(request: &Request, shared: &Shared) -> Response {
             b"record too large\n".to_vec(),
         );
     }
-    match validate_record(&request.body, schema, key) {
+    match validate_record(&body, schema, key) {
         Some(payload) => {
-            shared.store.save(&kind, schema, key, payload);
+            if let Some(tier) = &shared.journal {
+                // Group-commit: wait out the window so concurrent PUTs
+                // share one fsync; the ack below is a durability promise.
+                let entry = JournalEntry {
+                    kind,
+                    schema,
+                    key,
+                    payload: payload.to_vec(),
+                };
+                if tier
+                    .window
+                    .submit(&tier.journal, vec![entry], true)
+                    .is_err()
+                {
+                    return (
+                        500,
+                        "Internal Server Error",
+                        "text/plain",
+                        b"journal write failed\n".to_vec(),
+                    );
+                }
+            } else {
+                shared.store.save(&kind, schema, key, payload);
+            }
             stats.records_accepted.inc();
             (200, "OK", "text/plain", b"accepted\n".to_vec())
         }
@@ -719,7 +1151,11 @@ fn batch_put(request: &Request, shared: &Shared) -> Response {
     if let Err(rejection) = authorize(request, shared) {
         return rejection;
     }
-    let Some(frames) = parse_push_frames(&request.body) else {
+    let body = match decode_push_body(request, stats) {
+        Ok(body) => body,
+        Err(rejection) => return rejection,
+    };
+    let Some(frames) = parse_push_frames(&body) else {
         stats.bad_requests.inc();
         return (
             400,
@@ -728,6 +1164,9 @@ fn batch_put(request: &Request, shared: &Shared) -> Response {
             b"bad batch-put body\n".to_vec(),
         );
     };
+    if let Some(tier) = &shared.journal {
+        return batch_put_journaled(frames, tier, stats);
+    }
     let mut outcomes = Vec::with_capacity(frames.len());
     for (kind, schema, key, record) in frames {
         let payload = (record.len() <= MAX_PUSH_RECORD)
@@ -743,6 +1182,56 @@ fn batch_put(request: &Request, shared: &Shared) -> Response {
                 stats.writes_rejected.inc();
                 outcomes.push(0u8);
             }
+        }
+    }
+    (200, "OK", "application/octet-stream", outcomes)
+}
+
+/// The journaled `/batch-put` path: every validated frame in the batch
+/// rides **one** journal frame and **one** fsync (plus whatever single
+/// PUTs were queued in the commit window when this batch drained it).
+/// The per-entry response semantics are unchanged — a corrupt frame
+/// fails only itself — but acceptance is now all-or-nothing *within the
+/// accepted set*: if the append fails, nothing was acked and the client
+/// retries the whole batch (saves are idempotent, so replays are free).
+fn batch_put_journaled(
+    frames: Vec<PushFrame<'_>>,
+    tier: &JournalTier,
+    stats: &AtomicServeStats,
+) -> Response {
+    let mut outcomes = vec![0u8; frames.len()];
+    let mut entries = Vec::new();
+    let mut accepted = Vec::new();
+    for (slot, (kind, schema, key, record)) in frames.into_iter().enumerate() {
+        let payload = (record.len() <= MAX_PUSH_RECORD)
+            .then(|| validate_record(record, schema, key))
+            .flatten();
+        match payload {
+            Some(payload) => {
+                entries.push(JournalEntry {
+                    kind,
+                    schema,
+                    key,
+                    payload: payload.to_vec(),
+                });
+                accepted.push(slot);
+            }
+            None => stats.writes_rejected.inc(),
+        }
+    }
+    if !entries.is_empty() {
+        let landed = entries.len() as u64;
+        if tier.window.submit(&tier.journal, entries, false).is_err() {
+            return (
+                500,
+                "Internal Server Error",
+                "text/plain",
+                b"journal write failed\n".to_vec(),
+            );
+        }
+        stats.records_accepted.add(landed);
+        for slot in accepted {
+            outcomes[slot] = 1;
         }
     }
     (200, "OK", "application/octet-stream", outcomes)
@@ -999,7 +1488,9 @@ fn parse_record_path(path: &str) -> Option<(String, u32, u128)> {
 
 /// Builds the `/batch` response: one `[status:u8][len:u64 LE][bytes]`
 /// frame per request line, in order. `None` on any malformed line.
-fn batch(body: &[u8], store: &ResultStore, stats: &AtomicServeStats) -> Option<Vec<u8>> {
+/// Lookups fall through the journal index first ([`serve_record`]).
+fn batch(body: &[u8], shared: &Shared) -> Option<Vec<u8>> {
+    let stats = &shared.stats;
     let text = std::str::from_utf8(body).ok()?;
     let mut frames = Vec::new();
     let mut lines = 0usize;
@@ -1019,7 +1510,7 @@ fn batch(body: &[u8], store: &ResultStore, stats: &AtomicServeStats) -> Option<V
         }
         // Reuse the single-record path syntax checks.
         let (kind, schema, key) = parse_record_path(&format!("/record/{kind}/v{schema}/{key}"))?;
-        match store.load_record_bytes(&kind, schema, key) {
+        match serve_record(&kind, schema, key, shared) {
             Some(bytes) => {
                 stats.hits.inc();
                 frames.push(1u8);
@@ -1047,6 +1538,12 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
     let usage = shared.disk_usage();
     let snap = shared.stats.snapshot();
     let traffic = store.stats();
+    let journal_enabled = shared.journal.is_some();
+    let journal = shared
+        .journal
+        .as_ref()
+        .map(|tier| tier.journal.stats())
+        .unwrap_or_default();
     format!(
         "{{\"records\":{},\"bytes\":{},\"generation\":{},\"writable\":{},\
          \"requests\":{},\"hits\":{},\"misses\":{},\
@@ -1055,7 +1552,9 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
          \"faults_injected\":{},\
          \"leases\":{{\"claims\":{},\"granted\":{},\"reclaimed\":{},\
          \"renewed\":{},\"completed\":{},\"rejected\":{}}},\
-         \"store\":{{\"hits\":{},\"misses\":{},\"corrupt\":{}}}}}\n",
+         \"store\":{{\"hits\":{},\"misses\":{},\"corrupt\":{}}},\
+         \"journal\":{{\"enabled\":{},\"depth\":{},\"batches\":{},\
+         \"appended\":{},\"fsyncs\":{},\"compactions\":{},\"compacted\":{}}}}}\n",
         usage.records,
         usage.bytes,
         store.generation(),
@@ -1079,6 +1578,13 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
         traffic.hits,
         traffic.misses,
         traffic.corrupt,
+        journal_enabled,
+        journal.depth,
+        journal.batches,
+        journal.appended,
+        journal.fsyncs,
+        journal.compactions,
+        journal.compacted,
     )
     .into_bytes()
 }
@@ -1094,6 +1600,15 @@ fn metrics_text(shared: &Shared) -> Vec<u8> {
     stats.store_records.set(usage.records);
     stats.store_bytes.set(usage.bytes);
     stats.store_generation.set(shared.store.generation());
+    if let Some(tier) = &shared.journal {
+        let journal = tier.journal.stats();
+        stats.journal_depth.set(journal.depth);
+        stats.journal_batches.set(journal.batches);
+        stats.journal_appended.set(journal.appended);
+        stats.journal_fsyncs.set(journal.fsyncs);
+        stats.journal_compactions.set(journal.compactions);
+        stats.journal_compacted.set(journal.compacted);
+    }
     let mut text = stats.registry.render_prometheus();
     // The store's disk-tier latency histograms live in the process-wide
     // registry (every ResultStore handle shares them); append them so

@@ -198,6 +198,14 @@ fn stats_json_schema_is_the_documented_key_set() {
             "hits",
             "misses",
             "corrupt",
+            "journal",
+            "enabled",
+            "depth",
+            "batches",
+            "appended",
+            "fsyncs",
+            "compactions",
+            "compacted",
         ],
         "the /stats key set is a published schema:\n{json}"
     );

@@ -23,11 +23,13 @@
 //!
 //! Leftover `.tomb` files (a GC process killed between rename and
 //! unlink), orphaned `.gen` sidecars (their record was evicted while a
-//! reader re-stamped it), and stale `.tmp-` files (a writer killed
+//! reader re-stamped it), stale `.tmp-` files (a writer killed
 //! between create and rename; "stale" = older than [`STALE_TMP_AGE`],
 //! so an in-flight publication — a matter of milliseconds — is never
-//! touched) are swept opportunistically by every pass, including dry
-//! runs' accounting.
+//! touched), and drained `.wal.compacted` journal segments (a compactor
+//! killed between its rename and unlink; every record inside already
+//! lives in an ordinary `.bin` file) are swept opportunistically by
+//! every pass, including dry runs' accounting.
 //!
 //! Campaign lease state ([`crate::lease`]) lives under the same root but
 //! is **not** the GC's to manage: `.lease` files match none of the
@@ -35,6 +37,12 @@
 //! lease — `suite gc` can run mid-campaign. A lease *write* crashed
 //! between create and rename leaves ordinary `.tmp-` debris, which the
 //! stale-temp sweep reclaims like any other.
+//!
+//! Group-commit journal segments ([`crate::journal`]) get the same
+//! treatment as leases: a live `seg-*.wal` file may hold the only
+//! durable copy of an acked-but-uncompacted record, matches none of the
+//! walker's classes, and is never counted, evicted, or swept — `suite
+//! gc` can run while a journaling server is mid-campaign.
 
 use std::fs;
 use std::path::PathBuf;
@@ -241,12 +249,19 @@ impl ResultStore {
                     });
                 } else if name.contains(".tomb")
                     || (name.ends_with(".gen") && !path.with_extension("bin").exists())
+                    || name.ends_with(crate::journal::COMPACTED_SUFFIX)
                     || (name.starts_with(".tmp-")
                         && tmp_is_stale(
                             entry.metadata().ok().and_then(|m| m.modified().ok()),
                             SystemTime::now(),
                         ))
                 {
+                    // Journal note: a live `seg-*.wal` segment matches
+                    // *none* of these classes and is spared — it may hold
+                    // the only durable copy of an acked record. Only the
+                    // `.wal.compacted` rename left by a compactor crash
+                    // (its records already live in ordinary `.bin` files)
+                    // is debris.
                     walk.debris.push((path, size()));
                 }
             }
@@ -465,6 +480,47 @@ mod tests {
                 .expect("available lease survived gc")
                 .state,
             LeaseState::Available
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_spares_live_journal_segments_and_sweeps_compacted_ones() {
+        use crate::journal::{Journal, JournalEntry, JournalOptions};
+
+        let store = temp_store("journal-coexist");
+        fill(&store, 2);
+        let journal = Journal::open(store.root(), JournalOptions::default()).unwrap();
+        journal
+            .append_batch(vec![JournalEntry {
+                kind: "dri".to_owned(),
+                schema: 1,
+                key: 0xacc,
+                payload: b"acked, not yet compacted".to_vec(),
+            }])
+            .unwrap();
+        // A compactor crashed between its rename and unlink.
+        let leftover = store
+            .root()
+            .join(crate::journal::JOURNAL_DIR)
+            .join("seg-00000000000000aa.wal.compacted");
+        fs::write(&leftover, b"already drained into .bin files").unwrap();
+
+        // The most aggressive possible pass: evict every record.
+        let report = store.gc(&GcPolicy {
+            max_bytes: Some(0),
+            ..GcPolicy::default()
+        });
+        assert_eq!(report.evicted_records, 2, "records all evicted");
+        assert!(!leftover.exists(), "compacted segment debris swept");
+        // The unsealed segment — the only durable copy of the acked
+        // record — is untouched: a reopen still recovers the batch.
+        drop(journal);
+        let reopened = Journal::open(store.root(), JournalOptions::default()).unwrap();
+        assert_eq!(
+            reopened.lookup("dri", 1, 0xacc).as_deref().map(|p| &p[..]),
+            Some(&b"acked, not yet compacted"[..]),
+            "gc never disturbs a live journal segment"
         );
         let _ = fs::remove_dir_all(store.root());
     }

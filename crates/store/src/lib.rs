@@ -80,12 +80,36 @@
 //! worker's expired leases reclaimed (and re-executed bit-identically)
 //! by the survivors. Lease files are invisible to the GC walker, so
 //! `suite gc` never disturbs a live campaign.
+//!
+//! ## Group-commit journal
+//!
+//! [`journal::Journal`] is the server-side write path's fast lane: a
+//! whole `batch-put` lands as **one** checksummed frame appended to
+//! `<root>/journal/seg-*.wal` with **one** fsync, is acked only after
+//! that fsync, and is readable from the journal index immediately; a
+//! background compaction pass drains sealed segments into the ordinary
+//! record files. Torn or corrupted frames are dropped whole at
+//! recovery — an unacked batch can never surface a partial record.
+//! Live `.wal` segments are invisible to the GC walker; drained
+//! `.wal.compacted` debris is swept.
+//!
+//! ## Compression
+//!
+//! [`compress`] is a dependency-free zigzag-varint delta codec over the
+//! little-endian `u64` words of a payload — simulation records are
+//! regular counter structs, so it routinely shrinks them several fold.
+//! It is applied inside journal frames, optionally at rest (the `DRIZ`
+//! record shape, [`store::STORE_COMPRESS_ENV`]), and on the push/batch
+//! wire when client and server negotiate it by header; every use keeps
+//! the raw form whenever compression would inflate.
 
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod compress;
 pub mod gc;
 pub mod hash;
+pub mod journal;
 pub mod lease;
 pub mod plan;
 pub mod store;
@@ -93,8 +117,11 @@ pub mod store;
 pub use codec::{Decoder, Encoder};
 pub use gc::{DiskUsage, GcPolicy, GcReport};
 pub use hash::KeyHasher;
+pub use journal::{Journal, JournalEntry, JournalOptions, JournalStats};
 pub use lease::{
     ClaimOutcome, Lease, LeaseBroker, LeaseCounts, LeaseGrant, LeaseRefusal, LeaseState,
 };
 pub use plan::{KeyPlan, KeyRef};
-pub use store::{frame_record, validate_record, ResultStore, StoreStats};
+pub use store::{
+    decode_record, frame_record, frame_record_compressed, validate_record, ResultStore, StoreStats,
+};
