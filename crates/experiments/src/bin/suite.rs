@@ -293,13 +293,18 @@ fn run_steal(plan: &Manifest, session: &SimSession) -> Result<(), String> {
         .iter()
         .map(|b| b.name().to_owned())
         .collect();
+    // The lease control plane has no record key to route by, so a fleet
+    // hashes the campaign name: every worker of one campaign agrees on
+    // one scheduler shard, while record traffic stays key-sharded.
+    let control = remote.lease_shard(&campaign);
     eprintln!(
         "suite: [steal] worker `{worker}` joining campaign `{campaign}` \
-         ({} unit(s), {} simulating job(s))",
+         (scheduler {}, {} unit(s), {} simulating job(s))",
+        control.addr(),
         units.len(),
         sim_jobs.len()
     );
-    let outcome = dri_experiments::drain(remote, &campaign, &units, &worker, |unit| {
+    let outcome = dri_experiments::drain(control, &campaign, &units, &worker, |unit| {
         std::env::set_var(BENCHMARKS_ENV, unit);
         eprintln!("suite: [{worker}] unit `{unit}` ...");
         for job in &sim_jobs {
@@ -385,7 +390,7 @@ fn main() -> ExitCode {
         match session.remote() {
             Some(remote) => format!(
                 ", remote at http://{}{}",
-                remote.addr(),
+                remote.describe(),
                 if dri_experiments::push_enabled() {
                     " (write-through push)"
                 } else {
@@ -549,7 +554,7 @@ fn print_store_stats(session: &SimSession) {
     }
     if let Some(remote) = session.remote() {
         let r = remote.stats();
-        println!("remote store (http://{}):", remote.addr());
+        println!("remote store (http://{}):", remote.describe());
         println!("  hits: {}", r.hits);
         println!("  misses: {}", r.misses);
         println!("  corrupt: {}", r.corrupt);
@@ -562,33 +567,54 @@ fn print_store_stats(session: &SimSession) {
         println!("  records accepted: {}", r.records_accepted);
         println!("  writes rejected: {}", r.writes_rejected);
         println!("  push round trips: {}", r.push_round_trips);
-        // The server's own side of the story: one GET /stats scrape
-        // surfaces the write-path and lease-scheduler tallies and any
-        // chaos injections next to the client counters above. On a
-        // single-worker run the three write-side pairs match line for
-        // line; a fleet's server lines sum over every worker.
-        match remote.server_stats() {
-            Some(s) => {
-                println!("server (http://{}/stats):", remote.addr());
-                println!("  records accepted: {}", s.records_accepted);
-                println!("  writes rejected: {}", s.writes_rejected);
-                println!("  push round trips: {}", s.push_round_trips);
-                // Journal depth > 0 means acked records still awaiting
-                // compaction into record files — normal in flight, and
-                // drained within a compaction interval once pushes stop.
-                println!("  journal depth: {}", s.journal_depth);
-                println!("  journal batches: {}", s.journal_batches);
-                println!("  journal fsyncs: {}", s.journal_fsyncs);
-                println!("  journal compacted: {}", s.journal_compacted);
-                println!("  faults injected: {}", s.faults_injected);
-                println!("  lease claims: {}", s.lease_claims);
-                println!("  lease granted: {}", s.lease_granted);
-                println!("  lease reclaimed: {}", s.lease_reclaimed);
-                println!("  lease renewed: {}", s.lease_renewed);
-                println!("  lease completed: {}", s.lease_completed);
-                println!("  lease rejected: {}", s.lease_rejected);
+        // Per-shard client traffic: a fleet's aggregate above hides
+        // which shard a dead server starved, so break the read/write
+        // counters out per address (single-remote runs skip this — the
+        // aggregate IS the shard).
+        if remote.is_sharded() {
+            for (addr, s) in remote.shard_stats() {
+                println!(
+                    "  shard http://{addr}: {} hits, {} misses, {} errors, \
+                     {} accepted, {} batch rt, {} push rt",
+                    s.hits,
+                    s.misses,
+                    s.errors,
+                    s.records_accepted,
+                    s.batch_round_trips,
+                    s.push_round_trips
+                );
             }
-            None => println!("server (http://{}/stats): unavailable", remote.addr()),
+        }
+        // The servers' own side of the story: one GET /stats scrape per
+        // shard surfaces the write-path and lease-scheduler tallies and
+        // any chaos injections next to the client counters above. On a
+        // single-worker run the three write-side pairs match line for
+        // line; a fleet's server lines sum over every worker (and, with
+        // replication, count each record once per owning shard).
+        for (addr, stats) in remote.server_stats_all() {
+            match stats {
+                Some(s) => {
+                    println!("server (http://{addr}/stats):");
+                    println!("  records accepted: {}", s.records_accepted);
+                    println!("  writes rejected: {}", s.writes_rejected);
+                    println!("  push round trips: {}", s.push_round_trips);
+                    // Journal depth > 0 means acked records still awaiting
+                    // compaction into record files — normal in flight, and
+                    // drained within a compaction interval once pushes stop.
+                    println!("  journal depth: {}", s.journal_depth);
+                    println!("  journal batches: {}", s.journal_batches);
+                    println!("  journal fsyncs: {}", s.journal_fsyncs);
+                    println!("  journal compacted: {}", s.journal_compacted);
+                    println!("  faults injected: {}", s.faults_injected);
+                    println!("  lease claims: {}", s.lease_claims);
+                    println!("  lease granted: {}", s.lease_granted);
+                    println!("  lease reclaimed: {}", s.lease_reclaimed);
+                    println!("  lease renewed: {}", s.lease_renewed);
+                    println!("  lease completed: {}", s.lease_completed);
+                    println!("  lease rejected: {}", s.lease_rejected);
+                }
+                None => println!("server (http://{addr}/stats): unavailable"),
+            }
         }
     }
 }

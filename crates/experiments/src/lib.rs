@@ -59,7 +59,7 @@ pub mod steal;
 pub mod sweeps;
 
 pub use dri_core::PolicyConfig;
-pub use dri_serve::{RemoteStats, RemoteStore};
+pub use dri_serve::{RemoteStats, RemoteStore, ShardedStore};
 pub use dri_store::{KeyPlan, ResultStore, StoreStats};
 pub use runner::{
     compare, run_conventional, run_dri, run_policy, run_policy_uncached, Comparison, DriRun,

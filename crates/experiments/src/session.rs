@@ -49,10 +49,13 @@
 //!
 //! ## The remote tier
 //!
-//! A session can further carry a [`dri_serve::RemoteStore`] client,
+//! A session can further carry a [`dri_serve::ShardedStore`] client,
 //! making the full lookup order **memory → disk → remote → simulate**.
 //! The global session attaches one when `DRI_REMOTE` names a `dri-serve`
-//! instance (again, unset = off). A remote hit is validated end-to-end
+//! instance or `DRI_SHARDS` names a whole fleet (again, unset = off) —
+//! in a fleet, every record key is consistent-hashed to its owning
+//! shards, batch traffic is split per shard, and reads fail over to
+//! replicas when a shard dies. A remote hit is validated end-to-end
 //! (the full checksummed record crosses the wire) and is immediately
 //! **healed into the local disk tier** when one is attached, so a record
 //! crosses the network at most once per worker; the remote service
@@ -99,7 +102,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use dri_serve::{BatchEntry, PushOutcome, RemoteStats, RemoteStore};
+use dri_serve::{BatchEntry, PushOutcome, RemoteStats, RemoteStore, ShardedStore};
 use dri_store::{KeyPlan, ResultStore, StoreStats};
 use dri_telemetry::{trace, Histogram, Span, TraceEvent};
 
@@ -408,7 +411,7 @@ pub struct SimSession {
     timed: bool,
     tier_latency: TierLatency,
     store: Option<ResultStore>,
-    remote: Option<RemoteStore>,
+    remote: Option<ShardedStore>,
 }
 
 /// Builds a [`SimSession`] from any combination of optional tiers and
@@ -430,7 +433,7 @@ pub struct SimSession {
 #[derive(Debug, Default)]
 pub struct SessionBuilder {
     store: Option<ResultStore>,
-    remote: Option<RemoteStore>,
+    remote: Option<ShardedStore>,
     push: bool,
     timed: Option<bool>,
 }
@@ -442,8 +445,19 @@ impl SessionBuilder {
         self
     }
 
-    /// Attaches (or, with `None`, omits) the remote tier.
+    /// Attaches (or, with `None`, omits) the remote tier as a
+    /// single-server client (the common test/bench shape). Wrapped as a
+    /// one-shard [`ShardedStore`] internally — routing degenerates to
+    /// pass-through, so the single-remote protocol is unchanged.
     pub fn remote(mut self, remote: impl Into<Option<RemoteStore>>) -> Self {
+        self.remote = remote.into().map(ShardedStore::single);
+        self
+    }
+
+    /// Attaches (or, with `None`, omits) the remote tier as a sharded
+    /// fleet client — batch traffic splits per owning shard and reads
+    /// fail over to replicas.
+    pub fn sharded(mut self, remote: impl Into<Option<ShardedStore>>) -> Self {
         self.remote = remote.into();
         self
     }
@@ -484,14 +498,15 @@ impl SimSession {
 
     /// The process-wide session every default-path run shares. Attaches
     /// the disk tier when the `DRI_STORE` environment variable names a
-    /// usable directory, and the remote tier when `DRI_REMOTE` names a
-    /// `dri-serve` instance (each decided once, at first use).
+    /// usable directory, and the remote tier when `DRI_SHARDS` names a
+    /// serve fleet or `DRI_REMOTE` a single `dri-serve` instance (each
+    /// decided once, at first use).
     pub fn global() -> &'static SimSession {
         static GLOBAL: OnceLock<SimSession> = OnceLock::new();
         GLOBAL.get_or_init(|| {
             SimSession::builder()
                 .store(ResultStore::from_env())
-                .remote(RemoteStore::from_env())
+                .sharded(ShardedStore::from_env())
                 .build()
         })
     }
@@ -506,14 +521,16 @@ impl SimSession {
         self.store.as_ref().map(ResultStore::stats)
     }
 
-    /// The remote tier, if one is attached.
-    pub fn remote(&self) -> Option<&RemoteStore> {
+    /// The remote tier, if one is attached: a fleet client that is a
+    /// plain pass-through when it holds a single shard.
+    pub fn remote(&self) -> Option<&ShardedStore> {
         self.remote.as_ref()
     }
 
-    /// Snapshot of the remote tier's counters, if one is attached.
+    /// Snapshot of the remote tier's counters (summed over shards), if
+    /// one is attached.
     pub fn remote_stats(&self) -> Option<RemoteStats> {
-        self.remote.as_ref().map(RemoteStore::stats)
+        self.remote.as_ref().map(ShardedStore::stats)
     }
 
     /// Snapshot of the hit/miss counters.

@@ -1,0 +1,192 @@
+//! Determinism proofs for the fleet's consistent-hash ring: placement
+//! is a pure function of the canonical shard *set* (never the listing
+//! order), removing a shard remaps only the keys it owned (with the
+//! surviving replicas promoted in order), and the placements of the
+//! real figure3 record grid are frozen in a golden fixture — a routing
+//! change that silently re-homed a campaign's records would turn every
+//! warm fleet replay into a re-simulation storm, so it must fail here
+//! first, loudly.
+
+use std::collections::BTreeSet;
+
+use dri_experiments::persist::{baseline_key, policy_key, policy_kind, BASELINE_KIND};
+use dri_experiments::search::{grid_configs, SearchSpace};
+use dri_experiments::RunConfig;
+use dri_store::{HashRing, KeyHasher};
+use proptest::prelude::*;
+use synth_workload::suite::Benchmark;
+
+/// A synthetic shard name from a small index space (collisions across
+/// draws are fine — the ring dedups them, which is itself under test).
+fn shard_name(index: u8) -> String {
+    format!("10.0.{index}.1:7171")
+}
+
+/// A distinct, sorted shard set from drawn indices (at least `min`
+/// members, padding deterministically when the draw collapses).
+fn shard_set(indices: &[u8], min: usize) -> Vec<String> {
+    let mut distinct: BTreeSet<u8> = indices.iter().copied().collect();
+    let mut pad = 0u8;
+    while distinct.len() < min {
+        distinct.insert(pad);
+        pad += 1;
+    }
+    distinct.into_iter().map(shard_name).collect()
+}
+
+fn arb_shard_indices() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..24, 1..7)
+}
+
+/// Widens a drawn `u64` into a well-spread `u128` record key.
+fn widen_key(seed: u64) -> u128 {
+    let hi = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) as u128;
+    (hi << 64) | seed as u128
+}
+
+proptest! {
+    #[test]
+    fn placement_ignores_listing_order_and_duplicates(
+        indices in arb_shard_indices(),
+        rotate in 0usize..6,
+        duplicate in 0usize..6,
+        replicas in 1usize..4,
+        seeds in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        // A worker's DRI_SHARDS may list the same fleet rotated and
+        // with a shard repeated; the ring must not care.
+        let shards = shard_set(&indices, 1);
+        let keys: Vec<u128> = seeds.iter().map(|&s| widen_key(s)).collect();
+        let mut shuffled = shards.clone();
+        let pivot = rotate % shuffled.len();
+        shuffled.rotate_left(pivot);
+        shuffled.push(shuffled[duplicate % shuffled.len()].clone());
+        let canonical = HashRing::new(shards, replicas).expect("ring");
+        let reordered = HashRing::new(shuffled, replicas).expect("ring");
+        prop_assert_eq!(canonical.shards(), reordered.shards());
+        for &key in &keys {
+            prop_assert_eq!(canonical.owners(key), reordered.owners(key));
+        }
+    }
+
+    #[test]
+    fn removing_one_shard_remaps_only_its_keys(
+        indices in arb_shard_indices(),
+        removed_index in 0usize..6,
+        replicas in 1usize..4,
+        seeds in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let shards = shard_set(&indices, 2);
+        let keys: Vec<u128> = seeds.iter().map(|&s| widen_key(s)).collect();
+        let removed = shards[removed_index % shards.len()].clone();
+        let survivors: Vec<String> =
+            shards.iter().filter(|&s| *s != removed).cloned().collect();
+        let full = HashRing::new(shards, replicas).expect("full ring");
+        let reduced = HashRing::new(survivors, replicas).expect("reduced ring");
+        for &key in &keys {
+            let before = full.owners(key);
+            let after = reduced.owners(key);
+            let surviving: Vec<&str> = before
+                .iter()
+                .copied()
+                .filter(|&owner| owner != removed)
+                .collect();
+            // Keys that never touched the dead shard keep their owner
+            // list as a prefix of the new one; keys that lost an owner
+            // keep the survivors' relative failover order and only
+            // *append* promoted replicas. Either way, nothing already
+            // placed moves.
+            prop_assert_eq!(
+                &after[..surviving.len()],
+                &surviving[..],
+                "key {:032x}", key
+            );
+        }
+    }
+
+    #[test]
+    fn every_key_gets_exactly_the_replica_count(
+        indices in arb_shard_indices(),
+        replicas in 1usize..5,
+        seeds in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let shards = shard_set(&indices, 1);
+        let keys: Vec<u128> = seeds.iter().map(|&s| widen_key(s)).collect();
+        let ring = HashRing::new(shards.clone(), replicas).expect("ring");
+        let want = replicas.min(shards.len());
+        for &key in &keys {
+            let owners = ring.owner_indices(key);
+            prop_assert_eq!(owners.len(), want);
+            let distinct: BTreeSet<usize> = owners.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), want, "owners must be distinct");
+        }
+    }
+}
+
+/// The quick-mode figure3 campaign's full record grid: 15 benchmarks ×
+/// (6 policy points + 1 shared baseline) = 105 `(kind, key)` records,
+/// enumerated exactly as the prefetch planner does.
+fn figure3_record_grid() -> Vec<(&'static str, u128)> {
+    let space = SearchSpace::quick();
+    let mut records = Vec::new();
+    let mut seen = BTreeSet::new();
+    for benchmark in Benchmark::all() {
+        let mut base = RunConfig::quick(benchmark);
+        base.instruction_budget = Some(60_000);
+        for cfg in grid_configs(&base, &space) {
+            for reference in [
+                (BASELINE_KIND, baseline_key(&cfg)),
+                (policy_kind(&cfg), policy_key(&cfg)),
+            ] {
+                if seen.insert(reference) {
+                    records.push(reference);
+                }
+            }
+        }
+    }
+    records
+}
+
+/// The canonical 3-shard test fleet the golden placements are frozen
+/// against. Deliberately *not* loopback addresses: the fixture must
+/// prove placement depends only on these strings, nowhere resolvable.
+const GOLDEN_FLEET: [&str; 3] = ["10.1.0.1:7171", "10.1.0.2:7171", "10.1.0.3:7171"];
+
+/// Digest of the full figure3 placement table (every record's kind,
+/// key, and owner list, in grid order), frozen at the ring's
+/// introduction. If this moves, warm fleet replays stop finding their
+/// records — bump it only with a deliberate migration story.
+const GOLDEN_PLACEMENT_DIGEST: u128 = 0xa701_7232_0ae4_6cb9_7692_b350_94fc_7406;
+
+#[test]
+fn figure3_grid_placements_are_frozen() {
+    let records = figure3_record_grid();
+    assert_eq!(records.len(), 105, "the quick figure3 record grid");
+    let ring = HashRing::new(GOLDEN_FLEET, 2).expect("golden ring");
+
+    let mut digest = KeyHasher::new();
+    let mut per_shard = [0usize; 3];
+    for &(kind, key) in &records {
+        digest.write_str(kind);
+        digest.write_u128(key);
+        for owner in ring.owners(key) {
+            digest.write_str(owner);
+        }
+        per_shard[ring.primary(key)] += 1;
+    }
+    // The primary split stays roughly even — no shard owns the
+    // campaign, which is the whole point of sharding it.
+    assert_eq!(per_shard.iter().sum::<usize>(), 105);
+    for (shard, &count) in GOLDEN_FLEET.iter().zip(&per_shard) {
+        assert!(
+            (15..=60).contains(&count),
+            "lopsided figure3 split: {shard} owns {count}/105 ({per_shard:?})"
+        );
+    }
+    assert_eq!(
+        digest.finish(),
+        GOLDEN_PLACEMENT_DIGEST,
+        "figure3 placements moved: every warm fleet replay would re-home \
+         (and re-simulate) the records whose owners changed"
+    );
+}

@@ -1,0 +1,608 @@
+//! The epoll-based connection front-end: one reactor thread owns every
+//! socket; a small worker pool owns the (potentially blocking) routing.
+//!
+//! Dependency-free by the same rule as the HTTP layer: the build
+//! environment is offline, so the epoll surface is four `extern "C"`
+//! declarations against the libc `std` already links — no crate, no
+//! `unsafe` beyond the syscalls themselves.
+//!
+//! ## Readiness state machine
+//!
+//! Every accepted connection is nonblocking and moves through three
+//! states:
+//!
+//! ```text
+//! Reading ──request parsed──▶ Dispatched ──worker replied──▶ Writing ──drained──▶ closed
+//!    │                                                          ▲
+//!    └──────────────── malformed request (400) ─────────────────┘
+//! ```
+//!
+//! - **Reading**: `EPOLLIN` readiness drains the socket into an
+//!   incremental [`RequestParser`] — bytes are parsed as they arrive,
+//!   and a slow (or hostile) peer costs a parser buffer, never a
+//!   thread.
+//! - **Dispatched**: the parsed request crossed to a worker; the fd is
+//!   deregistered (nothing more is expected from the peer —
+//!   `Connection: close` means one exchange per connection). Workers
+//!   exist because routing can legitimately block: journal fsyncs,
+//!   commit-window sleeps, lease I/O, injected delays.
+//! - **Writing**: the rendered response drains as the socket accepts
+//!   writes; a full kernel buffer arms `EPOLLOUT` and the reactor
+//!   moves on — write backpressure costs a buffer, never a thread.
+//!
+//! Workers return replies over a channel and wake the reactor through
+//! one half of a `UnixStream` pair registered in the same epoll set.
+//! An idle sweep closes connections quiet past the shared
+//! [`IO_TIMEOUT`] (dispatched connections are exempt — the peer is
+//! waiting on *us*).
+//!
+//! The chaos layer keeps its exact thread-pool semantics: the fate of
+//! the *N*-th accepted connection is decided at accept time
+//! ([`connection_fate`] advances the same counter), `drop` closes at
+//! accept, `delay`/`503`/`crash` apply worker-side once the request is
+//! in hand, and `torn` shapes the rendered response.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::fault::FaultAction;
+use crate::http::RequestParser;
+use crate::server::{
+    connection_fate, crash_with_request, render_bad_request, render_injected_503, respond, Shared,
+    IO_TIMEOUT,
+};
+
+/// The raw epoll surface: exactly the four calls the reactor needs.
+mod sys {
+    use std::os::fd::RawFd;
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `struct epoll_event`: packed on x86-64 (glibc's `__EPOLL_PACKED`),
+    /// naturally aligned elsewhere. Fields are only ever copied out by
+    /// value, so the unaligned layout never leaks a reference.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> RawFd;
+        pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(
+            epfd: RawFd,
+            events: *mut EpollEvent,
+            maxevents: i32,
+            timeout: i32,
+        ) -> i32;
+        pub fn close(fd: RawFd) -> i32;
+    }
+}
+
+/// Thin RAII wrapper over an epoll instance.
+#[derive(Debug)]
+struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut event = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.fd, op, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    fn del(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Level-triggered wait; `Ok(0)` on timeout.
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            sys::epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// The listener's epoll token (never a valid fd).
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// The wake pipe's epoll token.
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+/// How long one `epoll_wait` sleeps with nothing ready: bounds both the
+/// stop-flag latency and the idle-sweep cadence.
+const WAIT_TICK_MS: i32 = 250;
+/// Read chunk while draining a readable socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// The chaos fate decided for one connection at accept time.
+#[derive(Debug, Clone, Copy, Default)]
+struct Fate {
+    delay: Option<Duration>,
+    error503: bool,
+    torn: bool,
+    crash: bool,
+}
+
+/// Where one connection is in its single request/response exchange.
+#[derive(Debug)]
+enum ConnState {
+    Reading(RequestParser),
+    Dispatched,
+    Writing { wire: Vec<u8>, written: usize },
+}
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    fate: Fate,
+    last_activity: Instant,
+    /// Whether the fd is currently registered in the epoll set.
+    registered: bool,
+}
+
+/// One parsed request crossing to the worker pool.
+struct Job {
+    token: u64,
+    request: crate::http::Request,
+    fate: Fate,
+}
+
+/// One rendered response crossing back to the reactor.
+struct Reply {
+    token: u64,
+    wire: Vec<u8>,
+}
+
+/// Starts the event-loop front-end: workers first, then the reactor
+/// thread that owns the listener, the epoll set, and every connection.
+/// The returned handle joins the whole front-end (the reactor joins its
+/// workers on the way out), mirroring the thread pool's accept handle.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+    stopping: Arc<AtomicBool>,
+) -> io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let (reactor_wake, worker_wake) = UnixStream::pair()?;
+    reactor_wake.set_nonblocking(true)?;
+    worker_wake.set_nonblocking(true)?;
+    epoll.add(listener.as_raw_fd(), sys::EPOLLIN, LISTENER_TOKEN)?;
+    epoll.add(reactor_wake.as_raw_fd(), sys::EPOLLIN, WAKE_TOKEN)?;
+
+    let (jobs_tx, jobs_rx) = std::sync::mpsc::channel::<Job>();
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+    let (replies_tx, replies_rx) = std::sync::mpsc::channel::<Reply>();
+    let mut pool = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let jobs = Arc::clone(&jobs_rx);
+        let replies = replies_tx.clone();
+        let wake = worker_wake.try_clone()?;
+        let shared = Arc::clone(&shared);
+        pool.push(std::thread::spawn(move || {
+            worker(&jobs, &replies, &wake, &shared);
+        }));
+    }
+    drop(replies_tx);
+
+    Ok(std::thread::spawn(move || {
+        reactor(
+            &listener,
+            &epoll,
+            &reactor_wake,
+            &shared,
+            &stopping,
+            jobs_tx,
+            &replies_rx,
+        );
+        for handle in pool {
+            let _ = handle.join();
+        }
+    }))
+}
+
+/// Worker body: block on the job queue, apply the worker-side chaos
+/// actions, route, hand the rendered response back, poke the reactor.
+fn worker(
+    jobs: &Mutex<Receiver<Job>>,
+    replies: &Sender<Reply>,
+    wake: &UnixStream,
+    shared: &Shared,
+) {
+    loop {
+        let job = match jobs.lock() {
+            Ok(queue) => queue.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        if let Some(delay) = job.fate.delay {
+            std::thread::sleep(delay);
+        }
+        if job.fate.crash {
+            crash_with_request(Some(&job.request), shared);
+        }
+        let wire = if job.fate.error503 {
+            render_injected_503()
+        } else {
+            respond(job.request, job.fate.torn, shared)
+        };
+        if replies
+            .send(Reply {
+                token: job.token,
+                wire,
+            })
+            .is_err()
+        {
+            return;
+        }
+        // Nonblocking poke; a full pipe already holds a pending wakeup.
+        let _ = Write::write(&mut &*wake, &[1]);
+    }
+}
+
+/// The reactor body. Exits when `stopping` is observed; in-flight
+/// requests are then drained to completion — workers finish the queued
+/// jobs, and their replies are written out blockingly — so a graceful
+/// shutdown never strands a client that got its request in.
+fn reactor(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    wake: &UnixStream,
+    shared: &Shared,
+    stopping: &AtomicBool,
+    jobs_tx: Sender<Job>,
+    replies_rx: &Receiver<Reply>,
+) {
+    let mut events = [sys::EpollEvent { events: 0, data: 0 }; 64];
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut last_sweep = Instant::now();
+    while !stopping.load(Ordering::SeqCst) {
+        let ready = match epoll.wait(&mut events, WAIT_TICK_MS) {
+            Ok(n) => n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        for event in events.iter().take(ready) {
+            // Copy the packed fields out by value.
+            let (token, bits) = (event.data, event.events);
+            match token {
+                LISTENER_TOKEN => accept_ready(listener, epoll, &mut conns, shared, stopping),
+                WAKE_TOKEN => drain_wake(wake),
+                token => conn_ready(token, bits, epoll, &mut conns, shared, &jobs_tx),
+            }
+        }
+        drain_replies(epoll, &mut conns, shared, replies_rx);
+        if last_sweep.elapsed() >= Duration::from_secs(1) {
+            sweep_idle(epoll, &mut conns, shared);
+            last_sweep = Instant::now();
+        }
+        shared.stats.eventloop_open.set(conns.len() as u64);
+    }
+    // Graceful drain: no more jobs will be queued; workers finish what
+    // they hold, then their replies are flushed synchronously.
+    drop(jobs_tx);
+    while let Ok(reply) = replies_rx.recv() {
+        if let Some(mut conn) = conns.remove(&reply.token) {
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn.stream.set_write_timeout(Some(IO_TIMEOUT));
+            let _ = conn.stream.write_all(&reply.wire);
+        }
+    }
+    for (_, mut conn) in conns.drain() {
+        if let ConnState::Writing { wire, written } = conn.state {
+            let _ = conn.stream.set_nonblocking(false);
+            let _ = conn.stream.set_write_timeout(Some(IO_TIMEOUT));
+            let _ = conn.stream.write_all(&wire[written..]);
+        }
+    }
+    shared.stats.eventloop_open.set(0);
+}
+
+/// Accepts until `WouldBlock`, deciding each connection's chaos fate at
+/// the accept — the same point in the connection's life as the thread
+/// pool, so fault specs replay identically under either front-end.
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    shared: &Shared,
+    stopping: &AtomicBool,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        if stopping.load(Ordering::SeqCst) {
+            // The shutdown poke; never a real client.
+            continue;
+        }
+        shared.stats.eventloop_accepted.inc();
+        let mut fate = Fate::default();
+        let mut dropped = false;
+        for action in connection_fate(shared) {
+            match action {
+                FaultAction::Drop => dropped = true,
+                FaultAction::Delay(pause) => {
+                    fate.delay = Some(fate.delay.unwrap_or_default() + pause);
+                }
+                FaultAction::Error503 => fate.error503 = true,
+                FaultAction::Torn => fate.torn = true,
+                FaultAction::Crash => fate.crash = true,
+            }
+        }
+        if dropped || stream.set_nonblocking(true).is_err() {
+            continue; // dropping the stream closes it
+        }
+        let fd = stream.as_raw_fd();
+        let token = fd as u64;
+        if epoll
+            .add(fd, sys::EPOLLIN | sys::EPOLLRDHUP, token)
+            .is_err()
+        {
+            continue;
+        }
+        conns.insert(
+            token,
+            Conn {
+                stream,
+                state: ConnState::Reading(RequestParser::new()),
+                fate,
+                last_activity: Instant::now(),
+                registered: true,
+            },
+        );
+    }
+}
+
+/// Handles readiness on one connection: drain reads through the parser
+/// (dispatching on completion), pump pending writes, close on error.
+fn conn_ready(
+    token: u64,
+    bits: u32,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    shared: &Shared,
+    jobs_tx: &Sender<Job>,
+) {
+    let Some(conn) = conns.get_mut(&token) else {
+        return;
+    };
+    conn.last_activity = Instant::now();
+    let mut close = bits & sys::EPOLLERR != 0;
+    if !close && bits & sys::EPOLLIN != 0 && matches!(conn.state, ConnState::Reading(_)) {
+        shared.stats.eventloop_read_events.inc();
+        close = pump_read(token, conn, epoll, shared, jobs_tx);
+    }
+    if !close && bits & sys::EPOLLOUT != 0 {
+        shared.stats.eventloop_write_events.inc();
+        close = pump_write(conn, epoll, shared);
+    }
+    if !close
+        && bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+        && matches!(conn.state, ConnState::Reading(_))
+    {
+        // Peer hung up without completing a request.
+        close = true;
+    }
+    if close {
+        close_conn(epoll, conns, token);
+    }
+}
+
+/// Drains the readable socket through the parser. Returns `true` when
+/// the connection should close (EOF mid-request, transport error).
+fn pump_read(
+    token: u64,
+    conn: &mut Conn,
+    epoll: &Epoll,
+    shared: &Shared,
+    jobs_tx: &Sender<Job>,
+) -> bool {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return true,
+            Ok(n) => {
+                let ConnState::Reading(parser) = &mut conn.state else {
+                    return false;
+                };
+                match parser.feed(&chunk[..n]) {
+                    Ok(Some(request)) => {
+                        // One exchange per connection: nothing more is
+                        // expected from the peer, so drop the read
+                        // interest entirely while a worker routes.
+                        if conn.registered && epoll.del(conn.stream.as_raw_fd()).is_ok() {
+                            conn.registered = false;
+                        }
+                        conn.state = ConnState::Dispatched;
+                        let fate = conn.fate;
+                        return jobs_tx
+                            .send(Job {
+                                token,
+                                request,
+                                fate,
+                            })
+                            .is_err();
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        shared.stats.bad_requests.inc();
+                        conn.state = ConnState::Writing {
+                            wire: render_bad_request(),
+                            written: 0,
+                        };
+                        return pump_write(conn, epoll, shared);
+                    }
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+}
+
+/// Writes as much of the pending response as the socket accepts.
+/// Returns `true` when the exchange is over (fully written, or the
+/// connection died); on `WouldBlock`, arms `EPOLLOUT` and returns
+/// `false` — the reactor moves on and finishes later.
+fn pump_write(conn: &mut Conn, epoll: &Epoll, shared: &Shared) -> bool {
+    let fd = conn.stream.as_raw_fd();
+    let token = fd as u64;
+    let registered = conn.registered;
+    let ConnState::Writing { wire, written } = &mut conn.state else {
+        return false;
+    };
+    loop {
+        if *written == wire.len() {
+            let _ = conn.stream.flush();
+            return true;
+        }
+        match conn.stream.write(&wire[*written..]) {
+            Ok(0) => return true,
+            Ok(n) => *written += n,
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                shared.stats.eventloop_backpressure.inc();
+                let armed = if registered {
+                    epoll.modify(fd, sys::EPOLLOUT, token)
+                } else {
+                    epoll.add(fd, sys::EPOLLOUT, token)
+                };
+                if armed.is_err() {
+                    return true;
+                }
+                conn.registered = true;
+                return false;
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+}
+
+/// Moves worker replies into their connections' write state and pumps
+/// each immediately (most drain in one call on loopback).
+fn drain_replies(
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    shared: &Shared,
+    replies_rx: &Receiver<Reply>,
+) {
+    while let Ok(reply) = replies_rx.try_recv() {
+        let done = match conns.get_mut(&reply.token) {
+            Some(conn) => {
+                conn.last_activity = Instant::now();
+                conn.state = ConnState::Writing {
+                    wire: reply.wire,
+                    written: 0,
+                };
+                pump_write(conn, epoll, shared)
+            }
+            None => continue,
+        };
+        if done {
+            close_conn(epoll, conns, reply.token);
+        }
+    }
+}
+
+/// Closes connections idle past [`IO_TIMEOUT`]. Dispatched connections
+/// are exempt: the peer is waiting on a worker, not the reverse, and a
+/// reply must never find its token reused by a new connection.
+fn sweep_idle(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, shared: &Shared) {
+    let stale: Vec<u64> = conns
+        .iter()
+        .filter(|(_, conn)| {
+            !matches!(conn.state, ConnState::Dispatched)
+                && conn.last_activity.elapsed() > IO_TIMEOUT
+        })
+        .map(|(&token, _)| token)
+        .collect();
+    for token in stale {
+        shared.stats.eventloop_idle_reaped.inc();
+        close_conn(epoll, conns, token);
+    }
+}
+
+fn close_conn(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        if conn.registered {
+            let _ = epoll.del(conn.stream.as_raw_fd());
+        }
+        // Dropping the stream closes the fd.
+    }
+}
+
+/// Empties the wake pipe (level-triggered: unread bytes re-wake).
+fn drain_wake(wake: &UnixStream) {
+    let mut sink = [0u8; 256];
+    loop {
+        match Read::read(&mut &*wake, &mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}

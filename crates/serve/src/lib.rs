@@ -101,18 +101,40 @@
 //!
 //! ## Concurrency
 //!
-//! Connections are handled by a thread-per-connection pool sized like
-//! `DRI_THREADS` (default: available parallelism) — see
-//! [`server::Server`]. The accept loop applies backpressure by blocking
-//! once all workers are busy and the small handoff queue is full.
+//! On Linux the default front-end is a **readiness-based event loop**
+//! (see [`server::EVENT_LOOP_ENV`]): one reactor thread owns a
+//! nonblocking listener and every connection through an epoll set,
+//! parsing requests incrementally as bytes arrive and draining
+//! responses under `EPOLLOUT` backpressure, while a worker pool sized
+//! like `DRI_THREADS` runs the (potentially blocking) routing — journal
+//! fsyncs, lease I/O, injected chaos delays. A slow peer costs a
+//! buffer, never a thread. `DRI_EVENT_LOOP=0` (and every non-Linux
+//! platform) selects the original thread-per-connection pool, whose
+//! accept loop applies backpressure by blocking once all workers are
+//! busy and the small handoff queue is full. Both front-ends share one
+//! routing core, so every endpoint, limit, and fault behaves
+//! identically under either.
+//!
+//! ## Sharding across a fleet
+//!
+//! One process serves one store; a *fleet* is N independent processes
+//! plus client-side routing. [`ShardedStore`] consistent-hashes every
+//! record key onto a deterministic [`dri_store::HashRing`] built from
+//! [`SHARDS_ENV`] (`DRI_SHARDS=addr1,addr2,...`), replicating each
+//! record to [`REPLICAS_ENV`] owners and failing reads over to
+//! replicas when a shard dies — each shard keeps its own circuit
+//! breaker, so one dead shard degrades only its own keys.
 
 #![warn(missing_docs)]
 
 pub mod auth;
 pub mod client;
+#[cfg(target_os = "linux")]
+mod event_loop;
 pub mod fault;
 pub mod http;
 pub mod server;
+pub mod sharded;
 
 pub use auth::TOKEN_ENV;
 pub use client::{
@@ -120,7 +142,10 @@ pub use client::{
     BATCH_CHUNK, REMOTE_ENV, TIMEOUT_ENV, WIRE_COMPRESS_ENV,
 };
 pub use fault::{FaultSpec, FAULT_ENV};
-pub use server::{JournalConfig, ServeStats, Server, DEFAULT_LEASE_TTL_MS, LEASE_TTL_ENV};
+pub use server::{
+    JournalConfig, ServeStats, Server, DEFAULT_LEASE_TTL_MS, EVENT_LOOP_ENV, LEASE_TTL_ENV,
+};
+pub use sharded::{ShardedStore, DEFAULT_REPLICAS, REPLICAS_ENV, SHARDS_ENV};
 
 /// Worker threads for the connection pool: `DRI_THREADS` when set to a
 /// positive integer, otherwise the machine's available parallelism (the

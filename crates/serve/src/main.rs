@@ -75,6 +75,13 @@ options:
   --help            this text
 
 environment:
+  DRI_EVENT_LOOP    0 = thread-per-connection front-end instead of the
+                    default epoll event loop (Linux only; other
+                    platforms always use the thread pool)
+  DRI_SHARDS        the fleet this server belongs to (addr1,addr2,...),
+                    advertised in /stats and /metrics; clients route by
+                    consistent-hashing record keys across the same list
+  DRI_REPLICAS      owners per record key in the fleet (default 2)
   DRI_LEASE_TTL_MS  lease TTL granted to --steal workers (default 30000)
   DRI_JOURNAL       1 = group-commit write journal: one fsync per push
                     batch, acked after the fsync, drained to record files
@@ -198,13 +205,21 @@ fn main() -> ExitCode {
     if let Some(line) = journal_banner {
         eprintln!("dri-serve: {line}");
     }
+    if let Some((shards, replicas)) = dri_serve::sharded::fleet_membership_from_env() {
+        eprintln!("dri-serve: fleet member ({shards} shards, {replicas} replicas per key)");
+    }
     // The listening line goes to stdout so scripts can capture the
     // (possibly ephemeral) port; progress/diagnostics stay on stderr.
     println!("dri-serve: listening on http://{}", server.addr());
     eprintln!(
-        "dri-serve: store {root} ({} records, {} bytes), {} workers; {} — Ctrl-C to stop",
+        "dri-serve: store {root} ({} records, {} bytes), {} front-end, {} workers; {} — Ctrl-C to stop",
         usage.records,
         usage.bytes,
+        if dri_serve::server::event_loop_from_env() {
+            "event-loop"
+        } else {
+            "thread-pool"
+        },
         args.workers,
         if writable {
             "accepting authenticated pushes (DRI_TOKEN)"

@@ -1,11 +1,22 @@
-//! The service proper: a `TcpListener` accept loop feeding a
-//! thread-per-connection worker pool over a bounded handoff channel.
+//! The service proper: connection handling, routing, and the counters
+//! behind `/stats` and `/metrics`.
 //!
-//! The pool is sized like the simulation fan-out (`DRI_THREADS`, see
-//! [`crate::default_workers`]); when every worker is busy and the small
-//! queue is full, the accept loop blocks, which is exactly the
-//! backpressure a read-only cache tier wants — clients time out, treat
-//! it as a miss, and simulate locally rather than pile up.
+//! Two interchangeable connection front-ends feed the same routing
+//! core (`respond`):
+//!
+//! - **The event loop** (Linux default): a nonblocking epoll reactor
+//!   (`crate::event_loop`) owns every socket, parses requests as
+//!   bytes arrive, dispatches parsed requests to a small worker pool,
+//!   and drains responses under `EPOLLOUT` write backpressure. Worker
+//!   count bounds *routing* concurrency (journal fsyncs, lease I/O),
+//!   not connection count.
+//! - **The thread pool** (`DRI_EVENT_LOOP=0`, and every non-Linux
+//!   host): the original blocking accept loop feeding thread-per-
+//!   connection workers over a bounded handoff channel, sized like the
+//!   simulation fan-out (`DRI_THREADS`, see [`crate::default_workers`]).
+//!   When every worker is busy and the small queue is full, the accept
+//!   loop blocks — clients time out, treat it as a miss, and simulate
+//!   locally rather than pile up.
 //!
 //! ## The group-commit write path
 //!
@@ -38,12 +49,16 @@ use dri_store::{
 use dri_telemetry::{trace, Counter, Gauge, Histogram, Registry, TraceEvent};
 
 use crate::fault::{FaultAction, FaultSpec};
-use crate::http::{
-    read_request, write_head_response, write_response, write_response_encoded, Request,
-};
+use crate::http::{read_request, render_head, Request};
 
-/// Per-connection I/O timeout: a stalled peer releases its worker.
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Per-connection I/O timeout: a stalled peer releases its worker (or,
+/// under the event loop, is reaped by the idle sweep).
+pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Environment variable selecting the connection front-end: unset or
+/// truthy = the epoll event loop (Linux only), `0`/`false`/`off` = the
+/// original thread-per-connection pool. Anything else warns once and
+/// keeps the default — the `DRI_THREADS` convention.
+pub const EVENT_LOOP_ENV: &str = "DRI_EVENT_LOOP";
 /// Environment variable overriding the lease TTL handed to `--steal`
 /// workers, in milliseconds.
 pub const LEASE_TTL_ENV: &str = "DRI_LEASE_TTL_MS";
@@ -74,6 +89,34 @@ pub fn lease_ttl_from_env() -> u64 {
         }
     }
 }
+/// Reads [`EVENT_LOOP_ENV`]: the epoll event loop is the default on
+/// Linux; `0`/`false`/`off` keeps the thread-per-connection pool (the
+/// saturation benchmark compares the two). Other hosts always use the
+/// thread pool. A present-but-unrecognized value warns once and keeps
+/// the platform default.
+pub fn event_loop_from_env() -> bool {
+    if !cfg!(target_os = "linux") {
+        return false;
+    }
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let Ok(raw) = std::env::var(EVENT_LOOP_ENV) else {
+        return true;
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "0" | "false" | "off" | "no" => false,
+        "" | "1" | "true" | "on" | "yes" => true,
+        _ => {
+            WARNED.call_once(|| {
+                eprintln!(
+                    "dri-serve: ignoring unrecognized {EVENT_LOOP_ENV}={raw:?} \
+                     (want 1/0); using the event loop"
+                );
+            });
+            true
+        }
+    }
+}
+
 /// Most record references one `/batch` request — or record frames one
 /// `/batch-put` request — may carry; longer bodies are rejected wholesale
 /// with `400`. The client's chunk size (`crate::client::BATCH_CHUNK`)
@@ -274,12 +317,12 @@ pub struct ServeStats {
 /// never diverge — one set of counters, two expositions. (Per-server
 /// rather than process-global so parallel test servers stay isolated.)
 #[derive(Debug)]
-struct AtomicServeStats {
+pub(crate) struct AtomicServeStats {
     registry: Registry,
     requests: Counter,
     hits: Counter,
     misses: Counter,
-    bad_requests: Counter,
+    pub(crate) bad_requests: Counter,
     batch_requests: Counter,
     bytes_served: Counter,
     push_round_trips: Counter,
@@ -294,6 +337,20 @@ struct AtomicServeStats {
     faults_injected: Counter,
     /// Wall time from request-parsed to response-built, per request.
     request_latency: Histogram,
+    /// Event-loop counters (all zero under the thread-pool front-end).
+    pub(crate) eventloop_accepted: Counter,
+    pub(crate) eventloop_read_events: Counter,
+    pub(crate) eventloop_write_events: Counter,
+    /// Response writes that hit `WouldBlock` and armed `EPOLLOUT`.
+    pub(crate) eventloop_backpressure: Counter,
+    /// Connections reaped by the idle sweep ([`IO_TIMEOUT`]).
+    pub(crate) eventloop_idle_reaped: Counter,
+    /// Connections currently owned by the reactor.
+    pub(crate) eventloop_open: Gauge,
+    /// Fleet membership gauges (from `DRI_SHARDS`/`DRI_REPLICAS` in the
+    /// server's environment; zero when it serves outside a fleet).
+    ring_shards: Gauge,
+    ring_replicas: Gauge,
     /// Disk-tier gauges, refreshed at `/metrics` scrape time.
     store_records: Gauge,
     store_bytes: Gauge,
@@ -372,6 +429,38 @@ impl Default for AtomicServeStats {
                 "dri_serve_request_latency_ns",
                 "request handling latency, parse to response-built",
             ),
+            eventloop_accepted: registry.counter(
+                "dri_serve_eventloop_accepted_total",
+                "connections accepted by the epoll reactor",
+            ),
+            eventloop_read_events: registry.counter(
+                "dri_serve_eventloop_read_events_total",
+                "EPOLLIN readiness events handled",
+            ),
+            eventloop_write_events: registry.counter(
+                "dri_serve_eventloop_write_events_total",
+                "EPOLLOUT readiness events handled",
+            ),
+            eventloop_backpressure: registry.counter(
+                "dri_serve_eventloop_backpressure_total",
+                "response writes that hit WouldBlock and armed EPOLLOUT",
+            ),
+            eventloop_idle_reaped: registry.counter(
+                "dri_serve_eventloop_idle_reaped_total",
+                "connections closed by the idle sweep",
+            ),
+            eventloop_open: registry.gauge(
+                "dri_serve_eventloop_open_connections",
+                "connections currently owned by the reactor",
+            ),
+            ring_shards: registry.gauge(
+                "dri_serve_ring_shards",
+                "fleet size from DRI_SHARDS (0 = not in a fleet)",
+            ),
+            ring_replicas: registry.gauge(
+                "dri_serve_ring_replicas",
+                "replication factor from DRI_REPLICAS",
+            ),
             store_records: registry.gauge(
                 "dri_serve_store_records",
                 "validated records on disk (cached walk)",
@@ -435,9 +524,9 @@ impl AtomicServeStats {
 
 /// State every connection worker shares.
 #[derive(Debug)]
-struct Shared {
+pub(crate) struct Shared {
     store: Arc<ResultStore>,
-    stats: AtomicServeStats,
+    pub(crate) stats: AtomicServeStats,
     /// Shared write-path secret (`DRI_TOKEN`). `None` = the write
     /// endpoints are disabled and the service is strictly read-only,
     /// exactly as it was before the push path existed.
@@ -451,10 +540,16 @@ struct Shared {
     /// TTL granted on every claim and renewal ([`LEASE_TTL_ENV`]).
     lease_ttl_ms: u64,
     /// The chaos layer: `Some` only when `DRI_FAULT` asked for it.
-    faults: Option<FaultSpec>,
+    pub(crate) faults: Option<FaultSpec>,
     /// The group-commit write path: `Some` only on servers bound with a
     /// [`JournalConfig`]; `None` keeps the original save-per-record path.
     journal: Option<JournalTier>,
+    /// Which connection front-end this server runs (`/stats` reports it
+    /// so the saturation benchmark can label its measurements).
+    event_loop: bool,
+    /// Fleet membership from the environment: `(shards, replicas)` when
+    /// this process serves one shard of a `DRI_SHARDS` fleet.
+    ring: Option<(u64, u64)>,
 }
 
 impl Shared {
@@ -566,28 +661,34 @@ impl Server {
             lease_ttl_ms: lease_ttl_ms.max(1),
             faults,
             journal: journal_tier,
+            event_loop: event_loop_from_env(),
+            ring: crate::sharded::fleet_membership_from_env(),
         });
         let workers = workers.max(1);
 
-        let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 2);
-        let receiver = Arc::new(Mutex::new(receiver));
-        let mut pool = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let receiver = Arc::clone(&receiver);
-            let shared = Arc::clone(&shared);
-            pool.push(std::thread::spawn(move || worker(&receiver, &shared)));
-        }
-
-        let accept = {
-            let stopping = Arc::clone(&stopping);
-            std::thread::spawn(move || {
-                accept_loop(&listener, &sender, &stopping);
-                drop(sender); // workers drain the queue, then exit
-                for handle in pool {
-                    let _ = handle.join();
-                }
-            })
+        #[cfg(target_os = "linux")]
+        let accept = if shared.event_loop {
+            crate::event_loop::spawn(
+                listener,
+                Arc::clone(&shared),
+                workers,
+                Arc::clone(&stopping),
+            )?
+        } else {
+            spawn_threaded(
+                listener,
+                Arc::clone(&shared),
+                workers,
+                Arc::clone(&stopping),
+            )
         };
+        #[cfg(not(target_os = "linux"))]
+        let accept = spawn_threaded(
+            listener,
+            Arc::clone(&shared),
+            workers,
+            Arc::clone(&stopping),
+        );
 
         let compactor = journal.map(|config| {
             let stop = Arc::new((Mutex::new(false), Condvar::new()));
@@ -703,6 +804,32 @@ impl Drop for Server {
     }
 }
 
+/// The thread-per-connection front-end: a blocking accept loop feeding
+/// a worker pool over a bounded handoff channel. Returns the accept
+/// thread (which joins the pool when it exits).
+fn spawn_threaded(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+    stopping: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 2);
+    let receiver = Arc::new(Mutex::new(receiver));
+    let mut pool = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let receiver = Arc::clone(&receiver);
+        let shared = Arc::clone(&shared);
+        pool.push(std::thread::spawn(move || worker(&receiver, &shared)));
+    }
+    std::thread::spawn(move || {
+        accept_loop(&listener, &sender, &stopping);
+        drop(sender); // workers drain the queue, then exit
+        for handle in pool {
+            let _ = handle.join();
+        }
+    })
+}
+
 fn accept_loop(listener: &TcpListener, sender: &SyncSender<TcpStream>, stopping: &AtomicBool) {
     for stream in listener.incoming() {
         if stopping.load(Ordering::SeqCst) {
@@ -726,6 +853,52 @@ fn worker(receiver: &Mutex<Receiver<TcpStream>>, shared: &Shared) {
     }
 }
 
+/// Advances the chaos layer for one accepted connection, counting and
+/// tracing whatever fires. Both front-ends call this exactly once per
+/// accepted connection, so a fault spec replays identically under
+/// either. Empty (the overwhelmingly common case) without a spec.
+pub(crate) fn connection_fate(shared: &Shared) -> Vec<FaultAction> {
+    let Some(faults) = &shared.faults else {
+        return Vec::new();
+    };
+    let fired = faults.next_connection();
+    for action in &fired {
+        shared.stats.faults_injected.inc();
+        if trace::enabled() {
+            let name = match action {
+                FaultAction::Drop => "drop",
+                FaultAction::Delay(_) => "delay",
+                FaultAction::Error503 => "503",
+                FaultAction::Torn => "torn",
+                FaultAction::Crash => "crash",
+            };
+            TraceEvent::new("fault", name)
+                .label("connection", &faults.connections_seen().to_string())
+                .emit();
+        }
+    }
+    fired
+}
+
+/// The rendered `400 Bad Request` both front-ends answer on a request
+/// that failed to parse (the parse failure was already counted).
+pub(crate) fn render_bad_request() -> Vec<u8> {
+    let body = b"bad request\n";
+    let mut wire = render_head(400, "Bad Request", "text/plain", None, body.len());
+    wire.extend_from_slice(body);
+    wire
+}
+
+/// The rendered `503` an [`FaultAction::Error503`] connection answers
+/// after draining its request (the failure is the *status*, not a
+/// mid-write hangup), without routing.
+pub(crate) fn render_injected_503() -> Vec<u8> {
+    let body = b"injected fault\n";
+    let mut wire = render_head(503, "Service Unavailable", "text/plain", None, body.len());
+    wire.extend_from_slice(body);
+    wire
+}
+
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let stats = &shared.stats;
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
@@ -733,61 +906,45 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     // The chaos layer sees the connection before the request parser: a
     // dropped or delayed connection is a transport event, not an HTTP one.
     let mut torn = false;
-    if let Some(faults) = &shared.faults {
-        for action in faults.next_connection() {
-            stats.faults_injected.inc();
-            if trace::enabled() {
-                let name = match action {
-                    FaultAction::Drop => "drop",
-                    FaultAction::Delay(_) => "delay",
-                    FaultAction::Error503 => "503",
-                    FaultAction::Torn => "torn",
-                    FaultAction::Crash => "crash",
-                };
-                TraceEvent::new("fault", name)
-                    .label("connection", &faults.connections_seen().to_string())
-                    .emit();
+    for action in connection_fate(shared) {
+        match action {
+            // Close without reading: the peer sees a reset/EOF.
+            FaultAction::Drop => return,
+            FaultAction::Delay(pause) => std::thread::sleep(pause),
+            FaultAction::Error503 => {
+                let _ = read_request(&mut stream);
+                let _ = stream.write_all(&render_injected_503());
+                return;
             }
-            match action {
-                // Close without reading: the peer sees a reset/EOF.
-                FaultAction::Drop => return,
-                FaultAction::Delay(pause) => std::thread::sleep(pause),
-                FaultAction::Error503 => {
-                    // Drain the request first so the peer's write
-                    // completes; the failure is the *status*, not a
-                    // mid-write hangup.
-                    let _ = read_request(&mut stream);
-                    let _ = write_response(
-                        &mut stream,
-                        503,
-                        "Service Unavailable",
-                        "text/plain",
-                        b"injected fault\n",
-                    );
-                    return;
-                }
-                // Remembered for write time: route normally, then send a
-                // head promising the full body and deliver only half.
-                FaultAction::Torn => torn = true,
-                // Kill the whole process mid-write; never returns.
-                FaultAction::Crash => crash_now(&mut stream, shared),
+            // Remembered for write time: route normally, then send a
+            // head promising the full body and deliver only half.
+            FaultAction::Torn => torn = true,
+            // Kill the whole process mid-write; never returns.
+            FaultAction::Crash => {
+                crash_with_request(read_request(&mut stream).ok().as_ref(), shared)
             }
         }
     }
-    let mut request = match read_request(&mut stream) {
+    let request = match read_request(&mut stream) {
         Ok(request) => request,
         Err(_) => {
             stats.bad_requests.inc();
-            let _ = write_response(
-                &mut stream,
-                400,
-                "Bad Request",
-                "text/plain",
-                b"bad request\n",
-            );
+            let _ = stream.write_all(&render_bad_request());
             return;
         }
     };
+    let wire = respond(request, torn, shared);
+    let _ = stream.write_all(&wire);
+    let _ = stream.flush();
+}
+
+/// Routes one parsed request and renders the complete wire response
+/// (head + body) — the front-end-agnostic core. Handles the `HEAD`
+/// suppression, `/batch` wire compression, latency/trace recording,
+/// and the `torn` chaos shape (full-length head, half body). Counters
+/// advance here so both front-ends report identically.
+pub(crate) fn respond(mut request: Request, torn: bool, shared: &Shared) -> Vec<u8> {
+    let stats = &shared.stats;
     stats.requests.inc();
     // HEAD is GET with the body suppressed (RFC 9110 §9.3.2): route it
     // as GET so probes see real statuses, then send headers only.
@@ -822,63 +979,56 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         event.emit();
     }
     if head_only {
-        let _ = write_head_response(&mut stream, status, reason, content_type, body.len());
-        return;
+        return render_head(status, reason, content_type, None, body.len());
     }
     if torn {
         // Head declares the full length; only half the body follows. The
         // client's Content-Length cross-check must catch this.
         let half = &body[..body.len() / 2];
         stats.bytes_served.add(half.len() as u64);
-        let _ = write_head_response(&mut stream, status, reason, content_type, body.len());
-        let _ = stream.write_all(half);
-        return;
+        let mut wire = render_head(status, reason, content_type, None, body.len());
+        wire.extend_from_slice(half);
+        return wire;
     }
     stats.bytes_served.add(body.len() as u64);
-    let _ = write_response_encoded(
-        &mut stream,
-        status,
-        reason,
-        content_type,
-        body_encoding,
-        &body,
-    );
+    let mut wire = render_head(status, reason, content_type, body_encoding, body.len());
+    wire.extend_from_slice(&body);
+    wire
 }
 
-/// The `crash:N` chaos action: read the request (so the peer's write
-/// completes and the crash lands server-side, like a power cut), tear
-/// the journal frame a `batch-put` would have appended — first half of
-/// the bytes only, synced, never acked, never indexed — then kill the
-/// process. The restarted server's recovery must drop the torn frame
-/// whole; the client saw no ack, so nothing durable was promised.
-fn crash_now(stream: &mut TcpStream, shared: &Shared) -> ! {
-    if let Ok(request) = read_request(stream) {
-        if request.method == "POST" && request.path == "/batch-put" {
-            if let Some(tier) = &shared.journal {
-                let body = match request.encoding.as_deref() {
-                    Some(name) if name == compress::WIRE_ENCODING => {
-                        compress::decompress(&request.body, crate::http::MAX_BODY)
-                    }
-                    Some(_) => None,
-                    None => Some(request.body.clone()),
-                };
-                let frames = body.as_deref().and_then(parse_push_frames);
-                if let Some(frames) = frames {
-                    let entries: Vec<JournalEntry> = frames
-                        .into_iter()
-                        .filter_map(|(kind, schema, key, record)| {
-                            validate_record(record, schema, key).map(|payload| JournalEntry {
-                                kind,
-                                schema,
-                                key,
-                                payload: payload.to_vec(),
-                            })
+/// The `crash:N` chaos action, fired once the request is in hand (so
+/// the peer's write completed and the crash lands server-side, like a
+/// power cut): tear the journal frame a `batch-put` would have
+/// appended — first half of the bytes only, synced, never acked, never
+/// indexed — then kill the process. The restarted server's recovery
+/// must drop the torn frame whole; the client saw no ack, so nothing
+/// durable was promised.
+pub(crate) fn crash_with_request(request: Option<&Request>, shared: &Shared) -> ! {
+    if let Some(request) = request.filter(|r| r.method == "POST" && r.path == "/batch-put") {
+        if let Some(tier) = &shared.journal {
+            let body = match request.encoding.as_deref() {
+                Some(name) if name == compress::WIRE_ENCODING => {
+                    compress::decompress(&request.body, crate::http::MAX_BODY)
+                }
+                Some(_) => None,
+                None => Some(request.body.clone()),
+            };
+            let frames = body.as_deref().and_then(parse_push_frames);
+            if let Some(frames) = frames {
+                let entries: Vec<JournalEntry> = frames
+                    .into_iter()
+                    .filter_map(|(kind, schema, key, record)| {
+                        validate_record(record, schema, key).map(|payload| JournalEntry {
+                            kind,
+                            schema,
+                            key,
+                            payload: payload.to_vec(),
                         })
-                        .collect();
-                    if !entries.is_empty() {
-                        let keep = (request.body.len() / 2).max(1);
-                        let _ = tier.journal.simulate_torn_append(&entries, keep);
-                    }
+                    })
+                    .collect();
+                if !entries.is_empty() {
+                    let keep = (request.body.len() / 2).max(1);
+                    let _ = tier.journal.simulate_torn_append(&entries, keep);
                 }
             }
         }
@@ -1554,7 +1704,10 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
          \"renewed\":{},\"completed\":{},\"rejected\":{}}},\
          \"store\":{{\"hits\":{},\"misses\":{},\"corrupt\":{}}},\
          \"journal\":{{\"enabled\":{},\"depth\":{},\"batches\":{},\
-         \"appended\":{},\"fsyncs\":{},\"compactions\":{},\"compacted\":{}}}}}\n",
+         \"appended\":{},\"fsyncs\":{},\"compactions\":{},\"compacted\":{}}},\
+         \"event_loop\":{{\"enabled\":{},\"accepted\":{},\"read_events\":{},\
+         \"write_events\":{},\"backpressure\":{},\"idle_reaped\":{},\"open\":{}}},\
+         \"ring\":{{\"shards\":{},\"replicas\":{}}}}}\n",
         usage.records,
         usage.bytes,
         store.generation(),
@@ -1585,6 +1738,15 @@ fn stats_json(shared: &Shared) -> Vec<u8> {
         journal.fsyncs,
         journal.compactions,
         journal.compacted,
+        shared.event_loop,
+        shared.stats.eventloop_accepted.get(),
+        shared.stats.eventloop_read_events.get(),
+        shared.stats.eventloop_write_events.get(),
+        shared.stats.eventloop_backpressure.get(),
+        shared.stats.eventloop_idle_reaped.get(),
+        shared.stats.eventloop_open.get(),
+        shared.ring.map_or(0, |(shards, _)| shards),
+        shared.ring.map_or(0, |(_, replicas)| replicas),
     )
     .into_bytes()
 }
@@ -1600,6 +1762,10 @@ fn metrics_text(shared: &Shared) -> Vec<u8> {
     stats.store_records.set(usage.records);
     stats.store_bytes.set(usage.bytes);
     stats.store_generation.set(shared.store.generation());
+    if let Some((shards, replicas)) = shared.ring {
+        stats.ring_shards.set(shards);
+        stats.ring_replicas.set(replicas);
+    }
     if let Some(tier) = &shared.journal {
         let journal = tier.journal.stats();
         stats.journal_depth.set(journal.depth);

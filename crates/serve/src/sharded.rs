@@ -1,0 +1,490 @@
+//! The sharded fleet client: routes record traffic across N `dri-serve`
+//! processes by consistent-hashing each record key onto a
+//! [`HashRing`].
+//!
+//! A fleet is named by [`SHARDS_ENV`] (`DRI_SHARDS=addr1,addr2,...`);
+//! every record key has [`REPLICAS_ENV`] owners (`DRI_REPLICAS`,
+//! default [`DEFAULT_REPLICAS`]) in deterministic failover order.
+//! Because the ring canonicalizes membership, every worker in a fleet —
+//! whatever order its env var lists the shards in — routes every key to
+//! the same servers.
+//!
+//! - **Reads** go to each key's primary first; entries whose shard
+//!   *failed* (transport error, breaker open — not a definitive miss)
+//!   are retried against successive replicas, so a SIGKILLed shard
+//!   degrades to replica reads instead of re-simulation.
+//! - **Writes** are replicated to *all* of a key's owners, which is
+//!   what makes the read-side failover sound: any single surviving
+//!   owner can serve the record.
+//! - **Lease traffic** (the campaign control plane) has no record key;
+//!   it routes by hashing the campaign name so all workers of one
+//!   campaign agree on one scheduler shard.
+//!
+//! Each shard keeps its own [`RemoteStore`] — and therefore its own
+//! circuit breaker, retry budget, and negative-result accounting — so
+//! one dead shard cannot poison the client's view of the others. A
+//! single-remote deployment (`DRI_REMOTE`, no `DRI_SHARDS`) is just the
+//! degenerate one-shard fleet; [`ShardedStore::single`] wraps it with
+//! zero behavior change.
+
+use dri_store::HashRing;
+
+use crate::client::{BatchEntry, PushOutcome, RemoteStats, RemoteStore, ServerStats};
+
+/// Environment variable naming the serve fleet: a comma-separated list
+/// of `host:port` addresses (an `http://` prefix is accepted per
+/// entry). When unset, the client falls back to the single-remote
+/// `DRI_REMOTE` protocol.
+pub const SHARDS_ENV: &str = "DRI_SHARDS";
+
+/// Environment variable setting how many distinct shards own each
+/// record key (clamped to the fleet size). Malformed values warn once
+/// and fall back to [`DEFAULT_REPLICAS`].
+pub const REPLICAS_ENV: &str = "DRI_REPLICAS";
+
+/// Replication factor when [`REPLICAS_ENV`] is unset: every record
+/// lives on two shards, so any single shard death keeps every record
+/// readable.
+pub const DEFAULT_REPLICAS: usize = 2;
+
+/// A client for a consistent-hashed fleet of record servers.
+///
+/// Shard handles are indexed in the ring's canonical (sorted,
+/// deduplicated) order; all routing is a pure function of the shard
+/// set and the key.
+#[derive(Debug)]
+pub struct ShardedStore {
+    ring: HashRing,
+    /// One client per shard, in `ring.shards()` order.
+    shards: Vec<RemoteStore>,
+}
+
+/// Splits and canonicalizes a [`SHARDS_ENV`] value. `Err` when no
+/// shard survives or any entry lacks a `host:port` shape.
+fn parse_shard_list(raw: &str) -> Result<Vec<String>, String> {
+    let shards: Vec<String> = raw
+        .split(',')
+        .map(|entry| {
+            let entry = entry.trim();
+            entry
+                .strip_prefix("http://")
+                .unwrap_or(entry)
+                .trim_end_matches('/')
+                .to_owned()
+        })
+        .filter(|entry| !entry.is_empty())
+        .collect();
+    if shards.is_empty() {
+        return Err("no shard addresses".to_owned());
+    }
+    for shard in &shards {
+        if !shard.contains(':') {
+            return Err(format!("shard {shard:?} is not host:port"));
+        }
+    }
+    Ok(shards)
+}
+
+/// Resolves [`REPLICAS_ENV`]: a positive integer, else warn once and
+/// use [`DEFAULT_REPLICAS`] (the `DRI_THREADS` convention).
+fn replicas_from_env() -> usize {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let Ok(raw) = std::env::var(REPLICAS_ENV) else {
+        return DEFAULT_REPLICAS;
+    };
+    match raw.trim().parse::<usize>().ok().filter(|&n| n > 0) {
+        Some(n) => n,
+        None => {
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: ignoring unparsable {REPLICAS_ENV}={raw:?} \
+                     (want a positive integer); using {DEFAULT_REPLICAS}"
+                );
+            });
+            DEFAULT_REPLICAS
+        }
+    }
+}
+
+/// Fleet membership as the *server* reports it in `/stats` and
+/// `/metrics`: `(shard count, effective replicas)` when this process's
+/// environment names a well-formed fleet, `None` otherwise. Quiet by
+/// design — the serving process merely advertises the topology it was
+/// launched under; the client side owns the warnings.
+pub fn fleet_membership_from_env() -> Option<(u64, u64)> {
+    let raw = std::env::var(SHARDS_ENV).ok()?;
+    let shards = parse_shard_list(&raw).ok()?;
+    let ring = HashRing::new(shards, replicas_from_env()).ok()?;
+    Some((ring.shards().len() as u64, ring.replicas() as u64))
+}
+
+impl ShardedStore {
+    /// Builds a fleet client over `shards` with `replicas` owners per
+    /// key, signing pushes with `token` on every shard. Membership is
+    /// canonicalized by the ring; `Err` when no shard survives.
+    pub fn new<I, S>(shards: I, replicas: usize, token: Option<String>) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let ring = HashRing::new(shards, replicas)?;
+        let shards = ring
+            .shards()
+            .iter()
+            .map(|addr| RemoteStore::with_token(addr.clone(), token.clone()))
+            .collect();
+        Ok(ShardedStore { ring, shards })
+    }
+
+    /// Wraps one existing client as a single-shard fleet. Every key has
+    /// exactly one owner, so routing degenerates to pass-through and
+    /// the single-remote protocol is unchanged.
+    pub fn single(remote: RemoteStore) -> Self {
+        let ring =
+            HashRing::new([remote.addr()], 1).expect("a client always has a non-empty address");
+        ShardedStore {
+            ring,
+            shards: vec![remote],
+        }
+    }
+
+    /// The fleet named by the environment: [`SHARDS_ENV`] when set and
+    /// well-formed (with [`REPLICAS_ENV`] replication and the
+    /// `DRI_TOKEN` push secret), otherwise the single-remote
+    /// `DRI_REMOTE` fallback, otherwise `None` — the remote tier stays
+    /// strictly opt-in. A malformed shard list warns once and falls
+    /// back to the single-remote protocol rather than panicking: a
+    /// worker with a typo'd fleet is degraded, not dead.
+    pub fn from_env() -> Option<Self> {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        let raw = match std::env::var(SHARDS_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => raw,
+            _ => return RemoteStore::from_env().map(ShardedStore::single),
+        };
+        match parse_shard_list(&raw) {
+            Ok(shards) => {
+                let replicas = replicas_from_env();
+                let token = std::env::var(crate::auth::TOKEN_ENV).ok();
+                // parse_shard_list guarantees a non-empty list.
+                Some(Self::new(shards, replicas, token).expect("non-empty shard list"))
+            }
+            Err(why) => {
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring malformed {SHARDS_ENV}={raw:?} ({why}); \
+                         falling back to single-remote {}",
+                        crate::client::REMOTE_ENV
+                    );
+                });
+                RemoteStore::from_env().map(ShardedStore::single)
+            }
+        }
+    }
+
+    /// The per-shard clients, in the ring's canonical order.
+    pub fn shards(&self) -> &[RemoteStore] {
+        &self.shards
+    }
+
+    /// The routing ring (canonical membership, replica factor).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Whether this client actually fans out (more than one shard).
+    pub fn is_sharded(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// The fleet described for banners: the single address, or
+    /// `addr1,addr2,... (xR)` for a real fleet.
+    pub fn describe(&self) -> String {
+        if self.is_sharded() {
+            format!(
+                "{} (x{})",
+                self.ring.shards().join(","),
+                self.ring.replicas()
+            )
+        } else {
+            self.shards[0].addr().to_owned()
+        }
+    }
+
+    /// Whether any shard still has pushes enabled (a definitive auth
+    /// rejection latches per shard).
+    pub fn is_push_disabled(&self) -> bool {
+        self.shards.iter().all(RemoteStore::is_push_disabled)
+    }
+
+    /// Whether every shard's circuit breaker has opened — the whole
+    /// remote tier is effectively gone for this process.
+    pub fn is_disabled(&self) -> bool {
+        self.shards.iter().all(RemoteStore::is_disabled)
+    }
+
+    /// Whether the clients hold a write-path secret.
+    pub fn has_token(&self) -> bool {
+        self.shards.iter().any(RemoteStore::has_token)
+    }
+
+    /// The shard that schedules `campaign`'s leases: all record-plane
+    /// routing is per-key, but the lease control plane needs every
+    /// worker of one campaign talking to one scheduler, so it routes by
+    /// the campaign name.
+    pub fn lease_shard(&self, campaign: &str) -> &RemoteStore {
+        &self.shards[self.ring.owner_indices_for_str(campaign)[0]]
+    }
+
+    /// The primary owner of `key`.
+    pub fn primary_for(&self, key: u128) -> &RemoteStore {
+        &self.shards[self.ring.primary(key)]
+    }
+
+    /// Fetches one record, walking `key`'s owners in failover order
+    /// until a shard yields a validated payload. `None` when every
+    /// owner missed or failed — the caller falls through to simulation.
+    pub fn fetch(&self, kind: &str, schema: u32, key: u128) -> Option<Vec<u8>> {
+        self.ring
+            .owner_indices(key)
+            .into_iter()
+            .find_map(|idx| self.shards[idx].fetch(kind, schema, key))
+    }
+
+    /// Pushes one record to **all** of `key`'s owners, merging the
+    /// per-owner outcomes ([`PushOutcome::Accepted`] beats
+    /// [`PushOutcome::Rejected`] beats [`PushOutcome::Failed`]) — a
+    /// record is "pushed" if at least one owner holds it.
+    pub fn push(&self, kind: &str, schema: u32, key: u128, record: &[u8]) -> PushOutcome {
+        let mut merged = PushOutcome::Failed;
+        for idx in self.ring.owner_indices(key) {
+            merged = merge_push(merged, self.shards[idx].push(kind, schema, key, record));
+        }
+        merged
+    }
+
+    /// [`RemoteStore::fetch_batch`] across the fleet: entries are split
+    /// by primary owner, fetched per shard in chunked `POST /batch`
+    /// round-trips, and entries whose shard *failed* retry against
+    /// successive replicas. Results come back in request order.
+    pub fn fetch_batch(&self, entries: &[(&str, u32, u128)]) -> Vec<Option<Vec<u8>>> {
+        self.fetch_batch_outcomes(entries, crate::client::BATCH_CHUNK)
+            .0
+            .into_iter()
+            .map(BatchEntry::into_payload)
+            .collect()
+    }
+
+    /// [`Self::fetch_batch`] with full per-entry outcomes and the total
+    /// `POST /batch` round-trips this call put on the wire (summed over
+    /// shards and failover passes).
+    ///
+    /// Failover is per entry and definitive-answer-aware: a
+    /// [`BatchEntry::Miss`] is the server *answering* (writes replicate
+    /// to every owner, so one owner's miss is the fleet's miss), only a
+    /// [`BatchEntry::Failed`] — transport failure, open breaker, failed
+    /// validation — moves an entry to its next replica.
+    pub fn fetch_batch_outcomes(
+        &self,
+        entries: &[(&str, u32, u128)],
+        chunk: usize,
+    ) -> (Vec<BatchEntry>, u64) {
+        if entries.is_empty() {
+            return (Vec::new(), 0);
+        }
+        if !self.is_sharded() {
+            return self.shards[0].fetch_batch_outcomes(entries, chunk);
+        }
+        let owners: Vec<Vec<usize>> = entries
+            .iter()
+            .map(|&(_, _, key)| self.ring.owner_indices(key))
+            .collect();
+        let mut results: Vec<BatchEntry> = vec![BatchEntry::Failed; entries.len()];
+        let mut round_trips = 0;
+        // Depth 0 asks every entry's primary; depth d retries entries
+        // still Failed against their d-th replica.
+        let max_depth = self.ring.replicas();
+        let mut pending: Vec<usize> = (0..entries.len()).collect();
+        for depth in 0..max_depth {
+            if pending.is_empty() {
+                break;
+            }
+            // Group this pass's entries by the shard asked at `depth`.
+            let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+            for &entry_idx in &pending {
+                if let Some(&shard_idx) = owners[entry_idx].get(depth) {
+                    per_shard[shard_idx].push(entry_idx);
+                }
+            }
+            for (shard_idx, entry_indices) in per_shard.into_iter().enumerate() {
+                if entry_indices.is_empty() {
+                    continue;
+                }
+                let subset: Vec<(&str, u32, u128)> =
+                    entry_indices.iter().map(|&i| entries[i]).collect();
+                let (outcomes, trips) = self.shards[shard_idx].fetch_batch_outcomes(&subset, chunk);
+                round_trips += trips;
+                for (&entry_idx, outcome) in entry_indices.iter().zip(outcomes) {
+                    results[entry_idx] = outcome;
+                }
+            }
+            pending.retain(|&i| matches!(results[i], BatchEntry::Failed));
+        }
+        (results, round_trips)
+    }
+
+    /// [`RemoteStore::push_batch`] across the fleet: each record goes
+    /// to **all** of its owners (split into per-shard `POST /batch-put`
+    /// batches), outcomes merged per entry as in [`Self::push`].
+    /// Returns outcomes in request order plus total round-trips.
+    pub fn push_batch(&self, entries: &[(&str, u32, u128, &[u8])]) -> (Vec<PushOutcome>, u64) {
+        self.push_batch_chunked(entries, crate::client::BATCH_CHUNK)
+    }
+
+    /// [`Self::push_batch`] with an explicit chunk size.
+    pub fn push_batch_chunked(
+        &self,
+        entries: &[(&str, u32, u128, &[u8])],
+        chunk: usize,
+    ) -> (Vec<PushOutcome>, u64) {
+        if entries.is_empty() {
+            return (Vec::new(), 0);
+        }
+        if !self.is_sharded() {
+            return self.shards[0].push_batch_chunked(entries, chunk);
+        }
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (entry_idx, &(_, _, key, _)) in entries.iter().enumerate() {
+            for shard_idx in self.ring.owner_indices(key) {
+                per_shard[shard_idx].push(entry_idx);
+            }
+        }
+        let mut merged: Vec<PushOutcome> = vec![PushOutcome::Failed; entries.len()];
+        let mut round_trips = 0;
+        for (shard_idx, entry_indices) in per_shard.into_iter().enumerate() {
+            if entry_indices.is_empty() {
+                continue;
+            }
+            let subset: Vec<(&str, u32, u128, &[u8])> =
+                entry_indices.iter().map(|&i| entries[i]).collect();
+            let (outcomes, trips) = self.shards[shard_idx].push_batch_chunked(&subset, chunk);
+            round_trips += trips;
+            for (&entry_idx, outcome) in entry_indices.iter().zip(outcomes) {
+                merged[entry_idx] = merge_push(merged[entry_idx], outcome);
+            }
+        }
+        (merged, round_trips)
+    }
+
+    /// Fleet-wide traffic counters: the field-wise sum over shards.
+    pub fn stats(&self) -> RemoteStats {
+        let mut total = RemoteStats::default();
+        for shard in &self.shards {
+            let s = shard.stats();
+            total.requests += s.requests;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.corrupt += s.corrupt;
+            total.errors += s.errors;
+            total.bytes_fetched += s.bytes_fetched;
+            total.batch_round_trips += s.batch_round_trips;
+            total.records_accepted += s.records_accepted;
+            total.writes_rejected += s.writes_rejected;
+            total.push_round_trips += s.push_round_trips;
+            total.retries += s.retries;
+        }
+        total
+    }
+
+    /// Per-shard traffic counters, `(addr, stats)` in ring order.
+    pub fn shard_stats(&self) -> Vec<(String, RemoteStats)> {
+        self.shards
+            .iter()
+            .map(|shard| (shard.addr().to_owned(), shard.stats()))
+            .collect()
+    }
+
+    /// Scrapes every shard's `GET /stats`, `(addr, stats)` in ring
+    /// order (`None` per shard on transport failure).
+    pub fn server_stats_all(&self) -> Vec<(String, Option<ServerStats>)> {
+        self.shards
+            .iter()
+            .map(|shard| (shard.addr().to_owned(), shard.server_stats()))
+            .collect()
+    }
+}
+
+impl From<RemoteStore> for ShardedStore {
+    fn from(remote: RemoteStore) -> Self {
+        ShardedStore::single(remote)
+    }
+}
+
+/// `Accepted` beats `Rejected` beats `Failed`: a record is safe once
+/// *any* owner holds it; a definitive rejection outranks an unknown.
+fn merge_push(a: PushOutcome, b: PushOutcome) -> PushOutcome {
+    use PushOutcome::{Accepted, Failed, Rejected};
+    match (a, b) {
+        (Accepted, _) | (_, Accepted) => Accepted,
+        (Rejected, _) | (_, Rejected) => Rejected,
+        (Failed, Failed) => Failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_canonicalizes_shard_lists() {
+        let shards =
+            parse_shard_list("http://127.0.0.1:7171/, 127.0.0.1:7172 ,,127.0.0.1:7173").unwrap();
+        assert_eq!(
+            shards,
+            ["127.0.0.1:7171", "127.0.0.1:7172", "127.0.0.1:7173"]
+        );
+        assert!(parse_shard_list("").is_err());
+        assert!(parse_shard_list(" , ,").is_err());
+        assert!(parse_shard_list("127.0.0.1:7171,nonsense").is_err());
+    }
+
+    #[test]
+    fn single_is_a_one_shard_fleet() {
+        let store = ShardedStore::single(RemoteStore::new("127.0.0.1:7171"));
+        assert!(!store.is_sharded());
+        assert_eq!(store.ring().replicas(), 1);
+        assert_eq!(store.describe(), "127.0.0.1:7171");
+        assert_eq!(store.primary_for(42).addr(), "127.0.0.1:7171");
+    }
+
+    #[test]
+    fn shard_handles_follow_ring_order() {
+        let store = ShardedStore::new(["b:2", "a:1", "c:3"], 2, None).unwrap();
+        let addrs: Vec<&str> = store.shards().iter().map(RemoteStore::addr).collect();
+        assert_eq!(addrs, ["a:1", "b:2", "c:3"]);
+        assert!(store.is_sharded());
+        assert_eq!(store.describe(), "a:1,b:2,c:3 (x2)");
+        for key in 0..64u128 {
+            let primary = store.primary_for(key).addr();
+            assert_eq!(primary, store.ring().owners(key)[0]);
+        }
+    }
+
+    #[test]
+    fn lease_routing_is_stable_under_reordering() {
+        let a = ShardedStore::new(["a:1", "b:2", "c:3"], 2, None).unwrap();
+        let b = ShardedStore::new(["c:3", "a:1", "b:2"], 2, None).unwrap();
+        assert_eq!(
+            a.lease_shard("figure3").addr(),
+            b.lease_shard("figure3").addr()
+        );
+    }
+
+    #[test]
+    fn merge_push_prefers_definitive_success() {
+        use PushOutcome::{Accepted, Failed, Rejected};
+        assert_eq!(merge_push(Failed, Accepted), Accepted);
+        assert_eq!(merge_push(Rejected, Accepted), Accepted);
+        assert_eq!(merge_push(Failed, Rejected), Rejected);
+        assert_eq!(merge_push(Failed, Failed), Failed);
+    }
+}

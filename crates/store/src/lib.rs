@@ -112,6 +112,7 @@ pub mod hash;
 pub mod journal;
 pub mod lease;
 pub mod plan;
+pub mod ring;
 pub mod store;
 
 pub use codec::{Decoder, Encoder};
@@ -122,6 +123,7 @@ pub use lease::{
     ClaimOutcome, Lease, LeaseBroker, LeaseCounts, LeaseGrant, LeaseRefusal, LeaseState,
 };
 pub use plan::{KeyPlan, KeyRef};
+pub use ring::HashRing;
 pub use store::{
     decode_record, frame_record, frame_record_compressed, validate_record, ResultStore, StoreStats,
 };

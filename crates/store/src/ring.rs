@@ -1,0 +1,244 @@
+//! Deterministic consistent-hash ring for sharding the record keyspace
+//! across a serve fleet.
+//!
+//! The ring maps a 128-bit record key (a [`crate::hash::KeyHasher`]
+//! digest) to an ordered list of *owning shards* — the first is the
+//! primary, the rest are the replicas a client fails over to when the
+//! primary dies. Placement must be a pure function of the shard *set*
+//! and the key, never of incidental input details, because every worker
+//! in a fleet computes it independently from its own `DRI_SHARDS`
+//! value:
+//!
+//! - **Canonical membership.** The shard list is sorted and deduplicated
+//!   at construction, so `a,b,c` and `c,b,a,b` build bit-identical
+//!   rings and two workers with reordered env vars route every key to
+//!   the same servers.
+//! - **Virtual nodes.** Each shard projects [`VNODES`] points onto the
+//!   ring (hashing `("dri-ring", shard, vnode)`), which evens out the
+//!   keyspace split across small fleets — with one point per shard, a
+//!   3-shard ring routinely gives one shard over half the keys.
+//! - **Minimal remapping.** Removing a shard removes only *its* points;
+//!   every key whose clockwise walk never met those points keeps its
+//!   owner list, and a key that lost its primary promotes its next
+//!   replica (the property proptests in `dri-experiments` pin down).
+//!
+//! Key positions are re-hashed through the same FNV-128 construction
+//! (`("dri-key", key)`) rather than used raw: store keys are themselves
+//! FNV digests of structured fields, and nearby configurations can
+//! produce digests that are close together; the extra round decorrelates
+//! ring position from key structure.
+
+use crate::hash::KeyHasher;
+
+/// Virtual nodes (ring points) per shard. 64 keeps the largest/smallest
+/// keyspace share within ~2× for small fleets while the whole ring for
+/// a dozen shards still fits in a few kilobytes.
+pub const VNODES: usize = 64;
+
+/// A deterministic consistent-hash ring over named shards.
+///
+/// ```
+/// use dri_store::HashRing;
+///
+/// let ring = HashRing::new(["127.0.0.1:7171", "127.0.0.1:7172"], 2).unwrap();
+/// let owners = ring.owners(42);
+/// assert_eq!(owners.len(), 2); // primary + one replica
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Canonical membership: sorted, deduplicated shard names.
+    shards: Vec<String>,
+    /// How many distinct shards own each key (clamped to the fleet size).
+    replicas: usize,
+    /// Ring points: `(position, shard index)`, sorted by position.
+    points: Vec<(u128, usize)>,
+}
+
+/// Ring position of one shard's vnode.
+fn vnode_point(shard: &str, vnode: usize) -> u128 {
+    let mut h = KeyHasher::new();
+    h.write_str("dri-ring");
+    h.write_str(shard);
+    h.write_u64(vnode as u64);
+    h.finish()
+}
+
+/// Ring position of a record key (decorrelated from the key's own
+/// FNV structure — see the module docs).
+fn key_point(key: u128) -> u128 {
+    let mut h = KeyHasher::new();
+    h.write_str("dri-key");
+    h.write_u128(key);
+    h.finish()
+}
+
+impl HashRing {
+    /// Builds a ring over `shards` with `replicas` owners per key.
+    ///
+    /// The shard list is canonicalized (trimmed, sorted, deduplicated);
+    /// `replicas` is clamped to `1..=shards.len()`. `Err` when no
+    /// non-empty shard name survives — an empty fleet cannot own keys.
+    pub fn new<I, S>(shards: I, replicas: usize) -> Result<HashRing, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut shards: Vec<String> = shards
+            .into_iter()
+            .map(|s| s.into().trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        shards.sort();
+        shards.dedup();
+        if shards.is_empty() {
+            return Err("hash ring needs at least one shard".to_owned());
+        }
+        let replicas = replicas.clamp(1, shards.len());
+        let mut points = Vec::with_capacity(shards.len() * VNODES);
+        for (idx, shard) in shards.iter().enumerate() {
+            for vnode in 0..VNODES {
+                points.push((vnode_point(shard, vnode), idx));
+            }
+        }
+        // Position ties broken by shard index so placement stays a pure
+        // function of the canonical membership even in the (vanishingly
+        // unlikely) event of a 128-bit collision.
+        points.sort_unstable();
+        Ok(HashRing {
+            shards,
+            replicas,
+            points,
+        })
+    }
+
+    /// The canonical (sorted, deduplicated) shard names. Callers that
+    /// keep per-shard state index it in this order.
+    pub fn shards(&self) -> &[String] {
+        &self.shards
+    }
+
+    /// The effective replication factor (post-clamping).
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Indices (into [`Self::shards`]) of the shards owning `key`, in
+    /// failover order: primary first, then each successive replica met
+    /// walking the ring clockwise.
+    pub fn owner_indices(&self, key: u128) -> Vec<usize> {
+        let want = self.replicas.min(self.shards.len());
+        let mut owners = Vec::with_capacity(want);
+        let point = key_point(key);
+        // First ring point at or after the key's position, wrapping.
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        for i in 0..self.points.len() {
+            let (_, idx) = self.points[(start + i) % self.points.len()];
+            if !owners.contains(&idx) {
+                owners.push(idx);
+                if owners.len() == want {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
+    /// Shard names owning `key`, in failover order.
+    pub fn owners(&self, key: u128) -> Vec<&str> {
+        self.owner_indices(key)
+            .into_iter()
+            .map(|i| self.shards[i].as_str())
+            .collect()
+    }
+
+    /// Index of the primary owner of `key`.
+    pub fn primary(&self, key: u128) -> usize {
+        self.owner_indices(key)[0]
+    }
+
+    /// Routes an arbitrary string (e.g. a campaign id, for lease
+    /// control-plane affinity) by hashing it onto the ring.
+    pub fn owner_indices_for_str(&self, name: &str) -> Vec<usize> {
+        let mut h = KeyHasher::new();
+        h.write_str(name);
+        self.owner_indices(h.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_membership() {
+        let a = HashRing::new(["b:1", "a:1", "c:1"], 2).unwrap();
+        let b = HashRing::new(["c:1", " a:1 ", "b:1", "b:1", ""], 2).unwrap();
+        assert_eq!(a.shards(), b.shards());
+        assert_eq!(a.shards(), &["a:1", "b:1", "c:1"]);
+        for key in 0..512u128 {
+            assert_eq!(a.owner_indices(key), b.owner_indices(key));
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_clamps_replicas() {
+        assert!(HashRing::new(Vec::<String>::new(), 2).is_err());
+        assert!(HashRing::new([" ", ""], 1).is_err());
+        let ring = HashRing::new(["a:1", "b:1"], 9).unwrap();
+        assert_eq!(ring.replicas(), 2);
+        let ring = HashRing::new(["a:1"], 0).unwrap();
+        assert_eq!(ring.replicas(), 1);
+    }
+
+    #[test]
+    fn owners_are_distinct_and_ordered_by_the_walk() {
+        let ring = HashRing::new(["a:1", "b:1", "c:1", "d:1"], 3).unwrap();
+        for key in 0..256u128 {
+            let owners = ring.owner_indices(key);
+            assert_eq!(owners.len(), 3);
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "owners must be distinct shards");
+            assert_eq!(ring.primary(key), owners[0]);
+        }
+    }
+
+    #[test]
+    fn keyspace_split_is_roughly_even() {
+        let ring = HashRing::new(["a:1", "b:1", "c:1"], 1).unwrap();
+        let mut counts = [0usize; 3];
+        for key in 0..3000u128 {
+            counts[ring.primary(key * 0x9e37_79b9_7f4a_7c15)] += 1;
+        }
+        for &c in &counts {
+            // A fair split is 1000; vnodes should keep every shard
+            // within a factor of two of fair.
+            assert!((500..=2000).contains(&c), "lopsided split: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_remaps_its_keys() {
+        let full = HashRing::new(["a:1", "b:1", "c:1", "d:1"], 2).unwrap();
+        let removed = "c:1";
+        let reduced = HashRing::new(["a:1", "b:1", "d:1"], 2).unwrap();
+        for key in 0..512u128 {
+            let before: Vec<&str> = full.owners(key);
+            let after: Vec<&str> = reduced.owners(key);
+            let surviving: Vec<&str> = before.iter().copied().filter(|&s| s != removed).collect();
+            // Survivors keep their relative failover order, as a prefix
+            // of the new owner list (replica promotion fills the tail).
+            assert_eq!(&after[..surviving.len()], &surviving[..], "key {key}");
+        }
+    }
+
+    #[test]
+    fn string_routing_is_stable() {
+        let ring = HashRing::new(["a:1", "b:1", "c:1"], 2).unwrap();
+        assert_eq!(
+            ring.owner_indices_for_str("campaign-x"),
+            ring.owner_indices_for_str("campaign-x")
+        );
+    }
+}
